@@ -1,0 +1,116 @@
+The CLI drives every stage of the flow.  These checks pin the
+user-visible behaviour on the small deterministic circuits.
+
+Circuit statistics:
+
+  $ adi-atpg stats c17
+  c17: 5 PIs, 2 POs, 6 gates (0 DFFs), 12 pins, depth 3, max fanout 2
+  [INPUT:5, NAND:6]
+
+Fault counting and collapsing:
+
+  $ adi-atpg faults c17
+  full fault universe : 46
+  collapsed (classes) : 22
+  collapse ratio      : 2.09
+
+Random-pattern fault simulation:
+
+  $ adi-atpg sim c17 -n 64 --seed 3
+  64 random vectors detect 22 / 22 collapsed faults (100.00%)
+
+ADI summary on the lion stand-in:
+
+  $ adi-atpg adi lion
+  |U| = 14 vectors (pool detected 50 faults)
+  U fault coverage = 0.940
+  ADImin = 7, ADImax = 15, ratio = 2.14
+  ADI histogram (detected faults):
+    [   7..   8] ############### 15
+    [   9..  10] ########### 11
+    [  11..  12] ############## 14
+    [  13..  14] ## 2
+    [  15..  16] ##### 5
+    [  17..  18]  0
+    [  19..  20]  0
+    [  21..  22]  0
+
+Head of the 0dynm order:
+
+  $ adi-atpg order lion --order 0dynm -n 5
+  first 5 faults of F0dynm:
+      1. f20    ADI=0     out0_t2 s-a-0
+      2. f34    ADI=0     st0_n s-a-0
+      3. f45    ADI=0     nst1_t2 s-a-0
+      4. f14    ADI=15    out0_t0.in0 (in0_n) s-a-1
+      5. f23    ADI=15    out0_t2.in2 (st1) s-a-1
+
+ATPG with the 0dynm order reaches full coverage on c17:
+
+  $ adi-atpg atpg c17 --order 0dynm | head -5
+  order       : F0dynm
+  tests       : 6
+  coverage    : 1.000
+  untestable  : 0 proven, 0 aborted
+  AVE         : 2.64 tests to detection
+
+Unknown circuits are rejected:
+
+  $ adi-atpg stats nonesuch
+  adi-atpg: Suite.build_by_name: unknown circuit "nonesuch"
+  [1]
+
+Generating a tiny .bench circuit:
+
+  $ adi-atpg gen --pis 4 --gates 6 --seed 9
+  # generated
+  INPUT(pi0)
+  INPUT(pi1)
+  INPUT(pi2)
+  INPUT(pi3)
+  OUTPUT(g2)
+  OUTPUT(g3)
+  OUTPUT(g4)
+  OUTPUT(g5)
+  g0 = OR(pi0, pi3)
+  g1 = XOR(g0, pi3)
+  g2 = NOT(g1)
+  g3 = XOR(g1, pi0)
+  g4 = BUF(pi1)
+  g5 = NOT(pi2)
+
+Round-trip through an external test-vector file and evaluate it:
+
+  $ adi-atpg atpg c17 --order dynm -o vecs.txt | grep tests
+  tests       : 7
+  AVE         : 2.73 tests to detection
+  $ adi-atpg coverage c17 --tests vecs.txt
+  tests        : 7
+  faults       : 22 collapsed
+  coverage     : 1.000
+  AVE          : 2.73 tests to detection
+  50% reached  : after 2 tests
+  75% reached  : after 4 tests
+  90% reached  : after 5 tests
+
+Scan-chain insertion on a sequential netlist:
+
+  $ cat > toggle.bench <<'BENCH'
+  > INPUT(a)
+  > OUTPUT(o)
+  > q = DFF(n)
+  > n = XOR(a, q)
+  > o = BUF(n)
+  > BENCH
+  $ adi-atpg scan-insert toggle.bench scanned.bench
+  chain: q
+  tester cycles per test: 3
+  toggle_scan: 3 PIs, 2 POs, 8 gates, depth 3 -> scanned.bench
+
+Conversion to BLIF and back:
+
+  $ adi-atpg convert c17 c17.blif
+  c17: 5 PIs, 2 POs, 6 gates, depth 3 -> c17.blif
+  $ adi-atpg stats c17.blif
+  c17: 5 PIs, 2 POs, 12 gates (0 DFFs), 18 pins, depth 6, max fanout 2
+  [AND:6, INPUT:5, NOT:6]

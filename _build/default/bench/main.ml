@@ -1,0 +1,267 @@
+(* Benchmark and reproduction driver.
+
+   With no arguments: regenerate every quick table/figure of the paper
+   (Tables 1, 4, 5, 6, 7, Figure 1, plus the two ablations) on the
+   twelve small suite circuits, then run one Bechamel micro-benchmark
+   per experiment kernel.
+
+     dune exec bench/main.exe                    # everything quick
+     dune exec bench/main.exe table5             # one artefact
+     dune exec bench/main.exe -- --full table5   # + syn5378/syn13207
+     dune exec bench/main.exe -- --no-micro      # skip Bechamel part
+     dune exec bench/main.exe -- --micro-only    # only Bechamel part *)
+
+let experiments_requested = ref []
+let full = ref false
+let seed = ref 1
+let run_reports = ref true
+let run_micro = ref true
+
+let usage () =
+  prerr_endline
+    "usage: main.exe [--full] [--seed N] [--no-micro | --micro-only] [EXPERIMENT ...]";
+  Printf.eprintf "experiments: %s\n" (String.concat ", " Harness.experiment_names);
+  exit 2
+
+let parse_args () =
+  let rec go = function
+    | [] -> ()
+    | "--full" :: rest ->
+        full := true;
+        go rest
+    | "--no-micro" :: rest ->
+        run_micro := false;
+        go rest
+    | "--micro-only" :: rest ->
+        run_reports := false;
+        go rest
+    | "--seed" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some v ->
+            seed := v;
+            go rest
+        | None -> usage ())
+    | ("--help" | "-h") :: _ -> usage ()
+    | w :: rest ->
+        if List.mem w Harness.experiment_names then begin
+          experiments_requested := w :: !experiments_requested;
+          go rest
+        end
+        else usage ()
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  if !experiments_requested = [] then
+    experiments_requested :=
+      [ "table1"; "table4"; "table5"; "table6"; "table7"; "figure1";
+        "ablation-static"; "ablation-u"; "ablation-ndetection";
+        "ablation-estimator"; "ablation-reorder"; "ablation-independence";
+        "ablation-engines"; "ablation-compaction"; "ablation-truncation" ]
+  else experiments_requested := List.rev !experiments_requested
+
+(* ---------- reproduction reports --------------------------------- *)
+
+let print_reports () =
+  List.iter
+    (fun w ->
+      let t0 = Unix.gettimeofday () in
+      let body = Harness.run_experiment ~seed:!seed ~full:!full w in
+      Printf.printf "%s\n(%s regenerated in %.1fs)\n\n%!" body w
+        (Unix.gettimeofday () -. t0))
+    !experiments_requested
+
+(* ---------- Bechamel micro-benchmarks ----------------------------- *)
+
+open Bechamel
+open Toolkit
+
+(* Kernels, one per paper artefact: the dominant computation each
+   table/figure adds on top of the previous ones. *)
+
+let lion_faults = lazy (Collapse.collapsed (Kiss.to_combinational (Kiss.lion ())))
+
+let small_setup =
+  lazy
+    (let c = Suite.build_by_name "syn208" in
+     Pipeline.prepare ~seed:1 c)
+
+let bench_table1 =
+  (* Table 1: exhaustive non-dropping fault simulation + ndet on lion. *)
+  Test.make ~name:"table1/lion-exhaustive-adi"
+    (Staged.stage (fun () ->
+         let fl = Lazy.force lion_faults in
+         let u = Patterns.exhaustive ~n_inputs:4 in
+         ignore (Adi_index.compute fl u)))
+
+let bench_table4 =
+  (* Table 4: ADI computation (non-dropping sim over U) on syn208. *)
+  Test.make ~name:"table4/syn208-adi-compute"
+    (Staged.stage (fun () ->
+         let setup = Lazy.force small_setup in
+         ignore
+           (Adi_index.compute setup.Pipeline.faults setup.Pipeline.selection.Adi_index.u)))
+
+let bench_table5 =
+  (* Table 5: one full ATPG run under F0dynm on syn208. *)
+  Test.make ~name:"table5/syn208-atpg-0dynm"
+    (Staged.stage (fun () ->
+         let setup = Lazy.force small_setup in
+         ignore (Pipeline.run_order setup Ordering.Dynm0)))
+
+let bench_table6 =
+  (* Table 6's overhead: computing the dynamic order itself. *)
+  Test.make ~name:"table6/syn208-dynamic-order"
+    (Staged.stage (fun () ->
+         let setup = Lazy.force small_setup in
+         ignore (Ordering.order Ordering.Dynm setup.Pipeline.adi)))
+
+let bench_table7 =
+  (* Table 7: coverage curve + AVE from a finished run. *)
+  let run =
+    lazy
+      (let setup = Lazy.force small_setup in
+       (setup, Pipeline.run_order setup Ordering.Dynm))
+  in
+  Test.make ~name:"table7/syn208-ave"
+    (Staged.stage (fun () ->
+         let setup, r = Lazy.force run in
+         ignore
+           (Coverage.ave (Coverage.of_engine_result setup.Pipeline.faults r.Pipeline.engine))))
+
+let bench_figure1 =
+  (* Figure 1: curve points + ASCII rendering. *)
+  let run =
+    lazy
+      (let setup = Lazy.force small_setup in
+       (setup, Pipeline.run_order setup Ordering.Dynm))
+  in
+  Test.make ~name:"figure1/syn208-plot"
+    (Staged.stage (fun () ->
+         let setup, r = Lazy.force run in
+         let curve = Coverage.of_engine_result setup.Pipeline.faults r.Pipeline.engine in
+         ignore
+           (Util.Plot.render ~x_label:"tests" ~y_label:"fc"
+              [ { Util.Plot.marker = 'd'; points = Coverage.points curve; label = "dynm" } ])))
+
+let bench_ablation_static =
+  (* Ablation A1 kernel: the static sort-based order. *)
+  Test.make ~name:"ablation-static/syn208-decr-order"
+    (Staged.stage (fun () ->
+         let setup = Lazy.force small_setup in
+         ignore (Ordering.order Ordering.Decr setup.Pipeline.adi)))
+
+let bench_ablation_u =
+  (* Ablation A2 kernel: the U-selection dropping simulation. *)
+  Test.make ~name:"ablation-u/syn208-select-u"
+    (Staged.stage (fun () ->
+         let setup = Lazy.force small_setup in
+         let rng = Util.Rng.create 1 in
+         ignore (Adi_index.select_u ~pool:2000 rng setup.Pipeline.faults)))
+
+let bench_ablation_ndetection =
+  (* Ablation A3 kernel: capped (n-detection) detection sets. *)
+  Test.make ~name:"ablation-ndetection/syn208-capped-sim"
+    (Staged.stage (fun () ->
+         let setup = Lazy.force small_setup in
+         ignore
+           (Adi_index.compute_n_detection ~n:4 setup.Pipeline.faults
+              setup.Pipeline.selection.Adi_index.u)))
+
+let bench_ablation_estimator =
+  (* Ablation A4 kernel: the average-estimator reduction. *)
+  Test.make ~name:"ablation-estimator/syn208-avg-adi"
+    (Staged.stage (fun () ->
+         let setup = Lazy.force small_setup in
+         ignore
+           (Adi_index.compute ~estimator:Adi_index.Average setup.Pipeline.faults
+              setup.Pipeline.selection.Adi_index.u)))
+
+let bench_ablation_reorder =
+  (* Ablation A5 kernel: greedy a-posteriori reordering. *)
+  let data =
+    lazy
+      (let setup = Lazy.force small_setup in
+       let r = Pipeline.run_order setup Ordering.Orig in
+       (setup.Pipeline.faults, r.Pipeline.engine.Engine.tests))
+  in
+  Test.make ~name:"ablation-reorder/syn208-greedy"
+    (Staged.stage (fun () ->
+         let faults, tests = Lazy.force data in
+         ignore (Reorder.greedy faults tests)))
+
+let bench_ablation_independence =
+  (* Ablation A6 kernel: FFR independent-set construction + ordering. *)
+  Test.make ~name:"ablation-independence/syn208-order"
+    (Staged.stage (fun () ->
+         let setup = Lazy.force small_setup in
+         ignore (Independence.order setup.Pipeline.adi)))
+
+let bench_ablation_engines =
+  (* Ablation A7 kernel: one D-algorithm run on a representative fault. *)
+  let data =
+    lazy
+      (let c = Suite.build_by_name "c17" in
+       (c, Scoap.compute c, Collapse.collapsed c))
+  in
+  Test.make ~name:"ablation-engines/c17-dalg"
+    (Staged.stage (fun () ->
+         let c, scoap, fl = Lazy.force data in
+         for fi = 0 to Fault_list.count fl - 1 do
+           ignore (Dalg.generate c scoap (Fault_list.get fl fi))
+         done))
+
+let bench_ablation_compaction =
+  (* Ablation A8 kernel: one dynamic-compaction run on syn208. *)
+  Test.make ~name:"ablation-compaction/syn208-dyncomp"
+    (Staged.stage (fun () ->
+         let setup = Lazy.force small_setup in
+         let order = Ordering.order Ordering.Orig setup.Pipeline.adi in
+         ignore (Engine.run_compacting setup.Pipeline.faults ~order)))
+
+let bench_ablation_truncation =
+  (* Ablation A9 kernel: curve construction + truncation sweep. *)
+  let data =
+    lazy
+      (let setup = Lazy.force small_setup in
+       let r = Pipeline.run_order setup Ordering.Dynm in
+       Coverage.of_engine_result setup.Pipeline.faults r.Pipeline.engine)
+  in
+  Test.make ~name:"ablation-truncation/syn208-sweep"
+    (Staged.stage (fun () ->
+         let curve = Lazy.force data in
+         let k = Coverage.tests curve in
+         for p = 1 to 100 do
+           ignore (Coverage.truncated_coverage curve ~keep:(k * p / 100))
+         done))
+
+let micro_tests =
+  [
+    bench_table1; bench_table4; bench_table5; bench_table6; bench_table7;
+    bench_figure1; bench_ablation_static; bench_ablation_u;
+    bench_ablation_ndetection; bench_ablation_estimator; bench_ablation_reorder;
+    bench_ablation_independence; bench_ablation_engines; bench_ablation_compaction;
+    bench_ablation_truncation;
+  ]
+
+let run_micro_benches () =
+  print_endline "Micro-benchmarks (Bechamel, monotonic clock):";
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instance = Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) ~kde:(Some 1000) () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let analysed = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ ns ] when ns >= 1e6 ->
+              Printf.printf "  %-36s %10.3f ms/run\n%!" name (ns /. 1e6)
+          | Some [ ns ] -> Printf.printf "  %-36s %10.1f ns/run\n%!" name ns
+          | _ -> Printf.printf "  %-36s (no estimate)\n%!" name)
+        analysed)
+    micro_tests
+
+let () =
+  parse_args ();
+  if !run_reports then print_reports ();
+  if !run_micro then run_micro_benches ()

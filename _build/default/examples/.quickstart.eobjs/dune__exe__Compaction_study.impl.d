@@ -1,0 +1,1 @@
+examples/compaction_study.ml: Adi_atpg Circuit Compact Engine Format Library List Ordering Patterns Pipeline Table

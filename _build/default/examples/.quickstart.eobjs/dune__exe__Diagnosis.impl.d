@@ -1,0 +1,1 @@
+examples/diagnosis.ml: Adi_atpg Array Bitvec Circuit Dictionary Engine Fault Fault_list Format Library List Ordering Patterns Pipeline Refsim Rng

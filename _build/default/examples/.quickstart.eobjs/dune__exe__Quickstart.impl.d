@@ -1,0 +1,1 @@
+examples/quickstart.ml: Adi_atpg Adi_index Array Bench_format Circuit Collapse Engine Fault_list Format Ordering Patterns Rng

@@ -1,0 +1,1 @@
+examples/scan_flow.ml: Adi_atpg Array Bench_format Circuit Engine Format Goodsim Kiss List Ordering Patterns Pipeline Scan Seqsim String Testbench

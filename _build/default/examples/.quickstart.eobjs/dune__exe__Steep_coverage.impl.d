@@ -1,0 +1,1 @@
+examples/steep_coverage.ml: Adi_atpg Circuit Coverage Format List Ordering Pipeline Plot Suite

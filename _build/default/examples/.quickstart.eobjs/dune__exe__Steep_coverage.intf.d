@@ -1,0 +1,1 @@
+examples/steep_coverage.mli:

@@ -1,0 +1,40 @@
+(* Test-set compaction study on arithmetic workloads.
+
+   The paper's first application: ordering faults by decreasing
+   (dynamic) ADI shrinks the generated test set, without any other
+   dynamic-compaction machinery.  This example measures all six orders
+   on realistic datapath circuits — a ripple-carry adder, a 4x4 array
+   multiplier and a small ALU — and compares them with classic static
+   compaction (reverse-order fault simulation) as a baseline.
+
+   Run with:  dune exec examples/compaction_study.exe *)
+
+open Adi_atpg
+
+let study circuit =
+  Format.printf "@.== %a ==@." Circuit.pp_summary circuit;
+  let setup = Pipeline.prepare ~seed:7 circuit in
+  let t = Table.create [ ("order", Table.Left); ("tests", Table.Right);
+                         ("after static compaction", Table.Right) ] in
+  List.iter
+    (fun kind ->
+      let run = Pipeline.run_order setup kind in
+      let tests = run.Pipeline.engine.Engine.tests in
+      let compacted = Compact.reverse_order setup.Pipeline.faults tests in
+      Table.add_row t
+        [
+          Ordering.to_string kind;
+          string_of_int (Patterns.count tests);
+          string_of_int (Patterns.count compacted.Compact.tests);
+        ])
+    Ordering.all;
+  Table.print t
+
+let () =
+  study (Library.ripple_adder ~width:8);
+  study (Library.multiplier ~width:4);
+  study (Library.alu ~width:4);
+  Format.printf
+    "@.Reading the tables: 0dynm should give the smallest raw test sets@.\
+     (hard faults first, each later test catches many easy faults),@.\
+     incr0 the largest — the paper's Table 5 effect, on datapath logic.@."

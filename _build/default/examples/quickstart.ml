@@ -1,0 +1,51 @@
+(* Quickstart: load a circuit, look at its faults, compute accidental
+   detection indices, and generate a compact test set.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+open Adi_atpg
+
+let () =
+  (* 1. A circuit.  Parse .bench text (or use Suite/Library builders). *)
+  let circuit =
+    Bench_format.parse_string ~title:"demo"
+      {|# one-bit comparator-ish demo
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(y)
+OUTPUT(z)
+n1 = NAND(a, b)
+n2 = NOR(b, c)
+y  = XOR(n1, n2)
+z  = AND(n1, c)
+|}
+  in
+  Format.printf "circuit: %a@." Circuit.pp_summary circuit;
+
+  (* 2. The stuck-at fault universe, equivalence-collapsed. *)
+  let faults = Collapse.collapsed circuit in
+  Format.printf "collapsed faults: %d@." (Fault_list.count faults);
+
+  (* 3. Accidental detection indices from a random vector set U. *)
+  let rng = Rng.create 1 in
+  let selection = Adi_index.select_u ~pool:1000 rng faults in
+  let adi = Adi_index.compute faults selection.Adi_index.u in
+  Format.printf "|U| = %d vectors, U covers %.0f%% of faults@."
+    (Patterns.count selection.Adi_index.u)
+    (100.0 *. Adi_index.coverage_of_u adi);
+  (match Adi_index.min_max adi with
+  | Some (lo, hi) -> Format.printf "ADI range: %d .. %d@." lo hi
+  | None -> ());
+
+  (* 4. Order the faults (F0dynm: best for compact test sets) and
+     generate tests. *)
+  let order = Ordering.order Ordering.Dynm0 adi in
+  let result = Engine.run faults ~order in
+  Format.printf "generated %d tests, coverage %.1f%%@."
+    (Patterns.count result.Engine.tests)
+    (100.0 *. Engine.coverage faults result);
+
+  (* 5. Show the vectors. *)
+  Array.iteri (fun i s -> Format.printf "  t%d = %s@." i s)
+    (Patterns.to_strings result.Engine.tests)

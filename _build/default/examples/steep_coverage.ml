@@ -1,0 +1,47 @@
+(* Steep fault-coverage curves — the paper's second application.
+
+   A test set whose early tests detect many faults lets a tester drop
+   trailing tests with little coverage loss, and catches defective
+   chips sooner.  This example generates tests for one synthetic
+   benchmark under three orders, plots the coverage curves (the
+   paper's Figure 1), and reports the AVE metric (expected number of
+   tests until a faulty chip is detected, Table 7).
+
+   Run with:  dune exec examples/steep_coverage.exe *)
+
+open Adi_atpg
+
+let () =
+  let circuit = Suite.build_by_name "syn298" in
+  Format.printf "circuit: %a@.@." Circuit.pp_summary circuit;
+  let setup = Pipeline.prepare ~seed:1 circuit in
+  let runs =
+    List.map
+      (fun kind -> (kind, Pipeline.run_order setup kind))
+      [ Ordering.Orig; Ordering.Dynm; Ordering.Dynm0 ]
+  in
+  let curves =
+    List.map
+      (fun (kind, run) ->
+        (kind, Coverage.of_engine_result setup.Pipeline.faults run.Pipeline.engine))
+      runs
+  in
+  (* Figure-1-style plot. *)
+  let series =
+    List.map2
+      (fun (kind, curve) marker ->
+        { Plot.marker; points = Coverage.points curve; label = Ordering.to_string kind })
+      curves [ 'o'; 'd'; 'z' ]
+  in
+  print_string (Plot.render ~x_label:"tests (%)" ~y_label:"fault coverage (%)" series);
+  (* AVE: lower = steeper curve = defects found earlier. *)
+  let base = Coverage.ave (List.assoc Ordering.Orig curves) in
+  Format.printf "@.%-8s %10s %12s@." "order" "AVE" "AVE/AVEorig";
+  List.iter
+    (fun (kind, curve) ->
+      let ave = Coverage.ave curve in
+      Format.printf "%-8s %10.2f %12.3f@." (Ordering.to_string kind) ave (ave /. base))
+    curves;
+  Format.printf
+    "@.A ratio below 1.000 for dynm reproduces the paper's headline:@.\
+     ADI-ordered generation steepens the curve without reordering tests.@."

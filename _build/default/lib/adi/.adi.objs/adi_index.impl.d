@@ -1,0 +1,1 @@
+lib/adi/adi_index.ml: Array Circuit Fault_list Faultsim Patterns Util

@@ -1,0 +1,1 @@
+lib/adi/adi_index.mli: Fault_list Patterns Util

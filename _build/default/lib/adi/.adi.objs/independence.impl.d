@@ -1,0 +1,1 @@
+lib/adi/independence.ml: Adi_index Array Circuit Fault Fault_list Hashtbl List Option Patterns Util

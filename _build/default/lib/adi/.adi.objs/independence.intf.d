@@ -1,0 +1,1 @@
+lib/adi/independence.mli: Adi_index Circuit Fault

@@ -1,0 +1,1 @@
+lib/adi/ordering.ml: Adi_index Array Fault_list Fun List String Util

@@ -1,0 +1,1 @@
+lib/adi/ordering.mli: Adi_index

@@ -1,0 +1,1 @@
+lib/adi/pipeline.ml: Adi_index Circuit Collapse Engine Fault_list Ordering Patterns Scan Util

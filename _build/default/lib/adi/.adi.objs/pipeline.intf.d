@@ -1,0 +1,1 @@
+lib/adi/pipeline.mli: Adi_index Circuit Collapse Engine Fault_list Ordering

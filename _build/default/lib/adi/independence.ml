@@ -1,0 +1,84 @@
+module Bitvec = Util.Bitvec
+
+let ffr_roots c =
+  let n = Circuit.node_count c in
+  let roots = Array.make n (-1) in
+  let topo = Circuit.topological_order c in
+  (* Walk sinks-first so a node's unique consumer already knows its
+     root. *)
+  for idx = n - 1 downto 0 do
+    let i = topo.(idx) in
+    let fo = Circuit.fanouts c i in
+    roots.(i) <-
+      (if Array.length fo = 1 && not (Circuit.is_output c i) then roots.(fo.(0)) else i)
+  done;
+  roots
+
+let region_of_fault _c roots (f : Fault.t) =
+  match f.site with
+  | Fault.Branch { gate; _ } -> roots.(gate)
+  | Fault.Stem s -> roots.(s)
+
+(* Greedy maximal independent set per region, independence judged by
+   disjoint detection sets over U. *)
+let independent_sets (t : Adi_index.t) =
+  let c = Fault_list.circuit t.fault_list in
+  let roots = ffr_roots c in
+  let regions = Hashtbl.create 64 in
+  for fi = 0 to Fault_list.count t.fault_list - 1 do
+    let r = region_of_fault c roots (Fault_list.get t.fault_list fi) in
+    let cur = Option.value ~default:[] (Hashtbl.find_opt regions r) in
+    Hashtbl.replace regions r (fi :: cur)
+  done;
+  let sets = ref [] in
+  Hashtbl.iter
+    (fun _root members ->
+      (* Consider detected faults in increasing index order so the
+         greedy choice is deterministic. *)
+      let members = List.sort compare members in
+      let chosen = ref [] in
+      let union = Bitvec.create (Patterns.count t.patterns) in
+      List.iter
+        (fun fi ->
+          let d = t.dsets.(fi) in
+          if not (Bitvec.is_zero d) then begin
+            let overlap =
+              let inter = Bitvec.copy d in
+              Bitvec.inter_into ~dst:inter union;
+              not (Bitvec.is_zero inter)
+            in
+            if not overlap then begin
+              chosen := fi :: !chosen;
+              Bitvec.union_into ~dst:union d
+            end
+          end)
+        members;
+      if !chosen <> [] then sets := List.rev !chosen :: !sets)
+    regions;
+  !sets
+
+let order (t : Adi_index.t) =
+  let nf = Fault_list.count t.fault_list in
+  let sets = independent_sets t in
+  (* Larger sets first; inside a set and between equal sizes, smaller
+     fault index first. *)
+  let ranked =
+    List.stable_sort
+      (fun a b ->
+        let c0 = compare (List.length b) (List.length a) in
+        if c0 <> 0 then c0 else compare a b)
+      sets
+  in
+  let placed = Array.make nf false in
+  let out = ref [] in
+  let push fi =
+    if not placed.(fi) then begin
+      placed.(fi) <- true;
+      out := fi :: !out
+    end
+  in
+  List.iter (fun set -> List.iter push set) ranked;
+  for fi = 0 to nf - 1 do
+    push fi
+  done;
+  Array.of_list (List.rev !out)

@@ -1,0 +1,27 @@
+(** The fault-ordering baseline of COMPACTEST (the paper's reference
+    [2]): faults are grouped by fanout-free region (FFR), a maximal set
+    of pairwise {e independent} faults is built per region, and faults
+    in larger independent sets are targeted first — they are the faults
+    whose tests are provably all necessary.
+
+    Independence here is approximated from the same random vector set
+    the ADI uses: two faults are treated as independent when their
+    detection sets over [U] are disjoint (no vector detects both).
+    This under-approximates true independence on faults [U] misses, but
+    needs no extra machinery and errs conservatively; DESIGN.md lists
+    it as part of the baseline substitution. *)
+
+val ffr_roots : Circuit.t -> int array
+(** Per node, the root of its fanout-free region: the first node
+    reached by following single-fanout edges forward (a node with
+    multiple fanouts, with none, or observed as a primary output is its
+    own root). *)
+
+val region_of_fault : Circuit.t -> int array -> Fault.t -> int
+(** The FFR a fault belongs to: branch faults live in the consuming
+    gate's region, stem faults in their node's region. *)
+
+val order : Adi_index.t -> int array
+(** The [Findep] permutation: faults of larger per-region independent
+    sets first (ties towards smaller fault index); faults not in any
+    independent set follow in original order. *)

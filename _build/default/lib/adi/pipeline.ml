@@ -1,0 +1,33 @@
+type setup = {
+  circuit : Circuit.t;
+  faults : Fault_list.t;
+  collapse : Collapse.result;
+  selection : Adi_index.u_selection;
+  adi : Adi_index.t;
+  seed : int;
+}
+
+let prepare ?(seed = 1) ?(pool = 10_000) ?(target_coverage = 0.9) circuit =
+  let circuit =
+    if Circuit.has_state circuit then fst (Scan.combinational circuit) else circuit
+  in
+  let collapse = Collapse.equivalence (Fault_list.full circuit) in
+  let faults = collapse.Collapse.representatives in
+  let rng = Util.Rng.create seed in
+  let selection = Adi_index.select_u ~pool ~target_coverage rng faults in
+  let adi = Adi_index.compute faults selection.Adi_index.u in
+  { circuit; faults; collapse; selection; adi; seed }
+
+type run = { kind : Ordering.kind; order : int array; engine : Engine.result }
+
+let run_order ?config setup kind =
+  let config =
+    match config with
+    | Some c -> c
+    | None -> { Engine.default_config with seed = setup.seed }
+  in
+  let order = Ordering.order kind setup.adi in
+  let engine = Engine.run ~config setup.faults ~order in
+  { kind; order; engine }
+
+let test_count run = Patterns.count run.engine.Engine.tests

@@ -1,0 +1,33 @@
+(** End-to-end flow: circuit -> full-scan model -> collapsed faults ->
+    vector set U -> ADI -> fault order -> test generation.
+
+    This is the library's main entry point; the experiment harness and
+    the examples are thin wrappers over it. *)
+
+type setup = {
+  circuit : Circuit.t;  (** the combinational (full-scan) model *)
+  faults : Fault_list.t;  (** equivalence-collapsed fault universe *)
+  collapse : Collapse.result;
+  selection : Adi_index.u_selection;
+  adi : Adi_index.t;
+  seed : int;
+}
+
+val prepare :
+  ?seed:int -> ?pool:int -> ?target_coverage:float -> Circuit.t -> setup
+(** Build everything up to the ADI values.  Sequential circuits are put
+    through {!Scan.combinational} first.  Defaults: [seed = 1],
+    [pool = 10_000], [target_coverage = 0.9]. *)
+
+type run = {
+  kind : Ordering.kind;
+  order : int array;
+  engine : Engine.result;
+}
+
+val run_order : ?config:Engine.config -> setup -> Ordering.kind -> run
+(** Order the faults and generate a test set.  The engine's random-fill
+    seed defaults to the setup seed so different orders differ only in
+    the fault sequence, as in the paper's comparison. *)
+
+val test_count : run -> int

@@ -1,0 +1,1 @@
+lib/atpg/compact.ml: Array Circuit Fault_list Faultsim Goodsim Int64 List Patterns Util

@@ -1,0 +1,1 @@
+lib/atpg/dalg.ml: Array Circuit Fault Five Gate List Option Podem Scoap Ternary

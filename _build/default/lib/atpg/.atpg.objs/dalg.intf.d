@@ -1,0 +1,1 @@
+lib/atpg/dalg.mli: Circuit Fault Podem Scoap

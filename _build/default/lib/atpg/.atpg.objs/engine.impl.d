@@ -1,0 +1,1 @@
+lib/atpg/engine.ml: Array Circuit Dalg Fault_list Faultsim Goodsim Int64 List Patterns Podem Scoap Ternary Unix Util

@@ -1,0 +1,1 @@
+lib/atpg/engine.mli: Fault_list Patterns Podem Ternary Util

@@ -1,0 +1,1 @@
+lib/atpg/irredundant.ml: Array Circuit Collapse Fault Fault_list Faultsim Gate List Patterns Podem Rewrite Scoap Util

@@ -1,0 +1,1 @@
+lib/atpg/irredundant.mli: Circuit

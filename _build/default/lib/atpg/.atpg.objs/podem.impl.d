@@ -1,0 +1,1 @@
+lib/atpg/podem.ml: Array Circuit Fault Five Gate List Option Scoap Ternary

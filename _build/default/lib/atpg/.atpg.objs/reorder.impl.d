@@ -1,0 +1,1 @@
+lib/atpg/reorder.ml: Array Fault_list Faultsim Patterns Util

@@ -1,0 +1,1 @@
+lib/atpg/reorder.mli: Fault_list Patterns

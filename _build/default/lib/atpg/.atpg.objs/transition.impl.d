@@ -1,0 +1,1 @@
+lib/atpg/transition.ml: Array Circuit Engine Fault Faultsim Goodsim List Podem Scoap Util

@@ -1,0 +1,1 @@
+lib/atpg/transition.mli: Circuit Scoap

@@ -1,0 +1,238 @@
+module Rng = Util.Rng
+
+type generator = Podem_gen | Dalg_gen
+
+type config = { backtrack_limit : int; seed : int; generator : generator }
+
+let default_config = { backtrack_limit = 256; seed = 0xAD1; generator = Podem_gen }
+
+type result = {
+  tests : Patterns.t;
+  detected_by : int array;
+  targeted : int array;
+  untestable : int list;
+  aborted : int list;
+  stats : Podem.stats;
+  runtime_s : float;
+}
+
+let fill_cube rng cube =
+  Array.map
+    (function Ternary.Zero -> false | Ternary.One -> true | Ternary.X -> Rng.bool rng)
+    cube
+
+let check_order n order =
+  if Array.length order <> n then invalid_arg "Engine.run: order length mismatch";
+  let seen = Array.make n false in
+  Array.iter
+    (fun i ->
+      if i < 0 || i >= n || seen.(i) then invalid_arg "Engine.run: order is not a permutation";
+      seen.(i) <- true)
+    order
+
+let run ?(config = default_config) fl ~order =
+  let c = Fault_list.circuit fl in
+  let nf = Fault_list.count fl in
+  check_order nf order;
+  let t0 = Unix.gettimeofday () in
+  let scoap = Scoap.compute c in
+  let ws = Faultsim.workspace c in
+  let rng = Rng.create config.seed in
+  let stats = Podem.fresh_stats () in
+  let ctx = Podem.context ~stats c scoap in
+  let detected_by = Array.make nf (-1) in
+  let untestable = ref [] and aborted = ref [] in
+  let tests = ref [] and targeted = ref [] and n_tests = ref 0 in
+  let n_inputs = Array.length (Circuit.inputs c) in
+  let good = Array.make (Circuit.node_count c) 0L in
+  (* Fault-simulate one vector against all live faults and drop hits. *)
+  let simulate_and_drop vec test_idx =
+    let pats = Patterns.of_vectors ~n_inputs [| vec |] in
+    Goodsim.block_into c pats 0 good;
+    for fi = 0 to nf - 1 do
+      if detected_by.(fi) < 0 then
+        if Int64.logand (Faultsim.detect_block ws ~good (Fault_list.get fl fi)) 1L = 1L then
+          detected_by.(fi) <- test_idx
+    done
+  in
+  Array.iter
+    (fun fi ->
+      if detected_by.(fi) < 0 then begin
+        match
+          (match config.generator with
+          | Podem_gen ->
+              Podem.generate_in ~backtrack_limit:config.backtrack_limit ctx
+                (Fault_list.get fl fi)
+          | Dalg_gen ->
+              Dalg.generate ~backtrack_limit:config.backtrack_limit ~stats c scoap
+                (Fault_list.get fl fi))
+        with
+        | Podem.Untestable -> untestable := fi :: !untestable
+        | Podem.Aborted -> aborted := fi :: !aborted
+        | Podem.Test cube ->
+            let vec = fill_cube rng cube in
+            let idx = !n_tests in
+            tests := vec :: !tests;
+            targeted := fi :: !targeted;
+            incr n_tests;
+            simulate_and_drop vec idx;
+            (* Five-valued D-propagation is pessimistic, so the cube
+               detects the target for every fill of its don't-cares. *)
+            assert (detected_by.(fi) = idx)
+      end)
+    order;
+  let tests_arr = Array.of_list (List.rev !tests) in
+  {
+    tests = Patterns.of_vectors ~n_inputs tests_arr;
+    detected_by;
+    targeted = Array.of_list (List.rev !targeted);
+    untestable = List.rev !untestable;
+    aborted = List.rev !aborted;
+    stats;
+    runtime_s = Unix.gettimeofday () -. t0;
+  }
+
+let run_n_detect ?(config = default_config) ~n fl ~order =
+  if n <= 0 then invalid_arg "Engine.run_n_detect: n must be positive";
+  let c = Fault_list.circuit fl in
+  let nf = Fault_list.count fl in
+  check_order nf order;
+  let t0 = Unix.gettimeofday () in
+  let scoap = Scoap.compute c in
+  let ws = Faultsim.workspace c in
+  let rng = Rng.create config.seed in
+  let stats = Podem.fresh_stats () in
+  let ctx = Podem.context ~stats c scoap in
+  let counts = Array.make nf 0 in
+  let detected_by = Array.make nf (-1) in
+  let untestable = ref [] and aborted = ref [] in
+  let tests = ref [] and targeted = ref [] and n_tests = ref 0 in
+  let n_inputs = Array.length (Circuit.inputs c) in
+  let good = Array.make (Circuit.node_count c) 0L in
+  let hopeless = Array.make nf false in
+  let simulate vec test_idx =
+    let pats = Patterns.of_vectors ~n_inputs [| vec |] in
+    Goodsim.block_into c pats 0 good;
+    for fi = 0 to nf - 1 do
+      if counts.(fi) < n then
+        if Int64.logand (Faultsim.detect_block ws ~good (Fault_list.get fl fi)) 1L = 1L
+        then begin
+          counts.(fi) <- counts.(fi) + 1;
+          if detected_by.(fi) < 0 then detected_by.(fi) <- test_idx
+        end
+    done
+  in
+  for pass = 1 to n do
+    Array.iter
+      (fun fi ->
+        if counts.(fi) < pass && not hopeless.(fi) then begin
+          match
+            Podem.generate_in ~backtrack_limit:config.backtrack_limit ctx
+              (Fault_list.get fl fi)
+          with
+          | Podem.Untestable ->
+              hopeless.(fi) <- true;
+              if pass = 1 then untestable := fi :: !untestable
+          | Podem.Aborted ->
+              hopeless.(fi) <- true;
+              if pass = 1 then aborted := fi :: !aborted
+          | Podem.Test cube ->
+              let vec = fill_cube rng cube in
+              let idx = !n_tests in
+              tests := vec :: !tests;
+              targeted := fi :: !targeted;
+              incr n_tests;
+              simulate vec idx
+        end)
+      order
+  done;
+  let tests_arr = Array.of_list (List.rev !tests) in
+  {
+    tests = Patterns.of_vectors ~n_inputs tests_arr;
+    detected_by;
+    targeted = Array.of_list (List.rev !targeted);
+    untestable = List.rev !untestable;
+    aborted = List.rev !aborted;
+    stats;
+    runtime_s = Unix.gettimeofday () -. t0;
+  }
+
+let run_compacting ?(config = default_config) ?(secondary_limit = 50) fl ~order =
+  let c = Fault_list.circuit fl in
+  let nf = Fault_list.count fl in
+  check_order nf order;
+  let t0 = Unix.gettimeofday () in
+  let scoap = Scoap.compute c in
+  let ws = Faultsim.workspace c in
+  let rng = Rng.create config.seed in
+  let stats = Podem.fresh_stats () in
+  let ctx = Podem.context ~stats c scoap in
+  let detected_by = Array.make nf (-1) in
+  let untestable = ref [] and aborted = ref [] in
+  let tests = ref [] and targeted = ref [] and n_tests = ref 0 in
+  let n_inputs = Array.length (Circuit.inputs c) in
+  let good = Array.make (Circuit.node_count c) 0L in
+  let simulate_and_drop vec test_idx =
+    let pats = Patterns.of_vectors ~n_inputs [| vec |] in
+    Goodsim.block_into c pats 0 good;
+    for fi = 0 to nf - 1 do
+      if detected_by.(fi) < 0 then
+        if Int64.logand (Faultsim.detect_block ws ~good (Fault_list.get fl fi)) 1L = 1L then
+          detected_by.(fi) <- test_idx
+    done
+  in
+  let cube_full cube = Array.for_all (fun t -> t <> Ternary.X) cube in
+  Array.iteri
+    (fun pos fi ->
+      if detected_by.(fi) < 0 then begin
+        match
+          Podem.generate_in ~backtrack_limit:config.backtrack_limit ctx (Fault_list.get fl fi)
+        with
+        | Podem.Untestable -> untestable := fi :: !untestable
+        | Podem.Aborted -> aborted := fi :: !aborted
+        | Podem.Test cube ->
+            (* Secondary targets: later undetected faults, under the
+               primary cube's assignments. *)
+            let cube = ref cube in
+            let attempts = ref 0 in
+            let rec secondary i =
+              if i < nf && !attempts < secondary_limit && not (cube_full !cube) then begin
+                let gi = order.(i) in
+                if detected_by.(gi) < 0 && gi <> fi then begin
+                  incr attempts;
+                  match
+                    Podem.generate_in ~backtrack_limit:config.backtrack_limit ~fixed:!cube ctx
+                      (Fault_list.get fl gi)
+                  with
+                  | Podem.Test merged -> cube := merged
+                  | Podem.Untestable | Podem.Aborted -> ()
+                end;
+                secondary (i + 1)
+              end
+            in
+            secondary (pos + 1);
+            let vec = fill_cube rng !cube in
+            let idx = !n_tests in
+            tests := vec :: !tests;
+            targeted := fi :: !targeted;
+            incr n_tests;
+            simulate_and_drop vec idx;
+            assert (detected_by.(fi) = idx)
+      end)
+    order;
+  let tests_arr = Array.of_list (List.rev !tests) in
+  {
+    tests = Patterns.of_vectors ~n_inputs tests_arr;
+    detected_by;
+    targeted = Array.of_list (List.rev !targeted);
+    untestable = List.rev !untestable;
+    aborted = List.rev !aborted;
+    stats;
+    runtime_s = Unix.gettimeofday () -. t0;
+  }
+
+let coverage fl result =
+  let nf = Fault_list.count fl in
+  let n_unt = List.length result.untestable in
+  let detected = Array.fold_left (fun acc d -> if d >= 0 then acc + 1 else acc) 0 result.detected_by in
+  if nf = n_unt then 1.0 else float_of_int detected /. float_of_int (nf - n_unt)

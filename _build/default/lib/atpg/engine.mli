@@ -1,0 +1,62 @@
+(** The test-generation engine: targets faults in a given order, with
+    fault dropping and random fill, and {e no} dynamic compaction —
+    exactly the procedure of the paper's Section 4.
+
+    For each not-yet-detected fault, in order: run PODEM; fill the
+    returned cube's don't-cares randomly; fault-simulate the resulting
+    vector against all live faults and drop everything it detects.
+    Faults proven untestable or aborted are recorded and skipped. *)
+
+type generator = Podem_gen | Dalg_gen
+
+type config = {
+  backtrack_limit : int;  (** search backtrack cap (default 256) *)
+  seed : int;  (** random-fill seed (default 0xAD1) *)
+  generator : generator;  (** which ATPG drives the loop (default PODEM) *)
+}
+
+val default_config : config
+
+type result = {
+  tests : Patterns.t;  (** generated vectors, in generation order *)
+  detected_by : int array;
+      (** per fault index: the test (position in [tests]) that first
+          detected it, or -1 *)
+  targeted : int array;
+      (** per test: the fault index the test was generated for *)
+  untestable : int list;  (** proven redundant faults *)
+  aborted : int list;  (** backtrack-limit hits *)
+  stats : Podem.stats;  (** accumulated search statistics *)
+  runtime_s : float;  (** wall-clock generation time *)
+}
+
+val run : ?config:config -> Fault_list.t -> order:int array -> result
+(** [run fl ~order] generates a test set.  [order] is a permutation of
+    fault indices (see {!Ordering}); the engine considers faults in
+    exactly this order.
+    @raise Invalid_argument if [order] is not a permutation of
+    [0 .. count-1]. *)
+
+val coverage : Fault_list.t -> result -> float
+(** Fraction of faults detected, over faults not proven untestable. *)
+
+val run_n_detect :
+  ?config:config -> n:int -> Fault_list.t -> order:int array -> result
+(** n-detect generation: keep targeting faults until each is detected
+    by [n] {e distinct} tests (or its test generation fails).  The
+    result's [detected_by] holds first detections; tests added by later
+    passes only raise multiplicity.  n-detect sets drive the
+    n-detection ADI estimate and are standard practice for defect
+    coverage beyond the stuck-at model. *)
+
+val run_compacting :
+  ?config:config -> ?secondary_limit:int -> Fault_list.t -> order:int array -> result
+(** The engine with classic {e dynamic compaction} (the paper's
+    reference [1]): after each primary test cube, up to
+    [secondary_limit] (default 50) further undetected faults are
+    targeted under the cube's assignments, merging every success into
+    the vector before random fill.  This is the costly alternative the
+    ADI ordering competes with; ablation A8 compares them. *)
+
+val fill_cube : Util.Rng.t -> Ternary.t array -> bool array
+(** Replace don't-cares with random values. *)

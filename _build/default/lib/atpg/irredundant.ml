@@ -1,0 +1,60 @@
+module Rng = Util.Rng
+
+type report = { rounds : int; removed : int; aborted_last : int }
+
+let subst_of_fault (f : Fault.t) =
+  match f.site with
+  | Fault.Stem s -> Rewrite.Node_const (s, f.stuck_at)
+  | Fault.Branch { gate; pin } -> Rewrite.Pin_const { gate; pin; value = f.stuck_at }
+
+(* Some undetectable faults cannot be rewritten away: a stem on a node
+   nothing consumes (typically a primary input whose cone died), or a
+   stem on a constant stuck at its own value.  Substituting them leaves
+   the circuit unchanged, so treating them as removable would keep the
+   fixpoint loop spinning forever. *)
+let substitution_is_effective c (f : Fault.t) =
+  match f.site with
+  | Fault.Branch _ -> true
+  | Fault.Stem s -> (
+      Circuit.fanout_count c s > 0
+      ||
+      match Circuit.kind c s with
+      | Gate.Const0 -> Circuit.is_output c s && f.stuck_at
+      | Gate.Const1 -> Circuit.is_output c s && not f.stuck_at
+      | _ -> Circuit.is_output c s)
+
+let remove ?(backtrack_limit = 4096) ?(random_vectors = 2048) ?(seed = 7) ?(max_rounds = 16)
+    circuit =
+  if Circuit.has_state circuit then
+    invalid_arg "Irredundant.remove: circuit must be combinational";
+  let rng = Rng.create seed in
+  let removed = ref 0 in
+  let rec round c r =
+    let fl = Collapse.collapsed c in
+    let n_inputs = Array.length (Circuit.inputs c) in
+    (* Random filter: anything detected by random vectors is testable. *)
+    let pats = Patterns.random rng ~n_inputs ~count:random_vectors in
+    let { Faultsim.first_detection; _ } = Faultsim.with_dropping fl pats in
+    let scoap = Scoap.compute c in
+    let ctx = Podem.context c scoap in
+    let untestable = ref [] and aborted = ref 0 in
+    Array.iteri
+      (fun fi d ->
+        if d < 0 then
+          match Podem.generate_in ~backtrack_limit ctx (Fault_list.get fl fi) with
+          | Podem.Test _ -> ()
+          | Podem.Aborted -> incr aborted
+          | Podem.Untestable ->
+              let f = Fault_list.get fl fi in
+              if substitution_is_effective c f then untestable := f :: !untestable)
+      first_detection;
+    match !untestable with
+    | [] -> (c, { rounds = r; removed = !removed; aborted_last = !aborted })
+    | faults ->
+        removed := !removed + List.length faults;
+        let c' = Rewrite.apply c (List.map subst_of_fault faults) in
+        if r >= max_rounds then
+          (c', { rounds = r; removed = !removed; aborted_last = !aborted })
+        else round c' (r + 1)
+  in
+  round circuit 1

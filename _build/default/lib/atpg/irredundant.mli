@@ -1,0 +1,36 @@
+(** Redundancy removal.
+
+    A stuck-at fault that no input vector can detect marks logic that
+    does not influence any output: tying the faulted line to the stuck
+    value leaves the (good-machine) function unchanged.  This pass
+    finds proven-untestable faults with PODEM and rewrites them away,
+    iterating until no proven redundancy remains — the process behind
+    the "irredundant versions" ([ircirc]) the paper evaluates on.
+
+    Candidate faults are pre-filtered by random-pattern simulation so
+    PODEM only runs on faults random vectors cannot detect.
+
+    Substitutions found in one round are applied in a batch.  On a
+    batch the rewritten circuit need not be functionally equivalent to
+    the input (two redundancies can cover each other), which is
+    acceptable here: the goal is {e an} irredundant circuit of a given
+    size, not function preservation — matching how the synthetic suite
+    uses it.  Faults whose search hits the backtrack limit are left
+    alone (they are reported, not removed). *)
+
+type report = {
+  rounds : int;
+  removed : int;  (** substitutions applied over all rounds *)
+  aborted_last : int;  (** unresolved (backtrack-limited) faults in the last round *)
+}
+
+val remove :
+  ?backtrack_limit:int ->
+  ?random_vectors:int ->
+  ?seed:int ->
+  ?max_rounds:int ->
+  Circuit.t ->
+  Circuit.t * report
+(** Defaults: [backtrack_limit = 4096], [random_vectors = 2048],
+    [seed = 7], [max_rounds = 16].  Requires a combinational
+    circuit. *)

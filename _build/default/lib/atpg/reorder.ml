@@ -1,0 +1,37 @@
+module Bitvec = Util.Bitvec
+
+let greedy fl pats =
+  let n_tests = Patterns.count pats in
+  let dsets = Faultsim.detection_sets fl pats in
+  (* Transpose: per test, the set of faults it detects. *)
+  let nf = Fault_list.count fl in
+  let per_test = Array.init n_tests (fun _ -> Bitvec.create nf) in
+  Array.iteri (fun fi d -> Bitvec.iter_set d (fun t -> Bitvec.set per_test.(t) fi true)) dsets;
+  let remaining = Array.map Bitvec.copy per_test in
+  let used = Array.make n_tests false in
+  let order = Array.make n_tests 0 in
+  for pos = 0 to n_tests - 1 do
+    let best = ref (-1) and best_cnt = ref (-1) in
+    for t = 0 to n_tests - 1 do
+      if not used.(t) then begin
+        let cnt = Bitvec.popcount remaining.(t) in
+        if cnt > !best_cnt then begin
+          best := t;
+          best_cnt := cnt
+        end
+      end
+    done;
+    let t = !best in
+    used.(t) <- true;
+    order.(pos) <- t;
+    (* Retire the newly covered faults from every remaining test. *)
+    if !best_cnt > 0 then
+      for t' = 0 to n_tests - 1 do
+        if not used.(t') then Bitvec.diff_into ~dst:remaining.(t') per_test.(t)
+      done
+  done;
+  order
+
+let apply pats order =
+  let rows = Array.map (fun t -> Patterns.vector pats t) order in
+  Patterns.of_vectors ~n_inputs:(Patterns.n_inputs pats) rows

@@ -1,0 +1,103 @@
+module Rng = Util.Rng
+
+type fault = { node : int; rising : bool }
+
+let all_faults c =
+  let acc = ref [] in
+  for n = Circuit.node_count c - 1 downto 0 do
+    acc := { node = n; rising = true } :: { node = n; rising = false } :: !acc
+  done;
+  (* Built backwards: restore node-major, rise-first order. *)
+  let arr = Array.of_list !acc in
+  Array.sort (fun a b ->
+      if a.node <> b.node then compare a.node b.node else compare b.rising a.rising)
+    arr;
+  arr
+
+(* Under v2, a slow-to-rise node behaves stuck at its initial 0 (a
+   slow-to-fall at its initial 1): stuck polarity = not rising. *)
+let detects c f ~v1 ~v2 =
+  let initial = (Goodsim.eval_scalar c v1).(f.node) in
+  initial = not f.rising && Faultsim.detects c (Fault.stem f.node (not f.rising)) v2
+
+type outcome = Pair of bool array * bool array | Untestable | Aborted
+
+let find_initialiser ?(attempts = 512) rng c f =
+  (* v1 only needs node = initial value; try the opposite stuck-at cube
+     first (its excitation forces exactly that), then random search. *)
+  let want = not f.rising in
+  let scoap = Scoap.compute c in
+  let from_cube () =
+    match Podem.generate c scoap (Fault.stem f.node (not want)) with
+    | Podem.Test cube -> Some (Engine.fill_cube rng cube)
+    | Podem.Untestable | Podem.Aborted -> None
+  in
+  let n_inputs = Array.length (Circuit.inputs c) in
+  let rec random k =
+    if k = 0 then None
+    else begin
+      let v = Array.init n_inputs (fun _ -> Rng.bool rng) in
+      if (Goodsim.eval_scalar c v).(f.node) = want then Some v else random (k - 1)
+    end
+  in
+  match from_cube () with
+  | Some v when (Goodsim.eval_scalar c v).(f.node) = want -> Some v
+  | _ -> random attempts
+
+let generate ?(backtrack_limit = 256) ?(seed = 0xDE1A) c scoap f =
+  let rng = Rng.create seed in
+  match Podem.generate ~backtrack_limit c scoap (Fault.stem f.node (not f.rising)) with
+  | Podem.Untestable -> Untestable
+  | Podem.Aborted -> Aborted
+  | Podem.Test cube -> (
+      let v2 = Engine.fill_cube rng cube in
+      match find_initialiser rng c f with
+      | Some v1 -> Pair (v1, v2)
+      | None -> Untestable)
+
+type result = {
+  pairs : (bool array * bool array) array;
+  detected : int;
+  untestable : int;
+  aborted : int;
+  total : int;
+}
+
+let run ?(backtrack_limit = 256) ?(seed = 0xDE1A) c =
+  if Circuit.has_state c then invalid_arg "Transition.run: circuit must be combinational";
+  let scoap = Scoap.compute c in
+  let faults = all_faults c in
+  let total = Array.length faults in
+  let caught = Array.make total false in
+  let pairs = ref [] in
+  let detected = ref 0 and untestable = ref 0 and aborted = ref 0 in
+  let drop v1 v2 =
+    Array.iteri
+      (fun i f ->
+        if (not caught.(i)) && detects c f ~v1 ~v2 then begin
+          caught.(i) <- true;
+          incr detected
+        end)
+      faults
+  in
+  Array.iteri
+    (fun i f ->
+      if not caught.(i) then
+        match generate ~backtrack_limit ~seed:(seed + i) c scoap f with
+        | Untestable -> incr untestable
+        | Aborted -> incr aborted
+        | Pair (v1, v2) ->
+            pairs := (v1, v2) :: !pairs;
+            drop v1 v2)
+    faults;
+  {
+    pairs = Array.of_list (List.rev !pairs);
+    detected = !detected;
+    untestable = !untestable;
+    aborted = !aborted;
+    total;
+  }
+
+let coverage r =
+  let target = r.total - r.untestable in
+  if target <= 0 then 1.0 else float_of_int r.detected /. float_of_int target

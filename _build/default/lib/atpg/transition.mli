@@ -1,0 +1,48 @@
+(** Transition (gross-delay) faults — an extension beyond the paper's
+    stuck-at model.
+
+    A slow-to-rise fault at node [n] is detected by a vector pair
+    [(v1, v2)]: [v1] initialises [n] to 0, [v2] drives it to 1 and
+    propagates the late edge — equivalently, under [v2] the fault
+    behaves as [n] stuck-at-0.  (Dually for slow-to-fall.)  In a
+    full-scan circuit the pair is applied by launch-on-capture; here we
+    model the combinational view: any pair of PI vectors.
+
+    Pair generation reuses the stuck-at machinery: [v2] is a PODEM test
+    for the corresponding stuck-at fault (its excitation constraint
+    already forces the final value), and [v1] justifies the initial
+    value (via the opposite-polarity stuck-at test cube, falling back
+    to random search). *)
+
+type fault = { node : int; rising : bool }
+(** Slow-to-rise ([rising = true]) or slow-to-fall at a node. *)
+
+val all_faults : Circuit.t -> fault array
+(** Two transition faults per node, node-major, rise before fall. *)
+
+val detects : Circuit.t -> fault -> v1:bool array -> v2:bool array -> bool
+(** Does the pair detect the fault?  (Initial value correct under [v1],
+    and the late value propagates under [v2].) *)
+
+type outcome =
+  | Pair of bool array * bool array  (** a detecting (v1, v2) *)
+  | Untestable  (** the stuck-at view is untestable, or no initialising vector exists *)
+  | Aborted
+
+val generate : ?backtrack_limit:int -> ?seed:int -> Circuit.t -> Scoap.t -> fault -> outcome
+(** Generate a vector pair for one transition fault. *)
+
+type result = {
+  pairs : (bool array * bool array) array;
+  detected : int;
+  untestable : int;
+  aborted : int;
+  total : int;
+}
+
+val run : ?backtrack_limit:int -> ?seed:int -> Circuit.t -> result
+(** Pair generation with fault dropping (each new pair is simulated
+    against all remaining transition faults). *)
+
+val coverage : result -> float
+(** [detected / (total - untestable)]. *)

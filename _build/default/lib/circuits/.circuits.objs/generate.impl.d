@@ -1,0 +1,1 @@
+lib/circuits/generate.ml: Array Circuit Gate Hashtbl List Option Printf Util

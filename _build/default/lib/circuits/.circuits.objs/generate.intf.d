@@ -1,0 +1,1 @@
+lib/circuits/generate.mli: Circuit Util

@@ -1,0 +1,1 @@
+lib/circuits/kiss.ml: Array Circuit Gate List Printf String Twolevel

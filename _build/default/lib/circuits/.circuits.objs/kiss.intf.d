@@ -1,0 +1,1 @@
+lib/circuits/kiss.mli: Circuit

@@ -1,0 +1,1 @@
+lib/circuits/library.ml: Array Bench_format Circuit Gate List Printf

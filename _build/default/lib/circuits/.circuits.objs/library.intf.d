@@ -1,0 +1,1 @@
+lib/circuits/library.mli: Circuit

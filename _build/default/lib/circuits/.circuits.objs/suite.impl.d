@@ -1,0 +1,1 @@
+lib/circuits/suite.ml: Circuit Generate Hashtbl Irredundant Kiss Library List Printf Util

@@ -1,0 +1,1 @@
+lib/circuits/twolevel.ml: Array Circuit Gate Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/circuits/twolevel.mli: Circuit

@@ -1,0 +1,133 @@
+module Rng = Util.Rng
+module B = Circuit.Builder
+
+type profile = {
+  pis : int;
+  gates : int;
+  outputs : int;
+  locality : float;
+  reconvergence : float;
+}
+
+let profile ?outputs ~pis ~gates () =
+  if pis <= 0 || gates <= 0 then invalid_arg "Generate.profile: pis and gates must be positive";
+  let outputs = match outputs with Some o -> max 1 o | None -> max 2 (pis / 2) in
+  { pis; gates; outputs; locality = 0.6; reconvergence = 0.2 }
+
+(* Weighted gate-kind mix, roughly the profile of synthesised benchmark
+   logic: NAND-rich, with enough parity gates that fault effects
+   propagate (XOR never masks), which keeps random logic testable. *)
+let pick_kind rng =
+  let r = Rng.int rng 100 in
+  if r < 25 then Gate.Nand
+  else if r < 40 then Gate.Nor
+  else if r < 55 then Gate.And
+  else if r < 70 then Gate.Or
+  else if r < 80 then Gate.Not
+  else if r < 90 then Gate.Xor
+  else if r < 95 then Gate.Xnor
+  else Gate.Buf
+
+let pick_arity rng k =
+  match k with
+  | Gate.Not | Gate.Buf -> 1
+  | Gate.Xor | Gate.Xnor -> 2
+  | _ ->
+      let r = Rng.int rng 10 in
+      if r < 7 then 2 else if r < 9 then 3 else 4
+
+let random ?(seed = 0) ~name prof =
+  let rng = Rng.create seed in
+  let b = B.create ~title:name () in
+  let n_total = prof.pis + prof.gates in
+  let nodes = Array.make n_total 0 in
+  let fanout_count = Array.make n_total 0 in
+  for i = 0 to prof.pis - 1 do
+    nodes.(i) <- B.input b (Printf.sprintf "pi%d" i)
+  done;
+  let total = ref prof.pis in
+  for g = 0 to prof.gates - 1 do
+    let k = pick_kind rng in
+    let arity = min (pick_arity rng k) !total in
+    (* Draw distinct fanins; locality biases towards recent nodes to
+       deepen the circuit, the rest create reconvergent fanout. *)
+    let window = max 8 (!total / 4) in
+    let chosen = ref [] in
+    let attempts = ref 0 in
+    while List.length !chosen < arity && !attempts < 64 do
+      incr attempts;
+      let idx =
+        if Rng.float rng 1.0 < prof.locality && !total > window then
+          !total - 1 - Rng.int rng window
+        else Rng.int rng !total
+      in
+      if not (List.mem idx !chosen) then chosen := idx :: !chosen
+    done;
+    let rec pad i =
+      if List.length !chosen < arity && i < !total then begin
+        if not (List.mem i !chosen) then chosen := i :: !chosen;
+        pad (i + 1)
+      end
+    in
+    pad 0;
+    let chosen = List.rev !chosen in
+    List.iter (fun idx -> fanout_count.(idx) <- fanout_count.(idx) + 1) chosen;
+    nodes.(!total) <- B.gate b k (Printf.sprintf "g%d" g) (List.map (fun i -> nodes.(i)) chosen);
+    incr total
+  done;
+  (* Every sink is observed, so no logic is structurally dead.  Sinks
+     occur naturally at roughly a quarter of the nodes; [prof.outputs]
+     only acts as a lower bound, which unbiased draws always exceed. *)
+  for i = 0 to n_total - 1 do
+    if fanout_count.(i) = 0 then B.mark_output b nodes.(i)
+  done;
+  B.finish b
+
+let revive_dead_inputs rng c =
+  let dead =
+    Array.to_list (Circuit.inputs c)
+    |> List.filter (fun pi -> Circuit.fanout_count c pi = 0 && not (Circuit.is_output c pi))
+  in
+  if dead = [] then c
+  else begin
+    (* Patch sites: live gates with at least one fanin. *)
+    let gates = ref [] in
+    Circuit.iter_nodes c (fun n ->
+        if Array.length (Circuit.fanins c n) > 0 && Circuit.kind c n <> Gate.Dff then
+          gates := n :: !gates);
+    let gates = Array.of_list !gates in
+    if Array.length gates = 0 then c
+    else begin
+      (* dead PI -> gate whose pin 0 gets an XOR patch *)
+      let patch = Hashtbl.create 8 in
+      List.iter
+        (fun pi ->
+          let g = gates.(Rng.int rng (Array.length gates)) in
+          let cur = Option.value ~default:[] (Hashtbl.find_opt patch g) in
+          Hashtbl.replace patch g (pi :: cur))
+        dead;
+      let b = B.create ~title:(Circuit.title c) () in
+      let ids = Array.make (Circuit.node_count c) (-1) in
+      Array.iter (fun pi -> ids.(pi) <- B.input b (Circuit.name c pi)) (Circuit.inputs c);
+      Array.iter
+        (fun n ->
+          if ids.(n) < 0 then
+            match Circuit.kind c n with
+            | Gate.Input -> ()
+            | k ->
+                let fanins = Array.map (fun f -> ids.(f)) (Circuit.fanins c n) in
+                (match Hashtbl.find_opt patch n with
+                | Some pis ->
+                    let x =
+                      B.gate b Gate.Xor
+                        (Circuit.name c n ^ "_rv")
+                        (fanins.(0) :: List.map (fun pi -> ids.(pi)) pis)
+                    in
+                    fanins.(0) <- x
+                | None -> ());
+                ids.(n) <- B.gate b k (Circuit.name c n) (Array.to_list fanins))
+        (Circuit.topological_order c);
+      Array.iter (fun o -> B.mark_output b ids.(o)) (Circuit.outputs c);
+      B.finish b
+    end
+  end

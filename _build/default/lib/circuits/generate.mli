@@ -1,0 +1,42 @@
+(** Seeded random multi-level logic.
+
+    The generator grows a circuit gate by gate.  Most fanins are drawn
+    from a pool of not-yet-consumed nodes, keeping the structure close
+    to a tree — trees have no redundancy, so the raw circuit is largely
+    testable, like the synthesised (and redundancy-removed) benchmark
+    logic it stands in for.  A [reconvergence] fraction of draws reuses
+    already-consumed nodes, creating fanout and reconvergent paths.  A
+    recency bias makes the circuit deep rather than wide.  Every
+    unconsumed node becomes a primary output, so no logic is dead by
+    construction.
+
+    Identical parameters and seed always produce the identical
+    circuit. *)
+
+type profile = {
+  pis : int;  (** primary inputs *)
+  gates : int;  (** logic gates to create *)
+  outputs : int;
+      (** approximate primary-output count: the fresh pool is never
+          drained below this floor, so about this many sinks remain *)
+  locality : float;
+      (** probability of drawing from the recent window rather than
+          uniformly (default 0.6) *)
+  reconvergence : float;
+      (** probability a fanin reuses an already-consumed node (default
+          0.2) *)
+}
+
+val profile : ?outputs:int -> pis:int -> gates:int -> unit -> profile
+(** [outputs] defaults to [max 2 (pis / 2)]. *)
+
+val random : ?seed:int -> name:string -> profile -> Circuit.t
+(** Default [seed = 0]. *)
+
+val revive_dead_inputs : Util.Rng.t -> Circuit.t -> Circuit.t
+(** Re-attach primary inputs that drive no logic (redundancy removal
+    can orphan them): each dead input is XORed into one input pin of a
+    deterministically chosen live gate.  XOR keeps both the original
+    signal and the revived input observable, so the patch rarely
+    introduces new redundancy.  Circuits without dead inputs are
+    returned unchanged. *)

@@ -1,0 +1,261 @@
+type fsm = {
+  name : string;
+  n_inputs : int;
+  n_outputs : int;
+  states : string array;
+  transitions : (string * string * string * string) array;
+}
+
+exception Parse_error of int * string
+
+let fail line fmt = Printf.ksprintf (fun m -> raise (Parse_error (line, m))) fmt
+
+let parse_string ?(name = "fsm") text =
+  let n_inputs = ref (-1) and n_outputs = ref (-1) in
+  let reset = ref None in
+  let transitions = ref [] in
+  let state_order = ref [] in
+  let see_state s = if not (List.mem s !state_order) then state_order := s :: !state_order in
+  List.iteri
+    (fun lineno raw ->
+      let line = String.trim raw in
+      let lineno = lineno + 1 in
+      if line = "" || line.[0] = '#' then ()
+      else if line.[0] = '.' then begin
+        match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+        | [ ".i"; v ] -> n_inputs := int_of_string v
+        | [ ".o"; v ] -> n_outputs := int_of_string v
+        | [ ".p"; _ ] | [ ".s"; _ ] -> ()
+        | [ ".r"; s ] -> reset := Some s
+        | [ ".e" ] | [ ".end" ] -> ()
+        | _ -> fail lineno "unknown directive %S" line
+      end
+      else
+        match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+        | [ inp; cur; nxt; out ] ->
+            if !n_inputs >= 0 && String.length inp <> !n_inputs then
+              fail lineno "input pattern %S has wrong width" inp;
+            if !n_outputs >= 0 && String.length out <> !n_outputs then
+              fail lineno "output pattern %S has wrong width" out;
+            see_state cur;
+            see_state nxt;
+            transitions := (inp, cur, nxt, out) :: !transitions
+        | _ -> fail lineno "malformed transition %S" line)
+    (String.split_on_char '\n' text);
+  if !n_inputs < 0 then fail 0 "missing .i";
+  if !n_outputs < 0 then fail 0 "missing .o";
+  let states = List.rev !state_order in
+  let states =
+    match !reset with
+    | None -> states
+    | Some r ->
+        if not (List.mem r states) then fail 0 "reset state %S has no transition" r;
+        r :: List.filter (fun s -> s <> r) states
+  in
+  {
+    name;
+    n_inputs = !n_inputs;
+    n_outputs = !n_outputs;
+    states = Array.of_list states;
+    transitions = Array.of_list (List.rev !transitions);
+  }
+
+let state_bits fsm =
+  let n = Array.length fsm.states in
+  let rec bits k = if 1 lsl k >= n then k else bits (k + 1) in
+  max 1 (bits 0)
+
+let state_code fsm s =
+  let rec go i = if fsm.states.(i) = s then i else go (i + 1) in
+  go 0
+
+let pattern_matches pat v width =
+  let ok = ref true in
+  for i = 0 to width - 1 do
+    (* Character 0 of the pattern is the most significant input. *)
+    let bit = (v lsr (width - 1 - i)) land 1 in
+    match pat.[i] with
+    | '-' -> ()
+    | '0' -> if bit <> 0 then ok := false
+    | '1' -> if bit <> 1 then ok := false
+    | c -> invalid_arg (Printf.sprintf "Kiss: bad pattern character %C" c)
+  done;
+  !ok
+
+(* Truth table of (outputs, next-state code) over (inputs, state code);
+   unspecified entries reset to state 0 with outputs 0. *)
+let lookup fsm in_v st_code =
+  if st_code >= Array.length fsm.states then (Array.make fsm.n_outputs false, 0)
+  else begin
+    let cur = fsm.states.(st_code) in
+    let hit = ref None in
+    Array.iter
+      (fun (inp, c, nxt, out) ->
+        if !hit = None && c = cur && pattern_matches inp in_v fsm.n_inputs then
+          hit := Some (nxt, out))
+      fsm.transitions;
+    match !hit with
+    | None -> (Array.make fsm.n_outputs false, 0)
+    | Some (nxt, out) ->
+        let outs =
+          Array.init fsm.n_outputs (fun i ->
+              match out.[i] with '1' -> true | '0' | '-' -> false | _ -> false)
+        in
+        (outs, state_code fsm nxt)
+  end
+
+let on_sets fsm =
+  let sb = state_bits fsm in
+  let n = fsm.n_inputs + sb in
+  if n > 16 then invalid_arg "Kiss: FSM too large to synthesise (inputs + state bits > 16)";
+  let out_on = Array.make fsm.n_outputs [] in
+  let nst_on = Array.make sb [] in
+  for m = 0 to (1 lsl n) - 1 do
+    (* Variable layout (LSB first): in0 .. in(k-1), st0 .. st(sb-1);
+       in0 is the FSM's *last* pattern character being the LSB would be
+       confusing, so we put in0 = leftmost pattern character at the
+       highest input bit index below. *)
+    let in_v = ref 0 in
+    for i = 0 to fsm.n_inputs - 1 do
+      (* bit for input i (pattern position i, MSB first) *)
+      if (m lsr i) land 1 = 1 then in_v := !in_v lor (1 lsl (fsm.n_inputs - 1 - i))
+    done;
+    let st_code = m lsr fsm.n_inputs in
+    let outs, nxt = lookup fsm !in_v st_code in
+    Array.iteri (fun o v -> if v then out_on.(o) <- m :: out_on.(o)) outs;
+    for sbit = 0 to sb - 1 do
+      if (nxt lsr sbit) land 1 = 1 then nst_on.(sbit) <- m :: nst_on.(sbit)
+    done
+  done;
+  (out_on, nst_on)
+
+let input_names fsm =
+  let sb = state_bits fsm in
+  Array.init
+    (fsm.n_inputs + sb)
+    (fun i -> if i < fsm.n_inputs then Printf.sprintf "in%d" i else Printf.sprintf "st%d" (i - fsm.n_inputs))
+
+let to_combinational fsm =
+  let sb = state_bits fsm in
+  let out_on, nst_on = on_sets fsm in
+  let outputs =
+    List.init fsm.n_outputs (fun o -> (Printf.sprintf "out%d" o, out_on.(o)))
+    @ List.init sb (fun s -> (Printf.sprintf "nst%d" s, nst_on.(s)))
+  in
+  Twolevel.synthesize ~name:(fsm.name ^ "_comb") ~n_inputs:(fsm.n_inputs + sb)
+    ~input_names:(input_names fsm) outputs
+
+let to_sequential fsm =
+  let comb = to_combinational fsm in
+  let sb = state_bits fsm in
+  let b = Circuit.Builder.create ~title:fsm.name () in
+  let ids = Array.make (Circuit.node_count comb) (-1) in
+  (* Real inputs stay inputs; state inputs become DFF outputs. *)
+  let dffs = Array.init sb (fun s -> Circuit.Builder.dff b (Printf.sprintf "st%d" s)) in
+  Array.iter
+    (fun pi ->
+      let nm = Circuit.name comb pi in
+      if String.length nm >= 2 && String.sub nm 0 2 = "st" then
+        ids.(pi) <- dffs.(int_of_string (String.sub nm 2 (String.length nm - 2)))
+      else ids.(pi) <- Circuit.Builder.input b nm)
+    (Circuit.inputs comb);
+  Array.iter
+    (fun n ->
+      if ids.(n) < 0 then
+        match Circuit.kind comb n with
+        | Gate.Input -> ()
+        | k ->
+            let fanins = Array.to_list (Array.map (fun f -> ids.(f)) (Circuit.fanins comb n)) in
+            ids.(n) <- Circuit.Builder.gate b k (Circuit.name comb n) fanins)
+    (Circuit.topological_order comb);
+  (* Wire next-state logic into the flip-flops; outputs stay outputs. *)
+  Array.iter
+    (fun o ->
+      let nm = Circuit.name comb o in
+      if String.length nm >= 3 && String.sub nm 0 3 = "nst" then
+        Circuit.Builder.connect_dff b
+          dffs.(int_of_string (String.sub nm 3 (String.length nm - 3)))
+          ~fanin:ids.(o)
+      else Circuit.Builder.mark_output b ids.(o))
+    (Circuit.outputs comb);
+  Circuit.Builder.finish b
+
+let lion () =
+  parse_string ~name:"lion"
+    {|# Quadrature-tracking FSM standing in for MCNC lion:
+# 2 Gray-coded inputs, 4 states, 1 output.
+.i 2
+.o 1
+.s 4
+.p 11
+.r st0
+00 st0 st0 0
+01 st0 st1 0
+10 st0 st3 0
+01 st1 st1 1
+11 st1 st2 1
+00 st1 st0 1
+11 st2 st2 1
+10 st2 st3 1
+01 st2 st1 1
+10 st3 st3 0
+00 st3 st0 0
+|}
+
+let simulate fsm seq =
+  let state = ref 0 in
+  List.map
+    (fun (inputs : bool array) ->
+      if Array.length inputs <> fsm.n_inputs then
+        invalid_arg "Kiss.simulate: input width mismatch";
+      (* in0 is the leftmost (most significant) pattern character. *)
+      let in_v = ref 0 in
+      Array.iteri
+        (fun i b -> if b then in_v := !in_v lor (1 lsl (fsm.n_inputs - 1 - i)))
+        inputs;
+      let outs, next = lookup fsm !in_v !state in
+      state := next;
+      outs)
+    seq
+
+let sequence_detector ~pattern =
+  let k = String.length pattern in
+  if k = 0 || k > 15 then invalid_arg "Kiss.sequence_detector: pattern length 1..15";
+  String.iter
+    (fun ch -> if ch <> '0' && ch <> '1' then invalid_arg "Kiss.sequence_detector: binary pattern")
+    pattern;
+  (* State i = longest matched prefix has length i (0..k-1); on a full
+     match the automaton falls back to the longest proper border. *)
+  let matches_prefix s len = String.sub pattern 0 len = s in
+  let step i b =
+    (* longest j such that pattern[0..j) is a suffix of prefix_i + b *)
+    let s = String.sub pattern 0 i ^ String.make 1 b in
+    let n = String.length s in
+    let rec best j =
+      if j = 0 then 0
+      else if matches_prefix (String.sub s (n - j) j) j then j
+      else best (j - 1)
+    in
+    best (min (k - 1) n)
+    (* capped at k-1: a completed match emits 1 and continues from the
+       longest proper border *)
+  in
+  let full_match i b = i = k - 1 && pattern.[k - 1] = b in
+  let transitions = ref [] in
+  for i = 0 to k - 1 do
+    List.iter
+      (fun b ->
+        let nxt = step i b in
+        let out = if full_match i b then "1" else "0" in
+        transitions :=
+          (String.make 1 b, Printf.sprintf "s%d" i, Printf.sprintf "s%d" nxt, out)
+          :: !transitions)
+      [ '0'; '1' ]
+  done;
+  {
+    name = Printf.sprintf "seq%s" pattern;
+    n_inputs = 1;
+    n_outputs = 1;
+    states = Array.init k (fun i -> Printf.sprintf "s%d" i);
+    transitions = Array.of_list (List.rev !transitions);
+  }

@@ -1,0 +1,57 @@
+(** KISS2 finite-state-machine descriptions and their synthesis.
+
+    The paper's worked example (Table 1, Section 2/3) uses the
+    combinational logic of MCNC FSM benchmark [lion].  This module
+    parses the KISS2 format, encodes states in binary, and synthesises
+    the next-state/output logic through {!Twolevel} — either as a pure
+    combinational block (state bits as extra PIs/POs, the full-scan
+    view) or as a sequential circuit with flip-flops.
+
+    Entries of the transition table absent from the description are
+    treated as "reset": next state is the initial state and outputs are
+    0 (KISS2 leaves them unspecified; a fixed completion keeps
+    synthesis deterministic). *)
+
+type fsm = {
+  name : string;
+  n_inputs : int;
+  n_outputs : int;
+  states : string array;  (** in order of first appearance; [states.(0)] is the reset state *)
+  transitions : (string * string * string * string) array;
+      (** (input pattern with '-', current state, next state, output
+          pattern with '-') *)
+}
+
+exception Parse_error of int * string
+
+val parse_string : ?name:string -> string -> fsm
+val state_bits : fsm -> int
+
+val to_combinational : fsm -> Circuit.t
+(** Inputs: FSM inputs [in0 ..] then state bits [st0 ..] (st0 = LSB of
+    the state code).  Outputs: FSM outputs [out0 ..] then next-state
+    bits [nst0 ..]. *)
+
+val to_sequential : fsm -> Circuit.t
+(** Same logic with the state held in DFFs (a cyclic netlist);
+    {!Scan.combinational} recovers {!to_combinational}'s structure. *)
+
+val lion : unit -> fsm
+(** A 4-state, 2-input, 1-output quadrature-tracking FSM standing in
+    for MCNC [lion] (the original MCNC file cannot be redistributed
+    here; this reconstruction has the same interface and state count,
+    which is what the paper's example depends on). *)
+
+val simulate : fsm -> bool array list -> bool array list
+(** Reference transition-table semantics: run an input sequence from
+    the reset state and collect each cycle's output vector (unspecified
+    table entries read as all-zero outputs with a reset next state, the
+    same completion {!to_combinational} synthesises).  Used to validate
+    the synthesis path end-to-end. *)
+
+val sequence_detector : pattern:string -> fsm
+(** A Mealy-style sequence detector over a 1-bit input: output 1
+    exactly when the last [String.length pattern] input bits spell
+    [pattern] (overlaps allowed — the classic KMP prefix automaton).
+    [pattern] must be a non-empty string of ['0']/['1'] of length at
+    most 15.  A second, parametric FSM workload alongside {!lion}. *)

@@ -1,0 +1,287 @@
+module B = Circuit.Builder
+
+let c17 () =
+  Bench_format.parse_string ~title:"c17"
+    {|# c17 (ISCAS-85)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+|}
+
+(* One full-adder stage built from XOR/AND/OR; returns (sum, cout). *)
+let adder_stage b tag a bb cin =
+  let x1 = B.gate b Gate.Xor (tag ^ "_x1") [ a; bb ] in
+  let sum = B.gate b Gate.Xor (tag ^ "_sum") [ x1; cin ] in
+  let a1 = B.gate b Gate.And (tag ^ "_a1") [ a; bb ] in
+  let a2 = B.gate b Gate.And (tag ^ "_a2") [ x1; cin ] in
+  let cout = B.gate b Gate.Or (tag ^ "_cout") [ a1; a2 ] in
+  (sum, cout)
+
+let full_adder () =
+  let b = B.create ~title:"full_adder" () in
+  let a = B.input b "a" and bb = B.input b "b" and cin = B.input b "cin" in
+  let sum, cout = adder_stage b "fa" a bb cin in
+  B.mark_output b sum;
+  B.mark_output b cout;
+  B.finish b
+
+let check_width width =
+  if width <= 0 then invalid_arg "Library: width must be positive"
+
+let ripple_adder ~width =
+  check_width width;
+  let b = B.create ~title:(Printf.sprintf "radd%d" width) () in
+  let a = Array.init width (fun i -> B.input b (Printf.sprintf "a%d" i)) in
+  let bv = Array.init width (fun i -> B.input b (Printf.sprintf "b%d" i)) in
+  let cin = B.input b "cin" in
+  let carry = ref cin in
+  for i = 0 to width - 1 do
+    let sum, cout = adder_stage b (Printf.sprintf "fa%d" i) a.(i) bv.(i) !carry in
+    B.mark_output b sum;
+    carry := cout
+  done;
+  B.mark_output b !carry;
+  B.finish b
+
+let multiplier ~width =
+  check_width width;
+  let b = B.create ~title:(Printf.sprintf "mul%d" width) () in
+  let a = Array.init width (fun i -> B.input b (Printf.sprintf "a%d" i)) in
+  let bv = Array.init width (fun i -> B.input b (Printf.sprintf "b%d" i)) in
+  let zero = B.const b "zero" false in
+  (* Partial products accumulated row by row with ripple carries. *)
+  let acc = Array.make (2 * width) zero in
+  for j = 0 to width - 1 do
+    let carry = ref zero in
+    for i = 0 to width - 1 do
+      let pp = B.gate b Gate.And (Printf.sprintf "pp%d_%d" i j) [ a.(i); bv.(j) ] in
+      let sum, cout =
+        adder_stage b (Printf.sprintf "m%d_%d" i j) acc.(i + j) pp !carry
+      in
+      acc.(i + j) <- sum;
+      carry := cout
+    done;
+    acc.(j + width) <- !carry
+  done;
+  Array.iter (fun p -> B.mark_output b p) acc;
+  B.finish b
+
+let mux_tree ~selects =
+  if selects <= 0 || selects > 10 then invalid_arg "Library.mux_tree: 1..10 selects";
+  let b = B.create ~title:(Printf.sprintf "mux%d" (1 lsl selects)) () in
+  let data = Array.init (1 lsl selects) (fun i -> B.input b (Printf.sprintf "d%d" i)) in
+  let sel = Array.init selects (fun i -> B.input b (Printf.sprintf "s%d" i)) in
+  (* Reduce pairwise per select line, MSB (s0) splitting the tree last. *)
+  let mux2 tag s d0 d1 =
+    let ns = B.gate b Gate.Not (tag ^ "_n") [ s ] in
+    let p0 = B.gate b Gate.And (tag ^ "_p0") [ ns; d0 ] in
+    let p1 = B.gate b Gate.And (tag ^ "_p1") [ s; d1 ] in
+    B.gate b Gate.Or (tag ^ "_o") [ p0; p1 ]
+  in
+  let layer = ref (Array.to_list data) in
+  for level = selects - 1 downto 0 do
+    let rec pair acc idx = function
+      | d0 :: d1 :: rest ->
+          pair (mux2 (Printf.sprintf "m%d_%d" level idx) sel.(level) d0 d1 :: acc) (idx + 1) rest
+      | [] -> List.rev acc
+      | [ _ ] -> invalid_arg "Library.mux_tree: internal pairing error"
+    in
+    layer := pair [] 0 !layer
+  done;
+  (match !layer with
+  | [ out ] -> B.mark_output b out
+  | _ -> invalid_arg "Library.mux_tree: reduction did not converge");
+  B.finish b
+
+let parity_tree ~width =
+  check_width width;
+  let b = B.create ~title:(Printf.sprintf "parity%d" width) () in
+  let ins = Array.init width (fun i -> B.input b (Printf.sprintf "i%d" i)) in
+  let rec reduce idx = function
+    | [] -> invalid_arg "Library.parity_tree: empty"
+    | [ x ] -> x
+    | xs ->
+        let rec pair acc j = function
+          | x :: y :: rest ->
+              pair (B.gate b Gate.Xor (Printf.sprintf "x%d_%d" idx j) [ x; y ] :: acc) (j + 1) rest
+          | [ x ] -> List.rev (x :: acc)
+          | [] -> List.rev acc
+        in
+        reduce (idx + 1) (pair [] 0 xs)
+  in
+  B.mark_output b (reduce 0 (Array.to_list ins));
+  B.finish b
+
+let comparator ~width =
+  check_width width;
+  let b = B.create ~title:(Printf.sprintf "cmp%d" width) () in
+  let a = Array.init width (fun i -> B.input b (Printf.sprintf "a%d" i)) in
+  let bv = Array.init width (fun i -> B.input b (Printf.sprintf "b%d" i)) in
+  (* Bitwise equality, then lexicographic scan from the MSB down:
+     lt = OR_i (~a_i & b_i & AND_{j>i} eq_j). *)
+  let eqs =
+    Array.init width (fun i -> B.gate b Gate.Xnor (Printf.sprintf "eq%d" i) [ a.(i); bv.(i) ])
+  in
+  let eq_all = B.gate b Gate.And "eq" (Array.to_list eqs) in
+  let lt_terms = ref [] and gt_terms = ref [] in
+  for i = width - 1 downto 0 do
+    let higher_eq = Array.to_list (Array.sub eqs (i + 1) (width - 1 - i)) in
+    let na = B.gate b Gate.Not (Printf.sprintf "na%d" i) [ a.(i) ] in
+    let nb = B.gate b Gate.Not (Printf.sprintf "nb%d" i) [ bv.(i) ] in
+    let lt = B.gate b Gate.And (Printf.sprintf "lt%d" i) (na :: bv.(i) :: higher_eq) in
+    let gt = B.gate b Gate.And (Printf.sprintf "gt%d" i) (a.(i) :: nb :: higher_eq) in
+    lt_terms := lt :: !lt_terms;
+    gt_terms := gt :: !gt_terms
+  done;
+  let lt_out =
+    match !lt_terms with [ t ] -> B.gate b Gate.Buf "lt" [ t ] | ts -> B.gate b Gate.Or "lt" ts
+  in
+  let gt_out =
+    match !gt_terms with [ t ] -> B.gate b Gate.Buf "gt" [ t ] | ts -> B.gate b Gate.Or "gt" ts
+  in
+  B.mark_output b eq_all;
+  B.mark_output b lt_out;
+  B.mark_output b gt_out;
+  B.finish b
+
+let decoder ~width =
+  if width <= 0 || width > 10 then invalid_arg "Library.decoder: 1..10 inputs";
+  let b = B.create ~title:(Printf.sprintf "dec%d" width) () in
+  let ins = Array.init width (fun i -> B.input b (Printf.sprintf "i%d" i)) in
+  let neg = Array.init width (fun i -> B.gate b Gate.Not (Printf.sprintf "n%d" i) [ ins.(i) ]) in
+  for v = 0 to (1 lsl width) - 1 do
+    let terms =
+      List.init width (fun i -> if (v lsr i) land 1 = 1 then ins.(i) else neg.(i))
+    in
+    let o =
+      match terms with
+      | [ t ] -> B.gate b Gate.Buf (Printf.sprintf "o%d" v) [ t ]
+      | ts -> B.gate b Gate.And (Printf.sprintf "o%d" v) ts
+    in
+    B.mark_output b o
+  done;
+  B.finish b
+
+let alu ~width =
+  check_width width;
+  let b = B.create ~title:(Printf.sprintf "alu%d" width) () in
+  let op1 = B.input b "op1" and op0 = B.input b "op0" in
+  let a = Array.init width (fun i -> B.input b (Printf.sprintf "a%d" i)) in
+  let bv = Array.init width (fun i -> B.input b (Printf.sprintf "b%d" i)) in
+  let cin = B.input b "cin" in
+  let nop1 = B.gate b Gate.Not "nop1" [ op1 ] in
+  let nop0 = B.gate b Gate.Not "nop0" [ op0 ] in
+  let sel_and = B.gate b Gate.And "sel_and" [ nop1; nop0 ] in
+  let sel_or = B.gate b Gate.And "sel_or" [ nop1; op0 ] in
+  let sel_xor = B.gate b Gate.And "sel_xor" [ op1; nop0 ] in
+  let sel_add = B.gate b Gate.And "sel_add" [ op1; op0 ] in
+  let carry = ref cin in
+  for i = 0 to width - 1 do
+    let andi = B.gate b Gate.And (Printf.sprintf "and%d" i) [ a.(i); bv.(i) ] in
+    let ori = B.gate b Gate.Or (Printf.sprintf "or%d" i) [ a.(i); bv.(i) ] in
+    let xori = B.gate b Gate.Xor (Printf.sprintf "xor%d" i) [ a.(i); bv.(i) ] in
+    let sum, cout = adder_stage b (Printf.sprintf "add%d" i) a.(i) bv.(i) !carry in
+    carry := cout;
+    let t0 = B.gate b Gate.And (Printf.sprintf "t0_%d" i) [ sel_and; andi ] in
+    let t1 = B.gate b Gate.And (Printf.sprintf "t1_%d" i) [ sel_or; ori ] in
+    let t2 = B.gate b Gate.And (Printf.sprintf "t2_%d" i) [ sel_xor; xori ] in
+    let t3 = B.gate b Gate.And (Printf.sprintf "t3_%d" i) [ sel_add; sum ] in
+    let r = B.gate b Gate.Or (Printf.sprintf "r%d" i) [ t0; t1; t2; t3 ] in
+    B.mark_output b r
+  done;
+  let cout = B.gate b Gate.And "cout" [ sel_add; !carry ] in
+  B.mark_output b cout;
+  B.finish b
+
+let carry_lookahead_adder ~width =
+  check_width width;
+  let b = B.create ~title:(Printf.sprintf "cla%d" width) () in
+  let a = Array.init width (fun i -> B.input b (Printf.sprintf "a%d" i)) in
+  let bv = Array.init width (fun i -> B.input b (Printf.sprintf "b%d" i)) in
+  let cin = B.input b "cin" in
+  (* Propagate/generate per bit. *)
+  let p = Array.init width (fun i -> B.gate b Gate.Xor (Printf.sprintf "p%d" i) [ a.(i); bv.(i) ]) in
+  let g = Array.init width (fun i -> B.gate b Gate.And (Printf.sprintf "g%d" i) [ a.(i); bv.(i) ]) in
+  (* Lookahead carries in groups of 4, rippling between groups:
+     c_{i+1} = g_i + p_i g_{i-1} + ... + (p_i .. p_lo) c_lo. *)
+  let carry = Array.make (width + 1) cin in
+  let group_start = ref 0 in
+  while !group_start < width do
+    let lo = !group_start in
+    let hi = min (lo + 4) width in
+    for i = lo to hi - 1 do
+      (* terms for c_{i+1} *)
+      let terms = ref [] in
+      for j = lo to i do
+        (* p_i p_{i-1} .. p_{j+1} g_j *)
+        let lits = ref [ g.(j) ] in
+        for k = j + 1 to i do
+          lits := p.(k) :: !lits
+        done;
+        let t =
+          match !lits with
+          | [ single ] -> single
+          | ls -> B.gate b Gate.And (Printf.sprintf "cg%d_%d" (i + 1) j) ls
+        in
+        terms := t :: !terms
+      done;
+      (* (p_i .. p_lo) c_lo *)
+      let lits = ref [ carry.(lo) ] in
+      for k = lo to i do
+        lits := p.(k) :: !lits
+      done;
+      let t = B.gate b Gate.And (Printf.sprintf "cp%d" (i + 1)) !lits in
+      terms := t :: !terms;
+      carry.(i + 1) <-
+        (match !terms with
+        | [ single ] -> single
+        | ts -> B.gate b Gate.Or (Printf.sprintf "c%d" (i + 1)) ts)
+    done;
+    group_start := hi
+  done;
+  for i = 0 to width - 1 do
+    let s = B.gate b Gate.Xor (Printf.sprintf "s%d" i) [ p.(i); carry.(i) ] in
+    B.mark_output b s
+  done;
+  B.mark_output b carry.(width);
+  B.finish b
+
+let barrel_shifter ~width =
+  let log2 =
+    let rec go k = if 1 lsl k >= width then k else go (k + 1) in
+    go 0
+  in
+  if width < 2 || width > 64 || 1 lsl log2 <> width then
+    invalid_arg "Library.barrel_shifter: width must be a power of two in 2..64";
+  let b = B.create ~title:(Printf.sprintf "bshift%d" width) () in
+  let data = Array.init width (fun i -> B.input b (Printf.sprintf "d%d" i)) in
+  let sel = Array.init log2 (fun i -> B.input b (Printf.sprintf "s%d" i)) in
+  (* Stage k rotates left by 2^k when s_k is high. *)
+  let mux2 tag s d0 d1 =
+    let ns = B.gate b Gate.Not (tag ^ "_n") [ s ] in
+    let q0 = B.gate b Gate.And (tag ^ "_q0") [ ns; d0 ] in
+    let q1 = B.gate b Gate.And (tag ^ "_q1") [ s; d1 ] in
+    B.gate b Gate.Or (tag ^ "_o") [ q0; q1 ]
+  in
+  let layer = ref data in
+  for k = 0 to log2 - 1 do
+    let shift = 1 lsl k in
+    layer :=
+      Array.init width (fun i ->
+          (* output bit i comes from input bit (i - shift) mod width
+             when rotating left by [shift] *)
+          let src = (i - shift + width) mod width in
+          mux2 (Printf.sprintf "st%d_%d" k i) sel.(k) !layer.(i) !layer.(src))
+  done;
+  Array.iter (fun o -> B.mark_output b o) !layer;
+  B.finish b

@@ -1,0 +1,52 @@
+(** Hand-constructed and parametric combinational circuits.
+
+    These serve three roles: known-answer tests (their functions are
+    specified, so simulators can be checked against arithmetic),
+    realistic example workloads, and small well-understood inputs for
+    the worked examples in the documentation. *)
+
+val c17 : unit -> Circuit.t
+(** ISCAS-85 c17: 5 inputs, 2 outputs, 6 NAND gates — the smallest
+    standard benchmark. *)
+
+val full_adder : unit -> Circuit.t
+(** Inputs [a b cin], outputs [sum cout]. *)
+
+val ripple_adder : width:int -> Circuit.t
+(** [2*width + 1] inputs ([a0..] LSB first, [b0..], [cin]); [width + 1]
+    outputs ([s0.. cout]). *)
+
+val multiplier : width:int -> Circuit.t
+(** Array multiplier: inputs [a0.. b0..] (LSB first), outputs
+    [p0 .. p(2w-1)]. *)
+
+val mux_tree : selects:int -> Circuit.t
+(** [2^selects] data inputs then [selects] select inputs (MSB-first
+    select semantics); 1 output. *)
+
+val parity_tree : width:int -> Circuit.t
+(** XOR reduction tree; 1 output. *)
+
+val comparator : width:int -> Circuit.t
+(** Unsigned comparison of [a] and [b] (LSB first): outputs
+    [eq lt gt]. *)
+
+val decoder : width:int -> Circuit.t
+(** [width] inputs, [2^width] one-hot outputs (output [i] high when the
+    input reads [i], input 0 = LSB). *)
+
+val alu : width:int -> Circuit.t
+(** A small 4-operation ALU: inputs [op1 op0 a0.. b0.. cin], outputs
+    [r0 .. r(w-1) cout].  Ops: 00 AND, 01 OR, 10 XOR, 11 ADD (with
+    carry). *)
+
+val carry_lookahead_adder : width:int -> Circuit.t
+(** Same interface as {!ripple_adder} ([a0.. b0.. cin] to [s0.. cout])
+    but with 4-bit carry-lookahead groups — a shallower, more
+    fanout-heavy adder that stresses reconvergent analysis. *)
+
+val barrel_shifter : width:int -> Circuit.t
+(** Left-rotate: [width] data inputs ([d0..], LSB first) and
+    [log2 width] shift-amount inputs ([s0..], LSB first = rotate by 1);
+    [width] outputs [o0..].  [width] must be a power of two between 2
+    and 64. *)

@@ -1,0 +1,39 @@
+(** The synthetic benchmark suite.
+
+    Stand-ins for the irredundant combinational cores of the ISCAS-89
+    circuits the paper evaluates (see DESIGN.md for the substitution
+    rationale).  Each entry matches the published circuit's input count
+    (Table 4's "inp" column — PIs plus scanned flip-flops) and
+    approximate gate count; the logic itself is drawn from
+    {!Generate.random} with a fixed per-entry seed, so the suite is
+    identical in every build. *)
+
+type entry = {
+  name : string;  (** [syn208] stands in for [irs208], etc. *)
+  paper_name : string;  (** the circuit it stands in for *)
+  pis : int;
+  pos : int;  (** target primary-output count (POs + scanned DFFs of the original) *)
+  gates : int;
+  seed : int;
+  big : bool;  (** the two large circuits, excluded from quick runs *)
+}
+
+val entries : entry list
+(** All fourteen circuits, in the paper's Table 4 order. *)
+
+val small : entry list
+(** Entries with [big = false] (through [syn1196]). *)
+
+val find : string -> entry option
+val names : unit -> string list
+
+val build : entry -> Circuit.t
+(** Deterministically construct the circuit: random generation followed
+    by redundancy removal ({!Irredundant.remove}), mirroring how the
+    paper's "irredundant versions" were produced.  Results are memoised
+    per process. *)
+
+val build_by_name : string -> Circuit.t
+(** @raise Invalid_argument on an unknown name.  Also accepts the
+    library circuits ["c17"] and ["lion"] (the lion full-scan
+    combinational core). *)

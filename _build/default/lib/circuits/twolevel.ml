@@ -1,0 +1,141 @@
+type cube = { mask : int; value : int }
+
+let cube_covers c m = m land c.mask = c.value
+
+let popcount x =
+  let rec go x acc = if x = 0 then acc else go (x lsr 1) (acc + (x land 1)) in
+  go x 0
+
+(* Merge two cubes differing in exactly one specified bit. *)
+let merge a b =
+  if a.mask <> b.mask then None
+  else begin
+    let d = a.value lxor b.value in
+    if popcount d = 1 then Some { mask = a.mask land lnot d; value = a.value land lnot d }
+    else None
+  end
+
+let primes ~n ~on_set =
+  if n < 0 || n > 16 then invalid_arg "Twolevel.primes: 0..16 variables";
+  let full = (1 lsl n) - 1 in
+  let dedup cubes =
+    let t = Hashtbl.create 64 in
+    List.filter
+      (fun c ->
+        if Hashtbl.mem t c then false
+        else begin
+          Hashtbl.add t c ();
+          true
+        end)
+      cubes
+  in
+  let rec round cubes acc_primes =
+    if cubes = [] then acc_primes
+    else begin
+      let arr = Array.of_list cubes in
+      let used = Array.make (Array.length arr) false in
+      let next = ref [] in
+      for i = 0 to Array.length arr - 1 do
+        for j = i + 1 to Array.length arr - 1 do
+          match merge arr.(i) arr.(j) with
+          | Some m ->
+              used.(i) <- true;
+              used.(j) <- true;
+              next := m :: !next
+          | None -> ()
+        done
+      done;
+      let primes_here = ref acc_primes in
+      Array.iteri (fun i c -> if not used.(i) then primes_here := c :: !primes_here) arr;
+      round (dedup !next) !primes_here
+    end
+  in
+  let minterms = List.map (fun m -> { mask = full; value = m land full }) (dedup on_set) in
+  dedup (round minterms [])
+
+let cover ~n ~on_set =
+  let on_set = List.sort_uniq compare on_set in
+  if on_set = [] then []
+  else begin
+    let ps = Array.of_list (primes ~n ~on_set) in
+    let covered = Hashtbl.create 64 in
+    let chosen = ref [] in
+    let choose i =
+      chosen := ps.(i) :: !chosen;
+      List.iter (fun m -> if cube_covers ps.(i) m then Hashtbl.replace covered m ()) on_set
+    in
+    (* Essential primes: the only cube covering some minterm. *)
+    List.iter
+      (fun m ->
+        let covering = ref [] in
+        Array.iteri (fun i c -> if cube_covers c m then covering := i :: !covering) ps;
+        match !covering with
+        | [ i ] when not (List.exists (fun c -> c = ps.(i)) !chosen) -> choose i
+        | _ -> ())
+      on_set;
+    (* Greedy: repeatedly take the cube covering most remaining minterms. *)
+    let remaining () = List.filter (fun m -> not (Hashtbl.mem covered m)) on_set in
+    let rec loop () =
+      match remaining () with
+      | [] -> ()
+      | rem ->
+          let best = ref (-1) and best_cnt = ref 0 in
+          Array.iteri
+            (fun i c ->
+              let cnt = List.length (List.filter (cube_covers c) rem) in
+              if cnt > !best_cnt then begin
+                best := i;
+                best_cnt := cnt
+              end)
+            ps;
+          assert (!best >= 0);
+          choose !best;
+          loop ()
+    in
+    loop ();
+    List.rev !chosen
+  end
+
+module B = Circuit.Builder
+
+let synthesize ~name ~n_inputs ~input_names outputs =
+  if n_inputs > 16 then invalid_arg "Twolevel.synthesize: at most 16 inputs";
+  if Array.length input_names <> n_inputs then
+    invalid_arg "Twolevel.synthesize: input_names width mismatch";
+  let b = B.create ~title:name () in
+  let ins = Array.map (fun nm -> B.input b nm) input_names in
+  (* Inverters are created lazily and shared between outputs. *)
+  let inverters = Array.make n_inputs None in
+  let inv i =
+    match inverters.(i) with
+    | Some id -> id
+    | None ->
+        let id = B.gate b Gate.Not (input_names.(i) ^ "_n") [ ins.(i) ] in
+        inverters.(i) <- Some id;
+        id
+  in
+  let cube_gate oname idx (c : cube) =
+    let literals = ref [] in
+    for i = n_inputs - 1 downto 0 do
+      if (c.mask lsr i) land 1 = 1 then
+        literals := (if (c.value lsr i) land 1 = 1 then ins.(i) else inv i) :: !literals
+    done;
+    match !literals with
+    | [] -> B.const b (Printf.sprintf "%s_t%d" oname idx) true
+    | [ l ] -> B.gate b Gate.Buf (Printf.sprintf "%s_t%d" oname idx) [ l ]
+    | ls -> B.gate b Gate.And (Printf.sprintf "%s_t%d" oname idx) ls
+  in
+  List.iter
+    (fun (oname, on_set) ->
+      let cubes = cover ~n:n_inputs ~on_set in
+      let out =
+        match cubes with
+        | [] -> B.const b oname false
+        | [ c ] -> (
+            (* Single cube: rename via a buffer to keep the output name. *)
+            match cube_gate (oname ^ "_c") 0 c with t -> B.gate b Gate.Buf oname [ t ])
+        | cs -> B.gate b Gate.Or oname (List.mapi (cube_gate oname) cs)
+      in
+      B.mark_output b out)
+    outputs;
+  B.finish b

@@ -1,0 +1,29 @@
+(** Two-level (sum-of-products) logic minimisation and synthesis.
+
+    A small Quine–McCluskey implementation: minterms are merged into
+    prime implicants, then a cover is chosen (essential primes first,
+    greedy by coverage after).  Exact enough for the FSM benchmarks this
+    library synthesises (up to 16 variables). *)
+
+type cube = { mask : int; value : int }
+(** A product term over [n] variables: bit [i] of [mask] set means
+    variable [i] is specified, in which case bit [i] of [value] is its
+    literal polarity.  Unspecified bits of [value] are zero. *)
+
+val cube_covers : cube -> int -> bool
+(** Does the cube contain the minterm? *)
+
+val primes : n:int -> on_set:int list -> cube list
+(** All prime implicants of the on-set (no don't-cares). *)
+
+val cover : n:int -> on_set:int list -> cube list
+(** A prime cover of the on-set: every on-set minterm is covered and no
+    off-set minterm is. *)
+
+val synthesize :
+  name:string -> n_inputs:int -> input_names:string array -> (string * int list) list ->
+  Circuit.t
+(** [synthesize ~name ~n_inputs ~input_names outputs] builds an AND-OR
+    circuit with shared input inverters.  Each output is given by its
+    on-set (minterms over the inputs, input 0 = bit 0 = LSB).
+    @raise Invalid_argument if [n_inputs > 16] or names don't match. *)

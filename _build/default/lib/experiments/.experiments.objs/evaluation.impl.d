@@ -1,0 +1,1 @@
+lib/experiments/evaluation.ml: Circuit Coverage Engine List Option Ordering Pipeline

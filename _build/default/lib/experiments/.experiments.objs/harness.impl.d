@@ -1,0 +1,1 @@
+lib/experiments/harness.ml: Evaluation Hashtbl List Ordering Printf Reports String Suite

@@ -1,0 +1,1 @@
+lib/experiments/reports.mli: Circuit Evaluation

@@ -1,0 +1,32 @@
+type circuit_eval = {
+  name : string;
+  paper_name : string;
+  setup : Pipeline.setup;
+  runs : (Ordering.kind * Pipeline.run) list;
+}
+
+let default_orders = [ Ordering.Orig; Ordering.Dynm; Ordering.Dynm0; Ordering.Incr0 ]
+
+let evaluate ?(orders = default_orders) ?(seed = 1) ?paper_name circuit =
+  let setup = Pipeline.prepare ~seed circuit in
+  let runs = List.map (fun k -> (k, Pipeline.run_order setup k)) orders in
+  {
+    name = Circuit.title circuit;
+    paper_name = Option.value ~default:(Circuit.title circuit) paper_name;
+    setup;
+    runs;
+  }
+
+let run ev kind = List.assoc kind ev.runs
+
+let curve ev kind =
+  let r = run ev kind in
+  Coverage.of_engine_result ev.setup.Pipeline.faults r.Pipeline.engine
+
+let ave_ratio ev kind =
+  let base = Coverage.ave (curve ev Ordering.Orig) in
+  if base = 0.0 then 1.0 else Coverage.ave (curve ev kind) /. base
+
+let runtime_ratio ev kind =
+  let base = (run ev Ordering.Orig).Pipeline.engine.Engine.runtime_s in
+  if base <= 0.0 then 1.0 else (run ev kind).Pipeline.engine.Engine.runtime_s /. base

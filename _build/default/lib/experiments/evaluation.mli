@@ -1,0 +1,37 @@
+(** Shared experiment driver.
+
+    Tables 5, 6 and 7 and Figure 1 all consume the same runs (one test
+    generation per fault order per circuit); this module performs each
+    run once and the table formatters read from it. *)
+
+type circuit_eval = {
+  name : string;
+  paper_name : string;
+  setup : Pipeline.setup;
+  runs : (Ordering.kind * Pipeline.run) list;
+}
+
+val default_orders : Ordering.kind list
+(** [Orig; Dynm; Dynm0; Incr0] — the orders Table 5 reports. *)
+
+val evaluate :
+  ?orders:Ordering.kind list ->
+  ?seed:int ->
+  ?paper_name:string ->
+  Circuit.t ->
+  circuit_eval
+(** Prepare the pipeline and run every requested order.  [seed]
+    defaults to 1 (all published numbers in EXPERIMENTS.md use it). *)
+
+val run : circuit_eval -> Ordering.kind -> Pipeline.run
+(** @raise Not_found if the order was not evaluated. *)
+
+val curve : circuit_eval -> Ordering.kind -> Coverage.t
+(** Fault-coverage curve of one run. *)
+
+val ave_ratio : circuit_eval -> Ordering.kind -> float
+(** [AVEord / AVEorig] — Table 7's entries.  Requires [Orig] among the
+    evaluated orders. *)
+
+val runtime_ratio : circuit_eval -> Ordering.kind -> float
+(** [RTord / RTorig] — Table 6's entries. *)

@@ -1,0 +1,93 @@
+let eval_cache : (int * bool, Evaluation.circuit_eval list) Hashtbl.t = Hashtbl.create 4
+let setup_cache : (int * bool, Evaluation.circuit_eval list) Hashtbl.t = Hashtbl.create 4
+
+let suite_entries ~full = if full then Suite.entries else Suite.small
+
+let evaluations ?(seed = 1) ~full () =
+  match Hashtbl.find_opt eval_cache (seed, full) with
+  | Some evs -> evs
+  | None ->
+      let evs =
+        List.map
+          (fun (e : Suite.entry) ->
+            let orders =
+              if e.Suite.big then [ Ordering.Orig; Ordering.Dynm; Ordering.Dynm0 ]
+              else Evaluation.default_orders
+            in
+            Evaluation.evaluate ~orders ~seed ~paper_name:e.Suite.paper_name (Suite.build e))
+          (suite_entries ~full)
+      in
+      Hashtbl.replace eval_cache (seed, full) evs;
+      evs
+
+let table4_evaluations ?(seed = 1) ~full () =
+  match (Hashtbl.find_opt eval_cache (seed, full), Hashtbl.find_opt setup_cache (seed, full)) with
+  | Some evs, _ -> evs
+  | None, Some evs -> evs
+  | None, None ->
+      let evs =
+        List.map
+          (fun (e : Suite.entry) ->
+            Evaluation.evaluate ~orders:[] ~seed ~paper_name:e.Suite.paper_name (Suite.build e))
+          (suite_entries ~full)
+      in
+      Hashtbl.replace setup_cache (seed, full) evs;
+      evs
+
+let figure1_eval ?(seed = 1) () =
+  let evs = evaluations ~seed ~full:false () in
+  List.find (fun (ev : Evaluation.circuit_eval) -> ev.Evaluation.name = "syn420") evs
+
+let ablation_evals ?(seed = 1) () =
+  let orders = [ Ordering.Decr; Ordering.Decr0; Ordering.Dynm; Ordering.Dynm0 ] in
+  List.filteri (fun i _ -> i < 6) Suite.small
+  |> List.map (fun (e : Suite.entry) ->
+         Evaluation.evaluate ~orders ~seed ~paper_name:e.Suite.paper_name (Suite.build e))
+
+let experiment_names =
+  [
+    "table1"; "table4"; "table5"; "table6"; "table7"; "figure1"; "ablation-static";
+    "ablation-u"; "ablation-ndetection"; "ablation-estimator"; "ablation-reorder";
+    "ablation-independence"; "ablation-engines"; "ablation-compaction";
+    "ablation-truncation"; "all";
+  ]
+
+let rec run_experiment ?(seed = 1) ~full which =
+  match which with
+  | "table1" -> Reports.table1 ()
+  | "table4" -> Reports.table4 (table4_evaluations ~seed ~full ())
+  | "table5" -> Reports.table5 (evaluations ~seed ~full ())
+  | "table6" -> Reports.table6 (evaluations ~seed ~full ())
+  | "table7" -> Reports.table7 (evaluations ~seed ~full ())
+  | "figure1" -> Reports.figure1 (figure1_eval ~seed ())
+  | "ablation-static" -> Reports.ablation_static (ablation_evals ~seed ())
+  | "ablation-u" -> Reports.ablation_u (Suite.build_by_name "syn420") ~seed
+  | "ablation-ndetection" -> Reports.ablation_ndetection (Suite.build_by_name "syn420") ~seed
+  | "ablation-estimator" -> Reports.ablation_estimator (Suite.build_by_name "syn420") ~seed
+  | "ablation-reorder" ->
+      let evs = evaluations ~seed ~full:false () in
+      Reports.ablation_reorder (List.filteri (fun i _ -> i < 6) evs)
+  | "ablation-independence" ->
+      let evs = evaluations ~seed ~full:false () in
+      Reports.ablation_independence (List.filteri (fun i _ -> i < 6) evs)
+  | "ablation-truncation" ->
+      let evs = evaluations ~seed ~full:false () in
+      Reports.ablation_truncation (List.filteri (fun i _ -> i < 4) evs)
+  | "ablation-compaction" ->
+      let evs = evaluations ~seed ~full:false () in
+      Reports.ablation_compaction (List.filteri (fun i _ -> i < 6) evs)
+  | "ablation-engines" ->
+      Reports.ablation_engines
+        [ Suite.build_by_name "c17"; Suite.build_by_name "lion";
+          Suite.build_by_name "syn208"; Suite.build_by_name "syn298";
+          Suite.build_by_name "syn344" ]
+  | "all" ->
+      String.concat "\n"
+        (List.filter_map
+           (fun w -> if w = "all" then None else Some (run_experiment ~seed ~full w))
+           experiment_names)
+  | _ ->
+      invalid_arg
+        (Printf.sprintf "Harness.run_experiment: unknown experiment %S (expected one of %s)"
+           which
+           (String.concat ", " experiment_names))

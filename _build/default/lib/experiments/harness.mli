@@ -1,0 +1,24 @@
+(** Experiment orchestration.
+
+    Builds each suite circuit once per process, shares the per-circuit
+    evaluations between tables 5/6/7 and figure 1, and renders the
+    requested artefact.  The CLI ([adi-atpg experiment]) and the bench
+    driver ([bench/main.exe]) both go through this module, so their
+    outputs are identical. *)
+
+val evaluations : ?seed:int -> full:bool -> unit -> Evaluation.circuit_eval list
+(** One evaluation per suite circuit ([full] adds syn5378/syn13207,
+    for which the deliberately bad [Fincr0] order is skipped, as in the
+    paper).  Memoised per (seed, full). *)
+
+val table4_evaluations : ?seed:int -> full:bool -> unit -> Evaluation.circuit_eval list
+(** Setup-only evaluations (no ATPG runs) — enough for Table 4 and
+    much faster when only that table is wanted. *)
+
+val run_experiment : ?seed:int -> full:bool -> string -> string
+(** [run_experiment name] renders one artefact: ["table1"], ["table4"],
+    ["table5"], ["table6"], ["table7"], ["figure1"],
+    ["ablation-static"], ["ablation-u"], or ["all"].
+    @raise Invalid_argument on an unknown name. *)
+
+val experiment_names : string list

@@ -1,0 +1,503 @@
+module Table = Util.Table
+module Bitvec = Util.Bitvec
+
+let buf_add = Buffer.add_string
+
+let table1 () =
+  let buf = Buffer.create 2048 in
+  let c = Kiss.to_combinational (Kiss.lion ()) in
+  let faults = Collapse.collapsed c in
+  let n_inputs = Array.length (Circuit.inputs c) in
+  let u = Patterns.exhaustive ~n_inputs in
+  let adi = Adi_index.compute faults u in
+  buf_add buf
+    (Printf.sprintf
+       "Table 1: input vectors of lion (stand-in synthesis: %d inputs, %d collapsed faults)\n\n"
+       n_inputs (Fault_list.count faults));
+  let t = Table.create (("u", Table.Right) :: List.init 16 (fun i -> (string_of_int i, Table.Right))) in
+  Table.add_row t ("ndet(u)" :: List.init 16 (fun i -> string_of_int adi.Adi_index.ndet.(i)));
+  buf_add buf (Table.render t);
+  (* Worked examples in the style of Section 2: the faults with the
+     smallest and largest ADI, plus the first one detected by several
+     vectors of equal ndet if present. *)
+  buf_add buf "\nWorked examples (Section 2 style):\n";
+  let show fi =
+    let f = Fault_list.get faults fi in
+    let ds = ref [] in
+    Bitvec.iter_set adi.Adi_index.dsets.(fi) (fun uidx -> ds := uidx :: !ds);
+    let ds = List.rev !ds in
+    buf_add buf
+      (Printf.sprintf "  f%-3d %-22s D(f) = {%s}  ADI(f) = %d\n" fi
+         (Fault.to_string c f)
+         (String.concat ", " (List.map string_of_int ds))
+         adi.Adi_index.adi.(fi))
+  in
+  let detected = ref [] in
+  Array.iteri (fun fi a -> if a > 0 then detected := fi :: !detected) adi.Adi_index.adi;
+  let detected = List.rev !detected in
+  (match detected with
+  | [] -> buf_add buf "  (no faults detected by U)\n"
+  | _ ->
+      let by_adi cmp =
+        List.fold_left
+          (fun acc fi ->
+            match acc with
+            | None -> Some fi
+            | Some m -> if cmp adi.Adi_index.adi.(fi) adi.Adi_index.adi.(m) then Some fi else acc)
+          None detected
+      in
+      Option.iter show (by_adi ( < ));
+      Option.iter show (by_adi ( > ));
+      (match List.nth_opt detected (List.length detected / 2) with
+      | Some fi -> show fi
+      | None -> ()));
+  (* First steps of the dynamic ordering, as in Section 3. *)
+  buf_add buf "\nDynamic ordering (first four selections of Fdynm):\n";
+  let order = Ordering.order Ordering.Dynm adi in
+  let ndet = Array.copy adi.Adi_index.ndet in
+  let current fi =
+    let m = ref max_int in
+    Bitvec.iter_set adi.Adi_index.dsets.(fi) (fun uu -> if ndet.(uu) < !m then m := ndet.(uu));
+    if !m = max_int then 0 else !m
+  in
+  Array.iteri
+    (fun step fi ->
+      if step < 4 then begin
+        buf_add buf
+          (Printf.sprintf "  step %d: f%d (%s), current ADI = %d\n" (step + 1) fi
+             (Fault.to_string c (Fault_list.get faults fi))
+             (current fi));
+        Bitvec.iter_set adi.Adi_index.dsets.(fi) (fun uu -> ndet.(uu) <- ndet.(uu) - 1)
+      end)
+    order;
+  Buffer.contents buf
+
+let table4 evals =
+  let t =
+    Table.create
+      [
+        ("circuit", Table.Left);
+        ("(stands in for)", Table.Left);
+        ("inp", Table.Right);
+        ("vec", Table.Right);
+        ("min", Table.Right);
+        ("max", Table.Right);
+        ("ratio", Table.Right);
+      ]
+  in
+  List.iter
+    (fun (ev : Evaluation.circuit_eval) ->
+      let s = ev.setup in
+      let adi = s.Pipeline.adi in
+      let inp = Array.length (Circuit.inputs s.Pipeline.circuit) in
+      let vec = Patterns.count s.Pipeline.selection.Adi_index.u in
+      let mn, mx, ratio =
+        match Adi_index.min_max adi with
+        | Some (a, b) -> (string_of_int a, string_of_int b, Table.fmt_float 2 (float_of_int b /. float_of_int a))
+        | None -> ("-", "-", "-")
+      in
+      Table.add_row t [ ev.name; ev.paper_name; string_of_int inp; string_of_int vec; mn; mx; ratio ])
+    evals;
+  "Table 4: Accidental detection index\n\n" ^ Table.render t
+
+let order_cell ev kind =
+  match List.assoc_opt kind ev.Evaluation.runs with
+  | None -> "-"
+  | Some r -> string_of_int (Pipeline.test_count r)
+
+let table5 evals =
+  let t =
+    Table.create
+      [
+        ("circuit", Table.Left);
+        ("orig", Table.Right);
+        ("dynm", Table.Right);
+        ("0dynm", Table.Right);
+        ("incr0", Table.Right);
+      ]
+  in
+  let sums = Array.make 4 0.0 and n_complete = ref 0 in
+  List.iter
+    (fun (ev : Evaluation.circuit_eval) ->
+      let cells = List.map (order_cell ev) [ Ordering.Orig; Ordering.Dynm; Ordering.Dynm0; Ordering.Incr0 ] in
+      (match cells with
+      | [ a; b; c; d ] when d <> "-" ->
+          sums.(0) <- sums.(0) +. float_of_string a;
+          sums.(1) <- sums.(1) +. float_of_string b;
+          sums.(2) <- sums.(2) +. float_of_string c;
+          sums.(3) <- sums.(3) +. float_of_string d;
+          incr n_complete
+      | _ -> ());
+      Table.add_row t (ev.name :: cells))
+    evals;
+  if !n_complete > 0 then begin
+    Table.add_rule t;
+    Table.add_row t
+      ("average"
+      :: List.init 4 (fun i -> Table.fmt_float 1 (sums.(i) /. float_of_int !n_complete)))
+  end;
+  "Table 5: Test generation (test-set sizes per fault order)\n\n" ^ Table.render t
+
+let ratio_table ~title ~value evals kinds =
+  let t =
+    Table.create
+      (("circuit", Table.Left) :: List.map (fun k -> (Ordering.to_string k, Table.Right)) kinds)
+  in
+  let sums = Array.make (List.length kinds) 0.0 and n = ref 0 in
+  List.iter
+    (fun (ev : Evaluation.circuit_eval) ->
+      let cells =
+        List.mapi
+          (fun i k ->
+            match List.assoc_opt k ev.Evaluation.runs with
+            | None -> "-"
+            | Some _ ->
+                let v = value ev k in
+                sums.(i) <- sums.(i) +. v;
+                Table.fmt_ratio v)
+          kinds
+      in
+      incr n;
+      Table.add_row t (ev.name :: cells))
+    evals;
+  if !n > 0 then begin
+    Table.add_rule t;
+    Table.add_row t
+      ("average" :: List.mapi (fun i _ -> Table.fmt_ratio (sums.(i) /. float_of_int !n)) kinds)
+  end;
+  title ^ "\n\n" ^ Table.render t
+
+let table6 evals =
+  ratio_table ~title:"Table 6: Relative run times (RTord / RTorig)"
+    ~value:Evaluation.runtime_ratio evals
+    [ Ordering.Orig; Ordering.Dynm; Ordering.Dynm0 ]
+
+let table7 evals =
+  ratio_table ~title:"Table 7: Steepness of fault coverage curves (AVEord / AVEorig)"
+    ~value:Evaluation.ave_ratio evals
+    [ Ordering.Orig; Ordering.Dynm; Ordering.Dynm0 ]
+
+let figure1 ev =
+  let series kind marker label =
+    match List.assoc_opt kind ev.Evaluation.runs with
+    | None -> None
+    | Some _ ->
+        Some { Util.Plot.marker; points = Coverage.points (Evaluation.curve ev kind); label }
+  in
+  let all =
+    List.filter_map Fun.id
+      [
+        series Ordering.Orig 'o' "orig";
+        series Ordering.Dynm 'd' "dynm";
+        series Ordering.Dynm0 'z' "0dynm";
+      ]
+  in
+  Printf.sprintf "Figure 1: Fault coverage curve for %s\n\n%s" ev.Evaluation.name
+    (Util.Plot.render ~x_label:"tests (%)" ~y_label:"fault coverage (%)" all)
+
+let ablation_static evals =
+  let kinds = [ Ordering.Decr; Ordering.Decr0; Ordering.Dynm; Ordering.Dynm0 ] in
+  let t =
+    Table.create
+      (("circuit", Table.Left)
+      :: List.map (fun k -> (Ordering.to_string k ^ " tests", Table.Right)) kinds)
+  in
+  List.iter
+    (fun (ev : Evaluation.circuit_eval) ->
+      Table.add_row t (ev.Evaluation.name :: List.map (order_cell ev) kinds))
+    evals;
+  "Ablation A1: static vs dynamic ADI orders (test-set sizes)\n\n" ^ Table.render t
+
+let ablation_u circuit ~seed =
+  let t =
+    Table.create
+      [
+        ("target cov", Table.Right);
+        ("|U|", Table.Right);
+        ("U cov", Table.Right);
+        ("ADI min", Table.Right);
+        ("ADI max", Table.Right);
+        ("0dynm tests", Table.Right);
+      ]
+  in
+  List.iter
+    (fun target ->
+      let setup = Pipeline.prepare ~seed ~target_coverage:target circuit in
+      let run = Pipeline.run_order setup Ordering.Dynm0 in
+      let mn, mx =
+        match Adi_index.min_max setup.Pipeline.adi with
+        | Some (a, b) -> (string_of_int a, string_of_int b)
+        | None -> ("-", "-")
+      in
+      Table.add_row t
+        [
+          Table.fmt_float 2 target;
+          string_of_int (Patterns.count setup.Pipeline.selection.Adi_index.u);
+          Table.fmt_float 3 (Adi_index.coverage_of_u setup.Pipeline.adi);
+          mn;
+          mx;
+          string_of_int (Pipeline.test_count run);
+        ])
+    [ 0.5; 0.75; 0.9; 0.95 ];
+  "Ablation A2: sensitivity to the U-selection coverage target ("
+  ^ Circuit.title circuit ^ ")\n\n" ^ Table.render t
+
+let ablation_ndetection circuit ~seed =
+  let t =
+    Table.create
+      [
+        ("n", Table.Right);
+        ("ADI min", Table.Right);
+        ("ADI max", Table.Right);
+        ("0dynm tests", Table.Right);
+      ]
+  in
+  let setup = Pipeline.prepare ~seed circuit in
+  let faults = setup.Pipeline.faults in
+  let u = setup.Pipeline.selection.Adi_index.u in
+  let row label adi =
+    let order = Ordering.order Ordering.Dynm0 adi in
+    let config = { Engine.default_config with seed } in
+    let result = Engine.run ~config faults ~order in
+    let mn, mx =
+      match Adi_index.min_max adi with
+      | Some (a, b) -> (string_of_int a, string_of_int b)
+      | None -> ("-", "-")
+    in
+    Table.add_row t [ label; mn; mx; string_of_int (Patterns.count result.Engine.tests) ]
+  in
+  List.iter
+    (fun n -> row (string_of_int n) (Adi_index.compute_n_detection ~n faults u))
+    [ 1; 2; 4; 8; 16 ];
+  row "full" setup.Pipeline.adi;
+  "Ablation A3: n-detection estimation of ndet(u) (" ^ Circuit.title circuit
+  ^ ")\n\n" ^ Table.render t
+
+let ablation_estimator circuit ~seed =
+  let t =
+    Table.create
+      [
+        ("estimator", Table.Left);
+        ("ADI min", Table.Right);
+        ("ADI max", Table.Right);
+        ("dynm tests", Table.Right);
+        ("0dynm tests", Table.Right);
+        ("dynm AVE", Table.Right);
+      ]
+  in
+  let setup = Pipeline.prepare ~seed circuit in
+  let faults = setup.Pipeline.faults in
+  let u = setup.Pipeline.selection.Adi_index.u in
+  List.iter
+    (fun (label, estimator) ->
+      let adi = Adi_index.compute ~estimator faults u in
+      let config = { Engine.default_config with seed } in
+      let run kind = Engine.run ~config faults ~order:(Ordering.order kind adi) in
+      let dynm = run Ordering.Dynm and dynm0 = run Ordering.Dynm0 in
+      let mn, mx =
+        match Adi_index.min_max adi with
+        | Some (a, b) -> (string_of_int a, string_of_int b)
+        | None -> ("-", "-")
+      in
+      Table.add_row t
+        [
+          label;
+          mn;
+          mx;
+          string_of_int (Patterns.count dynm.Engine.tests);
+          string_of_int (Patterns.count dynm0.Engine.tests);
+          Table.fmt_float 2 (Coverage.ave (Coverage.of_engine_result faults dynm));
+        ])
+    [ ("minimum", Adi_index.Minimum); ("average", Adi_index.Average) ];
+  "Ablation A4: ADI estimator, min (paper) vs average (" ^ Circuit.title circuit
+  ^ ")\n\n" ^ Table.render t
+
+let ablation_reorder evals =
+  let t =
+    Table.create
+      [
+        ("circuit", Table.Left);
+        ("AVE orig", Table.Right);
+        ("AVE orig+reorder", Table.Right);
+        ("AVE dynm", Table.Right);
+        ("AVE dynm+reorder", Table.Right);
+      ]
+  in
+  List.iter
+    (fun (ev : Evaluation.circuit_eval) ->
+      let faults = ev.Evaluation.setup.Pipeline.faults in
+      let ave_of pats = Coverage.ave (Coverage.of_test_set faults pats) in
+      let tests kind = (Evaluation.run ev kind).Pipeline.engine.Engine.tests in
+      let reordered pats = Reorder.apply pats (Reorder.greedy faults pats) in
+      let t_orig = tests Ordering.Orig and t_dynm = tests Ordering.Dynm in
+      Table.add_row t
+        [
+          ev.Evaluation.name;
+          Table.fmt_float 2 (ave_of t_orig);
+          Table.fmt_float 2 (ave_of (reordered t_orig));
+          Table.fmt_float 2 (ave_of t_dynm);
+          Table.fmt_float 2 (ave_of (reordered t_dynm));
+        ])
+    evals;
+  "Ablation A5: a-priori ADI ordering vs a-posteriori test reordering [7]\n\n"
+  ^ Table.render t
+
+let ablation_independence evals =
+  let t =
+    Table.create
+      [
+        ("circuit", Table.Left);
+        ("orig", Table.Right);
+        ("indep [2]", Table.Right);
+        ("0dynm", Table.Right);
+      ]
+  in
+  List.iter
+    (fun (ev : Evaluation.circuit_eval) ->
+      let setup = ev.Evaluation.setup in
+      let config = { Engine.default_config with seed = setup.Pipeline.seed } in
+      let indep_order = Independence.order setup.Pipeline.adi in
+      let indep = Engine.run ~config setup.Pipeline.faults ~order:indep_order in
+      Table.add_row t
+        [
+          ev.Evaluation.name;
+          order_cell ev Ordering.Orig;
+          string_of_int (Patterns.count indep.Engine.tests);
+          order_cell ev Ordering.Dynm0;
+        ])
+    evals;
+  "Ablation A6: independence-based ordering (COMPACTEST, ref. [2]) vs ADI\n\n"
+  ^ Table.render t
+
+let ablation_engines circuits =
+  let t =
+    Table.create
+      [
+        ("circuit", Table.Left);
+        ("faults", Table.Right);
+        ("agree", Table.Right);
+        ("podem unt/abt", Table.Right);
+        ("dalg unt/abt", Table.Right);
+        ("podem decisions", Table.Right);
+        ("dalg decisions", Table.Right);
+      ]
+  in
+  List.iter
+    (fun c ->
+      let fl = Collapse.collapsed c in
+      let scoap = Scoap.compute c in
+      let pstats = Podem.fresh_stats () and dstats = Podem.fresh_stats () in
+      let ctx = Podem.context ~stats:pstats c scoap in
+      let agree = ref 0 in
+      let p_unt = ref 0 and p_abt = ref 0 and d_unt = ref 0 and d_abt = ref 0 in
+      for fi = 0 to Fault_list.count fl - 1 do
+        let f = Fault_list.get fl fi in
+        let p = Podem.generate_in ~backtrack_limit:1024 ctx f in
+        let d = Dalg.generate ~backtrack_limit:1024 ~stats:dstats c scoap f in
+        (match p with
+        | Podem.Untestable -> incr p_unt
+        | Podem.Aborted -> incr p_abt
+        | Podem.Test _ -> ());
+        (match d with
+        | Podem.Untestable -> incr d_unt
+        | Podem.Aborted -> incr d_abt
+        | Podem.Test _ -> ());
+        match (p, d) with
+        | Podem.Test _, Podem.Test _
+        | Podem.Untestable, Podem.Untestable
+        | Podem.Aborted, _
+        | _, Podem.Aborted ->
+            incr agree
+        | _ -> ()
+      done;
+      Table.add_row t
+        [
+          Circuit.title c;
+          string_of_int (Fault_list.count fl);
+          Printf.sprintf "%d/%d" !agree (Fault_list.count fl);
+          Printf.sprintf "%d/%d" !p_unt !p_abt;
+          Printf.sprintf "%d/%d" !d_unt !d_abt;
+          string_of_int pstats.Podem.decisions;
+          string_of_int dstats.Podem.decisions;
+        ])
+    circuits;
+  "Ablation A7: PODEM vs D-algorithm (outcome agreement, search effort)\n\n"
+  ^ Table.render t
+
+let ablation_compaction evals =
+  let t =
+    Table.create
+      [
+        ("circuit", Table.Left);
+        ("orig", Table.Right);
+        ("0dynm", Table.Right);
+        ("orig+dyncomp", Table.Right);
+        ("0dynm+dyncomp", Table.Right);
+        ("dyncomp RT/orig RT", Table.Right);
+      ]
+  in
+  List.iter
+    (fun (ev : Evaluation.circuit_eval) ->
+      let setup = ev.Evaluation.setup in
+      let faults = setup.Pipeline.faults in
+      let config = { Engine.default_config with seed = setup.Pipeline.seed } in
+      let orig_r = (Evaluation.run ev Ordering.Orig).Pipeline.engine in
+      let comp order = Engine.run_compacting ~config faults ~order in
+      let c_orig = comp (Ordering.order Ordering.Orig setup.Pipeline.adi) in
+      let c_dynm0 = comp (Ordering.order Ordering.Dynm0 setup.Pipeline.adi) in
+      let rt =
+        if orig_r.Engine.runtime_s > 0.0 then
+          c_orig.Engine.runtime_s /. orig_r.Engine.runtime_s
+        else 1.0
+      in
+      Table.add_row t
+        [
+          ev.Evaluation.name;
+          order_cell ev Ordering.Orig;
+          order_cell ev Ordering.Dynm0;
+          string_of_int (Patterns.count c_orig.Engine.tests);
+          string_of_int (Patterns.count c_dynm0.Engine.tests);
+          Table.fmt_ratio rt;
+        ])
+    evals;
+  "Ablation A8: ADI ordering vs dynamic compaction (secondary targets, ref. [1])\n\n"
+  ^ Table.render t
+
+let ablation_truncation evals =
+  let t =
+    Table.create
+      [
+        ("circuit", Table.Left);
+        ("order", Table.Left);
+        ("keep 25%", Table.Right);
+        ("keep 50%", Table.Right);
+        ("keep 75%", Table.Right);
+        ("full", Table.Right);
+      ]
+  in
+  List.iter
+    (fun (ev : Evaluation.circuit_eval) ->
+      List.iter
+        (fun kind ->
+          match List.assoc_opt kind ev.Evaluation.runs with
+          | None -> ()
+          | Some _ ->
+              let curve = Evaluation.curve ev kind in
+              let k = Coverage.tests curve in
+              let pct p =
+                Table.fmt_float 1
+                  (100.0 *. Coverage.truncated_coverage curve ~keep:(k * p / 100))
+              in
+              Table.add_row t
+                [
+                  ev.Evaluation.name;
+                  Ordering.to_string kind;
+                  pct 25;
+                  pct 50;
+                  pct 75;
+                  pct 100;
+                ])
+        [ Ordering.Orig; Ordering.Dynm; Ordering.Dynm0 ])
+    evals;
+  "Ablation A9: coverage after truncating the test set (tester-memory motivation)\n\n"
+  ^ Table.render t

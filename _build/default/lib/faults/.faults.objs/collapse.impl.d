@@ -1,0 +1,1 @@
+lib/faults/collapse.ml: Array Circuit Fault Fault_list Fun Gate

@@ -1,0 +1,1 @@
+lib/faults/collapse.mli: Circuit Fault_list

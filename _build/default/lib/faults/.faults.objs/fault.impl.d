@@ -1,0 +1,1 @@
+lib/faults/fault.ml: Array Circuit Format Printf Stdlib

@@ -1,0 +1,1 @@
+lib/faults/fault_list.ml: Array Circuit Fault Hashtbl List

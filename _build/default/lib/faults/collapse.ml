@@ -1,0 +1,82 @@
+type result = {
+  representatives : Fault_list.t;
+  class_of : int array;
+  class_sizes : int array;
+}
+
+(* Union-find with path compression; union by smaller root index so the
+   class representative is the smallest member. *)
+let rec find parent i = if parent.(i) = i then i else begin
+    parent.(i) <- find parent parent.(i);
+    parent.(i)
+  end
+
+let union parent a b =
+  let ra = find parent a and rb = find parent b in
+  if ra <> rb then if ra < rb then parent.(rb) <- ra else parent.(ra) <- rb
+
+let equivalence fl =
+  let c = Fault_list.circuit fl in
+  let n = Fault_list.count fl in
+  let parent = Array.init n Fun.id in
+  let idx f =
+    match Fault_list.index fl f with
+    | Some i -> i
+    | None -> invalid_arg "Collapse.equivalence: fault list is not a full universe"
+  in
+  let join f g = union parent (idx f) (idx g) in
+  Circuit.iter_nodes c (fun g ->
+      let k = Circuit.kind c g in
+      let pins = Array.length (Circuit.fanins c g) in
+      (* Controlling-value input faults fold into the output fault. *)
+      (match Gate.controlling_value k with
+      | Some cv ->
+          let out_val = if Gate.inverting k then not cv else cv in
+          for p = 0 to pins - 1 do
+            join (Fault.branch ~gate:g ~pin:p cv) (Fault.stem g out_val)
+          done
+      | None -> ());
+      (* Buffer / inverter: both polarities fold through. *)
+      (match k with
+      | Gate.Buf ->
+          join (Fault.branch ~gate:g ~pin:0 false) (Fault.stem g false);
+          join (Fault.branch ~gate:g ~pin:0 true) (Fault.stem g true)
+      | Gate.Not ->
+          join (Fault.branch ~gate:g ~pin:0 false) (Fault.stem g true);
+          join (Fault.branch ~gate:g ~pin:0 true) (Fault.stem g false)
+      | _ -> ());
+      (* Fanout-free stem: the stem and its only branch are one line. *)
+      let fo = Circuit.fanouts c g in
+      if Array.length fo = 1 && not (Circuit.is_output c g) then begin
+        let consumer = fo.(0) in
+        let cf = Circuit.fanins c consumer in
+        let uses = ref [] in
+        Array.iteri (fun p f -> if f = g then uses := p :: !uses) cf;
+        match !uses with
+        | [ p ] ->
+            join (Fault.stem g false) (Fault.branch ~gate:consumer ~pin:p false);
+            join (Fault.stem g true) (Fault.branch ~gate:consumer ~pin:p true)
+        | _ -> () (* same signal on several pins: stem differs from each branch *)
+      end);
+  (* Extract representatives in index order. *)
+  let is_rep = Array.make n false in
+  for i = 0 to n - 1 do
+    is_rep.(find parent i) <- true
+  done;
+  let rep_ids = ref [] in
+  for i = n - 1 downto 0 do
+    if is_rep.(i) then rep_ids := i :: !rep_ids
+  done;
+  let rep_ids = Array.of_list !rep_ids in
+  let rep_pos = Array.make n (-1) in
+  Array.iteri (fun pos i -> rep_pos.(i) <- pos) rep_ids;
+  let class_of = Array.init n (fun i -> rep_pos.(find parent i)) in
+  let class_sizes = Array.make (Array.length rep_ids) 0 in
+  Array.iter (fun r -> class_sizes.(r) <- class_sizes.(r) + 1) class_of;
+  { representatives = Fault_list.sub fl rep_ids; class_of; class_sizes }
+
+let collapsed c = (equivalence (Fault_list.full c)).representatives
+
+let collapse_ratio r =
+  float_of_int (Array.length r.class_of)
+  /. float_of_int (Fault_list.count r.representatives)

@@ -1,0 +1,36 @@
+(** Structural equivalence fault collapsing.
+
+    Two faults are equivalent when every test detecting one detects the
+    other.  Structural rules capture the classic cases:
+
+    - a controlling-value input fault of an AND/NAND (s-a-0) or OR/NOR
+      (s-a-1) gate is equivalent to the corresponding output fault;
+    - input and output faults of a buffer/inverter are equivalent
+      (polarity flipped for the inverter);
+    - a stem fault is equivalent to the branch fault of its single
+      consumer pin when the net does not fan out.
+
+    Collapsing shrinks the target list roughly 2-3x without changing
+    which tests exist, and the representative's detection data stands
+    for the whole class.  The paper targets "the set of single stuck-at
+    faults"; like all practical ATPG flows we target the collapsed set
+    and report class sizes alongside. *)
+
+type result = {
+  representatives : Fault_list.t;  (** one fault per equivalence class *)
+  class_of : int array;
+      (** full-list index -> representative index in [representatives] *)
+  class_sizes : int array;  (** representative index -> class size *)
+}
+
+val equivalence : Fault_list.t -> result
+(** Collapse a {!Fault_list.full} universe.  The representative of each
+    class is its smallest full-list index, and representatives keep
+    their relative full-list order, so the collapsed list's natural
+    order is still the paper's [Forig]. *)
+
+val collapsed : Circuit.t -> Fault_list.t
+(** [equivalence (Fault_list.full c)].representatives. *)
+
+val collapse_ratio : result -> float
+(** |full| / |collapsed|. *)

@@ -1,0 +1,20 @@
+type site = Stem of int | Branch of { gate : int; pin : int }
+type t = { site : site; stuck_at : bool }
+
+let stem id v = { site = Stem id; stuck_at = v }
+let branch ~gate ~pin v = { site = Branch { gate; pin }; stuck_at = v }
+
+let site_node f = match f.site with Stem id -> id | Branch { gate; _ } -> gate
+
+let compare (a : t) (b : t) = Stdlib.compare a b
+let equal (a : t) (b : t) = a = b
+
+let to_string c f =
+  let sa = if f.stuck_at then "s-a-1" else "s-a-0" in
+  match f.site with
+  | Stem id -> Printf.sprintf "%s %s" (Circuit.name c id) sa
+  | Branch { gate; pin } ->
+      let driver = (Circuit.fanins c gate).(pin) in
+      Printf.sprintf "%s.in%d (%s) %s" (Circuit.name c gate) pin (Circuit.name c driver) sa
+
+let pp c ppf f = Format.pp_print_string ppf (to_string c f)

@@ -1,0 +1,29 @@
+(** Single stuck-at faults.
+
+    A fault site is either a gate/PI output (a {e stem}) or one input
+    pin of a gate (a {e branch} of the driving net).  Stem and branch
+    faults differ exactly when the driving net fans out: a branch fault
+    affects one consumer only.  Together with a stuck-at polarity this
+    is the classic single-stuck-at model the paper uses. *)
+
+type site =
+  | Stem of int  (** the output of node [id] *)
+  | Branch of { gate : int; pin : int }
+      (** input pin [pin] (0-based) of node [gate] *)
+
+type t = { site : site; stuck_at : bool }
+
+val stem : int -> bool -> t
+val branch : gate:int -> pin:int -> bool -> t
+
+val site_node : t -> int
+(** The node at which the faulty value is injected: the node itself for
+    a stem fault, the consuming gate for a branch fault. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val to_string : Circuit.t -> t -> string
+(** e.g. ["G17 s-a-1"] or ["G10.in2 (G5) s-a-0"]. *)
+
+val pp : Circuit.t -> Format.formatter -> t -> unit

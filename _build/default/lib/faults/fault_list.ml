@@ -1,0 +1,41 @@
+type t = {
+  circuit : Circuit.t;
+  faults : Fault.t array;
+  idx : (Fault.t, int) Hashtbl.t;
+}
+
+let circuit t = t.circuit
+let count t = Array.length t.faults
+let get t i = t.faults.(i)
+let faults t = t.faults
+let index t f = Hashtbl.find_opt t.idx f
+
+let of_faults circuit faults =
+  let idx = Hashtbl.create (2 * Array.length faults) in
+  Array.iteri
+    (fun i f ->
+      if Hashtbl.mem idx f then invalid_arg "Fault_list.of_faults: duplicate fault";
+      Hashtbl.add idx f i)
+    faults;
+  { circuit; faults; idx }
+
+let full c =
+  if Circuit.has_state c then
+    invalid_arg "Fault_list.full: circuit has flip-flops; apply Scan.combinational first";
+  let acc = ref [] in
+  Circuit.iter_nodes c (fun i ->
+      acc := Fault.stem i true :: Fault.stem i false :: !acc;
+      let pins = Array.length (Circuit.fanins c i) in
+      for p = pins - 1 downto 0 do
+        acc := Fault.branch ~gate:i ~pin:p true :: Fault.branch ~gate:i ~pin:p false :: !acc
+      done);
+  (* Built backwards twice over, so reverse restores node-major order. *)
+  let faults =
+    !acc |> List.rev
+    |> List.sort (fun a b ->
+           let node f = Fault.site_node f in
+           compare (node a) (node b) |> fun c0 -> if c0 <> 0 then c0 else Fault.compare a b)
+  in
+  of_faults c (Array.of_list faults)
+
+let sub t idxs = of_faults t.circuit (Array.map (fun i -> t.faults.(i)) idxs)

@@ -1,0 +1,30 @@
+(** Fault universes over a circuit.
+
+    A fault list fixes an indexed set of faults [0 .. count-1]; every
+    simulator and ordering in the library speaks in these indices.  The
+    index order of {!full} (node-major, stem faults before branch
+    faults, s-a-0 before s-a-1) is the "original order" [Forig] that the
+    paper uses as its baseline. *)
+
+type t
+
+val circuit : t -> Circuit.t
+val count : t -> int
+val get : t -> int -> Fault.t
+val faults : t -> Fault.t array
+(** The backing array; do not mutate. *)
+
+val index : t -> Fault.t -> int option
+(** Index of a fault in this list, if present. *)
+
+val full : Circuit.t -> t
+(** Every stuck-at fault: two per node output and two per gate input
+    pin.  Requires a combinational circuit.
+    @raise Invalid_argument if the circuit has flip-flops. *)
+
+val of_faults : Circuit.t -> Fault.t array -> t
+(** A custom universe (used by collapsing and by tests). *)
+
+val sub : t -> int array -> t
+(** [sub t idxs] restricts the universe to the given indices (fresh
+    dense indexing in the order given). *)

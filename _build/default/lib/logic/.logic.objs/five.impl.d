@@ -1,0 +1,1 @@
+lib/logic/five.ml: Array Format Ternary

@@ -1,0 +1,1 @@
+lib/logic/five.mli: Format Gate Ternary

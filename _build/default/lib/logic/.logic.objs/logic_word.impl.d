@@ -1,0 +1,1 @@
+lib/logic/logic_word.ml: Array Gate Int64 Printf

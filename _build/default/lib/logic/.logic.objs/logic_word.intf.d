@@ -1,0 +1,1 @@
+lib/logic/logic_word.mli: Gate

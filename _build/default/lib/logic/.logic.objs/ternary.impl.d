@@ -1,0 +1,1 @@
+lib/logic/ternary.ml: Array Format Gate Printf

@@ -1,0 +1,22 @@
+let eval_array k vs =
+  let n = Array.length vs in
+  if not (Gate.arity_ok k n) then
+    invalid_arg
+      (Printf.sprintf "Boolean.eval: %s with %d fanins" (Gate.to_string k) n);
+  let all_true () = Array.for_all Fun.id vs in
+  let any_true () = Array.exists Fun.id vs in
+  let parity () = Array.fold_left (fun acc v -> if v then not acc else acc) false vs in
+  match k with
+  | Gate.Const0 -> false
+  | Gate.Const1 -> true
+  | Gate.Input -> invalid_arg "Boolean.eval: primary input has no gate function"
+  | Gate.Buf | Gate.Dff -> vs.(0)
+  | Gate.Not -> not vs.(0)
+  | Gate.And -> all_true ()
+  | Gate.Nand -> not (all_true ())
+  | Gate.Or -> any_true ()
+  | Gate.Nor -> not (any_true ())
+  | Gate.Xor -> parity ()
+  | Gate.Xnor -> not (parity ())
+
+let eval k vs = eval_array k (Array.of_list vs)

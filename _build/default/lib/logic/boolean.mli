@@ -1,0 +1,13 @@
+(** Scalar two-valued gate semantics — the reference model.
+
+    Every other evaluator in the library (bit-parallel words, ternary,
+    five-valued) must agree with this one on binary inputs; the test
+    suite checks that by property testing. *)
+
+val eval : Gate.kind -> bool list -> bool
+(** [eval k vs] applies gate kind [k] to fanin values [vs].  AND/OR
+    families fold; XOR/XNOR are n-ary parity; [Buf]/[Dff] are identity
+    (a DFF evaluated combinationally passes its data input through).
+    @raise Invalid_argument on an arity violation. *)
+
+val eval_array : Gate.kind -> bool array -> bool

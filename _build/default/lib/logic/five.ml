@@ -1,0 +1,38 @@
+type t = Zero | One | D | Dbar | X
+
+let equal (a : t) b = a = b
+let inv = function Zero -> One | One -> Zero | D -> Dbar | Dbar -> D | X -> X
+
+let of_pair (g, f) =
+  match ((g : Ternary.t), (f : Ternary.t)) with
+  | Ternary.X, _ | _, Ternary.X -> X
+  | Ternary.Zero, Ternary.Zero -> Zero
+  | Ternary.One, Ternary.One -> One
+  | Ternary.One, Ternary.Zero -> D
+  | Ternary.Zero, Ternary.One -> Dbar
+
+let to_pair = function
+  | Zero -> (Ternary.Zero, Ternary.Zero)
+  | One -> (Ternary.One, Ternary.One)
+  | D -> (Ternary.One, Ternary.Zero)
+  | Dbar -> (Ternary.Zero, Ternary.One)
+  | X -> (Ternary.X, Ternary.X)
+
+let good v = fst (to_pair v)
+let faulty v = snd (to_pair v)
+let is_error = function D | Dbar -> true | Zero | One | X -> false
+
+let eval_array k vs =
+  let gs = Array.map good vs and fs = Array.map faulty vs in
+  of_pair (Ternary.eval_array k gs, Ternary.eval_array k fs)
+
+let eval k vs = eval_array k (Array.of_list vs)
+
+let to_string = function
+  | Zero -> "0"
+  | One -> "1"
+  | D -> "D"
+  | Dbar -> "D'"
+  | X -> "x"
+
+let pp ppf v = Format.pp_print_string ppf (to_string v)

@@ -1,0 +1,38 @@
+(** Roth's five-valued D-calculus for test generation.
+
+    A five-valued signal tracks the good machine and the faulty machine
+    simultaneously:
+
+    - [Zero]/[One] — same binary value in both machines;
+    - [D] — 1 in the good machine, 0 in the faulty machine;
+    - [Dbar] — 0 in the good machine, 1 in the faulty machine;
+    - [X] — unassigned in at least one machine.
+
+    PODEM drives a [D]/[Dbar] from the fault site to a primary output
+    through these values. *)
+
+type t = Zero | One | D | Dbar | X
+
+val equal : t -> t -> bool
+val inv : t -> t
+
+val of_pair : Ternary.t * Ternary.t -> t
+(** [(good, faulty)] to five-valued; any X component yields {!X}. *)
+
+val to_pair : t -> Ternary.t * Ternary.t
+(** Five-valued to [(good, faulty)]. *)
+
+val good : t -> Ternary.t
+val faulty : t -> Ternary.t
+
+val is_error : t -> bool
+(** [D] or [Dbar] — a fault effect is present. *)
+
+val eval : Gate.kind -> t list -> t
+(** Gate function, computed component-wise on the good/faulty pair with
+    {!Ternary.eval}. *)
+
+val eval_array : Gate.kind -> t array -> t
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

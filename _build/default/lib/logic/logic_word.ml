@@ -1,0 +1,42 @@
+let bad k n =
+  invalid_arg (Printf.sprintf "Logic_word.eval: %s with %d fanins" (Gate.to_string k) n)
+
+let eval k vs =
+  let n = Array.length vs in
+  if not (Gate.arity_ok k n) then bad k n;
+  let fold f init = Array.fold_left f init vs in
+  match k with
+  | Gate.Const0 -> 0L
+  | Gate.Const1 -> -1L
+  | Gate.Input -> invalid_arg "Logic_word.eval: primary input has no gate function"
+  | Gate.Buf | Gate.Dff -> vs.(0)
+  | Gate.Not -> Int64.lognot vs.(0)
+  | Gate.And -> fold Int64.logand (-1L)
+  | Gate.Nand -> Int64.lognot (fold Int64.logand (-1L))
+  | Gate.Or -> fold Int64.logor 0L
+  | Gate.Nor -> Int64.lognot (fold Int64.logor 0L)
+  | Gate.Xor -> fold Int64.logxor 0L
+  | Gate.Xnor -> Int64.lognot (fold Int64.logxor 0L)
+
+let eval_fanins k ~values fanins =
+  let n = Array.length fanins in
+  if not (Gate.arity_ok k n) then bad k n;
+  let fold f init =
+    let acc = ref init in
+    for i = 0 to n - 1 do
+      acc := f !acc values.(fanins.(i))
+    done;
+    !acc
+  in
+  match k with
+  | Gate.Const0 -> 0L
+  | Gate.Const1 -> -1L
+  | Gate.Input -> invalid_arg "Logic_word.eval_fanins: primary input has no gate function"
+  | Gate.Buf | Gate.Dff -> values.(fanins.(0))
+  | Gate.Not -> Int64.lognot values.(fanins.(0))
+  | Gate.And -> fold Int64.logand (-1L)
+  | Gate.Nand -> Int64.lognot (fold Int64.logand (-1L))
+  | Gate.Or -> fold Int64.logor 0L
+  | Gate.Nor -> Int64.lognot (fold Int64.logor 0L)
+  | Gate.Xor -> fold Int64.logxor 0L
+  | Gate.Xnor -> Int64.lognot (fold Int64.logxor 0L)

@@ -1,0 +1,15 @@
+(** 64-pattern bit-parallel gate semantics.
+
+    Each [int64] word carries one logic value per pattern in its 64 bit
+    lanes; applying a gate to words applies it to all 64 patterns at
+    once.  This is the workhorse of both good-circuit and fault
+    simulation. *)
+
+val eval : Gate.kind -> int64 array -> int64
+(** Word-level counterpart of {!Boolean.eval_array}.
+    @raise Invalid_argument on arity violations. *)
+
+val eval_fanins : Gate.kind -> values:int64 array -> int array -> int64
+(** [eval_fanins k ~values fanins] applies [k] to
+    [values.(fanins.(0)), values.(fanins.(1)), ...] without building an
+    intermediate array — the simulator inner loop. *)

@@ -1,0 +1,54 @@
+type t = Zero | One | X
+
+let of_bool b = if b then One else Zero
+let to_bool = function Zero -> Some false | One -> Some true | X -> None
+let equal (a : t) b = a = b
+let inv = function Zero -> One | One -> Zero | X -> X
+
+let and2 a b =
+  match (a, b) with
+  | Zero, _ | _, Zero -> Zero
+  | One, One -> One
+  | _ -> X
+
+let or2 a b =
+  match (a, b) with
+  | One, _ | _, One -> One
+  | Zero, Zero -> Zero
+  | _ -> X
+
+let xor2 a b =
+  match (a, b) with
+  | X, _ | _, X -> X
+  | One, One | Zero, Zero -> Zero
+  | _ -> One
+
+let eval_array k vs =
+  let n = Array.length vs in
+  if not (Gate.arity_ok k n) then
+    invalid_arg (Printf.sprintf "Ternary.eval: %s with %d fanins" (Gate.to_string k) n);
+  let fold f init = Array.fold_left f init vs in
+  match k with
+  | Gate.Const0 -> Zero
+  | Gate.Const1 -> One
+  | Gate.Input -> invalid_arg "Ternary.eval: primary input has no gate function"
+  | Gate.Buf | Gate.Dff -> vs.(0)
+  | Gate.Not -> inv vs.(0)
+  | Gate.And -> fold and2 One
+  | Gate.Nand -> inv (fold and2 One)
+  | Gate.Or -> fold or2 Zero
+  | Gate.Nor -> inv (fold or2 Zero)
+  | Gate.Xor -> fold xor2 Zero
+  | Gate.Xnor -> inv (fold xor2 Zero)
+
+let eval k vs = eval_array k (Array.of_list vs)
+
+let to_char = function Zero -> '0' | One -> '1' | X -> 'x'
+
+let of_char = function
+  | '0' -> Some Zero
+  | '1' -> Some One
+  | 'x' | 'X' -> Some X
+  | _ -> None
+
+let pp ppf t = Format.pp_print_char ppf (to_char t)

@@ -1,0 +1,26 @@
+(** Three-valued logic (0, 1, X).
+
+    Used wherever a signal may be unassigned: PODEM's implication pass
+    and the test cubes it produces. *)
+
+type t = Zero | One | X
+
+val of_bool : bool -> t
+val to_bool : t -> bool option
+(** [None] for {!X}. *)
+
+val equal : t -> t -> bool
+val inv : t -> t
+
+val eval : Gate.kind -> t list -> t
+(** Pessimistic (standard) three-valued gate function: a controlling
+    value decides the output even among Xs; otherwise any X fanin makes
+    the output X. *)
+
+val eval_array : Gate.kind -> t array -> t
+
+val to_char : t -> char
+(** ['0'], ['1'] or ['x']. *)
+
+val of_char : char -> t option
+val pp : Format.formatter -> t -> unit

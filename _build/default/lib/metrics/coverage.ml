@@ -1,0 +1,69 @@
+type t = { detected_at : int array; total_faults : int }
+
+let of_detections ~n_tests ~total_faults first_detection =
+  let per_test = Array.make n_tests 0 in
+  Array.iter
+    (fun d -> if d >= 0 then per_test.(d) <- per_test.(d) + 1)
+    first_detection;
+  let cum = Array.make n_tests 0 in
+  let acc = ref 0 in
+  Array.iteri
+    (fun i c ->
+      acc := !acc + c;
+      cum.(i) <- !acc)
+    per_test;
+  { detected_at = cum; total_faults }
+
+let of_engine_result fl (r : Engine.result) =
+  of_detections ~n_tests:(Patterns.count r.Engine.tests) ~total_faults:(Fault_list.count fl)
+    r.Engine.detected_by
+
+let of_test_set fl pats =
+  let { Faultsim.first_detection; _ } = Faultsim.with_dropping fl pats in
+  of_detections ~n_tests:(Patterns.count pats) ~total_faults:(Fault_list.count fl)
+    first_detection
+
+let n_at t i =
+  if i <= 0 then 0
+  else if i > Array.length t.detected_at then invalid_arg "Coverage.n_at"
+  else t.detected_at.(i - 1)
+
+let tests t = Array.length t.detected_at
+
+let final_coverage t =
+  if t.total_faults = 0 then 1.0
+  else float_of_int (n_at t (tests t)) /. float_of_int t.total_faults
+
+let ave t =
+  let k = tests t in
+  let total = n_at t k in
+  if total = 0 then 0.0
+  else begin
+    let sum = ref 0 in
+    for i = 1 to k do
+      sum := !sum + (i * (n_at t i - n_at t (i - 1)))
+    done;
+    float_of_int !sum /. float_of_int total
+  end
+
+let points t =
+  let k = tests t in
+  let kf = float_of_int k and nf = float_of_int t.total_faults in
+  Array.init k (fun i ->
+      (float_of_int (i + 1) /. kf *. 100.0, float_of_int (n_at t (i + 1)) /. nf *. 100.0))
+
+let truncated_coverage t ~keep =
+  if t.total_faults = 0 then 1.0
+  else begin
+    let keep = max 0 (min keep (tests t)) in
+    float_of_int (n_at t keep) /. float_of_int t.total_faults
+  end
+
+let tests_for_coverage t ~target =
+  let need = target *. float_of_int t.total_faults in
+  let rec go i =
+    if i > tests t then None
+    else if float_of_int (n_at t i) >= need -. 1e-9 then Some i
+    else go (i + 1)
+  in
+  go 0

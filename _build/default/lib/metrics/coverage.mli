@@ -1,0 +1,50 @@
+(** Fault-coverage curves and the paper's steepness metric.
+
+    For an ordered test set [T = <t1 .. tk>], [n(i)] is the number of
+    faults detected by the first [i] tests.  The curve [(i, n(i))] is
+    Figure 1; the expected number of tests to detect a fault,
+
+    [AVE = (sum_i i * (n(i) - n(i-1))) / n(k)],
+
+    is Table 7's metric (lower = steeper curve = defects caught
+    earlier on the tester). *)
+
+type t = {
+  detected_at : int array;  (** per test index i (0-based), n(i+1) *)
+  total_faults : int;  (** size of the fault universe *)
+}
+
+val of_engine_result : Fault_list.t -> Engine.result -> t
+(** Curve of a freshly generated test set, using the engine's
+    first-detection records. *)
+
+val of_test_set : Fault_list.t -> Patterns.t -> t
+(** Curve of an arbitrary test set (fault simulation with dropping). *)
+
+val n_at : t -> int -> int
+(** [n_at c i] is [n(i)]: faults detected by the first [i] tests;
+    [n_at c 0 = 0]. *)
+
+val tests : t -> int
+(** [k], the number of tests. *)
+
+val final_coverage : t -> float
+(** [n(k) / total_faults]. *)
+
+val ave : t -> float
+(** The expected test count to detection.  0 when nothing is
+    detected. *)
+
+val points : t -> (float * float) array
+(** Curve as (percent of tests applied, percent fault coverage), for
+    plotting — the paper's Figure 1 axes. *)
+
+val truncated_coverage : t -> keep:int -> float
+(** Coverage after discarding all but the first [keep] tests —
+    the paper's motivation: a tester with limited memory drops the
+    tail of the test set, and a steeper curve loses less.
+    [truncated_coverage t ~keep:(tests t) = final_coverage t]. *)
+
+val tests_for_coverage : t -> target:float -> int option
+(** Smallest prefix length reaching [target] (fraction of the fault
+    universe), if the full set ever does — "how long until 95%?". *)

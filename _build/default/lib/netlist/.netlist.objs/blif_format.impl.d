@@ -1,0 +1,1 @@
+lib/netlist/blif_format.ml: Array Buffer Circuit Filename Fun Gate Hashtbl List Printf String

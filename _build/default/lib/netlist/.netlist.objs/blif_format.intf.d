@@ -1,0 +1,1 @@
+lib/netlist/blif_format.mli: Circuit

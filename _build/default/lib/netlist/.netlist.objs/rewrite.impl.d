@@ -1,0 +1,1 @@
+lib/netlist/rewrite.ml: Array Circuit Gate Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/netlist/scan.ml: Array Circuit Gate List

@@ -1,0 +1,1 @@
+lib/netlist/validate.ml: Array Circuit Format Gate List

@@ -1,0 +1,1 @@
+lib/netlist/verilog_format.ml: Array Buffer Circuit Fun Gate Hashtbl List Printf String

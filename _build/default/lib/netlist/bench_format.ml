@@ -1,0 +1,216 @@
+exception Parse_error of int * string
+
+let fail line fmt = Printf.ksprintf (fun m -> raise (Parse_error (line, m))) fmt
+
+type stmt =
+  | S_input of string
+  | S_output of string
+  | S_gate of string * Gate.kind * string list
+
+let is_space c = c = ' ' || c = '\t' || c = '\r'
+
+let strip s =
+  let n = String.length s in
+  let a = ref 0 and b = ref (n - 1) in
+  while !a < n && is_space s.[!a] do
+    incr a
+  done;
+  while !b >= !a && is_space s.[!b] do
+    decr b
+  done;
+  String.sub s !a (!b - !a + 1)
+
+(* "NAME ( a , b )" -> (NAME, [a; b]). *)
+let parse_call line s =
+  match String.index_opt s '(' with
+  | None -> fail line "expected '(' in %S" s
+  | Some lp ->
+      if String.length s = 0 || s.[String.length s - 1] <> ')' then
+        fail line "expected ')' at end of %S" s;
+      let fn = strip (String.sub s 0 lp) in
+      let inner = String.sub s (lp + 1) (String.length s - lp - 2) in
+      let args =
+        String.split_on_char ',' inner |> List.map strip |> List.filter (fun a -> a <> "")
+      in
+      (fn, args)
+
+let parse_line lineno raw =
+  let s =
+    match String.index_opt raw '#' with
+    | Some i -> strip (String.sub raw 0 i)
+    | None -> strip raw
+  in
+  if s = "" then None
+  else
+    match String.index_opt s '=' with
+    | None -> (
+        let fn, args = parse_call lineno s in
+        match (String.uppercase_ascii fn, args) with
+        | "INPUT", [ a ] -> Some (S_input a)
+        | "OUTPUT", [ a ] -> Some (S_output a)
+        | ("INPUT" | "OUTPUT"), _ -> fail lineno "INPUT/OUTPUT take exactly one signal"
+        | _ -> fail lineno "unknown declaration %S" fn)
+    | Some eq ->
+        let lhs = strip (String.sub s 0 eq) in
+        let rhs = strip (String.sub s (eq + 1) (String.length s - eq - 1)) in
+        if lhs = "" then fail lineno "missing signal name before '='";
+        let fn, args = parse_call lineno rhs in
+        let k =
+          match Gate.of_string fn with
+          | Some k -> k
+          | None -> fail lineno "unknown gate type %S" fn
+        in
+        (match k with
+        | Gate.Input -> fail lineno "INPUT cannot appear on the right of '='"
+        | _ -> ());
+        if not (Gate.arity_ok k (List.length args)) then
+          fail lineno "%s gate %S has %d operands" (Gate.to_string k) lhs (List.length args);
+        Some (S_gate (lhs, k, args))
+
+let parse_string ?(title = "bench") text =
+  let stmts = ref [] in
+  List.iteri
+    (fun i raw ->
+      match parse_line (i + 1) raw with Some s -> stmts := s :: !stmts | None -> ())
+    (String.split_on_char '\n' text);
+  let stmts = List.rev !stmts in
+  let defs : (string, Gate.kind * string list) Hashtbl.t = Hashtbl.create 64 in
+  let def_order = ref [] in
+  let inputs = ref [] and outputs = ref [] in
+  let define name v =
+    if Hashtbl.mem defs name then fail 0 "signal %S defined twice" name;
+    Hashtbl.add defs name v;
+    def_order := name :: !def_order
+  in
+  List.iter
+    (function
+      | S_input a ->
+          define a (Gate.Input, []);
+          inputs := a :: !inputs
+      | S_output a -> outputs := a :: !outputs
+      | S_gate (lhs, k, args) -> define lhs (k, args))
+    stmts;
+  let inputs = List.rev !inputs and outputs = List.rev !outputs in
+  let def_order = List.rev !def_order in
+  (* Check all references resolve. *)
+  List.iter
+    (fun name ->
+      let _, args = Hashtbl.find defs name in
+      List.iter
+        (fun a -> if not (Hashtbl.mem defs a) then fail 0 "signal %S is used but never defined" a)
+        args)
+    def_order;
+  (* Topological order over combinational dependencies; DFFs are
+     sources (their fanin edge crosses a clock boundary). *)
+  let comb_deps name =
+    match Hashtbl.find defs name with Gate.Dff, _ -> [] | _, args -> args
+  in
+  let indeg = Hashtbl.create 64 in
+  let succs = Hashtbl.create 64 in
+  List.iter
+    (fun name ->
+      Hashtbl.replace indeg name (List.length (comb_deps name));
+      List.iter
+        (fun d ->
+          let cur = Option.value ~default:[] (Hashtbl.find_opt succs d) in
+          Hashtbl.replace succs d (name :: cur))
+        (comb_deps name))
+    def_order;
+  (* Emit ready definitions in file order (min file index first) so a
+     file already in dependency order — in particular our own
+     [to_string] output — round-trips with identical node ids. *)
+  let file_pos = Hashtbl.create 64 in
+  List.iteri (fun i n -> Hashtbl.replace file_pos n i) def_order;
+  let ready : string Util.Heap.t = Util.Heap.create () in
+  let push n = Util.Heap.push ready ~key:(-Hashtbl.find file_pos n) n in
+  List.iter (fun n -> if Hashtbl.find indeg n = 0 then push n) def_order;
+  let order = ref [] in
+  let emitted = ref 0 in
+  let rec drain () =
+    match Util.Heap.pop ready with
+    | None -> ()
+    | Some (_, n) ->
+        order := n :: !order;
+        incr emitted;
+        List.iter
+          (fun s ->
+            let d = Hashtbl.find indeg s - 1 in
+            Hashtbl.replace indeg s d;
+            if d = 0 then push s)
+          (Option.value ~default:[] (Hashtbl.find_opt succs n));
+        drain ()
+  in
+  drain ();
+  if !emitted <> List.length def_order then fail 0 "combinational cycle in netlist";
+  let order = List.rev !order in
+  (* Build: inputs first (declaration order), then topological order. *)
+  let b = Circuit.Builder.create ~title () in
+  let ids : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter (fun n -> Hashtbl.replace ids n (Circuit.Builder.input b n)) inputs;
+  let dff_defs = ref [] in
+  List.iter
+    (fun name ->
+      if not (Hashtbl.mem ids name) then begin
+        let k, args = Hashtbl.find defs name in
+        match k with
+        | Gate.Input -> ()
+        | Gate.Dff ->
+            Hashtbl.replace ids name (Circuit.Builder.dff b name);
+            dff_defs := (name, args) :: !dff_defs
+        | _ ->
+            let fanin_ids = List.map (fun a -> Hashtbl.find ids a) args in
+            Hashtbl.replace ids name (Circuit.Builder.gate b k name fanin_ids)
+      end)
+    order;
+  List.iter
+    (fun (name, args) ->
+      match args with
+      | [ a ] -> Circuit.Builder.connect_dff b (Hashtbl.find ids name) ~fanin:(Hashtbl.find ids a)
+      | _ -> fail 0 "DFF %S must have exactly one operand" name)
+    !dff_defs;
+  if outputs = [] then fail 0 "netlist declares no OUTPUT";
+  List.iter
+    (fun o ->
+      match Hashtbl.find_opt ids o with
+      | Some id -> Circuit.Builder.mark_output b id
+      | None -> fail 0 "OUTPUT %S is never defined" o)
+    outputs;
+  Circuit.Builder.finish b
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let text =
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
+        really_input_string ic (in_channel_length ic))
+  in
+  let title = Filename.remove_extension (Filename.basename path) in
+  parse_string ~title text
+
+let to_string c =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "# %s\n" (Circuit.title c));
+  Array.iter
+    (fun i -> Buffer.add_string buf (Printf.sprintf "INPUT(%s)\n" (Circuit.name c i)))
+    (Circuit.inputs c);
+  Array.iter
+    (fun i -> Buffer.add_string buf (Printf.sprintf "OUTPUT(%s)\n" (Circuit.name c i)))
+    (Circuit.outputs c);
+  (* Emit definitions in id order — valid because forward references are
+     allowed by the format. *)
+  Circuit.iter_nodes c (fun i ->
+      match Circuit.kind c i with
+      | Gate.Input -> ()
+      | k ->
+          let args =
+            Circuit.fanins c i |> Array.to_list
+            |> List.map (Circuit.name c)
+            |> String.concat ", "
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "%s = %s(%s)\n" (Circuit.name c i) (Gate.to_string k) args));
+  Buffer.contents buf
+
+let write_file path c =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
+      output_string oc (to_string c))

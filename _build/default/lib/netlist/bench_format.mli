@@ -1,0 +1,31 @@
+(** Reader and writer for the ISCAS-85/89 [.bench] netlist format.
+
+    The format is line-oriented:
+    {v
+    # comment
+    INPUT(G0)
+    OUTPUT(G17)
+    G10 = NAND(G0, G1)
+    G11 = DFF(G10)
+    v}
+
+    Forward references are allowed (a gate may use a signal defined on a
+    later line), as real benchmark files do.  Signals referenced but
+    never defined are an error. *)
+
+exception Parse_error of int * string
+(** [(line, message)] — [line] is 1-based; 0 when no line applies. *)
+
+val parse_string : ?title:string -> string -> Circuit.t
+(** Parse a full [.bench] file from a string.
+    @raise Parse_error on malformed input. *)
+
+val parse_file : string -> Circuit.t
+(** Parse from a file path; the title is the basename without
+    extension. *)
+
+val to_string : Circuit.t -> string
+(** Emit a circuit in [.bench] syntax.  [parse_string (to_string c)] is
+    structurally identical to [c]. *)
+
+val write_file : string -> Circuit.t -> unit

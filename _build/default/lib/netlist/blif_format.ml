@@ -1,0 +1,286 @@
+exception Parse_error of int * string
+
+let fail line fmt = Printf.ksprintf (fun m -> raise (Parse_error (line, m))) fmt
+
+type cover_row = { pattern : string; value : bool }
+
+type definition =
+  | Def_cover of string list * string * cover_row list  (* inputs, output, rows *)
+  | Def_latch of string * string  (* data, output *)
+
+(* --- lexing: logical lines with '\' continuations, '#' comments --- *)
+
+let logical_lines text =
+  let raw = String.split_on_char '\n' text in
+  let rec glue acc pending pending_no = function
+    | [] -> List.rev (match pending with Some (s, n) -> (s, n) :: acc | None -> acc)
+    | (line, no) :: rest ->
+        let line =
+          match String.index_opt line '#' with
+          | Some i -> String.sub line 0 i
+          | None -> line
+        in
+        let line = String.trim line in
+        let continued = String.length line > 0 && line.[String.length line - 1] = '\\' in
+        let body = if continued then String.sub line 0 (String.length line - 1) else line in
+        let merged, merged_no =
+          match pending with
+          | Some (p, pn) -> (p ^ " " ^ body, pn)
+          | None -> (body, no)
+        in
+        if continued then glue acc (Some (merged, merged_no)) merged_no rest
+        else if String.trim merged = "" then glue acc None pending_no rest
+        else glue ((String.trim merged, merged_no) :: acc) None pending_no rest
+  in
+  glue [] None 0 (List.mapi (fun i l -> (l, i + 1)) raw)
+
+let tokens s = String.split_on_char ' ' s |> List.filter (fun t -> t <> "")
+
+(* --- parsing ------------------------------------------------------ *)
+
+let parse_string ?(title = "blif") text =
+  let lines = logical_lines text in
+  let model = ref title in
+  let inputs = ref [] and outputs = ref [] in
+  let defs = ref [] in
+  let pending_cover = ref None in
+  let flush_cover () =
+    match !pending_cover with
+    | Some (ins, out, rows) ->
+        defs := Def_cover (ins, out, List.rev rows) :: !defs;
+        pending_cover := None
+    | None -> ()
+  in
+  List.iter
+    (fun (line, no) ->
+      match tokens line with
+      | [] -> ()
+      | tok :: rest when String.length tok > 0 && tok.[0] = '.' -> (
+          flush_cover ();
+          match (tok, rest) with
+          | ".model", [ name ] -> model := name
+          | ".model", _ -> fail no ".model takes one name"
+          | ".inputs", names -> inputs := !inputs @ names
+          | ".outputs", names -> outputs := !outputs @ names
+          | ".names", names -> (
+              match List.rev names with
+              | out :: ins_rev -> pending_cover := Some (List.rev ins_rev, out, [])
+              | [] -> fail no ".names needs at least an output")
+          | ".latch", (data :: out :: _) -> defs := Def_latch (data, out) :: !defs
+          | ".latch", _ -> fail no ".latch needs data and output signals"
+          | ".end", _ | ".exdc", _ -> ()
+          | _, _ -> fail no "unsupported construct %S" tok)
+      | toks -> (
+          match !pending_cover with
+          | None -> fail no "cover row outside a .names block: %S" line
+          | Some (ins, out, rows) ->
+              let pattern, value =
+                match toks with
+                | [ v ] when ins = [] -> ("", v)
+                | [ p; v ] -> (p, v)
+                | _ -> fail no "malformed cover row %S" line
+              in
+              if String.length pattern <> List.length ins then
+                fail no "cover row %S has wrong width" pattern;
+              String.iter
+                (fun ch -> if ch <> '0' && ch <> '1' && ch <> '-' then
+                    fail no "bad cover character %C" ch)
+                pattern;
+              let value =
+                match value with
+                | "1" -> true
+                | "0" -> false
+                | _ -> fail no "cover output must be 0 or 1"
+              in
+              pending_cover := Some (ins, out, { pattern; value } :: rows)))
+    lines;
+  flush_cover ();
+  let defs = List.rev !defs in
+  (* Signal name -> defining entry. *)
+  let def_of = Hashtbl.create 64 in
+  List.iter
+    (fun d ->
+      let out = match d with Def_cover (_, o, _) -> o | Def_latch (_, o) -> o in
+      if Hashtbl.mem def_of out || List.mem out !inputs then
+        fail 0 "signal %S defined twice" out;
+      Hashtbl.replace def_of out d)
+    defs;
+  let b = Circuit.Builder.create ~title:!model () in
+  let ids = Hashtbl.create 64 in
+  List.iter (fun n -> Hashtbl.replace ids n (Circuit.Builder.input b n)) !inputs;
+  (* Latches first (sources), their data connected afterwards. *)
+  let latches = ref [] in
+  List.iter
+    (function
+      | Def_latch (data, out) ->
+          Hashtbl.replace ids out (Circuit.Builder.dff b out);
+          latches := (data, out) :: !latches
+      | Def_cover _ -> ())
+    defs;
+  (* Build covers in dependency order. *)
+  let building = Hashtbl.create 16 in
+  let rec resolve no name =
+    match Hashtbl.find_opt ids name with
+    | Some id -> id
+    | None -> (
+        if Hashtbl.mem building name then fail no "combinational cycle through %S" name;
+        Hashtbl.replace building name ();
+        match Hashtbl.find_opt def_of name with
+        | None -> fail no "signal %S is used but never defined" name
+        | Some (Def_latch _) -> assert false (* latches pre-registered *)
+        | Some (Def_cover (ins, out, rows)) ->
+            let in_ids = List.map (resolve no) ins in
+            let id = build_cover no out in_ids rows in
+            Hashtbl.remove building name;
+            Hashtbl.replace ids name id;
+            id)
+  and build_cover no out in_ids rows =
+    let n_ins = List.length in_ids in
+    let in_arr = Array.of_list in_ids in
+    (* Constant covers. *)
+    if rows = [] then Circuit.Builder.const b out false
+    else begin
+      let values = List.map (fun r -> r.value) rows in
+      let on_set = List.for_all Fun.id values in
+      if (not on_set) && List.exists Fun.id values then
+        fail no "cover for %S mixes on-set and off-set rows" out;
+      if n_ins = 0 then Circuit.Builder.const b out on_set
+      else begin
+        (* Shared inverters per cover. *)
+        let inverters = Array.make n_ins None in
+        let inv i =
+          match inverters.(i) with
+          | Some id -> id
+          | None ->
+              let id =
+                Circuit.Builder.gate b Gate.Not (Printf.sprintf "%s_n%d" out i) [ in_arr.(i) ]
+              in
+              inverters.(i) <- Some id;
+              id
+        in
+        let product ri (r : cover_row) =
+          let literals = ref [] in
+          String.iteri
+            (fun i ch ->
+              match ch with
+              | '1' -> literals := in_arr.(i) :: !literals
+              | '0' -> literals := inv i :: !literals
+              | _ -> ())
+            r.pattern;
+          match List.rev !literals with
+          | [] -> Circuit.Builder.const b (Printf.sprintf "%s_p%d" out ri) true
+          | [ l ] -> Circuit.Builder.gate b Gate.Buf (Printf.sprintf "%s_p%d" out ri) [ l ]
+          | ls -> Circuit.Builder.gate b Gate.And (Printf.sprintf "%s_p%d" out ri) ls
+        in
+        let products = List.mapi product rows in
+        match (products, on_set) with
+        | [ p ], true -> Circuit.Builder.gate b Gate.Buf out [ p ]
+        | [ p ], false -> Circuit.Builder.gate b Gate.Not out [ p ]
+        | ps, true -> Circuit.Builder.gate b Gate.Or out ps
+        | ps, false -> Circuit.Builder.gate b Gate.Nor out ps
+      end
+    end
+  in
+  List.iter
+    (fun d ->
+      match d with
+      | Def_cover (_, out, _) -> ignore (resolve 0 out)
+      | Def_latch _ -> ())
+    defs;
+  List.iter
+    (fun (data, out) ->
+      Circuit.Builder.connect_dff b (Hashtbl.find ids out) ~fanin:(resolve 0 data))
+    !latches;
+  if !outputs = [] then fail 0 "netlist declares no .outputs";
+  List.iter
+    (fun o ->
+      match Hashtbl.find_opt ids o with
+      | Some id -> Circuit.Builder.mark_output b id
+      | None -> fail 0 ".outputs signal %S is never defined" o)
+    !outputs;
+  Circuit.Builder.finish b
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let text =
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
+        really_input_string ic (in_channel_length ic))
+  in
+  parse_string ~title:(Filename.remove_extension (Filename.basename path)) text
+
+(* --- writing ------------------------------------------------------ *)
+
+let cover_of_gate c i =
+  let k = Circuit.kind c i in
+  let arity = Array.length (Circuit.fanins c i) in
+  let all ch = String.make arity ch in
+  let one_hot p ch fill =
+    String.init arity (fun q -> if q = p then ch else fill)
+  in
+  match k with
+  | Gate.Const0 -> []
+  | Gate.Const1 -> [ { pattern = ""; value = true } ]
+  | Gate.Buf | Gate.Dff -> [ { pattern = "1"; value = true } ]
+  | Gate.Not -> [ { pattern = "0"; value = true } ]
+  | Gate.And -> [ { pattern = all '1'; value = true } ]
+  | Gate.Nand -> [ { pattern = all '1'; value = false } ]
+  | Gate.Or -> List.init arity (fun p -> { pattern = one_hot p '1' '-'; value = true })
+  | Gate.Nor -> [ { pattern = all '0'; value = true } ]
+  | Gate.Xor | Gate.Xnor ->
+      (* Enumerate odd/even-parity minterms. *)
+      let want_odd = k = Gate.Xor in
+      let rows = ref [] in
+      for m = 0 to (1 lsl arity) - 1 do
+        let ones = ref 0 in
+        for p = 0 to arity - 1 do
+          if (m lsr p) land 1 = 1 then incr ones
+        done;
+        if !ones land 1 = if want_odd then 1 else 0 then
+          rows :=
+            {
+              pattern = String.init arity (fun p -> if (m lsr p) land 1 = 1 then '1' else '0');
+              value = true;
+            }
+            :: !rows
+      done;
+      List.rev !rows
+  | Gate.Input -> invalid_arg "Blif_format: input has no cover"
+
+let to_string c =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf ".model %s\n" (Circuit.title c));
+  let names l = String.concat " " (List.map (Circuit.name c) (Array.to_list l)) in
+  Buffer.add_string buf (Printf.sprintf ".inputs %s\n" (names (Circuit.inputs c)));
+  Buffer.add_string buf (Printf.sprintf ".outputs %s\n" (names (Circuit.outputs c)));
+  Circuit.iter_nodes c (fun i ->
+      match Circuit.kind c i with
+      | Gate.Input -> ()
+      | Gate.Dff ->
+          Buffer.add_string buf
+            (Printf.sprintf ".latch %s %s 0\n"
+               (Circuit.name c (Circuit.fanins c i).(0))
+               (Circuit.name c i))
+      | _ ->
+          let ins =
+            String.concat " "
+              (List.map (Circuit.name c) (Array.to_list (Circuit.fanins c i)))
+          in
+          Buffer.add_string buf
+            (Printf.sprintf ".names%s%s %s\n"
+               (if ins = "" then "" else " ")
+               ins (Circuit.name c i));
+          List.iter
+            (fun r ->
+              if r.pattern = "" then
+                Buffer.add_string buf (Printf.sprintf "%s\n" (if r.value then "1" else "0"))
+              else
+                Buffer.add_string buf
+                  (Printf.sprintf "%s %s\n" r.pattern (if r.value then "1" else "0")))
+            (cover_of_gate c i));
+  Buffer.add_string buf ".end\n";
+  Buffer.contents buf
+
+let write_file path c =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
+      output_string oc (to_string c))

@@ -1,0 +1,30 @@
+(** Reader and writer for the Berkeley Logic Interchange Format (BLIF).
+
+    The subset covering combinational and full-scan-style sequential
+    netlists:
+
+    {v
+    .model adder
+    .inputs a b cin
+    .outputs sum cout
+    .names a b t      # single-output PLA cover: rows of
+    11 1              # input-pattern output-value
+    .names t cin sum
+    10 1
+    01 1
+    .latch d q 0      # optional: D flip-flop (reset value ignored)
+    .end
+    v}
+
+    Parsing turns each [.names] cover into AND/OR/NOT logic (shared
+    input inverters per cover); writing emits each gate as a one-gate
+    cover, so BLIF round-trips are functionally — not structurally —
+    identical.  [.names] covers may use on-set rows (output 1) or
+    off-set rows (output 0), never both. *)
+
+exception Parse_error of int * string
+
+val parse_string : ?title:string -> string -> Circuit.t
+val parse_file : string -> Circuit.t
+val to_string : Circuit.t -> string
+val write_file : string -> Circuit.t -> unit

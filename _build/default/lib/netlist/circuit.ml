@@ -1,0 +1,242 @@
+type t = {
+  title : string;
+  kinds : Gate.kind array;
+  names : string array;
+  fanins : int array array;
+  fanouts : int array array;
+  inputs : int array;
+  outputs : int array;
+  output_set : bool array;
+  by_name : (string, int) Hashtbl.t;
+  topo : int array;
+  levels : int array;
+}
+
+let node_count t = Array.length t.kinds
+let kind t i = t.kinds.(i)
+let name t i = t.names.(i)
+let fanins t i = t.fanins.(i)
+let fanouts t i = t.fanouts.(i)
+let fanout_count t i = Array.length t.fanouts.(i)
+let inputs t = t.inputs
+let outputs t = t.outputs
+let is_output t i = t.output_set.(i)
+let find t n = Hashtbl.find_opt t.by_name n
+
+let find_exn t n =
+  match find t n with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Circuit.find_exn: no node named %S" n)
+
+let gate_count t =
+  let c = ref 0 in
+  Array.iter
+    (fun k -> match k with Gate.Input | Gate.Const0 | Gate.Const1 -> () | _ -> incr c)
+    t.kinds;
+  !c
+
+let pin_count t = Array.fold_left (fun acc f -> acc + Array.length f) 0 t.fanins
+let has_state t = Array.exists (fun k -> k = Gate.Dff) t.kinds
+let title t = t.title
+
+let iter_nodes t f =
+  for i = 0 to node_count t - 1 do
+    f i
+  done
+
+module Builder = struct
+  type t = {
+    b_title : string;
+    mutable b_kinds : Gate.kind list;
+    mutable b_names : string list;
+    mutable b_fanins : int array list;
+    mutable b_count : int;
+    b_by_name : (string, int) Hashtbl.t;
+    mutable b_inputs : int list;
+    mutable b_outputs : int list;
+    b_output_set : (int, unit) Hashtbl.t;
+  }
+
+  let create ?(title = "circuit") () =
+    {
+      b_title = title;
+      b_kinds = [];
+      b_names = [];
+      b_fanins = [];
+      b_count = 0;
+      b_by_name = Hashtbl.create 64;
+      b_inputs = [];
+      b_outputs = [];
+      b_output_set = Hashtbl.create 16;
+    }
+
+  let node_count b = b.b_count
+
+  let add b k name fanins =
+    if Hashtbl.mem b.b_by_name name then
+      invalid_arg (Printf.sprintf "Circuit.Builder: duplicate node name %S" name);
+    if not (Gate.arity_ok k (Array.length fanins)) then
+      invalid_arg
+        (Printf.sprintf "Circuit.Builder: %s gate %S cannot have %d fanins"
+           (Gate.to_string k) name (Array.length fanins));
+    Array.iter
+      (fun f ->
+        (* -1 is the "connect later" placeholder used by [dff]. *)
+        if (f < 0 || f >= b.b_count) && not (k = Gate.Dff && f = -1) then
+          invalid_arg (Printf.sprintf "Circuit.Builder: dangling fanin id %d for %S" f name))
+      fanins;
+    let id = b.b_count in
+    b.b_kinds <- k :: b.b_kinds;
+    b.b_names <- name :: b.b_names;
+    b.b_fanins <- fanins :: b.b_fanins;
+    b.b_count <- id + 1;
+    Hashtbl.add b.b_by_name name id;
+    id
+
+  let input b name =
+    let id = add b Gate.Input name [||] in
+    b.b_inputs <- id :: b.b_inputs;
+    id
+
+  let const b name v = add b (if v then Gate.Const1 else Gate.Const0) name [||]
+
+  let gate b k name fanins =
+    (match k with
+    | Gate.Input -> invalid_arg "Circuit.Builder.gate: use Builder.input for primary inputs"
+    | _ -> ());
+    add b k name (Array.of_list fanins)
+
+  let mark_output b id =
+    if id < 0 || id >= b.b_count then invalid_arg "Circuit.Builder.mark_output: bad id";
+    if not (Hashtbl.mem b.b_output_set id) then begin
+      Hashtbl.add b.b_output_set id ();
+      b.b_outputs <- id :: b.b_outputs
+    end
+
+  (* DFFs may close feedback loops, so their fanin can be patched after
+     creation; -1 marks "not yet connected". *)
+  let dff b name = add b Gate.Dff name [| -1 |]
+
+  let connect_dff b id ~fanin =
+    if id < 0 || id >= b.b_count then invalid_arg "Circuit.Builder.connect_dff: bad id";
+    if fanin < 0 || fanin >= b.b_count then
+      invalid_arg "Circuit.Builder.connect_dff: dangling fanin";
+    let rec nth_fanins l n = match l with
+      | [] -> invalid_arg "Circuit.Builder.connect_dff: bad id"
+      | f :: rest -> if n = 0 then f else nth_fanins rest (n - 1)
+    in
+    (* b_fanins is stored most-recent-first. *)
+    let arr = nth_fanins b.b_fanins (b.b_count - 1 - id) in
+    let rec kth l n = match l with
+      | [] -> invalid_arg "Circuit.Builder.connect_dff: bad id"
+      | k :: rest -> if n = 0 then k else kth rest (n - 1)
+    in
+    if kth b.b_kinds (b.b_count - 1 - id) <> Gate.Dff then
+      invalid_arg "Circuit.Builder.connect_dff: node is not a DFF";
+    arr.(0) <- fanin
+
+  (* Kahn topological sort over combinational edges; DFF fanin edges are
+     next-state edges and do not order the DFF after its fanin. *)
+  let topo_sort kinds fanins =
+    let n = Array.length kinds in
+    let indeg = Array.make n 0 in
+    let comb_fanins i = if kinds.(i) = Gate.Dff then [||] else fanins.(i) in
+    for i = 0 to n - 1 do
+      indeg.(i) <- Array.length (comb_fanins i)
+    done;
+    let succs = Array.make n [] in
+    for i = 0 to n - 1 do
+      Array.iter (fun f -> succs.(f) <- i :: succs.(f)) (comb_fanins i)
+    done;
+    let order = Array.make n 0 in
+    let filled = ref 0 in
+    let queue = Queue.create () in
+    for i = 0 to n - 1 do
+      if indeg.(i) = 0 then Queue.add i queue
+    done;
+    while not (Queue.is_empty queue) do
+      let i = Queue.pop queue in
+      order.(!filled) <- i;
+      incr filled;
+      List.iter
+        (fun s ->
+          indeg.(s) <- indeg.(s) - 1;
+          if indeg.(s) = 0 then Queue.add s queue)
+        (List.rev succs.(i))
+    done;
+    if !filled <> n then invalid_arg "Circuit.Builder.finish: combinational cycle detected";
+    order
+
+  let finish b =
+    if b.b_outputs = [] then invalid_arg "Circuit.Builder.finish: no outputs marked";
+    let n = b.b_count in
+    let kinds = Array.of_list (List.rev b.b_kinds) in
+    let names = Array.of_list (List.rev b.b_names) in
+    let fanins = Array.of_list (List.rev b.b_fanins) in
+    Array.iteri
+      (fun i fi ->
+        Array.iter
+          (fun f ->
+            if f < 0 then
+              invalid_arg
+                (Printf.sprintf "Circuit.Builder.finish: DFF %S was never connected"
+                   names.(i)))
+          fi)
+      fanins;
+    let topo = topo_sort kinds fanins in
+    let levels = Array.make n 0 in
+    Array.iter
+      (fun i ->
+        if kinds.(i) <> Gate.Dff && Array.length fanins.(i) > 0 then
+          levels.(i) <- 1 + Array.fold_left (fun m f -> max m levels.(f)) 0 fanins.(i))
+      topo;
+    (* Fanouts: distinct consumers, increasing id. *)
+    let fanout_lists = Array.make n [] in
+    for i = n - 1 downto 0 do
+      let seen = Hashtbl.create 4 in
+      Array.iter
+        (fun f ->
+          if not (Hashtbl.mem seen f) then begin
+            Hashtbl.add seen f ();
+            fanout_lists.(f) <- i :: fanout_lists.(f)
+          end)
+        fanins.(i)
+    done;
+    let fanouts = Array.map Array.of_list fanout_lists in
+    let output_set = Array.make n false in
+    List.iter (fun o -> output_set.(o) <- true) b.b_outputs;
+    {
+      title = b.b_title;
+      kinds;
+      names;
+      fanins;
+      fanouts;
+      inputs = Array.of_list (List.rev b.b_inputs);
+      outputs = Array.of_list (List.rev b.b_outputs);
+      output_set;
+      by_name = Hashtbl.copy b.b_by_name;
+      topo;
+      levels;
+    }
+end
+
+let topological_order t = t.topo
+let level t i = t.levels.(i)
+let depth t = Array.fold_left max 0 t.levels
+
+let transitive_fanout t src =
+  let reached = Array.make (node_count t) false in
+  reached.(src) <- true;
+  let acc = ref [] in
+  Array.iter
+    (fun i ->
+      if (not reached.(i)) && Array.exists (fun f -> reached.(f)) t.fanins.(i) then begin
+        reached.(i) <- true;
+        acc := i :: !acc
+      end)
+    t.topo;
+  Array.of_list (List.rev !acc)
+
+let pp_summary ppf t =
+  Format.fprintf ppf "%s: %d PIs, %d POs, %d gates, depth %d" t.title
+    (Array.length t.inputs) (Array.length t.outputs) (gate_count t) (depth t)

@@ -1,0 +1,120 @@
+(** Immutable gate-level netlists.
+
+    A circuit is a set of nodes identified by dense integer ids.  Each
+    node has a {!Gate.kind}, a name, and an ordered fanin list; fanout
+    lists are derived at freeze time.  Primary outputs reference driver
+    nodes (there are no separate output pads), so one node can be both
+    an internal signal and an observed output, as in the [.bench]
+    format.
+
+    Construct circuits through {!Builder}; a frozen circuit is never
+    mutated. *)
+
+type t
+
+(** {1 Accessors} *)
+
+val node_count : t -> int
+val kind : t -> int -> Gate.kind
+val name : t -> int -> string
+val fanins : t -> int -> int array
+(** Ordered fanin node ids.  Do not mutate. *)
+
+val fanouts : t -> int -> int array
+(** Node ids that list this node among their fanins, in increasing id
+    order; a consumer appears once per distinct consumer (a gate using
+    the same signal on two pins is still one fanout entry).  Do not
+    mutate. *)
+
+val fanout_count : t -> int -> int
+val inputs : t -> int array
+(** Primary-input node ids in declaration order.  Do not mutate. *)
+
+val outputs : t -> int array
+(** Primary-output driver node ids in declaration order.  A node id may
+    appear at most once.  Do not mutate. *)
+
+val is_output : t -> int -> bool
+val find : t -> string -> int option
+(** Look a node up by name. *)
+
+val find_exn : t -> string -> int
+
+val gate_count : t -> int
+(** Number of logic nodes, i.e. nodes that are not primary inputs or
+    constants (the convention ISCAS statistics use). *)
+
+val pin_count : t -> int
+(** Total number of gate input pins. *)
+
+val has_state : t -> bool
+(** Whether any {!Gate.Dff} node is present. *)
+
+val title : t -> string
+(** Circuit name (for reports). *)
+
+val iter_nodes : t -> (int -> unit) -> unit
+
+(** {1 Building} *)
+
+module Builder : sig
+  type circuit := t
+  type t
+
+  val create : ?title:string -> unit -> t
+
+  val input : t -> string -> int
+  (** Declare a primary input.  @raise Invalid_argument on duplicate
+      names. *)
+
+  val const : t -> string -> bool -> int
+  (** Constant-0 or constant-1 node. *)
+
+  val gate : t -> Gate.kind -> string -> int list -> int
+  (** [gate b kind name fanins] adds a logic node.  @raise
+      Invalid_argument on duplicate name, bad arity, or dangling fanin
+      id. *)
+
+  val mark_output : t -> int -> unit
+  (** Declare a node to be a primary output.  Marking the same node
+      twice is idempotent. *)
+
+  val dff : t -> string -> int
+  (** Add a D flip-flop whose fanin is not yet known (feedback loops in
+      sequential netlists require this).  The fanin must be supplied
+      with {!connect_dff} before {!finish}. *)
+
+  val connect_dff : t -> int -> fanin:int -> unit
+  (** Set the data fanin of a flip-flop created by {!dff}.  @raise
+      Invalid_argument if the node is not an unconnected DFF or the
+      fanin id is dangling at {!finish} time. *)
+
+  val node_count : t -> int
+
+  val finish : t -> circuit
+  (** Freeze.  @raise Invalid_argument if no outputs are marked or the
+      combinational part contains a cycle (DFFs break cycles). *)
+end
+
+(** {1 Derived views} *)
+
+val topological_order : t -> int array
+(** Node ids such that every node appears after all its fanins, with
+    {!Gate.Dff} nodes treated as sources (their fanin edge is a
+    next-state edge, not a combinational dependency).  Computed at
+    freeze time; do not mutate. *)
+
+val level : t -> int -> int
+(** Logic depth: 0 for PIs/constants/DFF outputs, else 1 + max fanin
+    level. *)
+
+val depth : t -> int
+(** Maximum level over all nodes. *)
+
+val transitive_fanout : t -> int -> int array
+(** Node ids reachable from the given node through fanout edges
+    (excluding the node itself), in topological order.  Computed on
+    demand. *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** One-line summary: name, #PI, #PO, #gates, depth. *)

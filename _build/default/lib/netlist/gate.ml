@@ -1,0 +1,61 @@
+type kind =
+  | Input
+  | Const0
+  | Const1
+  | Buf
+  | Not
+  | And
+  | Nand
+  | Or
+  | Nor
+  | Xor
+  | Xnor
+  | Dff
+
+let to_string = function
+  | Input -> "INPUT"
+  | Const0 -> "CONST0"
+  | Const1 -> "CONST1"
+  | Buf -> "BUF"
+  | Not -> "NOT"
+  | And -> "AND"
+  | Nand -> "NAND"
+  | Or -> "OR"
+  | Nor -> "NOR"
+  | Xor -> "XOR"
+  | Xnor -> "XNOR"
+  | Dff -> "DFF"
+
+let of_string s =
+  match String.uppercase_ascii s with
+  | "INPUT" -> Some Input
+  | "CONST0" -> Some Const0
+  | "CONST1" -> Some Const1
+  | "BUF" | "BUFF" -> Some Buf
+  | "NOT" | "INV" -> Some Not
+  | "AND" -> Some And
+  | "NAND" -> Some Nand
+  | "OR" -> Some Or
+  | "NOR" -> Some Nor
+  | "XOR" -> Some Xor
+  | "XNOR" -> Some Xnor
+  | "DFF" -> Some Dff
+  | _ -> None
+
+let arity_ok k n =
+  match k with
+  | Input | Const0 | Const1 -> n = 0
+  | Buf | Not | Dff -> n = 1
+  | And | Nand | Or | Nor | Xor | Xnor -> n >= 1
+
+let inverting = function
+  | Nand | Nor | Xnor | Not -> true
+  | Input | Const0 | Const1 | Buf | And | Or | Xor | Dff -> false
+
+let controlling_value = function
+  | And | Nand -> Some false
+  | Or | Nor -> Some true
+  | Input | Const0 | Const1 | Buf | Not | Xor | Xnor | Dff -> None
+
+let equal (a : kind) b = a = b
+let pp ppf k = Format.pp_print_string ppf (to_string k)

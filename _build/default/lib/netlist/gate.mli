@@ -1,0 +1,44 @@
+(** Gate kinds of the structural netlist.
+
+    The library models the gate repertoire of the ISCAS-85/89 benchmark
+    format: primary inputs, constants, single-input buffers/inverters,
+    n-ary AND/NAND/OR/NOR, n-ary parity gates (XOR/XNOR), and D
+    flip-flops.  Flip-flops only appear in sequential netlists; the
+    full-scan transformation ({!Scan.combinational}) removes them before
+    any simulation or test generation. *)
+
+type kind =
+  | Input  (** primary input (no fanin) *)
+  | Const0  (** constant logic 0 *)
+  | Const1  (** constant logic 1 *)
+  | Buf  (** non-inverting buffer, arity 1 *)
+  | Not  (** inverter, arity 1 *)
+  | And
+  | Nand
+  | Or
+  | Nor
+  | Xor  (** n-ary odd parity *)
+  | Xnor  (** n-ary even parity *)
+  | Dff  (** D flip-flop, arity 1; sequential netlists only *)
+
+val to_string : kind -> string
+(** Canonical upper-case mnemonic, as used by the [.bench] format. *)
+
+val of_string : string -> kind option
+(** Parse a mnemonic, case-insensitively.  Accepts the aliases [BUFF]
+    for {!Buf} and [INV] for {!Not}. *)
+
+val arity_ok : kind -> int -> bool
+(** [arity_ok k n] says whether a gate of kind [k] may have [n] fanins. *)
+
+val inverting : kind -> bool
+(** Whether the gate's output is the complement of the corresponding
+    non-inverting kind ([Nand]/[Nor]/[Xnor]/[Not]). *)
+
+val controlling_value : kind -> bool option
+(** The fanin value that forces the output regardless of other fanins:
+    [Some false] for AND/NAND, [Some true] for OR/NOR, [None]
+    otherwise. *)
+
+val equal : kind -> kind -> bool
+val pp : Format.formatter -> kind -> unit

@@ -1,0 +1,196 @@
+type subst =
+  | Node_const of int * bool
+  | Pin_const of { gate : int; pin : int; value : bool }
+
+type signal = Const of bool | Ref of int
+
+module B = Circuit.Builder
+
+(* Prune nodes from which no primary output is reachable (through
+   combinational and DFF data edges).  Primary inputs are always
+   kept — they are the circuit's interface. *)
+let prune_dead c =
+  let n = Circuit.node_count c in
+  let live = Array.make n false in
+  Array.iter (fun o -> live.(o) <- true) (Circuit.outputs c);
+  (* DFFs propagate liveness to their data fanin across clock
+     boundaries, so iterate to a fixed point. *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let topo = Circuit.topological_order c in
+    for idx = n - 1 downto 0 do
+      let i = topo.(idx) in
+      if live.(i) then
+        Array.iter
+          (fun f ->
+            if not live.(f) then begin
+              live.(f) <- true;
+              changed := true
+            end)
+          (Circuit.fanins c i)
+    done
+  done;
+  let b = B.create ~title:(Circuit.title c) () in
+  let ids = Array.make n (-1) in
+  Array.iter (fun pi -> ids.(pi) <- B.input b (Circuit.name c pi)) (Circuit.inputs c);
+  let dffs = ref [] in
+  Array.iter
+    (fun i ->
+      if live.(i) && ids.(i) < 0 then
+        match Circuit.kind c i with
+        | Gate.Input -> ()
+        | Gate.Dff ->
+            ids.(i) <- B.dff b (Circuit.name c i);
+            dffs := i :: !dffs
+        | k ->
+            ids.(i) <-
+              B.gate b k (Circuit.name c i)
+                (Array.to_list (Array.map (fun f -> ids.(f)) (Circuit.fanins c i))))
+    (Circuit.topological_order c);
+  List.iter
+    (fun i -> B.connect_dff b ids.(i) ~fanin:ids.((Circuit.fanins c i).(0)))
+    !dffs;
+  Array.iter (fun o -> B.mark_output b ids.(o)) (Circuit.outputs c);
+  B.finish b
+
+let apply c substs =
+  let n = Circuit.node_count c in
+  let node_const = Array.make n None in
+  let pin_consts : (int * int, bool) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (function
+      | Node_const (i, v) -> node_const.(i) <- Some v
+      | Pin_const { gate; pin; value } -> Hashtbl.replace pin_consts (gate, pin) value)
+    substs;
+  let b = B.create ~title:(Circuit.title c) () in
+  let signals = Array.make n (Const false) in
+  let const_ids = [| None; None |] in
+  let const_ref v =
+    let idx = if v then 1 else 0 in
+    match const_ids.(idx) with
+    | Some id -> id
+    | None ->
+        let id = B.const b (if v then "_const1" else "_const0") v in
+        const_ids.(idx) <- Some id;
+        id
+  in
+  let materialize = function Const v -> const_ref v | Ref id -> id in
+  (* DFFs are sources in the topological order; create them first so
+     their consumers can reference them, and connect their data pins at
+     the end. *)
+  let dff_olds = ref [] in
+  Circuit.iter_nodes c (fun i ->
+      if Circuit.kind c i = Gate.Dff then begin
+        signals.(i) <-
+          (match node_const.(i) with
+          | Some v -> Const v
+          | None ->
+              dff_olds := i :: !dff_olds;
+              Ref (B.dff b (Circuit.name c i)))
+      end);
+  let eval_gate i =
+    let k = Circuit.kind c i in
+    let fanins = Circuit.fanins c i in
+    let pin p =
+      match Hashtbl.find_opt pin_consts (i, p) with
+      | Some v -> Const v
+      | None -> signals.(fanins.(p))
+    in
+    let pins = List.init (Array.length fanins) pin in
+    let mk_unary inverted = function
+      | Const v -> Const (v <> inverted)
+      | Ref id ->
+          if inverted then Ref (B.gate b Gate.Not (Circuit.name c i) [ id ])
+          else Ref (B.gate b Gate.Buf (Circuit.name c i) [ id ])
+    in
+    match k with
+    | Gate.Input -> signals.(i)
+    | Gate.Const0 -> Const false
+    | Gate.Const1 -> Const true
+    | Gate.Dff -> signals.(i)
+    | Gate.Buf -> mk_unary false (List.nth pins 0)
+    | Gate.Not -> mk_unary true (List.nth pins 0)
+    | Gate.And | Gate.Nand | Gate.Or | Gate.Nor ->
+        let controlling =
+          match Gate.controlling_value k with Some v -> v | None -> assert false
+        in
+        let inverted = Gate.inverting k in
+        if List.exists (function Const v -> v = controlling | Ref _ -> false) pins then
+          Const (controlling <> inverted)
+        else begin
+          (* Non-controlling constants drop out; duplicate fanins are
+             idempotent for these gates. *)
+          let live =
+            List.filter_map (function Const _ -> None | Ref id -> Some id) pins
+          in
+          let live = List.sort_uniq compare live in
+          match live with
+          | [] -> Const (not controlling <> inverted)
+          | [ one ] -> mk_unary inverted (Ref one)
+          | many -> Ref (B.gate b k (Circuit.name c i) many)
+        end
+    | Gate.Xor | Gate.Xnor ->
+        let base_flip = Gate.inverting k in
+        let flip =
+          List.fold_left
+            (fun acc -> function Const v -> acc <> v | Ref _ -> acc)
+            base_flip pins
+        in
+        (* Pairs of identical fanins cancel in a parity gate. *)
+        let counts = Hashtbl.create 8 in
+        List.iter
+          (function
+            | Const _ -> ()
+            | Ref id ->
+                Hashtbl.replace counts id (1 + Option.value ~default:0 (Hashtbl.find_opt counts id)))
+          pins;
+        let live =
+          Hashtbl.fold (fun id cnt acc -> if cnt land 1 = 1 then id :: acc else acc) counts []
+          |> List.sort compare
+        in
+        (match live with
+        | [] -> Const flip
+        | [ one ] -> mk_unary flip (Ref one)
+        | many ->
+            let kind = if flip then Gate.Xnor else Gate.Xor in
+            Ref (B.gate b kind (Circuit.name c i) many))
+  in
+  Array.iter
+    (fun i ->
+      match Circuit.kind c i with
+      | Gate.Input ->
+          let id = B.input b (Circuit.name c i) in
+          signals.(i) <- (match node_const.(i) with Some v -> Const v | None -> Ref id)
+      | Gate.Dff -> ()
+      | _ ->
+          (* Check the substitution before materialising: eval_gate
+             would create a node carrying this name, which the
+             constant-output path below may need. *)
+          signals.(i) <-
+            (match node_const.(i) with Some v -> Const v | None -> eval_gate i))
+    (Circuit.topological_order c);
+  List.iter
+    (fun i ->
+      let data =
+        match Hashtbl.find_opt pin_consts (i, 0) with
+        | Some v -> Const v
+        | None -> signals.((Circuit.fanins c i).(0))
+      in
+      B.connect_dff b (materialize signals.(i)) ~fanin:(materialize data))
+    !dff_olds;
+  (* A primary output that folded to a constant keeps its name via a
+     dedicated constant node (the original node was never materialised,
+     unless it was a PI, whose name survives — then suffix). *)
+  Array.iter
+    (fun o ->
+      match signals.(o) with
+      | Ref id -> B.mark_output b id
+      | Const v ->
+          let base = Circuit.name c o in
+          let nm = if Circuit.kind c o = Gate.Input then base ^ "__const" else base in
+          B.mark_output b (B.const b nm v))
+    (Circuit.outputs c);
+  prune_dead (B.finish b)
+
+let simplify c = apply c []

@@ -1,0 +1,25 @@
+(** Netlist rewriting: constant substitution and structural
+    simplification.
+
+    The redundancy-removal loop replaces lines carrying undetectable
+    stuck-at faults with constants; this module performs the
+    substitution and cleans up the consequences — constants are
+    propagated, controlled gates collapse, constant fanins of
+    AND/OR-family gates are dropped, parity gates absorb constant
+    inputs as an inversion, and logic left driving nothing is
+    deleted.
+
+    Primary outputs are preserved positionally: an output that
+    simplifies to a constant remains as a constant node. *)
+
+type subst =
+  | Node_const of int * bool  (** node's output becomes the constant *)
+  | Pin_const of { gate : int; pin : int; value : bool }
+      (** one gate input pin is disconnected and tied to the constant *)
+
+val apply : Circuit.t -> subst list -> Circuit.t
+(** Apply substitutions simultaneously and simplify.  Node names are
+    preserved for surviving nodes. *)
+
+val simplify : Circuit.t -> Circuit.t
+(** [apply c []] — simplification only. *)

@@ -1,0 +1,104 @@
+type mapping = { ppis : (string * int) array; ppos : (string * int) array }
+
+let is_combinational c = not (Circuit.has_state c)
+
+let combinational c =
+  let b = Circuit.Builder.create ~title:(Circuit.title c ^ "_comb") () in
+  let n = Circuit.node_count c in
+  let ids = Array.make n (-1) in
+  (* Original PIs first, in order. *)
+  Array.iter (fun i -> ids.(i) <- Circuit.Builder.input b (Circuit.name c i)) (Circuit.inputs c);
+  (* DFF outputs become PPIs. *)
+  let ppis = ref [] in
+  Circuit.iter_nodes c (fun i ->
+      if Circuit.kind c i = Gate.Dff then begin
+        let id = Circuit.Builder.input b (Circuit.name c i ^ "__ppi") in
+        ids.(i) <- id;
+        ppis := (Circuit.name c i, id) :: !ppis
+      end);
+  (* Remaining nodes in topological order (DFFs already mapped). *)
+  Array.iter
+    (fun i ->
+      if ids.(i) < 0 then begin
+        let k = Circuit.kind c i in
+        let fanin_ids = Array.to_list (Array.map (fun f -> ids.(f)) (Circuit.fanins c i)) in
+        ids.(i) <-
+          (match k with
+          | Gate.Input | Gate.Dff -> assert false
+          | _ -> Circuit.Builder.gate b k (Circuit.name c i) fanin_ids)
+      end)
+    (Circuit.topological_order c);
+  Array.iter (fun o -> Circuit.Builder.mark_output b ids.(o)) (Circuit.outputs c);
+  (* DFF data inputs become PPOs. *)
+  let ppos = ref [] in
+  Circuit.iter_nodes c (fun i ->
+      if Circuit.kind c i = Gate.Dff then begin
+        let d = (Circuit.fanins c i).(0) in
+        Circuit.Builder.mark_output b ids.(d);
+        ppos := (Circuit.name c i, ids.(d)) :: !ppos
+      end);
+  ( Circuit.Builder.finish b,
+    { ppis = Array.of_list (List.rev !ppis); ppos = Array.of_list (List.rev !ppos) } )
+
+type chain = {
+  cells : string array;
+  scan_in : int;
+  scan_enable : int;
+  scan_out : int;
+}
+
+let insert_chain c =
+  if not (Circuit.has_state c) then
+    invalid_arg "Scan.insert_chain: circuit has no flip-flops";
+  let b = Circuit.Builder.create ~title:(Circuit.title c ^ "_scan") () in
+  let n = Circuit.node_count c in
+  let ids = Array.make n (-1) in
+  Array.iter (fun pi -> ids.(pi) <- Circuit.Builder.input b (Circuit.name c pi)) (Circuit.inputs c);
+  let scan_in_id = Circuit.Builder.input b "scan_in" in
+  let scan_en_id = Circuit.Builder.input b "scan_enable" in
+  let scan_en_n = Circuit.Builder.gate b Gate.Not "scan_enable_n" [ scan_en_id ] in
+  (* Flip-flops first (they are sources); data muxes are wired after
+     the combinational logic exists. *)
+  let dffs = ref [] in
+  Circuit.iter_nodes c (fun i ->
+      if Circuit.kind c i = Gate.Dff then begin
+        ids.(i) <- Circuit.Builder.dff b (Circuit.name c i);
+        dffs := i :: !dffs
+      end);
+  let dffs = Array.of_list (List.rev !dffs) in
+  Array.iter
+    (fun i ->
+      if ids.(i) < 0 then
+        match Circuit.kind c i with
+        | Gate.Input | Gate.Dff -> ()
+        | k ->
+            ids.(i) <-
+              Circuit.Builder.gate b k (Circuit.name c i)
+                (Array.to_list (Array.map (fun f -> ids.(f)) (Circuit.fanins c i))))
+    (Circuit.topological_order c);
+  (* Stitch: cell 0 shifts from scan_in, cell j from cell j-1. *)
+  Array.iteri
+    (fun j old_dff ->
+      let name = Circuit.name c old_dff in
+      let data = ids.((Circuit.fanins c old_dff).(0)) in
+      let shift_src = if j = 0 then scan_in_id else ids.(dffs.(j - 1)) in
+      let func_path = Circuit.Builder.gate b Gate.And (name ^ "_d") [ scan_en_n; data ] in
+      let shift_path = Circuit.Builder.gate b Gate.And (name ^ "_sh") [ scan_en_id; shift_src ] in
+      let mux = Circuit.Builder.gate b Gate.Or (name ^ "_mux") [ func_path; shift_path ] in
+      Circuit.Builder.connect_dff b ids.(old_dff) ~fanin:mux)
+    dffs;
+  Array.iter (fun o -> Circuit.Builder.mark_output b ids.(o)) (Circuit.outputs c);
+  (* Scan-out: the last cell, observed through a dedicated buffer so it
+     is a fresh output position even if the cell was already a PO. *)
+  let last_q = ids.(dffs.(Array.length dffs - 1)) in
+  let so = Circuit.Builder.gate b Gate.Buf "scan_out" [ last_q ] in
+  Circuit.Builder.mark_output b so;
+  let circuit = Circuit.Builder.finish b in
+  let n_pis = Array.length (Circuit.inputs circuit) in
+  ( circuit,
+    {
+      cells = Array.map (Circuit.name c) dffs;
+      scan_in = n_pis - 2;
+      scan_enable = n_pis - 1;
+      scan_out = Array.length (Circuit.outputs circuit) - 1;
+    } )

@@ -1,0 +1,45 @@
+(** Full-scan transformation.
+
+    Under full scan, every flip-flop is part of a scan chain, so ATPG
+    sees a purely combinational circuit: each flip-flop output becomes a
+    pseudo primary input (PPI) and each flip-flop data input becomes a
+    pseudo primary output (PPO).  This is exactly the "combinational
+    logic of ISCAS-89 benchmarks" the paper evaluates on. *)
+
+type mapping = {
+  ppis : (string * int) array;
+      (** (flip-flop name, PPI node id in the combinational circuit),
+          in original DFF id order. *)
+  ppos : (string * int) array;
+      (** (flip-flop name, PPO driver node id). *)
+}
+
+val combinational : Circuit.t -> Circuit.t * mapping
+(** [combinational c] replaces every DFF with a PPI/PPO pair.  PPIs are
+    appended after the original PIs (named ["<ff>__ppi"]); PPOs are
+    appended after the original POs.  A circuit without DFFs is rebuilt
+    unchanged with an empty mapping. *)
+
+val is_combinational : Circuit.t -> bool
+(** No DFF nodes present. *)
+
+(** {1 Scan-chain insertion}
+
+    The physical side of full scan: every flip-flop gains a shift path
+    so the tester can load and unload the state serially. *)
+
+type chain = {
+  cells : string array;
+      (** flip-flop names in chain order: [cells.(0)] is fed by the
+          scan-in pin, the last cell drives scan-out *)
+  scan_in : int;  (** index of the scan-in pin in [Circuit.inputs] *)
+  scan_enable : int;  (** index of the scan-enable pin in [Circuit.inputs] *)
+  scan_out : int;  (** position of the scan-out in [Circuit.outputs] *)
+}
+
+val insert_chain : Circuit.t -> Circuit.t * chain
+(** Stitch all flip-flops (in node-id order) into one mux-D scan
+    chain: each DFF's data becomes [scan_enable ? previous-cell-Q :
+    original-data]; two primary inputs ([scan_in], [scan_enable]) and
+    one primary output (scan-out, the last cell's Q) are appended.
+    @raise Invalid_argument if the circuit has no flip-flops. *)

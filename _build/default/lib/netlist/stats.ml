@@ -1,0 +1,46 @@
+type t = {
+  name : string;
+  pis : int;
+  pos : int;
+  gates : int;
+  dffs : int;
+  pins : int;
+  depth : int;
+  max_fanout : int;
+  kind_histogram : (Gate.kind * int) list;
+}
+
+let of_circuit c =
+  let hist = Hashtbl.create 13 in
+  let dffs = ref 0 and max_fo = ref 0 in
+  Circuit.iter_nodes c (fun i ->
+      let k = Circuit.kind c i in
+      Hashtbl.replace hist k (1 + Option.value ~default:0 (Hashtbl.find_opt hist k));
+      if k = Gate.Dff then incr dffs;
+      max_fo := max !max_fo (Circuit.fanout_count c i));
+  let kind_histogram =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) hist []
+    |> List.sort (fun (a, _) (b, _) -> compare (Gate.to_string a) (Gate.to_string b))
+  in
+  {
+    name = Circuit.title c;
+    pis = Array.length (Circuit.inputs c);
+    pos = Array.length (Circuit.outputs c);
+    gates = Circuit.gate_count c;
+    dffs = !dffs;
+    pins = Circuit.pin_count c;
+    depth = Circuit.depth c;
+    max_fanout = !max_fo;
+    kind_histogram;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "%s: %d PIs, %d POs, %d gates (%d DFFs), %d pins, depth %d, max fanout %d"
+    t.name t.pis t.pos t.gates t.dffs t.pins t.depth t.max_fanout;
+  Format.fprintf ppf "@ [";
+  List.iteri
+    (fun i (k, n) ->
+      if i > 0 then Format.fprintf ppf ", ";
+      Format.fprintf ppf "%s:%d" (Gate.to_string k) n)
+    t.kind_histogram;
+  Format.fprintf ppf "]"

@@ -1,0 +1,16 @@
+(** Circuit statistics for reports (Table 4's "inp" column etc.). *)
+
+type t = {
+  name : string;
+  pis : int;
+  pos : int;
+  gates : int;  (** logic nodes, excluding PIs and constants *)
+  dffs : int;
+  pins : int;  (** total gate input pins *)
+  depth : int;
+  max_fanout : int;
+  kind_histogram : (Gate.kind * int) list;  (** sorted by kind mnemonic *)
+}
+
+val of_circuit : Circuit.t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,46 @@
+type issue = Dangling_node of int | Undriven_logic of int | Dff_present of int
+
+let pp_issue c ppf = function
+  | Dangling_node i ->
+      Format.fprintf ppf "node %S drives no primary output (its faults are undetectable)"
+        (Circuit.name c i)
+  | Undriven_logic i ->
+      Format.fprintf ppf "node %S computes a constant (fed only by constants)"
+        (Circuit.name c i)
+  | Dff_present i ->
+      Format.fprintf ppf "node %S is a flip-flop but a combinational circuit was required"
+        (Circuit.name c i)
+
+let dead_nodes c =
+  let n = Circuit.node_count c in
+  let live = Array.make n false in
+  (* Walk fanin cones from the outputs over the reverse topological
+     order: a node is live iff it is an output or feeds a live node. *)
+  Array.iter (fun o -> live.(o) <- true) (Circuit.outputs c);
+  let topo = Circuit.topological_order c in
+  for idx = n - 1 downto 0 do
+    let i = topo.(idx) in
+    if live.(i) then Array.iter (fun f -> live.(f) <- true) (Circuit.fanins c i)
+  done;
+  let acc = ref [] in
+  for i = n - 1 downto 0 do
+    if not live.(i) then acc := i :: !acc
+  done;
+  Array.of_list !acc
+
+let check ?(require_combinational = false) c =
+  let issues = ref [] in
+  Array.iter (fun i -> issues := Dangling_node i :: !issues) (dead_nodes c);
+  Circuit.iter_nodes c (fun i ->
+      let k = Circuit.kind c i in
+      (match k with
+      | Gate.Dff -> if require_combinational then issues := Dff_present i :: !issues
+      | _ -> ());
+      let fi = Circuit.fanins c i in
+      if
+        Array.length fi > 0
+        && Array.for_all
+             (fun f -> match Circuit.kind c f with Gate.Const0 | Gate.Const1 -> true | _ -> false)
+             fi
+      then issues := Undriven_logic i :: !issues);
+  List.rev !issues

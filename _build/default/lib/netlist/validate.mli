@@ -1,0 +1,20 @@
+(** Structural sanity checks over frozen circuits.
+
+    The builder already enforces local invariants (arity, dangling ids,
+    acyclicity); this module adds whole-circuit diagnostics used by the
+    CLI and by tests on generated circuits. *)
+
+type issue =
+  | Dangling_node of int  (** node drives nothing and is not an output *)
+  | Undriven_logic of int  (** logic node with a constant-only cone (informational) *)
+  | Dff_present of int  (** sequential element in a context requiring combinational logic *)
+
+val pp_issue : Circuit.t -> Format.formatter -> issue -> unit
+
+val check : ?require_combinational:bool -> Circuit.t -> issue list
+(** Collect diagnostics.  [Dangling_node] is reported for nodes from
+    which no primary output is reachable; such nodes are legal but their
+    faults are undetectable. *)
+
+val dead_nodes : Circuit.t -> int array
+(** Nodes from which no primary output is reachable. *)

@@ -1,0 +1,81 @@
+let is_word c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+
+let keywords = [ "input"; "output"; "wire"; "module"; "endmodule"; "assign"; "reg"; "always"; "clk" ]
+
+(* Map every node to a unique legal Verilog identifier. *)
+let identifiers c =
+  let used = Hashtbl.create 64 in
+  List.iter (fun k -> Hashtbl.replace used k ()) keywords;
+  let sanitise name =
+    let base = String.map (fun ch -> if is_word ch then ch else '_') name in
+    let base = if base = "" then "n" else base in
+    let base = if base.[0] >= '0' && base.[0] <= '9' then "n" ^ base else base in
+    if not (Hashtbl.mem used base) then begin
+      Hashtbl.replace used base ();
+      base
+    end
+    else begin
+      let rec pick i =
+        let cand = Printf.sprintf "%s_%d" base i in
+        if Hashtbl.mem used cand then pick (i + 1)
+        else begin
+          Hashtbl.replace used cand ();
+          cand
+        end
+      in
+      pick 1
+    end
+  in
+  Array.init (Circuit.node_count c) (fun i -> sanitise (Circuit.name c i))
+
+let to_string c =
+  let ids = identifiers c in
+  let buf = Buffer.create 2048 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let inputs = Array.to_list (Array.map (fun i -> ids.(i)) (Circuit.inputs c)) in
+  let inputs = if Circuit.has_state c then inputs @ [ "clk" ] else inputs in
+  (* A node that is both PO and internal signal keeps one name; ports
+     list outputs by their node identifiers. *)
+  let outputs = Array.to_list (Array.map (fun o -> ids.(o) ^ "_po") (Circuit.outputs c)) in
+  let module_name =
+    let t = Circuit.title c in
+    let t = String.map (fun ch -> if is_word ch then ch else '_') t in
+    if t = "" then "circuit" else t
+  in
+  pr "module %s (%s);\n" module_name (String.concat ", " (inputs @ outputs));
+  List.iter (fun i -> pr "  input %s;\n" i) inputs;
+  List.iter (fun o -> pr "  output %s;\n" o) outputs;
+  (* Wires for every non-input node. *)
+  Circuit.iter_nodes c (fun i ->
+      match Circuit.kind c i with
+      | Gate.Input -> ()
+      | Gate.Dff -> pr "  reg %s;\n" ids.(i)
+      | _ -> pr "  wire %s;\n" ids.(i));
+  Buffer.add_char buf '\n';
+  Circuit.iter_nodes c (fun i ->
+      let fanin_ids () =
+        String.concat ", " (Array.to_list (Array.map (fun f -> ids.(f)) (Circuit.fanins c i)))
+      in
+      match Circuit.kind c i with
+      | Gate.Input -> ()
+      | Gate.Const0 -> pr "  assign %s = 1'b0;\n" ids.(i)
+      | Gate.Const1 -> pr "  assign %s = 1'b1;\n" ids.(i)
+      | Gate.Dff ->
+          pr "  always @(posedge clk) %s <= %s;\n" ids.(i) ids.((Circuit.fanins c i).(0))
+      | Gate.Buf -> pr "  buf (%s, %s);\n" ids.(i) (fanin_ids ())
+      | Gate.Not -> pr "  not (%s, %s);\n" ids.(i) (fanin_ids ())
+      | Gate.And -> pr "  and (%s, %s);\n" ids.(i) (fanin_ids ())
+      | Gate.Nand -> pr "  nand (%s, %s);\n" ids.(i) (fanin_ids ())
+      | Gate.Or -> pr "  or (%s, %s);\n" ids.(i) (fanin_ids ())
+      | Gate.Nor -> pr "  nor (%s, %s);\n" ids.(i) (fanin_ids ())
+      | Gate.Xor -> pr "  xor (%s, %s);\n" ids.(i) (fanin_ids ())
+      | Gate.Xnor -> pr "  xnor (%s, %s);\n" ids.(i) (fanin_ids ()));
+  Buffer.add_char buf '\n';
+  Array.iter (fun o -> pr "  assign %s_po = %s;\n" ids.(o) ids.(o)) (Circuit.outputs c);
+  pr "endmodule\n";
+  Buffer.contents buf
+
+let write_file path c =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () ->
+      output_string oc (to_string c))

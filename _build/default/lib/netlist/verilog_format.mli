@@ -1,0 +1,15 @@
+(** Structural Verilog writer.
+
+    Emits a gate-level module using Verilog primitive gates ([and],
+    [nand], [or], [nor], [xor], [xnor], [not], [buf]) and behavioural
+    D flip-flops, so circuits can be handed to external logic
+    simulators or synthesis tools.  Write-only: Verilog parsing is far
+    outside this library's scope, and every circuit this library
+    produces can be re-read via its [.bench]/[.blif] writers. *)
+
+val to_string : Circuit.t -> string
+(** Identifiers are sanitised to Verilog rules (non-word characters
+    become ['_'], a leading digit gains an ['n'] prefix); name clashes
+    after sanitisation get numeric suffixes. *)
+
+val write_file : string -> Circuit.t -> unit

@@ -1,0 +1,1 @@
+lib/sim/deductive.ml: Array Circuit Fault Fault_list Gate Goodsim Hashtbl List Option Patterns Util

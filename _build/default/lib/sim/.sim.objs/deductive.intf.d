@@ -1,0 +1,1 @@
+lib/sim/deductive.mli: Fault_list Patterns Util

@@ -1,0 +1,1 @@
+lib/sim/dictionary.ml: Array Circuit Fault_list Faultsim Goodsim Hashtbl Int64 List Option Patterns String Util

@@ -1,0 +1,1 @@
+lib/sim/dictionary.mli: Fault_list Patterns Util

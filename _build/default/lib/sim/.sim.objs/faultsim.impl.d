@@ -1,0 +1,1 @@
+lib/sim/faultsim.ml: Array Circuit Fault Fault_list Fun Gate Goodsim Int64 List Patterns Util

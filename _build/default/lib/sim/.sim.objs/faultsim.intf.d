@@ -1,0 +1,1 @@
+lib/sim/faultsim.mli: Circuit Fault Fault_list Patterns Util

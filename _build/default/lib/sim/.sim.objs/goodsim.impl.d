@@ -1,0 +1,1 @@
+lib/sim/goodsim.ml: Array Boolean Circuit Gate Int64 Logic_word Patterns Util

@@ -1,0 +1,1 @@
+lib/sim/goodsim.mli: Circuit Patterns Util

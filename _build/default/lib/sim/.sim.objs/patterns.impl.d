@@ -1,0 +1,1 @@
+lib/sim/patterns.ml: Array Fun List Printf String Util

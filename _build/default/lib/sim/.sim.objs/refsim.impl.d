@@ -1,0 +1,1 @@
+lib/sim/refsim.ml: Array Boolean Circuit Fault Fault_list Gate Goodsim Patterns

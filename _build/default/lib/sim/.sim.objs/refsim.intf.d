@@ -1,0 +1,1 @@
+lib/sim/refsim.mli: Circuit Fault Fault_list Patterns

@@ -1,0 +1,1 @@
+lib/sim/seqsim.ml: Array Boolean Circuit Gate List

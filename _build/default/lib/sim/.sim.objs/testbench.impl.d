@@ -1,0 +1,1 @@
+lib/sim/testbench.ml: Array List Scan Seqsim

@@ -1,0 +1,1 @@
+lib/sim/testbench.mli: Scan Seqsim

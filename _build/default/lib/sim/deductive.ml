@@ -1,0 +1,120 @@
+module Bitvec = Util.Bitvec
+
+(* Pre-indexed fault sites for one fault list: which fault index (if
+   any) sits on each stem / pin with each polarity. *)
+type site_index = {
+  stem : int array array;  (* node -> [| sa0 idx; sa1 idx |], -1 if absent *)
+  branch : (int * int, int * int) Hashtbl.t;  (* (gate, pin) -> (sa0 idx, sa1 idx) *)
+}
+
+let index_sites fl =
+  let c = Fault_list.circuit fl in
+  let stem = Array.init (Circuit.node_count c) (fun _ -> [| -1; -1 |]) in
+  let branch = Hashtbl.create 256 in
+  for fi = 0 to Fault_list.count fl - 1 do
+    let f = Fault_list.get fl fi in
+    let pol = if f.Fault.stuck_at then 1 else 0 in
+    match f.Fault.site with
+    | Fault.Stem s -> stem.(s).(pol) <- fi
+    | Fault.Branch { gate; pin } ->
+        let cur =
+          Option.value ~default:(-1, -1) (Hashtbl.find_opt branch (gate, pin))
+        in
+        Hashtbl.replace branch (gate, pin)
+          (if pol = 0 then (fi, snd cur) else (fst cur, fi))
+  done;
+  { stem; branch }
+
+let fault_lists fl vec =
+  let c = Fault_list.circuit fl in
+  if Circuit.has_state c then
+    invalid_arg "Deductive.fault_lists: circuit must be combinational";
+  let sites = index_sites fl in
+  let nf = Fault_list.count fl in
+  let good = Goodsim.eval_scalar c vec in
+  let lists = Array.init (Circuit.node_count c) (fun _ -> Bitvec.create nf) in
+  let add_stem n set =
+    (* The stem fault opposing the good value flips the line. *)
+    let pol = if good.(n) then 0 else 1 in
+    let fi = sites.stem.(n).(pol) in
+    if fi >= 0 then Bitvec.set set fi true
+  in
+  (* Fault list seen by pin p of gate g: the driver's list plus the
+     branch fault opposing the driver's good value. *)
+  let pin_list g p =
+    let driver = (Circuit.fanins c g).(p) in
+    let l = Bitvec.copy lists.(driver) in
+    (match Hashtbl.find_opt sites.branch (g, p) with
+    | Some (sa0, sa1) ->
+        let fi = if good.(driver) then sa0 else sa1 in
+        if fi >= 0 then Bitvec.set l fi true
+    | None -> ());
+    l
+  in
+  Array.iter
+    (fun n ->
+      let set = lists.(n) in
+      (match Circuit.kind c n with
+      | Gate.Input | Gate.Const0 | Gate.Const1 -> ()
+      | Gate.Buf | Gate.Dff -> Bitvec.union_into ~dst:set (pin_list n 0)
+      | Gate.Not -> Bitvec.union_into ~dst:set (pin_list n 0)
+      | (Gate.And | Gate.Nand | Gate.Or | Gate.Nor) as k ->
+          let controlling =
+            match Gate.controlling_value k with Some v -> v | None -> assert false
+          in
+          let fanins = Circuit.fanins c n in
+          let ctrl_pins = ref [] and nonctrl_pins = ref [] in
+          Array.iteri
+            (fun p f ->
+              if good.(f) = controlling then ctrl_pins := p :: !ctrl_pins
+              else nonctrl_pins := p :: !nonctrl_pins)
+            fanins;
+          (match !ctrl_pins with
+          | [] ->
+              (* No controlling input: any flipped input flips the
+                 output. *)
+              List.iter
+                (fun p -> Bitvec.union_into ~dst:set (pin_list n p))
+                !nonctrl_pins
+          | first :: rest ->
+              (* Output flips iff every controlling input flips and no
+                 non-controlling input does. *)
+              let acc = pin_list n first in
+              List.iter (fun p -> Bitvec.inter_into ~dst:acc (pin_list n p)) rest;
+              List.iter (fun p -> Bitvec.diff_into ~dst:acc (pin_list n p)) !nonctrl_pins;
+              Bitvec.union_into ~dst:set acc)
+      | Gate.Xor | Gate.Xnor ->
+          (* Parity: faults flipping an odd number of inputs flip the
+             output — the symmetric difference of the pin lists. *)
+          let fanins = Circuit.fanins c n in
+          let acc = Bitvec.create nf in
+          Array.iteri
+            (fun p _ ->
+              let l = pin_list n p in
+              (* symmetric difference via (acc \ l) U (l \ acc) *)
+              let only_l = Bitvec.copy l in
+              Bitvec.diff_into ~dst:only_l acc;
+              Bitvec.diff_into ~dst:acc l;
+              Bitvec.union_into ~dst:acc only_l)
+            fanins;
+          Bitvec.union_into ~dst:set acc);
+      add_stem n set)
+    (Circuit.topological_order c);
+  lists
+
+let detected_by_pattern fl vec =
+  let c = Fault_list.circuit fl in
+  let lists = fault_lists fl vec in
+  let out = Bitvec.create (Fault_list.count fl) in
+  Array.iter (fun o -> Bitvec.union_into ~dst:out lists.(o)) (Circuit.outputs c);
+  out
+
+let detection_sets fl pats =
+  let nf = Fault_list.count fl in
+  let cnt = Patterns.count pats in
+  let dsets = Array.init nf (fun _ -> Bitvec.create cnt) in
+  for p = 0 to cnt - 1 do
+    let det = detected_by_pattern fl (Patterns.vector pats p) in
+    Bitvec.iter_set det (fun fi -> Bitvec.set dsets.(fi) p true)
+  done;
+  dsets

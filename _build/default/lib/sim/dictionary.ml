@@ -1,0 +1,74 @@
+module Bitvec = Util.Bitvec
+
+type t = {
+  fl : Fault_list.t;
+  pats : Patterns.t;
+  signatures : Bitvec.t array;
+  good_outputs : bool array array;  (* per test, PO values *)
+}
+
+let build fl pats =
+  let c = Fault_list.circuit fl in
+  let signatures = Faultsim.detection_sets fl pats in
+  let outs = Circuit.outputs c in
+  let good_outputs =
+    Array.init (Patterns.count pats) (fun p ->
+        let v = Goodsim.eval_scalar c (Patterns.vector pats p) in
+        Array.map (fun o -> v.(o)) outs)
+  in
+  { fl; pats; signatures; good_outputs }
+
+let faults t = t.fl
+let tests t = t.pats
+let signature t fi = t.signatures.(fi)
+
+let signature_of_response t response =
+  let obs = Bitvec.create (Patterns.count t.pats) in
+  for p = 0 to Patterns.count t.pats - 1 do
+    if response p <> t.good_outputs.(p) then Bitvec.set obs p true
+  done;
+  obs
+
+let diagnose t obs =
+  let acc = ref [] in
+  for fi = Fault_list.count t.fl - 1 downto 0 do
+    if Bitvec.equal t.signatures.(fi) obs then acc := fi :: !acc
+  done;
+  !acc
+
+let hamming a b =
+  let d = Bitvec.copy a in
+  (* d <- (a \ b) + (b \ a) counted separately to avoid xor primitive *)
+  Bitvec.diff_into ~dst:d b;
+  let d2 = Bitvec.copy b in
+  Bitvec.diff_into ~dst:d2 a;
+  Bitvec.popcount d + Bitvec.popcount d2
+
+let diagnose_nearest t obs ~n =
+  let scored =
+    List.init (Fault_list.count t.fl) (fun fi -> (fi, hamming t.signatures.(fi) obs))
+  in
+  let sorted = List.sort (fun (a, da) (b, db) -> if da <> db then compare da db else compare a b) scored in
+  List.filteri (fun i _ -> i < n) sorted
+
+let equivalence_classes t =
+  let groups : (string, int list) Hashtbl.t = Hashtbl.create 64 in
+  Array.iteri
+    (fun fi s ->
+      if not (Bitvec.is_zero s) then begin
+        let key =
+          String.concat ","
+            (Array.to_list (Array.map Int64.to_string (Bitvec.words s)))
+        in
+        Hashtbl.replace groups key
+          (fi :: Option.value ~default:[] (Hashtbl.find_opt groups key))
+      end)
+    t.signatures;
+  Hashtbl.fold (fun _ g acc -> List.rev g :: acc) groups []
+  |> List.sort compare
+
+let resolution t =
+  let classes = equivalence_classes t in
+  let detected = List.fold_left (fun a g -> a + List.length g) 0 classes in
+  let unique = List.fold_left (fun a g -> if List.length g = 1 then a + 1 else a) 0 classes in
+  if detected = 0 then 1.0 else float_of_int unique /. float_of_int detected

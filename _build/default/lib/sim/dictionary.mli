@@ -1,0 +1,42 @@
+(** Pass/fail fault dictionaries and fault diagnosis.
+
+    A dictionary stores, for every modelled fault, its {e signature} —
+    the set of tests the circuit fails when that fault is present.
+    Comparing a failing chip's observed signature against the
+    dictionary locates candidate faults: the downstream use of the
+    steep-coverage test sets the paper's ordering produces (a defective
+    chip is identified after few tests when early tests detect many
+    faults). *)
+
+type t
+
+val build : Fault_list.t -> Patterns.t -> t
+(** Full (non-dropping) fault simulation of the test set. *)
+
+val faults : t -> Fault_list.t
+val tests : t -> Patterns.t
+
+val signature : t -> int -> Util.Bitvec.t
+(** The failing-test set of one fault. *)
+
+val signature_of_response : t -> (int -> bool array) -> Util.Bitvec.t
+(** Build the observed signature of a device under test: [response t]
+    must give the device's output vector for test [t] (in
+    [Circuit.outputs] order); tests whose response differs from the
+    fault-free circuit are marked failing. *)
+
+val diagnose : t -> Util.Bitvec.t -> int list
+(** Faults whose signature exactly matches the observed one (empty if
+    the defect is not in the modelled universe). *)
+
+val diagnose_nearest : t -> Util.Bitvec.t -> n:int -> (int * int) list
+(** The [n] faults with smallest Hamming distance between signature
+    and observation, best first, as [(fault, distance)] — useful when
+    the defect only approximates a modelled fault. *)
+
+val equivalence_classes : t -> int list list
+(** Groups of faults the test set cannot distinguish (identical
+    non-empty signatures).  Singleton groups are fully diagnosable. *)
+
+val resolution : t -> float
+(** Fraction of detected faults that are uniquely diagnosable. *)

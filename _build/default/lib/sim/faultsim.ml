@@ -1,0 +1,266 @@
+module Bitvec = Util.Bitvec
+
+type workspace = {
+  circuit : Circuit.t;
+  fval : int64 array;  (* faulty value, valid iff dirty *)
+  dirty : bool array;
+  scheduled : bool array;
+  buckets : int list array;  (* pending nodes per level *)
+  mutable touched : int list;  (* nodes with dirty set *)
+  mutable sched_nodes : int list;  (* nodes with scheduled set *)
+}
+
+let workspace c =
+  if Circuit.has_state c then
+    invalid_arg "Faultsim.workspace: circuit has flip-flops; apply Scan.combinational first";
+  let n = Circuit.node_count c in
+  {
+    circuit = c;
+    fval = Array.make n 0L;
+    dirty = Array.make n false;
+    scheduled = Array.make n false;
+    buckets = Array.make (Circuit.depth c + 1) [];
+    touched = [];
+    sched_nodes = [];
+  }
+
+(* Faulty value of the injection node for the current block. *)
+let injected_value ws ~good (f : Fault.t) =
+  let c = ws.circuit in
+  let stuck = if f.stuck_at then -1L else 0L in
+  match f.site with
+  | Fault.Stem _ -> stuck
+  | Fault.Branch { gate; pin } ->
+      let fanins = Circuit.fanins c gate in
+      let k = Circuit.kind c gate in
+      (* Evaluate the gate with the faulted pin forced to the stuck
+         value; other pins read good values.  Mirrors
+         Logic_word.eval_fanins with one override. *)
+      let v i = if i = pin then stuck else good.(fanins.(i)) in
+      let n = Array.length fanins in
+      let fold op init =
+        let acc = ref init in
+        for i = 0 to n - 1 do
+          acc := op !acc (v i)
+        done;
+        !acc
+      in
+      (match k with
+      | Gate.Const0 | Gate.Const1 | Gate.Input ->
+          invalid_arg "Faultsim: branch fault on a node without input pins"
+      | Gate.Buf | Gate.Dff -> v 0
+      | Gate.Not -> Int64.lognot (v 0)
+      | Gate.And -> fold Int64.logand (-1L)
+      | Gate.Nand -> Int64.lognot (fold Int64.logand (-1L))
+      | Gate.Or -> fold Int64.logor 0L
+      | Gate.Nor -> Int64.lognot (fold Int64.logor 0L)
+      | Gate.Xor -> fold Int64.logxor 0L
+      | Gate.Xnor -> Int64.lognot (fold Int64.logxor 0L))
+
+let schedule ws node =
+  if not ws.scheduled.(node) then begin
+    ws.scheduled.(node) <- true;
+    ws.sched_nodes <- node :: ws.sched_nodes;
+    let l = Circuit.level ws.circuit node in
+    ws.buckets.(l) <- node :: ws.buckets.(l)
+  end
+
+let eval_faulty ws ~good node =
+  let c = ws.circuit in
+  let fanins = Circuit.fanins c node in
+  let n = Array.length fanins in
+  let v i =
+    let f = fanins.(i) in
+    if ws.dirty.(f) then ws.fval.(f) else good.(f)
+  in
+  let fold op init =
+    let acc = ref init in
+    for i = 0 to n - 1 do
+      acc := op !acc (v i)
+    done;
+    !acc
+  in
+  match Circuit.kind c node with
+  | Gate.Const0 -> 0L
+  | Gate.Const1 -> -1L
+  | Gate.Input -> good.(node)
+  | Gate.Buf | Gate.Dff -> v 0
+  | Gate.Not -> Int64.lognot (v 0)
+  | Gate.And -> fold Int64.logand (-1L)
+  | Gate.Nand -> Int64.lognot (fold Int64.logand (-1L))
+  | Gate.Or -> fold Int64.logor 0L
+  | Gate.Nor -> Int64.lognot (fold Int64.logor 0L)
+  | Gate.Xor -> fold Int64.logxor 0L
+  | Gate.Xnor -> Int64.lognot (fold Int64.logxor 0L)
+
+let detect_block ws ~good (f : Fault.t) =
+  let c = ws.circuit in
+  let detect = ref 0L in
+  let record node value =
+    if value <> good.(node) then begin
+      ws.fval.(node) <- value;
+      if not ws.dirty.(node) then begin
+        ws.dirty.(node) <- true;
+        ws.touched <- node :: ws.touched
+      end;
+      if Circuit.is_output c node then
+        detect := Int64.logor !detect (Int64.logxor value good.(node));
+      Array.iter (fun s -> schedule ws s) (Circuit.fanouts c node)
+    end
+  in
+  let n0 = Fault.site_node f in
+  record n0 (injected_value ws ~good f);
+  (* Propagate by increasing level; all fanins of a level-L node are
+     final before L is processed. *)
+  if ws.sched_nodes <> [] then
+    for l = 0 to Array.length ws.buckets - 1 do
+      let pending = ws.buckets.(l) in
+      if pending <> [] then begin
+        ws.buckets.(l) <- [];
+        List.iter
+          (fun node -> if node <> n0 then record node (eval_faulty ws ~good node))
+          pending
+      end
+    done;
+  (* Reset scratch state. *)
+  List.iter (fun node -> ws.dirty.(node) <- false) ws.touched;
+  List.iter (fun node -> ws.scheduled.(node) <- false) ws.sched_nodes;
+  ws.touched <- [];
+  ws.sched_nodes <- [];
+  !detect
+
+let block_mask pats b =
+  let cnt = Patterns.count pats - (b * 64) in
+  if cnt >= 64 then -1L else Int64.sub (Int64.shift_left 1L cnt) 1L
+
+let detection_sets fl pats =
+  let c = Fault_list.circuit fl in
+  let ws = workspace c in
+  let nf = Fault_list.count fl in
+  let cnt = Patterns.count pats in
+  let dsets = Array.init nf (fun _ -> Bitvec.create cnt) in
+  let good = Array.make (Circuit.node_count c) 0L in
+  for b = 0 to Patterns.blocks pats - 1 do
+    Goodsim.block_into c pats b good;
+    let mask = block_mask pats b in
+    for fi = 0 to nf - 1 do
+      let d = Int64.logand (detect_block ws ~good (Fault_list.get fl fi)) mask in
+      if d <> 0L then (Bitvec.words dsets.(fi)).(b) <- d
+    done
+  done;
+  dsets
+
+let ndet dsets pats =
+  let counts = Array.make (Patterns.count pats) 0 in
+  Array.iter (fun d -> Bitvec.iter_set d (fun p -> counts.(p) <- counts.(p) + 1)) dsets;
+  counts
+
+type drop_result = { first_detection : int array; detected : int }
+
+let with_dropping fl pats =
+  let c = Fault_list.circuit fl in
+  let ws = workspace c in
+  let nf = Fault_list.count fl in
+  let first = Array.make nf (-1) in
+  let detected = ref 0 in
+  let alive = ref (List.init nf Fun.id) in
+  let good = Array.make (Circuit.node_count c) 0L in
+  let b = ref 0 in
+  let nblocks = Patterns.blocks pats in
+  while !b < nblocks && !alive <> [] do
+    Goodsim.block_into c pats !b good;
+    let mask = block_mask pats !b in
+    alive :=
+      List.filter
+        (fun fi ->
+          let d = Int64.logand (detect_block ws ~good (Fault_list.get fl fi)) mask in
+          if d = 0L then true
+          else begin
+            let low = Int64.logand d (Int64.neg d) in
+            let rec idx w i = if w = 1L then i else idx (Int64.shift_right_logical w 1) (i + 1) in
+            first.(fi) <- (!b * 64) + idx low 0;
+            incr detected;
+            false
+          end)
+        !alive;
+    incr b
+  done;
+  { first_detection = first; detected = !detected }
+
+let popcount_word x =
+  let x = Int64.sub x (Int64.logand (Int64.shift_right_logical x 1) 0x5555555555555555L) in
+  let x =
+    Int64.add
+      (Int64.logand x 0x3333333333333333L)
+      (Int64.logand (Int64.shift_right_logical x 2) 0x3333333333333333L)
+  in
+  let x = Int64.logand (Int64.add x (Int64.shift_right_logical x 4)) 0x0F0F0F0F0F0F0F0FL in
+  Int64.to_int (Int64.shift_right_logical (Int64.mul x 0x0101010101010101L) 56)
+
+let n_detection fl pats ~n =
+  if n <= 0 then invalid_arg "Faultsim.n_detection: n must be positive";
+  let c = Fault_list.circuit fl in
+  let ws = workspace c in
+  let nf = Fault_list.count fl in
+  let counts = Array.make nf 0 in
+  let good = Array.make (Circuit.node_count c) 0L in
+  let alive = ref (List.init nf Fun.id) in
+  let b = ref 0 in
+  let nblocks = Patterns.blocks pats in
+  while !b < nblocks && !alive <> [] do
+    Goodsim.block_into c pats !b good;
+    let mask = block_mask pats !b in
+    alive :=
+      List.filter
+        (fun fi ->
+          let d = Int64.logand (detect_block ws ~good (Fault_list.get fl fi)) mask in
+          if d <> 0L then counts.(fi) <- min n (counts.(fi) + popcount_word d);
+          counts.(fi) < n)
+        !alive;
+    incr b
+  done;
+  counts
+
+let detection_sets_capped fl pats ~n =
+  if n <= 0 then invalid_arg "Faultsim.detection_sets_capped: n must be positive";
+  let c = Fault_list.circuit fl in
+  let ws = workspace c in
+  let nf = Fault_list.count fl in
+  let cnt = Patterns.count pats in
+  let dsets = Array.init nf (fun _ -> Bitvec.create cnt) in
+  let counts = Array.make nf 0 in
+  let good = Array.make (Circuit.node_count c) 0L in
+  let alive = ref (List.init nf Fun.id) in
+  let b = ref 0 in
+  let nblocks = Patterns.blocks pats in
+  while !b < nblocks && !alive <> [] do
+    Goodsim.block_into c pats !b good;
+    let mask = block_mask pats !b in
+    alive :=
+      List.filter
+        (fun fi ->
+          let d = Int64.logand (detect_block ws ~good (Fault_list.get fl fi)) mask in
+          if d <> 0L then begin
+            (* Keep only the earliest detections up to the cap. *)
+            let kept = ref 0L and w = ref d in
+            while !w <> 0L && counts.(fi) < n do
+              let low = Int64.logand !w (Int64.neg !w) in
+              kept := Int64.logor !kept low;
+              counts.(fi) <- counts.(fi) + 1;
+              w := Int64.logxor !w low
+            done;
+            (Bitvec.words dsets.(fi)).(!b) <- !kept
+          end;
+          counts.(fi) < n)
+        !alive;
+    incr b
+  done;
+  dsets
+
+let detects c f pi_values =
+  if Array.length pi_values <> Array.length (Circuit.inputs c) then
+    invalid_arg "Faultsim.detects: input width mismatch";
+  let pats = Patterns.of_vectors ~n_inputs:(Array.length pi_values) [| pi_values |] in
+  let ws = workspace c in
+  let good = Goodsim.block c pats 0 in
+  Int64.logand (detect_block ws ~good f) 1L = 1L

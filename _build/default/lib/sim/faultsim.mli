@@ -1,0 +1,59 @@
+(** Single-stuck-at fault simulation.
+
+    The engine is parallel-pattern single-fault propagation (PPSFP):
+    64 patterns are simulated fault-free per block, then each fault is
+    injected and its effect propagated event-driven through the
+    levelised fanout cone, comparing against the good values at the
+    primary outputs.
+
+    All entry points require a combinational circuit. *)
+
+type workspace
+(** Reusable scratch state (faulty-value slab, scheduling buckets).
+    One workspace serves any number of [detect_block] calls on its
+    circuit. *)
+
+val workspace : Circuit.t -> workspace
+
+val detect_block : workspace -> good:int64 array -> Fault.t -> int64
+(** [detect_block ws ~good f] returns the set of patterns (bit lanes)
+    of the current block in which [f] is detected, given the block's
+    fault-free node values [good] (from {!Goodsim.block_into}).  Lanes
+    beyond the pattern count are meaningless; callers mask them. *)
+
+(** {1 Whole-pattern-set drivers} *)
+
+val detection_sets : Fault_list.t -> Patterns.t -> Util.Bitvec.t array
+(** Simulation {e without fault dropping}: for every fault [f] the full
+    detection set [D(f)] over all patterns — the input the accidental
+    detection index is computed from. *)
+
+val ndet : Util.Bitvec.t array -> Patterns.t -> int array
+(** [ndet dsets pats] gives [ndet(u)] — the number of faults detected
+    by each pattern — from the detection sets. *)
+
+type drop_result = {
+  first_detection : int array;
+      (** per fault, the first detecting pattern index, or -1 *)
+  detected : int;  (** number of detected faults *)
+}
+
+val with_dropping : Fault_list.t -> Patterns.t -> drop_result
+(** Simulation with fault dropping: each fault is removed from
+    consideration after its first detection. *)
+
+val n_detection : Fault_list.t -> Patterns.t -> n:int -> int array
+(** n-detection simulation: per fault, the number of detecting patterns
+    seen, counting at most [n] (a fault is dropped after its [n]-th
+    detection).  [n_detection fl pats ~n:1] counts like
+    {!with_dropping}. *)
+
+val detection_sets_capped : Fault_list.t -> Patterns.t -> n:int -> Util.Bitvec.t array
+(** n-detection variant of {!detection_sets}: each fault's detection
+    set records at most its [n] earliest detecting patterns (the fault
+    is dropped afterwards).  The paper's cheaper alternative for
+    estimating [ndet(u)]. *)
+
+val detects : Circuit.t -> Fault.t -> bool array -> bool
+(** Single-pattern convenience: does the given PI assignment detect the
+    fault?  (Used to validate generated tests.) *)

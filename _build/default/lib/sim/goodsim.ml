@@ -1,0 +1,58 @@
+module Bitvec = Util.Bitvec
+
+let check_comb c =
+  if Circuit.has_state c then
+    invalid_arg "Goodsim: circuit has flip-flops; apply Scan.combinational first"
+
+let block_into c pats b values =
+  check_comb c;
+  if Array.length values <> Circuit.node_count c then
+    invalid_arg "Goodsim.block_into: bad buffer size";
+  let inputs = Circuit.inputs c in
+  Array.iteri (fun i pi -> values.(pi) <- Patterns.word pats ~input:i ~block:b) inputs;
+  Array.iter
+    (fun n ->
+      match Circuit.kind c n with
+      | Gate.Input -> ()
+      | k -> values.(n) <- Logic_word.eval_fanins k ~values (Circuit.fanins c n))
+    (Circuit.topological_order c)
+
+let block c pats b =
+  let values = Array.make (Circuit.node_count c) 0L in
+  block_into c pats b values;
+  values
+
+let outputs c pats =
+  let outs = Circuit.outputs c in
+  let cnt = Patterns.count pats in
+  let cols = Array.map (fun _ -> Bitvec.create cnt) outs in
+  let values = Array.make (Circuit.node_count c) 0L in
+  for b = 0 to Patterns.blocks pats - 1 do
+    block_into c pats b values;
+    Array.iteri
+      (fun oi o ->
+        let w = values.(o) in
+        let base = b * 64 in
+        let hi = min 64 (cnt - base) in
+        for j = 0 to hi - 1 do
+          if Int64.logand (Int64.shift_right_logical w j) 1L = 1L then
+            Bitvec.set cols.(oi) (base + j) true
+        done)
+      outs
+  done;
+  cols
+
+let eval_scalar c pi_values =
+  check_comb c;
+  let inputs = Circuit.inputs c in
+  if Array.length pi_values <> Array.length inputs then
+    invalid_arg "Goodsim.eval_scalar: input width mismatch";
+  let values = Array.make (Circuit.node_count c) false in
+  Array.iteri (fun i pi -> values.(pi) <- pi_values.(i)) inputs;
+  Array.iter
+    (fun n ->
+      match Circuit.kind c n with
+      | Gate.Input -> ()
+      | k -> values.(n) <- Boolean.eval_array k (Array.map (fun f -> values.(f)) (Circuit.fanins c n)))
+    (Circuit.topological_order c);
+  values

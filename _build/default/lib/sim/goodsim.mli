@@ -1,0 +1,23 @@
+(** Fault-free circuit simulation.
+
+    The bit-parallel entry points process 64 patterns per call; the
+    scalar entry point is the slow reference the test-suite checks the
+    fast paths against. *)
+
+val block : Circuit.t -> Patterns.t -> int -> int64 array
+(** [block c pats b] simulates pattern block [b] (patterns
+    [64b .. 64b+63]) and returns one value word per node, indexed by
+    node id.  The circuit must be combinational. *)
+
+val block_into : Circuit.t -> Patterns.t -> int -> int64 array -> unit
+(** As {!block}, writing into a caller-owned array of size
+    [Circuit.node_count] (no allocation per block). *)
+
+val outputs : Circuit.t -> Patterns.t -> Util.Bitvec.t array
+(** Per primary output (in [Circuit.outputs] order), the bit column of
+    its values across all patterns. *)
+
+val eval_scalar : Circuit.t -> bool array -> bool array
+(** Naive single-pattern reference: input values (in PI declaration
+    order) to per-node values.  @raise Invalid_argument on width
+    mismatch. *)

@@ -1,0 +1,35 @@
+let faulty_values c (f : Fault.t) pi_values =
+  let inputs = Circuit.inputs c in
+  if Array.length pi_values <> Array.length inputs then
+    invalid_arg "Refsim.faulty_values: input width mismatch";
+  let values = Array.make (Circuit.node_count c) false in
+  Array.iteri (fun i pi -> values.(pi) <- pi_values.(i)) inputs;
+  let eval node =
+    let fanins = Circuit.fanins c node in
+    let pin_value p =
+      match f.site with
+      | Fault.Branch { gate; pin } when gate = node && pin = p -> f.stuck_at
+      | _ -> values.(fanins.(p))
+    in
+    Boolean.eval_array (Circuit.kind c node) (Array.init (Array.length fanins) pin_value)
+  in
+  Array.iter
+    (fun node ->
+      (match Circuit.kind c node with Gate.Input -> () | _ -> values.(node) <- eval node);
+      (* A stem fault overrides the node's own output. *)
+      match f.site with
+      | Fault.Stem s when s = node -> values.(node) <- f.stuck_at
+      | _ -> ())
+    (Circuit.topological_order c);
+  values
+
+let detects c f pi_values =
+  let good = Goodsim.eval_scalar c pi_values in
+  let bad = faulty_values c f pi_values in
+  Array.exists (fun o -> good.(o) <> bad.(o)) (Circuit.outputs c)
+
+let detection_table fl pats =
+  let c = Fault_list.circuit fl in
+  Array.init (Fault_list.count fl) (fun fi ->
+      Array.init (Patterns.count pats) (fun p ->
+          detects c (Fault_list.get fl fi) (Patterns.vector pats p)))

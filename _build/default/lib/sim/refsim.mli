@@ -1,0 +1,16 @@
+(** Naive scalar fault simulation — the oracle.
+
+    One pattern, one fault, full re-evaluation of the circuit with the
+    fault forced.  Quadratically slower than {!Faultsim} and used only
+    to cross-check it (and for didactic examples). *)
+
+val faulty_values : Circuit.t -> Fault.t -> bool array -> bool array
+(** Per-node values of the faulty machine under the given PI
+    assignment. *)
+
+val detects : Circuit.t -> Fault.t -> bool array -> bool
+(** Does the pattern detect the fault?  (Some primary output differs
+    between {!Goodsim.eval_scalar} and {!faulty_values}.) *)
+
+val detection_table : Fault_list.t -> Patterns.t -> bool array array
+(** [table.(fault).(pattern)] — exhaustive oracle for [D(f)]. *)

@@ -1,0 +1,52 @@
+type t = {
+  c : Circuit.t;
+  dffs : int array;  (* node ids of the flip-flops *)
+  state_bits : bool array;  (* current Q values, aligned with dffs *)
+  values : bool array;  (* scratch: per-node values for one cycle *)
+}
+
+let create c =
+  let dffs = ref [] in
+  Circuit.iter_nodes c (fun i -> if Circuit.kind c i = Gate.Dff then dffs := i :: !dffs);
+  let dffs = Array.of_list (List.rev !dffs) in
+  {
+    c;
+    dffs;
+    state_bits = Array.make (Array.length dffs) false;
+    values = Array.make (Circuit.node_count c) false;
+  }
+
+let reset t = Array.fill t.state_bits 0 (Array.length t.state_bits) false
+
+let evaluate t inputs =
+  let c = t.c in
+  let pis = Circuit.inputs c in
+  if Array.length inputs <> Array.length pis then
+    invalid_arg "Seqsim.step: input width mismatch";
+  Array.iteri (fun i pi -> t.values.(pi) <- inputs.(i)) pis;
+  Array.iteri (fun i d -> t.values.(d) <- t.state_bits.(i)) t.dffs;
+  Array.iter
+    (fun n ->
+      match Circuit.kind c n with
+      | Gate.Input | Gate.Dff -> ()
+      | k ->
+          t.values.(n) <-
+            Boolean.eval_array k (Array.map (fun f -> t.values.(f)) (Circuit.fanins c n)))
+    (Circuit.topological_order c)
+
+let peek_outputs t inputs =
+  evaluate t inputs;
+  Array.map (fun o -> t.values.(o)) (Circuit.outputs t.c)
+
+let step t inputs =
+  evaluate t inputs;
+  let outs = Array.map (fun o -> t.values.(o)) (Circuit.outputs t.c) in
+  (* Clock edge: every DFF samples its data pin. *)
+  let next = Array.map (fun d -> t.values.((Circuit.fanins t.c d).(0))) t.dffs in
+  Array.blit next 0 t.state_bits 0 (Array.length next);
+  outs
+
+let state t =
+  Array.mapi (fun i d -> (Circuit.name t.c d, t.state_bits.(i))) t.dffs
+
+let run t seq = List.map (step t) seq

@@ -1,0 +1,33 @@
+(** Cycle-accurate simulation of sequential netlists.
+
+    Flip-flops hold one bit of state; each {!step} evaluates the
+    combinational logic with the current state, samples the primary
+    outputs, and clocks the flip-flops (all DFFs share one implicit
+    clock, as in the ISCAS-89 benchmarks).  Used to validate the FSM
+    synthesis path against transition-table semantics, and useful on
+    its own for driving sequential examples. *)
+
+type t
+
+val create : Circuit.t -> t
+(** All flip-flops start at 0.  Combinational circuits are legal (the
+    simulator then has no state). *)
+
+val reset : t -> unit
+(** Return every flip-flop to 0. *)
+
+val step : t -> bool array -> bool array
+(** [step t inputs] evaluates one clock cycle: returns the primary
+    output values (in [Circuit.outputs] order) before the clock edge,
+    then advances the state.  @raise Invalid_argument on input width
+    mismatch. *)
+
+val peek_outputs : t -> bool array -> bool array
+(** Evaluate outputs for the given inputs {e without} clocking. *)
+
+val state : t -> (string * bool) array
+(** Current flip-flop values, by DFF name. *)
+
+val run : t -> bool array list -> bool array list
+(** Feed an input sequence; collect the output vector of every
+    cycle. *)

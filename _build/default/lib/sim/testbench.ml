@@ -1,0 +1,49 @@
+type response = { outputs : bool array; captured : bool array }
+
+let cycles_per_test (chain : Scan.chain) = (2 * Array.length chain.Scan.cells) + 1
+
+let apply sim (chain : Scan.chain) ~pi_values ~state_values =
+  let cells = Array.length chain.Scan.cells in
+  if Array.length state_values <> cells then
+    invalid_arg "Testbench.apply: state width mismatch";
+  let n_pis_total = pi_values |> Array.length |> ( + ) 2 in
+  (* Build a full input vector: original PIs, scan_in, scan_enable. *)
+  let vec ~scan_in ~enable =
+    let v = Array.make n_pis_total false in
+    Array.blit pi_values 0 v 0 (Array.length pi_values);
+    v.(chain.Scan.scan_in) <- scan_in;
+    v.(chain.Scan.scan_enable) <- enable;
+    v
+  in
+  (* Load: after [cells] shift cycles, the bit fed at cycle t sits in
+     cell [cells - 1 - t]; feed the last cell's value first. *)
+  for t = 0 to cells - 1 do
+    ignore (Seqsim.step sim (vec ~scan_in:state_values.(cells - 1 - t) ~enable:true))
+  done;
+  (* Capture: observe POs with scan disabled, then clock once. *)
+  let capture_vec = vec ~scan_in:false ~enable:false in
+  let all_outputs = Seqsim.peek_outputs sim capture_vec in
+  ignore (Seqsim.step sim capture_vec);
+  (* Unload: the last cell appears on scan-out first. *)
+  let captured = Array.make cells false in
+  for t = 0 to cells - 1 do
+    let outs = Seqsim.peek_outputs sim (vec ~scan_in:false ~enable:true) in
+    captured.(cells - 1 - t) <- outs.(chain.Scan.scan_out);
+    ignore (Seqsim.step sim (vec ~scan_in:false ~enable:true))
+  done;
+  (* Strip the scan-out position from the observed POs. *)
+  let outputs =
+    Array.of_list
+      (List.filteri
+         (fun i _ -> i <> chain.Scan.scan_out)
+         (Array.to_list all_outputs))
+  in
+  { outputs; captured }
+
+let apply_combinational_test sim chain ~comb_inputs ~n_original_pis =
+  let cells = Array.length chain.Scan.cells in
+  if Array.length comb_inputs <> n_original_pis + cells then
+    invalid_arg "Testbench.apply_combinational_test: width mismatch";
+  let pi_values = Array.sub comb_inputs 0 n_original_pis in
+  let state_values = Array.sub comb_inputs n_original_pis cells in
+  apply sim chain ~pi_values ~state_values

@@ -1,0 +1,32 @@
+(** Serial test application on a scan-stitched circuit.
+
+    The tester's view of full scan: raise scan-enable and shift the
+    state in bit by bit, drop scan-enable for one capture cycle while
+    the primary inputs carry the test's PI part, then shift the
+    captured response out (overlapping the next load in real flows).
+    This module drives {!Seqsim} through that protocol, so the
+    combinational-core tests the ATPG produces can be validated on the
+    physical chain. *)
+
+type response = {
+  outputs : bool array;  (** primary outputs observed at the capture cycle *)
+  captured : bool array;  (** state captured into the cells (aligned with [chain.cells]) *)
+}
+
+val apply :
+  Seqsim.t -> Scan.chain -> pi_values:bool array -> state_values:bool array -> response
+(** Run one full load–capture–unload sequence.  [pi_values] are the
+    original primary inputs (without the scan pins); [state_values]
+    align with [chain.cells].  The simulator is left with the shifted-
+    out state, ready for the next call.  @raise Invalid_argument on
+    width mismatches. *)
+
+val cycles_per_test : Scan.chain -> int
+(** Tester cycles one test costs without load/unload overlap:
+    chain length (load) + 1 (capture) + chain length (unload). *)
+
+val apply_combinational_test :
+  Seqsim.t -> Scan.chain -> comb_inputs:bool array -> n_original_pis:int -> response
+(** Convenience for vectors generated on the {!Scan.combinational}
+    model, whose input order is [original PIs, then PPIs]: splits the
+    vector and calls {!apply}. *)

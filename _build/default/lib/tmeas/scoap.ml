@@ -1,0 +1,118 @@
+let infinite_cost = 1_000_000_000
+
+let ( +! ) a b =
+  let s = a + b in
+  if s >= infinite_cost then infinite_cost else s
+
+type t = {
+  cc0 : int array;
+  cc1 : int array;
+  co : int array;  (* stem observability per node *)
+  co_pins : int array array;  (* per gate, per pin *)
+}
+
+(* Fold two (cc0, cc1) pairs through a 2-input XOR. *)
+let xor_combine (a0, a1) (b0, b1) = (min (a0 +! b0) (a1 +! b1), min (a0 +! b1) (a1 +! b0))
+
+let compute c =
+  if Circuit.has_state c then invalid_arg "Scoap.compute: circuit must be combinational";
+  let n = Circuit.node_count c in
+  let cc0 = Array.make n infinite_cost and cc1 = Array.make n infinite_cost in
+  let pair i = (cc0.(i), cc1.(i)) in
+  Array.iter
+    (fun i ->
+      let fi = Circuit.fanins c i in
+      let sum_cc which = Array.fold_left (fun acc f -> acc +! which f) 0 fi in
+      let min_cc which = Array.fold_left (fun acc f -> min acc (which f)) infinite_cost fi in
+      let get0 f = cc0.(f) and get1 f = cc1.(f) in
+      match Circuit.kind c i with
+      | Gate.Input ->
+          cc0.(i) <- 1;
+          cc1.(i) <- 1
+      | Gate.Const0 ->
+          cc0.(i) <- 0;
+          cc1.(i) <- infinite_cost
+      | Gate.Const1 ->
+          cc0.(i) <- infinite_cost;
+          cc1.(i) <- 0
+      | Gate.Buf | Gate.Dff ->
+          cc0.(i) <- cc0.(fi.(0)) +! 1;
+          cc1.(i) <- cc1.(fi.(0)) +! 1
+      | Gate.Not ->
+          cc0.(i) <- cc1.(fi.(0)) +! 1;
+          cc1.(i) <- cc0.(fi.(0)) +! 1
+      | Gate.And ->
+          cc1.(i) <- sum_cc get1 +! 1;
+          cc0.(i) <- min_cc get0 +! 1
+      | Gate.Nand ->
+          cc0.(i) <- sum_cc get1 +! 1;
+          cc1.(i) <- min_cc get0 +! 1
+      | Gate.Or ->
+          cc0.(i) <- sum_cc get0 +! 1;
+          cc1.(i) <- min_cc get1 +! 1
+      | Gate.Nor ->
+          cc1.(i) <- sum_cc get0 +! 1;
+          cc0.(i) <- min_cc get1 +! 1
+      | Gate.Xor | Gate.Xnor ->
+          let z0, z1 =
+            match Array.length fi with
+            | 0 -> (infinite_cost, infinite_cost)
+            | _ ->
+                Array.fold_left
+                  (fun acc f -> xor_combine acc (pair f))
+                  (pair fi.(0))
+                  (Array.sub fi 1 (Array.length fi - 1))
+          in
+          let z0, z1 = if Circuit.kind c i = Gate.Xnor then (z1, z0) else (z0, z1) in
+          cc0.(i) <- z0 +! 1;
+          cc1.(i) <- z1 +! 1)
+    (Circuit.topological_order c);
+  (* Observabilities, reverse topological order. *)
+  let co = Array.make n infinite_cost in
+  let co_pins = Array.init n (fun i -> Array.make (Array.length (Circuit.fanins c i)) infinite_cost) in
+  Array.iter (fun o -> co.(o) <- 0) (Circuit.outputs c);
+  let topo = Circuit.topological_order c in
+  for idx = Array.length topo - 1 downto 0 do
+    let g = topo.(idx) in
+    let fi = Circuit.fanins c g in
+    let arity = Array.length fi in
+    (* Cost to sensitise pin p through gate g. *)
+    for p = 0 to arity - 1 do
+      let side_cost =
+        match Circuit.kind c g with
+        | Gate.Input | Gate.Const0 | Gate.Const1 -> infinite_cost
+        | Gate.Buf | Gate.Not | Gate.Dff -> 0
+        | Gate.And | Gate.Nand ->
+            (* other inputs at non-controlling 1 *)
+            let s = ref 0 in
+            for q = 0 to arity - 1 do
+              if q <> p then s := !s +! cc1.(fi.(q))
+            done;
+            !s
+        | Gate.Or | Gate.Nor ->
+            let s = ref 0 in
+            for q = 0 to arity - 1 do
+              if q <> p then s := !s +! cc0.(fi.(q))
+            done;
+            !s
+        | Gate.Xor | Gate.Xnor ->
+            (* other inputs at any known value: cheapest of the two *)
+            let s = ref 0 in
+            for q = 0 to arity - 1 do
+              if q <> p then s := !s +! min cc0.(fi.(q)) cc1.(fi.(q))
+            done;
+            !s
+      in
+      let cost = co.(g) +! side_cost +! 1 in
+      co_pins.(g).(p) <- cost;
+      (* A stem's observability is the cheapest branch. *)
+      if cost < co.(fi.(p)) then co.(fi.(p)) <- cost
+    done
+  done;
+  { cc0; cc1; co; co_pins }
+
+let cc0 t i = t.cc0.(i)
+let cc1 t i = t.cc1.(i)
+let cc t i v = if v then t.cc1.(i) else t.cc0.(i)
+let co t i = t.co.(i)
+let co_pin t ~gate ~pin = t.co_pins.(gate).(pin)

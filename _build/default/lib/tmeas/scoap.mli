@@ -1,0 +1,36 @@
+(** SCOAP testability measures (Goldstein 1979).
+
+    Combinational controllabilities [CC0]/[CC1] estimate how many line
+    assignments are needed to set a node to 0/1; observability [CO]
+    estimates the effort to propagate a node's value to a primary
+    output.  PODEM uses them to choose among X-valued fanins during
+    backtrace and among D-frontier gates.
+
+    For n-ary XOR/XNOR the classic two-input rules are folded
+    left-associatively, which keeps costs monotone without enumerating
+    parity assignments. *)
+
+type t
+
+val compute : Circuit.t -> t
+(** Requires a combinational circuit. *)
+
+val cc0 : t -> int -> int
+(** Cost of setting node's output to 0.  PIs cost 1; constants cost 0
+    for their own value and [infinite_cost] for the other. *)
+
+val cc1 : t -> int -> int
+
+val cc : t -> int -> bool -> int
+(** [cc t n v] is [cc1] if [v] else [cc0]. *)
+
+val co : t -> int -> int
+(** Stem observability of a node (min over fanout branches);
+    [infinite_cost] for dead nodes. *)
+
+val co_pin : t -> gate:int -> pin:int -> int
+(** Observability of one gate input pin. *)
+
+val infinite_cost : int
+(** Sentinel for "unachievable" (redundant/dead logic); all arithmetic
+    saturates at this value. *)

@@ -1,0 +1,120 @@
+type t = { len : int; w : int64 array }
+
+let nwords len = (len + 63) lsr 6
+
+let create len =
+  if len < 0 then invalid_arg "Bitvec.create";
+  { len; w = Array.make (nwords len) 0L }
+
+let length t = t.len
+let words t = t.w
+
+let check t i =
+  if i < 0 || i >= t.len then invalid_arg "Bitvec: index out of range"
+
+let get t i =
+  check t i;
+  Int64.logand (Int64.shift_right_logical t.w.(i lsr 6) (i land 63)) 1L = 1L
+
+let set t i b =
+  check t i;
+  let wi = i lsr 6 and bi = i land 63 in
+  if b then t.w.(wi) <- Int64.logor t.w.(wi) (Int64.shift_left 1L bi)
+  else t.w.(wi) <- Int64.logand t.w.(wi) (Int64.lognot (Int64.shift_left 1L bi))
+
+(* Mask off padding bits in the last word so popcount/equal stay exact. *)
+let normalise t =
+  let r = t.len land 63 in
+  if r <> 0 && Array.length t.w > 0 then begin
+    let last = Array.length t.w - 1 in
+    let mask = Int64.sub (Int64.shift_left 1L r) 1L in
+    t.w.(last) <- Int64.logand t.w.(last) mask
+  end
+
+let fill t b =
+  Array.fill t.w 0 (Array.length t.w) (if b then -1L else 0L);
+  if b then normalise t
+
+let copy t = { len = t.len; w = Array.copy t.w }
+
+let equal a b = a.len = b.len && a.w = b.w
+
+let popcount_word x =
+  let x = Int64.sub x (Int64.logand (Int64.shift_right_logical x 1) 0x5555555555555555L) in
+  let x =
+    Int64.add
+      (Int64.logand x 0x3333333333333333L)
+      (Int64.logand (Int64.shift_right_logical x 2) 0x3333333333333333L)
+  in
+  let x = Int64.logand (Int64.add x (Int64.shift_right_logical x 4)) 0x0F0F0F0F0F0F0F0FL in
+  Int64.to_int (Int64.shift_right_logical (Int64.mul x 0x0101010101010101L) 56)
+
+let popcount t = Array.fold_left (fun acc w -> acc + popcount_word w) 0 t.w
+
+let same_len a b = if a.len <> b.len then invalid_arg "Bitvec: width mismatch"
+
+let union_into ~dst src =
+  same_len dst src;
+  for i = 0 to Array.length dst.w - 1 do
+    dst.w.(i) <- Int64.logor dst.w.(i) src.w.(i)
+  done
+
+let inter_into ~dst src =
+  same_len dst src;
+  for i = 0 to Array.length dst.w - 1 do
+    dst.w.(i) <- Int64.logand dst.w.(i) src.w.(i)
+  done
+
+let diff_into ~dst src =
+  same_len dst src;
+  for i = 0 to Array.length dst.w - 1 do
+    dst.w.(i) <- Int64.logand dst.w.(i) (Int64.lognot src.w.(i))
+  done
+
+let is_zero t = Array.for_all (fun w -> w = 0L) t.w
+
+let iter_set t f =
+  for wi = 0 to Array.length t.w - 1 do
+    let w = ref t.w.(wi) in
+    while !w <> 0L do
+      let low = Int64.logand !w (Int64.neg !w) in
+      (* Index of the isolated low bit via float-free de Bruijn-less scan. *)
+      let rec idx b i = if b = 1L then i else idx (Int64.shift_right_logical b 1) (i + 1) in
+      f ((wi lsl 6) + idx low 0);
+      w := Int64.logxor !w low
+    done
+  done
+
+let first_set t =
+  let n = Array.length t.w in
+  let rec go wi =
+    if wi >= n then None
+    else if t.w.(wi) = 0L then go (wi + 1)
+    else begin
+      let w = t.w.(wi) in
+      let low = Int64.logand w (Int64.neg w) in
+      let rec idx b i = if b = 1L then i else idx (Int64.shift_right_logical b 1) (i + 1) in
+      Some ((wi lsl 6) + idx low 0)
+    end
+  in
+  go 0
+
+let random rng len =
+  let t = create len in
+  for i = 0 to Array.length t.w - 1 do
+    t.w.(i) <- Rng.int64 rng
+  done;
+  normalise t;
+  t
+
+let of_bool_array a =
+  let t = create (Array.length a) in
+  Array.iteri (fun i b -> if b then set t i true) a;
+  t
+
+let to_bool_array t = Array.init t.len (get t)
+
+let pp ppf t =
+  for i = 0 to t.len - 1 do
+    Format.pp_print_char ppf (if get t i then '1' else '0')
+  done

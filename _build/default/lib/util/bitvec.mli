@@ -1,0 +1,59 @@
+(** Packed bit vectors over [int64] words.
+
+    The fault simulator evaluates 64 input patterns per gate visit
+    ("parallel-pattern" simulation); a [Bitvec.t] holds one logic value
+    per pattern.  Width is fixed at creation; out-of-range indices raise
+    [Invalid_argument]. *)
+
+type t
+
+val create : int -> t
+(** [create n] is an all-zero vector of [n] bits. *)
+
+val length : t -> int
+(** Number of bits. *)
+
+val words : t -> int64 array
+(** Underlying word array (word [i] holds bits [64i .. 64i+63], bit [j]
+    of the word being pattern [64i + j]).  Exposed for the simulator's
+    inner loops; treat as read-only elsewhere. *)
+
+val get : t -> int -> bool
+val set : t -> int -> bool -> unit
+
+val fill : t -> bool -> unit
+(** Set every bit (including tail padding normalised to the value's
+    canonical form: padding bits beyond [length] are kept zero). *)
+
+val copy : t -> t
+val equal : t -> t -> bool
+
+val popcount : t -> int
+(** Number of set bits. *)
+
+val union_into : dst:t -> t -> unit
+(** [union_into ~dst src] ORs [src] into [dst].  Widths must match. *)
+
+val inter_into : dst:t -> t -> unit
+(** AND into [dst]. *)
+
+val diff_into : dst:t -> t -> unit
+(** [dst <- dst AND NOT src]. *)
+
+val is_zero : t -> bool
+
+val iter_set : t -> (int -> unit) -> unit
+(** [iter_set t f] calls [f i] for every set bit [i], in increasing
+    order. *)
+
+val first_set : t -> int option
+(** Lowest set bit index, if any. *)
+
+val random : Rng.t -> int -> t
+(** [random rng n] is a vector of [n] fair-coin bits. *)
+
+val of_bool_array : bool array -> t
+val to_bool_array : t -> bool array
+
+val pp : Format.formatter -> t -> unit
+(** Bits as a ['0'/'1'] string, pattern 0 first. *)

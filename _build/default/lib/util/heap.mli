@@ -1,0 +1,26 @@
+(** Binary max-heap over integer-keyed elements.
+
+    Used by the dynamic fault-ordering procedures ([Fdynm], [F0dynm]):
+    keys (accidental detection indices) only ever decrease, so the heap
+    supports the classic lazy-deletion discipline — push stale entries
+    freely and filter on pop.  Ties are broken towards the smaller
+    element payload so orderings are deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+(** Number of stored entries (including stale duplicates pushed by the
+    lazy-deletion discipline). *)
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> key:int -> 'a -> unit
+(** Insert an entry.  O(log n). *)
+
+val pop : 'a t -> (int * 'a) option
+(** Remove and return the max-key entry; among equal keys the entry
+    with the smaller payload (polymorphic compare) wins.  O(log n). *)
+
+val peek : 'a t -> (int * 'a) option

@@ -1,0 +1,44 @@
+type series = { marker : char; points : (float * float) array; label : string }
+
+let render ?(width = 72) ?(height = 24) ~x_label ~y_label series_list =
+  let all = List.concat_map (fun s -> Array.to_list s.points) series_list in
+  match all with
+  | [] -> "(empty plot)\n"
+  | (x0, y0) :: rest ->
+      let xmin, xmax, ymin, ymax =
+        List.fold_left
+          (fun (a, b, c, d) (x, y) -> (min a x, max b x, min c y, max d y))
+          (x0, x0, y0, y0) rest
+      in
+      let xspan = if xmax > xmin then xmax -. xmin else 1.0 in
+      let yspan = if ymax > ymin then ymax -. ymin else 1.0 in
+      let grid = Array.make_matrix height width ' ' in
+      let place { marker; points; _ } =
+        Array.iter
+          (fun (x, y) ->
+            let cx = int_of_float ((x -. xmin) /. xspan *. float_of_int (width - 1)) in
+            let cy = int_of_float ((y -. ymin) /. yspan *. float_of_int (height - 1)) in
+            grid.(height - 1 - cy).(cx) <- marker)
+          points
+      in
+      List.iter place series_list;
+      let buf = Buffer.create (width * height) in
+      Buffer.add_string buf (Printf.sprintf "%s\n" y_label);
+      Array.iteri
+        (fun r line ->
+          let tag =
+            if r = 0 then Printf.sprintf "%6.1f |" ymax
+            else if r = height - 1 then Printf.sprintf "%6.1f |" ymin
+            else "       |"
+          in
+          Buffer.add_string buf tag;
+          Buffer.add_string buf (String.init width (fun c -> line.(c)));
+          Buffer.add_char buf '\n')
+        grid;
+      Buffer.add_string buf ("       +" ^ String.make width '-' ^ "\n");
+      Buffer.add_string buf
+        (Printf.sprintf "        %-8.1f%*s%8.1f   (%s)\n" xmin (width - 16) "" xmax x_label);
+      List.iter
+        (fun s -> Buffer.add_string buf (Printf.sprintf "        %c - %s\n" s.marker s.label))
+        series_list;
+      Buffer.contents buf

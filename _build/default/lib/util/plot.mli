@@ -1,0 +1,19 @@
+(** ASCII scatter plots.
+
+    Figure 1 of the paper plots fault coverage against test count for
+    three fault orders, using a distinct marker character per series.
+    This module reproduces that presentation on a character grid. *)
+
+type series = { marker : char; points : (float * float) array; label : string }
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  x_label:string ->
+  y_label:string ->
+  series list ->
+  string
+(** Render series onto a [width]x[height] grid (defaults 72x24) with
+    axes labelled as percentages of the data ranges.  When two series
+    collide on a cell the later series in the list wins, matching the
+    paper's overdrawn markers. *)

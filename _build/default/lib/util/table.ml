@@ -1,0 +1,58 @@
+type align = Left | Right
+
+type row = Cells of string list | Rule
+
+type t = { headers : string list; aligns : align array; mutable rows : row list }
+
+let create cols =
+  { headers = List.map fst cols; aligns = Array.of_list (List.map snd cols); rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Table.add_row: column count mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_rule t = t.rows <- Rule :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let ncols = List.length t.headers in
+  let widths = Array.make ncols 0 in
+  let measure cells =
+    List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cells
+  in
+  measure t.headers;
+  List.iter (function Cells c -> measure c | Rule -> ()) rows;
+  let buf = Buffer.create 256 in
+  let pad i s =
+    let w = widths.(i) in
+    let n = w - String.length s in
+    match t.aligns.(i) with
+    | Left -> s ^ String.make n ' '
+    | Right -> String.make n ' ' ^ s
+  in
+  let emit_cells cells =
+    List.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (pad i c))
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  let total = Array.fold_left ( + ) 0 widths + (2 * (ncols - 1)) in
+  emit_cells t.headers;
+  Buffer.add_string buf (String.make total '-');
+  Buffer.add_char buf '\n';
+  List.iter
+    (function
+      | Cells c -> emit_cells c
+      | Rule ->
+          Buffer.add_string buf (String.make total '-');
+          Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let fmt_float d x = Printf.sprintf "%.*f" d x
+let fmt_ratio x = Printf.sprintf "%.3f" x

@@ -1,0 +1,32 @@
+(** Plain-text table rendering for experiment reports.
+
+    All paper tables (1, 4, 5, 6, 7) are re-emitted in this format so
+    the bench output can be diffed against EXPERIMENTS.md. *)
+
+type align = Left | Right
+
+type t
+
+val create : (string * align) list -> t
+(** [create headers] starts a table with the given column headers and
+    per-column alignment. *)
+
+val add_row : t -> string list -> unit
+(** Append a row.  @raise Invalid_argument on column-count mismatch. *)
+
+val add_rule : t -> unit
+(** Append a horizontal rule (drawn as dashes). *)
+
+val render : t -> string
+(** Render with aligned columns, a rule under the header. *)
+
+val print : t -> unit
+(** [render] to stdout followed by a newline. *)
+
+(** Convenience formatters. *)
+
+val fmt_float : int -> float -> string
+(** [fmt_float d x] prints [x] with [d] decimals. *)
+
+val fmt_ratio : float -> string
+(** Three-decimal ratio, the paper's Table 6/7 style. *)

@@ -1,0 +1,20 @@
+  $ adi-atpg stats c17
+  $ adi-atpg faults c17
+  $ adi-atpg sim c17 -n 64 --seed 3
+  $ adi-atpg adi lion
+  $ adi-atpg order lion --order 0dynm -n 5
+  $ adi-atpg atpg c17 --order 0dynm | head -5
+  $ adi-atpg stats nonesuch
+  $ adi-atpg gen --pis 4 --gates 6 --seed 9
+  $ adi-atpg atpg c17 --order dynm -o vecs.txt | grep tests
+  $ adi-atpg coverage c17 --tests vecs.txt
+  $ cat > toggle.bench <<'BENCH'
+  > INPUT(a)
+  > OUTPUT(o)
+  > q = DFF(n)
+  > n = XOR(a, q)
+  > o = BUF(n)
+  > BENCH
+  $ adi-atpg scan-insert toggle.bench scanned.bench
+  $ adi-atpg convert c17 c17.blif
+  $ adi-atpg stats c17.blif

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Coverage Evaluation Harness Kiss Lazy List Ordering Pipeline Reports String

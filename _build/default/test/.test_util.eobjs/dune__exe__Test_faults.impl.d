@@ -1,0 +1,1 @@
+test/test_faults.ml: Alcotest Array Circuit Collapse Fault Fault_list Gate Generate Library Option Patterns QCheck QCheck_alcotest Refsim

@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Array Boolean Five Fun Gate Int64 List Logic_word QCheck QCheck_alcotest Ternary

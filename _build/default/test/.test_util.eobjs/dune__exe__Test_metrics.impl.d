@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Array Collapse Coverage Engine Fault_list Fun Generate QCheck QCheck_alcotest

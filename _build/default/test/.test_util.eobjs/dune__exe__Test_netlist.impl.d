@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array Bench_format Blif_format Circuit Gate Generate Goodsim Library QCheck QCheck_alcotest Rewrite Scan Stats String Util Validate Verilog_format

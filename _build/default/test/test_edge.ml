@@ -1,0 +1,224 @@
+(* Edge-case and regression tests that cut across modules: degenerate
+   circuits, boundary widths, and interactions the per-module suites do
+   not reach. *)
+
+let check = Alcotest.check
+
+module B = Circuit.Builder
+module Rng = Util.Rng
+module Bitvec = Util.Bitvec
+
+(* --- degenerate circuits ------------------------------------------- *)
+
+let single_wire () =
+  (* A PI observed directly: two faults, both testable, one test each
+     polarity; the whole pipeline must handle it. *)
+  let b = B.create ~title:"wire" () in
+  let a = B.input b "a" in
+  B.mark_output b a;
+  let c = B.finish b in
+  let fl = Collapse.collapsed c in
+  check Alcotest.int "two faults" 2 (Fault_list.count fl);
+  let setup = Pipeline.prepare ~seed:1 c in
+  let run = Pipeline.run_order setup Ordering.Dynm0 in
+  check (Alcotest.float 1e-9) "coverage" 1.0
+    (Engine.coverage setup.Pipeline.faults run.Pipeline.engine);
+  check Alcotest.int "two tests" 2 (Patterns.count run.Pipeline.engine.Engine.tests)
+
+let constant_only_output () =
+  (* OUTPUT tied to a constant: the opposite-polarity fault is
+     trivially detected by any vector; same-polarity is undetectable. *)
+  let b = B.create ~title:"konst" () in
+  let _a = B.input b "a" in
+  let k = B.const b "k" true in
+  B.mark_output b k;
+  let c = B.finish b in
+  check Alcotest.bool "sa0 detected" true (Faultsim.detects c (Fault.stem k false) [| false |]);
+  check Alcotest.bool "sa1 undetectable" false (Faultsim.detects c (Fault.stem k true) [| true |])
+
+let wide_gate () =
+  (* A 64-input AND exercises arity handling and word folds. *)
+  let b = B.create ~title:"wide" () in
+  let ins = List.init 64 (fun i -> B.input b (Printf.sprintf "i%d" i)) in
+  let g = B.gate b Gate.And "g" ins in
+  B.mark_output b g;
+  let c = B.finish b in
+  let all_ones = Array.make 64 true in
+  let v = Goodsim.eval_scalar c all_ones in
+  check Alcotest.bool "and of ones" true v.(g);
+  let one_zero = Array.init 64 (fun i -> i <> 17) in
+  check Alcotest.bool "and with a zero" false (Goodsim.eval_scalar c one_zero).(g);
+  (* g s-a-1 needs the all-ones side; PODEM must find input 17 flip. *)
+  let scoap = Scoap.compute c in
+  match Podem.generate c scoap (Fault.branch ~gate:g ~pin:17 true) with
+  | Podem.Test cube ->
+      check Alcotest.bool "pin 17 assigned 0" true (cube.(17) = Ternary.Zero)
+  | _ -> Alcotest.fail "branch s-a-1 on wide AND must be testable"
+
+let deep_inverter_chain () =
+  (* 200 inverters deep: levelisation, SCOAP saturation-free costs,
+     and PODEM through a long corridor. *)
+  let b = B.create ~title:"deep" () in
+  let a = B.input b "a" in
+  let last = ref a in
+  for i = 1 to 200 do
+    last := B.gate b Gate.Not (Printf.sprintf "n%d" i) [ !last ]
+  done;
+  B.mark_output b !last;
+  let c = B.finish b in
+  check Alcotest.int "depth" 200 (Circuit.depth c);
+  let fl = Collapse.collapsed c in
+  (* The whole chain collapses into two fault classes. *)
+  check Alcotest.int "two classes" 2 (Fault_list.count fl);
+  let r = Engine.run fl ~order:[| 0; 1 |] in
+  check (Alcotest.float 1e-9) "coverage" 1.0 (Engine.coverage fl r)
+
+(* --- ADI edge cases ------------------------------------------------ *)
+
+let adi_empty_u () =
+  (* A zero-vector U: every fault keeps ADI = 0 and all orders equal
+     the original order (zeros keep original relative order). *)
+  let c = Library.c17 () in
+  let fl = Collapse.collapsed c in
+  let u = Patterns.of_vectors ~n_inputs:5 [||] in
+  let adi = Adi_index.compute fl u in
+  check Alcotest.bool "all zero" true (Array.for_all (fun a -> a = 0) adi.Adi_index.adi);
+  check Alcotest.(option (pair int int)) "no min/max" None (Adi_index.min_max adi);
+  let id = Array.init (Fault_list.count fl) Fun.id in
+  List.iter
+    (fun kind ->
+      check Alcotest.(array int)
+        (Ordering.to_string kind ^ " = orig")
+        id (Ordering.order kind adi))
+    Ordering.all
+
+let adi_single_vector () =
+  let c = Library.c17 () in
+  let fl = Collapse.collapsed c in
+  let u = Patterns.of_vectors ~n_inputs:5 [| Array.make 5 true |] in
+  let adi = Adi_index.compute fl u in
+  (* Every fault detected by the single vector has the same ADI:
+     ndet(u0). *)
+  let expect = adi.Adi_index.ndet.(0) in
+  Array.iteri
+    (fun fi a ->
+      if Bitvec.popcount adi.Adi_index.dsets.(fi) > 0 then
+        check Alcotest.int (Printf.sprintf "f%d" fi) expect a)
+    adi.Adi_index.adi
+
+(* --- pattern set edges --------------------------------------------- *)
+
+let patterns_empty () =
+  let p = Patterns.of_vectors ~n_inputs:3 [||] in
+  check Alcotest.int "count" 0 (Patterns.count p);
+  check Alcotest.int "blocks" 0 (Patterns.blocks p)
+
+let patterns_block_boundary () =
+  (* Exactly 64 and 65 patterns cross the word boundary. *)
+  let rng = Rng.create 9 in
+  List.iter
+    (fun n ->
+      let p = Patterns.random rng ~n_inputs:2 ~count:n in
+      check Alcotest.int (Printf.sprintf "blocks for %d" n) ((n + 63) / 64) (Patterns.blocks p))
+    [ 63; 64; 65; 128; 129 ]
+
+let exhaustive_width_guard () =
+  check Alcotest.bool "too wide rejected" true
+    (try
+       ignore (Patterns.exhaustive ~n_inputs:25);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- engine edge cases --------------------------------------------- *)
+
+let engine_all_redundant () =
+  (* A circuit whose only internal fault class on the masked branch is
+     undetectable: the engine must classify it without tests. *)
+  let b = B.create ~title:"red" () in
+  let a = B.input b "a" in
+  let na = B.gate b Gate.Not "na" [ a ] in
+  let k = B.gate b Gate.Or "k" [ a; na ] in
+  (* k == 1 always; AND(x, k) == x. *)
+  let x = B.input b "x" in
+  let g = B.gate b Gate.And "g" [ x; k ] in
+  B.mark_output b g;
+  let c = B.finish b in
+  let fl = Collapse.collapsed c in
+  let r = Engine.run fl ~order:(Array.init (Fault_list.count fl) Fun.id) in
+  check Alcotest.bool "some untestable" true (r.Engine.untestable <> []);
+  check Alcotest.(list int) "no aborts" [] r.Engine.aborted;
+  (* Detected + untestable covers the universe. *)
+  let det = Array.fold_left (fun acc d -> if d >= 0 then acc + 1 else acc) 0 r.Engine.detected_by in
+  check Alcotest.int "full accounting" (Fault_list.count fl)
+    (det + List.length r.Engine.untestable)
+
+let scan_names_are_stable () =
+  let seq = Kiss.to_sequential (Kiss.lion ()) in
+  let comb, mapping = Scan.combinational seq in
+  Array.iter
+    (fun (ff, id) ->
+      check Alcotest.string "ppi naming" (ff ^ "__ppi") (Circuit.name comb id))
+    mapping.Scan.ppis
+
+(* --- rewrite interactions ------------------------------------------ *)
+
+let rewrite_pin_const_on_xor () =
+  (* Tying one XOR pin to 1 turns it into an inverter of the other. *)
+  let b = B.create () in
+  let a = B.input b "a" in
+  let bb = B.input b "b" in
+  let g = B.gate b Gate.Xor "g" [ a; bb ] in
+  B.mark_output b g;
+  let c = B.finish b in
+  let c' = Rewrite.apply c [ Rewrite.Pin_const { gate = g; pin = 1; value = true } ] in
+  let o = (Circuit.outputs c').(0) in
+  check Alcotest.bool "kind is NOT" true (Circuit.kind c' o = Gate.Not);
+  let v = Goodsim.eval_scalar c' [| true; false |] in
+  check Alcotest.bool "g = ~a" false v.(o)
+
+let rewrite_preserves_po_count_order () =
+  (* POs keep their positions (by name) even when some fold. *)
+  let b = B.create () in
+  let a = B.input b "a" in
+  let z = B.const b "z" false in
+  let g1 = B.gate b Gate.And "g1" [ a; z ] in
+  let g2 = B.gate b Gate.Or "g2" [ a; z ] in
+  B.mark_output b g1;
+  B.mark_output b g2;
+  let c' = Rewrite.simplify (B.finish b) in
+  check Alcotest.int "two outputs" 2 (Array.length (Circuit.outputs c'));
+  check Alcotest.string "first is g1" "g1" (Circuit.name c' (Circuit.outputs c').(0));
+  check Alcotest.string "second is g2" "g2" (Circuit.name c' (Circuit.outputs c').(1))
+
+let () =
+  Alcotest.run "edge"
+    [
+      ( "degenerate",
+        [
+          Alcotest.test_case "single wire" `Quick single_wire;
+          Alcotest.test_case "constant output" `Quick constant_only_output;
+          Alcotest.test_case "wide gate" `Quick wide_gate;
+          Alcotest.test_case "deep chain" `Quick deep_inverter_chain;
+        ] );
+      ( "adi",
+        [
+          Alcotest.test_case "empty U" `Quick adi_empty_u;
+          Alcotest.test_case "single vector" `Quick adi_single_vector;
+        ] );
+      ( "patterns",
+        [
+          Alcotest.test_case "empty" `Quick patterns_empty;
+          Alcotest.test_case "block boundary" `Quick patterns_block_boundary;
+          Alcotest.test_case "width guard" `Quick exhaustive_width_guard;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "redundant classified" `Quick engine_all_redundant;
+          Alcotest.test_case "scan naming" `Quick scan_names_are_stable;
+        ] );
+      ( "rewrite",
+        [
+          Alcotest.test_case "xor pin const" `Quick rewrite_pin_const_on_xor;
+          Alcotest.test_case "po positions" `Quick rewrite_preserves_po_count_order;
+        ] );
+    ]

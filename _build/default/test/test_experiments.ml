@@ -1,0 +1,123 @@
+(* Tests for the experiment harness: the report formatters produce the
+   paper's artefacts from real (small) runs, and the shared evaluation
+   machinery is consistent. *)
+
+let check = Alcotest.check
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* A small evaluation reused by several cases (lion: fast). *)
+let lion_eval =
+  lazy
+    (Evaluation.evaluate ~paper_name:"lion" (Kiss.to_combinational (Kiss.lion ())))
+
+let table1_mentions_all_vectors () =
+  let s = Reports.table1 () in
+  check Alcotest.bool "has title" true (contains s "Table 1");
+  check Alcotest.bool "has ndet row" true (contains s "ndet(u)");
+  check Alcotest.bool "has worked examples" true (contains s "ADI(f)");
+  check Alcotest.bool "has dynamic steps" true (contains s "step 4")
+
+let table4_row_shape () =
+  let ev = Lazy.force lion_eval in
+  let s = Reports.table4 [ ev ] in
+  check Alcotest.bool "title" true (contains s "Table 4");
+  check Alcotest.bool "row" true (contains s "lion");
+  (* lion has 4 inputs. *)
+  check Alcotest.bool "inp column" true (contains s "4")
+
+let table5_has_average () =
+  let ev = Lazy.force lion_eval in
+  let s = Reports.table5 [ ev ] in
+  check Alcotest.bool "title" true (contains s "Table 5");
+  check Alcotest.bool "average row" true (contains s "average")
+
+let table5_counts_match_runs () =
+  let ev = Lazy.force lion_eval in
+  let s = Reports.table5 [ ev ] in
+  let n = Pipeline.test_count (Evaluation.run ev Ordering.Dynm0) in
+  check Alcotest.bool "0dynm count appears" true (contains s (string_of_int n))
+
+let table6_table7_ratios () =
+  let ev = Lazy.force lion_eval in
+  let s6 = Reports.table6 [ ev ] and s7 = Reports.table7 [ ev ] in
+  check Alcotest.bool "t6 title" true (contains s6 "Table 6");
+  check Alcotest.bool "t7 title" true (contains s7 "Table 7");
+  (* orig column is 1.000 by construction. *)
+  check Alcotest.bool "t6 unit ratio" true (contains s6 "1.000");
+  check Alcotest.bool "t7 unit ratio" true (contains s7 "1.000")
+
+let figure1_has_markers () =
+  let ev = Lazy.force lion_eval in
+  let s = Reports.figure1 ev in
+  check Alcotest.bool "title" true (contains s "Figure 1");
+  check Alcotest.bool "legend orig" true (contains s "o - orig");
+  check Alcotest.bool "legend dynm" true (contains s "d - dynm");
+  check Alcotest.bool "legend 0dynm" true (contains s "z - 0dynm")
+
+let evaluation_is_consistent () =
+  let ev = Lazy.force lion_eval in
+  (* AVE ratio of orig against itself is exactly 1. *)
+  check (Alcotest.float 1e-9) "orig ave ratio" 1.0 (Evaluation.ave_ratio ev Ordering.Orig);
+  check (Alcotest.float 1e-9) "orig rt ratio" 1.0
+    (Evaluation.runtime_ratio ev Ordering.Orig);
+  let curve = Evaluation.curve ev Ordering.Orig in
+  check Alcotest.bool "curve nonempty" true (Coverage.tests curve > 0)
+
+let ablation_u_renders () =
+  let s = Reports.ablation_u (Kiss.to_combinational (Kiss.lion ())) ~seed:1 in
+  check Alcotest.bool "title" true (contains s "Ablation A2");
+  check Alcotest.bool "has rows" true (contains s "0.90")
+
+let ablation_static_renders () =
+  let ev =
+    Evaluation.evaluate
+      ~orders:[ Ordering.Decr; Ordering.Decr0; Ordering.Dynm; Ordering.Dynm0 ]
+      ~paper_name:"lion"
+      (Kiss.to_combinational (Kiss.lion ()))
+  in
+  let s = Reports.ablation_static [ ev ] in
+  check Alcotest.bool "title" true (contains s "Ablation A1");
+  check Alcotest.bool "row" true (contains s "lion")
+
+let harness_rejects_unknown () =
+  check Alcotest.bool "unknown experiment" true
+    (try
+       ignore (Harness.run_experiment ~full:false "nope");
+       false
+     with Invalid_argument _ -> true)
+
+let harness_names_cover_run () =
+  (* every name except "all" renders something; use only the cheap ones
+     here to keep the suite fast. *)
+  List.iter
+    (fun w ->
+      let s = Harness.run_experiment ~full:false w in
+      check Alcotest.bool (w ^ " nonempty") true (String.length s > 0))
+    [ "table1" ]
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "reports",
+        [
+          Alcotest.test_case "table1" `Quick table1_mentions_all_vectors;
+          Alcotest.test_case "table4" `Quick table4_row_shape;
+          Alcotest.test_case "table5 average" `Quick table5_has_average;
+          Alcotest.test_case "table5 counts" `Quick table5_counts_match_runs;
+          Alcotest.test_case "table6/7" `Quick table6_table7_ratios;
+          Alcotest.test_case "figure1" `Quick figure1_has_markers;
+          Alcotest.test_case "ablation A1" `Quick ablation_static_renders;
+          Alcotest.test_case "ablation A2" `Quick ablation_u_renders;
+        ] );
+      ( "harness",
+        [
+          Alcotest.test_case "rejects unknown" `Quick harness_rejects_unknown;
+          Alcotest.test_case "runs table1" `Quick harness_names_cover_run;
+        ] );
+      ( "evaluation",
+        [ Alcotest.test_case "consistency" `Quick evaluation_is_consistent ] );
+    ]

@@ -1,0 +1,152 @@
+(* Tests for the fault model: universe generation, indexing, and
+   equivalence collapsing.  The central property: faults that collapsing
+   puts in one class are detected by exactly the same input vectors. *)
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let random_circuit_gen =
+  QCheck.Gen.(
+    int_range 2 5 >>= fun pis ->
+    int_range 3 25 >>= fun gates ->
+    int_bound 10_000 >>= fun seed ->
+    return (Generate.random ~seed ~name:"qc" (Generate.profile ~pis ~gates ())))
+
+let arb_circuit = QCheck.make random_circuit_gen
+
+(* --- fault universe ----------------------------------------------- *)
+
+let full_count_formula =
+  QCheck.Test.make ~name:"|full| = 2 * (nodes + pins)" ~count:100 arb_circuit
+  @@ fun c ->
+  Fault_list.count (Fault_list.full c) = 2 * (Circuit.node_count c + Circuit.pin_count c)
+
+let full_indexing =
+  QCheck.Test.make ~name:"index inverts get" ~count:50 arb_circuit
+  @@ fun c ->
+  let fl = Fault_list.full c in
+  let ok = ref true in
+  for i = 0 to Fault_list.count fl - 1 do
+    if Fault_list.index fl (Fault_list.get fl i) <> Some i then ok := false
+  done;
+  !ok
+
+let full_node_major =
+  QCheck.Test.make ~name:"full list is node-major (Forig order)" ~count:50 arb_circuit
+  @@ fun c ->
+  let fl = Fault_list.full c in
+  let ok = ref true in
+  for i = 1 to Fault_list.count fl - 1 do
+    if Fault.site_node (Fault_list.get fl i) < Fault.site_node (Fault_list.get fl (i - 1)) then
+      ok := false
+  done;
+  !ok
+
+let fault_on_c17 () =
+  let c = Library.c17 () in
+  let fl = Fault_list.full c in
+  (* 11 nodes (5 PI + 6 gates), 12 pins -> 46 faults. *)
+  check Alcotest.int "fault universe" 46 (Fault_list.count fl)
+
+let fault_to_string () =
+  let c = Library.c17 () in
+  let g10 = Circuit.find_exn c "G10" in
+  check Alcotest.string "stem" "G10 s-a-1" (Fault.to_string c (Fault.stem g10 true));
+  check Alcotest.string "branch" "G10.in0 (G1) s-a-0"
+    (Fault.to_string c (Fault.branch ~gate:g10 ~pin:0 false))
+
+let sub_list () =
+  let c = Library.c17 () in
+  let fl = Fault_list.full c in
+  let sub = Fault_list.sub fl [| 3; 1 |] in
+  check Alcotest.int "two faults" 2 (Fault_list.count sub);
+  check Alcotest.bool "order kept" true (Fault.equal (Fault_list.get sub 0) (Fault_list.get fl 3))
+
+(* --- collapsing --------------------------------------------------- *)
+
+let collapse_partition =
+  QCheck.Test.make ~name:"collapse classes partition the universe" ~count:50 arb_circuit
+  @@ fun c ->
+  let fl = Fault_list.full c in
+  let r = Collapse.equivalence fl in
+  let nrep = Fault_list.count r.Collapse.representatives in
+  Array.for_all (fun cls -> cls >= 0 && cls < nrep) r.Collapse.class_of
+  && Array.fold_left ( + ) 0 r.Collapse.class_sizes = Fault_list.count fl
+  && Array.for_all (fun s -> s >= 1) r.Collapse.class_sizes
+
+let collapse_representative_in_class =
+  QCheck.Test.make ~name:"each representative maps to its own class" ~count:50 arb_circuit
+  @@ fun c ->
+  let fl = Fault_list.full c in
+  let r = Collapse.equivalence fl in
+  let ok = ref true in
+  for ri = 0 to Fault_list.count r.Collapse.representatives - 1 do
+    match Fault_list.index fl (Fault_list.get r.Collapse.representatives ri) with
+    | Some full_idx -> if r.Collapse.class_of.(full_idx) <> ri then ok := false
+    | None -> ok := false
+  done;
+  !ok
+
+(* The defining property of equivalence: same detection sets.  Checked
+   exhaustively on small circuits with the naive oracle. *)
+let collapse_equivalent_same_detection =
+  QCheck.Test.make ~name:"collapsed classes have identical detection sets" ~count:20
+    (QCheck.make
+       QCheck.Gen.(
+         int_range 2 4 >>= fun pis ->
+         int_range 3 12 >>= fun gates ->
+         int_bound 10_000 >>= fun seed ->
+         return (Generate.random ~seed ~name:"qc" (Generate.profile ~pis ~gates ()))))
+  @@ fun c ->
+  let fl = Fault_list.full c in
+  let r = Collapse.equivalence fl in
+  let pats = Patterns.exhaustive ~n_inputs:(Array.length (Circuit.inputs c)) in
+  let table = Refsim.detection_table fl pats in
+  let ok = ref true in
+  Array.iteri
+    (fun fi cls ->
+      let rep = Fault_list.get r.Collapse.representatives cls in
+      let rep_idx = Option.get (Fault_list.index fl rep) in
+      if table.(fi) <> table.(rep_idx) then ok := false)
+    r.Collapse.class_of;
+  !ok
+
+let collapse_shrinks () =
+  let c = Library.c17 () in
+  let r = Collapse.equivalence (Fault_list.full c) in
+  let n = Fault_list.count r.Collapse.representatives in
+  check Alcotest.bool "collapsed smaller" true (n < 46);
+  check Alcotest.bool "ratio > 1" true (Collapse.collapse_ratio r > 1.0)
+
+let collapse_inverter_chain () =
+  (* a -> NOT -> NOT -> out: all 6 faults fold into 2 classes. *)
+  let b = Circuit.Builder.create () in
+  let a = Circuit.Builder.input b "a" in
+  let n1 = Circuit.Builder.gate b Gate.Not "n1" [ a ] in
+  let n2 = Circuit.Builder.gate b Gate.Not "n2" [ n1 ] in
+  Circuit.Builder.mark_output b n2;
+  let c = Circuit.Builder.finish b in
+  let r = Collapse.equivalence (Fault_list.full c) in
+  check Alcotest.int "two classes" 2 (Fault_list.count r.Collapse.representatives)
+
+let () =
+  Alcotest.run "faults"
+    [
+      ( "universe",
+        [
+          Alcotest.test_case "c17 count" `Quick fault_on_c17;
+          Alcotest.test_case "to_string" `Quick fault_to_string;
+          Alcotest.test_case "sub" `Quick sub_list;
+          qtest full_count_formula;
+          qtest full_indexing;
+          qtest full_node_major;
+        ] );
+      ( "collapse",
+        [
+          Alcotest.test_case "shrinks c17" `Quick collapse_shrinks;
+          Alcotest.test_case "inverter chain" `Quick collapse_inverter_chain;
+          qtest collapse_partition;
+          qtest collapse_representative_in_class;
+          qtest collapse_equivalent_same_detection;
+        ] );
+    ]

@@ -1,0 +1,181 @@
+(* Tests for the logic evaluators: Boolean (reference), Logic_word
+   (bit-parallel), Ternary and Five (D-calculus).  The key properties:
+   every evaluator agrees with Boolean on binary values, and the
+   partial evaluators are conservative refinements. *)
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let logic_kinds =
+  [ Gate.Buf; Gate.Not; Gate.And; Gate.Nand; Gate.Or; Gate.Nor; Gate.Xor; Gate.Xnor ]
+
+let kind_gen = QCheck.Gen.oneofl logic_kinds
+
+let args_gen k =
+  let open QCheck.Gen in
+  match k with
+  | Gate.Buf | Gate.Not -> array_size (return 1) bool
+  | _ -> array_size (int_range 1 5) bool
+
+(* --- Boolean ------------------------------------------------------ *)
+
+let bool_truth_tables () =
+  let t = true and f = false in
+  check Alcotest.bool "and" t (Boolean.eval Gate.And [ t; t; t ]);
+  check Alcotest.bool "and f" f (Boolean.eval Gate.And [ t; f; t ]);
+  check Alcotest.bool "nand" f (Boolean.eval Gate.Nand [ t; t ]);
+  check Alcotest.bool "or" t (Boolean.eval Gate.Or [ f; t ]);
+  check Alcotest.bool "nor" t (Boolean.eval Gate.Nor [ f; f ]);
+  check Alcotest.bool "xor odd" t (Boolean.eval Gate.Xor [ t; f; f ]);
+  check Alcotest.bool "xor even" f (Boolean.eval Gate.Xor [ t; t ]);
+  check Alcotest.bool "xnor" t (Boolean.eval Gate.Xnor [ t; t ]);
+  check Alcotest.bool "not" f (Boolean.eval Gate.Not [ t ]);
+  check Alcotest.bool "buf" t (Boolean.eval Gate.Buf [ t ]);
+  check Alcotest.bool "const0" f (Boolean.eval Gate.Const0 []);
+  check Alcotest.bool "const1" t (Boolean.eval Gate.Const1 [])
+
+let bool_arity () =
+  Alcotest.check_raises "not/2" (Invalid_argument "Boolean.eval: NOT with 2 fanins") (fun () ->
+      ignore (Boolean.eval Gate.Not [ true; false ]))
+
+(* --- Logic_word vs Boolean ---------------------------------------- *)
+
+let word_matches_boolean =
+  QCheck.Test.make ~name:"Logic_word.eval lane-wise equals Boolean.eval" ~count:500
+    (QCheck.make QCheck.Gen.(kind_gen >>= fun k -> pair (return k) (args_gen k)))
+  @@ fun (k, args) ->
+  (* Spread each boolean arg into a word with distinct lane patterns so
+     all 64 lanes exercise different combinations. *)
+  let n = Array.length args in
+  let words =
+    Array.init n (fun i ->
+        (* lane j of arg i = args.(i) XOR (bit i of j) *)
+        let w = ref 0L in
+        for j = 0 to 63 do
+          let v = args.(i) <> ((j lsr i) land 1 = 1) in
+          if v then w := Int64.logor !w (Int64.shift_left 1L j)
+        done;
+        !w)
+  in
+  let out = Logic_word.eval k words in
+  let ok = ref true in
+  for j = 0 to 63 do
+    let lane_args = Array.init n (fun i -> args.(i) <> ((j lsr i) land 1 = 1)) in
+    let expect = Boolean.eval_array k lane_args in
+    let got = Int64.logand (Int64.shift_right_logical out j) 1L = 1L in
+    if expect <> got then ok := false
+  done;
+  !ok
+
+let word_eval_fanins_matches_eval =
+  QCheck.Test.make ~name:"Logic_word.eval_fanins = eval on gathered values" ~count:200
+    (QCheck.make QCheck.Gen.(kind_gen >>= fun k -> pair (return k) (args_gen k)))
+  @@ fun (k, args) ->
+  let values = Array.map (fun b -> if b then -1L else 0L) args in
+  let fanins = Array.init (Array.length args) Fun.id in
+  Logic_word.eval_fanins k ~values fanins = Logic_word.eval k values
+
+(* --- Ternary ------------------------------------------------------ *)
+
+let tern_of_bools = Array.map Ternary.of_bool
+
+let ternary_matches_boolean =
+  QCheck.Test.make ~name:"Ternary.eval on binary inputs equals Boolean.eval" ~count:500
+    (QCheck.make QCheck.Gen.(kind_gen >>= fun k -> pair (return k) (args_gen k)))
+  @@ fun (k, args) ->
+  Ternary.eval_array k (tern_of_bools args) = Ternary.of_bool (Boolean.eval_array k args)
+
+(* X-monotonicity: replacing an X input by any binary value never
+   contradicts a binary output computed with the X present. *)
+let ternary_monotone =
+  QCheck.Test.make ~name:"Ternary.eval is monotone in X refinement" ~count:500
+    (QCheck.make
+       QCheck.Gen.(
+         kind_gen >>= fun k ->
+         args_gen k >>= fun args ->
+         int_range 0 (Array.length args - 1) >>= fun xpos -> return (k, args, xpos)))
+  @@ fun (k, args, xpos) ->
+  let with_x = tern_of_bools args in
+  with_x.(xpos) <- Ternary.X;
+  let vx = Ternary.eval_array k with_x in
+  match vx with
+  | Ternary.X -> true
+  | _ ->
+      (* Binary result with X present must match both refinements. *)
+      let r0 = Array.copy with_x and r1 = Array.copy with_x in
+      r0.(xpos) <- Ternary.Zero;
+      r1.(xpos) <- Ternary.One;
+      Ternary.eval_array k r0 = vx && Ternary.eval_array k r1 = vx
+
+let ternary_chars () =
+  check Alcotest.bool "roundtrip 0" true (Ternary.of_char '0' = Some Ternary.Zero);
+  check Alcotest.bool "roundtrip x" true (Ternary.of_char 'X' = Some Ternary.X);
+  check Alcotest.bool "bad char" true (Ternary.of_char '?' = None);
+  check Alcotest.bool "to_bool X" true (Ternary.to_bool Ternary.X = None)
+
+(* --- Five --------------------------------------------------------- *)
+
+let five_all = [ Five.Zero; Five.One; Five.D; Five.Dbar; Five.X ]
+
+let five_pair_roundtrip () =
+  List.iter
+    (fun v -> check Alcotest.bool "of_pair (to_pair v) = v" true (Five.of_pair (Five.to_pair v) = v))
+    five_all
+
+let five_inv () =
+  check Alcotest.bool "inv D" true (Five.inv Five.D = Five.Dbar);
+  check Alcotest.bool "inv Dbar" true (Five.inv Five.Dbar = Five.D);
+  check Alcotest.bool "inv X" true (Five.inv Five.X = Five.X)
+
+let five_gen = QCheck.Gen.oneofl five_all
+
+(* Five-valued evaluation is exactly component-wise ternary evaluation
+   on the (good, faulty) pair. *)
+let five_componentwise =
+  QCheck.Test.make ~name:"Five.eval = Ternary.eval on both machine components" ~count:500
+    (QCheck.make
+       QCheck.Gen.(
+         kind_gen >>= fun k ->
+         (match k with
+         | Gate.Buf | Gate.Not -> array_size (return 1) five_gen
+         | _ -> array_size (int_range 1 5) five_gen)
+         >>= fun args -> return (k, args)))
+  @@ fun (k, args) ->
+  let v = Five.eval_array k args in
+  let good = Ternary.eval_array k (Array.map Five.good args) in
+  let faulty = Ternary.eval_array k (Array.map Five.faulty args) in
+  v = Five.of_pair (good, faulty)
+
+let five_error_propagation () =
+  (* AND(D, 1) = D; AND(D, 0) = 0; AND(D, Dbar) = 0. *)
+  check Alcotest.bool "D & 1" true (Five.eval Gate.And [ Five.D; Five.One ] = Five.D);
+  check Alcotest.bool "D & 0" true (Five.eval Gate.And [ Five.D; Five.Zero ] = Five.Zero);
+  check Alcotest.bool "D & D'" true (Five.eval Gate.And [ Five.D; Five.Dbar ] = Five.Zero);
+  check Alcotest.bool "D ^ D" true (Five.eval Gate.Xor [ Five.D; Five.D ] = Five.Zero);
+  check Alcotest.bool "D ^ 0" true (Five.eval Gate.Xor [ Five.D; Five.Zero ] = Five.D);
+  check Alcotest.bool "is_error D" true (Five.is_error Five.D);
+  check Alcotest.bool "is_error 1" false (Five.is_error Five.One)
+
+let () =
+  Alcotest.run "logic"
+    [
+      ( "boolean",
+        [
+          Alcotest.test_case "truth tables" `Quick bool_truth_tables;
+          Alcotest.test_case "arity" `Quick bool_arity;
+        ] );
+      ("word", [ qtest word_matches_boolean; qtest word_eval_fanins_matches_eval ]);
+      ( "ternary",
+        [
+          Alcotest.test_case "char conversions" `Quick ternary_chars;
+          qtest ternary_matches_boolean;
+          qtest ternary_monotone;
+        ] );
+      ( "five",
+        [
+          Alcotest.test_case "pair roundtrip" `Quick five_pair_roundtrip;
+          Alcotest.test_case "inversion" `Quick five_inv;
+          Alcotest.test_case "error propagation" `Quick five_error_propagation;
+          qtest five_componentwise;
+        ] );
+    ]

@@ -1,0 +1,106 @@
+(* Tests for coverage curves and the AVE steepness metric. *)
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let curve_of detected_at total = { Coverage.detected_at; total_faults = total }
+
+let n_at_basics () =
+  let c = curve_of [| 3; 5; 5; 9 |] 10 in
+  check Alcotest.int "n(0)" 0 (Coverage.n_at c 0);
+  check Alcotest.int "n(1)" 3 (Coverage.n_at c 1);
+  check Alcotest.int "n(2)" 5 (Coverage.n_at c 2);
+  check Alcotest.int "n(4)" 9 (Coverage.n_at c 4);
+  check Alcotest.int "tests" 4 (Coverage.tests c);
+  check (Alcotest.float 1e-9) "final coverage" 0.9 (Coverage.final_coverage c)
+
+let ave_hand_computed () =
+  (* Detections per test: 3, 2, 0, 4.
+     AVE = (1*3 + 2*2 + 3*0 + 4*4) / 9 = 23/9. *)
+  let c = curve_of [| 3; 5; 5; 9 |] 10 in
+  check (Alcotest.float 1e-9) "ave" (23.0 /. 9.0) (Coverage.ave c)
+
+let ave_everything_first_test () =
+  (* All faults on test 1: AVE = 1. *)
+  let c = curve_of [| 7; 7; 7 |] 7 in
+  check (Alcotest.float 1e-9) "ave = 1" 1.0 (Coverage.ave c)
+
+let ave_everything_last_test () =
+  let c = curve_of [| 0; 0; 7 |] 7 in
+  check (Alcotest.float 1e-9) "ave = k" 3.0 (Coverage.ave c)
+
+let ave_empty () =
+  let c = curve_of [| 0; 0 |] 5 in
+  check (Alcotest.float 1e-9) "ave = 0 when nothing detected" 0.0 (Coverage.ave c)
+
+let points_shape () =
+  let c = curve_of [| 1; 2 |] 4 in
+  let p = Coverage.points c in
+  check Alcotest.int "two points" 2 (Array.length p);
+  check (Alcotest.float 1e-9) "x of last" 100.0 (fst p.(1));
+  check (Alcotest.float 1e-9) "y of last" 50.0 (snd p.(1))
+
+(* Curves from the two construction paths agree: engine bookkeeping vs
+   re-simulation of the finished test set. *)
+let engine_curve_equals_resim =
+  QCheck.Test.make ~name:"of_engine_result = of_test_set on the same tests" ~count:15
+    (QCheck.make
+       QCheck.Gen.(
+         int_range 2 5 >>= fun pis ->
+         int_range 3 25 >>= fun gates ->
+         int_bound 10_000 >>= fun seed ->
+         return (Generate.random ~seed ~name:"qc" (Generate.profile ~pis ~gates ()))))
+  @@ fun c ->
+  let fl = Collapse.collapsed c in
+  let r = Engine.run fl ~order:(Array.init (Fault_list.count fl) Fun.id) in
+  let a = Coverage.of_engine_result fl r in
+  let b = Coverage.of_test_set fl r.Engine.tests in
+  a.Coverage.detected_at = b.Coverage.detected_at
+
+let monotone_nondecreasing =
+  QCheck.Test.make ~name:"coverage curve is non-decreasing" ~count:15
+    (QCheck.make
+       QCheck.Gen.(
+         int_range 2 5 >>= fun pis ->
+         int_range 3 25 >>= fun gates ->
+         int_bound 10_000 >>= fun seed ->
+         return (Generate.random ~seed ~name:"qc" (Generate.profile ~pis ~gates ()))))
+  @@ fun c ->
+  let fl = Collapse.collapsed c in
+  let r = Engine.run fl ~order:(Array.init (Fault_list.count fl) Fun.id) in
+  let curve = Coverage.of_engine_result fl r in
+  let ok = ref true in
+  for i = 1 to Coverage.tests curve do
+    if Coverage.n_at curve i < Coverage.n_at curve (i - 1) then ok := false
+  done;
+  !ok
+
+
+let truncation_and_targets () =
+  let c = curve_of [| 3; 5; 5; 9 |] 10 in
+  check (Alcotest.float 1e-9) "keep 0" 0.0 (Coverage.truncated_coverage c ~keep:0);
+  check (Alcotest.float 1e-9) "keep 1" 0.3 (Coverage.truncated_coverage c ~keep:1);
+  check (Alcotest.float 1e-9) "keep all" 0.9 (Coverage.truncated_coverage c ~keep:4);
+  check (Alcotest.float 1e-9) "keep beyond clamps" 0.9 (Coverage.truncated_coverage c ~keep:99);
+  check Alcotest.(option int) "target 0.3" (Some 1) (Coverage.tests_for_coverage c ~target:0.3);
+  check Alcotest.(option int) "target 0.5" (Some 2) (Coverage.tests_for_coverage c ~target:0.5);
+  check Alcotest.(option int) "target 0.95 unreachable" None
+    (Coverage.tests_for_coverage c ~target:0.95);
+  check Alcotest.(option int) "target 0" (Some 0) (Coverage.tests_for_coverage c ~target:0.0)
+
+let () =
+  Alcotest.run "metrics"
+    [
+      ( "coverage",
+        [
+          Alcotest.test_case "n_at basics" `Quick n_at_basics;
+          Alcotest.test_case "ave hand computed" `Quick ave_hand_computed;
+          Alcotest.test_case "ave first test" `Quick ave_everything_first_test;
+          Alcotest.test_case "ave last test" `Quick ave_everything_last_test;
+          Alcotest.test_case "ave empty" `Quick ave_empty;
+          Alcotest.test_case "points" `Quick points_shape;
+          Alcotest.test_case "truncation/targets" `Quick truncation_and_targets;
+          qtest engine_curve_equals_resim;
+          qtest monotone_nondecreasing;
+        ] );
+    ]

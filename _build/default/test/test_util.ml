@@ -1,0 +1,255 @@
+(* Tests for Util: Rng, Bitvec, Heap, Table, Plot. *)
+
+module Rng = Util.Rng
+module Bitvec = Util.Bitvec
+module Heap = Util.Heap
+module Table = Util.Table
+module Plot = Util.Plot
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- Rng ---------------------------------------------------------- *)
+
+let rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let diff = ref false in
+  for _ = 1 to 10 do
+    if Rng.int64 a <> Rng.int64 b then diff := true
+  done;
+  check Alcotest.bool "streams differ" true !diff
+
+let rng_copy_independent () =
+  let a = Rng.create 7 in
+  let _ = Rng.int64 a in
+  let b = Rng.copy a in
+  check Alcotest.int64 "copy continues identically" (Rng.int64 a) (Rng.int64 b)
+
+let rng_int_bounds =
+  QCheck.Test.make ~name:"Rng.int stays in bounds" ~count:200
+    QCheck.(pair small_int (int_range 1 1000))
+  @@ fun (seed, bound) ->
+  let rng = Rng.create seed in
+  let ok = ref true in
+  for _ = 1 to 50 do
+    let v = Rng.int rng bound in
+    if v < 0 || v >= bound then ok := false
+  done;
+  !ok
+
+let rng_int_rejects_bad () =
+  let rng = Rng.create 0 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rng.int rng 0))
+
+let rng_float_range () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 100 do
+    let f = Rng.float rng 2.5 in
+    check Alcotest.bool "in [0, 2.5)" true (f >= 0.0 && f < 2.5)
+  done
+
+let rng_shuffle_permutes =
+  QCheck.Test.make ~name:"Rng.shuffle is a permutation" ~count:100 QCheck.small_int
+  @@ fun seed ->
+  let rng = Rng.create seed in
+  let a = Array.init 20 Fun.id in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  sorted = Array.init 20 Fun.id
+
+let rng_split_differs () =
+  let a = Rng.create 9 in
+  let b = Rng.split a in
+  check Alcotest.bool "split streams differ" true (Rng.int64 a <> Rng.int64 b)
+
+(* --- Bitvec ------------------------------------------------------- *)
+
+let bitvec_get_set () =
+  let v = Bitvec.create 130 in
+  Bitvec.set v 0 true;
+  Bitvec.set v 64 true;
+  Bitvec.set v 129 true;
+  check Alcotest.bool "bit 0" true (Bitvec.get v 0);
+  check Alcotest.bool "bit 1" false (Bitvec.get v 1);
+  check Alcotest.bool "bit 64" true (Bitvec.get v 64);
+  check Alcotest.bool "bit 129" true (Bitvec.get v 129);
+  check Alcotest.int "popcount" 3 (Bitvec.popcount v);
+  Bitvec.set v 64 false;
+  check Alcotest.int "popcount after clear" 2 (Bitvec.popcount v)
+
+let bitvec_out_of_range () =
+  let v = Bitvec.create 10 in
+  Alcotest.check_raises "get -1" (Invalid_argument "Bitvec: index out of range") (fun () ->
+      ignore (Bitvec.get v (-1)));
+  Alcotest.check_raises "get 10" (Invalid_argument "Bitvec: index out of range") (fun () ->
+      ignore (Bitvec.get v 10))
+
+let bitvec_fill () =
+  let v = Bitvec.create 70 in
+  Bitvec.fill v true;
+  check Alcotest.int "all set" 70 (Bitvec.popcount v);
+  Bitvec.fill v false;
+  check Alcotest.int "all clear" 0 (Bitvec.popcount v);
+  check Alcotest.bool "is_zero" true (Bitvec.is_zero v)
+
+let bool_array_gen n = QCheck.Gen.(array_size (return n) bool)
+
+let bitvec_roundtrip =
+  QCheck.Test.make ~name:"Bitvec of/to bool array" ~count:200
+    (QCheck.make QCheck.Gen.(int_range 1 200 >>= bool_array_gen))
+  @@ fun a -> Bitvec.to_bool_array (Bitvec.of_bool_array a) = a
+
+let bitvec_setops =
+  QCheck.Test.make ~name:"Bitvec set ops match boolean ops" ~count:200
+    (QCheck.make
+       QCheck.Gen.(
+         int_range 1 150 >>= fun n ->
+         pair (bool_array_gen n) (bool_array_gen n)))
+  @@ fun (a, b) ->
+  let va = Bitvec.of_bool_array a and vb = Bitvec.of_bool_array b in
+  let vu = Bitvec.copy va in
+  Bitvec.union_into ~dst:vu vb;
+  let vi = Bitvec.copy va in
+  Bitvec.inter_into ~dst:vi vb;
+  let vd = Bitvec.copy va in
+  Bitvec.diff_into ~dst:vd vb;
+  Bitvec.to_bool_array vu = Array.map2 ( || ) a b
+  && Bitvec.to_bool_array vi = Array.map2 ( && ) a b
+  && Bitvec.to_bool_array vd = Array.map2 (fun x y -> x && not y) a b
+
+let bitvec_iter_set =
+  QCheck.Test.make ~name:"Bitvec.iter_set visits exactly the set bits in order" ~count:200
+    (QCheck.make QCheck.Gen.(int_range 1 200 >>= bool_array_gen))
+  @@ fun a ->
+  let v = Bitvec.of_bool_array a in
+  let seen = ref [] in
+  Bitvec.iter_set v (fun i -> seen := i :: !seen);
+  List.rev !seen = List.filter (fun i -> a.(i)) (List.init (Array.length a) Fun.id)
+
+let bitvec_first_set () =
+  let v = Bitvec.create 100 in
+  check Alcotest.(option int) "none" None (Bitvec.first_set v);
+  Bitvec.set v 77 true;
+  check Alcotest.(option int) "77" (Some 77) (Bitvec.first_set v);
+  Bitvec.set v 3 true;
+  check Alcotest.(option int) "3" (Some 3) (Bitvec.first_set v)
+
+let bitvec_random_length () =
+  let rng = Rng.create 5 in
+  let v = Bitvec.random rng 99 in
+  check Alcotest.int "length" 99 (Bitvec.length v);
+  (* Padding bits beyond the length must stay clear. *)
+  check Alcotest.bool "popcount sane" true (Bitvec.popcount v <= 99)
+
+(* --- Heap --------------------------------------------------------- *)
+
+let heap_pops_sorted =
+  QCheck.Test.make ~name:"Heap pops keys in decreasing order" ~count:200
+    QCheck.(list (int_range 0 1000))
+  @@ fun keys ->
+  let h = Heap.create () in
+  List.iteri (fun i k -> Heap.push h ~key:k i) keys;
+  let rec drain acc = match Heap.pop h with None -> List.rev acc | Some (k, _) -> drain (k :: acc) in
+  let out = drain [] in
+  out = List.sort (fun a b -> compare b a) keys
+
+let heap_tie_break () =
+  let h = Heap.create () in
+  Heap.push h ~key:5 "b";
+  Heap.push h ~key:5 "a";
+  Heap.push h ~key:7 "c";
+  check Alcotest.(option (pair int string)) "max first" (Some (7, "c")) (Heap.pop h);
+  check Alcotest.(option (pair int string)) "tie -> smaller payload" (Some (5, "a")) (Heap.pop h);
+  check Alcotest.(option (pair int string)) "then larger" (Some (5, "b")) (Heap.pop h);
+  check Alcotest.(option (pair int string)) "empty" None (Heap.pop h)
+
+let heap_peek () =
+  let h = Heap.create () in
+  check Alcotest.bool "empty" true (Heap.is_empty h);
+  Heap.push h ~key:1 0;
+  check Alcotest.(option (pair int int)) "peek" (Some (1, 0)) (Heap.peek h);
+  check Alcotest.int "length" 1 (Heap.length h)
+
+(* --- Table -------------------------------------------------------- *)
+
+let table_render () =
+  let t = Table.create [ ("name", Table.Left); ("n", Table.Right) ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_row t [ "b"; "22" ];
+  let s = Table.render t in
+  check Alcotest.bool "contains header" true
+    (String.length s > 0 && String.sub s 0 4 = "name");
+  (* Right-aligned numbers line up: the "22" row ends with "22". *)
+  let lines = String.split_on_char '\n' s in
+  check Alcotest.int "line count" 5 (List.length lines)
+  (* header, rule, 2 rows, trailing empty *)
+
+let table_mismatch () =
+  let t = Table.create [ ("a", Table.Left) ] in
+  Alcotest.check_raises "bad row" (Invalid_argument "Table.add_row: column count mismatch")
+    (fun () -> Table.add_row t [ "x"; "y" ])
+
+(* --- Plot --------------------------------------------------------- *)
+
+(* Naive substring search, used by several string-shaped checks. *)
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let plot_renders () =
+  let s =
+    Plot.render ~x_label:"x" ~y_label:"y"
+      [
+        { Plot.marker = 'o'; points = Array.init 10 (fun i -> (float_of_int i, float_of_int (i * i))); label = "sq" };
+      ]
+  in
+  check Alcotest.bool "mentions label" true (contains s "o - sq");
+  check Alcotest.bool "draws marker" true (contains s "o")
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick rng_seed_sensitivity;
+          Alcotest.test_case "copy" `Quick rng_copy_independent;
+          Alcotest.test_case "int rejects bad bound" `Quick rng_int_rejects_bad;
+          Alcotest.test_case "float range" `Quick rng_float_range;
+          Alcotest.test_case "split" `Quick rng_split_differs;
+          qtest rng_int_bounds;
+          qtest rng_shuffle_permutes;
+        ] );
+      ( "bitvec",
+        [
+          Alcotest.test_case "get/set/popcount" `Quick bitvec_get_set;
+          Alcotest.test_case "bounds" `Quick bitvec_out_of_range;
+          Alcotest.test_case "fill" `Quick bitvec_fill;
+          Alcotest.test_case "first_set" `Quick bitvec_first_set;
+          Alcotest.test_case "random" `Quick bitvec_random_length;
+          qtest bitvec_roundtrip;
+          qtest bitvec_setops;
+          qtest bitvec_iter_set;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "tie break" `Quick heap_tie_break;
+          Alcotest.test_case "peek/length" `Quick heap_peek;
+          qtest heap_pops_sorted;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick table_render;
+          Alcotest.test_case "mismatch" `Quick table_mismatch;
+        ] );
+      ("plot", [ Alcotest.test_case "renders" `Quick plot_renders ]);
+    ]
