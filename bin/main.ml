@@ -5,31 +5,51 @@
 
 open Cmdliner
 
-let load_circuit spec =
+let load_circuit ?(recover = false) spec =
   if Sys.file_exists spec then begin
     let c =
-      if Filename.check_suffix spec ".blif" then Blif_format.parse_file spec
+      if recover then begin
+        let c_opt, diags =
+          if Filename.check_suffix spec ".blif" then Blif_format.parse_file_recover spec
+          else Bench_format.parse_file_recover spec
+        in
+        List.iter
+          (fun d -> Printf.eprintf "adi-atpg: %s\n" (Util.Diagnostics.to_string d))
+          diags;
+        match c_opt with
+        | Some c -> c
+        | None ->
+            Printf.eprintf "adi-atpg: %s: no usable circuit after recovery\n" spec;
+            exit 2
+      end
+      else if Filename.check_suffix spec ".blif" then Blif_format.parse_file spec
       else Bench_format.parse_file spec
     in
     if Circuit.has_state c then fst (Scan.combinational c) else c
   end
   else Suite.build_by_name spec
 
-(* Turn library errors into clean CLI failures (exit code 1). *)
+(* Turn library errors into clean CLI failures: exit 1 for usage
+   errors, exit 2 for typed diagnostics (parse/checkpoint problems). *)
 let guard f =
   try f () with
   | Invalid_argument msg | Failure msg ->
       Printf.eprintf "adi-atpg: %s\n" msg;
       exit 1
-  | Bench_format.Parse_error (line, msg) | Blif_format.Parse_error (line, msg) ->
-      Printf.eprintf "adi-atpg: parse error at line %d: %s\n" line msg;
-      exit 1
-  | Kiss.Parse_error (line, msg) ->
-      Printf.eprintf "adi-atpg: KISS parse error at line %d: %s\n" line msg;
-      exit 1
+  | Util.Diagnostics.Failed d ->
+      Printf.eprintf "adi-atpg: %s\n" (Util.Diagnostics.to_string d);
+      exit 2
   | Sys_error msg ->
       Printf.eprintf "adi-atpg: %s\n" msg;
       exit 1
+
+let recover_arg =
+  Arg.(
+    value & flag
+    & info [ "recover" ]
+        ~doc:
+          "Best-effort netlist parsing: report and skip malformed statements instead of \
+           failing on the first one.")
 
 let circuit_arg =
   let doc = "Circuit: a suite name (syn208..syn13207), c17, lion, or a .bench file path." in
@@ -42,16 +62,16 @@ let seed_arg =
 (* --- stats ------------------------------------------------------- *)
 
 let stats_cmd =
-  let run spec = guard @@ fun () ->
-    let c = load_circuit spec in
+  let run spec recover = guard @@ fun () ->
+    let c = load_circuit ~recover spec in
     Format.printf "%a@." Stats.pp (Stats.of_circuit c);
-    let dead = Validate.dead_nodes c in
-    if Array.length dead > 0 then
-      Format.printf "warning: %d node(s) drive no output@." (Array.length dead)
+    List.iter
+      (fun d -> Format.printf "%a@." Util.Diagnostics.pp d)
+      (Validate.diagnostics c)
   in
   Cmd.v
     (Cmd.info "stats" ~doc:"Print circuit statistics")
-    Term.(const run $ circuit_arg)
+    Term.(const run $ circuit_arg $ recover_arg)
 
 (* --- faults ------------------------------------------------------ *)
 
@@ -182,22 +202,79 @@ let atpg_cmd =
       & opt (some string) None
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write generated vectors, one per line.")
   in
-  let run spec seed kind backtrack_limit out = guard @@ fun () ->
-    let c = load_circuit spec in
-    let setup = Pipeline.prepare ~seed c in
-    let config = { Engine.default_config with Engine.backtrack_limit; seed } in
-    let r = Pipeline.run_order ~config setup kind in
-    let e = r.Pipeline.engine in
-    let curve = Coverage.of_engine_result setup.Pipeline.faults e in
-    Printf.printf "order       : F%s\n" (Ordering.to_string kind);
-    Printf.printf "tests       : %d\n" (Patterns.count e.Engine.tests);
-    Printf.printf "coverage    : %.3f\n" (Engine.coverage setup.Pipeline.faults e);
-    Printf.printf "untestable  : %d proven, %d aborted\n" (List.length e.Engine.untestable)
-      (List.length e.Engine.aborted);
-    Printf.printf "AVE         : %.2f tests to detection\n" (Coverage.ave curve);
+  let retries =
+    Arg.(
+      value & opt int Engine.default_config.Engine.retries
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Escalation passes over backtrack-aborted faults, each with a doubled limit \
+             (0 disables).")
+  in
+  let time_budget =
+    Arg.(
+      value & opt (some float) None
+      & info [ "time-budget" ] ~docv:"SECONDS"
+          ~doc:"Whole-run wall-clock budget; the run stops cleanly at a fault boundary.")
+  in
+  let fault_budget =
+    Arg.(
+      value & opt (some float) None
+      & info [ "fault-budget" ] ~docv:"SECONDS"
+          ~doc:"Per-fault wall-clock budget; overrunning faults are classified out-of-budget.")
+  in
+  let checkpoint =
+    Arg.(
+      value & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Write a resumable checkpoint here periodically and on interruption (Ctrl-C \
+             or an expired time budget).")
+  in
+  let checkpoint_every =
+    Arg.(
+      value & opt int 32
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:"Checkpoint after every N targeted faults (with --checkpoint).")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:"Continue from the --checkpoint file if it exists; fresh run otherwise.")
+  in
+  let run spec seed kind backtrack_limit retries time_budget fault_budget checkpoint
+      checkpoint_every resume recover out = guard @@ fun () ->
+    let c = load_circuit ~recover spec in
+    let config =
+      {
+        Engine.default_config with
+        Engine.backtrack_limit;
+        seed;
+        retries;
+        time_budget_s = time_budget;
+        per_fault_budget_s = fault_budget;
+      }
+    in
+    (* With a checkpoint configured, Ctrl-C requests a clean stop at the
+       next fault boundary instead of killing the process mid-run. *)
+    let stop = ref false in
+    if checkpoint <> None then
+      Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> stop := true));
+    let r =
+      Harness.run_atpg ~seed ~order:kind ~config ?checkpoint ~checkpoint_every ~resume
+        ~should_stop:(fun () -> !stop) c
+    in
+    if checkpoint <> None then Sys.set_signal Sys.sigint Sys.Signal_default;
+    let e = r.Harness.result in
+    print_string r.Harness.report;
     Printf.printf "runtime     : %.3fs (%d decisions, %d backtracks)\n" e.Engine.runtime_s
       e.Engine.stats.Podem.decisions e.Engine.stats.Podem.backtracks;
-    match out with
+    (match r.Harness.checkpoint_saved with
+    | Some path -> Printf.printf "checkpoint  : saved to %s (rerun with --resume)\n" path
+    | None ->
+        if e.Engine.interrupted then
+          Printf.printf "checkpoint  : none (pass --checkpoint FILE to make runs resumable)\n");
+    (match out with
     | None -> ()
     | Some path ->
         let oc = open_out path in
@@ -207,11 +284,14 @@ let atpg_cmd =
             Array.iter
               (fun s -> output_string oc (s ^ "\n"))
               (Patterns.to_strings e.Engine.tests));
-        Printf.printf "wrote %s\n" path
+        Printf.printf "wrote %s\n" path);
+    if e.Engine.interrupted then exit 3
   in
   Cmd.v
     (Cmd.info "atpg" ~doc:"Generate a test set with a chosen fault order")
-    Term.(const run $ circuit_arg $ seed_arg $ order_opt $ backtracks $ out)
+    Term.(
+      const run $ circuit_arg $ seed_arg $ order_opt $ backtracks $ retries $ time_budget
+      $ fault_budget $ checkpoint $ checkpoint_every $ resume $ recover_arg $ out)
 
 (* --- gen --------------------------------------------------------- *)
 

@@ -17,6 +17,7 @@ type state = {
   values : Five.t array;
   in_cone : bool array;  (* transitive fanout of the fault site *)
   limit : int;
+  deadline : Util.Budget.t;
   mutable trail : (int * Five.t) list;
   mutable queue : int list;  (* nodes to (re)examine *)
 }
@@ -228,6 +229,7 @@ and branch st alternatives =
   let rec go = function
     | [] -> false
     | apply :: rest ->
+        if Util.Budget.expired st.deadline then raise Podem.Budget_exhausted;
         st.stats.Podem.decisions <- st.stats.Podem.decisions + 1;
         let ok = (try apply (); true with Conflict -> false) && search st in
         if ok then true
@@ -348,7 +350,7 @@ let has_wide_parity c =
       | _ -> ());
   !wide
 
-let generate ?(backtrack_limit = 256) ?stats c scoap fault =
+let generate ?(backtrack_limit = 256) ?(deadline = Util.Budget.unlimited) ?stats c scoap fault =
   if Circuit.has_state c then invalid_arg "Dalg.generate: circuit must be combinational";
   let stats = match stats with Some s -> s | None -> Podem.fresh_stats () in
   let n = Circuit.node_count c in
@@ -364,6 +366,7 @@ let generate ?(backtrack_limit = 256) ?stats c scoap fault =
       values = Array.make n Five.X;
       in_cone;
       limit = backtrack_limit;
+      deadline;
       trail = [];
       queue = [];
     }
@@ -397,6 +400,7 @@ let generate ?(backtrack_limit = 256) ?stats c scoap fault =
       else Podem.Untestable
     with
     | Abort -> Podem.Aborted
+    | Podem.Budget_exhausted -> Podem.Out_of_budget
     | Conflict -> if has_wide_parity c then Podem.Aborted else Podem.Untestable
   in
   outcome

@@ -19,7 +19,13 @@
     {!Podem.Untestable}. *)
 
 val generate :
-  ?backtrack_limit:int -> ?stats:Podem.stats -> Circuit.t -> Scoap.t -> Fault.t -> Podem.outcome
+  ?backtrack_limit:int ->
+  ?deadline:Util.Budget.t ->
+  ?stats:Podem.stats ->
+  Circuit.t ->
+  Scoap.t ->
+  Fault.t ->
+  Podem.outcome
 (** Same contract as {!Podem.generate} (default [backtrack_limit]
-    256): a returned cube detects the fault for every fill; the
-    circuit must be combinational. *)
+    256, unlimited [deadline]): a returned cube detects the fault for
+    every fill; the circuit must be combinational. *)

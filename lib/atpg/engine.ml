@@ -1,10 +1,45 @@
 module Rng = Util.Rng
+module Budget = Util.Budget
 
 type generator = Podem_gen | Dalg_gen
 
-type config = { backtrack_limit : int; seed : int; generator : generator }
+type config = {
+  backtrack_limit : int;
+  seed : int;
+  generator : generator;
+  retries : int;
+  time_budget_s : float option;
+  per_fault_budget_s : float option;
+}
 
-let default_config = { backtrack_limit = 256; seed = 0xAD1; generator = Podem_gen }
+let default_config =
+  {
+    backtrack_limit = 256;
+    seed = 0xAD1;
+    generator = Podem_gen;
+    retries = 1;
+    time_budget_s = None;
+    per_fault_budget_s = None;
+  }
+
+type snapshot = {
+  snap_pass : int;
+  snap_schedule : int array;
+  snap_pos : int;
+  snap_limit : int;
+  snap_retry_rev : int list;
+  snap_ever_retried : bool array;
+  snap_detected_by : int array;
+  snap_tests_rev : bool array list;
+  snap_targeted_rev : int list;
+  snap_untestable_rev : int list;
+  snap_out_of_budget_rev : int list;
+  snap_n_tests : int;
+  snap_rng_state : int64;
+  snap_decisions : int;
+  snap_backtracks : int;
+  snap_implications : int;
+}
 
 type result = {
   tests : Patterns.t;
@@ -12,6 +47,10 @@ type result = {
   targeted : int array;
   untestable : int list;
   aborted : int list;
+  out_of_budget : int list;
+  retry_recovered : int;
+  interrupted : bool;
+  snapshot : snapshot option;
   stats : Podem.stats;
   runtime_s : float;
 }
@@ -30,22 +69,78 @@ let check_order n order =
       seen.(i) <- true)
     order
 
-let run ?(config = default_config) fl ~order =
+let run ?(config = default_config) ?resume ?checkpoint_every ?on_checkpoint
+    ?(should_stop = fun () -> false) fl ~order =
+  if config.retries < 0 then invalid_arg "Engine.run: retries must be non-negative";
   let c = Fault_list.circuit fl in
   let nf = Fault_list.count fl in
   check_order nf order;
   let t0 = Unix.gettimeofday () in
   let scoap = Scoap.compute c in
   let ws = Faultsim.workspace c in
-  let rng = Rng.create config.seed in
   let stats = Podem.fresh_stats () in
   let ctx = Podem.context ~stats c scoap in
+  let run_budget = Budget.of_seconds_opt config.time_budget_s in
+  (* Mutable run state, either fresh or rebuilt from a checkpoint
+     snapshot.  Everything needed to continue deterministically lives
+     here: pass structure, partial classifications, and the RNG. *)
+  let pass = ref 0 in
+  let schedule = ref order in
+  let pos = ref 0 in
+  let limit = ref config.backtrack_limit in
+  let retry_rev = ref [] in
+  let ever_retried = Array.make nf false in
   let detected_by = Array.make nf (-1) in
-  let untestable = ref [] and aborted = ref [] in
-  let tests = ref [] and targeted = ref [] and n_tests = ref 0 in
+  let tests_rev = ref [] in
+  let targeted_rev = ref [] in
+  let untestable_rev = ref [] in
+  let out_of_budget_rev = ref [] in
+  let n_tests = ref 0 in
+  let rng =
+    match resume with
+    | None -> Rng.create config.seed
+    | Some s ->
+        if Array.length s.snap_detected_by <> nf || Array.length s.snap_ever_retried <> nf
+        then invalid_arg "Engine.run: snapshot does not match the fault list";
+        pass := s.snap_pass;
+        schedule := Array.copy s.snap_schedule;
+        pos := s.snap_pos;
+        limit := s.snap_limit;
+        retry_rev := s.snap_retry_rev;
+        Array.blit s.snap_ever_retried 0 ever_retried 0 nf;
+        Array.blit s.snap_detected_by 0 detected_by 0 nf;
+        tests_rev := s.snap_tests_rev;
+        targeted_rev := s.snap_targeted_rev;
+        untestable_rev := s.snap_untestable_rev;
+        out_of_budget_rev := s.snap_out_of_budget_rev;
+        n_tests := s.snap_n_tests;
+        stats.Podem.decisions <- s.snap_decisions;
+        stats.Podem.backtracks <- s.snap_backtracks;
+        stats.Podem.implications <- s.snap_implications;
+        Rng.restore s.snap_rng_state
+  in
+  let snap () =
+    {
+      snap_pass = !pass;
+      snap_schedule = Array.copy !schedule;
+      snap_pos = !pos;
+      snap_limit = !limit;
+      snap_retry_rev = !retry_rev;
+      snap_ever_retried = Array.copy ever_retried;
+      snap_detected_by = Array.copy detected_by;
+      snap_tests_rev = !tests_rev;
+      snap_targeted_rev = !targeted_rev;
+      snap_untestable_rev = !untestable_rev;
+      snap_out_of_budget_rev = !out_of_budget_rev;
+      snap_n_tests = !n_tests;
+      snap_rng_state = Rng.state rng;
+      snap_decisions = stats.Podem.decisions;
+      snap_backtracks = stats.Podem.backtracks;
+      snap_implications = stats.Podem.implications;
+    }
+  in
   let n_inputs = Array.length (Circuit.inputs c) in
   let good = Array.make (Circuit.node_count c) 0L in
-  (* Fault-simulate one vector against all live faults and drop hits. *)
   let simulate_and_drop vec test_idx =
     let pats = Patterns.of_vectors ~n_inputs [| vec |] in
     Goodsim.block_into c pats 0 good;
@@ -55,39 +150,109 @@ let run ?(config = default_config) fl ~order =
           detected_by.(fi) <- test_idx
     done
   in
-  Array.iter
-    (fun fi ->
-      if detected_by.(fi) < 0 then begin
-        match
-          (match config.generator with
-          | Podem_gen ->
-              Podem.generate_in ~backtrack_limit:config.backtrack_limit ctx
-                (Fault_list.get fl fi)
-          | Dalg_gen ->
-              Dalg.generate ~backtrack_limit:config.backtrack_limit ~stats c scoap
-                (Fault_list.get fl fi))
-        with
-        | Podem.Untestable -> untestable := fi :: !untestable
-        | Podem.Aborted -> aborted := fi :: !aborted
-        | Podem.Test cube ->
-            let vec = fill_cube rng cube in
-            let idx = !n_tests in
-            tests := vec :: !tests;
-            targeted := fi :: !targeted;
-            incr n_tests;
-            simulate_and_drop vec idx;
-            (* Five-valued D-propagation is pessimistic, so the cube
-               detects the target for every fill of its don't-cares. *)
-            assert (detected_by.(fi) = idx)
-      end)
-    order;
-  let tests_arr = Array.of_list (List.rev !tests) in
+  let interrupted = ref false in
+  let since_checkpoint = ref 0 in
+  let maybe_checkpoint () =
+    match (checkpoint_every, on_checkpoint) with
+    | Some every, Some save ->
+        incr since_checkpoint;
+        if !since_checkpoint >= every then begin
+          since_checkpoint := 0;
+          save (snap ())
+        end
+    | _ -> ()
+  in
+  (* Generate for one fault; returns false when the whole-run budget
+     fired mid-search, in which case the fault stays pending and the
+     partial search effort is rolled back so a resumed run reproduces
+     the stats of an uninterrupted one. *)
+  let process fi =
+    if detected_by.(fi) >= 0 then true
+    else begin
+      let d0 = stats.Podem.decisions
+      and b0 = stats.Podem.backtracks
+      and i0 = stats.Podem.implications in
+      let deadline = Budget.sub_opt run_budget config.per_fault_budget_s in
+      let outcome =
+        match config.generator with
+        | Podem_gen ->
+            Podem.generate_in ~backtrack_limit:!limit ~deadline ctx (Fault_list.get fl fi)
+        | Dalg_gen ->
+            Dalg.generate ~backtrack_limit:!limit ~deadline ~stats c scoap
+              (Fault_list.get fl fi)
+      in
+      match outcome with
+      | Podem.Untestable ->
+          untestable_rev := fi :: !untestable_rev;
+          true
+      | Podem.Aborted ->
+          retry_rev := fi :: !retry_rev;
+          true
+      | Podem.Out_of_budget ->
+          if Budget.expired run_budget then begin
+            stats.Podem.decisions <- d0;
+            stats.Podem.backtracks <- b0;
+            stats.Podem.implications <- i0;
+            false
+          end
+          else begin
+            out_of_budget_rev := fi :: !out_of_budget_rev;
+            true
+          end
+      | Podem.Test cube ->
+          let vec = fill_cube rng cube in
+          let idx = !n_tests in
+          tests_rev := vec :: !tests_rev;
+          targeted_rev := fi :: !targeted_rev;
+          incr n_tests;
+          simulate_and_drop vec idx;
+          (* Five-valued D-propagation is pessimistic, so the cube
+             detects the target for every fill of its don't-cares. *)
+          assert (detected_by.(fi) = idx);
+          true
+    end
+  in
+  let rec passes () =
+    while !pos < Array.length !schedule && not !interrupted do
+      if should_stop () || Budget.expired run_budget then interrupted := true
+      else if process !schedule.(!pos) then begin
+        incr pos;
+        maybe_checkpoint ()
+      end
+      else interrupted := true
+    done;
+    if not !interrupted then begin
+      let retry = List.rev !retry_rev in
+      if retry <> [] && !pass < config.retries then begin
+        (* Escalation: give every abort a second chance with twice the
+           backtrack budget while wall-clock budget remains. *)
+        List.iter (fun fi -> ever_retried.(fi) <- true) retry;
+        incr pass;
+        schedule := Array.of_list retry;
+        retry_rev := [];
+        pos := 0;
+        limit := !limit * 2;
+        passes ()
+      end
+    end
+  in
+  passes ();
+  let aborted = List.rev !retry_rev in
+  let in_final = Array.make nf false in
+  List.iter (fun fi -> in_final.(fi) <- true) aborted;
+  let retry_recovered = ref 0 in
+  Array.iteri (fun fi r -> if r && not in_final.(fi) then incr retry_recovered) ever_retried;
+  let tests_arr = Array.of_list (List.rev !tests_rev) in
   {
     tests = Patterns.of_vectors ~n_inputs tests_arr;
     detected_by;
-    targeted = Array.of_list (List.rev !targeted);
-    untestable = List.rev !untestable;
-    aborted = List.rev !aborted;
+    targeted = Array.of_list (List.rev !targeted_rev);
+    untestable = List.rev !untestable_rev;
+    aborted;
+    out_of_budget = List.rev !out_of_budget_rev;
+    retry_recovered = !retry_recovered;
+    interrupted = !interrupted;
+    snapshot = (if !interrupted then Some (snap ()) else None);
     stats;
     runtime_s = Unix.gettimeofday () -. t0;
   }
@@ -103,10 +268,12 @@ let run_n_detect ?(config = default_config) ~n fl ~order =
   let rng = Rng.create config.seed in
   let stats = Podem.fresh_stats () in
   let ctx = Podem.context ~stats c scoap in
+  let run_budget = Budget.of_seconds_opt config.time_budget_s in
   let counts = Array.make nf 0 in
   let detected_by = Array.make nf (-1) in
-  let untestable = ref [] and aborted = ref [] in
+  let untestable = ref [] and aborted = ref [] and out_of_budget = ref [] in
   let tests = ref [] and targeted = ref [] and n_tests = ref 0 in
+  let interrupted = ref false in
   let n_inputs = Array.length (Circuit.inputs c) in
   let good = Array.make (Circuit.node_count c) 0L in
   let hopeless = Array.make nf false in
@@ -125,9 +292,11 @@ let run_n_detect ?(config = default_config) ~n fl ~order =
   for pass = 1 to n do
     Array.iter
       (fun fi ->
-        if counts.(fi) < pass && not hopeless.(fi) then begin
+        if Budget.expired run_budget then interrupted := true
+        else if counts.(fi) < pass && (not hopeless.(fi)) && not !interrupted then begin
+          let deadline = Budget.sub_opt run_budget config.per_fault_budget_s in
           match
-            Podem.generate_in ~backtrack_limit:config.backtrack_limit ctx
+            Podem.generate_in ~backtrack_limit:config.backtrack_limit ~deadline ctx
               (Fault_list.get fl fi)
           with
           | Podem.Untestable ->
@@ -136,6 +305,12 @@ let run_n_detect ?(config = default_config) ~n fl ~order =
           | Podem.Aborted ->
               hopeless.(fi) <- true;
               if pass = 1 then aborted := fi :: !aborted
+          | Podem.Out_of_budget ->
+              if Budget.expired run_budget then interrupted := true
+              else begin
+                hopeless.(fi) <- true;
+                if pass = 1 then out_of_budget := fi :: !out_of_budget
+              end
           | Podem.Test cube ->
               let vec = fill_cube rng cube in
               let idx = !n_tests in
@@ -153,6 +328,10 @@ let run_n_detect ?(config = default_config) ~n fl ~order =
     targeted = Array.of_list (List.rev !targeted);
     untestable = List.rev !untestable;
     aborted = List.rev !aborted;
+    out_of_budget = List.rev !out_of_budget;
+    retry_recovered = 0;
+    interrupted = !interrupted;
+    snapshot = None;
     stats;
     runtime_s = Unix.gettimeofday () -. t0;
   }
@@ -167,9 +346,11 @@ let run_compacting ?(config = default_config) ?(secondary_limit = 50) fl ~order 
   let rng = Rng.create config.seed in
   let stats = Podem.fresh_stats () in
   let ctx = Podem.context ~stats c scoap in
+  let run_budget = Budget.of_seconds_opt config.time_budget_s in
   let detected_by = Array.make nf (-1) in
-  let untestable = ref [] and aborted = ref [] in
+  let untestable = ref [] and aborted = ref [] and out_of_budget = ref [] in
   let tests = ref [] and targeted = ref [] and n_tests = ref 0 in
+  let interrupted = ref false in
   let n_inputs = Array.length (Circuit.inputs c) in
   let good = Array.make (Circuit.node_count c) 0L in
   let simulate_and_drop vec test_idx =
@@ -184,28 +365,38 @@ let run_compacting ?(config = default_config) ?(secondary_limit = 50) fl ~order 
   let cube_full cube = Array.for_all (fun t -> t <> Ternary.X) cube in
   Array.iteri
     (fun pos fi ->
-      if detected_by.(fi) < 0 then begin
+      if Budget.expired run_budget then interrupted := true
+      else if detected_by.(fi) < 0 && not !interrupted then begin
+        let deadline = Budget.sub_opt run_budget config.per_fault_budget_s in
         match
-          Podem.generate_in ~backtrack_limit:config.backtrack_limit ctx (Fault_list.get fl fi)
+          Podem.generate_in ~backtrack_limit:config.backtrack_limit ~deadline ctx
+            (Fault_list.get fl fi)
         with
         | Podem.Untestable -> untestable := fi :: !untestable
         | Podem.Aborted -> aborted := fi :: !aborted
+        | Podem.Out_of_budget ->
+            if Budget.expired run_budget then interrupted := true
+            else out_of_budget := fi :: !out_of_budget
         | Podem.Test cube ->
             (* Secondary targets: later undetected faults, under the
                primary cube's assignments. *)
             let cube = ref cube in
             let attempts = ref 0 in
             let rec secondary i =
-              if i < nf && !attempts < secondary_limit && not (cube_full !cube) then begin
+              if
+                i < nf && !attempts < secondary_limit
+                && (not (cube_full !cube))
+                && not (Budget.expired run_budget)
+              then begin
                 let gi = order.(i) in
                 if detected_by.(gi) < 0 && gi <> fi then begin
                   incr attempts;
                   match
-                    Podem.generate_in ~backtrack_limit:config.backtrack_limit ~fixed:!cube ctx
-                      (Fault_list.get fl gi)
+                    Podem.generate_in ~backtrack_limit:config.backtrack_limit ~deadline
+                      ~fixed:!cube ctx (Fault_list.get fl gi)
                   with
                   | Podem.Test merged -> cube := merged
-                  | Podem.Untestable | Podem.Aborted -> ()
+                  | Podem.Untestable | Podem.Aborted | Podem.Out_of_budget -> ()
                 end;
                 secondary (i + 1)
               end
@@ -227,6 +418,10 @@ let run_compacting ?(config = default_config) ?(secondary_limit = 50) fl ~order 
     targeted = Array.of_list (List.rev !targeted);
     untestable = List.rev !untestable;
     aborted = List.rev !aborted;
+    out_of_budget = List.rev !out_of_budget;
+    retry_recovered = 0;
+    interrupted = !interrupted;
+    snapshot = None;
     stats;
     runtime_s = Unix.gettimeofday () -. t0;
   }

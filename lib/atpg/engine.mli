@@ -5,17 +5,65 @@
     For each not-yet-detected fault, in order: run PODEM; fill the
     returned cube's don't-cares randomly; fault-simulate the resulting
     vector against all live faults and drop everything it detects.
-    Faults proven untestable or aborted are recorded and skipped. *)
+    Faults proven untestable, aborted, or out of budget are recorded
+    and skipped.
+
+    {2 Resilience}
+
+    Long runs degrade gracefully instead of dying:
+
+    - {e Abort-retry escalation}: faults that hit the backtrack limit
+      are queued and retried in up to [retries] further passes, each
+      with a doubled limit — standard production-ATPG practice that
+      typically recovers coverage for free.
+    - {e Time budgets}: a whole-run wall-clock budget and an optional
+      per-fault slice.  A fault whose slice expires is classified
+      [out_of_budget] (distinct from backtrack-[aborted]); when the
+      whole-run budget expires the engine stops at a fault boundary
+      and reports [interrupted].
+    - {e Checkpoint/resume}: a {!snapshot} captures everything needed
+      to continue deterministically (pass structure, partial
+      classifications, tests, RNG state, search statistics).  A run
+      resumed from a snapshot produces exactly the result the
+      uninterrupted run would have. *)
 
 type generator = Podem_gen | Dalg_gen
 
 type config = {
-  backtrack_limit : int;  (** search backtrack cap (default 256) *)
+  backtrack_limit : int;  (** first-pass search backtrack cap (default 256) *)
   seed : int;  (** random-fill seed (default 0xAD1) *)
   generator : generator;  (** which ATPG drives the loop (default PODEM) *)
+  retries : int;
+      (** escalation passes over aborted faults, each doubling the
+          backtrack limit (default 1; 0 disables escalation) *)
+  time_budget_s : float option;
+      (** whole-run wall-clock budget (default [None] = unlimited) *)
+  per_fault_budget_s : float option;
+      (** per-fault wall-clock slice (default [None] = unlimited) *)
 }
 
 val default_config : config
+
+type snapshot = {
+  snap_pass : int;  (** current escalation pass (0-based) *)
+  snap_schedule : int array;  (** fault indices of the current pass *)
+  snap_pos : int;  (** next unprocessed index into [snap_schedule] *)
+  snap_limit : int;  (** backtrack limit of the current pass *)
+  snap_retry_rev : int list;  (** aborts accumulated this pass (reversed) *)
+  snap_ever_retried : bool array;
+  snap_detected_by : int array;
+  snap_tests_rev : bool array list;  (** generated vectors (reversed) *)
+  snap_targeted_rev : int list;
+  snap_untestable_rev : int list;
+  snap_out_of_budget_rev : int list;
+  snap_n_tests : int;
+  snap_rng_state : int64;  (** random-fill generator state *)
+  snap_decisions : int;
+  snap_backtracks : int;
+  snap_implications : int;
+}
+(** A self-contained, serialisable (plain-data) capture of an
+    in-flight {!run} at a fault boundary. *)
 
 type result = {
   tests : Patterns.t;  (** generated vectors, in generation order *)
@@ -25,17 +73,43 @@ type result = {
   targeted : int array;
       (** per test: the fault index the test was generated for *)
   untestable : int list;  (** proven redundant faults *)
-  aborted : int list;  (** backtrack-limit hits *)
+  aborted : int list;  (** backtrack-limit hits remaining after all retry passes *)
+  out_of_budget : int list;  (** per-fault time-budget hits *)
+  retry_recovered : int;
+      (** faults that aborted in an earlier pass but were resolved
+          (tested, dropped, or proven untestable) by escalation *)
+  interrupted : bool;
+      (** true when the run stopped early (whole-run budget or
+          [should_stop]); remaining faults are unclassified *)
+  snapshot : snapshot option;  (** resume point, present iff [interrupted] *)
   stats : Podem.stats;  (** accumulated search statistics *)
   runtime_s : float;  (** wall-clock generation time *)
 }
 
-val run : ?config:config -> Fault_list.t -> order:int array -> result
+val run :
+  ?config:config ->
+  ?resume:snapshot ->
+  ?checkpoint_every:int ->
+  ?on_checkpoint:(snapshot -> unit) ->
+  ?should_stop:(unit -> bool) ->
+  Fault_list.t ->
+  order:int array ->
+  result
 (** [run fl ~order] generates a test set.  [order] is a permutation of
     fault indices (see {!Ordering}); the engine considers faults in
     exactly this order.
+
+    [resume] continues a previous run from its snapshot (the caller
+    must supply the same fault list, order, and config seed for the
+    continuation to be meaningful).  When [checkpoint_every] and
+    [on_checkpoint] are both given, the callback receives a fresh
+    snapshot after every [checkpoint_every] processed faults.
+    [should_stop] is polled between faults; returning [true] stops the
+    run at the next boundary with [interrupted = true] and a final
+    snapshot in the result.
+
     @raise Invalid_argument if [order] is not a permutation of
-    [0 .. count-1]. *)
+    [0 .. count-1], or the snapshot does not match the fault list. *)
 
 val coverage : Fault_list.t -> result -> float
 (** Fraction of faults detected, over faults not proven untestable. *)
@@ -47,7 +121,9 @@ val run_n_detect :
     result's [detected_by] holds first detections; tests added by later
     passes only raise multiplicity.  n-detect sets drive the
     n-detection ADI estimate and are standard practice for defect
-    coverage beyond the stuck-at model. *)
+    coverage beyond the stuck-at model.  Honours the config's time
+    budgets (stopping with [interrupted] on run-budget expiry) but
+    performs no abort-retry escalation and offers no checkpointing. *)
 
 val run_compacting :
   ?config:config -> ?secondary_limit:int -> Fault_list.t -> order:int array -> result
@@ -56,7 +132,8 @@ val run_compacting :
     [secondary_limit] (default 50) further undetected faults are
     targeted under the cube's assignments, merging every success into
     the vector before random fill.  This is the costly alternative the
-    ADI ordering competes with; ablation A8 compares them. *)
+    ADI ordering competes with; ablation A8 compares them.  Budget
+    handling as {!run_n_detect}; no escalation or checkpointing. *)
 
 val fill_cube : Util.Rng.t -> Ternary.t array -> bool array
 (** Replace don't-cares with random values. *)

@@ -43,7 +43,7 @@ let remove ?(backtrack_limit = 4096) ?(random_vectors = 2048) ?(seed = 7) ?(max_
         if d < 0 then
           match Podem.generate_in ~backtrack_limit ctx (Fault_list.get fl fi) with
           | Podem.Test _ -> ()
-          | Podem.Aborted -> incr aborted
+          | Podem.Aborted | Podem.Out_of_budget -> incr aborted
           | Podem.Untestable ->
               let f = Fault_list.get fl fi in
               if substitution_is_effective c f then untestable := f :: !untestable)

@@ -1,4 +1,6 @@
-type outcome = Test of Ternary.t array | Untestable | Aborted
+type outcome = Test of Ternary.t array | Untestable | Aborted | Out_of_budget
+
+exception Budget_exhausted
 
 type stats = {
   mutable backtracks : int;
@@ -14,6 +16,7 @@ type state = {
   c : Circuit.t;
   scoap : Scoap.t;
   mutable fault : Fault.t;
+  mutable deadline : Util.Budget.t;
   stats : stats;
   values : Five.t array;
   buckets : int list array;
@@ -269,7 +272,11 @@ let rec backtrace st n v =
           let target = v <> Gate.inverting k in
           backtrace st f (target <> !known_parity))
 
+let check_budget st =
+  if Util.Budget.expired st.deadline then raise Budget_exhausted
+
 let rec search st limit =
+  check_budget st;
   match objective st with
   | Done -> `Success
   | Conflict -> backtrack st limit
@@ -309,6 +316,7 @@ let context ?stats c scoap =
     c;
     scoap;
     fault = Fault.stem 0 false;
+    deadline = Util.Budget.unlimited;
     stats;
     values = Array.make (Circuit.node_count c) Five.X;
     buckets = Array.make (Circuit.depth c + 1) [];
@@ -325,9 +333,10 @@ let reset st =
   st.written <- [];
   st.stack <- []
 
-let generate_in ?(backtrack_limit = 256) ?fixed st fault =
+let generate_in ?(backtrack_limit = 256) ?(deadline = Util.Budget.unlimited) ?fixed st fault =
   reset st;
   st.fault <- fault;
+  st.deadline <- deadline;
   (* Mark-free scratch is assumed: xpath_marks writes exactly the cone
      entries it reads, so switching cones needs no global reset (stale
      entries outside the new cone are never read). *)
@@ -360,6 +369,7 @@ let generate_in ?(backtrack_limit = 256) ?fixed st fault =
       Test cube
   | `Untestable -> Untestable
   | `Aborted -> Aborted
+  | exception Budget_exhausted -> Out_of_budget
 
-let generate ?backtrack_limit ?stats c scoap fault =
-  generate_in ?backtrack_limit (context ?stats c scoap) fault
+let generate ?backtrack_limit ?deadline ?stats c scoap fault =
+  generate_in ?backtrack_limit ?deadline (context ?stats c scoap) fault

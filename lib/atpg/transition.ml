@@ -30,7 +30,7 @@ let find_initialiser ?(attempts = 512) rng c f =
   let from_cube () =
     match Podem.generate c scoap (Fault.stem f.node (not want)) with
     | Podem.Test cube -> Some (Engine.fill_cube rng cube)
-    | Podem.Untestable | Podem.Aborted -> None
+    | Podem.Untestable | Podem.Aborted | Podem.Out_of_budget -> None
   in
   let n_inputs = Array.length (Circuit.inputs c) in
   let rec random k =
@@ -48,7 +48,7 @@ let generate ?(backtrack_limit = 256) ?(seed = 0xDE1A) c scoap f =
   let rng = Rng.create seed in
   match Podem.generate ~backtrack_limit c scoap (Fault.stem f.node (not f.rising)) with
   | Podem.Untestable -> Untestable
-  | Podem.Aborted -> Aborted
+  | Podem.Aborted | Podem.Out_of_budget -> Aborted
   | Podem.Test cube -> (
       let v2 = Engine.fill_cube rng cube in
       match find_initialiser rng c f with

@@ -6,11 +6,10 @@ type fsm = {
   transitions : (string * string * string * string) array;
 }
 
-exception Parse_error of int * string
+module D = Util.Diagnostics
 
-let fail line fmt = Printf.ksprintf (fun m -> raise (Parse_error (line, m))) fmt
-
-let parse_string ?(name = "fsm") text =
+let parse_string ?file ?(name = "fsm") text =
+  let fail line code fmt = D.fail ~loc:{ file; line } code fmt in
   let n_inputs = ref (-1) and n_outputs = ref (-1) in
   let reset = ref None in
   let transitions = ref [] in
@@ -28,28 +27,28 @@ let parse_string ?(name = "fsm") text =
         | [ ".p"; _ ] | [ ".s"; _ ] -> ()
         | [ ".r"; s ] -> reset := Some s
         | [ ".e" ] | [ ".end" ] -> ()
-        | _ -> fail lineno "unknown directive %S" line
+        | _ -> fail lineno D.Bad_directive "unknown directive %S" line
       end
       else
         match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
         | [ inp; cur; nxt; out ] ->
             if !n_inputs >= 0 && String.length inp <> !n_inputs then
-              fail lineno "input pattern %S has wrong width" inp;
+              fail lineno D.Syntax "input pattern %S has wrong width" inp;
             if !n_outputs >= 0 && String.length out <> !n_outputs then
-              fail lineno "output pattern %S has wrong width" out;
+              fail lineno D.Syntax "output pattern %S has wrong width" out;
             see_state cur;
             see_state nxt;
             transitions := (inp, cur, nxt, out) :: !transitions
-        | _ -> fail lineno "malformed transition %S" line)
+        | _ -> fail lineno D.Syntax "malformed transition %S" line)
     (String.split_on_char '\n' text);
-  if !n_inputs < 0 then fail 0 "missing .i";
-  if !n_outputs < 0 then fail 0 "missing .o";
+  if !n_inputs < 0 then fail 0 D.Bad_directive "missing .i";
+  if !n_outputs < 0 then fail 0 D.Bad_directive "missing .o";
   let states = List.rev !state_order in
   let states =
     match !reset with
     | None -> states
     | Some r ->
-        if not (List.mem r states) then fail 0 "reset state %S has no transition" r;
+        if not (List.mem r states) then fail 0 D.Undefined_ref "reset state %S has no transition" r;
         r :: List.filter (fun s -> s <> r) states
   in
   {

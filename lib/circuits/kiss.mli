@@ -22,9 +22,9 @@ type fsm = {
           pattern with '-') *)
 }
 
-exception Parse_error of int * string
-
-val parse_string : ?name:string -> string -> fsm
+(** Parse a KISS2 description.  [file] only labels diagnostics.
+    @raise Util.Diagnostics.Failed on malformed input. *)
+val parse_string : ?file:string -> ?name:string -> string -> fsm
 val state_bits : fsm -> int
 
 val to_combinational : fsm -> Circuit.t

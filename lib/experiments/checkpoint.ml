@@ -1,0 +1,63 @@
+module Diagnostics = Util.Diagnostics
+
+let magic = "ADI-ATPG-CKPT"
+let version = 2
+
+type t = {
+  circuit_title : string;
+  circuit_digest : string;
+  seed : int;
+  order_kind : string;
+  generator : string;
+  backtrack_limit : int;
+  retries : int;
+  order : int array;
+  snapshot : Engine.snapshot;
+}
+
+let digest_of_circuit c = Digest.to_hex (Digest.string (Bench_format.to_string c))
+
+let save path t =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      Printf.fprintf oc "%s v%d\n" magic version;
+      Marshal.to_channel oc t []);
+  (* Atomic publish: a crash mid-write never corrupts an existing
+     checkpoint, at worst it leaves a stale .tmp behind. *)
+  Sys.rename tmp path
+
+let load path =
+  let fail code fmt = Diagnostics.fail ~loc:{ file = Some path; line = 0 } code fmt in
+  let ic =
+    try open_in_bin path
+    with Sys_error msg -> Diagnostics.fail Diagnostics.Io_error "%s" msg
+  in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let header = try input_line ic with End_of_file -> "" in
+      (match String.split_on_char ' ' header with
+      | [ m; v ] when m = magic ->
+          if v <> Printf.sprintf "v%d" version then
+            fail Diagnostics.Checkpoint_format
+              "unsupported checkpoint version %s (this build reads v%d)" v version
+      | _ ->
+          fail Diagnostics.Checkpoint_format
+            "not an %s checkpoint (bad header %S)" magic header);
+      try (Marshal.from_channel ic : t)
+      with Failure _ | End_of_file ->
+        fail Diagnostics.Checkpoint_format "truncated or corrupt checkpoint payload")
+
+let matches ck ~circuit ~seed ~order_kind ~generator ~backtrack_limit ~retries ~order =
+  let mismatch what = Error (Printf.sprintf "checkpoint was taken with a different %s" what) in
+  if ck.circuit_digest <> digest_of_circuit circuit then mismatch "circuit"
+  else if ck.seed <> seed then mismatch "seed"
+  else if ck.order_kind <> order_kind then mismatch "fault order"
+  else if ck.generator <> generator then mismatch "generator"
+  else if ck.backtrack_limit <> backtrack_limit then mismatch "backtrack limit"
+  else if ck.retries <> retries then mismatch "retry count"
+  else if ck.order <> order then mismatch "fault ordering"
+  else Ok ()

@@ -44,6 +44,116 @@ let ablation_evals ?(seed = 1) () =
   |> List.map (fun (e : Suite.entry) ->
          Evaluation.evaluate ~orders ~seed ~paper_name:e.Suite.paper_name (Suite.build e))
 
+(* --- resilient single-circuit ATPG ------------------------------- *)
+
+type atpg_run = {
+  setup : Pipeline.setup;
+  kind : Ordering.kind;
+  result : Engine.result;
+  report : string;
+  checkpoint_saved : string option;
+}
+
+let generator_name = function Engine.Podem_gen -> "podem" | Engine.Dalg_gen -> "dalg"
+
+(* Deliberately free of wall-clock fields: an interrupted run resumed
+   from its checkpoint must render byte-identically to the
+   uninterrupted run. *)
+let atpg_report ~kind ~faults (e : Engine.result) =
+  let b = Buffer.create 256 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf "order       : F%s\n" (Ordering.to_string kind);
+  pf "tests       : %d\n" (Patterns.count e.Engine.tests);
+  pf "coverage    : %.3f\n" (Engine.coverage faults e);
+  pf "untestable  : %d proven, %d aborted, %d out-of-budget\n"
+    (List.length e.Engine.untestable)
+    (List.length e.Engine.aborted)
+    (List.length e.Engine.out_of_budget);
+  if e.Engine.retry_recovered > 0 then
+    pf "recovered   : %d aborted fault(s) resolved by retry\n" e.Engine.retry_recovered;
+  if e.Engine.interrupted then begin
+    let total = Fault_list.count faults in
+    let detected =
+      Array.fold_left (fun acc t -> if t >= 0 then acc + 1 else acc) 0 e.Engine.detected_by
+    in
+    let pending =
+      total - detected
+      - List.length e.Engine.untestable
+      - List.length e.Engine.out_of_budget
+    in
+    pf "status      : INTERRUPTED (%d of %d faults pending)\n" pending total
+  end
+  else
+    pf "AVE         : %.2f tests to detection\n"
+      (Coverage.ave (Coverage.of_engine_result faults e));
+  Buffer.contents b
+
+let run_atpg ?(seed = 1) ?(order = Ordering.Dynm0) ?config ?checkpoint
+    ?(checkpoint_every = 32) ?(resume = false) ?should_stop circuit =
+  let config =
+    match config with Some c -> c | None -> { Engine.default_config with Engine.seed }
+  in
+  let setup = Pipeline.prepare ~seed circuit in
+  let order_arr = Ordering.order order setup.Pipeline.adi in
+  let order_kind = Ordering.to_string order in
+  let generator = generator_name config.Engine.generator in
+  let resume_snap =
+    match (resume, checkpoint) with
+    | false, _ -> None
+    | true, None -> invalid_arg "Harness.run_atpg: resume requires a checkpoint path"
+    | true, Some path when not (Sys.file_exists path) -> None
+    | true, Some path -> (
+        let ck = Checkpoint.load path in
+        match
+          Checkpoint.matches ck ~circuit:setup.Pipeline.circuit ~seed ~order_kind
+            ~generator ~backtrack_limit:config.Engine.backtrack_limit
+            ~retries:config.Engine.retries ~order:order_arr
+        with
+        | Ok () -> Some ck.Checkpoint.snapshot
+        | Error reason ->
+            Util.Diagnostics.fail
+              ~loc:{ file = Some path; line = 0 }
+              Util.Diagnostics.Checkpoint_mismatch "%s" reason)
+  in
+  let mk_checkpoint snapshot =
+    {
+      Checkpoint.circuit_title = Circuit.title setup.Pipeline.circuit;
+      circuit_digest = Checkpoint.digest_of_circuit setup.Pipeline.circuit;
+      seed;
+      order_kind;
+      generator;
+      backtrack_limit = config.Engine.backtrack_limit;
+      retries = config.Engine.retries;
+      order = order_arr;
+      snapshot;
+    }
+  in
+  let on_checkpoint =
+    Option.map (fun path snap -> Checkpoint.save path (mk_checkpoint snap)) checkpoint
+  in
+  let checkpoint_every = if Option.is_none checkpoint then None else Some checkpoint_every in
+  let result =
+    Engine.run ~config ?resume:resume_snap ?checkpoint_every ?on_checkpoint ?should_stop
+      setup.Pipeline.faults ~order:order_arr
+  in
+  let checkpoint_saved =
+    match (result.Engine.interrupted, result.Engine.snapshot, checkpoint) with
+    | true, Some snap, Some path ->
+        Checkpoint.save path (mk_checkpoint snap);
+        Some path
+    | _ ->
+        (* A completed run invalidates any earlier checkpoint: resuming
+           a finished run from a stale snapshot would re-report partial
+           results as if they were current. *)
+        (match checkpoint with
+        | Some path when (not result.Engine.interrupted) && Sys.file_exists path ->
+            Sys.remove path
+        | _ -> ());
+        None
+  in
+  let report = atpg_report ~kind:order ~faults:setup.Pipeline.faults result in
+  { setup; kind = order; result; report; checkpoint_saved }
+
 let experiment_names =
   [
     "table1"; "table4"; "table5"; "table6"; "table7"; "figure1"; "ablation-static";

@@ -22,3 +22,49 @@ val run_experiment : ?seed:int -> full:bool -> string -> string
     @raise Invalid_argument on an unknown name. *)
 
 val experiment_names : string list
+
+(** {2 Resilient single-circuit ATPG}
+
+    The checkpoint/resume front door used by [adi-atpg atpg]. *)
+
+type atpg_run = {
+  setup : Pipeline.setup;
+  kind : Ordering.kind;
+  result : Engine.result;
+  report : string;
+      (** Deterministic summary (no wall-clock fields): a run resumed
+          from a checkpoint renders byte-identically to the same run
+          executed without interruption. *)
+  checkpoint_saved : string option;
+      (** Path of the checkpoint written because the run was
+          interrupted, if any. *)
+}
+
+val run_atpg :
+  ?seed:int ->
+  ?order:Ordering.kind ->
+  ?config:Engine.config ->
+  ?checkpoint:string ->
+  ?checkpoint_every:int ->
+  ?resume:bool ->
+  ?should_stop:(unit -> bool) ->
+  Circuit.t ->
+  atpg_run
+(** Prepare the pipeline, order the faults, and run the engine with
+    checkpoint/resume plumbing:
+
+    - [checkpoint] names a checkpoint file.  While running, a snapshot
+      is saved there every [checkpoint_every] (default 32) processed
+      faults; if the run is interrupted (time budget or
+      [should_stop]), a final snapshot is saved at the stopping point.
+      When the run completes, the file is removed.
+    - [resume] (with [checkpoint]) loads the file if it exists and
+      continues from it; a missing file starts a fresh run.  The
+      checkpoint's identity block (circuit digest, seed, order,
+      generator, limits) must match the current invocation.
+
+    @raise Util.Diagnostics.Failed with code [Checkpoint_mismatch]
+    when resuming under parameters that differ from those recorded in
+    the checkpoint, or [Checkpoint_format] on a corrupt file.
+    @raise Invalid_argument when [resume] is set without
+    [checkpoint]. *)

@@ -396,17 +396,17 @@ let ablation_engines circuits =
         let d = Dalg.generate ~backtrack_limit:1024 ~stats:dstats c scoap f in
         (match p with
         | Podem.Untestable -> incr p_unt
-        | Podem.Aborted -> incr p_abt
+        | Podem.Aborted | Podem.Out_of_budget -> incr p_abt
         | Podem.Test _ -> ());
         (match d with
         | Podem.Untestable -> incr d_unt
-        | Podem.Aborted -> incr d_abt
+        | Podem.Aborted | Podem.Out_of_budget -> incr d_abt
         | Podem.Test _ -> ());
         match (p, d) with
         | Podem.Test _, Podem.Test _
         | Podem.Untestable, Podem.Untestable
-        | Podem.Aborted, _
-        | _, Podem.Aborted ->
+        | (Podem.Aborted | Podem.Out_of_budget), _
+        | _, (Podem.Aborted | Podem.Out_of_budget) ->
             incr agree
         | _ -> ()
       done;

@@ -11,18 +11,35 @@
 
     Forward references are allowed (a gate may use a signal defined on a
     later line), as real benchmark files do.  Signals referenced but
-    never defined are an error. *)
+    never defined are an error.
 
-exception Parse_error of int * string
-(** [(line, message)] — [line] is 1-based; 0 when no line applies. *)
+    Two parsing modes share one implementation.  {e Strict}
+    ({!parse_string}, {!parse_file}) raises {!Util.Diagnostics.Failed}
+    at the first problem.  {e Recoverable} ({!parse_string_recover},
+    {!parse_file_recover}) accumulates typed diagnostics and repairs
+    what it can: bad statements are skipped, the first of duplicate
+    definitions wins, gates with unresolvable fanins are dropped (to a
+    fixpoint), cycle members are dropped, and undefined OUTPUTs are
+    ignored — still yielding a circuit whenever one is salvageable. *)
 
-val parse_string : ?title:string -> string -> Circuit.t
-(** Parse a full [.bench] file from a string.
-    @raise Parse_error on malformed input. *)
+val parse_string : ?file:string -> ?title:string -> string -> Circuit.t
+(** Parse a full [.bench] file from a string.  [file] only labels
+    diagnostics.
+    @raise Util.Diagnostics.Failed on malformed input. *)
+
+val parse_string_recover :
+  ?file:string -> ?title:string -> string -> Circuit.t option * Util.Diagnostics.t list
+(** Best-effort parse.  [None] when nothing salvageable remains (empty
+    input, or no output survives); the diagnostic list is in source
+    order and is empty exactly when the input was clean. *)
 
 val parse_file : string -> Circuit.t
 (** Parse from a file path; the title is the basename without
-    extension. *)
+    extension.
+    @raise Util.Diagnostics.Failed on malformed input or I/O error. *)
+
+val parse_file_recover : string -> Circuit.t option * Util.Diagnostics.t list
+(** Recoverable variant of {!parse_file}.  I/O errors still raise. *)
 
 val to_string : Circuit.t -> string
 (** Emit a circuit in [.bench] syntax.  [parse_string (to_string c)] is

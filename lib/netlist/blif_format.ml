@@ -1,12 +1,35 @@
-exception Parse_error of int * string
-
-let fail line fmt = Printf.ksprintf (fun m -> raise (Parse_error (line, m))) fmt
+module D = Util.Diagnostics
 
 type cover_row = { pattern : string; value : bool }
 
 type definition =
   | Def_cover of string list * string * cover_row list  (* inputs, output, rows *)
   | Def_latch of string * string  (* data, output *)
+
+(* Recoverable mode records the diagnostic and raises [Skip] to abandon
+   the offending directive, row or definition; strict mode raises
+   [D.Failed]. *)
+exception Skip
+
+type ctx = { file : string option; recover : bool; mutable diags : D.t list }
+
+let report ctx ~line code fmt =
+  Printf.ksprintf
+    (fun m ->
+      let d = D.error ~loc:{ file = ctx.file; line } code "%s" m in
+      if ctx.recover then begin
+        ctx.diags <- d :: ctx.diags;
+        raise Skip
+      end
+      else raise (D.Failed d))
+    fmt
+
+let note ctx ~line code fmt =
+  Printf.ksprintf
+    (fun m ->
+      let d = D.error ~loc:{ file = ctx.file; line } code "%s" m in
+      if ctx.recover then ctx.diags <- d :: ctx.diags else raise (D.Failed d))
+    fmt
 
 (* --- lexing: logical lines with '\' continuations, '#' comments --- *)
 
@@ -38,7 +61,8 @@ let tokens s = String.split_on_char ' ' s |> List.filter (fun t -> t <> "")
 
 (* --- parsing ------------------------------------------------------ *)
 
-let parse_string ?(title = "blif") text =
+let parse_core ~recover ?file ~title text =
+  let ctx = { file; recover; diags = [] } in
   let lines = logical_lines text in
   let model = ref title in
   let inputs = ref [] and outputs = ref [] in
@@ -46,167 +70,233 @@ let parse_string ?(title = "blif") text =
   let pending_cover = ref None in
   let flush_cover () =
     match !pending_cover with
-    | Some (ins, out, rows) ->
-        defs := Def_cover (ins, out, List.rev rows) :: !defs;
+    | Some (ins, out, rows, no) ->
+        defs := (Def_cover (ins, out, List.rev rows), no) :: !defs;
         pending_cover := None
     | None -> ()
   in
   List.iter
     (fun (line, no) ->
-      match tokens line with
-      | [] -> ()
-      | tok :: rest when String.length tok > 0 && tok.[0] = '.' -> (
-          flush_cover ();
-          match (tok, rest) with
-          | ".model", [ name ] -> model := name
-          | ".model", _ -> fail no ".model takes one name"
-          | ".inputs", names -> inputs := !inputs @ names
-          | ".outputs", names -> outputs := !outputs @ names
-          | ".names", names -> (
-              match List.rev names with
-              | out :: ins_rev -> pending_cover := Some (List.rev ins_rev, out, [])
-              | [] -> fail no ".names needs at least an output")
-          | ".latch", (data :: out :: _) -> defs := Def_latch (data, out) :: !defs
-          | ".latch", _ -> fail no ".latch needs data and output signals"
-          | ".end", _ | ".exdc", _ -> ()
-          | _, _ -> fail no "unsupported construct %S" tok)
-      | toks -> (
-          match !pending_cover with
-          | None -> fail no "cover row outside a .names block: %S" line
-          | Some (ins, out, rows) ->
-              let pattern, value =
-                match toks with
-                | [ v ] when ins = [] -> ("", v)
-                | [ p; v ] -> (p, v)
-                | _ -> fail no "malformed cover row %S" line
-              in
-              if String.length pattern <> List.length ins then
-                fail no "cover row %S has wrong width" pattern;
-              String.iter
-                (fun ch -> if ch <> '0' && ch <> '1' && ch <> '-' then
-                    fail no "bad cover character %C" ch)
-                pattern;
-              let value =
-                match value with
-                | "1" -> true
-                | "0" -> false
-                | _ -> fail no "cover output must be 0 or 1"
-              in
-              pending_cover := Some (ins, out, { pattern; value } :: rows)))
+      try
+        match tokens line with
+        | [] -> ()
+        | tok :: rest when String.length tok > 0 && tok.[0] = '.' -> (
+            flush_cover ();
+            match (tok, rest) with
+            | ".model", [ name ] -> model := name
+            | ".model", _ -> report ctx ~line:no D.Bad_directive ".model takes one name"
+            | ".inputs", names -> inputs := !inputs @ names
+            | ".outputs", names -> outputs := !outputs @ List.map (fun o -> (no, o)) names
+            | ".names", names -> (
+                match List.rev names with
+                | out :: ins_rev -> pending_cover := Some (List.rev ins_rev, out, [], no)
+                | [] -> report ctx ~line:no D.Bad_directive ".names needs at least an output")
+            | ".latch", (data :: out :: _) -> defs := (Def_latch (data, out), no) :: !defs
+            | ".latch", _ ->
+                report ctx ~line:no D.Bad_directive ".latch needs data and output signals"
+            | ".end", _ | ".exdc", _ -> ()
+            | _, _ -> report ctx ~line:no D.Bad_directive "unsupported construct %S" tok)
+        | toks -> (
+            match !pending_cover with
+            | None -> report ctx ~line:no D.Bad_cover "cover row outside a .names block: %S" line
+            | Some (ins, out, rows, cno) ->
+                let pattern, value =
+                  match toks with
+                  | [ v ] when ins = [] -> ("", v)
+                  | [ p; v ] -> (p, v)
+                  | _ -> report ctx ~line:no D.Bad_cover "malformed cover row %S" line
+                in
+                if String.length pattern <> List.length ins then
+                  report ctx ~line:no D.Bad_cover "cover row %S has wrong width" pattern;
+                String.iter
+                  (fun ch ->
+                    if ch <> '0' && ch <> '1' && ch <> '-' then
+                      report ctx ~line:no D.Bad_cover "bad cover character %C" ch)
+                  pattern;
+                let value =
+                  match value with
+                  | "1" -> true
+                  | "0" -> false
+                  | _ -> report ctx ~line:no D.Bad_cover "cover output must be 0 or 1"
+                in
+                pending_cover := Some (ins, out, { pattern; value } :: rows, cno))
+      with Skip -> ())
     lines;
   flush_cover ();
   let defs = List.rev !defs in
-  (* Signal name -> defining entry. *)
-  let def_of = Hashtbl.create 64 in
-  List.iter
-    (fun d ->
-      let out = match d with Def_cover (_, o, _) -> o | Def_latch (_, o) -> o in
-      if Hashtbl.mem def_of out || List.mem out !inputs then
-        fail 0 "signal %S defined twice" out;
-      Hashtbl.replace def_of out d)
-    defs;
-  let b = Circuit.Builder.create ~title:!model () in
-  let ids = Hashtbl.create 64 in
-  List.iter (fun n -> Hashtbl.replace ids n (Circuit.Builder.input b n)) !inputs;
-  (* Latches first (sources), their data connected afterwards. *)
-  let latches = ref [] in
-  List.iter
-    (function
-      | Def_latch (data, out) ->
-          Hashtbl.replace ids out (Circuit.Builder.dff b out);
-          latches := (data, out) :: !latches
-      | Def_cover _ -> ())
-    defs;
-  (* Build covers in dependency order. *)
-  let building = Hashtbl.create 16 in
-  let rec resolve no name =
-    match Hashtbl.find_opt ids name with
-    | Some id -> id
-    | None -> (
-        if Hashtbl.mem building name then fail no "combinational cycle through %S" name;
-        Hashtbl.replace building name ();
-        match Hashtbl.find_opt def_of name with
-        | None -> fail no "signal %S is used but never defined" name
-        | Some (Def_latch _) -> assert false (* latches pre-registered *)
-        | Some (Def_cover (ins, out, rows)) ->
-            let in_ids = List.map (resolve no) ins in
-            let id = build_cover no out in_ids rows in
-            Hashtbl.remove building name;
-            Hashtbl.replace ids name id;
-            id)
-  and build_cover no out in_ids rows =
-    let n_ins = List.length in_ids in
-    let in_arr = Array.of_list in_ids in
-    (* Constant covers. *)
-    if rows = [] then Circuit.Builder.const b out false
-    else begin
-      let values = List.map (fun r -> r.value) rows in
-      let on_set = List.for_all Fun.id values in
-      if (not on_set) && List.exists Fun.id values then
-        fail no "cover for %S mixes on-set and off-set rows" out;
-      if n_ins = 0 then Circuit.Builder.const b out on_set
-      else begin
-        (* Shared inverters per cover. *)
-        let inverters = Array.make n_ins None in
-        let inv i =
-          match inverters.(i) with
-          | Some id -> id
+  if defs = [] && !inputs = [] && !outputs = [] then begin
+    note ctx ~line:0 D.Empty_input "netlist holds no statements";
+    (None, List.rev ctx.diags)
+  end
+  else begin
+    (* Signal name -> defining entry; recoverable mode keeps the first. *)
+    let def_of = Hashtbl.create 64 in
+    let defs =
+      List.filter
+        (fun (d, no) ->
+          let out = match d with Def_cover (_, o, _) -> o | Def_latch (_, o) -> o in
+          if Hashtbl.mem def_of out || List.mem out !inputs then begin
+            note ctx ~line:no D.Duplicate_def "signal %S defined twice" out;
+            false
+          end
+          else begin
+            Hashtbl.replace def_of out (d, no);
+            true
+          end)
+        defs
+    in
+    let b = Circuit.Builder.create ~title:!model () in
+    let ids = Hashtbl.create 64 in
+    List.iter (fun n -> Hashtbl.replace ids n (Circuit.Builder.input b n)) !inputs;
+    (* Latches first (sources), their data connected afterwards. *)
+    let latches = ref [] in
+    List.iter
+      (function
+        | Def_latch (data, out), no ->
+            Hashtbl.replace ids out (Circuit.Builder.dff b out);
+            latches := (data, out, no) :: !latches
+        | Def_cover _, _ -> ())
+      defs;
+    (* Build covers in dependency order.  A cover that fails to resolve
+       lands in [failed]; recoverable mode then drops its dependents
+       too instead of crediting them with a bogus cycle. *)
+    let building = Hashtbl.create 16 in
+    let failed = Hashtbl.create 16 in
+    let rec resolve no name =
+      match Hashtbl.find_opt ids name with
+      | Some id -> id
+      | None -> (
+          if Hashtbl.mem failed name then
+            report ctx ~line:no D.Undefined_ref "signal %S was dropped as unresolvable" name;
+          if Hashtbl.mem building name then
+            report ctx ~line:no D.Combinational_cycle "combinational cycle through %S" name;
+          Hashtbl.replace building name ();
+          match Hashtbl.find_opt def_of name with
           | None ->
-              let id =
-                Circuit.Builder.gate b Gate.Not (Printf.sprintf "%s_n%d" out i) [ in_arr.(i) ]
-              in
-              inverters.(i) <- Some id;
-              id
-        in
-        let product ri (r : cover_row) =
-          let literals = ref [] in
-          String.iteri
-            (fun i ch ->
-              match ch with
-              | '1' -> literals := in_arr.(i) :: !literals
-              | '0' -> literals := inv i :: !literals
-              | _ -> ())
-            r.pattern;
-          match List.rev !literals with
-          | [] -> Circuit.Builder.const b (Printf.sprintf "%s_p%d" out ri) true
-          | [ l ] -> Circuit.Builder.gate b Gate.Buf (Printf.sprintf "%s_p%d" out ri) [ l ]
-          | ls -> Circuit.Builder.gate b Gate.And (Printf.sprintf "%s_p%d" out ri) ls
-        in
-        let products = List.mapi product rows in
-        match (products, on_set) with
-        | [ p ], true -> Circuit.Builder.gate b Gate.Buf out [ p ]
-        | [ p ], false -> Circuit.Builder.gate b Gate.Not out [ p ]
-        | ps, true -> Circuit.Builder.gate b Gate.Or out ps
-        | ps, false -> Circuit.Builder.gate b Gate.Nor out ps
+              Hashtbl.remove building name;
+              report ctx ~line:no D.Undefined_ref "signal %S is used but never defined" name
+          | Some (Def_latch _, _) -> assert false (* latches pre-registered *)
+          | Some (Def_cover (ins, out, rows), dno) -> (
+              match
+                let in_ids = List.map (resolve dno) ins in
+                build_cover dno out in_ids rows
+              with
+              | id ->
+                  Hashtbl.remove building name;
+                  Hashtbl.replace ids name id;
+                  id
+              | exception e ->
+                  Hashtbl.remove building name;
+                  Hashtbl.replace failed name ();
+                  raise e))
+    and build_cover no out in_ids rows =
+      let n_ins = List.length in_ids in
+      let in_arr = Array.of_list in_ids in
+      (* Constant covers. *)
+      if rows = [] then Circuit.Builder.const b out false
+      else begin
+        let values = List.map (fun r -> r.value) rows in
+        let on_set = List.for_all Fun.id values in
+        if (not on_set) && List.exists Fun.id values then
+          report ctx ~line:no D.Bad_cover "cover for %S mixes on-set and off-set rows" out;
+        if n_ins = 0 then Circuit.Builder.const b out on_set
+        else begin
+          (* Shared inverters per cover. *)
+          let inverters = Array.make n_ins None in
+          let inv i =
+            match inverters.(i) with
+            | Some id -> id
+            | None ->
+                let id =
+                  Circuit.Builder.gate b Gate.Not (Printf.sprintf "%s_n%d" out i) [ in_arr.(i) ]
+                in
+                inverters.(i) <- Some id;
+                id
+          in
+          let product ri (r : cover_row) =
+            let literals = ref [] in
+            String.iteri
+              (fun i ch ->
+                match ch with
+                | '1' -> literals := in_arr.(i) :: !literals
+                | '0' -> literals := inv i :: !literals
+                | _ -> ())
+              r.pattern;
+            match List.rev !literals with
+            | [] -> Circuit.Builder.const b (Printf.sprintf "%s_p%d" out ri) true
+            | [ l ] -> Circuit.Builder.gate b Gate.Buf (Printf.sprintf "%s_p%d" out ri) [ l ]
+            | ls -> Circuit.Builder.gate b Gate.And (Printf.sprintf "%s_p%d" out ri) ls
+          in
+          let products = List.mapi product rows in
+          match (products, on_set) with
+          | [ p ], true -> Circuit.Builder.gate b Gate.Buf out [ p ]
+          | [ p ], false -> Circuit.Builder.gate b Gate.Not out [ p ]
+          | ps, true -> Circuit.Builder.gate b Gate.Or out ps
+          | ps, false -> Circuit.Builder.gate b Gate.Nor out ps
+        end
       end
+    in
+    List.iter
+      (fun (d, no) ->
+        try match d with Def_cover (_, out, _) -> ignore (resolve no out) | Def_latch _ -> ()
+        with Skip -> ())
+      defs;
+    List.iter
+      (fun (data, out, no) ->
+        let fanin =
+          try resolve no data
+          with Skip ->
+            (* Keep the circuit well-formed: tie the orphaned latch to a
+               constant, with the diagnostic already on record. *)
+            Circuit.Builder.const b (out ^ "_dropped_data") false
+        in
+        Circuit.Builder.connect_dff b (Hashtbl.find ids out) ~fanin)
+      !latches;
+    let outputs =
+      List.filter
+        (fun (no, o) ->
+          if Hashtbl.mem ids o then true
+          else begin
+            note ctx ~line:no D.Undefined_ref ".outputs signal %S is never defined" o;
+            false
+          end)
+        !outputs
+    in
+    if outputs = [] then begin
+      note ctx ~line:0 D.No_outputs "netlist declares no .outputs";
+      (None, List.rev ctx.diags)
     end
+    else begin
+      List.iter (fun (_, o) -> Circuit.Builder.mark_output b (Hashtbl.find ids o)) outputs;
+      (Some (Circuit.Builder.finish b), List.rev ctx.diags)
+    end
+  end
+
+let parse_string ?file ?(title = "blif") text =
+  match parse_core ~recover:false ?file ~title text with
+  | Some c, _ -> c
+  | None, _ -> assert false (* strict mode raised before returning None *)
+
+let parse_string_recover ?file ?(title = "blif") text =
+  parse_core ~recover:true ?file ~title text
+
+let read_whole_file path =
+  let ic =
+    try open_in_bin path
+    with Sys_error msg -> D.fail ~loc:{ file = Some path; line = 0 } D.Io_error "%s" msg
   in
-  List.iter
-    (fun d ->
-      match d with
-      | Def_cover (_, out, _) -> ignore (resolve 0 out)
-      | Def_latch _ -> ())
-    defs;
-  List.iter
-    (fun (data, out) ->
-      Circuit.Builder.connect_dff b (Hashtbl.find ids out) ~fanin:(resolve 0 data))
-    !latches;
-  if !outputs = [] then fail 0 "netlist declares no .outputs";
-  List.iter
-    (fun o ->
-      match Hashtbl.find_opt ids o with
-      | Some id -> Circuit.Builder.mark_output b id
-      | None -> fail 0 ".outputs signal %S is never defined" o)
-    !outputs;
-  Circuit.Builder.finish b
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
+      really_input_string ic (in_channel_length ic))
 
 let parse_file path =
-  let ic = open_in_bin path in
-  let text =
-    Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () ->
-        really_input_string ic (in_channel_length ic))
-  in
-  parse_string ~title:(Filename.remove_extension (Filename.basename path)) text
+  parse_string ~file:path
+    ~title:(Filename.remove_extension (Filename.basename path))
+    (read_whole_file path)
+
+let parse_file_recover path =
+  parse_string_recover ~file:path
+    ~title:(Filename.remove_extension (Filename.basename path))
+    (read_whole_file path)
 
 (* --- writing ------------------------------------------------------ *)
 

@@ -20,11 +20,31 @@
     input inverters per cover); writing emits each gate as a one-gate
     cover, so BLIF round-trips are functionally — not structurally —
     identical.  [.names] covers may use on-set rows (output 1) or
-    off-set rows (output 0), never both. *)
+    off-set rows (output 0), never both.
 
-exception Parse_error of int * string
+    Two parsing modes share one implementation, as in
+    {!Bench_format}.  {e Strict} ({!parse_string}, {!parse_file})
+    raises {!Util.Diagnostics.Failed} at the first problem.
+    {e Recoverable} ({!parse_string_recover}, {!parse_file_recover})
+    accumulates typed diagnostics, skips malformed directives and
+    cover rows, keeps the first of duplicate definitions, drops covers
+    with unresolvable inputs (and their dependents), and still yields
+    a circuit whenever at least one declared output survives. *)
 
-val parse_string : ?title:string -> string -> Circuit.t
+val parse_string : ?file:string -> ?title:string -> string -> Circuit.t
+(** Parse BLIF text.  [file] only labels diagnostics.
+    @raise Util.Diagnostics.Failed on malformed input. *)
+
+val parse_string_recover :
+  ?file:string -> ?title:string -> string -> Circuit.t option * Util.Diagnostics.t list
+(** Best-effort parse.  [None] when nothing salvageable remains; the
+    diagnostic list is empty exactly when the input was clean. *)
+
 val parse_file : string -> Circuit.t
+(** @raise Util.Diagnostics.Failed on malformed input or I/O error. *)
+
+val parse_file_recover : string -> Circuit.t option * Util.Diagnostics.t list
+(** Recoverable variant of {!parse_file}.  I/O errors still raise. *)
+
 val to_string : Circuit.t -> string
 val write_file : string -> Circuit.t -> unit

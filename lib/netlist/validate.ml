@@ -44,3 +44,14 @@ let check ?(require_combinational = false) c =
              fi
       then issues := Undriven_logic i :: !issues);
   List.rev !issues
+
+let to_diagnostic c issue =
+  let module D = Util.Diagnostics in
+  let msg = Format.asprintf "%a" (pp_issue c) issue in
+  match issue with
+  | Dangling_node _ -> D.make ~severity:D.Warning D.Dead_logic msg
+  | Undriven_logic _ -> D.make ~severity:D.Warning D.Constant_logic msg
+  | Dff_present _ -> D.make ~severity:D.Error D.Sequential_element msg
+
+let diagnostics ?require_combinational c =
+  List.map (to_diagnostic c) (check ?require_combinational c)

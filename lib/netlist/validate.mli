@@ -18,3 +18,11 @@ val check : ?require_combinational:bool -> Circuit.t -> issue list
 
 val dead_nodes : Circuit.t -> int array
 (** Nodes from which no primary output is reachable. *)
+
+val to_diagnostic : Circuit.t -> issue -> Util.Diagnostics.t
+(** Bridge to the typed-diagnostics boundary: [Dangling_node] becomes a
+    [W-dead-logic] warning, [Undriven_logic] a [W-constant-logic]
+    warning, [Dff_present] an [E-sequential-element] error. *)
+
+val diagnostics : ?require_combinational:bool -> Circuit.t -> Util.Diagnostics.t list
+(** [check] rendered as typed diagnostics. *)

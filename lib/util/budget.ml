@@ -1,0 +1,45 @@
+(* Wall-clock budgets.  OCaml's stdlib exposes no monotonic clock, so
+   the default clock is [Unix.gettimeofday]; an injectable clock keeps
+   tests deterministic and leaves the door open for a monotonic source
+   when one is available. *)
+
+type clock = unit -> float
+
+let default_clock : clock = Unix.gettimeofday
+
+type t = Unlimited | Deadline of { clock : clock; at : float }
+
+let unlimited = Unlimited
+
+let of_seconds ?(clock = default_clock) s =
+  if s < 0.0 then invalid_arg "Budget.of_seconds: negative budget";
+  Deadline { clock; at = clock () +. s }
+
+let of_seconds_opt ?clock = function
+  | None -> Unlimited
+  | Some s -> of_seconds ?clock s
+
+let at ?(clock = default_clock) t = Deadline { clock; at = t }
+
+let is_unlimited = function Unlimited -> true | Deadline _ -> false
+
+let expired = function
+  | Unlimited -> false
+  | Deadline { clock; at } -> clock () >= at
+
+let remaining_s = function
+  | Unlimited -> infinity
+  | Deadline { clock; at } -> Float.max 0.0 (at -. clock ())
+
+(* The earlier of two deadlines; used to slice a per-fault budget out
+   of a whole-run budget. *)
+let min_of a b =
+  match (a, b) with
+  | Unlimited, x | x, Unlimited -> x
+  | Deadline da, Deadline db -> if da.at <= db.at then a else b
+
+let sub ?clock budget ~seconds = min_of budget (of_seconds ?clock seconds)
+
+let sub_opt ?clock budget = function
+  | None -> budget
+  | Some seconds -> sub ?clock budget ~seconds

@@ -1,0 +1,46 @@
+(** Wall-clock time budgets and deadlines.
+
+    A budget is either unlimited or a deadline on a clock.  Long
+    searches poll {!expired} at decision points; a whole-run budget and
+    a per-fault slice compose with {!sub}.  The clock is injectable so
+    tests can expire budgets deterministically; the default is
+    [Unix.gettimeofday] (the stdlib has no monotonic clock — budgets
+    are advisory bounds, not hard real-time guarantees). *)
+
+type clock = unit -> float
+(** Seconds, from an arbitrary epoch. *)
+
+val default_clock : clock
+
+type t
+
+val unlimited : t
+(** Never expires. *)
+
+val of_seconds : ?clock:clock -> float -> t
+(** Deadline [s] seconds from now.  [of_seconds 0.] is already expired.
+    @raise Invalid_argument on a negative budget. *)
+
+val of_seconds_opt : ?clock:clock -> float option -> t
+(** [None] is {!unlimited}. *)
+
+val at : ?clock:clock -> float -> t
+(** Absolute deadline on [clock]'s timeline. *)
+
+val is_unlimited : t -> bool
+
+val expired : t -> bool
+(** Has the deadline passed?  Polling costs one clock read. *)
+
+val remaining_s : t -> float
+(** Seconds left ([infinity] when unlimited, 0 once expired). *)
+
+val min_of : t -> t -> t
+(** The earlier of two deadlines. *)
+
+val sub : ?clock:clock -> t -> seconds:float -> t
+(** [sub budget ~seconds] is a slice: expires after [seconds] or when
+    [budget] does, whichever is first. *)
+
+val sub_opt : ?clock:clock -> t -> float option -> t
+(** [sub_opt budget None] is [budget]. *)

@@ -1,0 +1,80 @@
+type severity = Error | Warning | Info
+
+type code =
+  | Syntax
+  | Unknown_gate
+  | Bad_arity
+  | Duplicate_def
+  | Undefined_ref
+  | Combinational_cycle
+  | No_outputs
+  | Bad_cover
+  | Bad_directive
+  | Empty_input
+  | Dead_logic
+  | Constant_logic
+  | Sequential_element
+  | Checkpoint_format
+  | Checkpoint_mismatch
+  | Io_error
+
+type location = { file : string option; line : int }
+
+type t = { code : code; severity : severity; loc : location; message : string }
+
+exception Failed of t
+
+let no_location = { file = None; line = 0 }
+let line ?file n = { file; line = n }
+
+let make ?(severity = Error) ?(loc = no_location) code message =
+  { code; severity; loc; message }
+
+let error ?loc code fmt =
+  Printf.ksprintf (fun m -> make ~severity:Error ?loc code m) fmt
+
+let warning ?loc code fmt =
+  Printf.ksprintf (fun m -> make ~severity:Warning ?loc code m) fmt
+
+let fail ?loc code fmt =
+  Printf.ksprintf (fun m -> raise (Failed (make ~severity:Error ?loc code m))) fmt
+
+let code_string = function
+  | Syntax -> "E-syntax"
+  | Unknown_gate -> "E-unknown-gate"
+  | Bad_arity -> "E-arity"
+  | Duplicate_def -> "E-duplicate-def"
+  | Undefined_ref -> "E-undefined-ref"
+  | Combinational_cycle -> "E-cycle"
+  | No_outputs -> "E-no-outputs"
+  | Bad_cover -> "E-cover"
+  | Bad_directive -> "E-directive"
+  | Empty_input -> "E-empty"
+  | Dead_logic -> "W-dead-logic"
+  | Constant_logic -> "W-constant-logic"
+  | Sequential_element -> "E-sequential"
+  | Checkpoint_format -> "E-checkpoint-format"
+  | Checkpoint_mismatch -> "E-checkpoint-mismatch"
+  | Io_error -> "E-io"
+
+let severity_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let location_string loc =
+  match (loc.file, loc.line) with
+  | None, 0 -> ""
+  | None, n -> Printf.sprintf "line %d: " n
+  | Some f, 0 -> Printf.sprintf "%s: " f
+  | Some f, n -> Printf.sprintf "%s:%d: " f n
+
+let to_string d =
+  Printf.sprintf "%s%s: %s [%s]" (location_string d.loc)
+    (severity_string d.severity) d.message (code_string d.code)
+
+let is_error d = d.severity = Error
+
+let count_errors ds = List.length (List.filter is_error ds)
+
+let pp ppf d = Format.pp_print_string ppf (to_string d)

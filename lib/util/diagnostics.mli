@@ -1,0 +1,59 @@
+(** Typed diagnostics for the parsing and validation boundaries.
+
+    One value describes one problem: a stable machine-readable {!code},
+    a {!severity}, a source {!location}, and a human message.  Strict
+    parsers raise {!Failed} on the first error; recoverable parsers
+    accumulate a [t list] and keep going.  The CLI renders them with
+    {!to_string} and maps errors to a dedicated exit code. *)
+
+type severity = Error | Warning | Info
+
+type code =
+  | Syntax  (** malformed token or statement *)
+  | Unknown_gate  (** gate/function name not in the library *)
+  | Bad_arity  (** wrong operand count for the gate kind *)
+  | Duplicate_def  (** signal defined more than once *)
+  | Undefined_ref  (** signal used but never defined *)
+  | Combinational_cycle
+  | No_outputs  (** netlist declares no primary output *)
+  | Bad_cover  (** malformed BLIF cover row *)
+  | Bad_directive  (** unknown or malformed dot-directive *)
+  | Empty_input  (** file or string holds no statements at all *)
+  | Dead_logic  (** node drives no primary output *)
+  | Constant_logic  (** node computes a constant *)
+  | Sequential_element  (** DFF where combinational logic was required *)
+  | Checkpoint_format  (** unreadable or wrong-version checkpoint file *)
+  | Checkpoint_mismatch  (** checkpoint does not match the requested run *)
+  | Io_error
+
+type location = { file : string option; line : int }
+(** [line = 0] means "no meaningful line" (whole-file problems). *)
+
+type t = { code : code; severity : severity; loc : location; message : string }
+
+exception Failed of t
+(** Raised by strict-mode parsers and checkpoint loading. *)
+
+val no_location : location
+val line : ?file:string -> int -> location
+
+val make : ?severity:severity -> ?loc:location -> code -> string -> t
+
+val error : ?loc:location -> code -> ('a, unit, string, t) format4 -> 'a
+val warning : ?loc:location -> code -> ('a, unit, string, t) format4 -> 'a
+
+val fail : ?loc:location -> code -> ('a, unit, string, 'b) format4 -> 'a
+(** Build an error diagnostic and raise {!Failed} with it. *)
+
+val code_string : code -> string
+(** Stable slug, e.g. ["E-unknown-gate"]. *)
+
+val severity_string : severity -> string
+
+val to_string : t -> string
+(** ["file:12: error: message [E-code]"]. *)
+
+val is_error : t -> bool
+val count_errors : t list -> int
+
+val pp : Format.formatter -> t -> unit

@@ -16,6 +16,13 @@ val create : int -> t
 val copy : t -> t
 (** [copy t] is an independent generator with the same current state. *)
 
+val state : t -> int64
+(** Raw 64-bit state, for checkpointing. *)
+
+val restore : int64 -> t
+(** Rebuild a generator from {!state}'s output; the stream continues
+    exactly where the captured generator left off. *)
+
 val split : t -> t
 (** [split t] advances [t] and returns a new generator whose stream is
     statistically independent of the remainder of [t]'s stream. *)

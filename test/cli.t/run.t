@@ -51,7 +51,7 @@ ATPG with the 0dynm order reaches full coverage on c17:
   order       : F0dynm
   tests       : 6
   coverage    : 1.000
-  untestable  : 0 proven, 0 aborted
+  untestable  : 0 proven, 0 aborted, 0 out-of-budget
   AVE         : 2.64 tests to detection
 
 Unknown circuits are rejected:
@@ -89,9 +89,9 @@ Round-trip through an external test-vector file and evaluate it:
   faults       : 22 collapsed
   coverage     : 1.000
   AVE          : 2.73 tests to detection
-  50%% reached : after 2 tests
-  75%% reached : after 4 tests
-  90%% reached : after 5 tests
+  50% reached  : after 2 tests
+  75% reached  : after 4 tests
+  90% reached  : after 5 tests
 
 Scan-chain insertion on a sequential netlist:
 
@@ -106,6 +106,59 @@ Scan-chain insertion on a sequential netlist:
   chain: q
   tester cycles per test: 3
   toggle_scan: 3 PIs, 2 POs, 8 gates, depth 3 -> scanned.bench
+
+Malformed netlists fail with a typed diagnostic (exit 2); --recover
+skips what it can and still loads the circuit:
+
+  $ cat > broken.bench <<'BENCH'
+  > INPUT(a)
+  > INPUT(b)
+  > OUTPUT(z)
+  > OUTPUT(w)
+  > z = FROB(a, b)
+  > z = AND(a, b)
+  > w = OR(a, ghost)
+  > BENCH
+  $ adi-atpg stats broken.bench
+  adi-atpg: broken.bench:5: error: unknown gate type "FROB" [E-unknown-gate]
+  [2]
+  $ adi-atpg stats broken.bench --recover 2>diags.txt
+  broken: 2 PIs, 1 POs, 1 gates (0 DFFs), 2 pins, depth 1, max fanout 1
+  [AND:1, INPUT:2]
+  $ cat diags.txt
+  adi-atpg: broken.bench:5: error: unknown gate type "FROB" [E-unknown-gate]
+  adi-atpg: broken.bench:7: error: signal "ghost" is used but never defined [E-undefined-ref]
+  adi-atpg: broken.bench:4: error: OUTPUT "w" is never defined [E-undefined-ref]
+
+A run interrupted by an expired time budget exits 3 and leaves a
+resumable checkpoint; --resume completes it into the report the
+uninterrupted run would have produced, then removes the checkpoint:
+
+  $ adi-atpg atpg c17 --order 0dynm --time-budget 0 --checkpoint ck.bin > out.txt
+  [3]
+  $ grep -v runtime out.txt
+  order       : F0dynm
+  tests       : 0
+  coverage    : 0.000
+  untestable  : 0 proven, 0 aborted, 0 out-of-budget
+  status      : INTERRUPTED (22 of 22 faults pending)
+  checkpoint  : saved to ck.bin (rerun with --resume)
+  $ adi-atpg atpg c17 --order 0dynm --checkpoint ck.bin --resume | head -5
+  order       : F0dynm
+  tests       : 6
+  coverage    : 1.000
+  untestable  : 0 proven, 0 aborted, 0 out-of-budget
+  AVE         : 2.64 tests to detection
+  $ test -f ck.bin || echo checkpoint removed
+  checkpoint removed
+
+Resuming under different parameters is refused:
+
+  $ adi-atpg atpg c17 --order 0dynm --time-budget 0 --checkpoint ck.bin > /dev/null
+  [3]
+  $ adi-atpg atpg c17 --order dynm --checkpoint ck.bin --resume
+  adi-atpg: ck.bin: error: checkpoint was taken with a different fault order [E-checkpoint-mismatch]
+  [2]
 
 Conversion to BLIF and back:
 

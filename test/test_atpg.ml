@@ -93,7 +93,7 @@ let podem_cube_detects =
           let vec = Engine.fill_cube rng cube in
           if not (Faultsim.detects c (Fault_list.get fl fi) vec) then ok := false
         done
-    | Podem.Untestable | Podem.Aborted -> ()
+    | Podem.Untestable | Podem.Aborted | Podem.Out_of_budget -> ()
   done;
   !ok
 
@@ -116,7 +116,7 @@ let podem_untestable_is_really_untestable =
     match Podem.generate_in ~backtrack_limit:100_000 ctx (Fault_list.get fl fi) with
     | Podem.Untestable -> if not (Util.Bitvec.is_zero sets.(fi)) then ok := false
     | Podem.Test _ -> if Util.Bitvec.is_zero sets.(fi) then ok := false
-    | Podem.Aborted -> ()
+    | Podem.Aborted | Podem.Out_of_budget -> ()
   done;
   !ok
 
@@ -132,7 +132,7 @@ let podem_known_redundant () =
   match Podem.generate c scoap (Fault.stem (Circuit.find_exn c "z") true) with
   | Podem.Untestable -> ()
   | Podem.Test _ -> Alcotest.fail "found a test for a redundant fault"
-  | Podem.Aborted -> Alcotest.fail "aborted on a trivial redundancy"
+  | Podem.Aborted | Podem.Out_of_budget -> Alcotest.fail "aborted on a trivial redundancy"
 
 let podem_c17_all_testable () =
   (* c17 is fully testable. *)
@@ -143,7 +143,7 @@ let podem_c17_all_testable () =
   for fi = 0 to Fault_list.count fl - 1 do
     match Podem.generate_in ctx (Fault_list.get fl fi) with
     | Podem.Test _ -> ()
-    | Podem.Untestable | Podem.Aborted ->
+    | Podem.Untestable | Podem.Aborted | Podem.Out_of_budget ->
         Alcotest.failf "no test for %s" (Fault.to_string c (Fault_list.get fl fi))
   done
 
@@ -179,6 +179,69 @@ let engine_full_coverage_on_c17 () =
         (t >= 0
         && Faultsim.detects c (Fault_list.get fl fi) (Patterns.vector r.Engine.tests t)))
     r.Engine.detected_by
+
+let engine_escalation_recovers () =
+  (* multiplier ~width:4 under a tight backtrack limit aborts a batch of
+     faults; escalation passes (doubled limit each) win most back. *)
+  let c = Library.multiplier ~width:4 in
+  let fl = Collapse.collapsed c in
+  let order = Array.init (Fault_list.count fl) Fun.id in
+  let base = { Engine.default_config with Engine.backtrack_limit = 16; Engine.retries = 0 } in
+  let r0 = Engine.run fl ~order ~config:base in
+  let r3 = Engine.run fl ~order ~config:{ base with Engine.retries = 3 } in
+  check Alcotest.bool "baseline aborts some faults" true (r0.Engine.aborted <> []);
+  check Alcotest.int "no recovery without retries" 0 r0.Engine.retry_recovered;
+  check Alcotest.bool "escalation reduces the abort count" true
+    (List.length r3.Engine.aborted < List.length r0.Engine.aborted);
+  (* Pass 1 of the retrying run is identical to the retries=0 run, so
+     every baseline abort is either still aborted or counted recovered. *)
+  check Alcotest.int "recovered accounts for the difference"
+    (List.length r0.Engine.aborted - List.length r3.Engine.aborted)
+    r3.Engine.retry_recovered
+
+let engine_budget_classification () =
+  (* A zero per-fault slice expires before any search: every fault is
+     out_of_budget — not aborted, not untestable — and with the run
+     budget unlimited the run still completes (not interrupted). *)
+  let c = Library.c17 () in
+  let fl = Collapse.collapsed c in
+  let n = Fault_list.count fl in
+  let cfg = { Engine.default_config with Engine.per_fault_budget_s = Some 0.0 } in
+  let r = Engine.run fl ~order:(Array.init n Fun.id) ~config:cfg in
+  check Alcotest.int "all out of budget" n (List.length r.Engine.out_of_budget);
+  check Alcotest.(list int) "none aborted" [] r.Engine.aborted;
+  check Alcotest.(list int) "none untestable" [] r.Engine.untestable;
+  check Alcotest.int "no tests" 0 (Patterns.count r.Engine.tests);
+  check Alcotest.bool "not interrupted" false r.Engine.interrupted
+
+let engine_resume_determinism () =
+  (* Stop mid-run via should_stop, resume from the snapshot, and demand
+     the exact result of the uninterrupted run — tests, detections and
+     even search statistics. *)
+  let c = Library.c17 () in
+  let fl = Collapse.collapsed c in
+  let order = Array.init (Fault_list.count fl) Fun.id in
+  let full = Engine.run fl ~order in
+  let polls = ref 0 in
+  let stopped =
+    Engine.run fl ~order
+      ~should_stop:(fun () -> incr polls; !polls > 5)
+  in
+  check Alcotest.bool "interrupted" true stopped.Engine.interrupted;
+  check Alcotest.bool "made partial progress" true
+    (Patterns.count stopped.Engine.tests < Patterns.count full.Engine.tests);
+  let snap = Option.get stopped.Engine.snapshot in
+  let resumed = Engine.run fl ~order ~resume:snap in
+  check Alcotest.bool "completed" false resumed.Engine.interrupted;
+  check Alcotest.int "same test count" (Patterns.count full.Engine.tests)
+    (Patterns.count resumed.Engine.tests);
+  for t = 0 to Patterns.count full.Engine.tests - 1 do
+    check Alcotest.bool "same vector" true
+      (Patterns.vector full.Engine.tests t = Patterns.vector resumed.Engine.tests t)
+  done;
+  check Alcotest.(array int) "same detections" full.Engine.detected_by
+    resumed.Engine.detected_by;
+  check Alcotest.bool "same search stats" true (full.Engine.stats = resumed.Engine.stats)
 
 let engine_rejects_bad_order () =
   let c = Library.c17 () in
@@ -315,7 +378,7 @@ let dalg_cube_detects =
           let vec = Engine.fill_cube rng cube in
           if not (Faultsim.detects c (Fault_list.get fl fi) vec) then ok := false
         done
-    | Podem.Untestable | Podem.Aborted -> ()
+    | Podem.Untestable | Podem.Aborted | Podem.Out_of_budget -> ()
   done;
   !ok
 
@@ -337,7 +400,7 @@ let dalg_untestable_is_really_untestable =
     match Dalg.generate ~backtrack_limit:100_000 c scoap (Fault_list.get fl fi) with
     | Podem.Untestable -> if not (Util.Bitvec.is_zero sets.(fi)) then ok := false
     | Podem.Test _ -> if Util.Bitvec.is_zero sets.(fi) then ok := false
-    | Podem.Aborted -> ()
+    | Podem.Aborted | Podem.Out_of_budget -> ()
   done;
   !ok
 
@@ -374,7 +437,7 @@ let dalg_known_redundant () =
   match Dalg.generate c scoap (Fault.stem (Circuit.find_exn c "z") true) with
   | Podem.Untestable -> ()
   | Podem.Test _ -> Alcotest.fail "D-alg found a test for a redundant fault"
-  | Podem.Aborted -> Alcotest.fail "D-alg aborted on a trivial redundancy"
+  | Podem.Aborted | Podem.Out_of_budget -> Alcotest.fail "D-alg aborted on a trivial redundancy"
 
 let dalg_c17_all_testable () =
   let c = Library.c17 () in
@@ -383,7 +446,7 @@ let dalg_c17_all_testable () =
   for fi = 0 to Fault_list.count fl - 1 do
     match Dalg.generate c scoap (Fault_list.get fl fi) with
     | Podem.Test _ -> ()
-    | Podem.Untestable | Podem.Aborted ->
+    | Podem.Untestable | Podem.Aborted | Podem.Out_of_budget ->
         Alcotest.failf "D-alg: no test for %s" (Fault.to_string c (Fault_list.get fl fi))
   done
 
@@ -504,6 +567,9 @@ let () =
           qtest compacting_engine_sound;
           qtest n_detect_reaches_multiplicity;
           Alcotest.test_case "rejects bad order" `Quick engine_rejects_bad_order;
+          Alcotest.test_case "abort-retry escalation" `Quick engine_escalation_recovers;
+          Alcotest.test_case "budget classification" `Quick engine_budget_classification;
+          Alcotest.test_case "resume determinism" `Quick engine_resume_determinism;
           Alcotest.test_case "fill cube" `Quick fill_cube_respects_assignments;
           qtest engine_order_affects_result;
         ] );

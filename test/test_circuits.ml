@@ -211,7 +211,7 @@ let kiss_parse_error () =
     (try
        ignore (Kiss.parse_string ".o 1\n00 a b 0\n");
        false
-     with Kiss.Parse_error _ -> true)
+     with Util.Diagnostics.Failed _ -> true)
 
 let lion_sequential_scan_roundtrip () =
   (* Scanning the sequential lion recovers a circuit with the same

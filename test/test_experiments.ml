@@ -99,6 +99,134 @@ let harness_names_cover_run () =
       check Alcotest.bool (w ^ " nonempty") true (String.length s > 0))
     [ "table1" ]
 
+(* --- checkpoint/resume -------------------------------------------- *)
+
+module D = Util.Diagnostics
+
+let with_temp_file f =
+  let path = Filename.temp_file "adi-ckpt" ".bin" in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+(* A real snapshot from a stopped engine run, for round-trip tests. *)
+let c17_checkpoint () =
+  let c = Library.c17 () in
+  let fl = Collapse.collapsed c in
+  let order = Array.init (Fault_list.count fl) Fun.id in
+  let polls = ref 0 in
+  let r = Engine.run fl ~order ~should_stop:(fun () -> incr polls; !polls > 2) in
+  ( c,
+    {
+      Checkpoint.circuit_title = "c17";
+      circuit_digest = Checkpoint.digest_of_circuit c;
+      seed = 1;
+      order_kind = "0dynm";
+      generator = "podem";
+      backtrack_limit = 256;
+      retries = 1;
+      order;
+      snapshot = Option.get r.Engine.snapshot;
+    } )
+
+let checkpoint_roundtrip () =
+  let _, ck = c17_checkpoint () in
+  with_temp_file @@ fun path ->
+  Checkpoint.save path ck;
+  let back = Checkpoint.load path in
+  check Alcotest.string "title" ck.Checkpoint.circuit_title back.Checkpoint.circuit_title;
+  check Alcotest.string "digest" ck.Checkpoint.circuit_digest back.Checkpoint.circuit_digest;
+  check Alcotest.(array int) "order" ck.Checkpoint.order back.Checkpoint.order;
+  check Alcotest.int "resume position" ck.Checkpoint.snapshot.Engine.snap_pos
+    back.Checkpoint.snapshot.Engine.snap_pos;
+  check Alcotest.bool "whole snapshot survives" true
+    (ck.Checkpoint.snapshot = back.Checkpoint.snapshot)
+
+let checkpoint_rejects_garbage () =
+  with_temp_file @@ fun path ->
+  let oc = open_out_bin path in
+  output_string oc "not a checkpoint at all\n";
+  close_out oc;
+  match Checkpoint.load path with
+  | exception D.Failed d ->
+      check Alcotest.bool "format code" true (d.D.code = D.Checkpoint_format)
+  | _ -> Alcotest.fail "garbage accepted"
+
+let checkpoint_rejects_truncated () =
+  let _, ck = c17_checkpoint () in
+  with_temp_file @@ fun path ->
+  Checkpoint.save path ck;
+  let full = In_channel.with_open_bin path In_channel.input_all in
+  let oc = open_out_bin path in
+  output_string oc (String.sub full 0 (String.length full - 8));
+  close_out oc;
+  match Checkpoint.load path with
+  | exception D.Failed d ->
+      check Alcotest.bool "format code" true (d.D.code = D.Checkpoint_format)
+  | _ -> Alcotest.fail "truncated payload accepted"
+
+let checkpoint_matches_catches_drift () =
+  let c, ck = c17_checkpoint () in
+  let ok ?(seed = 1) ?(order_kind = "0dynm") ?(generator = "podem") ?(backtrack_limit = 256)
+      ?(retries = 1) ?order () =
+    let order = Option.value order ~default:ck.Checkpoint.order in
+    Checkpoint.matches ck ~circuit:c ~seed ~order_kind ~generator ~backtrack_limit ~retries
+      ~order
+  in
+  check Alcotest.bool "same parameters accepted" true (ok () = Ok ());
+  let rejects what r =
+    match r with
+    | Error _ -> ()
+    | Ok () -> Alcotest.fail (what ^ " drift not caught")
+  in
+  rejects "seed" (ok ~seed:2 ());
+  rejects "order kind" (ok ~order_kind:"dynm" ());
+  rejects "generator" (ok ~generator:"dalg" ());
+  rejects "backtrack limit" (ok ~backtrack_limit:128 ());
+  rejects "order array"
+    (ok ~order:(Array.of_list (List.rev (Array.to_list ck.Checkpoint.order))) ())
+
+let run_atpg_resume_byte_identical () =
+  let c = Library.c17 () in
+  let full = Harness.run_atpg ~seed:1 c in
+  with_temp_file @@ fun path ->
+  Sys.remove path;
+  (* an absent file must mean "fresh run", not an error *)
+  let polls = ref 0 in
+  let interrupted =
+    Harness.run_atpg ~seed:1 ~checkpoint:path ~resume:true
+      ~should_stop:(fun () -> incr polls; !polls > 3)
+      c
+  in
+  check Alcotest.bool "interrupted" true interrupted.Harness.result.Engine.interrupted;
+  check Alcotest.(option string) "checkpoint written" (Some path)
+    interrupted.Harness.checkpoint_saved;
+  check Alcotest.bool "file exists" true (Sys.file_exists path);
+  let resumed = Harness.run_atpg ~seed:1 ~checkpoint:path ~resume:true c in
+  check Alcotest.string "byte-identical report" full.Harness.report resumed.Harness.report;
+  check Alcotest.bool "completed run removes the checkpoint" false (Sys.file_exists path)
+
+let run_atpg_refuses_mismatched_resume () =
+  let c = Library.c17 () in
+  with_temp_file @@ fun path ->
+  let polls = ref 0 in
+  let _ =
+    Harness.run_atpg ~seed:1 ~checkpoint:path
+      ~should_stop:(fun () -> incr polls; !polls > 3)
+      c
+  in
+  match Harness.run_atpg ~seed:2 ~checkpoint:path ~resume:true c with
+  | exception D.Failed d ->
+      check Alcotest.bool "mismatch code" true (d.D.code = D.Checkpoint_mismatch);
+      check Alcotest.(option string) "blames the file" (Some path) d.D.loc.D.file
+  | _ -> Alcotest.fail "seed drift accepted on resume"
+
+let run_atpg_requires_checkpoint_for_resume () =
+  check Alcotest.bool "resume without checkpoint rejected" true
+    (try
+       ignore (Harness.run_atpg ~resume:true (Library.c17 ()));
+       false
+     with Invalid_argument _ -> true)
+
 let () =
   Alcotest.run "experiments"
     [
@@ -120,4 +248,16 @@ let () =
         ] );
       ( "evaluation",
         [ Alcotest.test_case "consistency" `Quick evaluation_is_consistent ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "round-trip" `Quick checkpoint_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick checkpoint_rejects_garbage;
+          Alcotest.test_case "rejects truncated" `Quick checkpoint_rejects_truncated;
+          Alcotest.test_case "matches catches drift" `Quick checkpoint_matches_catches_drift;
+          Alcotest.test_case "resume is byte-identical" `Quick run_atpg_resume_byte_identical;
+          Alcotest.test_case "mismatched resume refused" `Quick
+            run_atpg_refuses_mismatched_resume;
+          Alcotest.test_case "resume needs a checkpoint" `Quick
+            run_atpg_requires_checkpoint_for_resume;
+        ] );
     ]

@@ -169,7 +169,7 @@ let bench_rejects_undefined () =
     (try
        ignore (Bench_format.parse_string "INPUT(a)\nOUTPUT(z)\nz = AND(a, ghost)\n");
        false
-     with Bench_format.Parse_error _ -> true)
+     with Util.Diagnostics.Failed _ -> true)
 
 let bench_rejects_cycle () =
   check Alcotest.bool "combinational cycle" true
@@ -177,7 +177,7 @@ let bench_rejects_cycle () =
        ignore
          (Bench_format.parse_string "INPUT(a)\nOUTPUT(x)\nx = AND(a, y)\ny = AND(a, x)\n");
        false
-     with Bench_format.Parse_error _ -> true)
+     with Util.Diagnostics.Failed _ -> true)
 
 let bench_dff_loop () =
   let c =
@@ -189,6 +189,119 @@ let bench_comments_and_blanks () =
   let c = Bench_format.parse_string "# hi\n\nINPUT(a)\n  OUTPUT(a)  # trailing\n" in
   check Alcotest.int "single node" 1 (Circuit.node_count c)
 
+(* --- typed parse errors and recovery ------------------------------ *)
+
+module D = Util.Diagnostics
+
+(* Run a strict parse that must fail and hand back the diagnostic. *)
+let diag_of f =
+  match f () with
+  | exception D.Failed d -> d
+  | _ -> Alcotest.fail "expected Diagnostics.Failed"
+
+let bench_diag_unknown_gate () =
+  let d =
+    diag_of (fun () ->
+        Bench_format.parse_string ~file:"t.bench" "INPUT(a)\nOUTPUT(z)\nz = FROB(a)\n")
+  in
+  check Alcotest.bool "code" true (d.D.code = D.Unknown_gate);
+  check Alcotest.int "line" 3 d.D.loc.D.line;
+  check Alcotest.(option string) "file label" (Some "t.bench") d.D.loc.D.file
+
+let bench_diag_syntax_line () =
+  let d =
+    diag_of (fun () -> Bench_format.parse_string "INPUT(a)\nOUTPUT(z)\nz = AND(a\n")
+  in
+  check Alcotest.bool "syntax code" true (d.D.code = D.Syntax);
+  check Alcotest.int "line of truncated stmt" 3 d.D.loc.D.line
+
+let bench_diag_duplicate () =
+  let d =
+    diag_of (fun () ->
+        Bench_format.parse_string "INPUT(a)\nOUTPUT(z)\nz = NOT(a)\nz = BUF(a)\n")
+  in
+  check Alcotest.bool "duplicate code" true (d.D.code = D.Duplicate_def);
+  check Alcotest.int "line of second def" 4 d.D.loc.D.line
+
+let bench_diag_empty () =
+  let d = diag_of (fun () -> Bench_format.parse_string "# only a comment\n") in
+  check Alcotest.bool "empty code" true (d.D.code = D.Empty_input)
+
+let bench_recover_salvages () =
+  let c, diags =
+    Bench_format.parse_string_recover ~file:"t.bench"
+      "INPUT(a)\nINPUT(b)\nOUTPUT(z)\nOUTPUT(w)\nz = FROB(a, b)\nz = AND(a, b)\nw = OR(a, ghost)\n"
+  in
+  let c = Option.get c in
+  (* The FROB def is skipped, so the later duplicate "z" survives as the
+     only definition; "w" is dropped with its undefined fanin. *)
+  check Alcotest.int "salvaged gates" 3 (Circuit.node_count c);
+  check Alcotest.bool "z is an AND" true
+    (Circuit.kind c (Circuit.find_exn c "z") = Gate.And);
+  check Alcotest.int "three diagnostics" 3 (List.length diags);
+  check Alcotest.(list int) "source lines" [ 5; 7; 4 ]
+    (List.map (fun d -> d.D.loc.D.line) diags);
+  check Alcotest.bool "all carry the file label" true
+    (List.for_all (fun d -> d.D.loc.D.file = Some "t.bench") diags)
+
+let bench_recover_cycle_dropped () =
+  let c, diags =
+    Bench_format.parse_string_recover
+      "INPUT(a)\nOUTPUT(z)\nOUTPUT(x)\nz = NOT(a)\nx = AND(a, y)\ny = AND(a, x)\n"
+  in
+  let c = Option.get c in
+  check Alcotest.bool "cycle members gone" true (Circuit.find c "x" = None);
+  check Alcotest.bool "clean part kept" true (Circuit.find c "z" <> None);
+  check Alcotest.bool "cycle reported" true
+    (List.exists (fun d -> d.D.code = D.Combinational_cycle) diags)
+
+let bench_recover_nothing_left () =
+  let c, diags = Bench_format.parse_string_recover "INPUT(a)\nOUTPUT(z)\nz = FROB(a)\n" in
+  check Alcotest.bool "no circuit" true (c = None);
+  check Alcotest.bool "reports why" true (List.exists (fun d -> d.D.code = D.No_outputs) diags)
+
+let blif_diag_bad_cover () =
+  let d =
+    diag_of (fun () ->
+        Blif_format.parse_string ~file:"t.blif"
+          ".model m\n.inputs a b\n.outputs y\n.names a b y\n1X 1\n.end\n")
+  in
+  check Alcotest.bool "cover code" true (d.D.code = D.Bad_cover);
+  check Alcotest.int "row line" 5 d.D.loc.D.line
+
+let blif_diag_bad_directive () =
+  let d =
+    diag_of (fun () ->
+        Blif_format.parse_string ".model m\n.inputs a\n.outputs y\n.frobnicate\n.names a y\n1 1\n.end\n")
+  in
+  check Alcotest.bool "directive code" true (d.D.code = D.Bad_directive);
+  check Alcotest.int "directive line" 4 d.D.loc.D.line
+
+let blif_recover_salvages () =
+  let c, diags =
+    Blif_format.parse_string_recover
+      ".model m\n.inputs a b\n.outputs y z\n.names a b y\n1X 1\n11 1\n.names a z\n1 1\n.end\n"
+  in
+  let c = Option.get c in
+  (* The bad row is skipped but the rest of that cover still parses;
+     both outputs survive. *)
+  check Alcotest.bool "y survives" true (Circuit.find c "y" <> None);
+  check Alcotest.bool "z survives" true (Circuit.find c "z" <> None);
+  check Alcotest.int "one diagnostic" 1 (List.length diags);
+  check Alcotest.bool "it is the bad row" true
+    ((List.hd diags).D.code = D.Bad_cover && (List.hd diags).D.loc.D.line = 5)
+
+let blif_recover_drops_dependents () =
+  let c, diags =
+    Blif_format.parse_string_recover
+      ".model m\n.inputs a\n.outputs y z\n.names ghost t\n1 1\n.names t y\n1 1\n.names a z\n1 1\n.end\n"
+  in
+  let c = Option.get c in
+  (* t depends on an undefined signal, y depends on t: both drop, z stays. *)
+  check Alcotest.bool "y dropped" true (Circuit.find c "y" = None);
+  check Alcotest.bool "z kept" true (Circuit.find c "z" <> None);
+  check Alcotest.bool "undefined-ref reported" true
+    (List.exists (fun d -> d.D.code = D.Undefined_ref) diags)
 
 (* --- scan --------------------------------------------------------- *)
 
@@ -340,7 +453,7 @@ let blif_rejects_mixed_cover () =
          (Blif_format.parse_string
             ".model m\n.inputs a b\n.outputs y\n.names a b y\n11 1\n00 0\n.end\n");
        false
-     with Blif_format.Parse_error _ -> true)
+     with Util.Diagnostics.Failed _ -> true)
 
 let blif_constants () =
   let c =
@@ -439,6 +552,20 @@ let () =
           Alcotest.test_case "cycle" `Quick bench_rejects_cycle;
           Alcotest.test_case "dff loop" `Quick bench_dff_loop;
           Alcotest.test_case "comments" `Quick bench_comments_and_blanks;
+        ] );
+      ( "diagnostics",
+        [
+          Alcotest.test_case "unknown gate carries line" `Quick bench_diag_unknown_gate;
+          Alcotest.test_case "truncated stmt is syntax" `Quick bench_diag_syntax_line;
+          Alcotest.test_case "duplicate def" `Quick bench_diag_duplicate;
+          Alcotest.test_case "empty input" `Quick bench_diag_empty;
+          Alcotest.test_case "bench recover salvages" `Quick bench_recover_salvages;
+          Alcotest.test_case "bench recover drops cycles" `Quick bench_recover_cycle_dropped;
+          Alcotest.test_case "bench recover can give up" `Quick bench_recover_nothing_left;
+          Alcotest.test_case "blif bad cover row" `Quick blif_diag_bad_cover;
+          Alcotest.test_case "blif bad directive" `Quick blif_diag_bad_directive;
+          Alcotest.test_case "blif recover salvages" `Quick blif_recover_salvages;
+          Alcotest.test_case "blif recover drops dependents" `Quick blif_recover_drops_dependents;
         ] );
       ( "blif",
         [

@@ -5,6 +5,8 @@ module Bitvec = Util.Bitvec
 module Heap = Util.Heap
 module Table = Util.Table
 module Plot = Util.Plot
+module Budget = Util.Budget
+module D = Util.Diagnostics
 
 let check = Alcotest.check
 let qtest = QCheck_alcotest.to_alcotest
@@ -215,6 +217,97 @@ let plot_renders () =
   check Alcotest.bool "mentions label" true (contains s "o - sq");
   check Alcotest.bool "draws marker" true (contains s "o")
 
+(* --- Budget ------------------------------------------------------- *)
+
+(* A fake clock the test advances by hand, so expiry is deterministic. *)
+let fake_clock () =
+  let now = ref 0.0 in
+  ((fun () -> !now), fun dt -> now := !now +. dt)
+
+let budget_unlimited () =
+  check Alcotest.bool "is_unlimited" true (Budget.is_unlimited Budget.unlimited);
+  check Alcotest.bool "never expires" false (Budget.expired Budget.unlimited);
+  check Alcotest.bool "infinite remaining" true (Budget.remaining_s Budget.unlimited = infinity)
+
+let budget_expires_on_clock () =
+  let clock, advance = fake_clock () in
+  let b = Budget.of_seconds ~clock 5.0 in
+  check Alcotest.bool "fresh" false (Budget.expired b);
+  check Alcotest.(float 1e-9) "full remaining" 5.0 (Budget.remaining_s b);
+  advance 4.9;
+  check Alcotest.bool "still inside" false (Budget.expired b);
+  advance 0.2;
+  check Alcotest.bool "past deadline" true (Budget.expired b);
+  check Alcotest.(float 0.0) "clamped to zero" 0.0 (Budget.remaining_s b)
+
+let budget_zero_already_expired () =
+  let clock, _ = fake_clock () in
+  check Alcotest.bool "zero budget" true (Budget.expired (Budget.of_seconds ~clock 0.0))
+
+let budget_negative_rejected () =
+  Alcotest.check_raises "negative" (Invalid_argument "Budget.of_seconds: negative budget")
+    (fun () -> ignore (Budget.of_seconds (-1.0)))
+
+let budget_of_seconds_opt () =
+  let clock, _ = fake_clock () in
+  check Alcotest.bool "None is unlimited" true
+    (Budget.is_unlimited (Budget.of_seconds_opt ~clock None));
+  check Alcotest.bool "Some is a deadline" false
+    (Budget.is_unlimited (Budget.of_seconds_opt ~clock (Some 1.0)))
+
+let budget_min_of () =
+  let clock, advance = fake_clock () in
+  let early = Budget.of_seconds ~clock 1.0 and late = Budget.of_seconds ~clock 10.0 in
+  let m = Budget.min_of early late in
+  check Alcotest.bool "min with unlimited keeps deadline" false
+    (Budget.is_unlimited (Budget.min_of Budget.unlimited early));
+  advance 2.0;
+  check Alcotest.bool "earlier deadline wins" true (Budget.expired m);
+  check Alcotest.bool "later one alone survives" false (Budget.expired late)
+
+let budget_sub_slice () =
+  let clock, advance = fake_clock () in
+  let run = Budget.of_seconds ~clock 10.0 in
+  (* A generous slice is still capped by the enclosing budget... *)
+  let slice = Budget.sub ~clock run ~seconds:60.0 in
+  check Alcotest.(float 1e-9) "capped by parent" 10.0 (Budget.remaining_s slice);
+  (* ...and a short slice expires before the run does. *)
+  let short = Budget.sub ~clock run ~seconds:1.0 in
+  advance 1.5;
+  check Alcotest.bool "slice expired" true (Budget.expired short);
+  check Alcotest.bool "run still open" false (Budget.expired run);
+  check Alcotest.bool "sub_opt None is parent" false
+    (Budget.expired (Budget.sub_opt ~clock run None))
+
+(* --- Diagnostics -------------------------------------------------- *)
+
+let diag_to_string_with_line () =
+  let d = D.error ~loc:(D.line ~file:"x.bench" 12) D.Unknown_gate "no such gate %S" "FROB" in
+  check Alcotest.string "rendering" "x.bench:12: error: no such gate \"FROB\" [E-unknown-gate]"
+    (D.to_string d)
+
+let diag_to_string_no_line () =
+  let d = D.error ~loc:{ D.file = Some "ck.bin"; line = 0 } D.Checkpoint_format "bad header" in
+  check Alcotest.string "line 0 omitted" "ck.bin: error: bad header [E-checkpoint-format]"
+    (D.to_string d);
+  let bare = D.error D.Empty_input "nothing to parse" in
+  check Alcotest.string "no location at all" "error: nothing to parse [E-empty]"
+    (D.to_string bare)
+
+let diag_severities () =
+  let w = D.warning D.Dead_logic "node drives nothing" in
+  check Alcotest.string "warning slug" "W-dead-logic" (D.code_string w.D.code);
+  check Alcotest.bool "warning is not an error" false (D.is_error w);
+  let e = D.error D.Syntax "bad" in
+  check Alcotest.int "count_errors" 1 (D.count_errors [ w; e; w ])
+
+let diag_fail_raises () =
+  match D.fail ~loc:(D.line 3) D.Syntax "boom %d" 7 with
+  | exception D.Failed d ->
+      check Alcotest.string "message formatted" "boom 7" d.D.message;
+      check Alcotest.int "line carried" 3 d.D.loc.D.line
+  | _ -> Alcotest.fail "expected Failed"
+
 let () =
   Alcotest.run "util"
     [
@@ -252,4 +345,21 @@ let () =
           Alcotest.test_case "mismatch" `Quick table_mismatch;
         ] );
       ("plot", [ Alcotest.test_case "renders" `Quick plot_renders ]);
+      ( "budget",
+        [
+          Alcotest.test_case "unlimited" `Quick budget_unlimited;
+          Alcotest.test_case "expires on clock" `Quick budget_expires_on_clock;
+          Alcotest.test_case "zero already expired" `Quick budget_zero_already_expired;
+          Alcotest.test_case "negative rejected" `Quick budget_negative_rejected;
+          Alcotest.test_case "of_seconds_opt" `Quick budget_of_seconds_opt;
+          Alcotest.test_case "min_of" `Quick budget_min_of;
+          Alcotest.test_case "sub slices" `Quick budget_sub_slice;
+        ] );
+      ( "diagnostics",
+        [
+          Alcotest.test_case "to_string with line" `Quick diag_to_string_with_line;
+          Alcotest.test_case "to_string without line" `Quick diag_to_string_no_line;
+          Alcotest.test_case "severities and counting" `Quick diag_severities;
+          Alcotest.test_case "fail raises Failed" `Quick diag_fail_raises;
+        ] );
     ]
