@@ -9,17 +9,24 @@
      dune exec bench/main.exe table5             # one artefact
      dune exec bench/main.exe -- --full table5   # + syn5378/syn13207
      dune exec bench/main.exe -- --no-micro      # skip Bechamel part
-     dune exec bench/main.exe -- --micro-only    # only Bechamel part *)
+     dune exec bench/main.exe -- --micro-only    # only Bechamel part
+     dune exec bench/main.exe -- --jobs 8        # parallel-kernel domains
+
+   Besides the text report, the perf-kernel section writes a
+   machine-readable BENCH_adi.json next to the working directory. *)
 
 let experiments_requested = ref []
 let full = ref false
 let seed = ref 1
+let jobs = ref 4
 let run_reports = ref true
 let run_micro = ref true
+let run_perf = ref true
 
 let usage () =
   prerr_endline
-    "usage: main.exe [--full] [--seed N] [--no-micro | --micro-only] [EXPERIMENT ...]";
+    "usage: main.exe [--full] [--seed N] [--jobs N] [--no-micro | --micro-only] [--no-perf] \
+     [EXPERIMENT ...]";
   Printf.eprintf "experiments: %s\n" (String.concat ", " Harness.experiment_names);
   exit 2
 
@@ -34,6 +41,10 @@ let parse_args () =
         go rest
     | "--micro-only" :: rest ->
         run_reports := false;
+        run_perf := false;
+        go rest
+    | "--no-perf" :: rest ->
+        run_perf := false;
         go rest
     | "--seed" :: n :: rest -> (
         match int_of_string_opt n with
@@ -41,6 +52,12 @@ let parse_args () =
             seed := v;
             go rest
         | None -> usage ())
+    | "--jobs" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some v when v >= 1 ->
+            jobs := v;
+            go rest
+        | _ -> usage ())
     | ("--help" | "-h") :: _ -> usage ()
     | w :: rest ->
         if List.mem w Harness.experiment_names then begin
@@ -60,14 +77,103 @@ let parse_args () =
 
 (* ---------- reproduction reports --------------------------------- *)
 
+(* (name, wall seconds) of every timed section, for BENCH_adi.json. *)
+let experiment_times = ref []
+
 let print_reports () =
   List.iter
     (fun w ->
       let t0 = Unix.gettimeofday () in
       let body = Harness.run_experiment ~seed:!seed ~full:!full w in
-      Printf.printf "%s\n(%s regenerated in %.1fs)\n\n%!" body w
-        (Unix.gettimeofday () -. t0))
+      let dt = Unix.gettimeofday () -. t0 in
+      experiment_times := (w, dt) :: !experiment_times;
+      Printf.printf "%s\n(%s regenerated in %.1fs)\n\n%!" body w dt)
     !experiments_requested
+
+(* ---------- parallel fault-simulation kernels --------------------- *)
+
+(* Wall-time the non-dropping simulation of a sizeable pattern set on
+   the largest requested suite circuit, serial vs. the jobs-sized pool
+   (stem-first) vs. single-domain stem-first, check the three agree
+   word for word, and leave the numbers in BENCH_adi.json. *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_bench_json ~circuit ~kernels ~speedup =
+  let oc = open_out "BENCH_adi.json" in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) @@ fun () ->
+  let pf fmt = Printf.fprintf oc fmt in
+  pf "{\n";
+  pf "  \"schema\": \"bench_adi/v1\",\n";
+  pf "  \"seed\": %d,\n" !seed;
+  pf "  \"jobs\": %d,\n" !jobs;
+  pf "  \"circuit\": \"%s\",\n" (json_escape circuit);
+  pf "  \"kernels\": [\n";
+  List.iteri
+    (fun i (name, kjobs, wall_s) ->
+      pf "    {\"name\": \"%s\", \"circuit\": \"%s\", \"jobs\": %d, \"wall_s\": %.6f}%s\n"
+        (json_escape name) (json_escape circuit) kjobs wall_s
+        (if i = List.length kernels - 1 then "" else ","))
+    kernels;
+  pf "  ],\n";
+  pf "  \"speedup_detection_sets\": %.3f,\n" speedup;
+  pf "  \"experiments\": [\n";
+  let exps = List.rev !experiment_times in
+  List.iteri
+    (fun i (name, wall_s) ->
+      pf "    {\"name\": \"%s\", \"wall_s\": %.3f}%s\n" (json_escape name) wall_s
+        (if i = List.length exps - 1 then "" else ","))
+    exps;
+  pf "  ]\n";
+  pf "}\n"
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let run_perf_kernels () =
+  let name = if !full then "syn5378" else "syn1196" in
+  let c = Suite.build_by_name name in
+  let fl = Collapse.collapsed c in
+  let rng = Util.Rng.create !seed in
+  let pats =
+    Patterns.random rng ~n_inputs:(Array.length (Circuit.inputs c)) ~count:4096
+  in
+  Printf.printf "Parallel fault-simulation kernels (%s, %d faults, %d patterns):\n%!" name
+    (Fault_list.count fl) (Patterns.count pats);
+  let serial, t_serial = time (fun () -> Faultsim.detection_sets fl pats) in
+  Printf.printf "  detection_sets  jobs=1            %8.3f s\n%!" t_serial;
+  let pooled, t_pooled = time (fun () -> Faultsim.detection_sets ~jobs:!jobs fl pats) in
+  Printf.printf "  detection_sets  jobs=%-4d         %8.3f s\n%!" !jobs t_pooled;
+  let stem, t_stem = time (fun () -> Faultsim.detection_sets_stem_first fl pats) in
+  Printf.printf "  detection_sets  stem-first (1 dom)%8.3f s\n%!" t_stem;
+  Array.iteri
+    (fun i d ->
+      if not (Util.Bitvec.equal d pooled.(i)) || not (Util.Bitvec.equal d stem.(i)) then
+        failwith "bench: parallel/stem-first detection sets differ from serial")
+    serial;
+  let speedup = t_serial /. t_pooled in
+  Printf.printf "  all three agree word-for-word; speedup (jobs=%d vs serial): %.2fx\n\n%!"
+    !jobs speedup;
+  write_bench_json ~circuit:name
+    ~kernels:
+      [
+        ("detection_sets/serial", 1, t_serial);
+        (Printf.sprintf "detection_sets/jobs%d" !jobs, !jobs, t_pooled);
+        ("detection_sets/stem_first", 1, t_stem);
+      ]
+    ~speedup;
+  Printf.printf "(wrote BENCH_adi.json)\n\n%!"
 
 (* ---------- Bechamel micro-benchmarks ----------------------------- *)
 
@@ -264,4 +370,5 @@ let run_micro_benches () =
 let () =
   parse_args ();
   if !run_reports then print_reports ();
+  if !run_perf then run_perf_kernels ();
   if !run_micro then run_micro_benches ()

@@ -59,6 +59,13 @@ let seed_arg =
   let doc = "Random seed (drives U selection and random fill)." in
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Domains for parallel fault simulation (default: the recommended domain count). \
+     Results are bit-identical for any value."
+  in
+  Arg.(value & opt int (Util.Parallel.default_jobs ()) & info [ "j"; "jobs" ] ~docv:"JOBS" ~doc)
+
 (* --- stats ------------------------------------------------------- *)
 
 let stats_cmd =
@@ -94,26 +101,26 @@ let sim_cmd =
   let vectors =
     Arg.(value & opt int 1024 & info [ "n"; "vectors" ] ~docv:"N" ~doc:"Random vectors to simulate.")
   in
-  let run spec n seed = guard @@ fun () ->
+  let run spec n seed jobs = guard @@ fun () ->
     let c = load_circuit spec in
     let fl = Collapse.collapsed c in
     let rng = Util.Rng.create seed in
     let pats = Patterns.random rng ~n_inputs:(Array.length (Circuit.inputs c)) ~count:n in
-    let { Faultsim.detected; _ } = Faultsim.with_dropping fl pats in
+    let { Faultsim.detected; _ } = Faultsim.with_dropping ~jobs fl pats in
     Printf.printf "%d random vectors detect %d / %d collapsed faults (%.2f%%)\n" n detected
       (Fault_list.count fl)
       (100.0 *. float_of_int detected /. float_of_int (Fault_list.count fl))
   in
   Cmd.v
     (Cmd.info "sim" ~doc:"Random-pattern fault simulation with dropping")
-    Term.(const run $ circuit_arg $ vectors $ seed_arg)
+    Term.(const run $ circuit_arg $ vectors $ seed_arg $ jobs_arg)
 
 (* --- adi --------------------------------------------------------- *)
 
 let adi_cmd =
-  let run spec seed = guard @@ fun () ->
+  let run spec seed jobs = guard @@ fun () ->
     let c = load_circuit spec in
-    let setup = Pipeline.prepare ~seed c in
+    let setup = Pipeline.prepare ~seed ~jobs c in
     let adi = setup.Pipeline.adi in
     let sel = setup.Pipeline.selection in
     Printf.printf "|U| = %d vectors (pool detected %d faults)\n"
@@ -149,7 +156,7 @@ let adi_cmd =
   in
   Cmd.v
     (Cmd.info "adi" ~doc:"Compute accidental detection indices")
-    Term.(const run $ circuit_arg $ seed_arg)
+    Term.(const run $ circuit_arg $ seed_arg $ jobs_arg)
 
 (* --- order ------------------------------------------------------- *)
 
@@ -172,9 +179,9 @@ let order_cmd =
   let count =
     Arg.(value & opt int 20 & info [ "n" ] ~docv:"N" ~doc:"How many leading faults to print.")
   in
-  let run spec seed kind n = guard @@ fun () ->
+  let run spec seed jobs kind n = guard @@ fun () ->
     let c = load_circuit spec in
-    let setup = Pipeline.prepare ~seed c in
+    let setup = Pipeline.prepare ~seed ~jobs c in
     let order = Ordering.order kind setup.Pipeline.adi in
     Printf.printf "first %d faults of F%s:\n" (min n (Array.length order))
       (Ordering.to_string kind);
@@ -188,7 +195,7 @@ let order_cmd =
   in
   Cmd.v
     (Cmd.info "order" ~doc:"Print the head of an ordered fault set")
-    Term.(const run $ circuit_arg $ seed_arg $ order_opt $ count)
+    Term.(const run $ circuit_arg $ seed_arg $ jobs_arg $ order_opt $ count)
 
 (* --- atpg -------------------------------------------------------- *)
 
@@ -242,7 +249,7 @@ let atpg_cmd =
       & info [ "resume" ]
           ~doc:"Continue from the --checkpoint file if it exists; fresh run otherwise.")
   in
-  let run spec seed kind backtrack_limit retries time_budget fault_budget checkpoint
+  let run spec seed jobs kind backtrack_limit retries time_budget fault_budget checkpoint
       checkpoint_every resume recover out = guard @@ fun () ->
     let c = load_circuit ~recover spec in
     let config =
@@ -253,6 +260,7 @@ let atpg_cmd =
         retries;
         time_budget_s = time_budget;
         per_fault_budget_s = fault_budget;
+        jobs;
       }
     in
     (* With a checkpoint configured, Ctrl-C requests a clean stop at the
@@ -261,7 +269,7 @@ let atpg_cmd =
     if checkpoint <> None then
       Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> stop := true));
     let r =
-      Harness.run_atpg ~seed ~order:kind ~config ?checkpoint ~checkpoint_every ~resume
+      Harness.run_atpg ~seed ~order:kind ~jobs ~config ?checkpoint ~checkpoint_every ~resume
         ~should_stop:(fun () -> !stop) c
     in
     if checkpoint <> None then Sys.set_signal Sys.sigint Sys.Signal_default;
@@ -290,8 +298,9 @@ let atpg_cmd =
   Cmd.v
     (Cmd.info "atpg" ~doc:"Generate a test set with a chosen fault order")
     Term.(
-      const run $ circuit_arg $ seed_arg $ order_opt $ backtracks $ retries $ time_budget
-      $ fault_budget $ checkpoint $ checkpoint_every $ resume $ recover_arg $ out)
+      const run $ circuit_arg $ seed_arg $ jobs_arg $ order_opt $ backtracks $ retries
+      $ time_budget $ fault_budget $ checkpoint $ checkpoint_every $ resume $ recover_arg
+      $ out)
 
 (* --- gen --------------------------------------------------------- *)
 

@@ -26,12 +26,14 @@ type estimator =
       (** the alternative Section 2 mentions: the mean of [ndet(u)]
           over [D(f)], rounded down (still [>= 1] on detected faults) *)
 
-val compute : ?estimator:estimator -> Fault_list.t -> Patterns.t -> t
+val compute : ?estimator:estimator -> ?jobs:int -> Fault_list.t -> Patterns.t -> t
 (** Full non-dropping fault simulation of [U] followed by the chosen
     reduction (default {!Minimum}).  Cost: one
-    {!Faultsim.detection_sets} run. *)
+    {!Faultsim.detection_sets} run.  [jobs] (default 1) sizes the
+    simulation's domain pool; results are identical for any value. *)
 
-val compute_n_detection : ?estimator:estimator -> n:int -> Fault_list.t -> Patterns.t -> t
+val compute_n_detection :
+  ?estimator:estimator -> ?jobs:int -> n:int -> Fault_list.t -> Patterns.t -> t
 (** The paper's cheaper variant: estimate [ndet(u)] from n-detection
     fault simulation (each fault contributes only its [n] earliest
     detections), trading accuracy for simulation time.  With [n] large
@@ -65,10 +67,13 @@ type u_selection = {
 val select_u :
   ?pool:int ->
   ?target_coverage:float ->
+  ?jobs:int ->
   Util.Rng.t ->
   Fault_list.t ->
   u_selection
-(** Defaults: [pool = 10_000], [target_coverage = 0.9].  When the pool
+(** Defaults: [pool = 10_000], [target_coverage = 0.9], [jobs = 1]
+    ([pool] is the candidate-vector count, not the domain pool).  When
+    the pool
     cannot reach the target (the circuit retains redundant faults), the
     threshold falls back to the target fraction of the faults the pool
     does detect, keeping [U] small as the paper intends. *)

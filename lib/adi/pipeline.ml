@@ -5,18 +5,19 @@ type setup = {
   selection : Adi_index.u_selection;
   adi : Adi_index.t;
   seed : int;
+  jobs : int;
 }
 
-let prepare ?(seed = 1) ?(pool = 10_000) ?(target_coverage = 0.9) circuit =
+let prepare ?(seed = 1) ?(pool = 10_000) ?(target_coverage = 0.9) ?(jobs = 1) circuit =
   let circuit =
     if Circuit.has_state circuit then fst (Scan.combinational circuit) else circuit
   in
   let collapse = Collapse.equivalence (Fault_list.full circuit) in
   let faults = collapse.Collapse.representatives in
   let rng = Util.Rng.create seed in
-  let selection = Adi_index.select_u ~pool ~target_coverage rng faults in
-  let adi = Adi_index.compute faults selection.Adi_index.u in
-  { circuit; faults; collapse; selection; adi; seed }
+  let selection = Adi_index.select_u ~pool ~target_coverage ~jobs rng faults in
+  let adi = Adi_index.compute ~jobs faults selection.Adi_index.u in
+  { circuit; faults; collapse; selection; adi; seed; jobs }
 
 type run = { kind : Ordering.kind; order : int array; engine : Engine.result }
 
@@ -24,7 +25,7 @@ let run_order ?config setup kind =
   let config =
     match config with
     | Some c -> c
-    | None -> { Engine.default_config with seed = setup.seed }
+    | None -> { Engine.default_config with seed = setup.seed; jobs = setup.jobs }
   in
   let order = Ordering.order kind setup.adi in
   let engine = Engine.run ~config setup.faults ~order in

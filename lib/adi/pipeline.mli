@@ -11,13 +11,16 @@ type setup = {
   selection : Adi_index.u_selection;
   adi : Adi_index.t;
   seed : int;
+  jobs : int;  (** domain-pool size the setup was built with *)
 }
 
 val prepare :
-  ?seed:int -> ?pool:int -> ?target_coverage:float -> Circuit.t -> setup
+  ?seed:int -> ?pool:int -> ?target_coverage:float -> ?jobs:int -> Circuit.t -> setup
 (** Build everything up to the ADI values.  Sequential circuits are put
     through {!Scan.combinational} first.  Defaults: [seed = 1],
-    [pool = 10_000], [target_coverage = 0.9]. *)
+    [pool = 10_000], [target_coverage = 0.9], [jobs = 1].  [jobs] only
+    sizes the fault-simulation domain pool; every result is identical
+    for any value. *)
 
 type run = {
   kind : Ordering.kind;

@@ -12,11 +12,13 @@ type result = {
   tests : Patterns.t;  (** the compacted test set *)
 }
 
-val reverse_order : Fault_list.t -> Patterns.t -> result
-(** @raise Invalid_argument if pattern width disagrees with the
+val reverse_order : ?jobs:int -> Fault_list.t -> Patterns.t -> result
+(** [jobs] (default 1) sizes the fault-simulation domain pool; the
+    kept set is identical for any value.
+    @raise Invalid_argument if pattern width disagrees with the
     circuit's PI count. *)
 
-val set_cover : Fault_list.t -> Patterns.t -> result
+val set_cover : ?jobs:int -> Fault_list.t -> Patterns.t -> result
 (** Stronger (and costlier) static compaction: non-dropping simulation
     gives each test's full detection set, then a greedy set cover picks
     tests by decreasing marginal coverage.  Usually (not always)

@@ -1,5 +1,6 @@
 module Rng = Util.Rng
 module Budget = Util.Budget
+module Parallel = Util.Parallel
 
 type generator = Podem_gen | Dalg_gen
 
@@ -10,6 +11,7 @@ type config = {
   retries : int;
   time_budget_s : float option;
   per_fault_budget_s : float option;
+  jobs : int;
 }
 
 let default_config =
@@ -20,7 +22,24 @@ let default_config =
     retries = 1;
     time_budget_s = None;
     per_fault_budget_s = None;
+    jobs = 1;
   }
+
+(* Per-test fault scan: [visit ws fi] must touch only fault [fi]'s
+   cells, so static fault slices over private workspaces reproduce the
+   serial scan exactly. *)
+let fault_scan pool wss nf visit =
+  match pool with
+  | None -> for fi = 0 to nf - 1 do visit wss.(0) fi done
+  | Some p ->
+      let k = min (Parallel.jobs p) (max nf 1) in
+      Parallel.run p
+        (Array.init k (fun lane ->
+             fun () ->
+              let ws = wss.(lane) in
+              for fi = lane * nf / k to ((lane + 1) * nf / k) - 1 do
+                visit ws fi
+              done))
 
 type snapshot = {
   snap_pass : int;
@@ -77,7 +96,10 @@ let run ?(config = default_config) ?resume ?checkpoint_every ?on_checkpoint
   check_order nf order;
   let t0 = Unix.gettimeofday () in
   let scoap = Scoap.compute c in
-  let ws = Faultsim.workspace c in
+  let jobs = max 1 config.jobs in
+  let wss = Array.init jobs (fun _ -> Faultsim.workspace c) in
+  let pool = if jobs > 1 then Some (Parallel.create ~jobs ()) else None in
+  Fun.protect ~finally:(fun () -> Option.iter Parallel.shutdown pool) @@ fun () ->
   let stats = Podem.fresh_stats () in
   let ctx = Podem.context ~stats c scoap in
   let run_budget = Budget.of_seconds_opt config.time_budget_s in
@@ -144,11 +166,10 @@ let run ?(config = default_config) ?resume ?checkpoint_every ?on_checkpoint
   let simulate_and_drop vec test_idx =
     let pats = Patterns.of_vectors ~n_inputs [| vec |] in
     Goodsim.block_into c pats 0 good;
-    for fi = 0 to nf - 1 do
-      if detected_by.(fi) < 0 then
-        if Int64.logand (Faultsim.detect_block ws ~good (Fault_list.get fl fi)) 1L = 1L then
-          detected_by.(fi) <- test_idx
-    done
+    fault_scan pool wss nf (fun ws fi ->
+        if detected_by.(fi) < 0 then
+          if Int64.logand (Faultsim.detect_block ws ~good (Fault_list.get fl fi)) 1L = 1L
+          then detected_by.(fi) <- test_idx)
   in
   let interrupted = ref false in
   let since_checkpoint = ref 0 in
@@ -264,7 +285,10 @@ let run_n_detect ?(config = default_config) ~n fl ~order =
   check_order nf order;
   let t0 = Unix.gettimeofday () in
   let scoap = Scoap.compute c in
-  let ws = Faultsim.workspace c in
+  let jobs = max 1 config.jobs in
+  let wss = Array.init jobs (fun _ -> Faultsim.workspace c) in
+  let pool = if jobs > 1 then Some (Parallel.create ~jobs ()) else None in
+  Fun.protect ~finally:(fun () -> Option.iter Parallel.shutdown pool) @@ fun () ->
   let rng = Rng.create config.seed in
   let stats = Podem.fresh_stats () in
   let ctx = Podem.context ~stats c scoap in
@@ -280,14 +304,13 @@ let run_n_detect ?(config = default_config) ~n fl ~order =
   let simulate vec test_idx =
     let pats = Patterns.of_vectors ~n_inputs [| vec |] in
     Goodsim.block_into c pats 0 good;
-    for fi = 0 to nf - 1 do
-      if counts.(fi) < n then
-        if Int64.logand (Faultsim.detect_block ws ~good (Fault_list.get fl fi)) 1L = 1L
-        then begin
-          counts.(fi) <- counts.(fi) + 1;
-          if detected_by.(fi) < 0 then detected_by.(fi) <- test_idx
-        end
-    done
+    fault_scan pool wss nf (fun ws fi ->
+        if counts.(fi) < n then
+          if Int64.logand (Faultsim.detect_block ws ~good (Fault_list.get fl fi)) 1L = 1L
+          then begin
+            counts.(fi) <- counts.(fi) + 1;
+            if detected_by.(fi) < 0 then detected_by.(fi) <- test_idx
+          end)
   in
   for pass = 1 to n do
     Array.iter
@@ -342,7 +365,10 @@ let run_compacting ?(config = default_config) ?(secondary_limit = 50) fl ~order 
   check_order nf order;
   let t0 = Unix.gettimeofday () in
   let scoap = Scoap.compute c in
-  let ws = Faultsim.workspace c in
+  let jobs = max 1 config.jobs in
+  let wss = Array.init jobs (fun _ -> Faultsim.workspace c) in
+  let pool = if jobs > 1 then Some (Parallel.create ~jobs ()) else None in
+  Fun.protect ~finally:(fun () -> Option.iter Parallel.shutdown pool) @@ fun () ->
   let rng = Rng.create config.seed in
   let stats = Podem.fresh_stats () in
   let ctx = Podem.context ~stats c scoap in
@@ -356,11 +382,10 @@ let run_compacting ?(config = default_config) ?(secondary_limit = 50) fl ~order 
   let simulate_and_drop vec test_idx =
     let pats = Patterns.of_vectors ~n_inputs [| vec |] in
     Goodsim.block_into c pats 0 good;
-    for fi = 0 to nf - 1 do
-      if detected_by.(fi) < 0 then
-        if Int64.logand (Faultsim.detect_block ws ~good (Fault_list.get fl fi)) 1L = 1L then
-          detected_by.(fi) <- test_idx
-    done
+    fault_scan pool wss nf (fun ws fi ->
+        if detected_by.(fi) < 0 then
+          if Int64.logand (Faultsim.detect_block ws ~good (Fault_list.get fl fi)) 1L = 1L
+          then detected_by.(fi) <- test_idx)
   in
   let cube_full cube = Array.for_all (fun t -> t <> Ternary.X) cube in
   Array.iteri

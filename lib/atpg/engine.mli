@@ -40,6 +40,11 @@ type config = {
       (** whole-run wall-clock budget (default [None] = unlimited) *)
   per_fault_budget_s : float option;
       (** per-fault wall-clock slice (default [None] = unlimited) *)
+  jobs : int;
+      (** domain-pool size for the per-test fault-simulation scans
+          (default 1 = serial).  Purely a throughput knob: every result
+          field is identical for any value, so [jobs] takes no part in
+          checkpoint/resume matching. *)
 }
 
 val default_config : config

@@ -1,8 +1,8 @@
 module Bitvec = Util.Bitvec
 
-let greedy fl pats =
+let greedy ?(jobs = 1) fl pats =
   let n_tests = Patterns.count pats in
-  let dsets = Faultsim.detection_sets fl pats in
+  let dsets = Faultsim.detection_sets ~jobs fl pats in
   (* Transpose: per test, the set of faults it detects. *)
   let nf = Fault_list.count fl in
   let per_test = Array.init n_tests (fun _ -> Bitvec.create nf) in

@@ -7,11 +7,13 @@
     This module implements that baseline so the two approaches can be
     compared (ablation A5). *)
 
-val greedy : Fault_list.t -> Patterns.t -> int array
+val greedy : ?jobs:int -> Fault_list.t -> Patterns.t -> int array
 (** Permutation of test positions: position 0 holds the test with the
     largest detection count, and each subsequent position the test
     covering the most not-yet-detected faults.  Ties break to the
-    earlier original position. *)
+    earlier original position.  [jobs] (default 1) sizes the
+    fault-simulation domain pool; the permutation is identical for any
+    value. *)
 
 val apply : Patterns.t -> int array -> Patterns.t
 (** Rebuild the test set in the permuted order. *)

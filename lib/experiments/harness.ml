@@ -88,12 +88,14 @@ let atpg_report ~kind ~faults (e : Engine.result) =
       (Coverage.ave (Coverage.of_engine_result faults e));
   Buffer.contents b
 
-let run_atpg ?(seed = 1) ?(order = Ordering.Dynm0) ?config ?checkpoint
+let run_atpg ?(seed = 1) ?(order = Ordering.Dynm0) ?(jobs = 1) ?config ?checkpoint
     ?(checkpoint_every = 32) ?(resume = false) ?should_stop circuit =
   let config =
-    match config with Some c -> c | None -> { Engine.default_config with Engine.seed }
+    match config with
+    | Some c -> c
+    | None -> { Engine.default_config with Engine.seed; Engine.jobs }
   in
-  let setup = Pipeline.prepare ~seed circuit in
+  let setup = Pipeline.prepare ~seed ~jobs circuit in
   let order_arr = Ordering.order order setup.Pipeline.adi in
   let order_kind = Ordering.to_string order in
   let generator = generator_name config.Engine.generator in

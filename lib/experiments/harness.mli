@@ -43,6 +43,7 @@ type atpg_run = {
 val run_atpg :
   ?seed:int ->
   ?order:Ordering.kind ->
+  ?jobs:int ->
   ?config:Engine.config ->
   ?checkpoint:string ->
   ?checkpoint_every:int ->
@@ -62,6 +63,11 @@ val run_atpg :
       continues from it; a missing file starts a fresh run.  The
       checkpoint's identity block (circuit digest, seed, order,
       generator, limits) must match the current invocation.
+    - [jobs] (default 1) sizes the fault-simulation domain pool, both
+      for the ADI setup and — unless an explicit [config] overrides
+      it — for the engine.  Results are identical for any value, so it
+      is deliberately absent from the checkpoint identity: a run
+      checkpointed under one [jobs] may resume under another.
 
     @raise Util.Diagnostics.Failed with code [Checkpoint_mismatch]
     when resuming under parameters that differ from those recorded in

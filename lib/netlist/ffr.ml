@@ -1,0 +1,54 @@
+type t = { circuit : Circuit.t; stem : int array; stems : int array }
+
+let node_is_stem c v = Circuit.is_output c v || Circuit.fanout_count c v <> 1
+
+let compute c =
+  if Circuit.has_state c then
+    invalid_arg "Ffr.compute: circuit has flip-flops; apply Scan.combinational first";
+  let n = Circuit.node_count c in
+  let stem = Array.make n (-1) in
+  let order = Circuit.topological_order c in
+  (* Reverse topological order: a node's unique fanout is resolved
+     before the node itself. *)
+  for i = n - 1 downto 0 do
+    let v = order.(i) in
+    if node_is_stem c v then stem.(v) <- v
+    else stem.(v) <- stem.((Circuit.fanouts c v).(0))
+  done;
+  let count = ref 0 in
+  Array.iteri (fun v s -> if v = s then incr count) stem;
+  let stems = Array.make !count 0 in
+  let j = ref 0 in
+  Array.iteri
+    (fun v s ->
+      if v = s then begin
+        stems.(!j) <- v;
+        incr j
+      end)
+    stem;
+  { circuit = c; stem; stems }
+
+let is_stem t v = t.stem.(v) = v
+let stem_of t v = t.stem.(v)
+let stems t = t.stems
+let region_count t = Array.length t.stems
+
+let members t s =
+  if not (is_stem t s) then invalid_arg "Ffr.members: not a stem";
+  let n = Array.length t.stem in
+  let count = ref 0 in
+  for v = 0 to n - 1 do
+    if t.stem.(v) = s then incr count
+  done;
+  let out = Array.make !count 0 in
+  let j = ref 0 in
+  for v = 0 to n - 1 do
+    if t.stem.(v) = s then begin
+      out.(!j) <- v;
+      incr j
+    end
+  done;
+  out
+
+let average_size t =
+  float_of_int (Circuit.node_count t.circuit) /. float_of_int (max 1 (region_count t))

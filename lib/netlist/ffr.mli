@@ -1,0 +1,43 @@
+(** Fanout-free regions of a combinational circuit.
+
+    A node is a {e stem} when its value is observed in more than one
+    place — it drives several consumers, is a primary output, or drives
+    nothing at all (a dead node is its own trivial stem).  Every other
+    node has exactly one consumer, so following fanout edges from any
+    node reaches a unique nearest stem; the set of nodes sharing a stem
+    is that stem's fanout-free region (FFR).
+
+    Inside an FFR the path from a node to its stem is unique, which is
+    what makes stem-first fault simulation exact: a fault effect
+    anywhere in the region either reaches the stem as a plain value
+    flip or dies locally, so one full propagation per stem plus a local
+    path-sensitization walk per fault reproduces per-fault propagation
+    bit for bit (see {!Faultsim}).
+
+    Requires a combinational circuit. *)
+
+type t
+
+val compute : Circuit.t -> t
+(** @raise Invalid_argument if the circuit has flip-flops. *)
+
+val is_stem : t -> int -> bool
+(** Whether the node is a stem: a primary output, or fanout count [<> 1]. *)
+
+val stem_of : t -> int -> int
+(** The stem whose region contains the node; [stem_of t s = s] for a
+    stem [s]. *)
+
+val stems : t -> int array
+(** All stems, in increasing node id.  Do not mutate. *)
+
+val region_count : t -> int
+
+val members : t -> int -> int array
+(** [members t s] lists the nodes of stem [s]'s region (including [s]
+    itself), in increasing node id.  Computed on demand.
+    @raise Invalid_argument if [s] is not a stem. *)
+
+val average_size : t -> float
+(** Mean region size — the factor by which stem-first simulation
+    divides the number of full propagations. *)

@@ -1,4 +1,5 @@
 module Bitvec = Util.Bitvec
+module Parallel = Util.Parallel
 
 type workspace = {
   circuit : Circuit.t;
@@ -93,7 +94,10 @@ let eval_faulty ws ~good node =
   | Gate.Xor -> fold Int64.logxor 0L
   | Gate.Xnor -> Int64.lognot (fold Int64.logxor 0L)
 
-let detect_block ws ~good (f : Fault.t) =
+(* Event-driven propagation of an arbitrary injected value [v0] at node
+   [n0]; returns the lanes in which any primary output diverges from
+   the good values. *)
+let propagate ws ~good n0 v0 =
   let c = ws.circuit in
   let detect = ref 0L in
   let record node value =
@@ -108,8 +112,7 @@ let detect_block ws ~good (f : Fault.t) =
       Array.iter (fun s -> schedule ws s) (Circuit.fanouts c node)
     end
   in
-  let n0 = Fault.site_node f in
-  record n0 (injected_value ws ~good f);
+  record n0 v0;
   (* Propagate by increasing level; all fanins of a level-L node are
      final before L is processed. *)
   if ws.sched_nodes <> [] then
@@ -129,11 +132,99 @@ let detect_block ws ~good (f : Fault.t) =
   ws.sched_nodes <- [];
   !detect
 
+let detect_block ws ~good (f : Fault.t) =
+  propagate ws ~good (Fault.site_node f) (injected_value ws ~good f)
+
 let block_mask pats b =
   let cnt = Patterns.count pats - (b * 64) in
   if cnt >= 64 then -1L else Int64.sub (Int64.shift_left 1L cnt) 1L
 
-let detection_sets fl pats =
+(* --- stem-first (FFR) acceleration -------------------------------- *)
+
+(* Faults grouped by the stem of their fanout-free region.  One full
+   propagation per stem (the stem toggle) serves every fault of the
+   region; each fault then only pays a local sensitization walk along
+   its unique path to the stem. *)
+type stem_plan = {
+  ffr : Ffr.t;
+  plan_stems : int array;  (* fault-bearing stems, increasing node id *)
+  stem_faults : int array array;  (* per stem, fault indices, increasing *)
+}
+
+let stem_plan fl =
+  let c = Fault_list.circuit fl in
+  let ffr = Ffr.compute c in
+  let nf = Fault_list.count fl in
+  let buckets = Array.make (Circuit.node_count c) [] in
+  for fi = nf - 1 downto 0 do
+    let s = Ffr.stem_of ffr (Fault.site_node (Fault_list.get fl fi)) in
+    buckets.(s) <- fi :: buckets.(s)
+  done;
+  let stems = ref [] in
+  for s = Circuit.node_count c - 1 downto 0 do
+    if buckets.(s) <> [] then stems := s :: !stems
+  done;
+  let plan_stems = Array.of_list !stems in
+  { ffr; plan_stems; stem_faults = Array.map (fun s -> Array.of_list buckets.(s)) plan_stems }
+
+(* Gate output with every pin fed by [x] complemented (a gate may read
+   the same signal on several pins); other pins read good values.
+   XORed against the good output this is the word of lanes in which a
+   value change at [x] passes through the gate. *)
+let eval_flip c ~good node x =
+  let fanins = Circuit.fanins c node in
+  let n = Array.length fanins in
+  let v i =
+    let f = fanins.(i) in
+    if f = x then Int64.lognot good.(f) else good.(f)
+  in
+  let fold op init =
+    let acc = ref init in
+    for i = 0 to n - 1 do
+      acc := op !acc (v i)
+    done;
+    !acc
+  in
+  match Circuit.kind c node with
+  | Gate.Const0 -> 0L
+  | Gate.Const1 -> -1L
+  | Gate.Input -> good.(node)
+  | Gate.Buf | Gate.Dff -> v 0
+  | Gate.Not -> Int64.lognot (v 0)
+  | Gate.And -> fold Int64.logand (-1L)
+  | Gate.Nand -> Int64.lognot (fold Int64.logand (-1L))
+  | Gate.Or -> fold Int64.logor 0L
+  | Gate.Nor -> Int64.lognot (fold Int64.logor 0L)
+  | Gate.Xor -> fold Int64.logxor 0L
+  | Gate.Xnor -> Int64.lognot (fold Int64.logxor 0L)
+
+(* Detection words for every fault of one region in the current block:
+   inside an FFR a fault effect either dies or arrives at the stem as a
+   plain value flip, so (local effect at the stem) AND (lanes where a
+   stem toggle reaches an output) is exactly per-fault propagation. *)
+let detect_stem_block ws ~good fl plan si ~mask emit =
+  let c = ws.circuit in
+  let stem = plan.plan_stems.(si) in
+  let obs = propagate ws ~good stem (Int64.lognot good.(stem)) in
+  if obs <> 0L then
+    Array.iter
+      (fun fi ->
+        let f = Fault_list.get fl fi in
+        let n0 = Fault.site_node f in
+        let eff = ref (Int64.logxor (injected_value ws ~good f) good.(n0)) in
+        let n = ref n0 in
+        while !eff <> 0L && !n <> stem do
+          let g = (Circuit.fanouts c !n).(0) in
+          eff := Int64.logand !eff (Int64.logxor good.(g) (eval_flip c ~good g !n));
+          n := g
+        done;
+        let d = Int64.logand (Int64.logand !eff obs) mask in
+        if d <> 0L then emit fi d)
+      plan.stem_faults.(si)
+
+(* --- whole-pattern-set drivers ------------------------------------ *)
+
+let detection_sets_serial fl pats =
   let c = Fault_list.circuit fl in
   let ws = workspace c in
   let nf = Fault_list.count fl in
@@ -150,6 +241,43 @@ let detection_sets fl pats =
   done;
   dsets
 
+(* Stem-first simulation over a pool.  Detection sets have no
+   cross-block dependency, so each lane owns a static slice of the
+   pattern blocks — private workspace and good-value buffer, one
+   fork-join for the whole run — and writes only its own blocks' words
+   of each detection set.  Every (fault, block) word is computed by
+   exactly one lane, so the result is bit-identical to the serial path
+   regardless of scheduling. *)
+let detection_sets_pooled pool fl pats =
+  let c = Fault_list.circuit fl in
+  let plan = stem_plan fl in
+  let nf = Fault_list.count fl in
+  let cnt = Patterns.count pats in
+  let dsets = Array.init nf (fun _ -> Bitvec.create cnt) in
+  let nblocks = Patterns.blocks pats in
+  let k = min (Parallel.jobs pool) (max nblocks 1) in
+  Parallel.run pool
+    (Array.init k (fun lane ->
+         fun () ->
+          let ws = workspace c in
+          let good = Array.make (Circuit.node_count c) 0L in
+          for b = lane * nblocks / k to ((lane + 1) * nblocks / k) - 1 do
+            Goodsim.block_into c pats b good;
+            let mask = block_mask pats b in
+            for si = 0 to Array.length plan.plan_stems - 1 do
+              detect_stem_block ws ~good fl plan si ~mask (fun fi d ->
+                  (Bitvec.words dsets.(fi)).(b) <- d)
+            done
+          done));
+  dsets
+
+let detection_sets ?(jobs = 1) fl pats =
+  if jobs <= 1 then detection_sets_serial fl pats
+  else Parallel.with_pool ~jobs (fun pool -> detection_sets_pooled pool fl pats)
+
+let detection_sets_stem_first fl pats =
+  Parallel.with_pool ~jobs:1 (fun pool -> detection_sets_pooled pool fl pats)
+
 let ndet dsets pats =
   let counts = Array.make (Patterns.count pats) 0 in
   Array.iter (fun d -> Bitvec.iter_set d (fun p -> counts.(p) <- counts.(p) + 1)) dsets;
@@ -157,7 +285,24 @@ let ndet dsets pats =
 
 type drop_result = { first_detection : int array; detected : int }
 
-let with_dropping fl pats =
+(* Per-block scan of the live faults over a pool: detection words are
+   produced in parallel on static slices of the alive array, then
+   merged serially in alive order — the same order the serial loop
+   visits, so dropping decisions are identical. *)
+let scan_alive pool wss fl ~good ~mask alive det =
+  let n = Array.length alive in
+  let lanes = Parallel.jobs pool in
+  let k = min lanes (max n 1) in
+  Parallel.run pool
+    (Array.init k (fun lane ->
+         fun () ->
+          let ws = wss.(lane) in
+          let lo = lane * n / k and hi = (lane + 1) * n / k in
+          for i = lo to hi - 1 do
+            det.(i) <- Int64.logand (detect_block ws ~good (Fault_list.get fl alive.(i))) mask
+          done))
+
+let with_dropping_serial fl pats =
   let c = Fault_list.circuit fl in
   let ws = workspace c in
   let nf = Fault_list.count fl in
@@ -176,9 +321,7 @@ let with_dropping fl pats =
           let d = Int64.logand (detect_block ws ~good (Fault_list.get fl fi)) mask in
           if d = 0L then true
           else begin
-            let low = Int64.logand d (Int64.neg d) in
-            let rec idx w i = if w = 1L then i else idx (Int64.shift_right_logical w 1) (i + 1) in
-            first.(fi) <- (!b * 64) + idx low 0;
+            first.(fi) <- (!b * 64) + Bitvec.ctz d;
             incr detected;
             false
           end)
@@ -187,18 +330,42 @@ let with_dropping fl pats =
   done;
   { first_detection = first; detected = !detected }
 
-let popcount_word x =
-  let x = Int64.sub x (Int64.logand (Int64.shift_right_logical x 1) 0x5555555555555555L) in
-  let x =
-    Int64.add
-      (Int64.logand x 0x3333333333333333L)
-      (Int64.logand (Int64.shift_right_logical x 2) 0x3333333333333333L)
-  in
-  let x = Int64.logand (Int64.add x (Int64.shift_right_logical x 4)) 0x0F0F0F0F0F0F0F0FL in
-  Int64.to_int (Int64.shift_right_logical (Int64.mul x 0x0101010101010101L) 56)
+let with_dropping_pooled pool fl pats =
+  let c = Fault_list.circuit fl in
+  let lanes = Parallel.jobs pool in
+  let wss = Array.init lanes (fun _ -> workspace c) in
+  let nf = Fault_list.count fl in
+  let first = Array.make nf (-1) in
+  let detected = ref 0 in
+  let alive = ref (Array.init nf Fun.id) in
+  let det = Array.make nf 0L in
+  let good = Array.make (Circuit.node_count c) 0L in
+  let b = ref 0 in
+  let nblocks = Patterns.blocks pats in
+  while !b < nblocks && Array.length !alive > 0 do
+    Goodsim.block_into c pats !b good;
+    let mask = block_mask pats !b in
+    let a = !alive in
+    scan_alive pool wss fl ~good ~mask a det;
+    let next = ref [] in
+    for i = Array.length a - 1 downto 0 do
+      let d = det.(i) in
+      if d = 0L then next := a.(i) :: !next
+      else begin
+        first.(a.(i)) <- (!b * 64) + Bitvec.ctz d;
+        incr detected
+      end
+    done;
+    alive := Array.of_list !next;
+    incr b
+  done;
+  { first_detection = first; detected = !detected }
 
-let n_detection fl pats ~n =
-  if n <= 0 then invalid_arg "Faultsim.n_detection: n must be positive";
+let with_dropping ?(jobs = 1) fl pats =
+  if jobs <= 1 then with_dropping_serial fl pats
+  else Parallel.with_pool ~jobs (fun pool -> with_dropping_pooled pool fl pats)
+
+let n_detection_serial fl pats ~n =
   let c = Fault_list.circuit fl in
   let ws = workspace c in
   let nf = Fault_list.count fl in
@@ -214,15 +381,58 @@ let n_detection fl pats ~n =
       List.filter
         (fun fi ->
           let d = Int64.logand (detect_block ws ~good (Fault_list.get fl fi)) mask in
-          if d <> 0L then counts.(fi) <- min n (counts.(fi) + popcount_word d);
+          if d <> 0L then counts.(fi) <- min n (counts.(fi) + Bitvec.popcount_word d);
           counts.(fi) < n)
         !alive;
     incr b
   done;
   counts
 
-let detection_sets_capped fl pats ~n =
-  if n <= 0 then invalid_arg "Faultsim.detection_sets_capped: n must be positive";
+let n_detection_pooled pool fl pats ~n =
+  let c = Fault_list.circuit fl in
+  let lanes = Parallel.jobs pool in
+  let wss = Array.init lanes (fun _ -> workspace c) in
+  let nf = Fault_list.count fl in
+  let counts = Array.make nf 0 in
+  let good = Array.make (Circuit.node_count c) 0L in
+  let alive = ref (Array.init nf Fun.id) in
+  let det = Array.make nf 0L in
+  let b = ref 0 in
+  let nblocks = Patterns.blocks pats in
+  while !b < nblocks && Array.length !alive > 0 do
+    Goodsim.block_into c pats !b good;
+    let mask = block_mask pats !b in
+    let a = !alive in
+    scan_alive pool wss fl ~good ~mask a det;
+    let next = ref [] in
+    for i = Array.length a - 1 downto 0 do
+      let fi = a.(i) in
+      let d = det.(i) in
+      if d <> 0L then counts.(fi) <- min n (counts.(fi) + Bitvec.popcount_word d);
+      if counts.(fi) < n then next := fi :: !next
+    done;
+    alive := Array.of_list !next;
+    incr b
+  done;
+  counts
+
+let n_detection ?(jobs = 1) fl pats ~n =
+  if n <= 0 then invalid_arg "Faultsim.n_detection: n must be positive";
+  if jobs <= 1 then n_detection_serial fl pats ~n
+  else Parallel.with_pool ~jobs (fun pool -> n_detection_pooled pool fl pats ~n)
+
+(* Keep only the earliest detections of [d] up to the cap. *)
+let keep_capped counts fi ~n d =
+  let kept = ref 0L and w = ref d in
+  while !w <> 0L && counts.(fi) < n do
+    let low = Int64.logand !w (Int64.neg !w) in
+    kept := Int64.logor !kept low;
+    counts.(fi) <- counts.(fi) + 1;
+    w := Int64.logxor !w low
+  done;
+  !kept
+
+let detection_sets_capped_serial fl pats ~n =
   let c = Fault_list.circuit fl in
   let ws = workspace c in
   let nf = Fault_list.count fl in
@@ -240,22 +450,47 @@ let detection_sets_capped fl pats ~n =
       List.filter
         (fun fi ->
           let d = Int64.logand (detect_block ws ~good (Fault_list.get fl fi)) mask in
-          if d <> 0L then begin
-            (* Keep only the earliest detections up to the cap. *)
-            let kept = ref 0L and w = ref d in
-            while !w <> 0L && counts.(fi) < n do
-              let low = Int64.logand !w (Int64.neg !w) in
-              kept := Int64.logor !kept low;
-              counts.(fi) <- counts.(fi) + 1;
-              w := Int64.logxor !w low
-            done;
-            (Bitvec.words dsets.(fi)).(!b) <- !kept
-          end;
+          if d <> 0L then (Bitvec.words dsets.(fi)).(!b) <- keep_capped counts fi ~n d;
           counts.(fi) < n)
         !alive;
     incr b
   done;
   dsets
+
+let detection_sets_capped_pooled pool fl pats ~n =
+  let c = Fault_list.circuit fl in
+  let lanes = Parallel.jobs pool in
+  let wss = Array.init lanes (fun _ -> workspace c) in
+  let nf = Fault_list.count fl in
+  let cnt = Patterns.count pats in
+  let dsets = Array.init nf (fun _ -> Bitvec.create cnt) in
+  let counts = Array.make nf 0 in
+  let good = Array.make (Circuit.node_count c) 0L in
+  let alive = ref (Array.init nf Fun.id) in
+  let det = Array.make nf 0L in
+  let b = ref 0 in
+  let nblocks = Patterns.blocks pats in
+  while !b < nblocks && Array.length !alive > 0 do
+    Goodsim.block_into c pats !b good;
+    let mask = block_mask pats !b in
+    let a = !alive in
+    scan_alive pool wss fl ~good ~mask a det;
+    let next = ref [] in
+    for i = Array.length a - 1 downto 0 do
+      let fi = a.(i) in
+      let d = det.(i) in
+      if d <> 0L then (Bitvec.words dsets.(fi)).(!b) <- keep_capped counts fi ~n d;
+      if counts.(fi) < n then next := fi :: !next
+    done;
+    alive := Array.of_list !next;
+    incr b
+  done;
+  dsets
+
+let detection_sets_capped ?(jobs = 1) fl pats ~n =
+  if n <= 0 then invalid_arg "Faultsim.detection_sets_capped: n must be positive";
+  if jobs <= 1 then detection_sets_capped_serial fl pats ~n
+  else Parallel.with_pool ~jobs (fun pool -> detection_sets_capped_pooled pool fl pats ~n)
 
 let detects c f pi_values =
   if Array.length pi_values <> Array.length (Circuit.inputs c) then

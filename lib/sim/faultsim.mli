@@ -6,6 +6,17 @@
     levelised fanout cone, comparing against the good values at the
     primary outputs.
 
+    Every driver takes an optional [?jobs] argument (default 1).  With
+    [jobs = 1] the original serial loops run unchanged — the reference
+    implementation.  With [jobs > 1] the work is spread over a
+    {!Util.Parallel} domain pool: each domain owns a private
+    {!workspace} and a static slice of the fault indices while all
+    domains share the read-only good-value block, and detection words
+    are merged in a fixed order, so results are bit-identical to the
+    serial path regardless of scheduling.  [detection_sets] with
+    [jobs > 1] additionally uses stem-first FFR acceleration (see
+    {!detection_sets_stem_first}).
+
     All entry points require a combinational circuit. *)
 
 type workspace
@@ -23,10 +34,19 @@ val detect_block : workspace -> good:int64 array -> Fault.t -> int64
 
 (** {1 Whole-pattern-set drivers} *)
 
-val detection_sets : Fault_list.t -> Patterns.t -> Util.Bitvec.t array
+val detection_sets : ?jobs:int -> Fault_list.t -> Patterns.t -> Util.Bitvec.t array
 (** Simulation {e without fault dropping}: for every fault [f] the full
     detection set [D(f)] over all patterns — the input the accidental
     detection index is computed from. *)
+
+val detection_sets_stem_first : Fault_list.t -> Patterns.t -> Util.Bitvec.t array
+(** {!detection_sets} via fanout-free-region acceleration on a single
+    domain: one full propagation per fault-bearing FFR stem (a lane-wise
+    stem toggle) yields the stem's output observability word; each fault
+    of the region then pays only a local sensitization walk along its
+    unique path to the stem.  Within an FFR a fault effect either dies
+    or arrives at the stem as a plain value flip, so the result is
+    bit-identical to per-fault propagation. *)
 
 val ndet : Util.Bitvec.t array -> Patterns.t -> int array
 (** [ndet dsets pats] gives [ndet(u)] — the number of faults detected
@@ -38,17 +58,18 @@ type drop_result = {
   detected : int;  (** number of detected faults *)
 }
 
-val with_dropping : Fault_list.t -> Patterns.t -> drop_result
+val with_dropping : ?jobs:int -> Fault_list.t -> Patterns.t -> drop_result
 (** Simulation with fault dropping: each fault is removed from
     consideration after its first detection. *)
 
-val n_detection : Fault_list.t -> Patterns.t -> n:int -> int array
+val n_detection : ?jobs:int -> Fault_list.t -> Patterns.t -> n:int -> int array
 (** n-detection simulation: per fault, the number of detecting patterns
     seen, counting at most [n] (a fault is dropped after its [n]-th
     detection).  [n_detection fl pats ~n:1] counts like
     {!with_dropping}. *)
 
-val detection_sets_capped : Fault_list.t -> Patterns.t -> n:int -> Util.Bitvec.t array
+val detection_sets_capped :
+  ?jobs:int -> Fault_list.t -> Patterns.t -> n:int -> Util.Bitvec.t array
 (** n-detection variant of {!detection_sets}: each fault's detection
     set records at most its [n] earliest detecting patterns (the fault
     is dropped afterwards).  The paper's cheaper alternative for

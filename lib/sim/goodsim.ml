@@ -29,17 +29,13 @@ let outputs c pats =
   let values = Array.make (Circuit.node_count c) 0L in
   for b = 0 to Patterns.blocks pats - 1 do
     block_into c pats b values;
-    Array.iteri
-      (fun oi o ->
-        let w = values.(o) in
-        let base = b * 64 in
-        let hi = min 64 (cnt - base) in
-        for j = 0 to hi - 1 do
-          if Int64.logand (Int64.shift_right_logical w j) 1L = 1L then
-            Bitvec.set cols.(oi) (base + j) true
-        done)
-      outs
+    (* Whole-word stores: lane j of the node value is pattern 64b+j by
+       construction, exactly the bit layout of the column. *)
+    Array.iteri (fun oi o -> (Bitvec.words cols.(oi)).(b) <- values.(o)) outs
   done;
+  (* Lanes beyond the pattern count evaluated the all-zero vector; mask
+     them off so the columns stay canonical. *)
+  Array.iter Bitvec.normalise cols;
   cols
 
 let eval_scalar c pi_values =

@@ -73,15 +73,33 @@ let diff_into ~dst src =
 
 let is_zero t = Array.for_all (fun w -> w = 0L) t.w
 
+(* Constant-time count-trailing-zeros: isolate the lowest set bit and
+   hash it through a de Bruijn sequence; the top 6 bits of the product
+   are unique per bit position. *)
+let debruijn = 0x03F79D71B4CB0A89L
+
+let ctz_table =
+  let tbl = Array.make 64 0 in
+  for i = 0 to 63 do
+    let hash =
+      Int64.to_int (Int64.shift_right_logical (Int64.mul debruijn (Int64.shift_left 1L i)) 58)
+    in
+    tbl.(hash land 63) <- i
+  done;
+  tbl
+
+let ctz w =
+  if w = 0L then 64
+  else
+    let low = Int64.logand w (Int64.neg w) in
+    ctz_table.(Int64.to_int (Int64.shift_right_logical (Int64.mul low debruijn) 58) land 63)
+
 let iter_set t f =
   for wi = 0 to Array.length t.w - 1 do
     let w = ref t.w.(wi) in
     while !w <> 0L do
-      let low = Int64.logand !w (Int64.neg !w) in
-      (* Index of the isolated low bit via float-free de Bruijn-less scan. *)
-      let rec idx b i = if b = 1L then i else idx (Int64.shift_right_logical b 1) (i + 1) in
-      f ((wi lsl 6) + idx low 0);
-      w := Int64.logxor !w low
+      f ((wi lsl 6) + ctz !w);
+      w := Int64.logand !w (Int64.sub !w 1L)
     done
   done
 
@@ -90,12 +108,7 @@ let first_set t =
   let rec go wi =
     if wi >= n then None
     else if t.w.(wi) = 0L then go (wi + 1)
-    else begin
-      let w = t.w.(wi) in
-      let low = Int64.logand w (Int64.neg w) in
-      let rec idx b i = if b = 1L then i else idx (Int64.shift_right_logical b 1) (i + 1) in
-      Some ((wi lsl 6) + idx low 0)
-    end
+    else Some ((wi lsl 6) + ctz t.w.(wi))
   in
   go 0
 

@@ -28,8 +28,21 @@ val fill : t -> bool -> unit
 val copy : t -> t
 val equal : t -> t -> bool
 
+val normalise : t -> unit
+(** Clear the padding bits beyond [length] in the last word.  Callers
+    that write whole words through {!words} must normalise afterwards
+    so {!popcount}/{!equal} stay exact. *)
+
 val popcount : t -> int
 (** Number of set bits. *)
+
+val popcount_word : int64 -> int
+(** Set bits of one raw word (SWAR; the simulators' inner-loop
+    primitive). *)
+
+val ctz : int64 -> int
+(** Count trailing zeros of a raw word via a de Bruijn multiply: the
+    index of the lowest set bit, or 64 for [0L].  Constant time. *)
 
 val union_into : dst:t -> t -> unit
 (** [union_into ~dst src] ORs [src] into [dst].  Widths must match. *)

@@ -1,0 +1,160 @@
+(* Each worker owns a one-slot mailbox guarded by its own mutex; the
+   leader fills the slots, runs its own share, then drains them.  A
+   single condition variable per worker serves both directions — the
+   waits are distinguished by the cell state they are waiting for. *)
+
+type cell =
+  | Idle
+  | Work of (unit -> unit)
+  | Done of exn option
+  | Quit
+
+type worker = {
+  mutex : Mutex.t;
+  cond : Condition.t;
+  mutable cell : cell;
+  mutable domain : unit Domain.t option;
+}
+
+type t = { size : int; workers : worker array; mutable alive : bool }
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let worker_loop w =
+  let rec loop () =
+    Mutex.lock w.mutex;
+    let rec await () =
+      match w.cell with
+      | Work _ | Quit -> ()
+      | Idle | Done _ ->
+          Condition.wait w.cond w.mutex;
+          await ()
+    in
+    await ();
+    match w.cell with
+    | Quit -> Mutex.unlock w.mutex
+    | Work f ->
+        Mutex.unlock w.mutex;
+        let outcome = (try f (); None with e -> Some e) in
+        Mutex.lock w.mutex;
+        w.cell <- Done outcome;
+        Condition.broadcast w.cond;
+        Mutex.unlock w.mutex;
+        loop ()
+    | Idle | Done _ -> assert false
+  in
+  loop ()
+
+let create ?jobs () =
+  let jobs = match jobs with None -> default_jobs () | Some j -> j in
+  if jobs < 1 then invalid_arg "Parallel.create: jobs must be at least 1";
+  let jobs = min jobs 128 in
+  (* Never oversubscribe the machine: running more domains than cores
+     makes every stop-the-world minor collection wait on descheduled
+     domains.  Excess lanes beyond the spawned workers are executed by
+     the existing domains, so results don't depend on the cap. *)
+  let spawned = min jobs (max 1 (default_jobs ())) - 1 in
+  let workers =
+    Array.init spawned (fun _ ->
+        { mutex = Mutex.create (); cond = Condition.create (); cell = Idle; domain = None })
+  in
+  Array.iter (fun w -> w.domain <- Some (Domain.spawn (fun () -> worker_loop w))) workers;
+  { size = jobs; workers; alive = true }
+
+let jobs t = t.size
+
+let shutdown t =
+  if t.alive then begin
+    t.alive <- false;
+    Array.iter
+      (fun w ->
+        Mutex.lock w.mutex;
+        w.cell <- Quit;
+        Condition.broadcast w.cond;
+        Mutex.unlock w.mutex)
+      t.workers;
+    Array.iter (fun w -> Option.iter Domain.join w.domain) t.workers
+  end
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let submit w f =
+  Mutex.lock w.mutex;
+  w.cell <- Work f;
+  Condition.broadcast w.cond;
+  Mutex.unlock w.mutex
+
+let await w =
+  Mutex.lock w.mutex;
+  let rec go () =
+    match w.cell with
+    | Done r ->
+        w.cell <- Idle;
+        r
+    | _ ->
+        Condition.wait w.cond w.mutex;
+        go ()
+  in
+  let r = go () in
+  Mutex.unlock w.mutex;
+  r
+
+let run t tasks =
+  if not t.alive then invalid_arg "Parallel.run: pool is shut down";
+  let n = Array.length tasks in
+  if n > t.size then invalid_arg "Parallel.run: more tasks than pool lanes";
+  if n > 0 then begin
+    (* Tasks are dealt out in contiguous groups, one per executing
+       domain (the workers plus the caller); a group runs its tasks in
+       sequence, recording each outcome, so every task executes even
+       when an earlier one raises. *)
+    let outcomes = Array.make n None in
+    let g = min (Array.length t.workers + 1) n in
+    let group j () =
+      for i = j * n / g to ((j + 1) * n / g) - 1 do
+        match tasks.(i) () with
+        | () -> ()
+        | exception e -> outcomes.(i) <- Some e
+      done
+    in
+    for j = 1 to g - 1 do
+      submit t.workers.(j - 1) (group j)
+    done;
+    group 0 ();
+    (* Even on a leader failure every submitted group must be drained
+       or the pool would wedge — group closures never raise, so the
+       await outcome is always [None]. *)
+    for j = 1 to g - 1 do
+      ignore (await t.workers.(j - 1))
+    done;
+    Array.iter (function Some e -> raise e | None -> ()) outcomes
+  end
+
+let parallel_for t n f =
+  if n > 0 then begin
+    let k = min t.size n in
+    run t
+      (Array.init k (fun i ->
+           let lo = i * n / k and hi = (i + 1) * n / k in
+           fun () ->
+             for j = lo to hi - 1 do
+               f j
+             done))
+  end
+
+let map_slices t n f =
+  if n < 0 then invalid_arg "Parallel.map_slices: negative range";
+  if n = 0 then [||]
+  else begin
+    let k = min t.size n in
+    let out = Array.make k None in
+    run t
+      (Array.init k (fun i ->
+           let lo = i * n / k and hi = (i + 1) * n / k in
+           fun () -> out.(i) <- Some (f ~lo ~hi)));
+    Array.map (function Some v -> v | None -> assert false) out
+  end
+
+let fold t n ~map ~combine ~init = Array.fold_left combine init (map_slices t n map)

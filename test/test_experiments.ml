@@ -205,6 +205,27 @@ let run_atpg_resume_byte_identical () =
   check Alcotest.string "byte-identical report" full.Harness.report resumed.Harness.report;
   check Alcotest.bool "completed run removes the checkpoint" false (Sys.file_exists path)
 
+(* [jobs] is deliberately absent from checkpoint matching: a checkpoint
+   written by a serial run must resume under any pool size with the
+   same bytes out. *)
+let run_atpg_resume_parallel_byte_identical () =
+  let c = Library.c17 () in
+  let full = Harness.run_atpg ~seed:1 c in
+  with_temp_file @@ fun path ->
+  Sys.remove path;
+  let polls = ref 0 in
+  let interrupted =
+    Harness.run_atpg ~seed:1 ~checkpoint:path ~resume:true
+      ~should_stop:(fun () -> incr polls; !polls > 3)
+      c
+  in
+  check Alcotest.bool "interrupted" true interrupted.Harness.result.Engine.interrupted;
+  let resumed = Harness.run_atpg ~seed:1 ~jobs:4 ~checkpoint:path ~resume:true c in
+  check Alcotest.string "byte-identical report under --jobs 4" full.Harness.report
+    resumed.Harness.report;
+  check Alcotest.string "same report as an all-serial run"
+    (Harness.run_atpg ~seed:1 ~jobs:4 c).Harness.report full.Harness.report
+
 let run_atpg_refuses_mismatched_resume () =
   let c = Library.c17 () in
   with_temp_file @@ fun path ->
@@ -255,6 +276,8 @@ let () =
           Alcotest.test_case "rejects truncated" `Quick checkpoint_rejects_truncated;
           Alcotest.test_case "matches catches drift" `Quick checkpoint_matches_catches_drift;
           Alcotest.test_case "resume is byte-identical" `Quick run_atpg_resume_byte_identical;
+          Alcotest.test_case "parallel resume is byte-identical" `Quick
+            run_atpg_resume_parallel_byte_identical;
           Alcotest.test_case "mismatched resume refused" `Quick
             run_atpg_refuses_mismatched_resume;
           Alcotest.test_case "resume needs a checkpoint" `Quick

@@ -243,6 +243,69 @@ let capped_sets_are_prefixes =
   !ok
 
 
+(* --- parallel / stem-first paths ----------------------------------- *)
+
+(* CI runs the suite under ADI_JOBS=1 and ADI_JOBS=4; the parity
+   properties below compare that pool size against the serial
+   reference. *)
+let env_jobs =
+  match Sys.getenv_opt "ADI_JOBS" with
+  | Some s -> ( match int_of_string_opt s with Some j when j >= 1 -> j | _ -> 4)
+  | None -> 4
+
+let words_equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2
+       (fun (x : Bitvec.t) y ->
+         Bitvec.length x = Bitvec.length y && Bitvec.words x = Bitvec.words y)
+       a b
+
+let parallel_detection_sets_identical =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "detection_sets ~jobs:%d = serial, word for word" env_jobs)
+    ~count:30 arb_circuit
+  @@ fun c ->
+  let fl = Collapse.collapsed c in
+  let n_inputs = Array.length (Circuit.inputs c) in
+  let rng = Rng.create 53 in
+  let pats = Patterns.random rng ~n_inputs ~count:150 in
+  words_equal (Faultsim.detection_sets fl pats) (Faultsim.detection_sets ~jobs:env_jobs fl pats)
+
+let stem_first_identical =
+  QCheck.Test.make ~name:"stem-first FFR acceleration = plain propagation" ~count:30
+    arb_circuit
+  @@ fun c ->
+  let fl = Collapse.collapsed c in
+  let n_inputs = Array.length (Circuit.inputs c) in
+  let rng = Rng.create 59 in
+  let pats = Patterns.random rng ~n_inputs ~count:150 in
+  words_equal (Faultsim.detection_sets fl pats) (Faultsim.detection_sets_stem_first fl pats)
+
+let stem_first_full_universe =
+  QCheck.Test.make ~name:"stem-first agrees on the full (uncollapsed) universe" ~count:15
+    arb_circuit
+  @@ fun c ->
+  let fl = Fault_list.full c in
+  let n_inputs = Array.length (Circuit.inputs c) in
+  let rng = Rng.create 61 in
+  let pats = Patterns.random rng ~n_inputs ~count:100 in
+  words_equal (Faultsim.detection_sets fl pats) (Faultsim.detection_sets_stem_first fl pats)
+
+let parallel_dropping_identical =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "with_dropping/n_detection/capped ~jobs:%d = serial" env_jobs)
+    ~count:30 arb_circuit
+  @@ fun c ->
+  let fl = Collapse.collapsed c in
+  let n_inputs = Array.length (Circuit.inputs c) in
+  let rng = Rng.create 67 in
+  let pats = Patterns.random rng ~n_inputs ~count:150 in
+  Faultsim.with_dropping fl pats = Faultsim.with_dropping ~jobs:env_jobs fl pats
+  && Faultsim.n_detection fl pats ~n:3 = Faultsim.n_detection ~jobs:env_jobs fl pats ~n:3
+  && words_equal
+       (Faultsim.detection_sets_capped fl pats ~n:3)
+       (Faultsim.detection_sets_capped ~jobs:env_jobs fl pats ~n:3)
+
 (* --- deductive simulation ------------------------------------------ *)
 
 let deductive_matches_event_driven =
@@ -358,6 +421,10 @@ let () =
           qtest n_detection_caps;
           qtest capped_sets_are_prefixes;
           qtest detects_single;
+          qtest parallel_detection_sets_identical;
+          qtest stem_first_identical;
+          qtest stem_first_full_universe;
+          qtest parallel_dropping_identical;
           qtest deductive_matches_event_driven;
           qtest deductive_full_universe;
           qtest dictionary_diagnoses_injected_fault;

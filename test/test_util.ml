@@ -6,6 +6,7 @@ module Heap = Util.Heap
 module Table = Util.Table
 module Plot = Util.Plot
 module Budget = Util.Budget
+module Parallel = Util.Parallel
 module D = Util.Diagnostics
 
 let check = Alcotest.check
@@ -150,6 +151,143 @@ let bitvec_random_length () =
   check Alcotest.int "length" 99 (Bitvec.length v);
   (* Padding bits beyond the length must stay clear. *)
   check Alcotest.bool "popcount sane" true (Bitvec.popcount v <= 99)
+
+(* ctz/popcount against bit-by-bit references. *)
+
+let naive_ctz w =
+  if w = 0L then 64
+  else begin
+    let i = ref 0 in
+    while Int64.logand (Int64.shift_right_logical w !i) 1L = 0L do
+      incr i
+    done;
+    !i
+  end
+
+let naive_popcount w =
+  let n = ref 0 in
+  for i = 0 to 63 do
+    if Int64.logand (Int64.shift_right_logical w i) 1L = 1L then incr n
+  done;
+  !n
+
+let word_gen =
+  QCheck.Gen.(
+    map2
+      (fun hi lo -> Int64.logor (Int64.shift_left (Int64.of_int hi) 32) (Int64.of_int lo))
+      (int_bound 0xFFFFFFFF) (int_bound 0xFFFFFFFF))
+
+let bitvec_ctz =
+  QCheck.Test.make ~name:"Bitvec.ctz matches bit-by-bit scan" ~count:500 (QCheck.make word_gen)
+  @@ fun w -> Bitvec.ctz w = naive_ctz w
+
+let bitvec_ctz_exact () =
+  check Alcotest.int "zero word" 64 (Bitvec.ctz 0L);
+  check Alcotest.int "bit 0" 0 (Bitvec.ctz 1L);
+  check Alcotest.int "bit 63" 63 (Bitvec.ctz Int64.min_int);
+  for i = 0 to 63 do
+    check Alcotest.int "single bit" i (Bitvec.ctz (Int64.shift_left 1L i))
+  done
+
+let bitvec_popcount_word =
+  QCheck.Test.make ~name:"Bitvec.popcount_word matches bit-by-bit count" ~count:500
+    (QCheck.make word_gen)
+  @@ fun w -> Bitvec.popcount_word w = naive_popcount w
+
+(* --- Parallel ------------------------------------------------------ *)
+
+let par_for_covers () =
+  Parallel.with_pool ~jobs:4 @@ fun pool ->
+  let n = 1003 in
+  let hits = Array.make n 0 in
+  Parallel.parallel_for pool n (fun i -> hits.(i) <- hits.(i) + 1);
+  check Alcotest.bool "every index exactly once" true (Array.for_all (( = ) 1) hits)
+
+let par_for_fewer_items_than_lanes () =
+  Parallel.with_pool ~jobs:8 @@ fun pool ->
+  let hits = Array.make 3 0 in
+  Parallel.parallel_for pool 3 (fun i -> hits.(i) <- hits.(i) + 1);
+  check Alcotest.bool "n < jobs covered" true (Array.for_all (( = ) 1) hits);
+  Parallel.parallel_for pool 0 (fun _ -> Alcotest.fail "empty range must not call f");
+  let one = ref 0 in
+  Parallel.parallel_for pool 1 (fun i -> one := !one + 1 + i);
+  check Alcotest.int "single index" 1 !one
+
+let par_pool_reuse () =
+  Parallel.with_pool ~jobs:3 @@ fun pool ->
+  check Alcotest.int "lane count" 3 (Parallel.jobs pool);
+  let total = ref 0 in
+  for round = 1 to 5 do
+    let acc = Array.make 100 0 in
+    Parallel.parallel_for pool 100 (fun i -> acc.(i) <- round);
+    total := !total + Array.fold_left ( + ) 0 acc
+  done;
+  check Alcotest.int "five rounds on one pool" (100 * (1 + 2 + 3 + 4 + 5)) !total
+
+let par_exception_propagates () =
+  Parallel.with_pool ~jobs:4 @@ fun pool ->
+  let ran = Array.make 4 false in
+  let tasks =
+    Array.init 4 (fun i ->
+        fun () ->
+         ran.(i) <- true;
+         if i >= 2 then failwith (Printf.sprintf "task %d" i))
+  in
+  (match Parallel.run pool tasks with
+  | () -> Alcotest.fail "expected a task failure to propagate"
+  | exception Failure msg -> check Alcotest.string "lowest-indexed failure wins" "task 2" msg);
+  check Alcotest.bool "all tasks still ran" true (Array.for_all Fun.id ran);
+  (* The pool must survive a failing batch. *)
+  let ok = ref false in
+  Parallel.run pool [| (fun () -> ok := true) |];
+  check Alcotest.bool "pool usable after exception" true !ok
+
+let par_fold_ordered () =
+  (* A non-commutative combine exposes any reduce-order dependence. *)
+  Parallel.with_pool ~jobs:5 @@ fun pool ->
+  let n = 57 in
+  let digits =
+    Parallel.fold pool n
+      ~map:(fun ~lo ~hi ->
+        let b = Buffer.create 8 in
+        for i = lo to hi - 1 do
+          Buffer.add_string b (string_of_int (i mod 10))
+        done;
+        Buffer.contents b)
+      ~combine:( ^ ) ~init:""
+  in
+  let expect = String.concat "" (List.init n (fun i -> string_of_int (i mod 10))) in
+  check Alcotest.string "slice-ordered concatenation" expect digits
+
+let par_map_slices_bounds () =
+  Parallel.with_pool ~jobs:4 @@ fun pool ->
+  let slices = Parallel.map_slices pool 10 (fun ~lo ~hi -> (lo, hi)) in
+  check Alcotest.bool "slices cover the range in order" true
+    (Array.length slices <= 4
+    && fst slices.(0) = 0
+    && snd slices.(Array.length slices - 1) = 10
+    && Array.for_all (fun (lo, hi) -> lo <= hi) slices);
+  check Alcotest.int "empty range" 0 (Array.length (Parallel.map_slices pool 0 (fun ~lo:_ ~hi:_ -> ())))
+
+let par_single_lane_inline () =
+  Parallel.with_pool ~jobs:1 @@ fun pool ->
+  (* With one lane everything runs on the calling domain. *)
+  let self = Domain.self () in
+  let seen = ref None in
+  Parallel.parallel_for pool 5 (fun _ -> seen := Some (Domain.self ()));
+  check Alcotest.bool "ran inline" true (!seen = Some self)
+
+let par_create_rejects () =
+  Alcotest.check_raises "jobs 0" (Invalid_argument "Parallel.create: jobs must be at least 1")
+    (fun () -> Parallel.with_pool ~jobs:0 (fun _ -> ()))
+
+let par_shutdown_idempotent () =
+  let pool = Parallel.create ~jobs:4 () in
+  Parallel.shutdown pool;
+  Parallel.shutdown pool;
+  Alcotest.check_raises "run after shutdown"
+    (Invalid_argument "Parallel.run: pool is shut down") (fun () ->
+      Parallel.run pool [| (fun () -> ()) |])
 
 (* --- Heap --------------------------------------------------------- *)
 
@@ -329,9 +467,24 @@ let () =
           Alcotest.test_case "fill" `Quick bitvec_fill;
           Alcotest.test_case "first_set" `Quick bitvec_first_set;
           Alcotest.test_case "random" `Quick bitvec_random_length;
+          Alcotest.test_case "ctz exact" `Quick bitvec_ctz_exact;
           qtest bitvec_roundtrip;
           qtest bitvec_setops;
           qtest bitvec_iter_set;
+          qtest bitvec_ctz;
+          qtest bitvec_popcount_word;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "parallel_for covers range" `Quick par_for_covers;
+          Alcotest.test_case "fewer items than lanes" `Quick par_for_fewer_items_than_lanes;
+          Alcotest.test_case "pool reuse" `Quick par_pool_reuse;
+          Alcotest.test_case "exceptions propagate" `Quick par_exception_propagates;
+          Alcotest.test_case "ordered fold" `Quick par_fold_ordered;
+          Alcotest.test_case "map_slices bounds" `Quick par_map_slices_bounds;
+          Alcotest.test_case "single lane runs inline" `Quick par_single_lane_inline;
+          Alcotest.test_case "create rejects jobs 0" `Quick par_create_rejects;
+          Alcotest.test_case "shutdown idempotent" `Quick par_shutdown_idempotent;
         ] );
       ( "heap",
         [
