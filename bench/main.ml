@@ -11,26 +11,39 @@
      dune exec bench/main.exe -- --no-micro      # skip Bechamel part
      dune exec bench/main.exe -- --micro-only    # only Bechamel part
      dune exec bench/main.exe -- --jobs 8        # parallel-kernel domains
+     dune exec bench/main.exe -- --metrics       # end-of-run phase tables
+     dune exec bench/main.exe -- --trace t.jsonl # JSONL event log
 
-   Besides the text report, the perf-kernel section writes a
-   machine-readable BENCH_adi.json next to the working directory. *)
+   The run-configuration flags (--seed, --jobs, --metrics, --trace) are
+   the same table-driven set the adi_atpg CLI uses (Run_flags); only
+   the driver-local selectors below are parsed here.
+
+   Besides the text report, the perf-kernel section appends a
+   timestamped entry to a BENCH_adi.json history in the working
+   directory, so successive runs can be compared. *)
 
 let experiments_requested = ref []
 let full = ref false
-let seed = ref 1
-let jobs = ref 4
+let bench_cfg = ref (Run_config.with_jobs 4 Run_config.default)
 let run_reports = ref true
 let run_micro = ref true
 let run_perf = ref true
+let seed () = !bench_cfg.Run_config.seed
+let jobs () = !bench_cfg.Run_config.jobs
 
 let usage () =
   prerr_endline
-    "usage: main.exe [--full] [--seed N] [--jobs N] [--no-micro | --micro-only] [--no-perf] \
-     [EXPERIMENT ...]";
+    "usage: main.exe [--full] [--seed N] [--jobs N] [--metrics] [--trace FILE] \
+     [--no-micro | --micro-only] [--no-perf] [EXPERIMENT ...]";
   Printf.eprintf "experiments: %s\n" (String.concat ", " Harness.experiment_names);
   exit 2
 
 let parse_args () =
+  let specs = Run_flags.pipeline_specs @ Run_flags.observability_specs in
+  let cfg, rest =
+    Run_flags.parse ~specs ~init:!bench_cfg (List.tl (Array.to_list Sys.argv))
+  in
+  bench_cfg := cfg;
   let rec go = function
     | [] -> ()
     | "--full" :: rest ->
@@ -46,18 +59,6 @@ let parse_args () =
     | "--no-perf" :: rest ->
         run_perf := false;
         go rest
-    | "--seed" :: n :: rest -> (
-        match int_of_string_opt n with
-        | Some v ->
-            seed := v;
-            go rest
-        | None -> usage ())
-    | "--jobs" :: n :: rest -> (
-        match int_of_string_opt n with
-        | Some v when v >= 1 ->
-            jobs := v;
-            go rest
-        | _ -> usage ())
     | ("--help" | "-h") :: _ -> usage ()
     | w :: rest ->
         if List.mem w Harness.experiment_names then begin
@@ -66,7 +67,7 @@ let parse_args () =
         end
         else usage ()
   in
-  go (List.tl (Array.to_list Sys.argv));
+  go rest;
   if !experiments_requested = [] then
     experiments_requested :=
       [ "table1"; "table4"; "table5"; "table6"; "table7"; "figure1";
@@ -84,7 +85,12 @@ let print_reports () =
   List.iter
     (fun w ->
       let t0 = Unix.gettimeofday () in
-      let body = Harness.run_experiment ~seed:!seed ~full:!full w in
+      let body =
+        Util.Trace.span (Util.Trace.current ())
+          ~attrs:[ ("experiment", Util.Trace.Str w) ]
+          "bench.experiment"
+          (fun () -> Harness.run_experiment ~seed:(seed ()) ~full:!full w)
+      in
       let dt = Unix.gettimeofday () -. t0 in
       experiment_times := (w, dt) :: !experiment_times;
       Printf.printf "%s\n(%s regenerated in %.1fs)\n\n%!" body w dt)
@@ -108,31 +114,104 @@ let json_escape s =
     s;
   Buffer.contents b
 
+(* BENCH_adi.json is a history: {"schema": "bench_adi/v2", "entries":
+   [...]} with one single-line object per bench run, newest last, so
+   successive runs can be compared (jq '.entries[-1]' for the latest).
+   A pre-history v1 file (one bare object) is folded in as the first
+   entry rather than discarded. *)
+
+let read_file path =
+  match open_in path with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> Some (really_input_string ic (in_channel_length ic)))
+
+let existing_entries path =
+  match read_file path with
+  | None -> []
+  | Some content ->
+      let lines = List.map String.trim (String.split_on_char '\n' content) in
+      let drop_comma l =
+        let n = String.length l in
+        if n > 0 && l.[n - 1] = ',' then String.sub l 0 (n - 1) else l
+      in
+      if List.mem "\"schema\": \"bench_adi/v2\"," lines then
+        (* Each entry is one line between "entries": [ and its ]. *)
+        let rec skip = function
+          | [] -> []
+          | "\"entries\": [" :: tl -> collect tl []
+          | _ :: tl -> skip tl
+        and collect lines acc =
+          match lines with
+          | [] | "]" :: _ -> List.rev acc
+          | l :: tl -> collect tl (drop_comma l :: acc)
+        in
+        skip lines
+      else if List.exists (fun l -> l = "\"schema\": \"bench_adi/v1\",") lines then
+        (* Minify the whole v1 object onto one line and keep it. *)
+        [ String.concat " " (List.filter (fun l -> l <> "") lines) ]
+      else []
+
+let iso8601_utc () =
+  let t = Unix.gmtime (Unix.gettimeofday ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (t.Unix.tm_year + 1900)
+    (t.Unix.tm_mon + 1) t.Unix.tm_mday t.Unix.tm_hour t.Unix.tm_min t.Unix.tm_sec
+
+(* Per-phase wall-clock aggregates from the current tracer (when
+   --metrics/--trace is on): the "span:<phase>" histograms. *)
+let phase_fields () =
+  let tr = Util.Trace.current () in
+  if not (Util.Trace.enabled tr) then []
+  else
+    let prefix = Util.Metrics.span_prefix in
+    let plen = String.length prefix in
+    List.filter_map
+      (fun h ->
+        let name = Util.Metrics.histogram_name h in
+        if String.length name > plen && String.sub name 0 plen = prefix then
+          Some
+            (Printf.sprintf "{\"phase\": \"%s\", \"calls\": %d, \"total_s\": %.6f}"
+               (json_escape (String.sub name plen (String.length name - plen)))
+               (Util.Metrics.observations h) (Util.Metrics.total h))
+        else None)
+      (Util.Metrics.histograms (Util.Trace.metrics tr))
+
 let write_bench_json ~circuit ~kernels ~speedup =
+  let b = Buffer.create 1024 in
+  let bf fmt = Printf.bprintf b fmt in
+  bf "{\"timestamp\": \"%s\", \"seed\": %d, \"jobs\": %d, \"circuit\": \"%s\", "
+    (iso8601_utc ()) (seed ()) (jobs ()) (json_escape circuit);
+  bf "\"kernels\": [";
+  List.iteri
+    (fun i (name, kjobs, wall_s) ->
+      bf "%s{\"name\": \"%s\", \"circuit\": \"%s\", \"jobs\": %d, \"wall_s\": %.6f}"
+        (if i = 0 then "" else ", ")
+        (json_escape name) (json_escape circuit) kjobs wall_s)
+    kernels;
+  bf "], \"speedup_detection_sets\": %.3f, " speedup;
+  bf "\"experiments\": [";
+  List.iteri
+    (fun i (name, wall_s) ->
+      bf "%s{\"name\": \"%s\", \"wall_s\": %.3f}"
+        (if i = 0 then "" else ", ")
+        (json_escape name) wall_s)
+    (List.rev !experiment_times);
+  bf "]";
+  (match phase_fields () with
+  | [] -> ()
+  | phases -> bf ", \"phases\": [%s]" (String.concat ", " phases));
+  bf "}";
+  let entries = existing_entries "BENCH_adi.json" @ [ Buffer.contents b ] in
   let oc = open_out "BENCH_adi.json" in
   Fun.protect ~finally:(fun () -> close_out_noerr oc) @@ fun () ->
   let pf fmt = Printf.fprintf oc fmt in
   pf "{\n";
-  pf "  \"schema\": \"bench_adi/v1\",\n";
-  pf "  \"seed\": %d,\n" !seed;
-  pf "  \"jobs\": %d,\n" !jobs;
-  pf "  \"circuit\": \"%s\",\n" (json_escape circuit);
-  pf "  \"kernels\": [\n";
-  List.iteri
-    (fun i (name, kjobs, wall_s) ->
-      pf "    {\"name\": \"%s\", \"circuit\": \"%s\", \"jobs\": %d, \"wall_s\": %.6f}%s\n"
-        (json_escape name) (json_escape circuit) kjobs wall_s
-        (if i = List.length kernels - 1 then "" else ","))
-    kernels;
-  pf "  ],\n";
-  pf "  \"speedup_detection_sets\": %.3f,\n" speedup;
-  pf "  \"experiments\": [\n";
-  let exps = List.rev !experiment_times in
-  List.iteri
-    (fun i (name, wall_s) ->
-      pf "    {\"name\": \"%s\", \"wall_s\": %.3f}%s\n" (json_escape name) wall_s
-        (if i = List.length exps - 1 then "" else ","))
-    exps;
+  pf "  \"schema\": \"bench_adi/v2\",\n";
+  pf "  \"entries\": [\n";
+  let n = List.length entries in
+  List.iteri (fun i e -> pf "    %s%s\n" e (if i = n - 1 then "" else ",")) entries;
   pf "  ]\n";
   pf "}\n"
 
@@ -143,9 +222,10 @@ let time f =
 
 let run_perf_kernels () =
   let name = if !full then "syn5378" else "syn1196" in
+  let jobs = jobs () in
   let c = Suite.build_by_name name in
   let fl = Collapse.collapsed c in
-  let rng = Util.Rng.create !seed in
+  let rng = Util.Rng.create (seed ()) in
   let pats =
     Patterns.random rng ~n_inputs:(Array.length (Circuit.inputs c)) ~count:4096
   in
@@ -153,8 +233,8 @@ let run_perf_kernels () =
     (Fault_list.count fl) (Patterns.count pats);
   let serial, t_serial = time (fun () -> Faultsim.detection_sets fl pats) in
   Printf.printf "  detection_sets  jobs=1            %8.3f s\n%!" t_serial;
-  let pooled, t_pooled = time (fun () -> Faultsim.detection_sets ~jobs:!jobs fl pats) in
-  Printf.printf "  detection_sets  jobs=%-4d         %8.3f s\n%!" !jobs t_pooled;
+  let pooled, t_pooled = time (fun () -> Faultsim.detection_sets ~jobs fl pats) in
+  Printf.printf "  detection_sets  jobs=%-4d         %8.3f s\n%!" jobs t_pooled;
   let stem, t_stem = time (fun () -> Faultsim.detection_sets_stem_first fl pats) in
   Printf.printf "  detection_sets  stem-first (1 dom)%8.3f s\n%!" t_stem;
   Array.iteri
@@ -164,16 +244,16 @@ let run_perf_kernels () =
     serial;
   let speedup = t_serial /. t_pooled in
   Printf.printf "  all three agree word-for-word; speedup (jobs=%d vs serial): %.2fx\n\n%!"
-    !jobs speedup;
+    jobs speedup;
   write_bench_json ~circuit:name
     ~kernels:
       [
         ("detection_sets/serial", 1, t_serial);
-        (Printf.sprintf "detection_sets/jobs%d" !jobs, !jobs, t_pooled);
+        (Printf.sprintf "detection_sets/jobs%d" jobs, jobs, t_pooled);
         ("detection_sets/stem_first", 1, t_stem);
       ]
     ~speedup;
-  Printf.printf "(wrote BENCH_adi.json)\n\n%!"
+  Printf.printf "(appended to BENCH_adi.json)\n\n%!"
 
 (* ---------- Bechamel micro-benchmarks ----------------------------- *)
 
@@ -188,7 +268,7 @@ let lion_faults = lazy (Collapse.collapsed (Kiss.to_combinational (Kiss.lion ())
 let small_setup =
   lazy
     (let c = Suite.build_by_name "syn208" in
-     Pipeline.prepare ~seed:1 c)
+     Pipeline.prepare (Run_config.with_seed 1 Run_config.default) c)
 
 let bench_table1 =
   (* Table 1: exhaustive non-dropping fault simulation + ndet on lion. *)
@@ -368,7 +448,14 @@ let run_micro_benches () =
     micro_tests
 
 let () =
-  parse_args ();
-  if !run_reports then print_reports ();
-  if !run_perf then run_perf_kernels ();
-  if !run_micro then run_micro_benches ()
+  match
+    parse_args ();
+    Harness.with_observability !bench_cfg (fun () ->
+        if !run_reports then print_reports ();
+        if !run_perf then run_perf_kernels ();
+        if !run_micro then run_micro_benches ())
+  with
+  | (), report -> Option.iter print_string report
+  | exception Util.Diagnostics.Failed d ->
+      prerr_endline (Util.Diagnostics.to_string d);
+      exit 2

@@ -59,12 +59,37 @@ let seed_arg =
   let doc = "Random seed (drives U selection and random fill)." in
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
 
-let jobs_arg =
-  let doc =
-    "Domains for parallel fault simulation (default: the recommended domain count). \
-     Results are bit-identical for any value."
+(* Every Run_config flag is described once, in [Run_flags]; build the
+   cmdliner terms generically from that table.  The term evaluates to a
+   [Run_config.t -> Run_config.t] so the builders (and their typed
+   [Invalid_flag] diagnostics) run inside [guard], not during argument
+   parsing. *)
+let cfg_endo_term specs =
+  let endo_of (s : Run_flags.spec) =
+    let ainfo = Arg.info s.Run_flags.names ~docv:s.Run_flags.docv ~doc:s.Run_flags.doc in
+    let opt_endo conv f =
+      Term.(
+        const (fun o cfg -> match o with None -> cfg | Some v -> f v cfg)
+        $ Arg.value (Arg.opt (Arg.some conv) None ainfo))
+    in
+    match s.Run_flags.kind with
+    | Run_flags.Flag f ->
+        Term.(
+          const (fun b cfg -> if b then f true cfg else cfg)
+          $ Arg.value (Arg.flag ainfo))
+    | Run_flags.Int f -> opt_endo Arg.int f
+    | Run_flags.Float f -> opt_endo Arg.float f
+    | Run_flags.String f -> opt_endo Arg.string f
   in
-  Arg.(value & opt int (Util.Parallel.default_jobs ()) & info [ "j"; "jobs" ] ~docv:"JOBS" ~doc)
+  List.fold_left
+    (fun acc s -> Term.(const (fun g e cfg -> e (g cfg)) $ acc $ endo_of s))
+    (Term.const Fun.id) specs
+
+(* The CLI defaults [jobs] to the recommended domain count; everything
+   else starts from [Run_config.default]. *)
+let default_cfg () = Run_config.with_jobs (Util.Parallel.default_jobs ()) Run_config.default
+
+let pipeline_cfg_term = cfg_endo_term Run_flags.pipeline_specs
 
 (* --- stats ------------------------------------------------------- *)
 
@@ -101,26 +126,28 @@ let sim_cmd =
   let vectors =
     Arg.(value & opt int 1024 & info [ "n"; "vectors" ] ~docv:"N" ~doc:"Random vectors to simulate.")
   in
-  let run spec n seed jobs = guard @@ fun () ->
+  let run spec n endo = guard @@ fun () ->
+    let cfg = endo (default_cfg ()) in
     let c = load_circuit spec in
     let fl = Collapse.collapsed c in
-    let rng = Util.Rng.create seed in
+    let rng = Util.Rng.create cfg.Run_config.seed in
     let pats = Patterns.random rng ~n_inputs:(Array.length (Circuit.inputs c)) ~count:n in
-    let { Faultsim.detected; _ } = Faultsim.with_dropping ~jobs fl pats in
+    let { Faultsim.detected; _ } = Faultsim.with_dropping ~jobs:cfg.Run_config.jobs fl pats in
     Printf.printf "%d random vectors detect %d / %d collapsed faults (%.2f%%)\n" n detected
       (Fault_list.count fl)
       (100.0 *. float_of_int detected /. float_of_int (Fault_list.count fl))
   in
   Cmd.v
     (Cmd.info "sim" ~doc:"Random-pattern fault simulation with dropping")
-    Term.(const run $ circuit_arg $ vectors $ seed_arg $ jobs_arg)
+    Term.(const run $ circuit_arg $ vectors $ pipeline_cfg_term)
 
 (* --- adi --------------------------------------------------------- *)
 
 let adi_cmd =
-  let run spec seed jobs = guard @@ fun () ->
+  let run spec endo = guard @@ fun () ->
+    let cfg = endo (default_cfg ()) in
     let c = load_circuit spec in
-    let setup = Pipeline.prepare ~seed ~jobs c in
+    let setup = Pipeline.prepare cfg c in
     let adi = setup.Pipeline.adi in
     let sel = setup.Pipeline.selection in
     Printf.printf "|U| = %d vectors (pool detected %d faults)\n"
@@ -156,32 +183,24 @@ let adi_cmd =
   in
   Cmd.v
     (Cmd.info "adi" ~doc:"Compute accidental detection indices")
-    Term.(const run $ circuit_arg $ seed_arg $ jobs_arg)
+    Term.(const run $ circuit_arg $ pipeline_cfg_term)
 
 (* --- order ------------------------------------------------------- *)
 
-let order_kind_arg =
-  let parse s =
-    match Ordering.of_string s with
-    | Some k -> Ok k
-    | None -> Error (`Msg (Printf.sprintf "unknown order %S" s))
-  in
-  let print ppf k = Format.pp_print_string ppf (Ordering.to_string k) in
-  Arg.conv (parse, print)
+let order_spec =
+  List.find (fun s -> List.mem "order" s.Run_flags.names) Run_flags.engine_specs
 
-let order_opt =
-  Arg.(
-    value
-    & opt order_kind_arg Ordering.Dynm0
-    & info [ "order" ] ~docv:"ORDER" ~doc:"Fault order: orig, incr0, decr, 0decr, dynm, 0dynm.")
+let order_cfg_term = cfg_endo_term (Run_flags.pipeline_specs @ [ order_spec ])
 
 let order_cmd =
   let count =
     Arg.(value & opt int 20 & info [ "n" ] ~docv:"N" ~doc:"How many leading faults to print.")
   in
-  let run spec seed jobs kind n = guard @@ fun () ->
+  let run spec endo n = guard @@ fun () ->
+    let cfg = endo (default_cfg ()) in
+    let kind = cfg.Run_config.order in
     let c = load_circuit spec in
-    let setup = Pipeline.prepare ~seed ~jobs c in
+    let setup = Pipeline.prepare cfg c in
     let order = Ordering.order kind setup.Pipeline.adi in
     Printf.printf "first %d faults of F%s:\n" (min n (Array.length order))
       (Ordering.to_string kind);
@@ -195,84 +214,27 @@ let order_cmd =
   in
   Cmd.v
     (Cmd.info "order" ~doc:"Print the head of an ordered fault set")
-    Term.(const run $ circuit_arg $ seed_arg $ jobs_arg $ order_opt $ count)
+    Term.(const run $ circuit_arg $ order_cfg_term $ count)
 
 (* --- atpg -------------------------------------------------------- *)
 
 let atpg_cmd =
-  let backtracks =
-    Arg.(value & opt int 256 & info [ "backtracks" ] ~docv:"B" ~doc:"PODEM backtrack limit.")
-  in
   let out =
     Arg.(
       value
       & opt (some string) None
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write generated vectors, one per line.")
   in
-  let retries =
-    Arg.(
-      value & opt int Engine.default_config.Engine.retries
-      & info [ "retries" ] ~docv:"N"
-          ~doc:
-            "Escalation passes over backtrack-aborted faults, each with a doubled limit \
-             (0 disables).")
-  in
-  let time_budget =
-    Arg.(
-      value & opt (some float) None
-      & info [ "time-budget" ] ~docv:"SECONDS"
-          ~doc:"Whole-run wall-clock budget; the run stops cleanly at a fault boundary.")
-  in
-  let fault_budget =
-    Arg.(
-      value & opt (some float) None
-      & info [ "fault-budget" ] ~docv:"SECONDS"
-          ~doc:"Per-fault wall-clock budget; overrunning faults are classified out-of-budget.")
-  in
-  let checkpoint =
-    Arg.(
-      value & opt (some string) None
-      & info [ "checkpoint" ] ~docv:"FILE"
-          ~doc:
-            "Write a resumable checkpoint here periodically and on interruption (Ctrl-C \
-             or an expired time budget).")
-  in
-  let checkpoint_every =
-    Arg.(
-      value & opt int 32
-      & info [ "checkpoint-every" ] ~docv:"N"
-          ~doc:"Checkpoint after every N targeted faults (with --checkpoint).")
-  in
-  let resume =
-    Arg.(
-      value & flag
-      & info [ "resume" ]
-          ~doc:"Continue from the --checkpoint file if it exists; fresh run otherwise.")
-  in
-  let run spec seed jobs kind backtrack_limit retries time_budget fault_budget checkpoint
-      checkpoint_every resume recover out = guard @@ fun () ->
+  let run spec endo recover out = guard @@ fun () ->
+    let cfg = endo (default_cfg ()) in
     let c = load_circuit ~recover spec in
-    let config =
-      {
-        Engine.default_config with
-        Engine.backtrack_limit;
-        seed;
-        retries;
-        time_budget_s = time_budget;
-        per_fault_budget_s = fault_budget;
-        jobs;
-      }
-    in
     (* With a checkpoint configured, Ctrl-C requests a clean stop at the
        next fault boundary instead of killing the process mid-run. *)
     let stop = ref false in
-    if checkpoint <> None then
+    if cfg.Run_config.checkpoint <> None then
       Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> stop := true));
-    let r =
-      Harness.run_atpg ~seed ~order:kind ~jobs ~config ?checkpoint ~checkpoint_every ~resume
-        ~should_stop:(fun () -> !stop) c
-    in
-    if checkpoint <> None then Sys.set_signal Sys.sigint Sys.Signal_default;
+    let r = Harness.run_atpg_cfg ~should_stop:(fun () -> !stop) cfg c in
+    if cfg.Run_config.checkpoint <> None then Sys.set_signal Sys.sigint Sys.Signal_default;
     let e = r.Harness.result in
     print_string r.Harness.report;
     Printf.printf "runtime     : %.3fs (%d decisions, %d backtracks)\n" e.Engine.runtime_s
@@ -293,14 +255,13 @@ let atpg_cmd =
               (fun s -> output_string oc (s ^ "\n"))
               (Patterns.to_strings e.Engine.tests));
         Printf.printf "wrote %s\n" path);
+    Option.iter print_string r.Harness.metrics_report;
     if e.Engine.interrupted then exit 3
   in
   Cmd.v
     (Cmd.info "atpg" ~doc:"Generate a test set with a chosen fault order")
     Term.(
-      const run $ circuit_arg $ seed_arg $ jobs_arg $ order_opt $ backtracks $ retries
-      $ time_budget $ fault_budget $ checkpoint $ checkpoint_every $ resume $ recover_arg
-      $ out)
+      const run $ circuit_arg $ cfg_endo_term Run_flags.atpg_specs $ recover_arg $ out)
 
 (* --- gen --------------------------------------------------------- *)
 

@@ -13,7 +13,7 @@ open Adi_atpg
 
 let study circuit =
   Format.printf "@.== %a ==@." Circuit.pp_summary circuit;
-  let setup = Pipeline.prepare ~seed:7 circuit in
+  let setup = Pipeline.prepare (Run_config.with_seed 7 Run_config.default) circuit in
   let t = Table.create [ ("order", Table.Left); ("tests", Table.Right);
                          ("after static compaction", Table.Right) ] in
   List.iter

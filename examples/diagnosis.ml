@@ -15,7 +15,7 @@ open Adi_atpg
 let () =
   let circuit = Library.alu ~width:4 in
   Format.printf "circuit: %a@." Circuit.pp_summary circuit;
-  let setup = Pipeline.prepare ~seed:5 circuit in
+  let setup = Pipeline.prepare (Run_config.with_seed 5 Run_config.default) circuit in
   let faults = setup.Pipeline.faults in
 
   (* Generate tests under the steep-curve order. *)

@@ -46,7 +46,7 @@ let () =
     r.Testbench.captured.(0) r.Testbench.captured.(1);
 
   (* ADI-ordered test generation on the core. *)
-  let setup = Pipeline.prepare ~seed:1 comb in
+  let setup = Pipeline.prepare (Run_config.with_seed 1 Run_config.default) comb in
   let run = Pipeline.run_order setup Ordering.Dynm0 in
   let result = run.Pipeline.engine in
   Format.printf "tests (%d, coverage %.1f%%):@."

@@ -14,7 +14,7 @@ open Adi_atpg
 let () =
   let circuit = Suite.build_by_name "syn298" in
   Format.printf "circuit: %a@.@." Circuit.pp_summary circuit;
-  let setup = Pipeline.prepare ~seed:1 circuit in
+  let setup = Pipeline.prepare (Run_config.with_seed 1 Run_config.default) circuit in
   let runs =
     List.map
       (fun kind -> (kind, Pipeline.run_order setup kind))

@@ -27,6 +27,19 @@ let reduce estimator ndet d =
 let of_dsets estimator fault_list patterns dsets =
   let ndet = Faultsim.ndet dsets patterns in
   let adi = Array.map (reduce estimator ndet) dsets in
+  let tr = Util.Trace.current () in
+  if Util.Trace.enabled tr then begin
+    let h = Util.Trace.histogram tr "adi.value" in
+    let det = ref 0 in
+    Array.iter
+      (fun a ->
+        if a > 0 then begin
+          incr det;
+          Util.Metrics.observe h (float_of_int a)
+        end)
+      adi;
+    Util.Metrics.set (Util.Trace.counter tr "adi.detected_by_u") !det
+  end;
   { fault_list; patterns; dsets; ndet; adi }
 
 let compute ?(estimator = Minimum) ?(jobs = 1) fault_list patterns =

@@ -2,7 +2,12 @@
     vector set U -> ADI -> fault order -> test generation.
 
     This is the library's main entry point; the experiment harness and
-    the examples are thin wrappers over it. *)
+    the examples are thin wrappers over it.  All knobs travel in one
+    {!Run_config.t}; each phase runs under a [Util.Trace] span
+    ([pipeline.prepare] > [prepare.collapse] / [prepare.select_u] /
+    [prepare.adi], then [pipeline.order] and [pipeline.engine]) on the
+    current tracer, which is a no-op unless observability was
+    requested. *)
 
 type setup = {
   circuit : Circuit.t;  (** the combinational (full-scan) model *)
@@ -10,17 +15,24 @@ type setup = {
   collapse : Collapse.result;
   selection : Adi_index.u_selection;
   adi : Adi_index.t;
-  seed : int;
-  jobs : int;  (** domain-pool size the setup was built with *)
+  config : Run_config.t;  (** the configuration the setup was built with *)
 }
 
-val prepare :
-  ?seed:int -> ?pool:int -> ?target_coverage:float -> ?jobs:int -> Circuit.t -> setup
+val seed : setup -> int
+val jobs : setup -> int
+
+val prepare : Run_config.t -> Circuit.t -> setup
 (** Build everything up to the ADI values.  Sequential circuits are put
-    through {!Scan.combinational} first.  Defaults: [seed = 1],
-    [pool = 10_000], [target_coverage = 0.9], [jobs = 1].  [jobs] only
-    sizes the fault-simulation domain pool; every result is identical
-    for any value. *)
+    through {!Scan.combinational} first.  [jobs] only sizes the
+    fault-simulation domain pool; every result is identical for any
+    value.  @raise Util.Diagnostics.Failed when the configuration is
+    invalid ({!Run_config.validate}). *)
+
+val prepare_opts :
+  ?seed:int -> ?pool:int -> ?target_coverage:float -> ?jobs:int -> Circuit.t -> setup
+(** @deprecated The pre-[Run_config] argument pile, kept so existing
+    callers keep compiling.  Equivalent to {!prepare} on {!Run_config.default}
+    with the given fields replaced. *)
 
 type run = {
   kind : Ordering.kind;
@@ -28,9 +40,16 @@ type run = {
   engine : Engine.result;
 }
 
-val run_order : ?config:Engine.config -> setup -> Ordering.kind -> run
-(** Order the faults and generate a test set.  The engine's random-fill
-    seed defaults to the setup seed so different orders differ only in
-    the fault sequence, as in the paper's comparison. *)
+val run_order : setup -> Ordering.kind -> run
+(** Order the faults and generate a test set with the engine
+    configuration carried by the setup ({!Run_config.engine_config}):
+    the engine's random-fill seed is the setup seed, so different
+    orders differ only in the fault sequence, as in the paper's
+    comparison. *)
+
+val run_order_with : Engine.config -> setup -> Ordering.kind -> run
+(** @deprecated Explicit engine-config override, kept for callers of
+    the old [?config] parameter.  Prefer building the right
+    {!Run_config.t} up front. *)
 
 val test_count : run -> int

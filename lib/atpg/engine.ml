@@ -1,6 +1,8 @@
 module Rng = Util.Rng
 module Budget = Util.Budget
 module Parallel = Util.Parallel
+module Trace = Util.Trace
+module Metrics = Util.Metrics
 
 type generator = Podem_gen | Dalg_gen
 
@@ -25,12 +27,12 @@ let default_config =
     jobs = 1;
   }
 
-(* Per-test fault scan: [visit ws fi] must touch only fault [fi]'s
-   cells, so static fault slices over private workspaces reproduce the
-   serial scan exactly. *)
+(* Per-test fault scan: [visit lane ws fi] must touch only fault [fi]'s
+   cells and lane-private storage, so static fault slices over private
+   workspaces reproduce the serial scan exactly. *)
 let fault_scan pool wss nf visit =
   match pool with
-  | None -> for fi = 0 to nf - 1 do visit wss.(0) fi done
+  | None -> for fi = 0 to nf - 1 do visit 0 wss.(0) fi done
   | Some p ->
       let k = min (Parallel.jobs p) (max nf 1) in
       Parallel.run p
@@ -38,7 +40,7 @@ let fault_scan pool wss nf visit =
              fun () ->
               let ws = wss.(lane) in
               for fi = lane * nf / k to ((lane + 1) * nf / k) - 1 do
-                visit ws fi
+                visit lane ws fi
               done))
 
 type snapshot = {
@@ -59,6 +61,28 @@ type snapshot = {
   snap_backtracks : int;
   snap_implications : int;
 }
+
+(* Leader-side end-of-run metrics: the search statistics that are
+   otherwise trapped inside [result].  Counters accumulate, so several
+   runs under one tracer (the bench driver) sum up. *)
+let publish_result tr pool wss (stats : Podem.stats) ~tests ~untestable ~aborted
+    ~out_of_budget ~retry_recovered =
+  if Trace.enabled tr then begin
+    Metrics.add (Trace.counter tr "podem.decisions") stats.Podem.decisions;
+    Metrics.add (Trace.counter tr "podem.backtracks") stats.Podem.backtracks;
+    Metrics.add (Trace.counter tr "podem.implications") stats.Podem.implications;
+    Metrics.add (Trace.counter tr "engine.tests") tests;
+    Metrics.add (Trace.counter tr "engine.untestable") untestable;
+    Metrics.add (Trace.counter tr "engine.aborted") aborted;
+    Metrics.add (Trace.counter tr "engine.out_of_budget") out_of_budget;
+    Metrics.add (Trace.counter tr "engine.retry_recovered") retry_recovered;
+    Faultsim.publish_stats tr wss;
+    match pool with
+    | Some p ->
+        let h = Trace.histogram tr "parallel.lane_busy_s" in
+        Array.iter (fun b -> Metrics.observe h b) (Parallel.lane_busy_s p)
+    | None -> ()
+  end
 
 type result = {
   tests : Patterns.t;
@@ -95,10 +119,12 @@ let run ?(config = default_config) ?resume ?checkpoint_every ?on_checkpoint
   let nf = Fault_list.count fl in
   check_order nf order;
   let t0 = Unix.gettimeofday () in
+  let tr = Trace.current () in
+  let observed = Trace.enabled tr in
   let scoap = Scoap.compute c in
   let jobs = max 1 config.jobs in
   let wss = Array.init jobs (fun _ -> Faultsim.workspace c) in
-  let pool = if jobs > 1 then Some (Parallel.create ~jobs ()) else None in
+  let pool = if jobs > 1 then Some (Parallel.create ~jobs ~track:observed ()) else None in
   Fun.protect ~finally:(fun () -> Option.iter Parallel.shutdown pool) @@ fun () ->
   let stats = Podem.fresh_stats () in
   let ctx = Podem.context ~stats c scoap in
@@ -163,13 +189,28 @@ let run ?(config = default_config) ?resume ?checkpoint_every ?on_checkpoint
   in
   let n_inputs = Array.length (Circuit.inputs c) in
   let good = Array.make (Circuit.node_count c) 0L in
+  (* Observability handles; all dummies when tracing is off. *)
+  let h_good = Trace.histogram tr "engine.goodsim_block_s" in
+  let h_drops = Trace.histogram tr "engine.drops_per_test" in
+  let h_gen_test = Trace.histogram tr "engine.gen_s.test" in
+  let h_gen_unt = Trace.histogram tr "engine.gen_s.untestable" in
+  let h_gen_abort = Trace.histogram tr "engine.gen_s.aborted" in
+  let h_gen_oob = Trace.histogram tr "engine.gen_s.out_of_budget" in
+  let c_budget = Trace.counter tr "engine.budget_expired" in
+  let drop_counts = Array.make jobs 0 in
   let simulate_and_drop vec test_idx =
     let pats = Patterns.of_vectors ~n_inputs [| vec |] in
-    Goodsim.block_into c pats 0 good;
-    fault_scan pool wss nf (fun ws fi ->
+    Trace.time tr h_good (fun () -> Goodsim.block_into c pats 0 good);
+    if observed then Array.fill drop_counts 0 jobs 0;
+    fault_scan pool wss nf (fun lane ws fi ->
         if detected_by.(fi) < 0 then
           if Int64.logand (Faultsim.detect_block ws ~good (Fault_list.get fl fi)) 1L = 1L
-          then detected_by.(fi) <- test_idx)
+          then begin
+            detected_by.(fi) <- test_idx;
+            if observed then drop_counts.(lane) <- drop_counts.(lane) + 1
+          end);
+    if observed then
+      Metrics.observe h_drops (float_of_int (Array.fold_left ( + ) 0 drop_counts))
   in
   let interrupted = ref false in
   let since_checkpoint = ref 0 in
@@ -194,6 +235,7 @@ let run ?(config = default_config) ?resume ?checkpoint_every ?on_checkpoint
       and b0 = stats.Podem.backtracks
       and i0 = stats.Podem.implications in
       let deadline = Budget.sub_opt run_budget config.per_fault_budget_s in
+      let gen_t0 = if observed then Trace.now_s tr else 0.0 in
       let outcome =
         match config.generator with
         | Podem_gen ->
@@ -202,6 +244,17 @@ let run ?(config = default_config) ?resume ?checkpoint_every ?on_checkpoint
             Dalg.generate ~backtrack_limit:!limit ~deadline ~stats c scoap
               (Fault_list.get fl fi)
       in
+      if observed then begin
+        let dt = Trace.now_s tr -. gen_t0 in
+        let h =
+          match outcome with
+          | Podem.Test _ -> h_gen_test
+          | Podem.Untestable -> h_gen_unt
+          | Podem.Aborted -> h_gen_abort
+          | Podem.Out_of_budget -> h_gen_oob
+        in
+        Metrics.observe h dt
+      end;
       match outcome with
       | Podem.Untestable ->
           untestable_rev := fi :: !untestable_rev;
@@ -234,14 +287,34 @@ let run ?(config = default_config) ?resume ?checkpoint_every ?on_checkpoint
     end
   in
   let rec passes () =
-    while !pos < Array.length !schedule && not !interrupted do
-      if should_stop () || Budget.expired run_budget then interrupted := true
-      else if process !schedule.(!pos) then begin
-        incr pos;
-        maybe_checkpoint ()
-      end
-      else interrupted := true
-    done;
+    Trace.span tr
+      ~attrs:
+        [ ("pass", Trace.Int !pass); ("limit", Trace.Int !limit);
+          ("pending", Trace.Int (Array.length !schedule - !pos)) ]
+      "engine.pass"
+      (fun () ->
+        while !pos < Array.length !schedule && not !interrupted do
+          if should_stop () then interrupted := true
+          else if Budget.expired run_budget then begin
+            interrupted := true;
+            if observed then begin
+              Metrics.incr c_budget;
+              Trace.instant tr ~attrs:[ ("pass", Trace.Int !pass) ] "engine.budget_expired"
+            end
+          end
+          else if process !schedule.(!pos) then begin
+            incr pos;
+            maybe_checkpoint ()
+          end
+          else begin
+            (* [process] saw the whole-run budget fire mid-search. *)
+            interrupted := true;
+            if observed then begin
+              Metrics.incr c_budget;
+              Trace.instant tr ~attrs:[ ("pass", Trace.Int !pass) ] "engine.budget_expired"
+            end
+          end
+        done);
     if not !interrupted then begin
       let retry = List.rev !retry_rev in
       if retry <> [] && !pass < config.retries then begin
@@ -264,6 +337,9 @@ let run ?(config = default_config) ?resume ?checkpoint_every ?on_checkpoint
   let retry_recovered = ref 0 in
   Array.iteri (fun fi r -> if r && not in_final.(fi) then incr retry_recovered) ever_retried;
   let tests_arr = Array.of_list (List.rev !tests_rev) in
+  publish_result tr pool wss stats ~tests:!n_tests
+    ~untestable:(List.length !untestable_rev) ~aborted:(List.length aborted)
+    ~out_of_budget:(List.length !out_of_budget_rev) ~retry_recovered:!retry_recovered;
   {
     tests = Patterns.of_vectors ~n_inputs tests_arr;
     detected_by;
@@ -284,10 +360,12 @@ let run_n_detect ?(config = default_config) ~n fl ~order =
   let nf = Fault_list.count fl in
   check_order nf order;
   let t0 = Unix.gettimeofday () in
+  let tr = Trace.current () in
+  let observed = Trace.enabled tr in
   let scoap = Scoap.compute c in
   let jobs = max 1 config.jobs in
   let wss = Array.init jobs (fun _ -> Faultsim.workspace c) in
-  let pool = if jobs > 1 then Some (Parallel.create ~jobs ()) else None in
+  let pool = if jobs > 1 then Some (Parallel.create ~jobs ~track:observed ()) else None in
   Fun.protect ~finally:(fun () -> Option.iter Parallel.shutdown pool) @@ fun () ->
   let rng = Rng.create config.seed in
   let stats = Podem.fresh_stats () in
@@ -304,7 +382,7 @@ let run_n_detect ?(config = default_config) ~n fl ~order =
   let simulate vec test_idx =
     let pats = Patterns.of_vectors ~n_inputs [| vec |] in
     Goodsim.block_into c pats 0 good;
-    fault_scan pool wss nf (fun ws fi ->
+    fault_scan pool wss nf (fun _lane ws fi ->
         if counts.(fi) < n then
           if Int64.logand (Faultsim.detect_block ws ~good (Fault_list.get fl fi)) 1L = 1L
           then begin
@@ -313,6 +391,7 @@ let run_n_detect ?(config = default_config) ~n fl ~order =
           end)
   in
   for pass = 1 to n do
+    Trace.span tr ~attrs:[ ("pass", Trace.Int pass) ] "engine.n_detect_pass" @@ fun () ->
     Array.iter
       (fun fi ->
         if Budget.expired run_budget then interrupted := true
@@ -345,6 +424,9 @@ let run_n_detect ?(config = default_config) ~n fl ~order =
       order
   done;
   let tests_arr = Array.of_list (List.rev !tests) in
+  publish_result tr pool wss stats ~tests:!n_tests ~untestable:(List.length !untestable)
+    ~aborted:(List.length !aborted) ~out_of_budget:(List.length !out_of_budget)
+    ~retry_recovered:0;
   {
     tests = Patterns.of_vectors ~n_inputs tests_arr;
     detected_by;
@@ -364,10 +446,12 @@ let run_compacting ?(config = default_config) ?(secondary_limit = 50) fl ~order 
   let nf = Fault_list.count fl in
   check_order nf order;
   let t0 = Unix.gettimeofday () in
+  let tr = Trace.current () in
+  let observed = Trace.enabled tr in
   let scoap = Scoap.compute c in
   let jobs = max 1 config.jobs in
   let wss = Array.init jobs (fun _ -> Faultsim.workspace c) in
-  let pool = if jobs > 1 then Some (Parallel.create ~jobs ()) else None in
+  let pool = if jobs > 1 then Some (Parallel.create ~jobs ~track:observed ()) else None in
   Fun.protect ~finally:(fun () -> Option.iter Parallel.shutdown pool) @@ fun () ->
   let rng = Rng.create config.seed in
   let stats = Podem.fresh_stats () in
@@ -382,12 +466,14 @@ let run_compacting ?(config = default_config) ?(secondary_limit = 50) fl ~order 
   let simulate_and_drop vec test_idx =
     let pats = Patterns.of_vectors ~n_inputs [| vec |] in
     Goodsim.block_into c pats 0 good;
-    fault_scan pool wss nf (fun ws fi ->
+    fault_scan pool wss nf (fun _lane ws fi ->
         if detected_by.(fi) < 0 then
           if Int64.logand (Faultsim.detect_block ws ~good (Fault_list.get fl fi)) 1L = 1L
           then detected_by.(fi) <- test_idx)
   in
   let cube_full cube = Array.for_all (fun t -> t <> Ternary.X) cube in
+  Trace.span tr ~attrs:[ ("secondary_limit", Trace.Int secondary_limit) ] "engine.compact"
+  @@ fun () ->
   Array.iteri
     (fun pos fi ->
       if Budget.expired run_budget then interrupted := true
@@ -437,6 +523,9 @@ let run_compacting ?(config = default_config) ?(secondary_limit = 50) fl ~order 
       end)
     order;
   let tests_arr = Array.of_list (List.rev !tests) in
+  publish_result tr pool wss stats ~tests:!n_tests ~untestable:(List.length !untestable)
+    ~aborted:(List.length !aborted) ~out_of_budget:(List.length !out_of_budget)
+    ~retry_recovered:0;
   {
     tests = Patterns.of_vectors ~n_inputs tests_arr;
     detected_by;

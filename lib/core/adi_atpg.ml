@@ -9,7 +9,8 @@
 
     {[
       let circuit = Adi_atpg.Suite.build_by_name "syn420" in
-      let setup = Adi_atpg.Pipeline.prepare ~seed:1 circuit in
+      let cfg = Adi_atpg.Run_config.(default |> with_seed 1) in
+      let setup = Adi_atpg.Pipeline.prepare cfg circuit in
       let run = Adi_atpg.Pipeline.run_order setup Adi_atpg.Ordering.Dynm0 in
       Printf.printf "tests: %d\n" (Adi_atpg.Pipeline.test_count run)
     ]} *)
@@ -65,6 +66,7 @@ module Irredundant = Irredundant
 
 module Adi_index = Adi_index
 module Ordering = Ordering
+module Run_config = Run_config
 module Pipeline = Pipeline
 module Independence = Independence
 
@@ -83,3 +85,5 @@ module Rng = Util.Rng
 module Bitvec = Util.Bitvec
 module Table = Util.Table
 module Plot = Util.Plot
+module Metrics = Util.Metrics
+module Trace = Util.Trace

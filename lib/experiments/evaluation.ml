@@ -8,7 +8,7 @@ type circuit_eval = {
 let default_orders = [ Ordering.Orig; Ordering.Dynm; Ordering.Dynm0; Ordering.Incr0 ]
 
 let evaluate ?(orders = default_orders) ?(seed = 1) ?paper_name circuit =
-  let setup = Pipeline.prepare ~seed circuit in
+  let setup = Pipeline.prepare (Run_config.with_seed seed Run_config.default) circuit in
   let runs = List.map (fun k -> (k, Pipeline.run_order setup k)) orders in
   {
     name = Circuit.title circuit;

@@ -52,7 +52,42 @@ type atpg_run = {
   result : Engine.result;
   report : string;
   checkpoint_saved : string option;
+  metrics_report : string option;
 }
+
+(* Observability scope: install a tracer per the configuration, run the
+   callback under it, and return its end-of-run metrics table when
+   [metrics] was requested.  A resumed run appends to the trace file —
+   the events before the interruption are part of the same logical
+   run. *)
+let with_observability (cfg : Run_config.t) f =
+  if not (Run_config.observed cfg) then (f (), None)
+  else begin
+    let oc =
+      Option.map
+        (fun path ->
+          let flags =
+            if cfg.Run_config.resume then [ Open_append; Open_creat; Open_wronly ]
+            else [ Open_trunc; Open_creat; Open_wronly ]
+          in
+          open_out_gen flags 0o644 path)
+        cfg.Run_config.trace
+    in
+    let sink = Option.map Util.Trace.file_sink oc in
+    let tr = Util.Trace.make ?sink () in
+    Fun.protect
+      ~finally:(fun () -> Option.iter close_out oc)
+      (fun () ->
+        Util.Trace.with_current tr (fun () ->
+            let v = f () in
+            Util.Trace.flush_metrics tr;
+            let report =
+              if cfg.Run_config.metrics then
+                Some (Util.Metrics.report (Util.Trace.metrics tr))
+              else None
+            in
+            (v, report)))
+  end
 
 let generator_name = function Engine.Podem_gen -> "podem" | Engine.Dalg_gen -> "dalg"
 
@@ -88,73 +123,108 @@ let atpg_report ~kind ~faults (e : Engine.result) =
       (Coverage.ave (Coverage.of_engine_result faults e));
   Buffer.contents b
 
+(* The engine configuration travels separately from [cfg] so the legacy
+   [?config] parameter (whose seed may differ from the pipeline seed)
+   keeps its historical meaning. *)
+let run_atpg_with ?should_stop ~econfig (cfg : Run_config.t) circuit =
+  Run_config.validate cfg;
+  let { Run_config.seed; order; checkpoint; checkpoint_every; resume; _ } = cfg in
+  let (setup, result, checkpoint_saved), metrics_report =
+    with_observability cfg @@ fun () ->
+    let tr = Util.Trace.current () in
+    let setup = Pipeline.prepare cfg circuit in
+    let order_kind = Ordering.to_string order in
+    let order_arr =
+      Util.Trace.span tr
+        ~attrs:[ ("order", Util.Trace.Str order_kind) ]
+        "pipeline.order"
+        (fun () -> Ordering.order order setup.Pipeline.adi)
+    in
+    let generator = generator_name econfig.Engine.generator in
+    let resume_snap =
+      match (resume, checkpoint) with
+      | false, _ | true, None -> None
+      | true, Some path when not (Sys.file_exists path) -> None
+      | true, Some path -> (
+          let ck = Checkpoint.load path in
+          match
+            Checkpoint.matches ck ~circuit:setup.Pipeline.circuit ~seed ~order_kind
+              ~generator ~backtrack_limit:econfig.Engine.backtrack_limit
+              ~retries:econfig.Engine.retries ~order:order_arr
+          with
+          | Ok () -> Some ck.Checkpoint.snapshot
+          | Error reason ->
+              Util.Diagnostics.fail
+                ~loc:{ file = Some path; line = 0 }
+                Util.Diagnostics.Checkpoint_mismatch "%s" reason)
+    in
+    let mk_checkpoint snapshot =
+      {
+        Checkpoint.circuit_title = Circuit.title setup.Pipeline.circuit;
+        circuit_digest = Checkpoint.digest_of_circuit setup.Pipeline.circuit;
+        seed;
+        order_kind;
+        generator;
+        backtrack_limit = econfig.Engine.backtrack_limit;
+        retries = econfig.Engine.retries;
+        order = order_arr;
+        snapshot;
+      }
+    in
+    let on_checkpoint =
+      Option.map (fun path snap -> Checkpoint.save path (mk_checkpoint snap)) checkpoint
+    in
+    let checkpoint_every =
+      if Option.is_none checkpoint then None else Some checkpoint_every
+    in
+    let result =
+      Util.Trace.span tr
+        ~attrs:
+          [
+            ("order", Util.Trace.Str order_kind);
+            ("resumed", Util.Trace.Bool (resume_snap <> None));
+          ]
+        "pipeline.engine"
+        (fun () ->
+          Engine.run ~config:econfig ?resume:resume_snap ?checkpoint_every ?on_checkpoint
+            ?should_stop setup.Pipeline.faults ~order:order_arr)
+    in
+    let checkpoint_saved =
+      match (result.Engine.interrupted, result.Engine.snapshot, checkpoint) with
+      | true, Some snap, Some path ->
+          Checkpoint.save path (mk_checkpoint snap);
+          Some path
+      | _ ->
+          (* A completed run invalidates any earlier checkpoint: resuming
+             a finished run from a stale snapshot would re-report partial
+             results as if they were current. *)
+          (match checkpoint with
+          | Some path when (not result.Engine.interrupted) && Sys.file_exists path ->
+              Sys.remove path
+          | _ -> ());
+          None
+    in
+    (setup, result, checkpoint_saved)
+  in
+  let report = atpg_report ~kind:order ~faults:setup.Pipeline.faults result in
+  { setup; kind = order; result; report; checkpoint_saved; metrics_report }
+
+let run_atpg_cfg ?should_stop cfg circuit =
+  run_atpg_with ?should_stop ~econfig:(Run_config.engine_config cfg) cfg circuit
+
+(* Deprecated wrapper — the pre-[Run_config] optional-argument pile.
+   New code should build a [Run_config.t] and call {!run_atpg_cfg}. *)
 let run_atpg ?(seed = 1) ?(order = Ordering.Dynm0) ?(jobs = 1) ?config ?checkpoint
     ?(checkpoint_every = 32) ?(resume = false) ?should_stop circuit =
-  let config =
+  let cfg =
+    { Run_config.default with seed; jobs; order; checkpoint; checkpoint_every; resume }
+  in
+  let econfig =
     match config with
     | Some c -> c
     | None -> { Engine.default_config with Engine.seed; Engine.jobs }
   in
-  let setup = Pipeline.prepare ~seed ~jobs circuit in
-  let order_arr = Ordering.order order setup.Pipeline.adi in
-  let order_kind = Ordering.to_string order in
-  let generator = generator_name config.Engine.generator in
-  let resume_snap =
-    match (resume, checkpoint) with
-    | false, _ -> None
-    | true, None -> invalid_arg "Harness.run_atpg: resume requires a checkpoint path"
-    | true, Some path when not (Sys.file_exists path) -> None
-    | true, Some path -> (
-        let ck = Checkpoint.load path in
-        match
-          Checkpoint.matches ck ~circuit:setup.Pipeline.circuit ~seed ~order_kind
-            ~generator ~backtrack_limit:config.Engine.backtrack_limit
-            ~retries:config.Engine.retries ~order:order_arr
-        with
-        | Ok () -> Some ck.Checkpoint.snapshot
-        | Error reason ->
-            Util.Diagnostics.fail
-              ~loc:{ file = Some path; line = 0 }
-              Util.Diagnostics.Checkpoint_mismatch "%s" reason)
-  in
-  let mk_checkpoint snapshot =
-    {
-      Checkpoint.circuit_title = Circuit.title setup.Pipeline.circuit;
-      circuit_digest = Checkpoint.digest_of_circuit setup.Pipeline.circuit;
-      seed;
-      order_kind;
-      generator;
-      backtrack_limit = config.Engine.backtrack_limit;
-      retries = config.Engine.retries;
-      order = order_arr;
-      snapshot;
-    }
-  in
-  let on_checkpoint =
-    Option.map (fun path snap -> Checkpoint.save path (mk_checkpoint snap)) checkpoint
-  in
-  let checkpoint_every = if Option.is_none checkpoint then None else Some checkpoint_every in
-  let result =
-    Engine.run ~config ?resume:resume_snap ?checkpoint_every ?on_checkpoint ?should_stop
-      setup.Pipeline.faults ~order:order_arr
-  in
-  let checkpoint_saved =
-    match (result.Engine.interrupted, result.Engine.snapshot, checkpoint) with
-    | true, Some snap, Some path ->
-        Checkpoint.save path (mk_checkpoint snap);
-        Some path
-    | _ ->
-        (* A completed run invalidates any earlier checkpoint: resuming
-           a finished run from a stale snapshot would re-report partial
-           results as if they were current. *)
-        (match checkpoint with
-        | Some path when (not result.Engine.interrupted) && Sys.file_exists path ->
-            Sys.remove path
-        | _ -> ());
-        None
-  in
-  let report = atpg_report ~kind:order ~faults:setup.Pipeline.faults result in
-  { setup; kind = order; result; report; checkpoint_saved }
+  run_atpg_with ?should_stop ~econfig cfg circuit
 
 let experiment_names =
   [

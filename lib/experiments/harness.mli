@@ -38,21 +38,24 @@ type atpg_run = {
   checkpoint_saved : string option;
       (** Path of the checkpoint written because the run was
           interrupted, if any. *)
+  metrics_report : string option;
+      (** End-of-run metrics tables, when the configuration requested
+          [metrics]. *)
 }
 
-val run_atpg :
-  ?seed:int ->
-  ?order:Ordering.kind ->
-  ?jobs:int ->
-  ?config:Engine.config ->
-  ?checkpoint:string ->
-  ?checkpoint_every:int ->
-  ?resume:bool ->
-  ?should_stop:(unit -> bool) ->
-  Circuit.t ->
-  atpg_run
+val with_observability : Run_config.t -> (unit -> 'a) -> 'a * string option
+(** Run the callback under a tracer built per the configuration: a
+    JSONL sink on [trace] (append mode when [resume] is set, so a
+    resumed run extends its original event log), metrics collection
+    when requested.  Returns the callback's value and the rendered
+    metrics tables (when [metrics] is set).  With observability off the
+    callback runs under whatever tracer is already current. *)
+
+val run_atpg_cfg :
+  ?should_stop:(unit -> bool) -> Run_config.t -> Circuit.t -> atpg_run
 (** Prepare the pipeline, order the faults, and run the engine with
-    checkpoint/resume plumbing:
+    checkpoint/resume plumbing and observability, all driven by one
+    {!Run_config.t}:
 
     - [checkpoint] names a checkpoint file.  While running, a snapshot
       is saved there every [checkpoint_every] (default 32) processed
@@ -71,6 +74,23 @@ val run_atpg :
 
     @raise Util.Diagnostics.Failed with code [Checkpoint_mismatch]
     when resuming under parameters that differ from those recorded in
-    the checkpoint, or [Checkpoint_format] on a corrupt file.
-    @raise Invalid_argument when [resume] is set without
-    [checkpoint]. *)
+    the checkpoint, [Checkpoint_format] on a corrupt file, or
+    [Invalid_flag] when the configuration is invalid (e.g. [resume]
+    without [checkpoint]). *)
+
+val run_atpg :
+  ?seed:int ->
+  ?order:Ordering.kind ->
+  ?jobs:int ->
+  ?config:Engine.config ->
+  ?checkpoint:string ->
+  ?checkpoint_every:int ->
+  ?resume:bool ->
+  ?should_stop:(unit -> bool) ->
+  Circuit.t ->
+  atpg_run
+(** @deprecated The pre-[Run_config] argument pile, kept so existing
+    callers keep compiling.  Equivalent to {!run_atpg_cfg} on
+    {!Run_config.default} with the given fields replaced; an explicit
+    [config] overrides the engine slice only (its seed does not affect
+    the pipeline seed, matching historical behaviour). *)

@@ -222,7 +222,7 @@ let ablation_u circuit ~seed =
   in
   List.iter
     (fun target ->
-      let setup = Pipeline.prepare ~seed ~target_coverage:target circuit in
+      let setup = Pipeline.prepare Run_config.(default |> with_seed seed |> with_target_coverage target) circuit in
       let run = Pipeline.run_order setup Ordering.Dynm0 in
       let mn, mx =
         match Adi_index.min_max setup.Pipeline.adi with
@@ -252,7 +252,7 @@ let ablation_ndetection circuit ~seed =
         ("0dynm tests", Table.Right);
       ]
   in
-  let setup = Pipeline.prepare ~seed circuit in
+  let setup = Pipeline.prepare (Run_config.with_seed seed Run_config.default) circuit in
   let faults = setup.Pipeline.faults in
   let u = setup.Pipeline.selection.Adi_index.u in
   let row label adi =
@@ -285,7 +285,7 @@ let ablation_estimator circuit ~seed =
         ("dynm AVE", Table.Right);
       ]
   in
-  let setup = Pipeline.prepare ~seed circuit in
+  let setup = Pipeline.prepare (Run_config.with_seed seed Run_config.default) circuit in
   let faults = setup.Pipeline.faults in
   let u = setup.Pipeline.selection.Adi_index.u in
   List.iter
@@ -355,7 +355,7 @@ let ablation_independence evals =
   List.iter
     (fun (ev : Evaluation.circuit_eval) ->
       let setup = ev.Evaluation.setup in
-      let config = { Engine.default_config with seed = setup.Pipeline.seed } in
+      let config = { Engine.default_config with seed = Pipeline.seed setup } in
       let indep_order = Independence.order setup.Pipeline.adi in
       let indep = Engine.run ~config setup.Pipeline.faults ~order:indep_order in
       Table.add_row t
@@ -440,7 +440,7 @@ let ablation_compaction evals =
     (fun (ev : Evaluation.circuit_eval) ->
       let setup = ev.Evaluation.setup in
       let faults = setup.Pipeline.faults in
-      let config = { Engine.default_config with seed = setup.Pipeline.seed } in
+      let config = { Engine.default_config with seed = Pipeline.seed setup } in
       let orig_r = (Evaluation.run ev Ordering.Orig).Pipeline.engine in
       let comp order = Engine.run_compacting ~config faults ~order in
       let c_orig = comp (Ordering.order Ordering.Orig setup.Pipeline.adi) in

@@ -1,5 +1,7 @@
 module Bitvec = Util.Bitvec
 module Parallel = Util.Parallel
+module Trace = Util.Trace
+module Metrics = Util.Metrics
 
 type workspace = {
   circuit : Circuit.t;
@@ -9,6 +11,14 @@ type workspace = {
   buckets : int list array;  (* pending nodes per level *)
   mutable touched : int list;  (* nodes with dirty set *)
   mutable sched_nodes : int list;  (* nodes with scheduled set *)
+  (* Observability counters.  Workspaces are domain-private, so worker
+     lanes may bump these freely; the leader merges them after the
+     fork-join ({!publish_stats}). *)
+  mutable stat_propagations : int;
+  mutable stat_stem_toggles : int;
+  mutable stat_stem_observable : int;
+  mutable stat_stem_detect_words : int;
+  mutable stat_goodsim_s : float;
 }
 
 let workspace c =
@@ -23,7 +33,60 @@ let workspace c =
     buckets = Array.make (Circuit.depth c + 1) [];
     touched = [];
     sched_nodes = [];
+    stat_propagations = 0;
+    stat_stem_toggles = 0;
+    stat_stem_observable = 0;
+    stat_stem_detect_words = 0;
+    stat_goodsim_s = 0.0;
   }
+
+type sim_stats = {
+  propagations : int;
+  stem_toggles : int;
+  stem_observable : int;
+  stem_detect_words : int;
+  goodsim_s : float;
+}
+
+let stats ws =
+  {
+    propagations = ws.stat_propagations;
+    stem_toggles = ws.stat_stem_toggles;
+    stem_observable = ws.stat_stem_observable;
+    stem_detect_words = ws.stat_stem_detect_words;
+    goodsim_s = ws.stat_goodsim_s;
+  }
+
+let publish_stats tr wss =
+  if Trace.enabled tr then begin
+    let p = ref 0 and t = ref 0 and o = ref 0 and d = ref 0 in
+    Array.iter
+      (fun ws ->
+        p := !p + ws.stat_propagations;
+        t := !t + ws.stat_stem_toggles;
+        o := !o + ws.stat_stem_observable;
+        d := !d + ws.stat_stem_detect_words;
+        if ws.stat_goodsim_s > 0.0 then
+          Metrics.observe (Trace.histogram tr "goodsim.lane_s") ws.stat_goodsim_s)
+      wss;
+    Metrics.add (Trace.counter tr "faultsim.propagations") !p;
+    if !t > 0 then begin
+      Metrics.add (Trace.counter tr "faultsim.stem_toggles") !t;
+      Metrics.add (Trace.counter tr "faultsim.stem_observable") !o;
+      Metrics.add (Trace.counter tr "faultsim.stem_detect_words") !d
+    end
+  end
+
+(* Goodsim timing accumulates into the (domain-private) workspace; the
+   [observed] flag is captured by the lane closure so the disabled path
+   pays one branch and no clock reads. *)
+let timed_goodsim observed ws c pats b good =
+  if observed then begin
+    let t0 = Util.Budget.default_clock () in
+    Goodsim.block_into c pats b good;
+    ws.stat_goodsim_s <- ws.stat_goodsim_s +. (Util.Budget.default_clock () -. t0)
+  end
+  else Goodsim.block_into c pats b good
 
 (* Faulty value of the injection node for the current block. *)
 let injected_value ws ~good (f : Fault.t) =
@@ -99,6 +162,7 @@ let eval_faulty ws ~good node =
    the good values. *)
 let propagate ws ~good n0 v0 =
   let c = ws.circuit in
+  ws.stat_propagations <- ws.stat_propagations + 1;
   let detect = ref 0L in
   let record node value =
     if value <> good.(node) then begin
@@ -205,8 +269,10 @@ let eval_flip c ~good node x =
 let detect_stem_block ws ~good fl plan si ~mask emit =
   let c = ws.circuit in
   let stem = plan.plan_stems.(si) in
+  ws.stat_stem_toggles <- ws.stat_stem_toggles + 1;
   let obs = propagate ws ~good stem (Int64.lognot good.(stem)) in
-  if obs <> 0L then
+  if obs <> 0L then begin
+    ws.stat_stem_observable <- ws.stat_stem_observable + 1;
     Array.iter
       (fun fi ->
         let f = Fault_list.get fl fi in
@@ -219,12 +285,23 @@ let detect_stem_block ws ~good fl plan si ~mask emit =
           n := g
         done;
         let d = Int64.logand (Int64.logand !eff obs) mask in
-        if d <> 0L then emit fi d)
+        if d <> 0L then begin
+          ws.stat_stem_detect_words <- ws.stat_stem_detect_words + 1;
+          emit fi d
+        end)
       plan.stem_faults.(si)
+  end
 
 (* --- whole-pattern-set drivers ------------------------------------ *)
 
+let sim_attrs fl pats jobs =
+  [ ("faults", Trace.Int (Fault_list.count fl));
+    ("patterns", Trace.Int (Patterns.count pats)); ("jobs", Trace.Int jobs) ]
+
 let detection_sets_serial fl pats =
+  let tr = Trace.current () in
+  let observed = Trace.enabled tr in
+  Trace.span tr ~attrs:(sim_attrs fl pats 1) "faultsim.detection_sets" @@ fun () ->
   let c = Fault_list.circuit fl in
   let ws = workspace c in
   let nf = Fault_list.count fl in
@@ -232,13 +309,14 @@ let detection_sets_serial fl pats =
   let dsets = Array.init nf (fun _ -> Bitvec.create cnt) in
   let good = Array.make (Circuit.node_count c) 0L in
   for b = 0 to Patterns.blocks pats - 1 do
-    Goodsim.block_into c pats b good;
+    timed_goodsim observed ws c pats b good;
     let mask = block_mask pats b in
     for fi = 0 to nf - 1 do
       let d = Int64.logand (detect_block ws ~good (Fault_list.get fl fi)) mask in
       if d <> 0L then (Bitvec.words dsets.(fi)).(b) <- d
     done
   done;
+  publish_stats tr [| ws |];
   dsets
 
 (* Stem-first simulation over a pool.  Detection sets have no
@@ -249,6 +327,12 @@ let detection_sets_serial fl pats =
    exactly one lane, so the result is bit-identical to the serial path
    regardless of scheduling. *)
 let detection_sets_pooled pool fl pats =
+  let tr = Trace.current () in
+  let observed = Trace.enabled tr in
+  Trace.span tr
+    ~attrs:(("kernel", Trace.Str "stem_first") :: sim_attrs fl pats (Parallel.jobs pool))
+    "faultsim.detection_sets"
+  @@ fun () ->
   let c = Fault_list.circuit fl in
   let plan = stem_plan fl in
   let nf = Fault_list.count fl in
@@ -256,19 +340,21 @@ let detection_sets_pooled pool fl pats =
   let dsets = Array.init nf (fun _ -> Bitvec.create cnt) in
   let nblocks = Patterns.blocks pats in
   let k = min (Parallel.jobs pool) (max nblocks 1) in
+  let wss = Array.init k (fun _ -> workspace c) in
   Parallel.run pool
     (Array.init k (fun lane ->
          fun () ->
-          let ws = workspace c in
+          let ws = wss.(lane) in
           let good = Array.make (Circuit.node_count c) 0L in
           for b = lane * nblocks / k to ((lane + 1) * nblocks / k) - 1 do
-            Goodsim.block_into c pats b good;
+            timed_goodsim observed ws c pats b good;
             let mask = block_mask pats b in
             for si = 0 to Array.length plan.plan_stems - 1 do
               detect_stem_block ws ~good fl plan si ~mask (fun fi d ->
                   (Bitvec.words dsets.(fi)).(b) <- d)
             done
           done));
+  publish_stats tr wss;
   dsets
 
 let detection_sets ?(jobs = 1) fl pats =
@@ -303,6 +389,9 @@ let scan_alive pool wss fl ~good ~mask alive det =
           done))
 
 let with_dropping_serial fl pats =
+  let tr = Trace.current () in
+  let observed = Trace.enabled tr in
+  Trace.span tr ~attrs:(sim_attrs fl pats 1) "faultsim.with_dropping" @@ fun () ->
   let c = Fault_list.circuit fl in
   let ws = workspace c in
   let nf = Fault_list.count fl in
@@ -313,7 +402,7 @@ let with_dropping_serial fl pats =
   let b = ref 0 in
   let nblocks = Patterns.blocks pats in
   while !b < nblocks && !alive <> [] do
-    Goodsim.block_into c pats !b good;
+    timed_goodsim observed ws c pats !b good;
     let mask = block_mask pats !b in
     alive :=
       List.filter
@@ -328,9 +417,14 @@ let with_dropping_serial fl pats =
         !alive;
     incr b
   done;
+  publish_stats tr [| ws |];
   { first_detection = first; detected = !detected }
 
 let with_dropping_pooled pool fl pats =
+  let tr = Trace.current () in
+  let observed = Trace.enabled tr in
+  Trace.span tr ~attrs:(sim_attrs fl pats (Parallel.jobs pool)) "faultsim.with_dropping"
+  @@ fun () ->
   let c = Fault_list.circuit fl in
   let lanes = Parallel.jobs pool in
   let wss = Array.init lanes (fun _ -> workspace c) in
@@ -343,7 +437,7 @@ let with_dropping_pooled pool fl pats =
   let b = ref 0 in
   let nblocks = Patterns.blocks pats in
   while !b < nblocks && Array.length !alive > 0 do
-    Goodsim.block_into c pats !b good;
+    timed_goodsim observed wss.(0) c pats !b good;
     let mask = block_mask pats !b in
     let a = !alive in
     scan_alive pool wss fl ~good ~mask a det;
@@ -359,6 +453,7 @@ let with_dropping_pooled pool fl pats =
     alive := Array.of_list !next;
     incr b
   done;
+  publish_stats tr wss;
   { first_detection = first; detected = !detected }
 
 let with_dropping ?(jobs = 1) fl pats =
@@ -366,6 +461,10 @@ let with_dropping ?(jobs = 1) fl pats =
   else Parallel.with_pool ~jobs (fun pool -> with_dropping_pooled pool fl pats)
 
 let n_detection_serial fl pats ~n =
+  let tr = Trace.current () in
+  let observed = Trace.enabled tr in
+  Trace.span tr ~attrs:(("n", Trace.Int n) :: sim_attrs fl pats 1) "faultsim.n_detection"
+  @@ fun () ->
   let c = Fault_list.circuit fl in
   let ws = workspace c in
   let nf = Fault_list.count fl in
@@ -375,7 +474,7 @@ let n_detection_serial fl pats ~n =
   let b = ref 0 in
   let nblocks = Patterns.blocks pats in
   while !b < nblocks && !alive <> [] do
-    Goodsim.block_into c pats !b good;
+    timed_goodsim observed ws c pats !b good;
     let mask = block_mask pats !b in
     alive :=
       List.filter
@@ -386,9 +485,16 @@ let n_detection_serial fl pats ~n =
         !alive;
     incr b
   done;
+  publish_stats tr [| ws |];
   counts
 
 let n_detection_pooled pool fl pats ~n =
+  let tr = Trace.current () in
+  let observed = Trace.enabled tr in
+  Trace.span tr
+    ~attrs:(("n", Trace.Int n) :: sim_attrs fl pats (Parallel.jobs pool))
+    "faultsim.n_detection"
+  @@ fun () ->
   let c = Fault_list.circuit fl in
   let lanes = Parallel.jobs pool in
   let wss = Array.init lanes (fun _ -> workspace c) in
@@ -400,7 +506,7 @@ let n_detection_pooled pool fl pats ~n =
   let b = ref 0 in
   let nblocks = Patterns.blocks pats in
   while !b < nblocks && Array.length !alive > 0 do
-    Goodsim.block_into c pats !b good;
+    timed_goodsim observed wss.(0) c pats !b good;
     let mask = block_mask pats !b in
     let a = !alive in
     scan_alive pool wss fl ~good ~mask a det;
@@ -414,6 +520,7 @@ let n_detection_pooled pool fl pats ~n =
     alive := Array.of_list !next;
     incr b
   done;
+  publish_stats tr wss;
   counts
 
 let n_detection ?(jobs = 1) fl pats ~n =
@@ -433,6 +540,12 @@ let keep_capped counts fi ~n d =
   !kept
 
 let detection_sets_capped_serial fl pats ~n =
+  let tr = Trace.current () in
+  let observed = Trace.enabled tr in
+  Trace.span tr
+    ~attrs:(("n", Trace.Int n) :: sim_attrs fl pats 1)
+    "faultsim.detection_sets_capped"
+  @@ fun () ->
   let c = Fault_list.circuit fl in
   let ws = workspace c in
   let nf = Fault_list.count fl in
@@ -444,7 +557,7 @@ let detection_sets_capped_serial fl pats ~n =
   let b = ref 0 in
   let nblocks = Patterns.blocks pats in
   while !b < nblocks && !alive <> [] do
-    Goodsim.block_into c pats !b good;
+    timed_goodsim observed ws c pats !b good;
     let mask = block_mask pats !b in
     alive :=
       List.filter
@@ -455,9 +568,16 @@ let detection_sets_capped_serial fl pats ~n =
         !alive;
     incr b
   done;
+  publish_stats tr [| ws |];
   dsets
 
 let detection_sets_capped_pooled pool fl pats ~n =
+  let tr = Trace.current () in
+  let observed = Trace.enabled tr in
+  Trace.span tr
+    ~attrs:(("n", Trace.Int n) :: sim_attrs fl pats (Parallel.jobs pool))
+    "faultsim.detection_sets_capped"
+  @@ fun () ->
   let c = Fault_list.circuit fl in
   let lanes = Parallel.jobs pool in
   let wss = Array.init lanes (fun _ -> workspace c) in
@@ -471,7 +591,7 @@ let detection_sets_capped_pooled pool fl pats ~n =
   let b = ref 0 in
   let nblocks = Patterns.blocks pats in
   while !b < nblocks && Array.length !alive > 0 do
-    Goodsim.block_into c pats !b good;
+    timed_goodsim observed wss.(0) c pats !b good;
     let mask = block_mask pats !b in
     let a = !alive in
     scan_alive pool wss fl ~good ~mask a det;
@@ -485,6 +605,7 @@ let detection_sets_capped_pooled pool fl pats ~n =
     alive := Array.of_list !next;
     incr b
   done;
+  publish_stats tr wss;
   dsets
 
 let detection_sets_capped ?(jobs = 1) fl pats ~n =

@@ -32,6 +32,31 @@ val detect_block : workspace -> good:int64 array -> Fault.t -> int64
     fault-free node values [good] (from {!Goodsim.block_into}).  Lanes
     beyond the pattern count are meaningless; callers mask them. *)
 
+(** {1 Observability}
+
+    Every workspace carries always-on counters (propagation events,
+    stem-kernel toggle/hit rates, accumulated good-simulation seconds).
+    They are domain-private, so worker lanes update them freely; after a
+    fork-join the leader reads or publishes them. *)
+
+type sim_stats = {
+  propagations : int;  (** event-driven propagation passes *)
+  stem_toggles : int;  (** stem-first kernel: stems toggled *)
+  stem_observable : int;  (** …of which some lane reached an output *)
+  stem_detect_words : int;  (** nonzero per-fault detection words emitted *)
+  goodsim_s : float;  (** seconds inside {!Goodsim.block_into} (0 unless tracing) *)
+}
+
+val stats : workspace -> sim_stats
+
+val publish_stats : Util.Trace.t -> workspace array -> unit
+(** Sum the workspaces' counters into the tracer's metrics registry
+    ([faultsim.propagations], [faultsim.stem_*], per-lane
+    [goodsim.lane_s] histogram samples).  No-op on a disabled
+    tracer.  The whole-set drivers below call this themselves; it is
+    exported for callers that drive {!detect_block} directly (the ATPG
+    engine). *)
+
 (** {1 Whole-pattern-set drivers} *)
 
 val detection_sets : ?jobs:int -> Fault_list.t -> Patterns.t -> Util.Bitvec.t array

@@ -17,6 +17,7 @@ type code =
   | Checkpoint_format
   | Checkpoint_mismatch
   | Io_error
+  | Invalid_flag
 
 type location = { file : string option; line : int }
 
@@ -56,6 +57,7 @@ let code_string = function
   | Checkpoint_format -> "E-checkpoint-format"
   | Checkpoint_mismatch -> "E-checkpoint-mismatch"
   | Io_error -> "E-io"
+  | Invalid_flag -> "E-flag"
 
 let severity_string = function
   | Error -> "error"

@@ -25,6 +25,7 @@ type code =
   | Checkpoint_format  (** unreadable or wrong-version checkpoint file *)
   | Checkpoint_mismatch  (** checkpoint does not match the requested run *)
   | Io_error
+  | Invalid_flag  (** command-line or configuration value out of range *)
 
 type location = { file : string option; line : int }
 (** [line = 0] means "no meaningful line" (whole-file problems). *)

@@ -1,0 +1,134 @@
+(* Monotonic counters and summary histograms behind handle types, so
+   instrumented code pays one registry lookup per run, not per event.
+   A registry created [live:false] hands out shared dummy handles and
+   records nothing — the disabled path is a single field read. *)
+
+type counter = { c_name : string; mutable count : int }
+
+type histogram = {
+  h_name : string;
+  mutable n : int;
+  mutable sum : float;
+  mutable min_v : float;
+  mutable max_v : float;
+}
+
+type t = {
+  live : bool;
+  mutable counters : counter list;  (* reverse registration order *)
+  mutable histograms : histogram list;
+}
+
+let create () = { live = true; counters = []; histograms = [] }
+let null = { live = false; counters = []; histograms = [] }
+let live t = t.live
+
+let dummy_counter = { c_name = ""; count = 0 }
+let dummy_histogram = { h_name = ""; n = 0; sum = 0.0; min_v = infinity; max_v = neg_infinity }
+
+let counter t name =
+  if not t.live then dummy_counter
+  else
+    match List.find_opt (fun c -> c.c_name = name) t.counters with
+    | Some c -> c
+    | None ->
+        let c = { c_name = name; count = 0 } in
+        t.counters <- c :: t.counters;
+        c
+
+let histogram t name =
+  if not t.live then dummy_histogram
+  else
+    match List.find_opt (fun h -> h.h_name = name) t.histograms with
+    | Some h -> h
+    | None ->
+        let h = { h_name = name; n = 0; sum = 0.0; min_v = infinity; max_v = neg_infinity } in
+        t.histograms <- h :: t.histograms;
+        h
+
+let counter_name c = c.c_name
+let histogram_name h = h.h_name
+
+let incr c = c.count <- c.count + 1
+let add c n = c.count <- c.count + n
+let set c n = c.count <- n
+let count c = c.count
+
+let observe h v =
+  h.n <- h.n + 1;
+  h.sum <- h.sum +. v;
+  if v < h.min_v then h.min_v <- v;
+  if v > h.max_v then h.max_v <- v
+
+let observations h = h.n
+let total h = h.sum
+let mean h = if h.n = 0 then 0.0 else h.sum /. float_of_int h.n
+let minimum h = if h.n = 0 then 0.0 else h.min_v
+let maximum h = if h.n = 0 then 0.0 else h.max_v
+
+let counters t = List.rev t.counters
+let histograms t = List.rev t.histograms
+
+let reset t =
+  List.iter (fun c -> c.count <- 0) t.counters;
+  List.iter
+    (fun h ->
+      h.n <- 0;
+      h.sum <- 0.0;
+      h.min_v <- infinity;
+      h.max_v <- neg_infinity)
+    t.histograms
+
+(* Spans aggregated by {!Trace} land in histograms named
+   ["span:<name>"]; the report separates them out as the phase table. *)
+let span_prefix = "span:"
+
+let is_span_hist h =
+  String.length h.h_name > String.length span_prefix
+  && String.sub h.h_name 0 (String.length span_prefix) = span_prefix
+
+let phase_name h =
+  String.sub h.h_name (String.length span_prefix)
+    (String.length h.h_name - String.length span_prefix)
+
+let report t =
+  let b = Buffer.create 512 in
+  let phases = List.filter is_span_hist (histograms t) in
+  if phases <> [] then begin
+    let tbl =
+      Table.create
+        [ ("phase", Table.Left); ("calls", Table.Right); ("total s", Table.Right);
+          ("mean s", Table.Right) ]
+    in
+    List.iter
+      (fun h ->
+        Table.add_row tbl
+          [ phase_name h; string_of_int h.n; Printf.sprintf "%.4f" h.sum;
+            Printf.sprintf "%.4f" (mean h) ])
+      phases;
+    Buffer.add_string b (Table.render tbl)
+  end;
+  let cs = counters t in
+  if cs <> [] then begin
+    if phases <> [] then Buffer.add_char b '\n';
+    let tbl = Table.create [ ("counter", Table.Left); ("value", Table.Right) ] in
+    List.iter (fun c -> Table.add_row tbl [ c.c_name; string_of_int c.count ]) cs;
+    Buffer.add_string b (Table.render tbl)
+  end;
+  let hs = List.filter (fun h -> not (is_span_hist h)) (histograms t) in
+  if hs <> [] then begin
+    if phases <> [] || cs <> [] then Buffer.add_char b '\n';
+    let tbl =
+      Table.create
+        [ ("histogram", Table.Left); ("count", Table.Right); ("mean", Table.Right);
+          ("min", Table.Right); ("max", Table.Right) ]
+    in
+    List.iter
+      (fun h ->
+        Table.add_row tbl
+          [ h.h_name; string_of_int h.n; Printf.sprintf "%.4g" (mean h);
+            Printf.sprintf "%.4g" (minimum h); Printf.sprintf "%.4g" (maximum h) ])
+      hs;
+    Buffer.add_string b (Table.render tbl)
+  end;
+  Buffer.contents b

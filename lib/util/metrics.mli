@@ -1,0 +1,68 @@
+(** Monotonic counters and summary histograms.
+
+    A registry hands out mutable handles; instrumented code resolves a
+    handle once per run ({!counter}/{!histogram} find-or-create by
+    name) and then updates it with a couple of field writes per event.
+    The {!null} registry hands out shared dummy handles that are never
+    read, so disabled instrumentation costs one branch plus a dead
+    store — nothing accumulates and nothing is rendered.
+
+    Registries are {e not} domain-safe: update handles from the leader
+    domain only, or give each lane private storage and merge after the
+    join (see [Faultsim]'s workspace statistics for the pattern). *)
+
+type t
+type counter
+type histogram
+
+val create : unit -> t
+(** A live registry. *)
+
+val null : t
+(** The disabled registry: handles are shared dummies, nothing is
+    recorded. *)
+
+val live : t -> bool
+
+val counter : t -> string -> counter
+(** Find or register the counter [name].  On {!null}: a dummy. *)
+
+val histogram : t -> string -> histogram
+
+val counter_name : counter -> string
+val histogram_name : histogram -> string
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+
+val set : counter -> int -> unit
+(** Overwrite the count — for publishing an externally accumulated
+    total (e.g. [Podem.stats]) at end of run. *)
+
+val count : counter -> int
+
+val observe : histogram -> float -> unit
+(** Record one sample: count, sum, min and max are maintained. *)
+
+val observations : histogram -> int
+val total : histogram -> float
+val mean : histogram -> float
+val minimum : histogram -> float
+val maximum : histogram -> float
+
+val counters : t -> counter list
+(** In registration order. *)
+
+val histograms : t -> histogram list
+
+val reset : t -> unit
+(** Zero every handle (handles stay valid). *)
+
+val span_prefix : string
+(** Histograms named ["span:<phase>"] hold per-phase wall-clock
+    aggregates (maintained by [Trace]); {!report} renders them as the
+    phase table. *)
+
+val report : t -> string
+(** Render the registry as aligned tables (phases, counters,
+    histograms) via {!Table} — the [--metrics] end-of-run output. *)

@@ -16,7 +16,13 @@ type worker = {
   mutable domain : unit Domain.t option;
 }
 
-type t = { size : int; workers : worker array; mutable alive : bool }
+type t = {
+  size : int;
+  workers : worker array;
+  mutable alive : bool;
+  track : bool;
+  busy : float array;  (* per executing domain; slot 0 is the leader *)
+}
 
 let default_jobs () = Domain.recommended_domain_count ()
 
@@ -45,7 +51,7 @@ let worker_loop w =
   in
   loop ()
 
-let create ?jobs () =
+let create ?jobs ?(track = false) () =
   let jobs = match jobs with None -> default_jobs () | Some j -> j in
   if jobs < 1 then invalid_arg "Parallel.create: jobs must be at least 1";
   let jobs = min jobs 128 in
@@ -59,7 +65,7 @@ let create ?jobs () =
         { mutex = Mutex.create (); cond = Condition.create (); cell = Idle; domain = None })
   in
   Array.iter (fun w -> w.domain <- Some (Domain.spawn (fun () -> worker_loop w))) workers;
-  { size = jobs; workers; alive = true }
+  { size = jobs; workers; alive = true; track; busy = Array.make (spawned + 1) 0.0 }
 
 let jobs t = t.size
 
@@ -76,9 +82,13 @@ let shutdown t =
     Array.iter (fun w -> Option.iter Domain.join w.domain) t.workers
   end
 
-let with_pool ?jobs f =
-  let t = create ?jobs () in
+let with_pool ?jobs ?track f =
+  let t = create ?jobs ?track () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let lane_busy_s t = Array.copy t.busy
+
+let reset_lane_busy t = Array.fill t.busy 0 (Array.length t.busy) 0.0
 
 let submit w f =
   Mutex.lock w.mutex;
@@ -112,12 +122,21 @@ let run t tasks =
        when an earlier one raises. *)
     let outcomes = Array.make n None in
     let g = min (Array.length t.workers + 1) n in
-    let group j () =
+    let plain_group j () =
       for i = j * n / g to ((j + 1) * n / g) - 1 do
         match tasks.(i) () with
         | () -> ()
         | exception e -> outcomes.(i) <- Some e
       done
+    in
+    (* Busy tracking: each executing domain writes only its own slot,
+       and the leader reads them after the joins below — no races. *)
+    let group =
+      if not t.track then plain_group
+      else fun j () ->
+        let t0 = Budget.default_clock () in
+        plain_group j ();
+        t.busy.(j) <- t.busy.(j) +. (Budget.default_clock () -. t0)
     in
     for j = 1 to g - 1 do
       submit t.workers.(j - 1) (group j)

@@ -22,10 +22,12 @@ val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — the pool size the CLI's
     [--jobs] flag defaults to. *)
 
-val create : ?jobs:int -> unit -> t
+val create : ?jobs:int -> ?track:bool -> unit -> t
 (** Spawn a pool of [jobs] lanes (default {!default_jobs}; values above
-    128 are clamped to the domain limit).  @raise Invalid_argument if
-    [jobs < 1]. *)
+    128 are clamped to the domain limit).  [track] (default [false])
+    turns on per-domain busy-time accounting ({!lane_busy_s}) at the
+    cost of two clock reads per executing domain per {!run}.
+    @raise Invalid_argument if [jobs < 1]. *)
 
 val jobs : t -> int
 (** Number of lanes — the partitioning width requested at creation,
@@ -35,9 +37,17 @@ val shutdown : t -> unit
 (** Join all worker domains.  Idempotent; the pool is unusable
     afterwards. *)
 
-val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+val with_pool : ?jobs:int -> ?track:bool -> (t -> 'a) -> 'a
 (** [with_pool f] runs [f] with a fresh pool and shuts it down when [f]
     returns or raises. *)
+
+val lane_busy_s : t -> float array
+(** Accumulated busy seconds per executing domain (slot 0 is the
+    calling domain), all zeros unless the pool was created with
+    [track:true].  Read between {!run} calls — the snapshot is only
+    coherent after a join. *)
+
+val reset_lane_busy : t -> unit
 
 val run : t -> (unit -> unit) array -> unit
 (** [run t tasks] executes every task exactly once, dealing them out in

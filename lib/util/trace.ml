@@ -1,0 +1,408 @@
+(* Nestable wall-clock spans over an injectable clock, plus a
+   structured JSONL event sink.  One tracer is installed as the
+   process-wide current tracer (default: disabled); instrumented code
+   reads it at phase entry, never per inner operation.  Tracers are
+   leader-domain-only: worker lanes accumulate into private storage
+   that the leader merges after a join. *)
+
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+type attrs = (string * value) list
+
+type event =
+  | Span of { name : string; at_s : float; dur_s : float; depth : int; attrs : attrs }
+  | Instant of { name : string; at_s : float; attrs : attrs }
+  | Counter of { name : string; value : int; attrs : attrs }
+  | Hist of { name : string; n : int; sum : float; min_v : float; max_v : float; attrs : attrs }
+
+let schema = "adi_trace/v1"
+
+(* --- JSONL encoding ---------------------------------------------- *)
+
+let buf_json_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+(* Enough digits to round-trip an OCaml float exactly. *)
+let buf_json_float b x =
+  if Float.is_integer x && Float.abs x < 1e15 then
+    Buffer.add_string b (Printf.sprintf "%.1f" x)
+  else Buffer.add_string b (Printf.sprintf "%.17g" x)
+
+let buf_value b = function
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f -> buf_json_float b f
+  | Str s -> buf_json_string b s
+  | Bool v -> Buffer.add_string b (if v then "true" else "false")
+
+let buf_attrs b attrs =
+  Buffer.add_string b ",\"attrs\":{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      buf_json_string b k;
+      Buffer.add_char b ':';
+      buf_value b v)
+    attrs;
+  Buffer.add_char b '}'
+
+let to_json ev =
+  let b = Buffer.create 128 in
+  let field k v =
+    Buffer.add_char b ',';
+    buf_json_string b k;
+    Buffer.add_char b ':';
+    v ()
+  in
+  let str k s = field k (fun () -> buf_json_string b s) in
+  let num k x = field k (fun () -> buf_json_float b x) in
+  let int k i = field k (fun () -> Buffer.add_string b (string_of_int i)) in
+  Buffer.add_string b "{\"schema\":";
+  buf_json_string b schema;
+  (match ev with
+  | Span s ->
+      str "ev" "span";
+      str "name" s.name;
+      num "at_s" s.at_s;
+      num "dur_s" s.dur_s;
+      int "depth" s.depth;
+      buf_attrs b s.attrs
+  | Instant i ->
+      str "ev" "instant";
+      str "name" i.name;
+      num "at_s" i.at_s;
+      buf_attrs b i.attrs
+  | Counter c ->
+      str "ev" "counter";
+      str "name" c.name;
+      int "value" c.value;
+      buf_attrs b c.attrs
+  | Hist h ->
+      str "ev" "hist";
+      str "name" h.name;
+      int "count" h.n;
+      num "sum" h.sum;
+      num "min" h.min_v;
+      num "max" h.max_v;
+      buf_attrs b h.attrs);
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+(* --- minimal JSON parsing (the subset {!to_json} emits) ----------- *)
+
+type json = Jnum of float | Jstr of string | Jbool of bool | Jnull | Jobj of (string * json) list
+
+exception Parse of string
+
+let parse_json line =
+  let n = String.length line in
+  let pos = ref 0 in
+  let fail msg = raise (Parse (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then line.[!pos] else '\000' in
+  let advance () = incr pos in
+  let skip_ws () =
+    while !pos < n && (match line.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      advance ()
+    done
+  in
+  let expect c = if peek () = c then advance () else fail (Printf.sprintf "expected %C" c) in
+  let string_lit () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else
+        match line.[!pos] with
+        | '"' -> advance ()
+        | '\\' ->
+            advance ();
+            (match peek () with
+            | '"' -> Buffer.add_char b '"'
+            | '\\' -> Buffer.add_char b '\\'
+            | '/' -> Buffer.add_char b '/'
+            | 'n' -> Buffer.add_char b '\n'
+            | 't' -> Buffer.add_char b '\t'
+            | 'r' -> Buffer.add_char b '\r'
+            | 'b' -> Buffer.add_char b '\b'
+            | 'f' -> Buffer.add_char b '\012'
+            | 'u' ->
+                if !pos + 4 >= n then fail "bad \\u escape";
+                let hex = String.sub line (!pos + 1) 4 in
+                let code =
+                  try int_of_string ("0x" ^ hex) with _ -> fail "bad \\u escape"
+                in
+                (* Only ASCII escapes are emitted by {!to_json}. *)
+                if code < 0x80 then Buffer.add_char b (Char.chr code)
+                else Buffer.add_string b (Printf.sprintf "\\u%s" hex);
+                pos := !pos + 4
+            | _ -> fail "bad escape");
+            advance ();
+            go ()
+        | c ->
+            Buffer.add_char b c;
+            advance ();
+            go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let number () =
+    let start = !pos in
+    if peek () = '-' then advance ();
+    while
+      !pos < n
+      && match line.[!pos] with '0' .. '9' | '.' | 'e' | 'E' | '+' | '-' -> true | _ -> false
+    do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub line start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let rec json () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = '}' then begin
+          advance ();
+          Jobj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let k = string_lit () in
+            skip_ws ();
+            expect ':';
+            let v = json () in
+            skip_ws ();
+            match peek () with
+            | ',' ->
+                advance ();
+                members ((k, v) :: acc)
+            | '}' ->
+                advance ();
+                List.rev ((k, v) :: acc)
+            | _ -> fail "expected , or }"
+          in
+          Jobj (members [])
+        end
+    | '"' -> Jstr (string_lit ())
+    | 't' ->
+        if !pos + 4 <= n && String.sub line !pos 4 = "true" then begin
+          pos := !pos + 4;
+          Jbool true
+        end
+        else fail "bad literal"
+    | 'f' ->
+        if !pos + 5 <= n && String.sub line !pos 5 = "false" then begin
+          pos := !pos + 5;
+          Jbool false
+        end
+        else fail "bad literal"
+    | 'n' ->
+        if !pos + 4 <= n && String.sub line !pos 4 = "null" then begin
+          pos := !pos + 4;
+          Jnull
+        end
+        else fail "bad literal"
+    | _ -> Jnum (number ())
+  in
+  let v = json () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let of_json line =
+  match parse_json line with
+  | exception Parse msg -> Error msg
+  | Jobj fields -> (
+      let str k =
+        match List.assoc_opt k fields with
+        | Some (Jstr s) -> Ok s
+        | _ -> Error (Printf.sprintf "missing string field %S" k)
+      in
+      let num k =
+        match List.assoc_opt k fields with
+        | Some (Jnum f) -> Ok f
+        | _ -> Error (Printf.sprintf "missing numeric field %S" k)
+      in
+      let int k = Result.map int_of_float (num k) in
+      let attrs =
+        match List.assoc_opt "attrs" fields with
+        | Some (Jobj kvs) ->
+            List.map
+              (fun (k, v) ->
+                ( k,
+                  match v with
+                  | Jstr s -> Str s
+                  | Jbool v -> Bool v
+                  | Jnum f when Float.is_integer f && Float.abs f < 1e15 ->
+                      Int (int_of_float f)
+                  | Jnum f -> Float f
+                  | _ -> Str "" ))
+              kvs
+        | _ -> []
+      in
+      let ( let* ) = Result.bind in
+      let* s = str "schema" in
+      if s <> schema then Error (Printf.sprintf "unknown schema %S" s)
+      else
+        let* ev = str "ev" in
+        match ev with
+        | "span" ->
+            let* name = str "name" in
+            let* at_s = num "at_s" in
+            let* dur_s = num "dur_s" in
+            let* depth = int "depth" in
+            Ok (Span { name; at_s; dur_s; depth; attrs })
+        | "instant" ->
+            let* name = str "name" in
+            let* at_s = num "at_s" in
+            Ok (Instant { name; at_s; attrs })
+        | "counter" ->
+            let* name = str "name" in
+            let* value = int "value" in
+            Ok (Counter { name; value; attrs })
+        | "hist" ->
+            let* name = str "name" in
+            let* n = int "count" in
+            let* sum = num "sum" in
+            let* min_v = num "min" in
+            let* max_v = num "max" in
+            Ok (Hist { name; n; sum; min_v; max_v; attrs })
+        | ev -> Error (Printf.sprintf "unknown event kind %S" ev))
+  | _ -> Error "not a JSON object"
+
+(* --- tracers ------------------------------------------------------ *)
+
+type t = {
+  enabled : bool;
+  clock : Budget.clock;
+  t0 : float;
+  metrics : Metrics.t;
+  sink : (event -> unit) option;
+  mutable depth : int;
+}
+
+let null =
+  { enabled = false; clock = (fun () -> 0.0); t0 = 0.0; metrics = Metrics.null; sink = None;
+    depth = 0 }
+
+let make ?(clock = Budget.default_clock) ?sink () =
+  { enabled = true; clock; t0 = clock (); metrics = Metrics.create (); sink; depth = 0 }
+
+let enabled t = t.enabled
+let metrics t = t.metrics
+let elapsed_s t = if t.enabled then t.clock () -. t.t0 else 0.0
+
+let emit t ev = match t.sink with None -> () | Some sink -> sink ev
+
+let span t ?(attrs = []) name f =
+  if not t.enabled then f ()
+  else begin
+    let start = t.clock () in
+    t.depth <- t.depth + 1;
+    Fun.protect
+      ~finally:(fun () ->
+        t.depth <- t.depth - 1;
+        let dur = t.clock () -. start in
+        Metrics.observe (Metrics.histogram t.metrics (Metrics.span_prefix ^ name)) dur;
+        emit t (Span { name; at_s = start -. t.t0; dur_s = dur; depth = t.depth; attrs }))
+      f
+  end
+
+let instant t ?(attrs = []) name =
+  if t.enabled then emit t (Instant { name; at_s = t.clock () -. t.t0; attrs })
+
+let now_s t = if t.enabled then t.clock () else 0.0
+
+(* Like {!span} but folds into a histogram only — for per-block /
+   per-test timings that would flood the sink as individual events. *)
+let time t h f =
+  if not t.enabled then f ()
+  else begin
+    let start = t.clock () in
+    Fun.protect ~finally:(fun () -> Metrics.observe h (t.clock () -. start)) f
+  end
+
+let counter t name = Metrics.counter t.metrics name
+let histogram t name = Metrics.histogram t.metrics name
+
+(* One self-describing event per registry entry; called once at end of
+   run (and again by later flushes — counts are cumulative, so readers
+   take the last event per name). *)
+let flush_metrics t =
+  if t.enabled && t.sink <> None then begin
+    List.iter
+      (fun c ->
+        emit t
+          (Counter { name = Metrics.counter_name c; value = Metrics.count c; attrs = [] }))
+      (Metrics.counters t.metrics);
+    List.iter
+      (fun h ->
+        emit t
+          (Hist
+             {
+               name = Metrics.histogram_name h;
+               n = Metrics.observations h;
+               sum = Metrics.total h;
+               min_v = Metrics.minimum h;
+               max_v = Metrics.maximum h;
+               attrs = [];
+             }))
+      (Metrics.histograms t.metrics)
+  end
+
+(* --- the current tracer ------------------------------------------- *)
+
+let current_tracer = ref null
+let current () = !current_tracer
+let set_current t = current_tracer := t
+
+let with_current t f =
+  let prev = !current_tracer in
+  current_tracer := t;
+  Fun.protect ~finally:(fun () -> current_tracer := prev) f
+
+let file_sink oc ev =
+  output_string oc (to_json ev);
+  output_char oc '\n';
+  flush oc
+
+let install_from_env () =
+  let metrics_on =
+    match Sys.getenv_opt "ADI_METRICS" with
+    | None | Some "" | Some "0" -> false
+    | Some _ -> true
+  in
+  let trace_prefix =
+    match Sys.getenv_opt "ADI_TRACE" with None | Some "" -> None | Some p -> Some p
+  in
+  if metrics_on || trace_prefix <> None then begin
+    let sink =
+      Option.map
+        (fun prefix ->
+          let path = Printf.sprintf "%s.%d.jsonl" prefix (Unix.getpid ()) in
+          let oc = open_out_gen [ Open_wronly; Open_creat; Open_append ] 0o644 path in
+          at_exit (fun () -> close_out_noerr oc);
+          file_sink oc)
+        trace_prefix
+    in
+    let tr = make ?sink () in
+    set_current tr;
+    at_exit (fun () ->
+        flush_metrics tr;
+        if metrics_on then prerr_string (Metrics.report (metrics tr)))
+  end

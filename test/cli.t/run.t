@@ -160,6 +160,76 @@ Resuming under different parameters is refused:
   adi-atpg: ck.bin: error: checkpoint was taken with a different fault order [E-checkpoint-mismatch]
   [2]
 
+Invalid run-configuration values are rejected as typed diagnostics by
+the shared flag table, before they can reach the domain pool:
+
+  $ adi-atpg atpg c17 --jobs 0
+  adi-atpg: error: --jobs must be at least 1 (got 0) [E-flag]
+  [2]
+
+--metrics appends the phase/counter/histogram tables after the
+ordinary report; the instrumented names are stable:
+
+  $ adi-atpg atpg c17 --order 0dynm --metrics > metrics.txt
+  $ grep -c "^phase " metrics.txt
+  1
+  $ grep -oE "^[a-z_]+(\.[a-z_.]+)+" metrics.txt | sort -u
+  adi.detected_by_u
+  adi.value
+  engine.aborted
+  engine.budget_expired
+  engine.drops_per_test
+  engine.gen_s.aborted
+  engine.gen_s.out_of_budget
+  engine.gen_s.test
+  engine.gen_s.untestable
+  engine.goodsim_block_s
+  engine.out_of_budget
+  engine.pass
+  engine.retry_recovered
+  engine.tests
+  engine.untestable
+  faultsim.detection_sets
+  faultsim.propagations
+  faultsim.with_dropping
+  goodsim.lane_s
+  pipeline.engine
+  pipeline.faults
+  pipeline.order
+  pipeline.pool_detected
+  pipeline.prepare
+  pipeline.u_size
+  podem.backtracks
+  podem.decisions
+  podem.implications
+  prepare.adi
+  prepare.collapse
+  prepare.select_u
+
+--trace streams the same run as JSON lines, every one carrying the
+stable schema, covering preparation, ordering and the engine:
+
+  $ adi-atpg atpg c17 --order 0dynm --trace t.jsonl | head -2
+  order       : F0dynm
+  tests       : 6
+  $ test "$(grep -c adi_trace/v1 t.jsonl)" = "$(wc -l < t.jsonl)" && echo every line carries the schema
+  every line carries the schema
+  $ grep -o '"name":"pipeline.[a-z]*"' t.jsonl | sort -u
+  "name":"pipeline.engine"
+  "name":"pipeline.faults"
+  "name":"pipeline.order"
+  "name":"pipeline.prepare"
+
+A resumed run appends to the interrupted run's trace instead of
+truncating it:
+
+  $ adi-atpg atpg c17 --order 0dynm --time-budget 0 --checkpoint ck3.bin --trace t3.jsonl > /dev/null
+  [3]
+  $ wc -l < t3.jsonl > n1.txt
+  $ adi-atpg atpg c17 --order 0dynm --checkpoint ck3.bin --resume --trace t3.jsonl > /dev/null
+  $ test "$(wc -l < t3.jsonl)" -gt "$(cat n1.txt)" && echo resume extends the trace
+  resume extends the trace
+
 Conversion to BLIF and back:
 
   $ adi-atpg convert c17 c17.blif

@@ -217,7 +217,7 @@ let ordering_names_roundtrip () =
 
 let pipeline_on_lion () =
   let c = Kiss.to_combinational (Kiss.lion ()) in
-  let setup = Pipeline.prepare ~seed:1 c in
+  let setup = Pipeline.prepare (Run_config.with_seed 1 Run_config.default) c in
   let runs = List.map (fun k -> (k, Pipeline.run_order setup k)) Ordering.all in
   List.iter
     (fun (k, r) ->
@@ -234,7 +234,7 @@ let pipeline_on_lion () =
 let pipeline_applies_scan () =
   let seq = Kiss.to_sequential (Kiss.lion ()) in
   check Alcotest.bool "sequential input" true (Circuit.has_state seq);
-  let setup = Pipeline.prepare ~seed:1 seq in
+  let setup = Pipeline.prepare (Run_config.with_seed 1 Run_config.default) seq in
   check Alcotest.bool "combinational model" true (not (Circuit.has_state setup.Pipeline.circuit))
 
 
@@ -335,6 +335,7 @@ let independence_order_is_permutation =
        o
 
 let () =
+  Util.Trace.install_from_env ();
   Alcotest.run "adi"
     [
       ( "index",

@@ -543,6 +543,7 @@ let n_detect_reaches_multiplicity =
   !ok
 
 let () =
+  Util.Trace.install_from_env ();
   Alcotest.run "atpg"
     [
       ( "scoap",

@@ -335,7 +335,7 @@ let sequence_detector_atpg () =
   (* The full-scan view of the detector goes through the whole paper
      pipeline. *)
   let circuit = Kiss.to_sequential (Kiss.sequence_detector ~pattern:"1101") in
-  let setup = Pipeline.prepare ~seed:3 circuit in
+  let setup = Pipeline.prepare (Run_config.with_seed 3 Run_config.default) circuit in
   let run = Pipeline.run_order setup Ordering.Dynm0 in
   check (Alcotest.float 0.0001) "full coverage" 1.0
     (Engine.coverage setup.Pipeline.faults run.Pipeline.engine)
@@ -415,6 +415,7 @@ let suite_matches_paper_inputs () =
     expect Suite.entries
 
 let () =
+  Util.Trace.install_from_env ();
   Alcotest.run "circuits"
     [
       ( "library",

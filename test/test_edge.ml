@@ -19,7 +19,7 @@ let single_wire () =
   let c = B.finish b in
   let fl = Collapse.collapsed c in
   check Alcotest.int "two faults" 2 (Fault_list.count fl);
-  let setup = Pipeline.prepare ~seed:1 c in
+  let setup = Pipeline.prepare (Run_config.with_seed 1 Run_config.default) c in
   let run = Pipeline.run_order setup Ordering.Dynm0 in
   check (Alcotest.float 1e-9) "coverage" 1.0
     (Engine.coverage setup.Pipeline.faults run.Pipeline.engine);
@@ -191,6 +191,7 @@ let rewrite_preserves_po_count_order () =
   check Alcotest.string "second is g2" "g2" (Circuit.name c' (Circuit.outputs c').(1))
 
 let () =
+  Util.Trace.install_from_env ();
   Alcotest.run "edge"
     [
       ( "degenerate",

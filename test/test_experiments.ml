@@ -246,9 +246,10 @@ let run_atpg_requires_checkpoint_for_resume () =
     (try
        ignore (Harness.run_atpg ~resume:true (Library.c17 ()));
        false
-     with Invalid_argument _ -> true)
+     with D.Failed d -> d.D.code = D.Invalid_flag)
 
 let () =
+  Util.Trace.install_from_env ();
   Alcotest.run "experiments"
     [
       ( "reports",

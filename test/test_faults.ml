@@ -130,6 +130,7 @@ let collapse_inverter_chain () =
   check Alcotest.int "two classes" 2 (Fault_list.count r.Collapse.representatives)
 
 let () =
+  Util.Trace.install_from_env ();
   Alcotest.run "faults"
     [
       ( "universe",

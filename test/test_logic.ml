@@ -157,6 +157,7 @@ let five_error_propagation () =
   check Alcotest.bool "is_error 1" false (Five.is_error Five.One)
 
 let () =
+  Util.Trace.install_from_env ();
   Alcotest.run "logic"
     [
       ( "boolean",

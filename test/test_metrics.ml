@@ -89,6 +89,7 @@ let truncation_and_targets () =
   check Alcotest.(option int) "target 0" (Some 0) (Coverage.tests_for_coverage c ~target:0.0)
 
 let () =
+  Util.Trace.install_from_env ();
   Alcotest.run "metrics"
     [
       ( "coverage",

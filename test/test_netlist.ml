@@ -568,6 +568,7 @@ let stats_counts () =
   check Alcotest.int "depth" 3 s.Stats.depth
 
 let () =
+  Util.Trace.install_from_env ();
   Alcotest.run "netlist"
     [
       ( "builder",

@@ -394,6 +394,7 @@ let dictionary_classes_partition () =
     (Dictionary.resolution dict > 0.0 && Dictionary.resolution dict <= 1.0)
 
 let () =
+  Util.Trace.install_from_env ();
   Alcotest.run "sim"
     [
       ( "patterns",

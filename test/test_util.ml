@@ -447,6 +447,7 @@ let diag_fail_raises () =
   | _ -> Alcotest.fail "expected Failed"
 
 let () =
+  Util.Trace.install_from_env ();
   Alcotest.run "util"
     [
       ( "rng",
