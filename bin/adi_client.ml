@@ -1,0 +1,241 @@
+(* adi-client: command-line client for adi-server.
+
+   Builds one JSON request per invocation, sends it over the
+   length-prefixed framing, prints the result object on stdout, and
+   maps server-side error replies to a nonzero exit with the same
+   typed [E-...] code a local run would report.  Connection problems
+   and reply timeouts are reported as typed diagnostics too — the
+   client never hangs and never dies silently. *)
+
+open Cmdliner
+module Json = Util.Json
+module Diagnostics = Util.Diagnostics
+
+let guard f =
+  try f () with
+  | Invalid_argument msg | Failure msg ->
+      Printf.eprintf "adi-client: %s\n" msg;
+      exit 1
+  | Util.Diagnostics.Failed d ->
+      Printf.eprintf "adi-client: %s [%s]\n" d.Diagnostics.message
+        (Diagnostics.code_string d.Diagnostics.code);
+      exit 2
+  | Sys_error msg ->
+      Printf.eprintf "adi-client: %s\n" msg;
+      exit 1
+
+(* --- connection --------------------------------------------------- *)
+
+type target = Unix_path of string | Tcp of string * int
+
+let connect target =
+  let fail_connect name =
+    (* Normalised message (no errno text), so failure modes are
+       deterministic across platforms. *)
+    Diagnostics.fail Diagnostics.Io_error "cannot connect to %s" name
+  in
+  match target with
+  | Unix_path path -> (
+      let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      try
+        Unix.connect fd (Unix.ADDR_UNIX path);
+        fd
+      with Unix.Unix_error (_, _, _) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        fail_connect path)
+  | Tcp (host, port) -> (
+      let name = Printf.sprintf "%s:%d" host port in
+      let inet =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (
+          match Unix.gethostbyname host with
+          | { Unix.h_addr_list = [||]; _ } | (exception Not_found) -> fail_connect name
+          | { Unix.h_addr_list; _ } -> h_addr_list.(0))
+      in
+      let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+      try
+        Unix.connect fd (Unix.ADDR_INET (inet, port));
+        fd
+      with Unix.Unix_error (_, _, _) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        fail_connect name)
+
+let await_reply fd ~timeout_s =
+  match Unix.select [ fd ] [] [] timeout_s with
+  | [], _, _ ->
+      Diagnostics.fail Diagnostics.Budget_expired "no reply within %gs" timeout_s
+  | _ -> (
+      match Service.Protocol.read_frame fd with
+      | Some payload -> payload
+      | None -> Diagnostics.fail Diagnostics.Io_error "server closed the connection")
+
+let exchange target ~timeout_s payload =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let fd = connect target in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Service.Protocol.write_frame fd payload;
+      await_reply fd ~timeout_s)
+
+let print_response raw =
+  match Result.bind (Json.of_string raw) Service.Protocol.response_of_json with
+  | Error msg -> Diagnostics.fail Diagnostics.Protocol "unreadable reply: %s" msg
+  | Ok { Service.Protocol.payload = Ok result; _ } -> print_endline (Json.to_string result)
+  | Ok { Service.Protocol.payload = Error e; _ } ->
+      Printf.eprintf "adi-client: %s [%s]\n" e.Service.Protocol.message e.Service.Protocol.code;
+      exit 2
+
+let request target ~timeout_s op params =
+  let req = { Service.Protocol.id = 1; op; params } in
+  let raw =
+    exchange target ~timeout_s (Json.to_string (Service.Protocol.request_to_json req))
+  in
+  print_response raw
+
+(* --- arguments ---------------------------------------------------- *)
+
+let target_term =
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Connect to a Unix-domain socket at $(docv).")
+  in
+  let tcp =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tcp" ] ~docv:"HOST:PORT" ~doc:"Connect over TCP.")
+  in
+  let combine socket tcp =
+    match (socket, tcp) with
+    | Some path, None -> `Ok (Unix_path path)
+    | None, Some spec -> (
+        match String.rindex_opt spec ':' with
+        | Some i -> (
+            let host = String.sub spec 0 i in
+            let port = String.sub spec (i + 1) (String.length spec - i - 1) in
+            match int_of_string_opt port with
+            | Some port when port > 0 && port < 65536 -> `Ok (Tcp (host, port))
+            | _ -> `Error (false, "--tcp expects HOST:PORT with a valid port"))
+        | None -> `Error (false, "--tcp expects HOST:PORT"))
+    | Some _, Some _ -> `Error (false, "pass either --socket or --tcp, not both")
+    | None, None -> `Error (false, "a server address is required: --socket PATH or --tcp HOST:PORT")
+  in
+  Term.(ret (const combine $ socket $ tcp))
+
+let timeout_arg =
+  Arg.(
+    value & opt float 60.0
+    & info [ "timeout" ] ~docv:"S" ~doc:"Give up waiting for a reply after $(docv) seconds.")
+
+let circuit_arg =
+  let doc =
+    "Circuit: a suite name (syn208..syn13207, c17, lion) or a .bench file path (sent inline)."
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"CIRCUIT" ~doc)
+
+(* A local .bench file is read here and shipped inline, so the server
+   never needs to share a file system with its clients. *)
+let circuit_params spec =
+  if Sys.file_exists spec then begin
+    let ic = open_in_bin spec in
+    let text =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    [ ("netlist", Json.Str text) ]
+  end
+  else [ ("circuit", Json.Str spec) ]
+
+let opt_param name conv arg_conv doc docv =
+  let term = Arg.(value & opt (some arg_conv) None & info [ name ] ~docv ~doc) in
+  let pair x = (name, conv x) in
+  Term.(const (Option.map pair) $ term)
+
+let config_params_term =
+  let int_p name doc docv = opt_param name (fun i -> Json.Int i) Arg.int doc docv in
+  let float_p name doc docv = opt_param name (fun f -> Json.Float f) Arg.float doc docv in
+  let str_p name doc docv = opt_param name (fun s -> Json.Str s) Arg.string doc docv in
+  let gather seed pool tc jobs order backtracks retries budget =
+    List.filter_map Fun.id [ seed; pool; tc; jobs; order; backtracks; retries; budget ]
+  in
+  Term.(
+    const gather
+    $ int_p "seed" "Random seed (drives U selection and random fill)." "SEED"
+    $ int_p "pool" "Candidate-vector pool size for U selection." "N"
+    $ float_p "target_coverage" "U-selection coverage target, in (0, 1]." "C"
+    $ int_p "jobs" "Fault-simulation domains for this request." "JOBS"
+    $ str_p "order" "Fault order: orig, incr0, decr, 0decr, dynm, 0dynm." "ORDER"
+    $ int_p "backtracks" "PODEM backtrack limit." "B"
+    $ int_p "retries" "Abort-retry escalation passes." "R"
+    $ float_p "budget_s" "Per-request wall-clock budget in seconds." "S")
+
+let circuit_cmd name ~doc ~extra_params =
+  let run target timeout spec params extra =
+    guard @@ fun () ->
+    request target ~timeout_s:timeout name (circuit_params spec @ params @ extra)
+  in
+  Cmd.v
+    (Cmd.info name ~doc)
+    Term.(
+      const run $ target_term $ timeout_arg $ circuit_arg $ config_params_term $ extra_params)
+
+let limit_term =
+  let term =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "limit" ] ~docv:"N" ~doc:"Truncate the reported permutation to $(docv) faults.")
+  in
+  Term.(
+    const (fun v -> match v with Some n -> [ ("limit", Json.Int n) ] | None -> []) $ term)
+
+let no_extra = Term.const []
+
+let load_cmd = circuit_cmd "load" ~doc:"Parse, collapse, select U and compute ADI (warms the cache)" ~extra_params:no_extra
+let adi_cmd = circuit_cmd "adi" ~doc:"ADI summary (ADImin/ADImax/ratio)" ~extra_params:no_extra
+let order_cmd = circuit_cmd "order" ~doc:"Compute a fault ordering" ~extra_params:limit_term
+let atpg_cmd = circuit_cmd "atpg" ~doc:"Generate a test set" ~extra_params:no_extra
+
+let plain_cmd name ~doc ~params_term =
+  let run target timeout params = guard @@ fun () -> request target ~timeout_s:timeout name params in
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ target_term $ timeout_arg $ params_term)
+
+let stats_cmd = plain_cmd "stats" ~doc:"Server statistics (version, cache hit/miss counters)" ~params_term:(Term.const [])
+
+let evict_params =
+  let term =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "key" ] ~docv:"KEY" ~doc:"Evict one cache key; omit to clear the whole cache.")
+  in
+  Term.(
+    const (fun v -> match v with Some k -> [ ("key", Json.Str k) ] | None -> []) $ term)
+
+let evict_cmd = plain_cmd "evict" ~doc:"Evict cache entries" ~params_term:evict_params
+let shutdown_cmd = plain_cmd "shutdown" ~doc:"Drain in-flight requests and stop the server" ~params_term:(Term.const [])
+
+let raw_cmd =
+  let payload_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"JSON" ~doc:"Raw request payload.")
+  in
+  let run target timeout payload =
+    guard @@ fun () -> print_response (exchange target ~timeout_s:timeout payload)
+  in
+  Cmd.v
+    (Cmd.info "raw" ~doc:"Send an arbitrary payload (protocol debugging)")
+    Term.(const run $ target_term $ timeout_arg $ payload_arg)
+
+let cmd =
+  let info =
+    Cmd.info "adi-client" ~version:Util.Version.version
+      ~doc:"Client for the resident ADI/ATPG service (adi-server)"
+  in
+  Cmd.group info
+    [ load_cmd; adi_cmd; order_cmd; atpg_cmd; stats_cmd; evict_cmd; shutdown_cmd; raw_cmd ]
+
+let () = exit (Cmd.eval cmd)

@@ -391,7 +391,7 @@ let experiment_cmd =
 
 let main_cmd =
   let info =
-    Cmd.info "adi-atpg" ~version:"1.0.0"
+    Cmd.info "adi-atpg" ~version:Util.Version.version
       ~doc:"Accidental-detection-index fault ordering for full-scan ATPG (DATE 2005 reproduction)"
   in
   Cmd.group info

@@ -102,6 +102,13 @@ let validate t =
 
 let observed t = t.metrics || t.trace <> None
 
+(* Only the preparation-relevant fields, by name, in a fixed order —
+   adding a knob that does not change prepared artifacts must not
+   invalidate every warm cache entry, so nothing else may leak in.
+   %.17g round-trips the float exactly. *)
+let fingerprint t =
+  Printf.sprintf "seed=%d;pool=%d;target_coverage=%.17g" t.seed t.pool t.target_coverage
+
 let engine_config t =
   {
     Engine.backtrack_limit = t.backtrack_limit;

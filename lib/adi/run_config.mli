@@ -72,6 +72,16 @@ val validate : t -> unit
 val observed : t -> bool
 (** Is any observability requested ([metrics] or [trace])? *)
 
+val fingerprint : t -> string
+(** Canonical rendering of exactly the fields that determine a
+    {!Pipeline.prepare} result for a given circuit — [seed], [pool]
+    and [target_coverage].  [jobs], the engine knobs and the
+    observability flags are deliberately excluded: they never change
+    the prepared artifacts.  This is the configuration half of the
+    service store's content-addressed cache key, so its format is
+    stable: two configurations share a fingerprint iff they prepare
+    byte-identical setups. *)
+
 val engine_config : t -> Engine.config
 (** The [Engine.config] slice of this configuration. *)
 

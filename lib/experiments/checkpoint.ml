@@ -17,17 +17,13 @@ type t = {
 
 let digest_of_circuit c = Digest.to_hex (Digest.string (Bench_format.to_string c))
 
+(* Durable atomic publish: the temp file is fsynced before the rename
+   (and the directory after), so a crash mid-save can never leave a
+   truncated checkpoint under the final name — at worst a stale .tmp. *)
 let save path t =
-  let tmp = path ^ ".tmp" in
-  let oc = open_out_bin tmp in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () ->
+  Util.Atomic_file.write path (fun oc ->
       Printf.fprintf oc "%s v%d\n" magic version;
-      Marshal.to_channel oc t []);
-  (* Atomic publish: a crash mid-write never corrupts an existing
-     checkpoint, at worst it leaves a stale .tmp behind. *)
-  Sys.rename tmp path
+      Marshal.to_channel oc t [])
 
 let load path =
   let fail code fmt = Diagnostics.fail ~loc:{ file = Some path; line = 0 } code fmt in

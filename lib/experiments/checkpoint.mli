@@ -4,8 +4,9 @@
     [Marshal]-encoded {!t}.  The payload is plain data (no closures, no
     circuit graphs), so marshalling is safe across runs of the same
     binary; the header guards against feeding it to an incompatible
-    reader.  Saves are atomic (write to [path ^ ".tmp"], then rename),
-    so an interrupted save never corrupts an existing checkpoint.
+    reader.  Saves go through {!Util.Atomic_file.write} (tmp-write,
+    fsync, rename, directory fsync), so neither an interrupted save nor
+    a crash right after the rename can leave a truncated checkpoint.
 
     Identity of the interrupted run is captured alongside the engine
     {!Engine.snapshot}: circuit digest, seed, ordering, generator and

@@ -79,6 +79,9 @@ let with_observability (cfg : Run_config.t) f =
       ~finally:(fun () -> Option.iter close_out oc)
       (fun () ->
         Util.Trace.with_current tr (fun () ->
+            (* Trace header: who produced this event log. *)
+            Util.Trace.instant tr "run.start"
+              ~attrs:[ ("version", Util.Trace.Str Util.Version.version) ];
             let v = f () in
             Util.Trace.flush_metrics tr;
             let report =

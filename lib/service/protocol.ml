@@ -1,0 +1,118 @@
+module Json = Util.Json
+module Diagnostics = Util.Diagnostics
+
+type request = { id : int; op : string; params : (string * Json.t) list }
+type error = { code : string; message : string }
+type response = { id : int; payload : (Json.t, error) result }
+
+let ops = [ "load"; "adi"; "order"; "atpg"; "stats"; "evict"; "shutdown" ]
+
+let request_to_json (r : request) =
+  Json.Obj (("id", Json.Int r.id) :: ("op", Json.Str r.op) :: r.params)
+
+let request_of_json j =
+  match j with
+  | Json.Obj fields -> (
+      match Option.bind (List.assoc_opt "op" fields) Json.to_str with
+      | None -> Error "request has no \"op\" field"
+      | Some op ->
+          let id =
+            Option.value ~default:0 (Option.bind (List.assoc_opt "id" fields) Json.to_int)
+          in
+          let params = List.filter (fun (k, _) -> k <> "id" && k <> "op") fields in
+          Ok { id; op; params })
+  | _ -> Error "request is not a JSON object"
+
+let response_to_json r =
+  let tail =
+    match r.payload with
+    | Ok result -> [ ("ok", Json.Bool true); ("result", result) ]
+    | Error e ->
+        [ ("ok", Json.Bool false);
+          ("error", Json.Obj [ ("code", Json.Str e.code); ("message", Json.Str e.message) ]) ]
+  in
+  Json.Obj (("id", Json.Int r.id) :: tail)
+
+let response_of_json j =
+  match j with
+  | Json.Obj fields -> (
+      let id =
+        Option.value ~default:0 (Option.bind (List.assoc_opt "id" fields) Json.to_int)
+      in
+      match Option.bind (List.assoc_opt "ok" fields) Json.to_bool with
+      | Some true -> (
+          match List.assoc_opt "result" fields with
+          | Some result -> Ok { id; payload = Ok result }
+          | None -> Error "success response has no \"result\"")
+      | Some false -> (
+          match List.assoc_opt "error" fields with
+          | Some err ->
+              let str k = Option.bind (Json.member k err) Json.to_str in
+              Ok
+                { id;
+                  payload =
+                    Error
+                      { code = Option.value ~default:"E-protocol" (str "code");
+                        message = Option.value ~default:"unknown error" (str "message") } }
+          | None -> Error "failure response has no \"error\"")
+      | None -> Error "response has no boolean \"ok\"")
+  | _ -> Error "response is not a JSON object"
+
+let error_of_diagnostic (d : Diagnostics.t) =
+  { code = Diagnostics.code_string d.Diagnostics.code; message = d.Diagnostics.message }
+
+(* --- framing ------------------------------------------------------ *)
+
+let max_frame_bytes = 64 * 1024 * 1024
+
+let fail_protocol fmt = Diagnostics.fail Diagnostics.Protocol fmt
+
+let write_all fd bytes =
+  let n = Bytes.length bytes in
+  let written = ref 0 in
+  while !written < n do
+    match Unix.write fd bytes !written (n - !written) with
+    | 0 -> Diagnostics.fail Diagnostics.Io_error "connection closed mid-write"
+    | k -> written := !written + k
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+        Diagnostics.fail Diagnostics.Io_error "connection closed by peer"
+  done
+
+let write_frame fd payload =
+  let n = String.length payload in
+  if n > max_frame_bytes then fail_protocol "frame of %d bytes exceeds the %d-byte limit" n max_frame_bytes;
+  let frame = Bytes.create (4 + n) in
+  Bytes.set_int32_be frame 0 (Int32.of_int n);
+  Bytes.blit_string payload 0 frame 4 n;
+  write_all fd frame
+
+(* Read exactly [n] bytes; [`Eof] only when the stream ends before the
+   first byte (a clean close between frames). *)
+let read_exactly fd n ~header =
+  let buf = Bytes.create n in
+  let got = ref 0 in
+  let eof = ref false in
+  while (not !eof) && !got < n do
+    match Unix.read fd buf !got (n - !got) with
+    | 0 -> eof := true
+    | k -> got := !got + k
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> eof := true
+  done;
+  if !got = n then `Bytes buf
+  else if !got = 0 && header then `Eof
+  else fail_protocol "truncated frame (got %d of %d bytes)" !got n
+
+let read_frame fd =
+  match read_exactly fd 4 ~header:true with
+  | `Eof -> None
+  | `Bytes hdr ->
+      let n = Int32.to_int (Bytes.get_int32_be hdr 0) in
+      if n < 0 || n > max_frame_bytes then
+        fail_protocol "frame length %d outside [0, %d]" n max_frame_bytes;
+      if n = 0 then Some ""
+      else (
+        match read_exactly fd n ~header:false with
+        | `Eof -> assert false
+        | `Bytes payload -> Some (Bytes.unsafe_to_string payload))

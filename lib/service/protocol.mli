@@ -1,0 +1,62 @@
+(** The service wire protocol: length-prefixed JSON frames.
+
+    {2 Framing}
+
+    Each message is one frame: a 4-byte big-endian payload length
+    followed by that many bytes of UTF-8 JSON (one value per frame, no
+    trailing newline).  Length-prefixing keeps the stream self-
+    delimiting regardless of payload content and lets the reader
+    allocate exactly once; frames above {!max_frame_bytes} are rejected
+    before allocation so a rogue peer cannot balloon the process.
+
+    {2 Requests}
+
+    [{"id": <int>, "op": <string>, ...params}] — every field other than
+    [id]/[op] is an op-specific parameter.  Ops: [load], [adi],
+    [order], [atpg], [stats], [evict], [shutdown] (see
+    [docs/service.md] for the parameter and reply schemas).
+
+    {2 Responses}
+
+    [{"id": <int>, "ok": true, "result": {...}}] on success, or
+    [{"id": <int>, "ok": false, "error": {"code": "E-...",
+    "message": ...}}] with a stable {!Util.Diagnostics} code slug on
+    failure.  The [id] echoes the request (0 when the request was too
+    malformed to carry one). *)
+
+type request = {
+  id : int;
+  op : string;
+  params : (string * Util.Json.t) list;  (** everything but [id]/[op] *)
+}
+
+type error = { code : string; message : string }
+
+type response = { id : int; payload : (Util.Json.t, error) result }
+
+val ops : string list
+(** The known operations, in documentation order. *)
+
+val request_to_json : request -> Util.Json.t
+val request_of_json : Util.Json.t -> (request, string) result
+
+val response_to_json : response -> Util.Json.t
+val response_of_json : Util.Json.t -> (response, string) result
+
+val error_of_diagnostic : Util.Diagnostics.t -> error
+(** Keep the stable code slug and the message; drop the location. *)
+
+(** {1 Framing} *)
+
+val max_frame_bytes : int
+(** 64 MiB. *)
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Write one complete frame (handles short writes).
+    @raise Util.Diagnostics.Failed with code [Protocol] on an oversized
+    payload, [Io_error] if the peer closed the connection. *)
+
+val read_frame : Unix.file_descr -> string option
+(** Read one complete frame.  [None] on a clean EOF at a frame
+    boundary.  @raise Util.Diagnostics.Failed with code [Protocol] on a
+    truncated or oversized frame. *)

@@ -1,0 +1,149 @@
+module Diagnostics = Util.Diagnostics
+module Parallel = Util.Parallel
+
+type address = Unix_socket of string | Tcp of string * int
+
+let address_to_string = function
+  | Unix_socket path -> path
+  | Tcp (host, port) -> Printf.sprintf "%s:%d" host port
+
+type t = {
+  session : Session.t;
+  address : address;
+  workers : int;
+  backlog : int;
+  poll_interval_s : float;
+  stop : bool Atomic.t;
+  busy : int Atomic.t;  (* connections currently being served *)
+}
+
+let create ?(workers = 4) ?(backlog = 16) ?(poll_interval_s = 0.05) session address =
+  if workers < 1 then invalid_arg "Server.create: workers must be at least 1";
+  if backlog < 1 then invalid_arg "Server.create: backlog must be at least 1";
+  { session; address; workers; backlog; poll_interval_s; stop = Atomic.make false;
+    busy = Atomic.make 0 }
+
+let request_stop t = Atomic.set t.stop true
+let stopping t = Atomic.get t.stop
+
+(* --- listening socket --------------------------------------------- *)
+
+let bind_listener t =
+  let domain, addr =
+    match t.address with
+    | Unix_socket path ->
+        (* Replace a stale socket file from a previous run; refuse to
+           unlink anything that is not a socket. *)
+        (match Unix.lstat path with
+        | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
+        | _ -> Diagnostics.fail Diagnostics.Io_error "%s exists and is not a socket" path
+        | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+        (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+    | Tcp (host, port) ->
+        let inet =
+          try Unix.inet_addr_of_string host
+          with Failure _ -> (
+            match Unix.gethostbyname host with
+            | { Unix.h_addr_list = [||]; _ } | (exception Not_found) ->
+                Diagnostics.fail Diagnostics.Io_error "cannot resolve %s" host
+            | { Unix.h_addr_list; _ } -> h_addr_list.(0))
+        in
+        (Unix.PF_INET, Unix.ADDR_INET (inet, port))
+  in
+  let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+  (try
+     (match t.address with
+     | Tcp _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true
+     | Unix_socket _ -> ());
+     Unix.bind fd addr;
+     Unix.listen fd t.backlog;
+     Unix.set_nonblock fd
+   with Unix.Unix_error (err, _, _) ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     Diagnostics.fail Diagnostics.Io_error "cannot listen on %s: %s"
+       (address_to_string t.address) (Unix.error_message err));
+  fd
+
+(* --- per-connection serving --------------------------------------- *)
+
+(* One request-reply exchange at a time per connection.  Between
+   frames the lane polls the stop flag, so a drain waits only for the
+   request in flight, never for an idle client. *)
+let serve_connection t conn =
+  Atomic.incr t.busy;
+  Session.observe_queue_depth t.session (Atomic.get t.busy);
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.decr t.busy;
+      try Unix.close conn with Unix.Unix_error _ -> ())
+    (fun () ->
+      let rec exchange () =
+        if not (Atomic.get t.stop) then
+          match Unix.select [ conn ] [] [] t.poll_interval_s with
+          | [], _, _ -> exchange ()
+          | _ -> (
+              match Protocol.read_frame conn with
+              | None -> ()
+              | Some payload ->
+                  let reply, directive = Session.handle_frame t.session payload in
+                  Protocol.write_frame conn reply;
+                  (match directive with
+                  | `Shutdown -> Atomic.set t.stop true
+                  | `Continue -> exchange ()))
+      in
+      (* A broken or misbehaving client kills its connection, never
+         the worker lane. *)
+      try exchange ()
+      with
+      | Diagnostics.Failed _ | End_of_file
+      | Unix.Unix_error (_, _, _)
+      | Sys_error _
+      -> ())
+
+let accept_loop t listener should_stop =
+  let stop_now () = Atomic.get t.stop || should_stop () in
+  let rec loop () =
+    if not (stop_now ()) then begin
+      (match Unix.select [ listener ] [] [] t.poll_interval_s with
+      | [], _, _ -> ()
+      | _ -> (
+          (* Lanes race on accept; the losers see EAGAIN and re-poll. *)
+          match Unix.accept ~cloexec:true listener with
+          | conn, _ -> serve_connection t conn
+          | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+            -> ()
+          | exception Unix.Unix_error (Unix.ECONNABORTED, _, _) -> ()));
+      loop ()
+    end
+  in
+  loop ()
+
+(* --- the blocking entry point ------------------------------------- *)
+
+let with_signals t f =
+  let install signum = Sys.signal signum (Sys.Signal_handle (fun _ -> request_stop t)) in
+  let sigint = install Sys.sigint in
+  let sigterm = install Sys.sigterm in
+  (* A peer vanishing mid-write must surface as EPIPE, not kill us. *)
+  let sigpipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.set_signal Sys.sigint sigint;
+      Sys.set_signal Sys.sigterm sigterm;
+      Sys.set_signal Sys.sigpipe sigpipe)
+    f
+
+let serve ?(should_stop = fun () -> false) ?(on_ready = fun () -> ()) t =
+  let listener = bind_listener t in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close listener with Unix.Unix_error _ -> ());
+      match t.address with
+      | Unix_socket path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+      | Tcp _ -> ())
+    (fun () ->
+      with_signals t (fun () ->
+          on_ready ();
+          Parallel.with_pool ~jobs:t.workers (fun pool ->
+              Parallel.run pool
+                (Array.init t.workers (fun _ () -> accept_loop t listener should_stop)))))

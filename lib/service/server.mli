@@ -1,0 +1,47 @@
+(** Concurrent socket front end for a {!Session}.
+
+    Listens on a Unix-domain or TCP socket and serves the
+    length-prefixed {!Protocol} to many clients at once: each lane of a
+    {!Util.Parallel} domain pool runs its own accept-serve loop over
+    the shared listening socket, so up to [workers] connections are
+    handled simultaneously while the kernel's listen [backlog] bounds
+    the accept queue — clients beyond both simply queue, they are never
+    dropped by the server itself.
+
+    {2 Shutdown and drain}
+
+    The server stops when a [shutdown] request is served, when
+    [should_stop] returns true, or — while {!serve} is running — on
+    SIGINT/SIGTERM.  Stopping is always a {e graceful drain}: every
+    lane finishes the request it is processing and flushes the reply
+    before closing; only then does {!serve} return.  Idle connections
+    are closed at the next poll tick, so a silent client can never
+    wedge the drain. *)
+
+type address =
+  | Unix_socket of string  (** path; a stale socket file is replaced *)
+  | Tcp of string * int  (** bind address and port *)
+
+val address_to_string : address -> string
+
+type t
+
+val create :
+  ?workers:int -> ?backlog:int -> ?poll_interval_s:float -> Session.t -> address -> t
+(** [workers] (default 4) accept-serve lanes; [backlog] (default 16)
+    bounds the kernel accept queue; [poll_interval_s] (default 0.05)
+    is the stop-flag poll cadence for idle lanes and idle connections.
+    @raise Invalid_argument on non-positive workers/backlog. *)
+
+val request_stop : t -> unit
+(** Ask a running {!serve} to drain and return (thread-safe; also what
+    the signal handlers call). *)
+
+val stopping : t -> bool
+
+val serve : ?should_stop:(unit -> bool) -> ?on_ready:(unit -> unit) -> t -> unit
+(** Bind, listen, call [on_ready] (the socket now accepts
+    connections), and block until drained.  SIGINT/SIGTERM handlers
+    are installed for the duration and restored on return.
+    @raise Util.Diagnostics.Failed with code [Io_error] when the
+    socket cannot be bound. *)

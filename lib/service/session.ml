@@ -1,0 +1,287 @@
+module Json = Util.Json
+module Diagnostics = Util.Diagnostics
+module Budget = Util.Budget
+module Trace = Util.Trace
+module Metrics = Util.Metrics
+
+type t = {
+  store : Store.t;
+  jobs : int;
+  request_budget_s : float option;
+  clock : Budget.clock;
+  tracer : Trace.t;
+  lock : Mutex.t;  (* guards the counters and every tracer touch *)
+  mutable n_requests : int;
+  mutable n_errors : int;
+}
+
+let create ?(capacity = 8) ?spill_dir ?(jobs = 1) ?request_budget_s
+    ?(clock = Budget.default_clock) ?tracer () =
+  if jobs < 1 then invalid_arg "Session.create: jobs must be at least 1";
+  let tracer = match tracer with Some tr -> tr | None -> Trace.current () in
+  { store = Store.create ~capacity ?spill_dir (); jobs; request_budget_s; clock; tracer;
+    lock = Mutex.create (); n_requests = 0; n_errors = 0 }
+
+let store t = t.store
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let requests t = locked t (fun () -> t.n_requests)
+
+let observe_queue_depth t depth =
+  locked t (fun () ->
+      Metrics.observe (Trace.histogram t.tracer "service.queue_depth") (float_of_int depth))
+
+(* --- parameter decoding ------------------------------------------- *)
+
+let fail_protocol fmt = Diagnostics.fail Diagnostics.Protocol fmt
+
+let param params k = List.assoc_opt k params
+
+let typed_param params k convert ~expected =
+  match param params k with
+  | None -> None
+  | Some v -> (
+      match convert v with
+      | Some x -> Some x
+      | None -> fail_protocol "parameter %S must be %s" k expected)
+
+let int_param params k = typed_param params k Json.to_int ~expected:"an integer"
+let float_param params k = typed_param params k Json.to_float ~expected:"a number"
+let str_param params k = typed_param params k Json.to_str ~expected:"a string"
+
+(* The request's Run_config: session defaults overlaid with the
+   explicit parameters, validated by the [with_*] builders so
+   out-of-range values surface as the same [E-flag] diagnostics the
+   CLI reports. *)
+let config_of_params t params =
+  let apply get set cfg = match get with Some v -> set v cfg | None -> cfg in
+  Run_config.default
+  |> Run_config.with_jobs t.jobs
+  |> apply (int_param params "seed") Run_config.with_seed
+  |> apply (int_param params "pool") Run_config.with_pool
+  |> apply (float_param params "target_coverage") Run_config.with_target_coverage
+  |> apply (int_param params "jobs") Run_config.with_jobs
+  |> apply (str_param params "order") Run_flags.with_order_name
+  |> apply (int_param params "backtracks") Run_config.with_backtrack_limit
+  |> apply (int_param params "retries") Run_config.with_retries
+
+(* Mirrors the CLI's circuit resolution: an inline netlist, a .bench /
+   .blif file path, or a suite name. *)
+let resolve_circuit params =
+  match (str_param params "netlist", str_param params "circuit") with
+  | Some text, _ -> Bench_format.parse_string ~title:"netlist" text
+  | None, Some spec ->
+      if Sys.file_exists spec then
+        if Filename.check_suffix spec ".blif" then Blif_format.parse_file spec
+        else Bench_format.parse_file spec
+      else Suite.build_by_name spec
+  | None, None -> fail_protocol "request needs a \"circuit\" name or an inline \"netlist\""
+
+let budget_of_params t params =
+  let seconds =
+    match float_param params "budget_s" with Some s -> Some s | None -> t.request_budget_s
+  in
+  (match seconds with
+  | Some s when s < 0.0 ->
+      Diagnostics.fail Diagnostics.Invalid_flag "budget_s must be non-negative (got %g)" s
+  | _ -> ());
+  Budget.of_seconds_opt ~clock:t.clock seconds
+
+let check_budget budget ~phase =
+  if Budget.expired budget then
+    Diagnostics.fail Diagnostics.Budget_expired "request budget expired %s" phase
+
+(* --- op handlers -------------------------------------------------- *)
+
+let setup_reply_fields key cached (setup : Pipeline.setup) =
+  [ ("key", Json.Str key); ("cached", Json.Bool cached);
+    ("circuit", Json.Str (Circuit.title setup.Pipeline.circuit));
+    ("faults", Json.Int (Fault_list.count setup.Pipeline.faults)) ]
+
+let prepared t params budget =
+  check_budget budget ~phase:"before preparation";
+  let circuit = resolve_circuit params in
+  let cfg = config_of_params t params in
+  let setup, cached = Store.find_or_prepare t.store cfg circuit in
+  check_budget budget ~phase:"during preparation";
+  (cfg, Store.key_of circuit cfg, setup, cached)
+
+let handle_load t params budget =
+  let _cfg, key, setup, cached = prepared t params budget in
+  let sel = setup.Pipeline.selection in
+  Json.Obj
+    (setup_reply_fields key cached setup
+    @ [ ("u_size", Json.Int (Patterns.count sel.Adi_index.u));
+        ("pool_detected", Json.Int sel.Adi_index.pool_detected);
+        ("u_coverage", Json.Float (Adi_index.coverage_of_u setup.Pipeline.adi)) ])
+
+let handle_adi t params budget =
+  let _cfg, key, setup, cached = prepared t params budget in
+  let adi = setup.Pipeline.adi in
+  let min_max =
+    match Adi_index.min_max adi with
+    | Some (lo, hi) ->
+        [ ("adi_min", Json.Int lo); ("adi_max", Json.Int hi);
+          ("ratio", Json.Float (float_of_int hi /. float_of_int lo)) ]
+    | None -> [ ("adi_min", Json.Null); ("adi_max", Json.Null); ("ratio", Json.Null) ]
+  in
+  Json.Obj
+    (setup_reply_fields key cached setup
+    @ [ ("u_size", Json.Int (Patterns.count setup.Pipeline.selection.Adi_index.u));
+        ("u_coverage", Json.Float (Adi_index.coverage_of_u adi)) ]
+    @ min_max)
+
+let handle_order t params budget =
+  let cfg, key, setup, cached = prepared t params budget in
+  let order = Ordering.order cfg.Run_config.order setup.Pipeline.adi in
+  check_budget budget ~phase:"during ordering";
+  let shown =
+    match int_param params "limit" with
+    | Some limit when limit >= 0 && limit < Array.length order -> Array.sub order 0 limit
+    | _ -> order
+  in
+  Json.Obj
+    (setup_reply_fields key cached setup
+    @ [ ("order", Json.Str (Ordering.to_string cfg.Run_config.order));
+        ("permutation", Json.Arr (Array.to_list (Array.map (fun i -> Json.Int i) shown))) ])
+
+let handle_atpg t params budget =
+  let cfg, key, setup, cached = prepared t params budget in
+  (* Thread what remains of the request deadline into the engine's run
+     budget, so a long generation stops at a fault boundary instead of
+     outliving the request. *)
+  let ecfg = Run_config.engine_config cfg in
+  let ecfg =
+    if Budget.is_unlimited budget then ecfg
+    else
+      let remaining = Budget.remaining_s budget in
+      let run_budget =
+        match ecfg.Engine.time_budget_s with
+        | Some s -> Float.min s remaining
+        | None -> remaining
+      in
+      { ecfg with Engine.time_budget_s = Some run_budget }
+  in
+  let run = Pipeline.run_order_with ecfg setup cfg.Run_config.order in
+  let e = run.Pipeline.engine in
+  if e.Engine.interrupted then
+    Diagnostics.fail Diagnostics.Budget_expired "request budget expired during test generation";
+  Json.Obj
+    (setup_reply_fields key cached setup
+    @ [ ("order", Json.Str (Ordering.to_string cfg.Run_config.order));
+        ("tests",
+         Json.Arr
+           (Array.to_list (Array.map (fun s -> Json.Str s) (Patterns.to_strings e.Engine.tests))));
+        ("test_count", Json.Int (Patterns.count e.Engine.tests));
+        ("coverage", Json.Float (Engine.coverage setup.Pipeline.faults e));
+        ("untestable", Json.Int (List.length e.Engine.untestable));
+        ("aborted", Json.Int (List.length e.Engine.aborted));
+        ("out_of_budget", Json.Int (List.length e.Engine.out_of_budget));
+        ("retry_recovered", Json.Int e.Engine.retry_recovered) ])
+
+let handle_stats t =
+  let s = Store.stats t.store in
+  let requests, errors = locked t (fun () -> (t.n_requests, t.n_errors)) in
+  Json.Obj
+    [ ("version", Json.Str Util.Version.version); ("requests", Json.Int requests);
+      ("errors", Json.Int errors); ("entries", Json.Int s.Store.entries);
+      ("capacity", Json.Int s.Store.capacity); ("hits", Json.Int s.Store.hits);
+      ("spill_hits", Json.Int s.Store.spill_hits); ("misses", Json.Int s.Store.misses);
+      ("insertions", Json.Int s.Store.insertions); ("evictions", Json.Int s.Store.evictions);
+      ("jobs", Json.Int t.jobs) ]
+
+let handle_evict t params =
+  match str_param params "key" with
+  | Some key -> Json.Obj [ ("evicted", Json.Bool (Store.evict t.store key)) ]
+  | None -> Json.Obj [ ("cleared", Json.Int (Store.clear t.store)) ]
+
+(* --- dispatch ----------------------------------------------------- *)
+
+let dispatch t (req : Protocol.request) =
+  let budget () = budget_of_params t req.Protocol.params in
+  match req.Protocol.op with
+  | "load" -> handle_load t req.Protocol.params (budget ())
+  | "adi" -> handle_adi t req.Protocol.params (budget ())
+  | "order" -> handle_order t req.Protocol.params (budget ())
+  | "atpg" -> handle_atpg t req.Protocol.params (budget ())
+  | "stats" -> handle_stats t
+  | "evict" -> handle_evict t req.Protocol.params
+  | "shutdown" -> Json.Obj [ ("stopping", Json.Bool true) ]
+  | op -> fail_protocol "unknown op %S (expected one of: %s)" op (String.concat ", " Protocol.ops)
+
+let handle t (req : Protocol.request) =
+  let start_s = locked t (fun () -> Trace.now_s t.tracer) in
+  let payload =
+    match dispatch t req with
+    | result -> Ok result
+    | exception Diagnostics.Failed d -> Error (Protocol.error_of_diagnostic d)
+    | exception (Invalid_argument msg | Failure msg) ->
+        Error { Protocol.code = Diagnostics.code_string Diagnostics.Invalid_flag; message = msg }
+    | exception Sys_error msg ->
+        Error { Protocol.code = Diagnostics.code_string Diagnostics.Io_error; message = msg }
+  in
+  (* Publish counters and the request span under the lock — tracers
+     and registries are not domain-safe on their own. *)
+  locked t (fun () ->
+      t.n_requests <- t.n_requests + 1;
+      (match payload with Error _ -> t.n_errors <- t.n_errors + 1 | Ok _ -> ());
+      let tr = t.tracer in
+      if Trace.enabled tr then begin
+        Metrics.incr (Trace.counter tr "service.requests");
+        Metrics.incr (Trace.counter tr (Printf.sprintf "service.requests.%s" req.Protocol.op));
+        (match payload with
+        | Error _ -> Metrics.incr (Trace.counter tr "service.errors")
+        | Ok result ->
+            (match Option.bind (Json.member "cached" result) Json.to_bool with
+            | Some true -> Metrics.incr (Trace.counter tr "service.cache.hits")
+            | Some false -> Metrics.incr (Trace.counter tr "service.cache.misses")
+            | None -> ()));
+        let dur_s = Trace.now_s tr -. start_s in
+        Trace.emit_span tr "service.request" ~start_s ~dur_s
+          ~attrs:
+            [ ("op", Trace.Str req.Protocol.op); ("id", Trace.Int req.Protocol.id);
+              ("ok", Trace.Bool (Result.is_ok payload)) ];
+        Metrics.observe
+          (Trace.histogram tr (Printf.sprintf "service.request_s.%s" req.Protocol.op))
+          dur_s
+      end);
+  { Protocol.id = req.Protocol.id; payload }
+
+let handle_frame t payload =
+  let response =
+    match Json.of_string payload with
+    | Error msg ->
+        locked t (fun () ->
+            t.n_requests <- t.n_requests + 1;
+            t.n_errors <- t.n_errors + 1;
+            if Trace.enabled t.tracer then begin
+              Metrics.incr (Trace.counter t.tracer "service.requests");
+              Metrics.incr (Trace.counter t.tracer "service.errors")
+            end);
+        { Protocol.id = 0;
+          payload =
+            Error
+              { Protocol.code = Diagnostics.code_string Diagnostics.Protocol;
+                message = Printf.sprintf "malformed request: %s" msg } }
+    | Ok json -> (
+        match Protocol.request_of_json json with
+        | Error msg ->
+            locked t (fun () ->
+                t.n_requests <- t.n_requests + 1;
+                t.n_errors <- t.n_errors + 1);
+            { Protocol.id = 0;
+              payload =
+                Error
+                  { Protocol.code = Diagnostics.code_string Diagnostics.Protocol;
+                    message = Printf.sprintf "malformed request: %s" msg } }
+        | Ok req -> handle t req)
+  in
+  let directive =
+    match response.Protocol.payload with
+    | Ok (Json.Obj fields) when List.mem_assoc "stopping" fields -> `Shutdown
+    | _ -> `Continue
+  in
+  (Json.to_string (Protocol.response_to_json response), directive)

@@ -1,0 +1,65 @@
+(** Request handling: one resident session composes the {!Store} with
+    the existing {!Pipeline} entry points.
+
+    A session owns the artifact cache, the request counters and a
+    tracer; {!handle} maps one {!Protocol.request} to one
+    {!Protocol.response} and {b never raises} — every library error
+    (typed diagnostics, invalid flags, I/O failures) becomes a typed
+    error reply with a stable [E-...] code, because a resident service
+    must survive any single bad request.
+
+    {2 Budgets}
+
+    Each request runs under a {!Util.Budget} deadline: the request's
+    [budget_s] parameter, or the session-wide default.  The deadline is
+    checked at phase boundaries, and for [atpg] the remaining time is
+    threaded into the engine's run budget so even a long generation
+    stops at a fault boundary; expiry is reported as an [E-budget]
+    error reply, never a hang or a dead worker.
+
+    {2 Determinism}
+
+    Replies contain no wall-clock fields, and every compute path goes
+    through the same [Pipeline]/[Ordering]/[Engine] calls an offline
+    run uses — a reply served from a warm cache is byte-identical to
+    the reply a cold session (or a cold [Pipeline.run_order_with])
+    would produce for the same request.  This is the service's core
+    correctness invariant and is pinned by the unit and cram suites.
+
+    All entry points are domain-safe: compute runs lock-free and
+    shared state (store, counters, tracer) is published under one
+    mutex. *)
+
+type t
+
+val create :
+  ?capacity:int ->
+  ?spill_dir:string ->
+  ?jobs:int ->
+  ?request_budget_s:float ->
+  ?clock:Util.Budget.clock ->
+  ?tracer:Util.Trace.t ->
+  unit ->
+  t
+(** [capacity]/[spill_dir] configure the {!Store} (default capacity 8,
+    no spill).  [jobs] (default 1) sizes the fault-simulation domain
+    pool for requests that do not set their own.  [request_budget_s]
+    is the default per-request deadline (default: none).  [tracer]
+    defaults to the current tracer at creation time. *)
+
+val store : t -> Store.t
+val requests : t -> int
+(** Requests handled so far (including failed ones). *)
+
+val handle : t -> Protocol.request -> Protocol.response
+(** Never raises; see the module doc for the op and error schemas. *)
+
+val handle_frame : t -> string -> string * [ `Continue | `Shutdown ]
+(** Decode one frame payload, {!handle} it, encode the reply.
+    Malformed JSON or a missing [op] yields an [E-protocol] error reply
+    with id 0.  The directive tells the server loop whether this
+    request asked the service to stop. *)
+
+val observe_queue_depth : t -> int -> unit
+(** Record an accept-time queue-depth sample into the
+    [service.queue_depth] histogram (called by the server). *)

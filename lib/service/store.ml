@@ -1,0 +1,185 @@
+(* LRU of prepared setups, content-addressed, with an optional disk
+   spill.  The resident set is a short MRU-first association list —
+   capacities are tens of entries, far below the crossover where a
+   doubly linked hash map would win — and every public operation takes
+   the store mutex, so worker lanes share one instance. *)
+
+let store_magic = "ADI-STORE"
+let store_version = 1
+
+type stats = {
+  entries : int;
+  capacity : int;
+  hits : int;
+  spill_hits : int;
+  misses : int;
+  insertions : int;
+  evictions : int;
+}
+
+type t = {
+  cap : int;
+  spill_dir : string option;
+  lock : Mutex.t;
+  mutable mru : (string * Pipeline.setup) list;  (* most recent first *)
+  mutable hits : int;
+  mutable spill_hits : int;
+  mutable misses : int;
+  mutable insertions : int;
+  mutable evictions : int;
+}
+
+let create ?(capacity = 8) ?spill_dir () =
+  if capacity < 0 then invalid_arg "Store.create: negative capacity";
+  Option.iter
+    (fun dir -> if not (Sys.file_exists dir) then Unix.mkdir dir 0o755)
+    spill_dir;
+  { cap = capacity; spill_dir; lock = Mutex.create (); mru = []; hits = 0; spill_hits = 0;
+    misses = 0; insertions = 0; evictions = 0 }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let capacity t = t.cap
+let length t = locked t (fun () -> List.length t.mru)
+let keys t = locked t (fun () -> List.map fst t.mru)
+
+let stats t =
+  locked t (fun () ->
+      { entries = List.length t.mru; capacity = t.cap; hits = t.hits;
+        spill_hits = t.spill_hits; misses = t.misses; insertions = t.insertions;
+        evictions = t.evictions })
+
+(* --- keying ------------------------------------------------------- *)
+
+let digest_of_circuit c = Checkpoint.digest_of_circuit c
+
+let key ~digest ~config =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "|"
+          [ Printf.sprintf "%s/v%d" store_magic store_version; digest;
+            Run_config.fingerprint config ]))
+
+let key_of circuit config = key ~digest:(digest_of_circuit circuit) ~config
+
+(* --- spill -------------------------------------------------------- *)
+
+let spill_path dir k = Filename.concat dir (k ^ ".setup")
+
+let spill_write dir k (setup : Pipeline.setup) =
+  Util.Atomic_file.write (spill_path dir k) (fun oc ->
+      Printf.fprintf oc "%s v%d\n" store_magic store_version;
+      Marshal.to_channel oc setup [])
+
+(* A spill file that cannot be read back (truncated, wrong version,
+   foreign bytes) is just a cache miss — never an error. *)
+let spill_read dir k : Pipeline.setup option =
+  let path = spill_path dir k in
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          match input_line ic with
+          | exception End_of_file -> None
+          | header ->
+              if header <> Printf.sprintf "%s v%d" store_magic store_version then None
+              else
+                (try Some (Marshal.from_channel ic : Pipeline.setup)
+                 with Failure _ | End_of_file -> None))
+
+let spill_remove dir k = try Sys.remove (spill_path dir k) with Sys_error _ -> ()
+
+(* --- resident set ------------------------------------------------- *)
+
+(* Insert under the lock; spill the LRU tail out when over capacity. *)
+let admit t k setup =
+  if t.cap > 0 && not (List.mem_assoc k t.mru) then begin
+    t.mru <- (k, setup) :: t.mru;
+    t.insertions <- t.insertions + 1;
+    if List.length t.mru > t.cap then begin
+      let keep, tail = (List.filteri (fun i _ -> i < t.cap) t.mru, List.nth t.mru t.cap) in
+      t.mru <- keep;
+      t.evictions <- t.evictions + 1;
+      Option.iter (fun dir -> spill_write dir (fst tail) (snd tail)) t.spill_dir
+    end
+  end
+
+let add t k setup = locked t (fun () -> admit t k setup)
+
+let find t k =
+  let resident =
+    locked t (fun () ->
+        match List.assoc_opt k t.mru with
+        | Some setup ->
+            t.mru <- (k, setup) :: List.remove_assoc k t.mru;
+            t.hits <- t.hits + 1;
+            Some setup
+        | None -> None)
+  in
+  match resident with
+  | Some _ as hit -> hit
+  | None -> (
+      match Option.bind t.spill_dir (fun dir -> spill_read dir k) with
+      | Some setup ->
+          locked t (fun () ->
+              t.spill_hits <- t.spill_hits + 1;
+              admit t k setup);
+          Some setup
+      | None ->
+          locked t (fun () -> t.misses <- t.misses + 1);
+          None)
+
+let find_or_prepare t config circuit =
+  let k = key_of circuit config in
+  match find t k with
+  | Some setup -> (setup, true)
+  | None ->
+      (* Preparation runs outside the lock: a racing lane may compute
+         the same setup, but both values are byte-identical, so
+         whichever insertion lands first is correct. *)
+      let setup = Pipeline.prepare config circuit in
+      add t k setup;
+      (setup, false)
+
+let evict t k =
+  let dropped =
+    locked t (fun () ->
+        let had = List.mem_assoc k t.mru in
+        t.mru <- List.remove_assoc k t.mru;
+        had)
+  in
+  let spilled =
+    match t.spill_dir with
+    | Some dir when Sys.file_exists (spill_path dir k) ->
+        spill_remove dir k;
+        true
+    | _ -> false
+  in
+  dropped || spilled
+
+let clear t =
+  let dropped_keys, n =
+    locked t (fun () ->
+        let ks = List.map fst t.mru in
+        let n = List.length ks in
+        t.mru <- [];
+        (ks, n))
+  in
+  Option.iter
+    (fun dir ->
+      List.iter (spill_remove dir) dropped_keys;
+      (* Also sweep spill files for entries evicted earlier. *)
+      match Sys.readdir dir with
+      | entries ->
+          Array.iter
+            (fun f ->
+              if Filename.check_suffix f ".setup" then
+                try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+            entries
+      | exception Sys_error _ -> ())
+    t.spill_dir;
+  n

@@ -1,0 +1,93 @@
+(** Content-addressed, size-bounded LRU cache of prepared pipeline
+    artifacts.
+
+    The paper's preprocessing — random-vector simulation without
+    dropping, [ndet]/[D(f)] bookkeeping, the ADI values — is computed
+    once per (circuit, preparation config) and then amortised across
+    every ordering/ATPG request that follows.  A {!Pipeline.setup}
+    bundles exactly those artifacts (parsed circuit, collapsed fault
+    universe, vector set U, detection sets, ADI values), so the store
+    caches whole setups.
+
+    {2 Keying}
+
+    Entries are content-addressed: {!key} digests the circuit's
+    canonical [.bench] rendering together with
+    {!Run_config.fingerprint} (seed, pool size, coverage target) under
+    a versioned prefix.  Anything that cannot change the prepared
+    artifacts — [jobs], engine knobs, observability — is excluded, so
+    a warm entry serves every request shape.  Two setups under the same
+    key are byte-identical by construction; serving from cache can
+    therefore never change a reply.
+
+    {2 Bounds and spill}
+
+    At most [capacity] setups stay resident, in LRU order; a capacity
+    of 0 disables the cache entirely (every lookup misses, nothing is
+    retained).  With a [spill_dir], evicted entries are written to disk
+    through the {!Util.Atomic_file} discipline and transparently
+    reloaded (and re-admitted) on a later lookup; corrupt or
+    wrong-version spill files are treated as misses.
+
+    All operations are domain-safe behind an internal mutex — server
+    worker lanes share one store.  The expensive preparation in
+    {!find_or_prepare} runs outside the lock; when two lanes race on
+    the same cold key, both compute and the first insertion wins (the
+    setups are identical, so either is correct). *)
+
+type t
+
+type stats = {
+  entries : int;  (** resident entries *)
+  capacity : int;
+  hits : int;  (** lookups served from memory *)
+  spill_hits : int;  (** lookups served by reloading a spill file *)
+  misses : int;
+  insertions : int;
+  evictions : int;  (** entries pushed out by the capacity bound *)
+}
+
+val create : ?capacity:int -> ?spill_dir:string -> unit -> t
+(** Default [capacity] 8.  [spill_dir] is created if missing.
+    @raise Invalid_argument on a negative capacity. *)
+
+val capacity : t -> int
+val length : t -> int
+
+val digest_of_circuit : Circuit.t -> string
+(** Hex digest of the circuit's canonical [.bench] text (the same
+    digest the checkpoint identity block uses). *)
+
+val key : digest:string -> config:Run_config.t -> string
+(** The cache key: a hex digest over the versioned store prefix, the
+    circuit digest and {!Run_config.fingerprint}.  Stable across field
+    reordering and unrelated configuration changes. *)
+
+val key_of : Circuit.t -> Run_config.t -> string
+(** [key ~digest:(digest_of_circuit c) ~config]. *)
+
+val find : t -> string -> Pipeline.setup option
+(** Memory first (refreshing recency), then the spill directory
+    (re-admitting the entry). *)
+
+val add : t -> string -> Pipeline.setup -> unit
+(** Insert as most-recent.  A no-op when the key is already resident
+    (the existing entry is kept and refreshed) or when capacity is 0. *)
+
+val find_or_prepare : t -> Run_config.t -> Circuit.t -> Pipeline.setup * bool
+(** The store's front door: look the (circuit, config) key up; on a
+    miss run {!Pipeline.prepare} and insert the result.  Returns the
+    setup and whether it was served from cache. *)
+
+val evict : t -> string -> bool
+(** Drop one key from memory {e and} its spill file.  Returns whether
+    anything was dropped. *)
+
+val clear : t -> int
+(** Drop everything (memory and spill files); returns how many entries
+    were dropped from memory. *)
+
+val keys : t -> string list
+(** Resident keys, most recently used first. *)
+
+val stats : t -> stats

@@ -1,0 +1,29 @@
+(* Durable atomic publish: tmp-write, fsync file, rename, fsync dir.
+   Individual fsyncs are best-effort (some file systems reject them);
+   the rename itself is always attempted, so behaviour on those file
+   systems degrades to the plain write-rename idiom. *)
+
+let fsync_fd fd = try Unix.fsync fd with Unix.Unix_error _ -> ()
+
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () -> fsync_fd fd)
+
+let write path f =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     f oc;
+     flush oc;
+     fsync_fd (Unix.descr_of_out_channel oc);
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path;
+  fsync_dir (Filename.dirname path)

@@ -1,0 +1,19 @@
+(** Crash-safe atomic file publication.
+
+    The write-rename idiom alone is not crash-safe: after a power loss
+    the rename can survive while the renamed file's blocks were never
+    flushed, leaving a truncated or empty file under the final name.
+    {!write} closes that window — the temporary file is [fsync]ed
+    before the rename and the containing directory is [fsync]ed after
+    it, so a crash at any point leaves either the old content or the
+    complete new content, never a torn mix.
+
+    Shared by the ATPG checkpoints ([Experiments.Checkpoint]) and the
+    service store's disk spill ([Service.Store]). *)
+
+val write : string -> (out_channel -> unit) -> unit
+(** [write path f] runs [f] on a binary channel for [path ^ ".tmp"],
+    fsyncs it, atomically renames it over [path], and fsyncs the
+    directory entry.  If [f] raises, the temporary file is removed and
+    [path] is untouched.  Durability syncs degrade to best-effort on
+    file systems that reject [fsync] (the rename still happens). *)

@@ -18,6 +18,8 @@ type code =
   | Checkpoint_mismatch
   | Io_error
   | Invalid_flag
+  | Budget_expired
+  | Protocol
 
 type location = { file : string option; line : int }
 
@@ -58,6 +60,8 @@ let code_string = function
   | Checkpoint_mismatch -> "E-checkpoint-mismatch"
   | Io_error -> "E-io"
   | Invalid_flag -> "E-flag"
+  | Budget_expired -> "E-budget"
+  | Protocol -> "E-protocol"
 
 let severity_string = function
   | Error -> "error"

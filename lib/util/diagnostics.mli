@@ -26,6 +26,8 @@ type code =
   | Checkpoint_mismatch  (** checkpoint does not match the requested run *)
   | Io_error
   | Invalid_flag  (** command-line or configuration value out of range *)
+  | Budget_expired  (** a wall-clock deadline ran out before the work finished *)
+  | Protocol  (** malformed service request/response or broken framing *)
 
 type location = { file : string option; line : int }
 (** [line = 0] means "no meaningful line" (whole-file problems). *)

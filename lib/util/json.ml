@@ -1,0 +1,231 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse of string
+
+(* --- printing ----------------------------------------------------- *)
+
+let add_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+(* Enough digits to round-trip an OCaml float exactly; integral values
+   keep a ".0" so they stay floats on re-parse. *)
+let add_float b x =
+  if Float.is_integer x && Float.abs x < 1e15 then
+    Buffer.add_string b (Printf.sprintf "%.1f" x)
+  else Buffer.add_string b (Printf.sprintf "%.17g" x)
+
+let rec add b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool v -> Buffer.add_string b (if v then "true" else "false")
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f -> add_float b f
+  | Str s -> add_string b s
+  | Arr items ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char b ',';
+          add b v)
+        items;
+      Buffer.add_char b ']'
+  | Obj fields ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          add_string b k;
+          Buffer.add_char b ':';
+          add b v)
+        fields;
+      Buffer.add_char b '}'
+
+let to_string v =
+  let b = Buffer.create 128 in
+  add b v;
+  Buffer.contents b
+
+(* --- parsing ------------------------------------------------------ *)
+
+let parse line =
+  let n = String.length line in
+  let pos = ref 0 in
+  let fail msg = raise (Parse (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then line.[!pos] else '\000' in
+  let advance () = incr pos in
+  let skip_ws () =
+    while !pos < n && (match line.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      advance ()
+    done
+  in
+  let expect c = if peek () = c then advance () else fail (Printf.sprintf "expected %C" c) in
+  let string_lit () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else
+        match line.[!pos] with
+        | '"' -> advance ()
+        | '\\' ->
+            advance ();
+            (match peek () with
+            | '"' -> Buffer.add_char b '"'
+            | '\\' -> Buffer.add_char b '\\'
+            | '/' -> Buffer.add_char b '/'
+            | 'n' -> Buffer.add_char b '\n'
+            | 't' -> Buffer.add_char b '\t'
+            | 'r' -> Buffer.add_char b '\r'
+            | 'b' -> Buffer.add_char b '\b'
+            | 'f' -> Buffer.add_char b '\012'
+            | 'u' ->
+                if !pos + 4 >= n then fail "bad \\u escape";
+                let hex = String.sub line (!pos + 1) 4 in
+                let code = try int_of_string ("0x" ^ hex) with _ -> fail "bad \\u escape" in
+                (* Only ASCII escapes are emitted by {!add_string}. *)
+                if code < 0x80 then Buffer.add_char b (Char.chr code)
+                else Buffer.add_string b (Printf.sprintf "\\u%s" hex);
+                pos := !pos + 4
+            | _ -> fail "bad escape");
+            advance ();
+            go ()
+        | c ->
+            Buffer.add_char b c;
+            advance ();
+            go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let number () =
+    let start = !pos in
+    if peek () = '-' then advance ();
+    let fractional = ref false in
+    while
+      !pos < n
+      &&
+      match line.[!pos] with
+      | '0' .. '9' -> true
+      | '.' | 'e' | 'E' ->
+          fractional := true;
+          true
+      | '+' | '-' -> true
+      | _ -> false
+    do
+      advance ()
+    done;
+    let lexeme = String.sub line start (!pos - start) in
+    if not !fractional then
+      match int_of_string_opt lexeme with
+      | Some i -> Int i
+      | None -> (
+          match float_of_string_opt lexeme with
+          | Some f -> Float f
+          | None -> fail "bad number")
+    else
+      match float_of_string_opt lexeme with
+      | Some f -> Float f
+      | None -> fail "bad number"
+  in
+  let literal word v =
+    let len = String.length word in
+    if !pos + len <= n && String.sub line !pos len = word then begin
+      pos := !pos + len;
+      v
+    end
+    else fail "bad literal"
+  in
+  let rec json () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let k = string_lit () in
+            skip_ws ();
+            expect ':';
+            let v = json () in
+            skip_ws ();
+            match peek () with
+            | ',' ->
+                advance ();
+                members ((k, v) :: acc)
+            | '}' ->
+                advance ();
+                List.rev ((k, v) :: acc)
+            | _ -> fail "expected , or }"
+          in
+          Obj (members [])
+        end
+    | '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let rec items acc =
+            let v = json () in
+            skip_ws ();
+            match peek () with
+            | ',' ->
+                advance ();
+                items (v :: acc)
+            | ']' ->
+                advance ();
+                List.rev (v :: acc)
+            | _ -> fail "expected , or ]"
+          in
+          Arr (items [])
+        end
+    | '"' -> Str (string_lit ())
+    | 't' -> literal "true" (Bool true)
+    | 'f' -> literal "false" (Bool false)
+    | 'n' -> literal "null" Null
+    | _ -> number ()
+  in
+  let v = json () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let of_string line = match parse line with v -> Ok v | exception Parse msg -> Error msg
+
+(* --- accessors ---------------------------------------------------- *)
+
+let member k = function Obj fields -> List.assoc_opt k fields | _ -> None
+
+let to_int = function
+  | Int i -> Some i
+  | Float f when Float.is_integer f && Float.abs f < 1e15 -> Some (int_of_float f)
+  | _ -> None
+
+let to_float = function Float f -> Some f | Int i -> Some (float_of_int i) | _ -> None
+let to_str = function Str s -> Some s | _ -> None
+let to_bool = function Bool v -> Some v | _ -> None
+let to_list = function Arr items -> Some items | _ -> None

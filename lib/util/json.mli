@@ -1,0 +1,63 @@
+(** A minimal JSON value type with a compact printer and a strict
+    parser.
+
+    This is the repo's one JSON implementation: the {!Trace} JSONL sink
+    and the service wire protocol both build on it, so the two speak
+    exactly the same dialect.  Integers and floats are kept distinct so
+    a value round-trips byte-identically through
+    [to_string |> parse |> to_string] — floats print with enough digits
+    to reconstruct the exact bit pattern, integral floats print with a
+    trailing [".0"] to stay distinguishable from ints. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list  (** field order is preserved *)
+
+exception Parse of string
+(** Parser failure, with an offset in the message. *)
+
+(** {1 Printing} *)
+
+val add_string : Buffer.t -> string -> unit
+(** Append [s] as a quoted, escaped JSON string literal. *)
+
+val add_float : Buffer.t -> float -> unit
+(** Append a float: integral magnitudes below [1e15] as ["%.1f"]
+    (so ["3.0"], never ["3"]), everything else as ["%.17g"] — enough
+    digits to round-trip an OCaml float exactly. *)
+
+val add : Buffer.t -> t -> unit
+
+val to_string : t -> string
+(** Compact single-line rendering (no whitespace). *)
+
+(** {1 Parsing} *)
+
+val parse : string -> t
+(** Strict parse of one complete JSON value (trailing garbage is an
+    error).  Numbers without [.], [e] or [E] become {!Int} when they
+    fit; everything else numeric becomes {!Float}.
+    @raise Parse on malformed input. *)
+
+val of_string : string -> (t, string) result
+(** {!parse} with the failure as a [result]. *)
+
+(** {1 Accessors} *)
+
+val member : string -> t -> t option
+(** First binding of the field in an {!Obj}; [None] otherwise. *)
+
+val to_int : t -> int option
+(** {!Int}, or an integral {!Float} of magnitude below [1e15]. *)
+
+val to_float : t -> float option
+(** {!Float} or {!Int}. *)
+
+val to_str : t -> string option
+val to_bool : t -> bool option
+val to_list : t -> t list option

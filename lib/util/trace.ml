@@ -17,242 +17,60 @@ type event =
 
 let schema = "adi_trace/v1"
 
-(* --- JSONL encoding ---------------------------------------------- *)
+(* --- JSONL encoding (on the shared {!Json} dialect) --------------- *)
 
-let buf_json_string b s =
-  Buffer.add_char b '"';
-  String.iter
-    (function
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\t' -> Buffer.add_string b "\\t"
-      | '\r' -> Buffer.add_string b "\\r"
-      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.add_char b '"'
+let json_of_value = function
+  | Int i -> Json.Int i
+  | Float f -> Json.Float f
+  | Str s -> Json.Str s
+  | Bool v -> Json.Bool v
 
-(* Enough digits to round-trip an OCaml float exactly. *)
-let buf_json_float b x =
-  if Float.is_integer x && Float.abs x < 1e15 then
-    Buffer.add_string b (Printf.sprintf "%.1f" x)
-  else Buffer.add_string b (Printf.sprintf "%.17g" x)
-
-let buf_value b = function
-  | Int i -> Buffer.add_string b (string_of_int i)
-  | Float f -> buf_json_float b f
-  | Str s -> buf_json_string b s
-  | Bool v -> Buffer.add_string b (if v then "true" else "false")
-
-let buf_attrs b attrs =
-  Buffer.add_string b ",\"attrs\":{";
-  List.iteri
-    (fun i (k, v) ->
-      if i > 0 then Buffer.add_char b ',';
-      buf_json_string b k;
-      Buffer.add_char b ':';
-      buf_value b v)
-    attrs;
-  Buffer.add_char b '}'
+let value_of_json = function
+  | Json.Str s -> Str s
+  | Json.Bool v -> Bool v
+  | Json.Int i -> Int i
+  | Json.Float f when Float.is_integer f && Float.abs f < 1e15 -> Int (int_of_float f)
+  | Json.Float f -> Float f
+  | _ -> Str ""
 
 let to_json ev =
-  let b = Buffer.create 128 in
-  let field k v =
-    Buffer.add_char b ',';
-    buf_json_string b k;
-    Buffer.add_char b ':';
-    v ()
+  let attrs_field attrs = ("attrs", Json.Obj (List.map (fun (k, v) -> (k, json_of_value v)) attrs)) in
+  let fields =
+    match ev with
+    | Span s ->
+        [ ("ev", Json.Str "span"); ("name", Json.Str s.name); ("at_s", Json.Float s.at_s);
+          ("dur_s", Json.Float s.dur_s); ("depth", Json.Int s.depth); attrs_field s.attrs ]
+    | Instant i ->
+        [ ("ev", Json.Str "instant"); ("name", Json.Str i.name); ("at_s", Json.Float i.at_s);
+          attrs_field i.attrs ]
+    | Counter c ->
+        [ ("ev", Json.Str "counter"); ("name", Json.Str c.name); ("value", Json.Int c.value);
+          attrs_field c.attrs ]
+    | Hist h ->
+        [ ("ev", Json.Str "hist"); ("name", Json.Str h.name); ("count", Json.Int h.n);
+          ("sum", Json.Float h.sum); ("min", Json.Float h.min_v); ("max", Json.Float h.max_v);
+          attrs_field h.attrs ]
   in
-  let str k s = field k (fun () -> buf_json_string b s) in
-  let num k x = field k (fun () -> buf_json_float b x) in
-  let int k i = field k (fun () -> Buffer.add_string b (string_of_int i)) in
-  Buffer.add_string b "{\"schema\":";
-  buf_json_string b schema;
-  (match ev with
-  | Span s ->
-      str "ev" "span";
-      str "name" s.name;
-      num "at_s" s.at_s;
-      num "dur_s" s.dur_s;
-      int "depth" s.depth;
-      buf_attrs b s.attrs
-  | Instant i ->
-      str "ev" "instant";
-      str "name" i.name;
-      num "at_s" i.at_s;
-      buf_attrs b i.attrs
-  | Counter c ->
-      str "ev" "counter";
-      str "name" c.name;
-      int "value" c.value;
-      buf_attrs b c.attrs
-  | Hist h ->
-      str "ev" "hist";
-      str "name" h.name;
-      int "count" h.n;
-      num "sum" h.sum;
-      num "min" h.min_v;
-      num "max" h.max_v;
-      buf_attrs b h.attrs);
-  Buffer.add_char b '}';
-  Buffer.contents b
-
-(* --- minimal JSON parsing (the subset {!to_json} emits) ----------- *)
-
-type json = Jnum of float | Jstr of string | Jbool of bool | Jnull | Jobj of (string * json) list
-
-exception Parse of string
-
-let parse_json line =
-  let n = String.length line in
-  let pos = ref 0 in
-  let fail msg = raise (Parse (Printf.sprintf "%s at offset %d" msg !pos)) in
-  let peek () = if !pos < n then line.[!pos] else '\000' in
-  let advance () = incr pos in
-  let skip_ws () =
-    while !pos < n && (match line.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
-      advance ()
-    done
-  in
-  let expect c = if peek () = c then advance () else fail (Printf.sprintf "expected %C" c) in
-  let string_lit () =
-    expect '"';
-    let b = Buffer.create 16 in
-    let rec go () =
-      if !pos >= n then fail "unterminated string"
-      else
-        match line.[!pos] with
-        | '"' -> advance ()
-        | '\\' ->
-            advance ();
-            (match peek () with
-            | '"' -> Buffer.add_char b '"'
-            | '\\' -> Buffer.add_char b '\\'
-            | '/' -> Buffer.add_char b '/'
-            | 'n' -> Buffer.add_char b '\n'
-            | 't' -> Buffer.add_char b '\t'
-            | 'r' -> Buffer.add_char b '\r'
-            | 'b' -> Buffer.add_char b '\b'
-            | 'f' -> Buffer.add_char b '\012'
-            | 'u' ->
-                if !pos + 4 >= n then fail "bad \\u escape";
-                let hex = String.sub line (!pos + 1) 4 in
-                let code =
-                  try int_of_string ("0x" ^ hex) with _ -> fail "bad \\u escape"
-                in
-                (* Only ASCII escapes are emitted by {!to_json}. *)
-                if code < 0x80 then Buffer.add_char b (Char.chr code)
-                else Buffer.add_string b (Printf.sprintf "\\u%s" hex);
-                pos := !pos + 4
-            | _ -> fail "bad escape");
-            advance ();
-            go ()
-        | c ->
-            Buffer.add_char b c;
-            advance ();
-            go ()
-    in
-    go ();
-    Buffer.contents b
-  in
-  let number () =
-    let start = !pos in
-    if peek () = '-' then advance ();
-    while
-      !pos < n
-      && match line.[!pos] with '0' .. '9' | '.' | 'e' | 'E' | '+' | '-' -> true | _ -> false
-    do
-      advance ()
-    done;
-    match float_of_string_opt (String.sub line start (!pos - start)) with
-    | Some f -> f
-    | None -> fail "bad number"
-  in
-  let rec json () =
-    skip_ws ();
-    match peek () with
-    | '{' ->
-        advance ();
-        skip_ws ();
-        if peek () = '}' then begin
-          advance ();
-          Jobj []
-        end
-        else begin
-          let rec members acc =
-            skip_ws ();
-            let k = string_lit () in
-            skip_ws ();
-            expect ':';
-            let v = json () in
-            skip_ws ();
-            match peek () with
-            | ',' ->
-                advance ();
-                members ((k, v) :: acc)
-            | '}' ->
-                advance ();
-                List.rev ((k, v) :: acc)
-            | _ -> fail "expected , or }"
-          in
-          Jobj (members [])
-        end
-    | '"' -> Jstr (string_lit ())
-    | 't' ->
-        if !pos + 4 <= n && String.sub line !pos 4 = "true" then begin
-          pos := !pos + 4;
-          Jbool true
-        end
-        else fail "bad literal"
-    | 'f' ->
-        if !pos + 5 <= n && String.sub line !pos 5 = "false" then begin
-          pos := !pos + 5;
-          Jbool false
-        end
-        else fail "bad literal"
-    | 'n' ->
-        if !pos + 4 <= n && String.sub line !pos 4 = "null" then begin
-          pos := !pos + 4;
-          Jnull
-        end
-        else fail "bad literal"
-    | _ -> Jnum (number ())
-  in
-  let v = json () in
-  skip_ws ();
-  if !pos <> n then fail "trailing garbage";
-  v
+  Json.to_string (Json.Obj (("schema", Json.Str schema) :: fields))
 
 let of_json line =
-  match parse_json line with
-  | exception Parse msg -> Error msg
-  | Jobj fields -> (
+  match Json.of_string line with
+  | Error _ as e -> e
+  | Ok (Json.Obj _ as obj) -> (
       let str k =
-        match List.assoc_opt k fields with
-        | Some (Jstr s) -> Ok s
-        | _ -> Error (Printf.sprintf "missing string field %S" k)
+        match Option.bind (Json.member k obj) Json.to_str with
+        | Some s -> Ok s
+        | None -> Error (Printf.sprintf "missing string field %S" k)
       in
       let num k =
-        match List.assoc_opt k fields with
-        | Some (Jnum f) -> Ok f
-        | _ -> Error (Printf.sprintf "missing numeric field %S" k)
+        match Option.bind (Json.member k obj) Json.to_float with
+        | Some f -> Ok f
+        | None -> Error (Printf.sprintf "missing numeric field %S" k)
       in
       let int k = Result.map int_of_float (num k) in
       let attrs =
-        match List.assoc_opt "attrs" fields with
-        | Some (Jobj kvs) ->
-            List.map
-              (fun (k, v) ->
-                ( k,
-                  match v with
-                  | Jstr s -> Str s
-                  | Jbool v -> Bool v
-                  | Jnum f when Float.is_integer f && Float.abs f < 1e15 ->
-                      Int (int_of_float f)
-                  | Jnum f -> Float f
-                  | _ -> Str "" ))
-              kvs
+        match Json.member "attrs" obj with
+        | Some (Json.Obj kvs) -> List.map (fun (k, v) -> (k, value_of_json v)) kvs
         | _ -> []
       in
       let ( let* ) = Result.bind in
@@ -283,7 +101,7 @@ let of_json line =
             let* max_v = num "max" in
             Ok (Hist { name; n; sum; min_v; max_v; attrs })
         | ev -> Error (Printf.sprintf "unknown event kind %S" ev))
-  | _ -> Error "not a JSON object"
+  | Ok _ -> Error "not a JSON object"
 
 (* --- tracers ------------------------------------------------------ *)
 
@@ -325,6 +143,17 @@ let span t ?(attrs = []) name f =
 
 let instant t ?(attrs = []) name =
   if t.enabled then emit t (Instant { name; at_s = t.clock () -. t.t0; attrs })
+
+(* An externally timed span: same histogram fold and event shape as
+   {!span}, but the caller supplies the start/duration, so the body
+   never runs under the tracer's nesting state.  This is the only safe
+   way for worker domains to record request spans — they time the work
+   privately and publish here under the caller's lock. *)
+let emit_span t ?(attrs = []) name ~start_s ~dur_s =
+  if t.enabled then begin
+    Metrics.observe (Metrics.histogram t.metrics (Metrics.span_prefix ^ name)) dur_s;
+    emit t (Span { name; at_s = start_s -. t.t0; dur_s; depth = 0; attrs })
+  end
 
 let now_s t = if t.enabled then t.clock () else 0.0
 

@@ -72,6 +72,13 @@ val span : t -> ?attrs:attrs -> string -> (unit -> 'a) -> 'a
 
 val instant : t -> ?attrs:attrs -> string -> unit
 
+val emit_span : t -> ?attrs:attrs -> string -> start_s:float -> dur_s:float -> unit
+(** Record an externally timed span (depth 0): folds [dur_s] into the
+    ["span:<name>"] histogram and emits a [Span] event whose start is
+    the {!now_s} reading [start_s].  For callers that cannot run the
+    timed body inside {!span} — e.g. a server worker domain that times
+    a request privately and publishes it under a lock. *)
+
 val now_s : t -> float
 (** A raw clock read (0 when disabled) — for accumulating class-bucketed
     durations without a closure per sample. *)

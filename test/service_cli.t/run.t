@@ -1,0 +1,74 @@
+The resident service: adi-server holds the content-addressed artifact
+cache warm, adi-client speaks the length-prefixed JSON protocol.  These
+checks pin the happy path (a warm cache serves byte-identical results)
+and every failure mode: each one must produce a typed [E-...]
+diagnostic and a nonzero exit, and must never hang.
+
+Start a server on a Unix-domain socket and wait for the socket:
+
+  $ adi-server --socket adi.sock --capacity 4 --workers 2 > server.log 2>&1 &
+  $ for i in $(seq 1 100); do [ -S adi.sock ] && break; sleep 0.1; done
+
+A cold order computes, a warm order is served from the cache; the
+results are byte-identical apart from the truthful "cached" flag:
+
+  $ adi-client order --socket adi.sock c17 --seed 3 --order incr0 > cold.json
+  $ adi-client order --socket adi.sock c17 --seed 3 --order incr0 > warm.json
+  $ grep -o '"cached":false' cold.json
+  "cached":false
+  $ grep -o '"cached":true' warm.json
+  "cached":true
+  $ sed 's/"cached":[a-z]*/"cached":_/' cold.json > cold.norm
+  $ sed 's/"cached":[a-z]*/"cached":_/' warm.json > warm.norm
+  $ cmp cold.norm warm.norm && echo identical
+  identical
+  $ grep -o '"order":"incr0"' warm.json
+  "order":"incr0"
+
+The stats reply carries the version and records the cache hit:
+
+  $ adi-client stats --socket adi.sock | grep -o '"hits":1'
+  "hits":1
+
+An exhausted request budget is a typed E-budget error, not a hang:
+
+  $ adi-client atpg --socket adi.sock c17 --budget_s 0
+  adi-client: request budget expired before preparation [E-budget]
+  [2]
+
+Garbage on the wire is a typed E-protocol error with an unattributable
+request id, and the connection (and server) survive it:
+
+  $ adi-client raw --socket adi.sock 'nonsense'
+  adi-client: malformed request: bad literal at offset 0 [E-protocol]
+  [2]
+
+Unknown operations are rejected by name:
+
+  $ adi-client raw --socket adi.sock '{"id":9,"op":"frobnicate"}'
+  adi-client: unknown op "frobnicate" (expected one of: load, adi, order, atpg, stats, evict, shutdown) [E-protocol]
+  [2]
+
+Out-of-range configuration surfaces as the same E-flag diagnostics the
+offline CLI reports:
+
+  $ adi-client load --socket adi.sock c17 --pool 0
+  adi-client: --pool must be at least 1 (got 0) [E-flag]
+  [2]
+
+Shutdown drains the server; it exits cleanly and removes its socket:
+
+  $ adi-client shutdown --socket adi.sock
+  {"stopping":true}
+  $ wait
+  $ cat server.log
+  adi-server: v1.1.0 listening on adi.sock (2 workers, capacity 4)
+  adi-server: drained after 8 requests
+  $ [ ! -e adi.sock ] && echo gone
+  gone
+
+A missing socket is a typed connection error, never a hang:
+
+  $ adi-client stats --socket adi.sock
+  adi-client: cannot connect to adi.sock [E-io]
+  [2]
