@@ -33,13 +33,15 @@ let jobs () = !bench_cfg.Run_config.jobs
 
 let usage () =
   prerr_endline
-    "usage: main.exe [--full] [--seed N] [--jobs N] [--metrics] [--trace FILE] \
-     [--no-micro | --micro-only] [--no-perf] [EXPERIMENT ...]";
+    "usage: main.exe [--full] [--seed N] [--jobs N] [--window N] [--metrics] \
+     [--trace FILE] [--no-micro | --micro-only] [--no-perf] [EXPERIMENT ...]";
   Printf.eprintf "experiments: %s\n" (String.concat ", " Harness.experiment_names);
   exit 2
 
 let parse_args () =
-  let specs = Run_flags.pipeline_specs @ Run_flags.observability_specs in
+  let specs =
+    Run_flags.pipeline_specs @ Run_flags.engine_specs @ Run_flags.observability_specs
+  in
   let cfg, rest =
     Run_flags.parse ~specs ~init:!bench_cfg (List.tl (Array.to_list Sys.argv))
   in
@@ -178,7 +180,7 @@ let phase_fields () =
         else None)
       (Util.Metrics.histograms (Util.Trace.metrics tr))
 
-let write_bench_json ~circuit ~kernels ~speedup =
+let write_bench_json ~circuit ~kernels ~speedup ~atpg =
   let b = Buffer.create 1024 in
   let bf fmt = Printf.bprintf b fmt in
   bf "{\"timestamp\": \"%s\", \"seed\": %d, \"jobs\": %d, \"circuit\": \"%s\", "
@@ -191,6 +193,13 @@ let write_bench_json ~circuit ~kernels ~speedup =
         (json_escape name) (json_escape circuit) kjobs wall_s)
     kernels;
   bf "], \"speedup_detection_sets\": %.3f, " speedup;
+  (let serial_s, atpg_s, window, committed, wasted = atpg in
+   bf
+     "\"atpg\": {\"serial_s\": %.6f, \"atpg_s\": %.6f, \"window\": %d, \"jobs\": %d, \
+      \"speedup\": %.3f, \"spec_committed\": %d, \"spec_wasted\": %d}, "
+     serial_s atpg_s window (jobs ())
+     (if atpg_s > 0.0 then serial_s /. atpg_s else 0.0)
+     committed wasted);
   bf "\"experiments\": [";
   List.iteri
     (fun i (name, wall_s) ->
@@ -245,14 +254,49 @@ let run_perf_kernels () =
   let speedup = t_serial /. t_pooled in
   Printf.printf "  all three agree word-for-word; speedup (jobs=%d vs serial): %.2fx\n\n%!"
     jobs speedup;
+  (* ATPG phase: serial engine vs speculative lookahead, same prepared
+     setup, byte-identical test sets by construction (checked). *)
+  let cfg = !bench_cfg in
+  let setup = Pipeline.prepare cfg c in
+  let ecfg = Run_config.engine_config cfg in
+  let window = max 2 ecfg.Engine.window in
+  let serial_cfg = { ecfg with Engine.jobs = 1; window = 1 } in
+  let spec_cfg = { ecfg with Engine.jobs = jobs; window } in
+  Printf.printf "ATPG phase (%s, order %s):\n%!" name
+    (Ordering.to_string cfg.Run_config.order);
+  let r_serial, t_atpg_serial =
+    time (fun () -> Pipeline.run_order_with serial_cfg setup cfg.Run_config.order)
+  in
+  Printf.printf "  atpg  jobs=1 window=1          %8.3f s\n%!" t_atpg_serial;
+  let r_spec, t_atpg_spec =
+    time (fun () -> Pipeline.run_order_with spec_cfg setup cfg.Run_config.order)
+  in
+  Printf.printf "  atpg  jobs=%-3d window=%-4d     %8.3f s\n%!" jobs window t_atpg_spec;
+  let es = r_serial.Pipeline.engine and ep = r_spec.Pipeline.engine in
+  if
+    Patterns.to_strings es.Engine.tests <> Patterns.to_strings ep.Engine.tests
+    || es.Engine.detected_by <> ep.Engine.detected_by
+    || es.Engine.untestable <> ep.Engine.untestable
+    || es.Engine.aborted <> ep.Engine.aborted
+  then failwith "bench: speculative ATPG differs from the serial run";
+  Printf.printf
+    "  byte-identical tests; speedup %.2fx; %d committed, %d wasted (%.0f%% waste)\n\n%!"
+    (if t_atpg_spec > 0.0 then t_atpg_serial /. t_atpg_spec else 0.0)
+    ep.Engine.spec_committed ep.Engine.spec_wasted
+    (if ep.Engine.spec_dispatched > 0 then
+       100.0 *. float_of_int ep.Engine.spec_wasted /. float_of_int ep.Engine.spec_dispatched
+     else 0.0);
   write_bench_json ~circuit:name
     ~kernels:
       [
         ("detection_sets/serial", 1, t_serial);
         (Printf.sprintf "detection_sets/jobs%d" jobs, jobs, t_pooled);
         ("detection_sets/stem_first", 1, t_stem);
+        ("atpg/serial", 1, t_atpg_serial);
+        (Printf.sprintf "atpg/spec_w%d" window, jobs, t_atpg_spec);
       ]
-    ~speedup;
+    ~speedup
+    ~atpg:(t_atpg_serial, t_atpg_spec, window, ep.Engine.spec_committed, ep.Engine.spec_wasted);
   Printf.printf "(appended to BENCH_adi.json)\n\n%!"
 
 (* ---------- Bechamel micro-benchmarks ----------------------------- *)

@@ -3,6 +3,7 @@ type t = {
   pool : int;
   target_coverage : float;
   jobs : int;
+  window : int option;
   order : Ordering.kind;
   generator : Engine.generator;
   backtrack_limit : int;
@@ -22,6 +23,7 @@ let default =
     pool = 10_000;
     target_coverage = 0.9;
     jobs = 1;
+    window = None;
     order = Ordering.Dynm0;
     generator = Engine.default_config.Engine.generator;
     backtrack_limit = Engine.default_config.Engine.backtrack_limit;
@@ -51,6 +53,12 @@ let with_target_coverage target_coverage t =
 let with_jobs jobs t =
   if jobs < 1 then bad "--jobs must be at least 1 (got %d)" jobs;
   { t with jobs }
+
+let with_window window t =
+  (match window with
+  | Some w when w < 1 -> bad "--window must be at least 1 (got %d)" w
+  | _ -> ());
+  { t with window }
 
 let with_order order t = { t with order }
 let with_generator generator t = { t with generator }
@@ -93,7 +101,8 @@ let validate t =
   ignore
     (default |> with_seed t.seed |> with_pool t.pool
     |> with_target_coverage t.target_coverage
-    |> with_jobs t.jobs |> with_backtrack_limit t.backtrack_limit |> with_retries t.retries
+    |> with_jobs t.jobs |> with_window t.window
+    |> with_backtrack_limit t.backtrack_limit |> with_retries t.retries
     |> with_time_budget t.time_budget_s
     |> with_per_fault_budget t.per_fault_budget_s
     |> with_checkpoint_every t.checkpoint_every);
@@ -118,6 +127,9 @@ let engine_config t =
     time_budget_s = t.time_budget_s;
     per_fault_budget_s = t.per_fault_budget_s;
     jobs = t.jobs;
+    (* The default lookahead keeps every lane fed with a refill in
+       hand; [--window 1] forces the exact serial path. *)
+    window = (match t.window with Some w -> w | None -> 4 * t.jobs);
   }
 
 let of_engine_config c t =
@@ -130,4 +142,5 @@ let of_engine_config c t =
     time_budget_s = c.Engine.time_budget_s;
     per_fault_budget_s = c.Engine.per_fault_budget_s;
     jobs = c.Engine.jobs;
+    window = Some c.Engine.window;
   }

@@ -19,6 +19,9 @@ type t = {
   pool : int;  (** candidate vectors for U selection *)
   target_coverage : float;  (** U-selection coverage target, in (0, 1] *)
   jobs : int;  (** fault-simulation domain-pool lanes *)
+  window : int option;
+      (** speculative-lookahead width for ATPG runs; [None] defaults to
+          [4 * jobs] when the engine configuration is built *)
   order : Ordering.kind;  (** fault ordering for ATPG runs *)
   generator : Engine.generator;
   backtrack_limit : int;
@@ -50,6 +53,10 @@ val with_target_coverage : float -> t -> t
 
 val with_jobs : int -> t -> t
 (** Rejects [jobs < 1] before the value can reach the domain pool. *)
+
+val with_window : int option -> t -> t
+(** Rejects [window < 1]; results are byte-identical for every width
+    (the window, like [jobs], is a pure throughput knob). *)
 
 val with_order : Ordering.kind -> t -> t
 val with_generator : Engine.generator -> t -> t

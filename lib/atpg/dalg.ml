@@ -12,15 +12,18 @@ exception Abort
 type state = {
   c : Circuit.t;
   scoap : Scoap.t;
-  fault : Fault.t;
+  mutable fault : Fault.t;
   stats : Podem.stats;
   values : Five.t array;
   in_cone : bool array;  (* transitive fanout of the fault site *)
-  limit : int;
-  deadline : Util.Budget.t;
+  mutable cone : int array;  (* the set entries of [in_cone], for reset *)
+  mutable limit : int;
+  mutable deadline : Util.Budget.t;
   mutable trail : (int * Five.t) list;
   mutable queue : int list;  (* nodes to (re)examine *)
 }
+
+type context = state
 
 let stuck_ternary st = Ternary.of_bool st.fault.Fault.stuck_at
 
@@ -350,27 +353,40 @@ let has_wide_parity c =
       | _ -> ());
   !wide
 
-let generate ?(backtrack_limit = 256) ?(deadline = Util.Budget.unlimited) ?stats c scoap fault =
-  if Circuit.has_state c then invalid_arg "Dalg.generate: circuit must be combinational";
+let context ?stats c scoap =
+  if Circuit.has_state c then invalid_arg "Dalg.context: circuit must be combinational";
   let stats = match stats with Some s -> s | None -> Podem.fresh_stats () in
   let n = Circuit.node_count c in
-  let in_cone = Array.make n false in
-  in_cone.(Fault.site_node fault) <- true;
-  Array.iter (fun m -> in_cone.(m) <- true) (Circuit.transitive_fanout c (Fault.site_node fault));
-  let st =
-    {
-      c;
-      scoap;
-      fault;
-      stats;
-      values = Array.make n Five.X;
-      in_cone;
-      limit = backtrack_limit;
-      deadline;
-      trail = [];
-      queue = [];
-    }
-  in
+  {
+    c;
+    scoap;
+    fault = Fault.stem 0 false;
+    stats;
+    values = Array.make n Five.X;
+    in_cone = Array.make n false;
+    cone = [||];
+    limit = 256;
+    deadline = Util.Budget.unlimited;
+    trail = [];
+    queue = [];
+  }
+
+let generate_in ?(backtrack_limit = 256) ?(deadline = Util.Budget.unlimited) st fault =
+  (* Reset from the previous search: the trail records every value ever
+     assigned, so unwinding it restores the all-X slab, and the cone
+     list undoes exactly the [in_cone] marks that were set. *)
+  undo_to st [];
+  Array.iter (fun m -> st.in_cone.(m) <- false) st.cone;
+  st.fault <- fault;
+  (* The limit bounds THIS search: stats accumulate across a context's
+     searches, so the comparison baseline is the count at entry. *)
+  st.limit <- st.stats.Podem.backtracks + backtrack_limit;
+  st.deadline <- deadline;
+  let site = Fault.site_node fault in
+  let cone = Array.append [| site |] (Circuit.transitive_fanout st.c site) in
+  Array.iter (fun m -> st.in_cone.(m) <- true) cone;
+  st.cone <- cone;
+  let c = st.c in
   (* Constants; the fault-site stem is left to the transform so a
      detectable opposite-polarity fault on a constant reads D/D'. *)
   let stem_site = match fault.Fault.site with Fault.Stem s -> s | Fault.Branch _ -> -1 in
@@ -404,3 +420,6 @@ let generate ?(backtrack_limit = 256) ?(deadline = Util.Budget.unlimited) ?stats
     | Conflict -> if has_wide_parity c then Podem.Aborted else Podem.Untestable
   in
   outcome
+
+let generate ?backtrack_limit ?deadline ?stats c scoap fault =
+  generate_in ?backtrack_limit ?deadline (context ?stats c scoap) fault

@@ -14,6 +14,7 @@ type config = {
   time_budget_s : float option;
   per_fault_budget_s : float option;
   jobs : int;
+  window : int;
 }
 
 let default_config =
@@ -25,7 +26,16 @@ let default_config =
     time_budget_s = None;
     per_fault_budget_s = None;
     jobs = 1;
+    window = 1;
   }
+
+(* Per-run parallel resources, shared by every entry point: one
+   fault-simulation workspace per lane, and a pool only when more than
+   one lane can actually run. *)
+let scan_resources ~observed c ~jobs =
+  let wss = Array.init jobs (fun _ -> Faultsim.workspace c) in
+  let pool = if jobs > 1 then Some (Parallel.create ~jobs ~track:observed ()) else None in
+  (wss, pool)
 
 (* Per-test fault scan: [visit lane ws fi] must touch only fault [fi]'s
    cells and lane-private storage, so static fault slices over private
@@ -96,6 +106,9 @@ type result = {
   snapshot : snapshot option;
   stats : Podem.stats;
   runtime_s : float;
+  spec_dispatched : int;
+  spec_committed : int;
+  spec_wasted : int;
 }
 
 let fill_cube rng cube =
@@ -115,6 +128,7 @@ let check_order n order =
 let run ?(config = default_config) ?resume ?checkpoint_every ?on_checkpoint
     ?(should_stop = fun () -> false) fl ~order =
   if config.retries < 0 then invalid_arg "Engine.run: retries must be non-negative";
+  if config.window < 1 then invalid_arg "Engine.run: window must be at least 1";
   let c = Fault_list.circuit fl in
   let nf = Fault_list.count fl in
   check_order nf order;
@@ -123,8 +137,7 @@ let run ?(config = default_config) ?resume ?checkpoint_every ?on_checkpoint
   let observed = Trace.enabled tr in
   let scoap = Scoap.compute c in
   let jobs = max 1 config.jobs in
-  let wss = Array.init jobs (fun _ -> Faultsim.workspace c) in
-  let pool = if jobs > 1 then Some (Parallel.create ~jobs ~track:observed ()) else None in
+  let wss, pool = scan_resources ~observed c ~jobs in
   Fun.protect ~finally:(fun () -> Option.iter Parallel.shutdown pool) @@ fun () ->
   let stats = Podem.fresh_stats () in
   let ctx = Podem.context ~stats c scoap in
@@ -197,6 +210,7 @@ let run ?(config = default_config) ?resume ?checkpoint_every ?on_checkpoint
   let h_gen_abort = Trace.histogram tr "engine.gen_s.aborted" in
   let h_gen_oob = Trace.histogram tr "engine.gen_s.out_of_budget" in
   let c_budget = Trace.counter tr "engine.budget_expired" in
+  let c_spec_refilled = Trace.counter tr "engine.spec.refilled" in
   let drop_counts = Array.make jobs 0 in
   let simulate_and_drop vec test_idx =
     let pats = Patterns.of_vectors ~n_inputs [| vec |] in
@@ -223,6 +237,55 @@ let run ?(config = default_config) ?resume ?checkpoint_every ?on_checkpoint
           save (snap ())
         end
     | _ -> ()
+  in
+  let note_budget_expired () =
+    interrupted := true;
+    if observed then begin
+      Metrics.incr c_budget;
+      Trace.instant tr ~attrs:[ ("pass", Trace.Int !pass) ] "engine.budget_expired"
+    end
+  in
+  (* Speculative lookahead: a sliding window of the next [window]
+     not-yet-dropped faults is dispatched to the pool's executors; each
+     lane searches in a private context (outcome and effort depend only
+     on the fault and the pass backtrack limit), and the leader commits
+     results in strict schedule order.  Cubes whose target was dropped
+     by a test committed meanwhile are discarded as waste; the rest are
+     random-filled from the run RNG {e at commit time}, so the RNG is
+     consumed in exactly the serial order and every artifact of the run
+     is byte-identical to [window = 1] for any [jobs]. *)
+  let spec_dispatched = ref 0 and spec_committed = ref 0 and spec_wasted = ref 0 in
+  let lane_search =
+    match pool with
+    | Some p when config.window > 1 ->
+        let w = Parallel.Window.create p ~capacity:config.window in
+        let n_exec = Parallel.Window.executors w in
+        let lane_stats = Array.init n_exec (fun _ -> Podem.fresh_stats ()) in
+        let gen =
+          match config.generator with
+          | Podem_gen ->
+              let ctxs =
+                Array.init n_exec (fun e -> Podem.context ~stats:lane_stats.(e) c scoap)
+              in
+              fun e ~backtrack_limit ~deadline f ->
+                Podem.generate_in ~backtrack_limit ~deadline ctxs.(e) f
+          | Dalg_gen ->
+              let ctxs =
+                Array.init n_exec (fun e -> Dalg.context ~stats:lane_stats.(e) c scoap)
+              in
+              fun e ~backtrack_limit ~deadline f ->
+                Dalg.generate_in ~backtrack_limit ~deadline ctxs.(e) f
+        in
+        let search ~exec ~backtrack_limit ~deadline f =
+          let s = lane_stats.(exec) in
+          let s0 = Podem.copy_stats s in
+          let t0 = if observed then Unix.gettimeofday () else 0.0 in
+          let outcome = gen exec ~backtrack_limit ~deadline f in
+          let dt = if observed then Unix.gettimeofday () -. t0 else 0.0 in
+          (outcome, Podem.diff_stats s s0, dt)
+        in
+        Some (w, search)
+    | _ -> None
   in
   (* Generate for one fault; returns false when the whole-run budget
      fired mid-search, in which case the fault stays pending and the
@@ -286,6 +349,116 @@ let run ?(config = default_config) ?resume ?checkpoint_every ?on_checkpoint
           true
     end
   in
+  let run_pass_serial () =
+    while !pos < Array.length !schedule && not !interrupted do
+      if should_stop () then interrupted := true
+      else if Budget.expired run_budget then note_budget_expired ()
+      else if process !schedule.(!pos) then begin
+        incr pos;
+        maybe_checkpoint ()
+      end
+      else
+        (* [process] saw the whole-run budget fire mid-search. *)
+        note_budget_expired ()
+    done
+  in
+  let run_pass_spec w search =
+    let len = Array.length !schedule in
+    (* Dispatch cursor and the faults with a ticket in flight, oldest
+       first — a subsequence of the schedule, so the head either equals
+       the commit position's fault or that fault was never dispatched. *)
+    let dpos = ref !pos in
+    let ticketed = Queue.create () in
+    let refill () =
+      if !dpos < len && Parallel.Window.in_flight w < config.window then begin
+        Trace.span tr
+          ~attrs:
+            [ ("pos", Trace.Int !pos);
+              ("in_flight", Trace.Int (Parallel.Window.in_flight w)) ]
+          "engine.spec.refill"
+          (fun () ->
+            while !dpos < len && Parallel.Window.in_flight w < config.window do
+              let fi = !schedule.(!dpos) in
+              if detected_by.(fi) < 0 then begin
+                let backtrack_limit = !limit in
+                let deadline = Budget.sub_opt run_budget config.per_fault_budget_s in
+                let fault = Fault_list.get fl fi in
+                Parallel.Window.submit w (fun ~exec ->
+                    search ~exec ~backtrack_limit ~deadline fault);
+                Queue.push fi ticketed;
+                incr spec_dispatched
+              end;
+              incr dpos
+            done);
+        if observed then Metrics.incr c_spec_refilled
+      end
+    in
+    while !pos < len && not !interrupted do
+      if should_stop () then interrupted := true
+      else if Budget.expired run_budget then note_budget_expired ()
+      else begin
+        refill ();
+        let fi = !schedule.(!pos) in
+        if (not (Queue.is_empty ticketed)) && Queue.peek ticketed = fi then begin
+          ignore (Queue.pop ticketed : int);
+          let outcome, delta, dt = Parallel.Window.collect w in
+          if detected_by.(fi) >= 0 then begin
+            (* Dropped between dispatch and commit: the serial run never
+               searched this fault, so the lane's effort is waste. *)
+            incr spec_wasted;
+            incr pos;
+            maybe_checkpoint ()
+          end
+          else begin
+            match outcome with
+            | Podem.Out_of_budget when Budget.expired run_budget ->
+                (* As in [process]: the fault stays pending and the
+                   partial effort is discarded, so a resumed run
+                   reproduces the stats of an uninterrupted one. *)
+                note_budget_expired ()
+            | outcome ->
+                incr spec_committed;
+                Podem.add_stats ~into:stats delta;
+                if observed then
+                  Metrics.observe
+                    (match outcome with
+                    | Podem.Test _ -> h_gen_test
+                    | Podem.Untestable -> h_gen_unt
+                    | Podem.Aborted -> h_gen_abort
+                    | Podem.Out_of_budget -> h_gen_oob)
+                    dt;
+                (match outcome with
+                | Podem.Untestable -> untestable_rev := fi :: !untestable_rev
+                | Podem.Aborted -> retry_rev := fi :: !retry_rev
+                | Podem.Out_of_budget -> out_of_budget_rev := fi :: !out_of_budget_rev
+                | Podem.Test cube ->
+                    (* Don't-cares fill here, at commit, so the RNG is
+                       consumed in exactly the serial order. *)
+                    let vec = fill_cube rng cube in
+                    let idx = !n_tests in
+                    tests_rev := vec :: !tests_rev;
+                    targeted_rev := fi :: !targeted_rev;
+                    incr n_tests;
+                    simulate_and_drop vec idx;
+                    assert (detected_by.(fi) = idx));
+                incr pos;
+                maybe_checkpoint ()
+          end
+        end
+        else begin
+          (* The fault was already dropped when the dispatch cursor
+             passed it: nothing to collect. *)
+          incr pos;
+          maybe_checkpoint ()
+        end
+      end
+    done;
+    (* Abandon in-flight tickets (interrupt, or a retry pass about to
+       rebuild the schedule). *)
+    spec_wasted := !spec_wasted + Queue.length ticketed;
+    Queue.clear ticketed;
+    Parallel.Window.drain w
+  in
   let rec passes () =
     Trace.span tr
       ~attrs:
@@ -293,28 +466,9 @@ let run ?(config = default_config) ?resume ?checkpoint_every ?on_checkpoint
           ("pending", Trace.Int (Array.length !schedule - !pos)) ]
       "engine.pass"
       (fun () ->
-        while !pos < Array.length !schedule && not !interrupted do
-          if should_stop () then interrupted := true
-          else if Budget.expired run_budget then begin
-            interrupted := true;
-            if observed then begin
-              Metrics.incr c_budget;
-              Trace.instant tr ~attrs:[ ("pass", Trace.Int !pass) ] "engine.budget_expired"
-            end
-          end
-          else if process !schedule.(!pos) then begin
-            incr pos;
-            maybe_checkpoint ()
-          end
-          else begin
-            (* [process] saw the whole-run budget fire mid-search. *)
-            interrupted := true;
-            if observed then begin
-              Metrics.incr c_budget;
-              Trace.instant tr ~attrs:[ ("pass", Trace.Int !pass) ] "engine.budget_expired"
-            end
-          end
-        done);
+        match lane_search with
+        | Some (w, search) -> run_pass_spec w search
+        | None -> run_pass_serial ());
     if not !interrupted then begin
       let retry = List.rev !retry_rev in
       if retry <> [] && !pass < config.retries then begin
@@ -340,6 +494,10 @@ let run ?(config = default_config) ?resume ?checkpoint_every ?on_checkpoint
   publish_result tr pool wss stats ~tests:!n_tests
     ~untestable:(List.length !untestable_rev) ~aborted:(List.length aborted)
     ~out_of_budget:(List.length !out_of_budget_rev) ~retry_recovered:!retry_recovered;
+  if observed && !spec_dispatched > 0 then begin
+    Metrics.add (Trace.counter tr "engine.spec.committed") !spec_committed;
+    Metrics.add (Trace.counter tr "engine.spec.wasted") !spec_wasted
+  end;
   {
     tests = Patterns.of_vectors ~n_inputs tests_arr;
     detected_by;
@@ -352,6 +510,9 @@ let run ?(config = default_config) ?resume ?checkpoint_every ?on_checkpoint
     snapshot = (if !interrupted then Some (snap ()) else None);
     stats;
     runtime_s = Unix.gettimeofday () -. t0;
+    spec_dispatched = !spec_dispatched;
+    spec_committed = !spec_committed;
+    spec_wasted = !spec_wasted;
   }
 
 let run_n_detect ?(config = default_config) ~n fl ~order =
@@ -364,8 +525,7 @@ let run_n_detect ?(config = default_config) ~n fl ~order =
   let observed = Trace.enabled tr in
   let scoap = Scoap.compute c in
   let jobs = max 1 config.jobs in
-  let wss = Array.init jobs (fun _ -> Faultsim.workspace c) in
-  let pool = if jobs > 1 then Some (Parallel.create ~jobs ~track:observed ()) else None in
+  let wss, pool = scan_resources ~observed c ~jobs in
   Fun.protect ~finally:(fun () -> Option.iter Parallel.shutdown pool) @@ fun () ->
   let rng = Rng.create config.seed in
   let stats = Podem.fresh_stats () in
@@ -439,6 +599,9 @@ let run_n_detect ?(config = default_config) ~n fl ~order =
     snapshot = None;
     stats;
     runtime_s = Unix.gettimeofday () -. t0;
+    spec_dispatched = 0;
+    spec_committed = 0;
+    spec_wasted = 0;
   }
 
 let run_compacting ?(config = default_config) ?(secondary_limit = 50) fl ~order =
@@ -450,8 +613,7 @@ let run_compacting ?(config = default_config) ?(secondary_limit = 50) fl ~order 
   let observed = Trace.enabled tr in
   let scoap = Scoap.compute c in
   let jobs = max 1 config.jobs in
-  let wss = Array.init jobs (fun _ -> Faultsim.workspace c) in
-  let pool = if jobs > 1 then Some (Parallel.create ~jobs ~track:observed ()) else None in
+  let wss, pool = scan_resources ~observed c ~jobs in
   Fun.protect ~finally:(fun () -> Option.iter Parallel.shutdown pool) @@ fun () ->
   let rng = Rng.create config.seed in
   let stats = Podem.fresh_stats () in
@@ -538,6 +700,9 @@ let run_compacting ?(config = default_config) ?(secondary_limit = 50) fl ~order 
     snapshot = None;
     stats;
     runtime_s = Unix.gettimeofday () -. t0;
+    spec_dispatched = 0;
+    spec_committed = 0;
+    spec_wasted = 0;
   }
 
 let coverage fl result =

@@ -45,6 +45,16 @@ type config = {
           (default 1 = serial).  Purely a throughput knob: every result
           field is identical for any value, so [jobs] takes no part in
           checkpoint/resume matching. *)
+  window : int;
+      (** speculative-lookahead width for {!run} (default 1 = the exact
+          serial path).  With [window > 1] and [jobs > 1], the next
+          [window] not-yet-dropped faults are searched concurrently and
+          committed in strict schedule order: don't-cares are filled
+          from the run RNG at commit time, so tests, classifications,
+          statistics, checkpoints — every result field except the
+          [spec_*] waste accounting — are byte-identical to the serial
+          run.  Like [jobs], a pure throughput knob excluded from
+          checkpoint/resume matching. *)
 }
 
 val default_config : config
@@ -89,6 +99,16 @@ type result = {
   snapshot : snapshot option;  (** resume point, present iff [interrupted] *)
   stats : Podem.stats;  (** accumulated search statistics *)
   runtime_s : float;  (** wall-clock generation time *)
+  spec_dispatched : int;
+      (** speculative searches handed to the window (0 when [window]
+          is 1 or [jobs] is 1 — the serial path) *)
+  spec_committed : int;
+      (** speculative searches whose outcome was committed — exactly
+          the searches the serial run performs *)
+  spec_wasted : int;
+      (** speculative searches discarded because their target was
+          dropped by a test committed after dispatch (plus any in
+          flight when a run is interrupted) *)
 }
 
 val run :

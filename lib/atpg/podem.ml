@@ -10,6 +10,21 @@ type stats = {
 
 let fresh_stats () = { backtracks = 0; decisions = 0; implications = 0 }
 
+let copy_stats s =
+  { backtracks = s.backtracks; decisions = s.decisions; implications = s.implications }
+
+let add_stats ~into d =
+  into.backtracks <- into.backtracks + d.backtracks;
+  into.decisions <- into.decisions + d.decisions;
+  into.implications <- into.implications + d.implications
+
+let diff_stats a b =
+  {
+    backtracks = a.backtracks - b.backtracks;
+    decisions = a.decisions - b.decisions;
+    implications = a.implications - b.implications;
+  }
+
 type decision = { pi : int; mutable value : bool; mutable flipped : bool }
 
 type state = {
@@ -363,7 +378,9 @@ let generate_in ?(backtrack_limit = 256) ?(deadline = Util.Budget.unlimited) ?fi
           | Ternary.Zero -> assign st pi (Some false)
           | Ternary.One -> assign st pi (Some true))
         pis);
-  match search st backtrack_limit with
+  (* The limit bounds THIS search: stats accumulate across a context's
+     searches, so the comparison baseline is the count at entry. *)
+  match search st (st.stats.backtracks + backtrack_limit) with
   | `Success ->
       let cube = Array.map (fun pi -> Five.good st.values.(pi)) (Circuit.inputs st.c) in
       Test cube

@@ -13,6 +13,8 @@ type t = {
   lock : Mutex.t;  (* guards the counters and every tracer touch *)
   mutable n_requests : int;
   mutable n_errors : int;
+  mutable spec_committed : int;  (* speculative ATPG totals across requests *)
+  mutable spec_wasted : int;
 }
 
 let create ?(capacity = 8) ?spill_dir ?(jobs = 1) ?request_budget_s
@@ -20,7 +22,7 @@ let create ?(capacity = 8) ?spill_dir ?(jobs = 1) ?request_budget_s
   if jobs < 1 then invalid_arg "Session.create: jobs must be at least 1";
   let tracer = match tracer with Some tr -> tr | None -> Trace.current () in
   { store = Store.create ~capacity ?spill_dir (); jobs; request_budget_s; clock; tracer;
-    lock = Mutex.create (); n_requests = 0; n_errors = 0 }
+    lock = Mutex.create (); n_requests = 0; n_errors = 0; spec_committed = 0; spec_wasted = 0 }
 
 let store t = t.store
 
@@ -64,6 +66,7 @@ let config_of_params t params =
   |> apply (int_param params "pool") Run_config.with_pool
   |> apply (float_param params "target_coverage") Run_config.with_target_coverage
   |> apply (int_param params "jobs") Run_config.with_jobs
+  |> apply (int_param params "window") (fun w -> Run_config.with_window (Some w))
   |> apply (str_param params "order") Run_flags.with_order_name
   |> apply (int_param params "backtracks") Run_config.with_backtrack_limit
   |> apply (int_param params "retries") Run_config.with_retries
@@ -169,6 +172,9 @@ let handle_atpg t params budget =
   let e = run.Pipeline.engine in
   if e.Engine.interrupted then
     Diagnostics.fail Diagnostics.Budget_expired "request budget expired during test generation";
+  locked t (fun () ->
+      t.spec_committed <- t.spec_committed + e.Engine.spec_committed;
+      t.spec_wasted <- t.spec_wasted + e.Engine.spec_wasted);
   Json.Obj
     (setup_reply_fields key cached setup
     @ [ ("order", Json.Str (Ordering.to_string cfg.Run_config.order));
@@ -180,18 +186,25 @@ let handle_atpg t params budget =
         ("untestable", Json.Int (List.length e.Engine.untestable));
         ("aborted", Json.Int (List.length e.Engine.aborted));
         ("out_of_budget", Json.Int (List.length e.Engine.out_of_budget));
-        ("retry_recovered", Json.Int e.Engine.retry_recovered) ])
+        ("retry_recovered", Json.Int e.Engine.retry_recovered);
+        ("window", Json.Int ecfg.Engine.window);
+        ("spec_dispatched", Json.Int e.Engine.spec_dispatched);
+        ("spec_committed", Json.Int e.Engine.spec_committed);
+        ("spec_wasted", Json.Int e.Engine.spec_wasted) ])
 
 let handle_stats t =
   let s = Store.stats t.store in
-  let requests, errors = locked t (fun () -> (t.n_requests, t.n_errors)) in
+  let requests, errors, spec_committed, spec_wasted =
+    locked t (fun () -> (t.n_requests, t.n_errors, t.spec_committed, t.spec_wasted))
+  in
   Json.Obj
     [ ("version", Json.Str Util.Version.version); ("requests", Json.Int requests);
       ("errors", Json.Int errors); ("entries", Json.Int s.Store.entries);
       ("capacity", Json.Int s.Store.capacity); ("hits", Json.Int s.Store.hits);
       ("spill_hits", Json.Int s.Store.spill_hits); ("misses", Json.Int s.Store.misses);
       ("insertions", Json.Int s.Store.insertions); ("evictions", Json.Int s.Store.evictions);
-      ("jobs", Json.Int t.jobs) ]
+      ("jobs", Json.Int t.jobs);
+      ("spec_committed", Json.Int spec_committed); ("spec_wasted", Json.Int spec_wasted) ]
 
 let handle_evict t params =
   match str_param params "key" with

@@ -1,18 +1,20 @@
-(* Each worker owns a one-slot mailbox guarded by its own mutex; the
-   leader fills the slots, runs its own share, then drains them.  A
-   single condition variable per worker serves both directions — the
-   waits are distinguished by the cell state they are waiting for. *)
-
-type cell =
-  | Idle
-  | Work of (unit -> unit)
-  | Done of exn option
-  | Quit
+(* Each worker owns a FIFO job queue guarded by its own mutex; the
+   leader pushes closures, workers pop and run them in order.  Jobs
+   signal their own completion (a latch for fork-join groups, a result
+   cell for window tickets), so the two submission styles — the
+   barrier-style [run] and the ordered sliding [Window] — share one
+   worker loop and can even interleave on the same pool: a fault-scan
+   group enqueued behind window tickets simply runs after them. *)
 
 type worker = {
   mutex : Mutex.t;
   cond : Condition.t;
-  mutable cell : cell;
+  queue : (unit -> unit) Queue.t;  (* fork-join groups; jobs must never raise *)
+  low : (unit -> unit) Queue.t;
+      (* window tickets — lower priority, so a fault-scan group a
+         leader is blocked on never waits behind a window of
+         speculative searches *)
+  mutable quit : bool;
   mutable domain : unit Domain.t option;
 }
 
@@ -26,28 +28,29 @@ type t = {
 
 let default_jobs () = Domain.recommended_domain_count ()
 
-let worker_loop w =
+(* Workers drain their queue before honouring [quit], so a shutdown
+   never strands a submitted job (its completion would wedge the
+   leader). *)
+let worker_loop pool slot w =
   let rec loop () =
     Mutex.lock w.mutex;
-    let rec await () =
-      match w.cell with
-      | Work _ | Quit -> ()
-      | Idle | Done _ ->
-          Condition.wait w.cond w.mutex;
-          await ()
-    in
-    await ();
-    match w.cell with
-    | Quit -> Mutex.unlock w.mutex
-    | Work f ->
-        Mutex.unlock w.mutex;
-        let outcome = (try f (); None with e -> Some e) in
-        Mutex.lock w.mutex;
-        w.cell <- Done outcome;
-        Condition.broadcast w.cond;
-        Mutex.unlock w.mutex;
-        loop ()
-    | Idle | Done _ -> assert false
+    while Queue.is_empty w.queue && Queue.is_empty w.low && not w.quit do
+      Condition.wait w.cond w.mutex
+    done;
+    if Queue.is_empty w.queue && Queue.is_empty w.low then Mutex.unlock w.mutex
+    else begin
+      let job = if Queue.is_empty w.queue then Queue.pop w.low else Queue.pop w.queue in
+      Mutex.unlock w.mutex;
+      (* Busy tracking: each executing domain writes only its own slot,
+         and the leader reads them after a join — no races. *)
+      if pool.track then begin
+        let t0 = Budget.default_clock () in
+        job ();
+        pool.busy.(slot) <- pool.busy.(slot) +. (Budget.default_clock () -. t0)
+      end
+      else job ();
+      loop ()
+    end
   in
   loop ()
 
@@ -62,10 +65,14 @@ let create ?jobs ?(track = false) () =
   let spawned = min jobs (max 1 (default_jobs ())) - 1 in
   let workers =
     Array.init spawned (fun _ ->
-        { mutex = Mutex.create (); cond = Condition.create (); cell = Idle; domain = None })
+        { mutex = Mutex.create (); cond = Condition.create (); queue = Queue.create ();
+          low = Queue.create (); quit = false; domain = None })
   in
-  Array.iter (fun w -> w.domain <- Some (Domain.spawn (fun () -> worker_loop w))) workers;
-  { size = jobs; workers; alive = true; track; busy = Array.make (spawned + 1) 0.0 }
+  let t = { size = jobs; workers; alive = true; track; busy = Array.make (spawned + 1) 0.0 } in
+  Array.iteri
+    (fun i w -> w.domain <- Some (Domain.spawn (fun () -> worker_loop t (i + 1) w)))
+    workers;
+  t
 
 let jobs t = t.size
 
@@ -75,7 +82,7 @@ let shutdown t =
     Array.iter
       (fun w ->
         Mutex.lock w.mutex;
-        w.cell <- Quit;
+        w.quit <- true;
         Condition.broadcast w.cond;
         Mutex.unlock w.mutex)
       t.workers;
@@ -90,26 +97,35 @@ let lane_busy_s t = Array.copy t.busy
 
 let reset_lane_busy t = Array.fill t.busy 0 (Array.length t.busy) 0.0
 
-let submit w f =
+let enqueue w job =
   Mutex.lock w.mutex;
-  w.cell <- Work f;
+  Queue.push job w.queue;
   Condition.broadcast w.cond;
   Mutex.unlock w.mutex
 
-let await w =
+let enqueue_low w job =
   Mutex.lock w.mutex;
-  let rec go () =
-    match w.cell with
-    | Done r ->
-        w.cell <- Idle;
-        r
-    | _ ->
-        Condition.wait w.cond w.mutex;
-        go ()
-  in
-  let r = go () in
-  Mutex.unlock w.mutex;
-  r
+  Queue.push job w.low;
+  Condition.broadcast w.cond;
+  Mutex.unlock w.mutex
+
+(* One-shot completion latch for fork-join groups. *)
+type latch = { lm : Mutex.t; lcv : Condition.t; mutable fired : bool }
+
+let latch () = { lm = Mutex.create (); lcv = Condition.create (); fired = false }
+
+let fire l =
+  Mutex.lock l.lm;
+  l.fired <- true;
+  Condition.broadcast l.lcv;
+  Mutex.unlock l.lm
+
+let await l =
+  Mutex.lock l.lm;
+  while not l.fired do
+    Condition.wait l.lcv l.lm
+  done;
+  Mutex.unlock l.lm
 
 let run t tasks =
   if not t.alive then invalid_arg "Parallel.run: pool is shut down";
@@ -122,32 +138,28 @@ let run t tasks =
        when an earlier one raises. *)
     let outcomes = Array.make n None in
     let g = min (Array.length t.workers + 1) n in
-    let plain_group j () =
+    let group j () =
       for i = j * n / g to ((j + 1) * n / g) - 1 do
         match tasks.(i) () with
         | () -> ()
         | exception e -> outcomes.(i) <- Some e
       done
     in
-    (* Busy tracking: each executing domain writes only its own slot,
-       and the leader reads them after the joins below — no races. *)
-    let group =
-      if not t.track then plain_group
-      else fun j () ->
-        let t0 = Budget.default_clock () in
-        plain_group j ();
-        t.busy.(j) <- t.busy.(j) +. (Budget.default_clock () -. t0)
-    in
+    let latches = Array.init (g - 1) (fun _ -> latch ()) in
     for j = 1 to g - 1 do
-      submit t.workers.(j - 1) (group j)
+      let l = latches.(j - 1) in
+      (* Group closures never raise, so the latch always fires. *)
+      enqueue t.workers.(j - 1) (fun () -> group j (); fire l)
     done;
-    group 0 ();
-    (* Even on a leader failure every submitted group must be drained
-       or the pool would wedge — group closures never raise, so the
-       await outcome is always [None]. *)
-    for j = 1 to g - 1 do
-      ignore (await t.workers.(j - 1))
-    done;
+    (* The leader runs its own share, tracking its busy time like the
+       worker loop does for queued jobs. *)
+    if t.track then begin
+      let t0 = Budget.default_clock () in
+      group 0 ();
+      t.busy.(0) <- t.busy.(0) +. (Budget.default_clock () -. t0)
+    end
+    else group 0 ();
+    Array.iter await latches;
     Array.iter (function Some e -> raise e | None -> ()) outcomes
   end
 
@@ -177,3 +189,78 @@ let map_slices t n f =
   end
 
 let fold t n ~map ~combine ~init = Array.fold_left combine init (map_slices t n map)
+
+(* --- ordered sliding window ---------------------------------------- *)
+
+type pool = t
+
+module Window = struct
+  type 'a state = Pending | Ok of 'a | Exn of exn
+
+  type 'a cell = { mutable state : 'a state }
+
+  type 'a t = {
+    pool : pool;
+    cap : int;
+    cells : 'a cell Queue.t;  (* outstanding tickets, oldest first *)
+    wm : Mutex.t;
+    wcv : Condition.t;
+    mutable seq : int;  (* tickets ever submitted; fixes the executor *)
+  }
+
+  let create pool ~capacity =
+    if capacity < 1 then invalid_arg "Parallel.Window.create: capacity must be at least 1";
+    { pool; cap = capacity; cells = Queue.create (); wm = Mutex.create ();
+      wcv = Condition.create (); seq = 0 }
+
+  let capacity w = w.cap
+
+  let in_flight w = Queue.length w.cells
+
+  let executors w = max 1 (Array.length w.pool.workers)
+
+  let submit w f =
+    let p = w.pool in
+    if not p.alive then invalid_arg "Parallel.Window.submit: pool is shut down";
+    if Queue.length w.cells >= w.cap then invalid_arg "Parallel.Window.submit: window is full";
+    let cell = { state = Pending } in
+    Queue.push cell w.cells;
+    let nw = Array.length p.workers in
+    if nw = 0 then
+      (* No workers (serial pool or single-core cap): execute inline so
+         the window degenerates to eager evaluation in submit order. *)
+      cell.state <- (match f ~exec:0 with v -> Ok v | exception e -> Exn e)
+    else begin
+      (* Round-robin by submission sequence: an executor runs its
+         tickets in FIFO order, so per-executor workspaces are reused
+         without ever being shared. *)
+      let exec = w.seq mod nw in
+      enqueue_low p.workers.(exec)
+        (fun () ->
+          let r = match f ~exec with v -> Ok v | exception e -> Exn e in
+          Mutex.lock w.wm;
+          cell.state <- r;
+          Condition.broadcast w.wcv;
+          Mutex.unlock w.wm)
+    end;
+    w.seq <- w.seq + 1
+
+  let collect w =
+    match Queue.take_opt w.cells with
+    | None -> invalid_arg "Parallel.Window.collect: no ticket in flight"
+    | Some cell ->
+        Mutex.lock w.wm;
+        while cell.state = Pending do
+          Condition.wait w.wcv w.wm
+        done;
+        Mutex.unlock w.wm;
+        (match cell.state with
+        | Ok v -> v
+        | Exn e -> raise e
+        | Pending -> assert false)
+
+  let drain w =
+    while in_flight w > 0 do
+      match collect w with v -> ignore v | exception _ -> ()
+    done
+end

@@ -310,6 +310,52 @@ let atpg_matches_offline_pipeline () =
       Alcotest.(check (list string)) "service tests = offline tests" offline tests
   | _ -> Alcotest.fail "atpg request failed"
 
+let atpg_window_param () =
+  (* The atpg op accepts a window parameter; any width produces the
+     byte-identical reply (only the echoed knob differs), and window=0
+     is rejected with the flag-error code before any work happens. *)
+  let t = Session.create ~capacity:4 () in
+  let req window =
+    { Protocol.id = 1; op = "atpg";
+      params = order_params @ [ ("jobs", Json.Int 4); ("window", Json.Int window) ] }
+  in
+  let payload window =
+    match Result.bind (Json.of_string (reply_string t (req window))) Protocol.response_of_json with
+    | Ok { Protocol.payload = Ok result; _ } -> result
+    | Ok { Protocol.payload = Error e; _ } -> Alcotest.fail e.Protocol.message
+    | Error e -> Alcotest.fail e
+  in
+  let serial = payload 1 and spec = payload 16 in
+  check (Alcotest.option Alcotest.int) "window echoed" (Some 16)
+    (Option.bind (Json.member "window" spec) Json.to_int);
+  let tests p =
+    match Option.bind (Json.member "tests" p) Json.to_list with
+    | Some l -> List.filter_map Json.to_str l
+    | None -> []
+  in
+  check (Alcotest.list Alcotest.string) "tests identical across window" (tests serial) (tests spec);
+  (match Json.member "spec_dispatched" spec with
+  | Some (Json.Int _) -> ()
+  | _ -> Alcotest.fail "spec_dispatched missing from atpg reply");
+  check Alcotest.string "window 0 rejected" "E-flag"
+    (error_code (Session.handle t { Protocol.id = 2; op = "atpg";
+                                    params = order_params @ [ ("window", Json.Int 0) ] }))
+
+let stats_report_spec_counters () =
+  let t = Session.create ~capacity:4 () in
+  ignore
+    (reply_string t
+       { Protocol.id = 1; op = "atpg";
+         params = order_params @ [ ("jobs", Json.Int 4); ("window", Json.Int 16) ] });
+  match Session.handle t { Protocol.id = 2; op = "stats"; params = [] } with
+  | { Protocol.payload = Ok result; _ } ->
+      let geti k = Option.bind (Json.member k result) Json.to_int in
+      Alcotest.(check bool) "spec_committed present" true (geti "spec_committed" <> None);
+      Alcotest.(check bool) "spec_wasted present" true (geti "spec_wasted" <> None);
+      Alcotest.(check bool) "committed counted" true
+        (match geti "spec_committed" with Some n -> n > 0 | None -> false)
+  | { Protocol.payload = Error e; _ } -> Alcotest.fail e.Protocol.message
+
 (* ---------- end-to-end over a Unix socket ------------------------- *)
 
 let temp_socket_path () =
@@ -403,6 +449,8 @@ let () =
       ( "identity",
         [ Alcotest.test_case "warm replies byte-identical" `Quick warm_replies_byte_identical;
           Alcotest.test_case "jobs and offline order agree" `Quick replies_match_offline_pipeline;
-          Alcotest.test_case "offline atpg agrees" `Quick atpg_matches_offline_pipeline ] );
+          Alcotest.test_case "offline atpg agrees" `Quick atpg_matches_offline_pipeline;
+          Alcotest.test_case "atpg window param" `Quick atpg_window_param;
+          Alcotest.test_case "stats report spec counters" `Quick stats_report_spec_counters ] );
       ( "server",
         [ Alcotest.test_case "concurrent end to end" `Quick server_end_to_end ] ) ]
