@@ -28,13 +28,14 @@ let bench_cfg = ref (Run_config.with_jobs 4 Run_config.default)
 let run_reports = ref true
 let run_micro = ref true
 let run_perf = ref true
+let run_soak = ref false
 let seed () = !bench_cfg.Run_config.seed
 let jobs () = !bench_cfg.Run_config.jobs
 
 let usage () =
   prerr_endline
     "usage: main.exe [--full] [--seed N] [--jobs N] [--window N] [--metrics] \
-     [--trace FILE] [--no-micro | --micro-only] [--no-perf] [EXPERIMENT ...]";
+     [--trace FILE] [--no-micro | --micro-only] [--no-perf] [--soak] [EXPERIMENT ...]";
   Printf.eprintf "experiments: %s\n" (String.concat ", " Harness.experiment_names);
   exit 2
 
@@ -60,6 +61,9 @@ let parse_args () =
         go rest
     | "--no-perf" :: rest ->
         run_perf := false;
+        go rest
+    | "--soak" :: rest ->
+        run_soak := true;
         go rest
     | ("--help" | "-h") :: _ -> usage ()
     | w :: rest ->
@@ -98,13 +102,6 @@ let print_reports () =
       Printf.printf "%s\n(%s regenerated in %.1fs)\n\n%!" body w dt)
     !experiments_requested
 
-(* ---------- parallel fault-simulation kernels --------------------- *)
-
-(* Wall-time the non-dropping simulation of a sizeable pattern set on
-   the largest requested suite circuit, serial vs. the jobs-sized pool
-   (stem-first) vs. single-domain stem-first, check the three agree
-   word for word, and leave the numbers in BENCH_adi.json. *)
-
 let json_escape s =
   let b = Buffer.create (String.length s) in
   String.iter
@@ -115,6 +112,136 @@ let json_escape s =
       | c -> Buffer.add_char b c)
     s;
   Buffer.contents b
+
+(* ---------- chaos soak -------------------------------------------- *)
+
+(* Resilience proof under fault injection: expected replies are
+   computed by a pristine in-process session first, then the
+   ADI_FAILPOINTS environment (if any) is armed and K resilient
+   clients hammer a live socket server.  Every reply that gets
+   through must match the offline result byte for byte (modulo the
+   "cached" flag); a single wrong byte fails the bench.  The summary
+   lands in the BENCH_adi.json entry as a "soak" object. *)
+
+let soak_summary = ref None
+
+let strip_cached = function
+  | Util.Json.Obj fields -> Util.Json.Obj (List.filter (fun (k, _) -> k <> "cached") fields)
+  | j -> j
+
+let soak_ops () =
+  let circuit name = ("circuit", Util.Json.Str name) in
+  [ ("adi", [ circuit "c17" ]);
+    ("order", [ circuit "c17" ]);
+    ("atpg", [ circuit "c17" ]);
+    ("adi", [ circuit "lion" ]);
+    ("order", [ circuit "syn208"; ("limit", Util.Json.Int 10) ]);
+    ("load", [ circuit "syn208" ]) ]
+
+let run_soak_stage () =
+  let ops = Array.of_list (soak_ops ()) in
+  let clients = 4 and per_client = 24 in
+  let spec = try Sys.getenv "ADI_FAILPOINTS" with Not_found -> "" in
+  Printf.printf "Chaos soak (%d clients x %d requests, failpoints: %s):\n%!" clients
+    per_client
+    (if spec = "" then "none" else spec);
+  (* Ground truth before any fault is armed. *)
+  let expected =
+    let pristine = Service.Session.create ~capacity:16 ~jobs:1 () in
+    Array.map
+      (fun (op, params) ->
+        match
+          (Service.Session.handle pristine { Service.Protocol.id = 1; op; params })
+            .Service.Protocol.payload
+        with
+        | Ok j -> Util.Json.to_string (strip_cached j)
+        | Error e -> failwith ("soak: offline pipeline failed: " ^ e.Service.Protocol.message))
+      ops
+  in
+  Util.Failpoint.install_from_env ();
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "adi-soak-%d.sock" (Unix.getpid ()))
+  in
+  let address = Service.Server.Unix_socket path in
+  (* A deliberately tight cache over a spill directory, so the soak
+     exercises eviction, spill writes, and spill reloads — the store
+     failpoint sites are live, not just the wire ones. *)
+  let spill_dir =
+    let d =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "adi-soak-spill-%d" (Unix.getpid ()))
+    in
+    (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    d
+  in
+  let session = Service.Session.create ~capacity:2 ~spill_dir ~jobs:1 () in
+  let server = Service.Server.create ~workers:4 ~max_inflight:4 session address in
+  let ready = Atomic.make false in
+  let server_domain =
+    Domain.spawn (fun () ->
+        Service.Server.serve server ~on_ready:(fun () -> Atomic.set ready true))
+  in
+  while not (Atomic.get ready) do
+    Unix.sleepf 0.005
+  done;
+  let client_run k () =
+    let policy =
+      { Service.Client.default_policy with
+        Util.Retry.max_attempts = 8;
+        overall_budget_s = Some 60.0 }
+    in
+    let client = Service.Client.create ~policy ~seed:(100 + k) address in
+    Fun.protect
+      ~finally:(fun () -> Service.Client.close client)
+      (fun () ->
+        let ok = ref 0 and wrong = ref 0 and failed = ref 0 in
+        for i = 0 to per_client - 1 do
+          let idx = (k + i) mod Array.length ops in
+          let op, params = ops.(idx) in
+          match Service.Client.request client op params with
+          | Ok j ->
+              if Util.Json.to_string (strip_cached j) = expected.(idx) then incr ok
+              else incr wrong
+          | Error _ -> incr failed
+          | exception Util.Diagnostics.Failed _ -> incr failed
+        done;
+        (!ok, !wrong, !failed, Service.Client.retries client))
+  in
+  let workers = Array.init clients (fun k -> Domain.spawn (client_run k)) in
+  let results = Array.map Domain.join workers in
+  (* Drain the server through the front door, resiliently. *)
+  let stopper = Service.Client.create address in
+  (try ignore (Service.Client.request stopper ~timeout_s:30.0 "shutdown" [])
+   with Util.Diagnostics.Failed _ -> Service.Server.request_stop server);
+  Service.Client.close stopper;
+  Domain.join server_domain;
+  Util.Failpoint.clear ();
+  let ok = Array.fold_left (fun a (x, _, _, _) -> a + x) 0 results in
+  let wrong = Array.fold_left (fun a (_, x, _, _) -> a + x) 0 results in
+  let failed = Array.fold_left (fun a (_, _, x, _) -> a + x) 0 results in
+  let retries = Array.fold_left (fun a (_, _, _, x) -> a + x) 0 results in
+  let shed = Service.Session.shed_count session in
+  let lane_restarts = Service.Server.lane_restarts server in
+  Printf.printf
+    "  %d requests: %d ok, %d wrong, %d failed; %d retries, %d shed, %d lane restarts\n%!"
+    (clients * per_client) ok wrong failed retries shed lane_restarts;
+  soak_summary :=
+    Some
+      (Printf.sprintf
+         "{\"clients\": %d, \"requests\": %d, \"ok\": %d, \"wrong\": %d, \"failed\": %d, \
+          \"retries\": %d, \"shed\": %d, \"lane_restarts\": %d, \"failpoints\": \"%s\"}"
+         clients (clients * per_client) ok wrong failed retries shed lane_restarts
+         (json_escape spec));
+  if wrong > 0 then failwith "bench: soak produced wrong results (byte-identity violated)";
+  Printf.printf "  every successful reply byte-identical to the offline pipeline\n\n%!"
+
+(* ---------- parallel fault-simulation kernels --------------------- *)
+
+(* Wall-time the non-dropping simulation of a sizeable pattern set on
+   the largest requested suite circuit, serial vs. the jobs-sized pool
+   (stem-first) vs. single-domain stem-first, check the three agree
+   word for word, and leave the numbers in BENCH_adi.json. *)
 
 (* BENCH_adi.json is a history: {"schema": "bench_adi/v2", "entries":
    [...]} with one single-line object per bench run, newest last, so
@@ -208,6 +335,9 @@ let write_bench_json ~circuit ~kernels ~speedup ~atpg =
         (json_escape name) wall_s)
     (List.rev !experiment_times);
   bf "]";
+  (match !soak_summary with
+  | None -> ()
+  | Some soak -> bf ", \"soak\": %s" soak);
   (match phase_fields () with
   | [] -> ()
   | phases -> bf ", \"phases\": [%s]" (String.concat ", " phases));
@@ -496,6 +626,7 @@ let () =
     parse_args ();
     Harness.with_observability !bench_cfg (fun () ->
         if !run_reports then print_reports ();
+        if !run_soak then run_soak_stage ();
         if !run_perf then run_perf_kernels ();
         if !run_micro then run_micro_benches ())
   with

@@ -1,15 +1,21 @@
 (* adi-client: command-line client for adi-server.
 
-   Builds one JSON request per invocation, sends it over the
-   length-prefixed framing, prints the result object on stdout, and
-   maps server-side error replies to a nonzero exit with the same
-   typed [E-...] code a local run would report.  Connection problems
-   and reply timeouts are reported as typed diagnostics too — the
-   client never hangs and never dies silently. *)
+   Builds one JSON request per invocation and sends it through the
+   resilient {!Service.Client}: transient transport failures (refused
+   connections, corrupt frames, overload sheds) are retried with
+   jittered exponential backoff up to [--retries] extra attempts,
+   all under the [--timeout] overall deadline.  The result object is
+   printed on stdout; server-side error replies map to a nonzero exit
+   with the same typed [E-...] code a local run would report.  Exit
+   codes: 1 usage, 2 typed failure, 4 deadline expiry (a local
+   timeout or a server [E-budget] reply).  The client never hangs and
+   never dies silently. *)
 
 open Cmdliner
 module Json = Util.Json
 module Diagnostics = Util.Diagnostics
+
+let budget_code = Diagnostics.code_string Diagnostics.Budget_expired
 
 let guard f =
   try f () with
@@ -19,79 +25,35 @@ let guard f =
   | Util.Diagnostics.Failed d ->
       Printf.eprintf "adi-client: %s [%s]\n" d.Diagnostics.message
         (Diagnostics.code_string d.Diagnostics.code);
-      exit 2
+      (* Deadline expiry is distinguishable from a protocol failure so
+         callers can tell "slow" from "broken". *)
+      exit (if d.Diagnostics.code = Diagnostics.Budget_expired then 4 else 2)
   | Sys_error msg ->
       Printf.eprintf "adi-client: %s\n" msg;
       exit 1
 
 (* --- connection --------------------------------------------------- *)
 
-type target = Unix_path of string | Tcp of string * int
-
-let connect target =
-  let fail_connect name =
-    (* Normalised message (no errno text), so failure modes are
-       deterministic across platforms. *)
-    Diagnostics.fail Diagnostics.Io_error "cannot connect to %s" name
+let with_client target ~timeout_s ~retries f =
+  let policy =
+    { Service.Client.default_policy with
+      Util.Retry.max_attempts = retries + 1;
+      overall_budget_s = Some timeout_s }
   in
-  match target with
-  | Unix_path path -> (
-      let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-      try
-        Unix.connect fd (Unix.ADDR_UNIX path);
-        fd
-      with Unix.Unix_error (_, _, _) ->
-        (try Unix.close fd with Unix.Unix_error _ -> ());
-        fail_connect path)
-  | Tcp (host, port) -> (
-      let name = Printf.sprintf "%s:%d" host port in
-      let inet =
-        try Unix.inet_addr_of_string host
-        with Failure _ -> (
-          match Unix.gethostbyname host with
-          | { Unix.h_addr_list = [||]; _ } | (exception Not_found) -> fail_connect name
-          | { Unix.h_addr_list; _ } -> h_addr_list.(0))
-      in
-      let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
-      try
-        Unix.connect fd (Unix.ADDR_INET (inet, port));
-        fd
-      with Unix.Unix_error (_, _, _) ->
-        (try Unix.close fd with Unix.Unix_error _ -> ());
-        fail_connect name)
+  let client = Service.Client.create ~policy target in
+  Fun.protect ~finally:(fun () -> Service.Client.close client) (fun () -> f client)
 
-let await_reply fd ~timeout_s =
-  match Unix.select [ fd ] [] [] timeout_s with
-  | [], _, _ ->
-      Diagnostics.fail Diagnostics.Budget_expired "no reply within %gs" timeout_s
-  | _ -> (
-      match Service.Protocol.read_frame fd with
-      | Some payload -> payload
-      | None -> Diagnostics.fail Diagnostics.Io_error "server closed the connection")
+let report_error (e : Service.Protocol.error) =
+  Printf.eprintf "adi-client: %s [%s]\n" e.Service.Protocol.message e.Service.Protocol.code;
+  exit (if e.Service.Protocol.code = budget_code then 4 else 2)
 
-let exchange target ~timeout_s payload =
-  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-  let fd = connect target in
-  Fun.protect
-    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
-    (fun () ->
-      Service.Protocol.write_frame fd payload;
-      await_reply fd ~timeout_s)
+let print_payload = function
+  | Ok result -> print_endline (Json.to_string result)
+  | Error e -> report_error e
 
-let print_response raw =
-  match Result.bind (Json.of_string raw) Service.Protocol.response_of_json with
-  | Error msg -> Diagnostics.fail Diagnostics.Protocol "unreadable reply: %s" msg
-  | Ok { Service.Protocol.payload = Ok result; _ } -> print_endline (Json.to_string result)
-  | Ok { Service.Protocol.payload = Error e; _ } ->
-      Printf.eprintf "adi-client: %s [%s]\n" e.Service.Protocol.message e.Service.Protocol.code;
-      exit 2
-
-let request target ~timeout_s op params =
-  let req = { Service.Protocol.id = 1; op; params } in
-  let raw =
-    exchange target ~timeout_s (Json.to_string (Service.Protocol.request_to_json req))
-  in
-  print_response raw
+let request target ~timeout_s ~retries op params =
+  with_client target ~timeout_s ~retries (fun client ->
+      print_payload (Service.Client.request client op params))
 
 (* --- arguments ---------------------------------------------------- *)
 
@@ -110,14 +72,14 @@ let target_term =
   in
   let combine socket tcp =
     match (socket, tcp) with
-    | Some path, None -> `Ok (Unix_path path)
+    | Some path, None -> `Ok (Service.Server.Unix_socket path)
     | None, Some spec -> (
         match String.rindex_opt spec ':' with
         | Some i -> (
             let host = String.sub spec 0 i in
             let port = String.sub spec (i + 1) (String.length spec - i - 1) in
             match int_of_string_opt port with
-            | Some port when port > 0 && port < 65536 -> `Ok (Tcp (host, port))
+            | Some port when port > 0 && port < 65536 -> `Ok (Service.Server.Tcp (host, port))
             | _ -> `Error (false, "--tcp expects HOST:PORT with a valid port"))
         | None -> `Error (false, "--tcp expects HOST:PORT"))
     | Some _, Some _ -> `Error (false, "pass either --socket or --tcp, not both")
@@ -128,7 +90,16 @@ let target_term =
 let timeout_arg =
   Arg.(
     value & opt float 60.0
-    & info [ "timeout" ] ~docv:"S" ~doc:"Give up waiting for a reply after $(docv) seconds.")
+    & info [ "timeout" ] ~docv:"S"
+        ~doc:"Overall deadline in seconds across all attempts; expiry exits with code 4.")
+
+let retries_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Retry a transiently failed request up to $(docv) extra times with jittered \
+           exponential backoff.  Pass 0 to fail on the first error.")
 
 let circuit_arg =
   let doc =
@@ -150,9 +121,10 @@ let circuit_params spec =
   end
   else [ ("circuit", Json.Str spec) ]
 
-let opt_param name conv arg_conv doc docv =
+let opt_param ?param name conv arg_conv doc docv =
+  let param = Option.value param ~default:name in
   let term = Arg.(value & opt (some arg_conv) None & info [ name ] ~docv ~doc) in
-  let pair x = (name, conv x) in
+  let pair x = (param, conv x) in
   Term.(const (Option.map pair) $ term)
 
 let config_params_term =
@@ -170,18 +142,20 @@ let config_params_term =
     $ int_p "jobs" "Fault-simulation domains for this request." "JOBS"
     $ str_p "order" "Fault order: orig, incr0, decr, 0decr, dynm, 0dynm." "ORDER"
     $ int_p "backtracks" "PODEM backtrack limit." "B"
-    $ int_p "retries" "Abort-retry escalation passes." "R"
+    $ opt_param ~param:"retries" "abort-retries" (fun i -> Json.Int i) Arg.int
+        "Abort-retry escalation passes (the $(b,retries) request parameter)." "R"
     $ float_p "budget_s" "Per-request wall-clock budget in seconds." "S")
 
 let circuit_cmd name ~doc ~extra_params =
-  let run target timeout spec params extra =
+  let run target timeout retries spec params extra =
     guard @@ fun () ->
-    request target ~timeout_s:timeout name (circuit_params spec @ params @ extra)
+    request target ~timeout_s:timeout ~retries name (circuit_params spec @ params @ extra)
   in
   Cmd.v
     (Cmd.info name ~doc)
     Term.(
-      const run $ target_term $ timeout_arg $ circuit_arg $ config_params_term $ extra_params)
+      const run $ target_term $ timeout_arg $ retries_arg $ circuit_arg $ config_params_term
+      $ extra_params)
 
 let limit_term =
   let term =
@@ -201,10 +175,19 @@ let order_cmd = circuit_cmd "order" ~doc:"Compute a fault ordering" ~extra_param
 let atpg_cmd = circuit_cmd "atpg" ~doc:"Generate a test set" ~extra_params:no_extra
 
 let plain_cmd name ~doc ~params_term =
-  let run target timeout params = guard @@ fun () -> request target ~timeout_s:timeout name params in
-  Cmd.v (Cmd.info name ~doc) Term.(const run $ target_term $ timeout_arg $ params_term)
+  let run target timeout retries params =
+    guard @@ fun () -> request target ~timeout_s:timeout ~retries name params
+  in
+  Cmd.v
+    (Cmd.info name ~doc)
+    Term.(const run $ target_term $ timeout_arg $ retries_arg $ params_term)
 
 let stats_cmd = plain_cmd "stats" ~doc:"Server statistics (version, cache hit/miss counters)" ~params_term:(Term.const [])
+
+let health_cmd =
+  plain_cmd "health"
+    ~doc:"Liveness probe: version, uptime, in-flight, shed and restart counters"
+    ~params_term:(Term.const [])
 
 let evict_params =
   let term =
@@ -223,12 +206,17 @@ let raw_cmd =
   let payload_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"JSON" ~doc:"Raw request payload.")
   in
-  let run target timeout payload =
-    guard @@ fun () -> print_response (exchange target ~timeout_s:timeout payload)
+  let run target timeout retries payload =
+    guard @@ fun () ->
+    with_client target ~timeout_s:timeout ~retries (fun client ->
+        let reply = Service.Client.raw client payload in
+        match Result.bind (Json.of_string reply) Service.Protocol.response_of_json with
+        | Error msg -> Diagnostics.fail Diagnostics.Protocol "unreadable reply: %s" msg
+        | Ok { Service.Protocol.payload; _ } -> print_payload payload)
   in
   Cmd.v
     (Cmd.info "raw" ~doc:"Send an arbitrary payload (protocol debugging)")
-    Term.(const run $ target_term $ timeout_arg $ payload_arg)
+    Term.(const run $ target_term $ timeout_arg $ retries_arg $ payload_arg)
 
 let cmd =
   let info =
@@ -236,6 +224,13 @@ let cmd =
       ~doc:"Client for the resident ADI/ATPG service (adi-server)"
   in
   Cmd.group info
-    [ load_cmd; adi_cmd; order_cmd; atpg_cmd; stats_cmd; evict_cmd; shutdown_cmd; raw_cmd ]
+    [ load_cmd; adi_cmd; order_cmd; atpg_cmd; stats_cmd; health_cmd; evict_cmd; shutdown_cmd;
+      raw_cmd ]
 
-let () = exit (Cmd.eval cmd)
+let () =
+  (try Util.Failpoint.install_from_env ()
+   with Util.Diagnostics.Failed d ->
+     Printf.eprintf "adi-client: %s [%s]\n" d.Util.Diagnostics.message
+       (Util.Diagnostics.code_string d.Util.Diagnostics.code);
+     exit 1);
+  exit (Cmd.eval cmd)

@@ -81,6 +81,21 @@ let request_budget_arg =
     & info [ "request-budget" ] ~docv:"S"
         ~doc:"Default per-request wall-clock budget in seconds (requests may override).")
 
+let max_inflight_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-inflight" ] ~docv:"N"
+        ~doc:
+          "Admit at most $(docv) requests into handlers at once; the rest wait briefly and \
+           are then shed with a typed E-overload reply (default: the worker count).")
+
+let queue_wait_arg =
+  Arg.(
+    value & opt float 0.1
+    & info [ "queue-wait" ] ~docv:"S"
+        ~doc:"How long a request may wait for an in-flight slot before being shed.")
+
 let metrics_arg =
   Arg.(
     value & flag
@@ -93,8 +108,10 @@ let trace_arg =
     & info [ "trace" ] ~docv:"FILE"
         ~doc:"Stream request spans and cache counters to $(docv) as JSON lines.")
 
-let run address capacity workers backlog jobs spill request_budget metrics trace =
+let run address capacity workers backlog jobs spill request_budget max_inflight queue_wait
+    metrics trace =
   guard @@ fun () ->
+  Util.Failpoint.install_from_env ();
   let cfg =
     Run_config.(default |> with_metrics metrics |> with_trace trace)
   in
@@ -112,7 +129,10 @@ let run address capacity workers backlog jobs spill request_budget metrics trace
       Service.Session.create ~capacity ?spill_dir:spill ~jobs
         ?request_budget_s:request_budget ~tracer ()
     in
-    let server = Service.Server.create ~workers ~backlog session address in
+    let server =
+      Service.Server.create ~workers ~backlog ?max_inflight ~queue_wait_s:queue_wait session
+        address
+    in
     Service.Server.serve server ~on_ready:(fun () ->
         Printf.printf "adi-server: v%s listening on %s (%d workers, capacity %d)\n"
           Util.Version.version
@@ -134,6 +154,7 @@ let cmd =
   Cmd.v info
     Term.(
       const run $ address_term $ capacity_arg $ workers_arg $ backlog_arg $ jobs_arg
-      $ spill_arg $ request_budget_arg $ metrics_arg $ trace_arg)
+      $ spill_arg $ request_budget_arg $ max_inflight_arg $ queue_wait_arg $ metrics_arg
+      $ trace_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -401,4 +401,12 @@ let main_cmd =
     [ stats_cmd; faults_cmd; sim_cmd; adi_cmd; order_cmd; atpg_cmd; gen_cmd; convert_cmd;
       coverage_cmd; scan_insert_cmd; experiment_cmd ]
 
-let () = exit (Cmd.eval main_cmd)
+let () =
+  (* Arm chaos failpoints before any subcommand runs, so the offline
+     CLI is injectable the same way the service binaries are; a
+     malformed spec must fail loudly, not fake a clean run. *)
+  (try Util.Failpoint.install_from_env ()
+   with Util.Diagnostics.Failed d ->
+     Printf.eprintf "adi-atpg: %s\n" (Util.Diagnostics.to_string d);
+     exit 2);
+  exit (Cmd.eval main_cmd)

@@ -13,6 +13,7 @@ type t = {
   checkpoint : string option;
   checkpoint_every : int;
   resume : bool;
+  resume_strict : bool;
   metrics : bool;
   trace : string option;
 }
@@ -33,6 +34,7 @@ let default =
     checkpoint = None;
     checkpoint_every = 32;
     resume = false;
+    resume_strict = false;
     metrics = false;
     trace = None;
   }
@@ -91,6 +93,7 @@ let with_checkpoint_every checkpoint_every t =
   { t with checkpoint_every }
 
 let with_resume resume t = { t with resume }
+let with_resume_strict resume_strict t = { t with resume_strict }
 let with_metrics metrics t = { t with metrics }
 let with_trace trace t = { t with trace }
 
@@ -107,7 +110,9 @@ let validate t =
     |> with_per_fault_budget t.per_fault_budget_s
     |> with_checkpoint_every t.checkpoint_every);
   if t.resume && t.checkpoint = None then
-    bad "--resume requires --checkpoint FILE"
+    bad "--resume requires --checkpoint FILE";
+  if t.resume_strict && not t.resume then
+    bad "--resume-strict requires --resume"
 
 let observed t = t.metrics || t.trace <> None
 

@@ -31,6 +31,9 @@ type t = {
   checkpoint : string option;  (** checkpoint file path *)
   checkpoint_every : int;  (** faults between periodic checkpoints *)
   resume : bool;  (** continue from [checkpoint] if it exists *)
+  resume_strict : bool;
+      (** refuse to start over an unreadable checkpoint instead of the
+          default warn-and-start-fresh *)
   metrics : bool;  (** collect and print end-of-run metrics *)
   trace : string option;  (** JSONL event-log path *)
 }
@@ -67,6 +70,7 @@ val with_per_fault_budget : float option -> t -> t
 val with_checkpoint : string option -> t -> t
 val with_checkpoint_every : int -> t -> t
 val with_resume : bool -> t -> t
+val with_resume_strict : bool -> t -> t
 val with_metrics : bool -> t -> t
 val with_trace : string option -> t -> t
 

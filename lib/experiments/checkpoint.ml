@@ -1,7 +1,11 @@
 module Diagnostics = Util.Diagnostics
 
 let magic = "ADI-ATPG-CKPT"
-let version = 2
+
+(* v3: a digest line over the marshalled snapshot.  Marshal offers no
+   integrity of its own and unmarshalling corrupted bytes is unsafe, so
+   the payload is verified before a single byte is deserialised. *)
+let version = 3
 
 type t = {
   circuit_title : string;
@@ -21,9 +25,12 @@ let digest_of_circuit c = Digest.to_hex (Digest.string (Bench_format.to_string c
    (and the directory after), so a crash mid-save can never leave a
    truncated checkpoint under the final name — at worst a stale .tmp. *)
 let save path t =
+  let payload = Marshal.to_string t [] in
   Util.Atomic_file.write path (fun oc ->
       Printf.fprintf oc "%s v%d\n" magic version;
-      Marshal.to_channel oc t [])
+      Util.Failpoint.check "checkpoint.save";
+      Printf.fprintf oc "%s\n" (Digest.to_hex (Digest.string payload));
+      output_string oc payload)
 
 let load path =
   let fail code fmt = Diagnostics.fail ~loc:{ file = Some path; line = 0 } code fmt in
@@ -34,18 +41,28 @@ let load path =
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () ->
-      let header = try input_line ic with End_of_file -> "" in
-      (match String.split_on_char ' ' header with
-      | [ m; v ] when m = magic ->
-          if v <> Printf.sprintf "v%d" version then
+      try
+        let header = try input_line ic with End_of_file -> "" in
+        (match String.split_on_char ' ' header with
+        | [ m; v ] when m = magic ->
+            if v <> Printf.sprintf "v%d" version then
+              fail Diagnostics.Checkpoint_format
+                "unsupported checkpoint version %s (this build reads v%d)" v version
+        | _ ->
             fail Diagnostics.Checkpoint_format
-              "unsupported checkpoint version %s (this build reads v%d)" v version
-      | _ ->
+              "not an %s checkpoint (bad header %S)" magic header);
+        let digest = try input_line ic with End_of_file -> "" in
+        let len = in_channel_length ic - pos_in ic in
+        let payload = if len <= 0 then "" else really_input_string ic len in
+        if digest <> Digest.to_hex (Digest.string payload) then
           fail Diagnostics.Checkpoint_format
-            "not an %s checkpoint (bad header %S)" magic header);
-      try (Marshal.from_channel ic : t)
-      with Failure _ | End_of_file ->
-        fail Diagnostics.Checkpoint_format "truncated or corrupt checkpoint payload")
+            "corrupt checkpoint payload (digest mismatch)";
+        (Marshal.from_string payload 0 : t)
+      with
+      | Failure _ | End_of_file ->
+          fail Diagnostics.Checkpoint_format "truncated or corrupt checkpoint payload"
+      | Sys_error msg ->
+          fail Diagnostics.Checkpoint_format "unreadable checkpoint (%s)" msg)
 
 let matches ck ~circuit ~seed ~order_kind ~generator ~backtrack_limit ~retries ~order =
   let mismatch what = Error (Printf.sprintf "checkpoint was taken with a different %s" what) in

@@ -149,17 +149,36 @@ let run_atpg_with ?should_stop ~econfig (cfg : Run_config.t) circuit =
       | false, _ | true, None -> None
       | true, Some path when not (Sys.file_exists path) -> None
       | true, Some path -> (
-          let ck = Checkpoint.load path in
-          match
-            Checkpoint.matches ck ~circuit:setup.Pipeline.circuit ~seed ~order_kind
-              ~generator ~backtrack_limit:econfig.Engine.backtrack_limit
-              ~retries:econfig.Engine.retries ~order:order_arr
-          with
-          | Ok () -> Some ck.Checkpoint.snapshot
-          | Error reason ->
-              Util.Diagnostics.fail
-                ~loc:{ file = Some path; line = 0 }
-                Util.Diagnostics.Checkpoint_mismatch "%s" reason)
+          (* An unreadable checkpoint defaults to warn-and-start-fresh:
+             for long unattended runs a stale .tmp or torn file should
+             cost the lost progress, not the whole run.  A checkpoint
+             that reads fine but belongs to a different run is a hard
+             error either way — silently recomputing a different
+             experiment would be worse than stopping. *)
+          match Checkpoint.load path with
+          | exception Util.Diagnostics.Failed d
+            when d.Util.Diagnostics.code = Util.Diagnostics.Checkpoint_format
+                 && not cfg.Run_config.resume_strict ->
+              Printf.eprintf "%s\n%!"
+                (Util.Diagnostics.to_string
+                   (Util.Diagnostics.warning
+                      ~loc:{ file = Some path; line = 0 }
+                      Util.Diagnostics.Checkpoint_format
+                      "ignoring unreadable checkpoint (%s); starting fresh"
+                      d.Util.Diagnostics.message));
+              Util.Trace.instant tr "checkpoint.ignored_corrupt";
+              None
+          | ck -> (
+              match
+                Checkpoint.matches ck ~circuit:setup.Pipeline.circuit ~seed ~order_kind
+                  ~generator ~backtrack_limit:econfig.Engine.backtrack_limit
+                  ~retries:econfig.Engine.retries ~order:order_arr
+              with
+              | Ok () -> Some ck.Checkpoint.snapshot
+              | Error reason ->
+                  Util.Diagnostics.fail
+                    ~loc:{ file = Some path; line = 0 }
+                    Util.Diagnostics.Checkpoint_mismatch "%s" reason))
     in
     let mk_checkpoint snapshot =
       {

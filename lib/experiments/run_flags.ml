@@ -125,6 +125,14 @@ let engine_specs =
       doc = "Continue from the --checkpoint file if it exists; fresh run otherwise.";
       kind = Flag Run_config.with_resume;
     };
+    {
+      names = [ "resume-strict" ];
+      docv = "";
+      doc =
+        "With --resume: fail with E-checkpoint-format on a truncated or corrupt \
+         checkpoint instead of warning and starting fresh.";
+      kind = Flag Run_config.with_resume_strict;
+    };
   ]
 
 let atpg_specs = pipeline_specs @ engine_specs @ observability_specs

@@ -1,0 +1,154 @@
+module Json = Util.Json
+module Diagnostics = Util.Diagnostics
+module Budget = Util.Budget
+module Retry = Util.Retry
+module Rng = Util.Rng
+module Trace = Util.Trace
+module Metrics = Util.Metrics
+
+type t = {
+  address : Server.address;
+  policy : Retry.policy;
+  clock : Budget.clock;
+  sleep : float -> unit;
+  rng : Rng.t;
+  tracer : Trace.t;
+  mutable fd : Unix.file_descr option;
+  mutable retries : int;
+  mutable next_id : int;
+}
+
+let default_policy = Retry.default
+
+let create ?(policy = default_policy) ?(clock = Budget.default_clock)
+    ?(sleep = Unix.sleepf) ?(seed = 1) ?(tracer = Trace.null) address =
+  (* A peer vanishing mid-write must surface as EPIPE, not kill us. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  { address; policy; clock; sleep; rng = Rng.create seed; tracer; fd = None;
+    retries = 0; next_id = 1 }
+
+let retries t = t.retries
+
+let close t =
+  Option.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) t.fd;
+  t.fd <- None
+
+(* Normalised connect-failure message (no errno text), so failure
+   modes are deterministic across platforms — pinned by the cram
+   suite. *)
+let connect_fd address =
+  let fail_connect name = Diagnostics.fail Diagnostics.Io_error "cannot connect to %s" name in
+  match address with
+  | Server.Unix_socket path -> (
+      let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      try
+        Unix.connect fd (Unix.ADDR_UNIX path);
+        fd
+      with Unix.Unix_error (_, _, _) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        fail_connect path)
+  | Server.Tcp (host, port) -> (
+      let name = Printf.sprintf "%s:%d" host port in
+      let inet =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (
+          match Unix.gethostbyname host with
+          | { Unix.h_addr_list = [||]; _ } | (exception Not_found) -> fail_connect name
+          | { Unix.h_addr_list; _ } -> h_addr_list.(0))
+      in
+      let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+      try
+        Unix.connect fd (Unix.ADDR_INET (inet, port));
+        fd
+      with Unix.Unix_error (_, _, _) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        fail_connect name)
+
+let ensure_connected t =
+  match t.fd with
+  | Some fd -> fd
+  | None ->
+      let fd = connect_fd t.address in
+      t.fd <- Some fd;
+      fd
+
+let await_reply fd ~budget =
+  let rec wait () =
+    let timeout_s =
+      if Budget.is_unlimited budget then -1.0
+      else Float.max 0.0 (Budget.remaining_s budget)
+    in
+    match Unix.select [ fd ] [] [] timeout_s with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+    | [], _, _ ->
+        Diagnostics.fail Diagnostics.Budget_expired "no reply before the request deadline"
+    | _ -> (
+        match Protocol.read_frame fd with
+        | Some payload -> payload
+        | None -> Diagnostics.fail Diagnostics.Io_error "server closed the connection")
+  in
+  wait ()
+
+(* What is worth a reconnect-and-resend: transport failures, broken
+   or corrupt framing, a timed-out attempt, and overload sheds.  A
+   typed application error (bad flag, budget reply, …) is a real
+   answer and is returned, not retried. *)
+let transient = function
+  | Diagnostics.Failed d -> (
+      match d.Diagnostics.code with
+      | Diagnostics.Io_error | Diagnostics.Protocol | Diagnostics.Budget_expired
+      | Diagnostics.Overload ->
+          true
+      | _ -> false)
+  | Unix.Unix_error _ | Sys_error _ | End_of_file -> true
+  | _ -> false
+
+let note_retry t ~attempt:_ ~delay_s:_ _exn =
+  t.retries <- t.retries + 1;
+  if Trace.enabled t.tracer then Metrics.incr (Trace.counter t.tracer "client.retries")
+
+let policy_for t timeout_s =
+  match timeout_s with
+  | None -> t.policy
+  | Some s -> { t.policy with Retry.overall_budget_s = Some s }
+
+let with_retry t ?timeout_s f =
+  Retry.run ~clock:t.clock ~sleep:t.sleep ~rng:t.rng ~on_retry:(note_retry t)
+    (policy_for t timeout_s) ~retryable:transient f
+
+(* One attempt: send, await.  Any failure leaves the stream in an
+   unknown state (a stale reply could otherwise answer the next
+   request), so the connection is dropped before the retry. *)
+let attempt_exchange t payload ~budget =
+  let fd = ensure_connected t in
+  try
+    Protocol.write_frame fd payload;
+    await_reply fd ~budget
+  with e ->
+    close t;
+    raise e
+
+let raw t ?timeout_s payload =
+  with_retry t ?timeout_s (fun ~attempt:_ ~budget -> attempt_exchange t payload ~budget)
+
+let request t ?timeout_s op params =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let payload = Json.to_string (Protocol.request_to_json { Protocol.id; op; params }) in
+  with_retry t ?timeout_s (fun ~attempt:_ ~budget ->
+      let reply = attempt_exchange t payload ~budget in
+      match Result.bind (Json.of_string reply) Protocol.response_of_json with
+      | Error msg ->
+          close t;
+          Diagnostics.fail Diagnostics.Protocol "unreadable reply: %s" msg
+      | Ok resp ->
+          if resp.Protocol.id <> id then begin
+            close t;
+            Diagnostics.fail Diagnostics.Protocol "reply id %d does not match request id %d"
+              resp.Protocol.id id
+          end;
+          (match resp.Protocol.payload with
+          | Error e when e.Protocol.code = Diagnostics.code_string Diagnostics.Overload ->
+              (* Shed by admission control: back off and try again. *)
+              Diagnostics.fail Diagnostics.Overload "%s" e.Protocol.message
+          | payload -> payload))

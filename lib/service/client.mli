@@ -1,0 +1,59 @@
+(** Resilient client library for the ADI service.
+
+    A client owns one (lazily established) connection to a server and
+    a {!Util.Retry} policy.  {!request} rides through the transient
+    failures a fleet guarantees — refused connections, torn or corrupt
+    frames (the framing digest turns those into typed [E-protocol]
+    failures), reply timeouts, and [E-overload] shedding replies —
+    by disconnecting, backing off with full jitter, reconnecting and
+    resending.  Anything non-transient propagates immediately.
+
+    Retrying is safe because requests are idempotent by construction:
+    the server's artifact cache is content-addressed on the request
+    parameters, so a resent [atpg]/[order]/[load] hits the warm cache
+    and returns the byte-identical reply the lost one carried.
+
+    Each retry bumps the [client.retries] counter on the client's
+    tracer (and the {!retries} accessor), so soaks and benches can
+    report how much chaos was actually absorbed. *)
+
+type t
+
+val default_policy : Util.Retry.policy
+(** {!Util.Retry.default}: 3 attempts, 50 ms base backoff doubling to
+    a 2 s cap, full jitter, no deadlines. *)
+
+val create :
+  ?policy:Util.Retry.policy ->
+  ?clock:Util.Budget.clock ->
+  ?sleep:(float -> unit) ->
+  ?seed:int ->
+  ?tracer:Util.Trace.t ->
+  Server.address ->
+  t
+(** No connection is made yet — the first {!request} connects.
+    [seed] (default 1) drives the backoff jitter; [tracer] defaults to
+    {!Util.Trace.null} (clients often live on non-leader domains). *)
+
+val close : t -> unit
+(** Drop the connection, if any.  The client may be reused — the next
+    request reconnects. *)
+
+val retries : t -> int
+(** Total retries performed over the client's lifetime. *)
+
+val request :
+  t -> ?timeout_s:float -> string -> (string * Util.Json.t) list ->
+  (Util.Json.t, Protocol.error) result
+(** [request t op params] sends one request and returns the server's
+    reply payload: [Ok result] or a typed error reply (other than
+    overload, which is retried).  [timeout_s] overrides the policy's
+    overall deadline for this request.
+    @raise Util.Diagnostics.Failed when retries are exhausted: the
+    last transport failure ([Io_error]/[Protocol]), [Budget_expired]
+    on deadline expiry, or [Overload] if the server shed every
+    attempt. *)
+
+val raw : t -> ?timeout_s:float -> string -> string
+(** One raw payload exchange under the same transport-level retry (no
+    reply parsing, no overload backoff) — protocol debugging. *)

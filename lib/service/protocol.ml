@@ -5,7 +5,7 @@ type request = { id : int; op : string; params : (string * Json.t) list }
 type error = { code : string; message : string }
 type response = { id : int; payload : (Json.t, error) result }
 
-let ops = [ "load"; "adi"; "order"; "atpg"; "stats"; "evict"; "shutdown" ]
+let ops = [ "load"; "adi"; "order"; "atpg"; "stats"; "health"; "evict"; "shutdown" ]
 
 let request_to_json (r : request) =
   Json.Obj (("id", Json.Int r.id) :: ("op", Json.Str r.op) :: r.params)
@@ -79,12 +79,26 @@ let write_all fd bytes =
         Diagnostics.fail Diagnostics.Io_error "connection closed by peer"
   done
 
+(* Frame layout: 4-byte big-endian payload length, 16-byte MD5 digest
+   of the payload, payload.  The digest turns in-flight corruption into
+   a typed E-protocol failure instead of a silently wrong reply. *)
+let header_bytes = 20
+
 let write_frame fd payload =
+  Util.Failpoint.check "protocol.write";
   let n = String.length payload in
   if n > max_frame_bytes then fail_protocol "frame of %d bytes exceeds the %d-byte limit" n max_frame_bytes;
-  let frame = Bytes.create (4 + n) in
+  let frame = Bytes.create (header_bytes + n) in
   Bytes.set_int32_be frame 0 (Int32.of_int n);
-  Bytes.blit_string payload 0 frame 4 n;
+  Bytes.blit_string (Digest.string payload) 0 frame 4 16;
+  Bytes.blit_string payload 0 frame header_bytes n;
+  (* Chaos: flip a wire byte past the length word (digest or payload —
+     the reader must detect either), or tear the frame mid-write. *)
+  Util.Failpoint.corrupt_bytes "protocol.write" ~off:4 frame;
+  if Util.Failpoint.fires "protocol.torn" then begin
+    write_all fd (Bytes.sub frame 0 ((header_bytes + n) / 2));
+    Diagnostics.fail Diagnostics.Io_error "injected torn write at failpoint protocol.torn"
+  end;
   write_all fd frame
 
 (* Read exactly [n] bytes; [`Eof] only when the stream ends before the
@@ -105,14 +119,21 @@ let read_exactly fd n ~header =
   else fail_protocol "truncated frame (got %d of %d bytes)" !got n
 
 let read_frame fd =
-  match read_exactly fd 4 ~header:true with
+  Util.Failpoint.check "protocol.read";
+  match read_exactly fd header_bytes ~header:true with
   | `Eof -> None
   | `Bytes hdr ->
       let n = Int32.to_int (Bytes.get_int32_be hdr 0) in
       if n < 0 || n > max_frame_bytes then
         fail_protocol "frame length %d outside [0, %d]" n max_frame_bytes;
-      if n = 0 then Some ""
-      else (
-        match read_exactly fd n ~header:false with
-        | `Eof -> assert false
-        | `Bytes payload -> Some (Bytes.unsafe_to_string payload))
+      let digest = Bytes.sub_string hdr 4 16 in
+      let payload =
+        if n = 0 then ""
+        else
+          match read_exactly fd n ~header:false with
+          | `Eof -> assert false
+          | `Bytes payload -> Bytes.unsafe_to_string payload
+      in
+      if not (String.equal (Digest.string payload) digest) then
+        fail_protocol "frame digest mismatch (corrupt frame)";
+      Some payload

@@ -2,18 +2,27 @@
 
     {2 Framing}
 
-    Each message is one frame: a 4-byte big-endian payload length
-    followed by that many bytes of UTF-8 JSON (one value per frame, no
-    trailing newline).  Length-prefixing keeps the stream self-
-    delimiting regardless of payload content and lets the reader
-    allocate exactly once; frames above {!max_frame_bytes} are rejected
-    before allocation so a rogue peer cannot balloon the process.
+    Each message is one frame: a 4-byte big-endian payload length, a
+    16-byte MD5 digest of the payload, then that many bytes of UTF-8
+    JSON (one value per frame, no trailing newline).  Length-prefixing
+    keeps the stream self-delimiting regardless of payload content and
+    lets the reader allocate exactly once; frames above
+    {!max_frame_bytes} are rejected before allocation so a rogue peer
+    cannot balloon the process.  The digest catches in-flight
+    corruption: a flipped byte surfaces as a typed [E-protocol]
+    failure a resilient client retries, never as a silently wrong
+    reply.
+
+    Failpoint sites [protocol.write] (fault/corrupt an outgoing
+    frame), [protocol.torn] (short write then drop) and
+    [protocol.read] let the chaos suite exercise exactly those
+    failures (see {!Util.Failpoint}).
 
     {2 Requests}
 
     [{"id": <int>, "op": <string>, ...params}] — every field other than
     [id]/[op] is an op-specific parameter.  Ops: [load], [adi],
-    [order], [atpg], [stats], [evict], [shutdown] (see
+    [order], [atpg], [stats], [health], [evict], [shutdown] (see
     [docs/service.md] for the parameter and reply schemas).
 
     {2 Responses}
@@ -57,6 +66,6 @@ val write_frame : Unix.file_descr -> string -> unit
     payload, [Io_error] if the peer closed the connection. *)
 
 val read_frame : Unix.file_descr -> string option
-(** Read one complete frame.  [None] on a clean EOF at a frame
-    boundary.  @raise Util.Diagnostics.Failed with code [Protocol] on a
-    truncated or oversized frame. *)
+(** Read one complete frame and verify its digest.  [None] on a clean
+    EOF at a frame boundary.  @raise Util.Diagnostics.Failed with code
+    [Protocol] on a truncated, oversized or corrupt frame. *)

@@ -1,5 +1,4 @@
 module Diagnostics = Util.Diagnostics
-module Parallel = Util.Parallel
 
 type address = Unix_socket of string | Tcp of string * int
 
@@ -13,18 +12,28 @@ type t = {
   workers : int;
   backlog : int;
   poll_interval_s : float;
+  max_inflight : int;
+  queue_wait_s : float;
   stop : bool Atomic.t;
   busy : int Atomic.t;  (* connections currently being served *)
+  inflight : int Atomic.t;  (* requests currently inside a handler *)
+  lane_restarts : int Atomic.t;  (* accept lanes revived after dying *)
 }
 
-let create ?(workers = 4) ?(backlog = 16) ?(poll_interval_s = 0.05) session address =
+let create ?(workers = 4) ?(backlog = 16) ?(poll_interval_s = 0.05) ?max_inflight
+    ?(queue_wait_s = 0.1) session address =
   if workers < 1 then invalid_arg "Server.create: workers must be at least 1";
   if backlog < 1 then invalid_arg "Server.create: backlog must be at least 1";
-  { session; address; workers; backlog; poll_interval_s; stop = Atomic.make false;
-    busy = Atomic.make 0 }
+  let max_inflight = Option.value max_inflight ~default:workers in
+  if max_inflight < 1 then invalid_arg "Server.create: max_inflight must be at least 1";
+  if queue_wait_s < 0.0 then invalid_arg "Server.create: queue_wait_s must be non-negative";
+  { session; address; workers; backlog; poll_interval_s; max_inflight; queue_wait_s;
+    stop = Atomic.make false; busy = Atomic.make 0; inflight = Atomic.make 0;
+    lane_restarts = Atomic.make 0 }
 
 let request_stop t = Atomic.set t.stop true
 let stopping t = Atomic.get t.stop
+let lane_restarts t = Atomic.get t.lane_restarts
 
 (* --- listening socket --------------------------------------------- *)
 
@@ -64,6 +73,35 @@ let bind_listener t =
        (address_to_string t.address) (Unix.error_message err));
   fd
 
+(* --- admission control -------------------------------------------- *)
+
+let try_acquire t =
+  let rec go () =
+    let n = Atomic.get t.inflight in
+    if n >= t.max_inflight then false
+    else if Atomic.compare_and_set t.inflight n (n + 1) then true
+    else go ()
+  in
+  go ()
+
+(* Wait up to the queue-wait deadline for an in-flight slot; a request
+   that cannot be admitted in time is shed, which keeps the queue
+   short and the latency of admitted requests bounded. *)
+let admit t =
+  try_acquire t
+  || begin
+       let deadline = Util.Budget.of_seconds t.queue_wait_s in
+       let rec wait () =
+         if try_acquire t then true
+         else if Util.Budget.expired deadline || Atomic.get t.stop then false
+         else begin
+           Unix.sleepf 0.002;
+           wait ()
+         end
+       in
+       wait ()
+     end
+
 (* --- per-connection serving --------------------------------------- *)
 
 (* One request-reply exchange at a time per connection.  Between
@@ -85,11 +123,23 @@ let serve_connection t conn =
               match Protocol.read_frame conn with
               | None -> ()
               | Some payload ->
-                  let reply, directive = Session.handle_frame t.session payload in
-                  Protocol.write_frame conn reply;
-                  (match directive with
-                  | `Shutdown -> Atomic.set t.stop true
-                  | `Continue -> exchange ()))
+                  if admit t then begin
+                    let reply, directive =
+                      Fun.protect
+                        ~finally:(fun () -> Atomic.decr t.inflight)
+                        (fun () ->
+                          Session.observe_inflight t.session (Atomic.get t.inflight);
+                          Session.handle_frame t.session payload)
+                    in
+                    Protocol.write_frame conn reply;
+                    match directive with
+                    | `Shutdown -> Atomic.set t.stop true
+                    | `Continue -> exchange ()
+                  end
+                  else begin
+                    Protocol.write_frame conn (Session.shed_frame t.session payload);
+                    exchange ()
+                  end)
       in
       (* A broken or misbehaving client kills its connection, never
          the worker lane. *)
@@ -104,6 +154,9 @@ let accept_loop t listener should_stop =
   let stop_now () = Atomic.get t.stop || should_stop () in
   let rec loop () =
     if not (stop_now ()) then begin
+      (* Chaos: kill this lane before it touches the listener, so an
+         injected death never leaks an accepted connection. *)
+      Util.Failpoint.check "server.accept";
       (match Unix.select [ listener ] [] [] t.poll_interval_s with
       | [], _, _ -> ()
       | _ -> (
@@ -116,7 +169,20 @@ let accept_loop t listener should_stop =
       loop ()
     end
   in
-  loop ()
+  (* Supervise the lane: a dying lane (injected fault, unexpected
+     exception from the accept path) is counted and restarted, so the
+     listener keeps its full complement of lanes, [serve] returns
+     normally on drain, and the socket file is always cleaned up. *)
+  let rec supervised () =
+    match loop () with
+    | () -> ()
+    | exception _ when not (stop_now ()) ->
+        Atomic.incr t.lane_restarts;
+        Session.note_lane_restart t.session;
+        supervised ()
+    | exception _ -> ()
+  in
+  supervised ()
 
 (* --- the blocking entry point ------------------------------------- *)
 
@@ -134,6 +200,11 @@ let with_signals t f =
     f
 
 let serve ?(should_stop = fun () -> false) ?(on_ready = fun () -> ()) t =
+  Session.set_runtime t.session (fun () ->
+      [ ("inflight", Util.Json.Int (Atomic.get t.inflight));
+        ("max_inflight", Util.Json.Int t.max_inflight);
+        ("workers", Util.Json.Int t.workers);
+        ("lane_restarts", Util.Json.Int (Atomic.get t.lane_restarts)) ]);
   let listener = bind_listener t in
   Fun.protect
     ~finally:(fun () ->
@@ -144,6 +215,11 @@ let serve ?(should_stop = fun () -> false) ?(on_ready = fun () -> ()) t =
     (fun () ->
       with_signals t (fun () ->
           on_ready ();
-          Parallel.with_pool ~jobs:t.workers (fun pool ->
-              Parallel.run pool
-                (Array.init t.workers (fun _ () -> accept_loop t listener should_stop)))))
+          (* Accept lanes are I/O-bound — parked in [select]/[read] —
+             so each gets a dedicated domain rather than a lane of a
+             compute pool: a pool caps its domains at the core count,
+             which on a small machine would collapse every lane onto
+             one domain and serialize all connections. *)
+          let lane () = accept_loop t listener should_stop in
+          let spawned = Array.init (t.workers - 1) (fun _ -> Domain.spawn lane) in
+          Fun.protect ~finally:(fun () -> Array.iter Domain.join spawned) lane))

@@ -8,6 +8,19 @@
     the accept queue — clients beyond both simply queue, they are never
     dropped by the server itself.
 
+    {2 Admission control}
+
+    Independently of connection concurrency, at most [max_inflight]
+    requests may be inside a handler at once.  A request that cannot
+    acquire a slot within [queue_wait_s] is {e shed}: the lane replies
+    immediately with a typed [E-overload] error (the resilient client
+    backs off and retries) instead of queueing unboundedly.  Sheds are
+    counted in the session's [service.shed] metric and the [health]
+    reply.  Accept lanes that die from an injected or unexpected
+    exception are counted and restarted ([service.lane_restarts]), so
+    a single failure never silently halves the server's capacity —
+    and {!serve} still drains cleanly and removes its socket file.
+
     {2 Shutdown and drain}
 
     The server stops when a [shutdown] request is served, when
@@ -27,17 +40,30 @@ val address_to_string : address -> string
 type t
 
 val create :
-  ?workers:int -> ?backlog:int -> ?poll_interval_s:float -> Session.t -> address -> t
+  ?workers:int ->
+  ?backlog:int ->
+  ?poll_interval_s:float ->
+  ?max_inflight:int ->
+  ?queue_wait_s:float ->
+  Session.t ->
+  address ->
+  t
 (** [workers] (default 4) accept-serve lanes; [backlog] (default 16)
     bounds the kernel accept queue; [poll_interval_s] (default 0.05)
     is the stop-flag poll cadence for idle lanes and idle connections.
-    @raise Invalid_argument on non-positive workers/backlog. *)
+    [max_inflight] (default [workers]) bounds concurrent in-handler
+    requests; [queue_wait_s] (default 0.1) is how long a request may
+    wait for a slot before being shed with [E-overload].
+    @raise Invalid_argument on out-of-range values. *)
 
 val request_stop : t -> unit
 (** Ask a running {!serve} to drain and return (thread-safe; also what
     the signal handlers call). *)
 
 val stopping : t -> bool
+
+val lane_restarts : t -> int
+(** Accept lanes revived after dying from an exception. *)
 
 val serve : ?should_stop:(unit -> bool) -> ?on_ready:(unit -> unit) -> t -> unit
 (** Bind, listen, call [on_ready] (the socket now accepts

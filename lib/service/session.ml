@@ -11,10 +11,15 @@ type t = {
   clock : Budget.clock;
   tracer : Trace.t;
   lock : Mutex.t;  (* guards the counters and every tracer touch *)
+  created_s : float;  (* clock reading at creation, for health uptime *)
   mutable n_requests : int;
   mutable n_errors : int;
+  mutable n_shed : int;  (* requests refused by admission control *)
   mutable spec_committed : int;  (* speculative ATPG totals across requests *)
   mutable spec_wasted : int;
+  mutable runtime : unit -> (string * Json.t) list;
+      (* extra health fields from the embedding server (in-flight
+         count, lane restarts, …) *)
 }
 
 let create ?(capacity = 8) ?spill_dir ?(jobs = 1) ?request_budget_s
@@ -22,7 +27,8 @@ let create ?(capacity = 8) ?spill_dir ?(jobs = 1) ?request_budget_s
   if jobs < 1 then invalid_arg "Session.create: jobs must be at least 1";
   let tracer = match tracer with Some tr -> tr | None -> Trace.current () in
   { store = Store.create ~capacity ?spill_dir (); jobs; request_budget_s; clock; tracer;
-    lock = Mutex.create (); n_requests = 0; n_errors = 0; spec_committed = 0; spec_wasted = 0 }
+    lock = Mutex.create (); created_s = clock (); n_requests = 0; n_errors = 0; n_shed = 0;
+    spec_committed = 0; spec_wasted = 0; runtime = (fun () -> []) }
 
 let store t = t.store
 
@@ -31,10 +37,20 @@ let locked t f =
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 let requests t = locked t (fun () -> t.n_requests)
+let shed_count t = locked t (fun () -> t.n_shed)
+
+let set_runtime t f = t.runtime <- f
 
 let observe_queue_depth t depth =
   locked t (fun () ->
       Metrics.observe (Trace.histogram t.tracer "service.queue_depth") (float_of_int depth))
+
+let observe_inflight t n =
+  locked t (fun () ->
+      Metrics.observe (Trace.histogram t.tracer "service.inflight") (float_of_int n))
+
+let note_lane_restart t =
+  locked t (fun () -> Metrics.incr (Trace.counter t.tracer "service.lane_restarts"))
 
 (* --- parameter decoding ------------------------------------------- *)
 
@@ -206,6 +222,19 @@ let handle_stats t =
       ("jobs", Json.Int t.jobs);
       ("spec_committed", Json.Int spec_committed); ("spec_wasted", Json.Int spec_wasted) ]
 
+let handle_health t =
+  let s = Store.stats t.store in
+  let requests, errors, shed =
+    locked t (fun () -> (t.n_requests, t.n_errors, t.n_shed))
+  in
+  Json.Obj
+    ([ ("version", Json.Str Util.Version.version);
+       ("uptime_s", Json.Float (t.clock () -. t.created_s));
+       ("requests", Json.Int requests); ("errors", Json.Int errors);
+       ("shed", Json.Int shed); ("entries", Json.Int s.Store.entries);
+       ("capacity", Json.Int s.Store.capacity); ("jobs", Json.Int t.jobs) ]
+    @ t.runtime ())
+
 let handle_evict t params =
   match str_param params "key" with
   | Some key -> Json.Obj [ ("evicted", Json.Bool (Store.evict t.store key)) ]
@@ -214,6 +243,9 @@ let handle_evict t params =
 (* --- dispatch ----------------------------------------------------- *)
 
 let dispatch t (req : Protocol.request) =
+  (* Chaos: a delay here models a slow handler; an error, a handler
+     blowing up — both must surface as ordinary typed replies. *)
+  Util.Failpoint.check "session.handle";
   let budget () = budget_of_params t req.Protocol.params in
   match req.Protocol.op with
   | "load" -> handle_load t req.Protocol.params (budget ())
@@ -221,6 +253,7 @@ let dispatch t (req : Protocol.request) =
   | "order" -> handle_order t req.Protocol.params (budget ())
   | "atpg" -> handle_atpg t req.Protocol.params (budget ())
   | "stats" -> handle_stats t
+  | "health" -> handle_health t
   | "evict" -> handle_evict t req.Protocol.params
   | "shutdown" -> Json.Obj [ ("stopping", Json.Bool true) ]
   | op -> fail_protocol "unknown op %S (expected one of: %s)" op (String.concat ", " Protocol.ops)
@@ -298,3 +331,24 @@ let handle_frame t payload =
     | _ -> `Continue
   in
   (Json.to_string (Protocol.response_to_json response), directive)
+
+(* Admission control refused this request: echo its id back (when the
+   payload parses far enough to carry one) under a typed E-overload
+   error, and count the shed.  Never runs the handler. *)
+let shed_frame t payload =
+  let id =
+    match Result.bind (Json.of_string payload) Protocol.request_of_json with
+    | Ok req -> req.Protocol.id
+    | Error _ -> 0
+  in
+  locked t (fun () ->
+      t.n_shed <- t.n_shed + 1;
+      if Trace.enabled t.tracer then Metrics.incr (Trace.counter t.tracer "service.shed"));
+  let response =
+    { Protocol.id;
+      payload =
+        Error
+          { Protocol.code = Diagnostics.code_string Diagnostics.Overload;
+            message = "server overloaded: too many requests in flight" } }
+  in
+  Json.to_string (Protocol.response_to_json response)

@@ -51,6 +51,9 @@ val store : t -> Store.t
 val requests : t -> int
 (** Requests handled so far (including failed ones). *)
 
+val shed_count : t -> int
+(** Requests refused by admission control so far. *)
+
 val handle : t -> Protocol.request -> Protocol.response
 (** Never raises; see the module doc for the op and error schemas. *)
 
@@ -60,6 +63,24 @@ val handle_frame : t -> string -> string * [ `Continue | `Shutdown ]
     with id 0.  The directive tells the server loop whether this
     request asked the service to stop. *)
 
+val shed_frame : t -> string -> string
+(** The admission-control refusal path: build an [E-overload] error
+    reply echoing the request's id (0 when unparseable), bump the shed
+    counter and the [service.shed] metric.  The handler never runs. *)
+
+val set_runtime : t -> (unit -> (string * Util.Json.t) list) -> unit
+(** Install extra [health]-reply fields (in-flight count, lane
+    restarts, …) supplied by the embedding server.  Call before
+    serving begins. *)
+
 val observe_queue_depth : t -> int -> unit
 (** Record an accept-time queue-depth sample into the
     [service.queue_depth] histogram (called by the server). *)
+
+val observe_inflight : t -> int -> unit
+(** Record an admission-time in-flight sample into the
+    [service.inflight] histogram (called by the server). *)
+
+val note_lane_restart : t -> unit
+(** Bump the [service.lane_restarts] counter — an accept lane died
+    and was restarted (called by the server). *)

@@ -5,7 +5,11 @@
    the store mutex, so worker lanes share one instance. *)
 
 let store_magic = "ADI-STORE"
-let store_version = 1
+
+(* v2: a digest line over the marshalled payload guards the unmarshal —
+   Marshal.from_channel on corrupted bytes is unsafe, so a spill file
+   is only deserialised once its contents are proven intact. *)
+let store_version = 2
 
 type stats = {
   entries : int;
@@ -69,12 +73,19 @@ let key_of circuit config = key ~digest:(digest_of_circuit circuit) ~config
 let spill_path dir k = Filename.concat dir (k ^ ".setup")
 
 let spill_write dir k (setup : Pipeline.setup) =
+  Util.Failpoint.check "store.spill";
+  let payload = Marshal.to_string setup [] in
+  let digest = Digest.to_hex (Digest.string payload) in
+  (* The failpoint corrupts the bytes after the digest was taken —
+     exactly what on-disk rot looks like to a reader. *)
+  let payload = Util.Failpoint.corrupt "store.spill" payload in
   Util.Atomic_file.write (spill_path dir k) (fun oc ->
-      Printf.fprintf oc "%s v%d\n" store_magic store_version;
-      Marshal.to_channel oc setup [])
+      Printf.fprintf oc "%s v%d\n%s\n" store_magic store_version digest;
+      output_string oc payload)
 
 (* A spill file that cannot be read back (truncated, wrong version,
-   foreign bytes) is just a cache miss — never an error. *)
+   foreign bytes, digest mismatch) is just a cache miss — never an
+   error. *)
 let spill_read dir k : Pipeline.setup option =
   let path = spill_path dir k in
   match open_in_bin path with
@@ -83,13 +94,19 @@ let spill_read dir k : Pipeline.setup option =
       Fun.protect
         ~finally:(fun () -> close_in_noerr ic)
         (fun () ->
-          match input_line ic with
-          | exception End_of_file -> None
-          | header ->
-              if header <> Printf.sprintf "%s v%d" store_magic store_version then None
+          try
+            let header = input_line ic in
+            if header <> Printf.sprintf "%s v%d" store_magic store_version then None
+            else begin
+              let digest = input_line ic in
+              let len = in_channel_length ic - pos_in ic in
+              if len < 0 then None
               else
-                (try Some (Marshal.from_channel ic : Pipeline.setup)
-                 with Failure _ | End_of_file -> None))
+                let payload = really_input_string ic len in
+                if digest <> Digest.to_hex (Digest.string payload) then None
+                else Some (Marshal.from_string payload 0 : Pipeline.setup)
+            end
+          with Failure _ | End_of_file | Sys_error _ -> None)
 
 let spill_remove dir k = try Sys.remove (spill_path dir k) with Sys_error _ -> ()
 
@@ -104,7 +121,13 @@ let admit t k setup =
       let keep, tail = (List.filteri (fun i _ -> i < t.cap) t.mru, List.nth t.mru t.cap) in
       t.mru <- keep;
       t.evictions <- t.evictions + 1;
-      Option.iter (fun dir -> spill_write dir (fst tail) (snd tail)) t.spill_dir
+      (* A failed spill is a lost cache entry, not a failed request:
+         the evicted setup can always be recomputed on the next miss. *)
+      Option.iter
+        (fun dir ->
+          try spill_write dir (fst tail) (snd tail)
+          with Util.Diagnostics.Failed _ | Sys_error _ | Unix.Unix_error _ -> ())
+        t.spill_dir
     end
   end
 

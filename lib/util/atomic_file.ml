@@ -13,17 +13,24 @@ let fsync_dir dir =
         ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
         (fun () -> fsync_fd fd)
 
+(* Failpoint sites bracket each durability step so chaos tests can
+   crash the process with the tmp file torn, complete-but-unsynced,
+   synced-but-unrenamed, or renamed-but-with-a-stale-directory — a
+   reader must see the old or the new contents in every case. *)
 let write path f =
   let tmp = path ^ ".tmp" in
   let oc = open_out_bin tmp in
   (try
      f oc;
      flush oc;
+     Failpoint.check "atomic.tmp_written";
      fsync_fd (Unix.descr_of_out_channel oc);
+     Failpoint.check "atomic.synced";
      close_out oc
    with e ->
      close_out_noerr oc;
      (try Sys.remove tmp with Sys_error _ -> ());
      raise e);
   Sys.rename tmp path;
+  Failpoint.check "atomic.renamed";
   fsync_dir (Filename.dirname path)

@@ -9,7 +9,12 @@
     complete new content, never a torn mix.
 
     Shared by the ATPG checkpoints ([Experiments.Checkpoint]) and the
-    service store's disk spill ([Service.Store]). *)
+    service store's disk spill ([Service.Store]).
+
+    Failpoint sites [atomic.tmp_written], [atomic.synced] and
+    [atomic.renamed] bracket the durability steps so the chaos suite
+    can crash the process at each window and prove the old-or-new
+    invariant (see {!Util.Failpoint}). *)
 
 val write : string -> (out_channel -> unit) -> unit
 (** [write path f] runs [f] on a binary channel for [path ^ ".tmp"],

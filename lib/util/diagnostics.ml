@@ -20,6 +20,7 @@ type code =
   | Invalid_flag
   | Budget_expired
   | Protocol
+  | Overload
 
 type location = { file : string option; line : int }
 
@@ -62,6 +63,7 @@ let code_string = function
   | Invalid_flag -> "E-flag"
   | Budget_expired -> "E-budget"
   | Protocol -> "E-protocol"
+  | Overload -> "E-overload"
 
 let severity_string = function
   | Error -> "error"

@@ -28,6 +28,7 @@ type code =
   | Invalid_flag  (** command-line or configuration value out of range *)
   | Budget_expired  (** a wall-clock deadline ran out before the work finished *)
   | Protocol  (** malformed service request/response or broken framing *)
+  | Overload  (** server shed the request — too much work in flight *)
 
 type location = { file : string option; line : int }
 (** [line = 0] means "no meaningful line" (whole-file problems). *)

@@ -1,0 +1,161 @@
+type action = Error | Delay of float | Crash | Corrupt
+
+type arm = { site : string; action : action; prob : float; mutable triggers : int }
+
+let crash_exit_code = 42
+
+(* All mutable state behind one mutex; [armed] is the lock-free fast
+   path read by every check when chaos is off. *)
+let lock = Mutex.create ()
+let arms : arm list ref = ref []
+let rng = ref (Rng.create 1)
+let armed = ref false
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let parse_duration s =
+  let num suffix =
+    let body = String.sub s 0 (String.length s - String.length suffix) in
+    float_of_string_opt body
+  in
+  let scaled =
+    if Filename.check_suffix s "ms" then
+      Option.map (fun v -> v /. 1000.0) (num "ms")
+    else if Filename.check_suffix s "s" then num "s"
+    else float_of_string_opt s
+  in
+  match scaled with
+  | Some v when v >= 0.0 -> Ok v
+  | _ -> Stdlib.Error (Printf.sprintf "bad delay duration %S" s)
+
+let parse_action s =
+  match s with
+  | "error" -> Ok Error
+  | "crash" -> Ok Crash
+  | "corrupt" -> Ok Corrupt
+  | _ when String.length s > 6 && String.sub s 0 6 = "delay=" ->
+      Result.map
+        (fun d -> Delay d)
+        (parse_duration (String.sub s 6 (String.length s - 6)))
+  | _ -> Stdlib.Error (Printf.sprintf "unknown failpoint action %S" s)
+
+let parse_entry entry =
+  match String.index_opt entry ':' with
+  | None -> Stdlib.Error (Printf.sprintf "failpoint entry %S: expected site:action" entry)
+  | Some i -> (
+      let site = String.sub entry 0 i in
+      let rest = String.sub entry (i + 1) (String.length entry - i - 1) in
+      let action_s, prob =
+        match String.index_opt rest '@' with
+        | None -> (rest, Ok 1.0)
+        | Some j ->
+            let p = String.sub rest (j + 1) (String.length rest - j - 1) in
+            ( String.sub rest 0 j,
+              match float_of_string_opt p with
+              | Some v when v > 0.0 && v <= 1.0 -> Ok v
+              | _ -> Stdlib.Error (Printf.sprintf "bad probability %S (want (0, 1])" p) )
+      in
+      if site = "" then Stdlib.Error (Printf.sprintf "failpoint entry %S: empty site" entry)
+      else
+        match (parse_action action_s, prob) with
+        | Ok action, Ok prob -> Ok { site; action; prob; triggers = 0 }
+        | (Stdlib.Error _ as e), _ | _, (Stdlib.Error _ as e) -> e)
+
+let parse spec =
+  let entries =
+    String.split_on_char ',' spec
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  List.fold_left
+    (fun acc entry ->
+      match (acc, parse_entry entry) with
+      | Stdlib.Error _, _ -> acc
+      | Ok parsed, Ok arm -> Ok (arm :: parsed)
+      | Ok _, Stdlib.Error e -> Stdlib.Error e)
+    (Ok []) entries
+  |> Result.map List.rev
+
+let configure ?(seed = 1) spec =
+  match parse spec with
+  | Stdlib.Error _ as e -> e
+  | Ok parsed ->
+      locked (fun () ->
+          arms := parsed;
+          rng := Rng.create seed;
+          armed := parsed <> []);
+      Ok ()
+
+let clear () =
+  locked (fun () ->
+      arms := [];
+      armed := false)
+
+let install_from_env () =
+  match Sys.getenv_opt "ADI_FAILPOINTS" with
+  | None | Some "" -> ()
+  | Some spec -> (
+      let seed =
+        match Sys.getenv_opt "ADI_FAILPOINTS_SEED" with
+        | None | Some "" -> 1
+        | Some s -> (
+            match int_of_string_opt s with
+            | Some v -> v
+            | None -> Diagnostics.fail Invalid_flag "ADI_FAILPOINTS_SEED: expected an integer, got %S" s)
+      in
+      match configure ~seed spec with
+      | Ok () -> ()
+      | Stdlib.Error msg -> Diagnostics.fail Invalid_flag "ADI_FAILPOINTS: %s" msg)
+
+let active () = !armed
+
+(* Decide which entries fire, under the lock; act on them outside it so
+   delays and raises never hold the mutex. *)
+let draw site want =
+  if not !armed then []
+  else
+    locked (fun () ->
+        List.filter_map
+          (fun a ->
+            if a.site = site && want a.action
+               && (a.prob >= 1.0 || Rng.float !rng 1.0 < a.prob)
+            then begin
+              a.triggers <- a.triggers + 1;
+              Some a.action
+            end
+            else None)
+          !arms)
+
+let check site =
+  match draw site (function Error | Delay _ | Crash -> true | Corrupt -> false) with
+  | [] -> ()
+  | fired ->
+      List.iter (function Delay d -> Unix.sleepf d | _ -> ()) fired;
+      if List.mem Crash fired then Unix._exit crash_exit_code;
+      if List.mem Error fired then
+        Diagnostics.fail Io_error "injected failure at failpoint %s" site
+
+let fires site = draw site (function Error -> true | _ -> false) <> []
+
+let corrupt_bytes site ?(off = 0) buf =
+  if !armed && Bytes.length buf > off then
+    match draw site (function Corrupt -> true | _ -> false) with
+    | [] -> ()
+    | _ ->
+        let i = off + locked (fun () -> Rng.int !rng (Bytes.length buf - off)) in
+        Bytes.set buf i (Char.chr (Char.code (Bytes.get buf i) lxor 0x5A))
+
+let corrupt site s =
+  if (not !armed) || s = "" then s
+  else begin
+    let buf = Bytes.of_string s in
+    corrupt_bytes site buf;
+    let s' = Bytes.unsafe_to_string buf in
+    if String.equal s' s then s else s'
+  end
+
+let triggered site =
+  locked (fun () ->
+      List.fold_left (fun n a -> if a.site = site then n + a.triggers else n) 0 !arms)

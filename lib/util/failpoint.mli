@@ -1,0 +1,77 @@
+(** Named fault-injection sites for chaos testing.
+
+    Instrumented code declares sites by calling {!check} (and, for data
+    paths, {!corrupt}) with a stable dot-separated site name —
+    [protocol.write], [store.spill], [atomic.synced], … — and the
+    module decides, per call, whether an armed fault fires.  With no
+    spec installed every entry point is a no-op behind a single mutable
+    read, so permanent instrumentation costs nothing measurable.
+
+    Faults are armed from a spec string, normally via the
+    [ADI_FAILPOINTS] environment variable:
+
+    {v site:action[@prob][,site:action[@prob]...] v}
+
+    where [action] is one of
+    - [error]  — raise a typed [E-io] {!Diagnostics.Failed};
+    - [delay=DUR] — sleep for [DUR] ([50ms], [0.2s], or bare seconds);
+    - [crash]  — exit the process immediately with {!crash_exit_code}
+      (no [at_exit], no flush — indistinguishable from [kill -9]);
+    - [corrupt] — arm {!corrupt}/{!corrupt_bytes} at that site to flip
+      one byte of the data passing through.
+
+    [@prob] is a firing probability in [(0, 1]] (default 1).  Draws
+    come from a seeded splitmix64 stream ([ADI_FAILPOINTS_SEED],
+    default 1), so a chaos run is reproducible end-to-end.  All state
+    is behind a mutex: sites may be checked from any domain. *)
+
+type action =
+  | Error  (** raise [Diagnostics.Failed] with code [Io_error] *)
+  | Delay of float  (** sleep this many seconds *)
+  | Crash  (** [Unix._exit crash_exit_code] — simulated kill -9 *)
+  | Corrupt  (** flip one byte in {!corrupt}/{!corrupt_bytes} *)
+
+val crash_exit_code : int
+(** 42 — distinctive, so tests can tell an injected crash from a real
+    failure. *)
+
+val configure : ?seed:int -> string -> (unit, string) result
+(** Parse and install a spec, replacing any previous configuration.
+    The empty string disarms everything.  [Error msg] describes the
+    first malformed entry; the previous configuration is kept. *)
+
+val install_from_env : unit -> unit
+(** Arm from [ADI_FAILPOINTS] / [ADI_FAILPOINTS_SEED] if set.  A
+    malformed spec raises a typed [E-flag] {!Diagnostics.Failed} —
+    silently ignoring a chaos spec would fake a passing run.  No-op
+    when the variable is unset or empty. *)
+
+val clear : unit -> unit
+(** Disarm every site. *)
+
+val active : unit -> bool
+(** Is any site armed? *)
+
+val check : string -> unit
+(** Declare an injection site.  Fires every armed [error]/[delay]/
+    [crash] entry for this site that wins its probability draw: delays
+    sleep first, then an error raises.  No-op when nothing is armed. *)
+
+val fires : string -> bool
+(** Did an armed [error] entry at this site win its draw?  Consumes
+    the draw without raising — for sites that implement a bespoke
+    failure (e.g. a torn write) instead of a plain exception. *)
+
+val corrupt : string -> string -> string
+(** [corrupt site s] flips one byte of [s] (at a seeded random
+    position) when a [corrupt] entry at [site] fires; otherwise returns
+    [s] unchanged.  Empty strings pass through. *)
+
+val corrupt_bytes : string -> ?off:int -> Bytes.t -> unit
+(** In-place variant: flip one byte at an index in [\[off, length)]
+    when a [corrupt] entry fires. *)
+
+val triggered : string -> int
+(** How many times any entry at [site] has fired since the last
+    {!configure}/{!clear} — lets tests assert the chaos actually
+    happened. *)

@@ -1,0 +1,54 @@
+type policy = {
+  max_attempts : int;
+  base_delay_s : float;
+  max_delay_s : float;
+  multiplier : float;
+  jitter : bool;
+  attempt_budget_s : float option;
+  overall_budget_s : float option;
+}
+
+let default =
+  {
+    max_attempts = 3;
+    base_delay_s = 0.05;
+    max_delay_s = 2.0;
+    multiplier = 2.0;
+    jitter = true;
+    attempt_budget_s = None;
+    overall_budget_s = None;
+  }
+
+let validate p =
+  if p.max_attempts < 1 then invalid_arg "Retry: max_attempts must be >= 1";
+  if p.base_delay_s < 0.0 then invalid_arg "Retry: base_delay_s must be >= 0";
+  if p.max_delay_s < 0.0 then invalid_arg "Retry: max_delay_s must be >= 0";
+  if p.multiplier < 1.0 then invalid_arg "Retry: multiplier must be >= 1"
+
+let backoff_s p rng ~attempt =
+  let bound =
+    Float.min p.max_delay_s
+      (p.base_delay_s *. (p.multiplier ** float_of_int (attempt - 1)))
+  in
+  if p.jitter && bound > 0.0 then Rng.float rng bound else bound
+
+let run ?(clock = Budget.default_clock) ?(sleep = Unix.sleepf) ?rng
+    ?(on_retry = fun ~attempt:_ ~delay_s:_ _ -> ()) p ~retryable f =
+  validate p;
+  let rng = match rng with Some r -> r | None -> Rng.create 1 in
+  let overall = Budget.of_seconds_opt ~clock p.overall_budget_s in
+  let rec go attempt =
+    let budget = Budget.sub_opt ~clock overall p.attempt_budget_s in
+    match f ~attempt ~budget with
+    | v -> v
+    | exception e
+      when retryable e && attempt < p.max_attempts && not (Budget.expired overall)
+      ->
+        let delay_s =
+          Float.min (backoff_s p rng ~attempt) (Budget.remaining_s overall)
+        in
+        on_retry ~attempt ~delay_s e;
+        if delay_s > 0.0 then sleep delay_s;
+        go (attempt + 1)
+  in
+  go 1

@@ -1,0 +1,50 @@
+(** Bounded retry with exponential backoff and full jitter.
+
+    A {!policy} says how many attempts to make, how the delay between
+    them grows, and how much wall-clock the whole operation (and each
+    attempt) may spend.  {!run} drives a callback under the policy:
+    the callback receives its attempt number and a {!Budget.t} slice
+    (the per-attempt deadline clipped to the overall one) and either
+    returns, or raises — a retryable exception before the last attempt
+    sleeps a jittered backoff and tries again; anything else, or
+    exhaustion, propagates.
+
+    Backoff for the [n]-th failure is
+    [min max_delay_s (base_delay_s * multiplier^(n-1))], drawn
+    uniformly from [\[0, bound)] when [jitter] is on (full jitter,
+    which decorrelates a thundering herd of clients), taken verbatim
+    otherwise.  Clock, sleep and RNG are injectable so tests retry
+    deterministically in zero wall-clock time. *)
+
+type policy = {
+  max_attempts : int;  (** total tries, including the first ([>= 1]) *)
+  base_delay_s : float;  (** backoff bound after the first failure *)
+  max_delay_s : float;  (** cap on the backoff bound *)
+  multiplier : float;  (** exponential growth factor ([>= 1]) *)
+  jitter : bool;  (** full jitter: draw uniformly from [\[0, bound)] *)
+  attempt_budget_s : float option;  (** per-attempt deadline *)
+  overall_budget_s : float option;  (** deadline across all attempts *)
+}
+
+val default : policy
+(** 3 attempts, 50 ms base doubling to a 2 s cap, jitter on, no
+    deadlines. *)
+
+val backoff_s : policy -> Rng.t -> attempt:int -> float
+(** The delay after failing [attempt] (1-based). *)
+
+val run :
+  ?clock:Budget.clock ->
+  ?sleep:(float -> unit) ->
+  ?rng:Rng.t ->
+  ?on_retry:(attempt:int -> delay_s:float -> exn -> unit) ->
+  policy ->
+  retryable:(exn -> bool) ->
+  (attempt:int -> budget:Budget.t -> 'a) ->
+  'a
+(** [run policy ~retryable f] calls [f ~attempt ~budget] until it
+    returns.  A raise with [retryable exn = true] is retried while
+    attempts remain and the overall deadline has not passed (the
+    backoff is clipped to the time left); [on_retry] observes each
+    retry before its sleep.  The last exception propagates unchanged.
+    @raise Invalid_argument on a malformed policy. *)

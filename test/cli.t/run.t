@@ -187,6 +187,7 @@ ordinary report; the instrumented names are stable:
   engine.out_of_budget
   engine.pass
   engine.retry_recovered
+  engine.spec.refilled
   engine.tests
   engine.untestable
   faultsim.detection_sets

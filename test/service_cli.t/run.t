@@ -34,7 +34,7 @@ An exhausted request budget is a typed E-budget error, not a hang:
 
   $ adi-client atpg --socket adi.sock c17 --budget_s 0
   adi-client: request budget expired before preparation [E-budget]
-  [2]
+  [4]
 
 Garbage on the wire is a typed E-protocol error with an unattributable
 request id, and the connection (and server) survive it:
@@ -46,7 +46,7 @@ request id, and the connection (and server) survive it:
 Unknown operations are rejected by name:
 
   $ adi-client raw --socket adi.sock '{"id":9,"op":"frobnicate"}'
-  adi-client: unknown op "frobnicate" (expected one of: load, adi, order, atpg, stats, evict, shutdown) [E-protocol]
+  adi-client: unknown op "frobnicate" (expected one of: load, adi, order, atpg, stats, health, evict, shutdown) [E-protocol]
   [2]
 
 Out-of-range configuration surfaces as the same E-flag diagnostics the
