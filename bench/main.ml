@@ -307,11 +307,19 @@ let phase_fields () =
         else None)
       (Util.Metrics.histograms (Util.Trace.metrics tr))
 
-let write_bench_json ~circuit ~kernels ~speedup ~atpg =
+let write_bench_json ~circuit ~collapse ~kernels ~speedup ~atpg =
   let b = Buffer.create 1024 in
   let bf fmt = Printf.bprintf b fmt in
   bf "{\"timestamp\": \"%s\", \"seed\": %d, \"jobs\": %d, \"circuit\": \"%s\", "
     (iso8601_utc ()) (seed ()) (jobs ()) (json_escape circuit);
+  (let st = collapse.Collapse.stages in
+   bf
+     "\"collapse\": {\"full\": %d, \"equivalence\": %d, \"prime\": %d, \
+      \"checkpoints\": %d, \"probes\": %d, \"equivalence_ratio\": %.3f, \
+      \"dominance_ratio\": %.3f}, "
+     st.Collapse.full st.Collapse.equivalence st.Collapse.prime st.Collapse.checkpoints
+     st.Collapse.probes (Collapse.collapse_ratio collapse)
+     (Collapse.dominance_ratio collapse));
   bf "\"kernels\": [";
   List.iteri
     (fun i (name, kjobs, wall_s) ->
@@ -363,26 +371,45 @@ let run_perf_kernels () =
   let name = if !full then "syn5378" else "syn1196" in
   let jobs = jobs () in
   let c = Suite.build_by_name name in
-  let fl = Collapse.collapsed c in
+  let collapse = Collapse.equivalence (Fault_list.full c) in
+  let fl = collapse.Collapse.representatives in
   let rng = Util.Rng.create (seed ()) in
   let pats =
     Patterns.random rng ~n_inputs:(Array.length (Circuit.inputs c)) ~count:4096
   in
+  let st = collapse.Collapse.stages in
   Printf.printf "Parallel fault-simulation kernels (%s, %d faults, %d patterns):\n%!" name
     (Fault_list.count fl) (Patterns.count pats);
+  Printf.printf
+    "  collapse: %d full -> %d classes -> %d prime (dominance), %d probe sites\n%!"
+    st.Collapse.full st.Collapse.equivalence st.Collapse.prime st.Collapse.probes;
   let serial, t_serial = time (fun () -> Faultsim.detection_sets fl pats) in
   Printf.printf "  detection_sets  jobs=1            %8.3f s\n%!" t_serial;
   let pooled, t_pooled = time (fun () -> Faultsim.detection_sets ~jobs fl pats) in
   Printf.printf "  detection_sets  jobs=%-4d         %8.3f s\n%!" jobs t_pooled;
   let stem, t_stem = time (fun () -> Faultsim.detection_sets_stem_first fl pats) in
   Printf.printf "  detection_sets  stem-first (1 dom)%8.3f s\n%!" t_stem;
+  let cpt, t_cpt =
+    time (fun () -> Faultsim.detection_sets ~kernel:Faultsim.Cpt fl pats)
+  in
+  Printf.printf "  detection_sets  cpt (1 dom)       %8.3f s\n%!" t_cpt;
+  (* The dominance row times the target-list reduction: the prime
+     (dominance-surviving) universe under the probe kernel. *)
+  let _, t_dom =
+    time (fun () ->
+        Faultsim.detection_sets ~kernel:Faultsim.Stem collapse.Collapse.prime pats)
+  in
+  Printf.printf "  detection_sets  dominance (prime) %8.3f s\n%!" t_dom;
   Array.iteri
     (fun i d ->
-      if not (Util.Bitvec.equal d pooled.(i)) || not (Util.Bitvec.equal d stem.(i)) then
-        failwith "bench: parallel/stem-first detection sets differ from serial")
+      if
+        (not (Util.Bitvec.equal d pooled.(i)))
+        || (not (Util.Bitvec.equal d stem.(i)))
+        || not (Util.Bitvec.equal d cpt.(i))
+      then failwith "bench: parallel/stem/cpt detection sets differ from serial")
     serial;
   let speedup = t_serial /. t_pooled in
-  Printf.printf "  all three agree word-for-word; speedup (jobs=%d vs serial): %.2fx\n\n%!"
+  Printf.printf "  all four agree word-for-word; speedup (jobs=%d vs serial): %.2fx\n\n%!"
     jobs speedup;
   (* ATPG phase: serial engine vs speculative lookahead, same prepared
      setup, byte-identical test sets by construction (checked). *)
@@ -416,12 +443,14 @@ let run_perf_kernels () =
     (if ep.Engine.spec_dispatched > 0 then
        100.0 *. float_of_int ep.Engine.spec_wasted /. float_of_int ep.Engine.spec_dispatched
      else 0.0);
-  write_bench_json ~circuit:name
+  write_bench_json ~circuit:name ~collapse
     ~kernels:
       [
         ("detection_sets/serial", 1, t_serial);
         (Printf.sprintf "detection_sets/jobs%d" jobs, jobs, t_pooled);
         ("detection_sets/stem_first", 1, t_stem);
+        ("detection_sets/cpt", 1, t_cpt);
+        ("detection_sets/dominance", 1, t_dom);
         ("atpg/serial", 1, t_atpg_serial);
         (Printf.sprintf "atpg/spec_w%d" window, jobs, t_atpg_spec);
       ]

@@ -131,8 +131,9 @@ let config_params_term =
   let int_p name doc docv = opt_param name (fun i -> Json.Int i) Arg.int doc docv in
   let float_p name doc docv = opt_param name (fun f -> Json.Float f) Arg.float doc docv in
   let str_p name doc docv = opt_param name (fun s -> Json.Str s) Arg.string doc docv in
-  let gather seed pool tc jobs order backtracks retries budget =
-    List.filter_map Fun.id [ seed; pool; tc; jobs; order; backtracks; retries; budget ]
+  let gather seed pool tc jobs kernel order backtracks retries budget =
+    List.filter_map Fun.id
+      [ seed; pool; tc; jobs; kernel; order; backtracks; retries; budget ]
   in
   Term.(
     const gather
@@ -140,6 +141,7 @@ let config_params_term =
     $ int_p "pool" "Candidate-vector pool size for U selection." "N"
     $ float_p "target_coverage" "U-selection coverage target, in (0, 1]." "C"
     $ int_p "jobs" "Fault-simulation domains for this request." "JOBS"
+    $ str_p "kernel" "Fault-simulation kernel: event, stem or cpt." "KERNEL"
     $ str_p "order" "Fault order: orig, incr0, decr, 0decr, dynm, 0dynm." "ORDER"
     $ int_p "backtracks" "PODEM backtrack limit." "B"
     $ opt_param ~param:"retries" "abort-retries" (fun i -> Json.Int i) Arg.int

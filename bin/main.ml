@@ -112,12 +112,18 @@ let faults_cmd =
     let c = load_circuit spec in
     let full = Fault_list.full c in
     let r = Collapse.equivalence full in
+    let st = r.Collapse.stages in
     Printf.printf "full fault universe : %d\n" (Fault_list.count full);
     Printf.printf "collapsed (classes) : %d\n" (Fault_list.count r.Collapse.representatives);
-    Printf.printf "collapse ratio      : %.2f\n" (Collapse.collapse_ratio r)
+    Printf.printf "collapse ratio      : %.2f\n" (Collapse.collapse_ratio r);
+    Printf.printf "prime (dominance)   : %d\n" st.Collapse.prime;
+    Printf.printf "dominance ratio     : %.2f\n" (Collapse.dominance_ratio r);
+    Printf.printf "checkpoint classes  : %d\n" st.Collapse.checkpoints;
+    Printf.printf "probe sites         : %d\n" st.Collapse.probes
   in
   Cmd.v
-    (Cmd.info "faults" ~doc:"Count stuck-at faults before/after equivalence collapsing")
+    (Cmd.info "faults"
+       ~doc:"Count stuck-at faults before/after equivalence and dominance collapsing")
     Term.(const run $ circuit_arg)
 
 (* --- sim --------------------------------------------------------- *)

@@ -26,14 +26,27 @@ type estimator =
       (** the alternative Section 2 mentions: the mean of [ndet(u)]
           over [D(f)], rounded down (still [>= 1] on detected faults) *)
 
-val compute : ?estimator:estimator -> ?jobs:int -> Fault_list.t -> Patterns.t -> t
+val compute :
+  ?estimator:estimator ->
+  ?jobs:int ->
+  ?kernel:Faultsim.kernel ->
+  Fault_list.t ->
+  Patterns.t ->
+  t
 (** Full non-dropping fault simulation of [U] followed by the chosen
     reduction (default {!Minimum}).  Cost: one
     {!Faultsim.detection_sets} run.  [jobs] (default 1) sizes the
-    simulation's domain pool; results are identical for any value. *)
+    simulation's domain pool and [kernel] selects the detection-word
+    kernel; results are identical for any values. *)
 
 val compute_n_detection :
-  ?estimator:estimator -> ?jobs:int -> n:int -> Fault_list.t -> Patterns.t -> t
+  ?estimator:estimator ->
+  ?jobs:int ->
+  ?kernel:Faultsim.kernel ->
+  n:int ->
+  Fault_list.t ->
+  Patterns.t ->
+  t
 (** The paper's cheaper variant: estimate [ndet(u)] from n-detection
     fault simulation (each fault contributes only its [n] earliest
     detections), trading accuracy for simulation time.  With [n] large
@@ -68,6 +81,7 @@ val select_u :
   ?pool:int ->
   ?target_coverage:float ->
   ?jobs:int ->
+  ?kernel:Faultsim.kernel ->
   Util.Rng.t ->
   Fault_list.t ->
   u_selection

@@ -15,7 +15,9 @@ let jobs setup = setup.config.Run_config.jobs
 
 let prepare config circuit =
   Run_config.validate config;
-  let { Run_config.seed; pool; target_coverage; jobs; _ } = config in
+  let { Run_config.seed; pool; target_coverage; jobs; faultsim_kernel = kernel; _ } =
+    config
+  in
   let tr = Trace.current () in
   Trace.span tr
     ~attrs:
@@ -35,14 +37,19 @@ let prepare config circuit =
   let rng = Util.Rng.create seed in
   let selection =
     Trace.span tr "prepare.select_u" (fun () ->
-        Adi_index.select_u ~pool ~target_coverage ~jobs rng faults)
+        Adi_index.select_u ~pool ~target_coverage ~jobs ?kernel rng faults)
   in
   let adi =
     Trace.span tr "prepare.adi" (fun () ->
-        Adi_index.compute ~jobs faults selection.Adi_index.u)
+        Adi_index.compute ~jobs ?kernel faults selection.Adi_index.u)
   in
   if Trace.enabled tr then begin
+    let st = collapse.Collapse.stages in
     Metrics.set (Trace.counter tr "pipeline.faults") (Fault_list.count faults);
+    Metrics.set (Trace.counter tr "pipeline.collapse.full") st.Collapse.full;
+    Metrics.set (Trace.counter tr "pipeline.collapse.classes") st.Collapse.equivalence;
+    Metrics.set (Trace.counter tr "pipeline.collapse.prime") st.Collapse.prime;
+    Metrics.set (Trace.counter tr "pipeline.collapse.probes") st.Collapse.probes;
     Metrics.set (Trace.counter tr "pipeline.u_size") (Patterns.count selection.Adi_index.u);
     Metrics.set (Trace.counter tr "pipeline.pool_detected") selection.Adi_index.pool_detected
   end;

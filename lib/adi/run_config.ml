@@ -4,6 +4,7 @@ type t = {
   target_coverage : float;
   jobs : int;
   window : int option;
+  faultsim_kernel : Faultsim.kernel option;
   order : Ordering.kind;
   generator : Engine.generator;
   backtrack_limit : int;
@@ -25,6 +26,7 @@ let default =
     target_coverage = 0.9;
     jobs = 1;
     window = None;
+    faultsim_kernel = None;
     order = Ordering.Dynm0;
     generator = Engine.default_config.Engine.generator;
     backtrack_limit = Engine.default_config.Engine.backtrack_limit;
@@ -62,6 +64,7 @@ let with_window window t =
   | _ -> ());
   { t with window }
 
+let with_faultsim_kernel faultsim_kernel t = { t with faultsim_kernel }
 let with_order order t = { t with order }
 let with_generator generator t = { t with generator }
 

@@ -22,6 +22,11 @@ type t = {
   window : int option;
       (** speculative-lookahead width for ATPG runs; [None] defaults to
           [4 * jobs] when the engine configuration is built *)
+  faultsim_kernel : Faultsim.kernel option;
+      (** detection-word kernel for whole-set fault simulation; [None]
+          keeps the historical per-driver defaults.  Like [jobs] and
+          [window] this is a pure throughput knob — every kernel yields
+          bit-identical detection sets *)
   order : Ordering.kind;  (** fault ordering for ATPG runs *)
   generator : Engine.generator;
   backtrack_limit : int;
@@ -60,6 +65,10 @@ val with_jobs : int -> t -> t
 val with_window : int option -> t -> t
 (** Rejects [window < 1]; results are byte-identical for every width
     (the window, like [jobs], is a pure throughput knob). *)
+
+val with_faultsim_kernel : Faultsim.kernel option -> t -> t
+(** Select the fault-simulation kernel ([None] = per-driver default).
+    Results are byte-identical for every kernel. *)
 
 val with_order : Ordering.kind -> t -> t
 val with_generator : Engine.generator -> t -> t

@@ -15,6 +15,13 @@ let with_order_name s cfg =
       Diagnostics.fail Diagnostics.Invalid_flag
         "unknown order %S (expected orig, incr0, decr, 0decr, dynm or 0dynm)" s
 
+let with_kernel_name s cfg =
+  match Faultsim.kernel_of_string s with
+  | Some k -> Run_config.with_faultsim_kernel (Some k) cfg
+  | None ->
+      Diagnostics.fail Diagnostics.Invalid_flag
+        "unknown fault-simulation kernel %S (expected event, stem or cpt)" s
+
 let pipeline_specs =
   [
     {
@@ -41,6 +48,14 @@ let pipeline_specs =
       docv = "C";
       doc = "U-selection coverage target, in (0, 1].";
       kind = Float Run_config.with_target_coverage;
+    };
+    {
+      names = [ "faultsim-kernel" ];
+      docv = "KERNEL";
+      doc =
+        "Fault-simulation kernel: event, stem or cpt (default: auto per driver). \
+         Results are bit-identical for any kernel.";
+      kind = String with_kernel_name;
     };
   ]
 

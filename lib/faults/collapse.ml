@@ -1,7 +1,20 @@
+type stages = {
+  full : int;
+  equivalence : int;
+  prime : int;
+  checkpoints : int;
+  probes : int;
+}
+
 type result = {
   representatives : Fault_list.t;
   class_of : int array;
   class_sizes : int array;
+  dropped : bool array;
+  prime : Fault_list.t;
+  probe_nodes : int array;
+  probe_of : int array;
+  stages : stages;
 }
 
 (* Union-find with path compression; union by smaller root index so the
@@ -14,6 +27,13 @@ let rec find parent i = if parent.(i) = i then i else begin
 let union parent a b =
   let ra = find parent a and rb = find parent b in
   if ra <> rb then if ra < rb then parent.(rb) <- ra else parent.(ra) <- rb
+
+(* A checkpoint fault sits on a primary input or on a fanout branch —
+   the classic checkpoint theorem's generating set. *)
+let is_checkpoint c (f : Fault.t) =
+  match f.Fault.site with
+  | Fault.Stem g -> Circuit.kind c g = Gate.Input
+  | Fault.Branch { gate; pin } -> Circuit.fanout_count c (Circuit.fanins c gate).(pin) <> 1
 
 let equivalence fl =
   let c = Fault_list.circuit fl in
@@ -71,12 +91,92 @@ let equivalence fl =
   let rep_pos = Array.make n (-1) in
   Array.iteri (fun pos i -> rep_pos.(i) <- pos) rep_ids;
   let class_of = Array.init n (fun i -> rep_pos.(find parent i)) in
-  let class_sizes = Array.make (Array.length rep_ids) 0 in
+  let n_reps = Array.length rep_ids in
+  let class_sizes = Array.make n_reps 0 in
   Array.iter (fun r -> class_sizes.(r) <- class_sizes.(r) + 1) class_of;
-  { representatives = Fault_list.sub fl rep_ids; class_of; class_sizes }
+  let representatives = Fault_list.sub fl rep_ids in
+  (* Dominance dropping.  For a gate with controlling value [cv] the
+     output fault stuck at the uncontrolled value dominates every
+     input-branch fault stuck at the non-controlling value: any test
+     for the branch fault sets the output to the controlled value and
+     propagates the flip, so it detects the output fault too.  The
+     dominator's whole equivalence class is therefore covered and can
+     leave the target list, provided the justifying branch fault's
+     class survives: each drop records a justification into a class
+     that is un-dropped at drop time, so justification chains carry
+     strictly increasing drop times and must terminate at a kept
+     class — no circular discharge. *)
+  let dropped = Array.make n_reps false in
+  Circuit.iter_nodes c (fun g ->
+      let k = Circuit.kind c g in
+      match Gate.controlling_value k with
+      | None -> ()
+      | Some cv ->
+          let pins = Array.length (Circuit.fanins c g) in
+          if pins > 0 then begin
+            let controlled_out = if Gate.inverting k then not cv else cv in
+            let ro = class_of.(idx (Fault.stem g (not controlled_out))) in
+            if not dropped.(ro) then begin
+              let justified = ref false in
+              for p = 0 to pins - 1 do
+                if not !justified then begin
+                  let rb = class_of.(idx (Fault.branch ~gate:g ~pin:p (not cv))) in
+                  if rb <> ro && not dropped.(rb) then justified := true
+                end
+              done;
+              if !justified then dropped.(ro) <- true
+            end
+          end);
+  let prime_ids =
+    Array.of_list
+      (List.filteri (fun ri _ -> not dropped.(ri)) (Array.to_list rep_ids))
+  in
+  let prime = Fault_list.sub fl prime_ids in
+  (* Checkpoint classes: how many classes contain a PI or fanout-branch
+     fault (the checkpoint theorem's generating set) — reported, not
+     used for reduction, since detection data is needed per class. *)
+  let class_has_ck = Array.make n_reps false in
+  for i = 0 to n - 1 do
+    if is_checkpoint c (Fault_list.get fl i) then class_has_ck.(class_of.(i)) <- true
+  done;
+  let checkpoints = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 class_has_ck in
+  (* The expansion map: representatives grouped by injection site.  The
+     simulator derives one observability word per distinct site node (a
+     "probe") and re-expands it to every fault of the site via its
+     activation word, so the simulated universe is the probe set. *)
+  let site_seen = Array.make (Circuit.node_count c) false in
+  for ri = 0 to n_reps - 1 do
+    site_seen.(Fault.site_node (Fault_list.get representatives ri)) <- true
+  done;
+  let probe_list = ref [] in
+  for v = Circuit.node_count c - 1 downto 0 do
+    if site_seen.(v) then probe_list := v :: !probe_list
+  done;
+  let probe_nodes = Array.of_list !probe_list in
+  let site_pos = Array.make (Circuit.node_count c) (-1) in
+  Array.iteri (fun pos v -> site_pos.(v) <- pos) probe_nodes;
+  let probe_of =
+    Array.init n_reps (fun ri ->
+        site_pos.(Fault.site_node (Fault_list.get representatives ri)))
+  in
+  let stages =
+    {
+      full = n;
+      equivalence = n_reps;
+      prime = Array.length prime_ids;
+      checkpoints;
+      probes = Array.length probe_nodes;
+    }
+  in
+  { representatives; class_of; class_sizes; dropped; prime; probe_nodes; probe_of; stages }
 
 let collapsed c = (equivalence (Fault_list.full c)).representatives
 
 let collapse_ratio r =
   float_of_int (Array.length r.class_of)
   /. float_of_int (Fault_list.count r.representatives)
+
+let dominance_ratio r =
+  float_of_int (Array.length r.class_of) /. float_of_int (max 1 r.stages.prime)
+
+let expansion_size r = Array.length r.probe_nodes

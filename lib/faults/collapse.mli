@@ -1,7 +1,9 @@
-(** Structural equivalence fault collapsing.
+(** Structural fault collapsing: equivalence classes, dominance
+    dropping, and the site-probe expansion map.
 
-    Two faults are equivalent when every test detecting one detects the
-    other.  Structural rules capture the classic cases:
+    {b Equivalence.}  Two faults are equivalent when every test
+    detecting one detects the other.  Structural rules capture the
+    classic cases:
 
     - a controlling-value input fault of an AND/NAND (s-a-0) or OR/NOR
       (s-a-1) gate is equivalent to the corresponding output fault;
@@ -14,23 +16,73 @@
     which tests exist, and the representative's detection data stands
     for the whole class.  The paper targets "the set of single stuck-at
     faults"; like all practical ATPG flows we target the collapsed set
-    and report class sizes alongside. *)
+    and report class sizes alongside.
+
+    {b Dominance.}  Fault [g] dominates fault [f] when every test for
+    [f] detects [g] ([D(f) ⊆ D(g)]).  Structurally, the output fault of
+    a gate stuck at its uncontrolled value dominates each input-branch
+    fault stuck at the non-controlling value.  Dominated-covered
+    classes ([dropped]) can leave an ATPG {e target} list — any test
+    set covering the survivors covers them — but their detection sets
+    are {e not} recoverable from the survivors' (dominance is an
+    inclusion, not an equality), so ADI computation still spans the
+    whole collapsed universe.  The [prime] list and the staged counts
+    feed target-list reduction and reporting.
+
+    {b Expansion map.}  What the fault simulator actually has to
+    propagate is smaller than the collapsed universe: every fault of a
+    class injects its effect at one node ({!Fault.site_node}), and the
+    detection word factorises exactly as
+    [D(f) = activation(f) AND obs(site_node f)] per 64-pattern block
+    (see {!Faultsim}).  [probe_nodes]/[probe_of] group representatives
+    by injection site, so the simulated universe is the {e probe} set —
+    one observability word per distinct site — and per-fault detection
+    bits are re-expanded deterministically from the shared word. *)
+
+type stages = {
+  full : int;  (** full single-stuck-at universe *)
+  equivalence : int;  (** classes after equivalence collapsing *)
+  prime : int;  (** classes surviving dominance dropping *)
+  checkpoints : int;  (** classes containing a PI or fanout-branch fault *)
+  probes : int;  (** distinct injection sites — the expansion-map size *)
+}
 
 type result = {
   representatives : Fault_list.t;  (** one fault per equivalence class *)
   class_of : int array;
       (** full-list index -> representative index in [representatives] *)
   class_sizes : int array;  (** representative index -> class size *)
+  dropped : bool array;
+      (** representative index -> class is dominance-covered: some
+          surviving class's tests are guaranteed to detect it *)
+  prime : Fault_list.t;  (** representatives with [dropped] false *)
+  probe_nodes : int array;
+      (** distinct injection-site nodes of the representatives,
+          increasing node id *)
+  probe_of : int array;  (** representative index -> index into [probe_nodes] *)
+  stages : stages;
 }
 
 val equivalence : Fault_list.t -> result
 (** Collapse a {!Fault_list.full} universe.  The representative of each
     class is its smallest full-list index, and representatives keep
     their relative full-list order, so the collapsed list's natural
-    order is still the paper's [Forig]. *)
+    order is still the paper's [Forig].  Dominance dropping and the
+    expansion map are computed alongside (both are cheap structural
+    passes). *)
 
 val collapsed : Circuit.t -> Fault_list.t
 (** [equivalence (Fault_list.full c)].representatives. *)
 
 val collapse_ratio : result -> float
-(** |full| / |collapsed|. *)
+(** |full| / |equivalence classes| — the equivalence stage alone. *)
+
+val dominance_ratio : result -> float
+(** |full| / |prime| — equivalence and dominance stages together. *)
+
+val expansion_size : result -> int
+(** Number of probe nodes, [Array.length probe_nodes]. *)
+
+val is_checkpoint : Circuit.t -> Fault.t -> bool
+(** Is the fault a checkpoint fault (on a primary input or a fanout
+    branch)? *)

@@ -1,0 +1,53 @@
+type t = { ipdom : int array }
+
+let sink = -1
+let dead = -2
+
+type pdom = Sink | Dead | Node of int
+
+(* Cooper–Harvey–Kennedy on the fanout graph extended with a virtual
+   sink fed by every primary output.  Nodes are processed in reverse
+   topological order, so every successor's immediate post-dominator is
+   final before it is consumed; the two-finger intersection walks
+   ipdom chains, comparing by topological rank (ranks strictly
+   increase toward the sink, and the sink outranks every node). *)
+let compute c =
+  let n = Circuit.node_count c in
+  let order = Circuit.topological_order c in
+  let rank = Array.make n 0 in
+  Array.iteri (fun pos v -> rank.(v) <- pos) order;
+  let ipdom = Array.make n dead in
+  let rank_of v = if v = sink then n else rank.(v) in
+  let intersect a b =
+    let a = ref a and b = ref b in
+    while !a <> !b do
+      if rank_of !a < rank_of !b then a := ipdom.(!a) else b := ipdom.(!b)
+    done;
+    !a
+  in
+  for i = n - 1 downto 0 do
+    let v = order.(i) in
+    let idom = ref dead in
+    let add s =
+      if s <> dead then idom := if !idom = dead then s else intersect !idom s
+    in
+    if Circuit.is_output c v then add sink;
+    (* A successor that cannot reach an output constrains nothing: no
+       output-bound path runs through it. *)
+    Array.iter (fun s -> add (if ipdom.(s) = dead then dead else s)) (Circuit.fanouts c v);
+    ipdom.(v) <- !idom
+  done;
+  { ipdom }
+
+let ipdom t v =
+  match t.ipdom.(v) with -1 -> Sink | -2 -> Dead | d -> Node d
+
+let ipdom_raw t = t.ipdom
+let is_dead t v = t.ipdom.(v) = dead
+let reaches_output t v = t.ipdom.(v) <> dead
+
+let chain t v =
+  let rec go acc v =
+    match t.ipdom.(v) with -1 | -2 -> List.rev acc | d -> go (d :: acc) d
+  in
+  go [] v

@@ -1,0 +1,42 @@
+(** Immediate post-dominators of a combinational netlist.
+
+    Node [d] post-dominates node [v] when every path from [v] to a
+    primary output passes through [d].  Post-dominators are computed
+    toward a virtual {e sink} joined from every primary output, with
+    the Cooper–Harvey–Kennedy intersection over a reverse topological
+    sweep — one pass, no fixpoint iteration, O(edges × chain length).
+
+    The critical-path-tracing fault-simulation kernel rests on the
+    decomposition [obs(v) = reach(v -> ipdom v) AND obs(ipdom v)]: a
+    value change at [v] is observed at an output iff it changes [v]'s
+    immediate post-dominator (all output-bound paths funnel through
+    it, so corruption that misses it is observably dead) and that
+    change is in turn observed.  See {!Faultsim} for the argument.
+
+    A primary output's immediate post-dominator is the sink — its
+    value is observed directly.  A node with no path to any output is
+    {e dead}. *)
+
+type t
+
+val compute : Circuit.t -> t
+(** One pass over the circuit; reuse the result for any number of
+    queries. *)
+
+type pdom =
+  | Sink  (** observed directly, or paths share no later node *)
+  | Dead  (** no path to any primary output *)
+  | Node of int  (** the immediate post-dominator's node id *)
+
+val ipdom : t -> int -> pdom
+
+val ipdom_raw : t -> int array
+(** The raw immediate-post-dominator array for hot loops: node id, or
+    [-1] for the sink, [-2] for dead nodes.  Do not mutate. *)
+
+val is_dead : t -> int -> bool
+val reaches_output : t -> int -> bool
+
+val chain : t -> int -> int list
+(** [chain t v] is the post-dominator chain of [v] (nearest first, the
+    sink excluded).  Every member post-dominates [v]. *)

@@ -17,6 +17,11 @@ type t = {
   mutable n_shed : int;  (* requests refused by admission control *)
   mutable spec_committed : int;  (* speculative ATPG totals across requests *)
   mutable spec_wasted : int;
+  (* Collapse-stage totals over fresh (non-cached) preparations. *)
+  mutable collapse_full : int;
+  mutable collapse_classes : int;
+  mutable collapse_prime : int;
+  mutable collapse_probes : int;
   mutable runtime : unit -> (string * Json.t) list;
       (* extra health fields from the embedding server (in-flight
          count, lane restarts, …) *)
@@ -28,7 +33,9 @@ let create ?(capacity = 8) ?spill_dir ?(jobs = 1) ?request_budget_s
   let tracer = match tracer with Some tr -> tr | None -> Trace.current () in
   { store = Store.create ~capacity ?spill_dir (); jobs; request_budget_s; clock; tracer;
     lock = Mutex.create (); created_s = clock (); n_requests = 0; n_errors = 0; n_shed = 0;
-    spec_committed = 0; spec_wasted = 0; runtime = (fun () -> []) }
+    spec_committed = 0; spec_wasted = 0;
+    collapse_full = 0; collapse_classes = 0; collapse_prime = 0; collapse_probes = 0;
+    runtime = (fun () -> []) }
 
 let store t = t.store
 
@@ -83,6 +90,7 @@ let config_of_params t params =
   |> apply (float_param params "target_coverage") Run_config.with_target_coverage
   |> apply (int_param params "jobs") Run_config.with_jobs
   |> apply (int_param params "window") (fun w -> Run_config.with_window (Some w))
+  |> apply (str_param params "kernel") Run_flags.with_kernel_name
   |> apply (str_param params "order") Run_flags.with_order_name
   |> apply (int_param params "backtracks") Run_config.with_backtrack_limit
   |> apply (int_param params "retries") Run_config.with_retries
@@ -126,7 +134,28 @@ let prepared t params budget =
   let cfg = config_of_params t params in
   let setup, cached = Store.find_or_prepare t.store cfg circuit in
   check_budget budget ~phase:"during preparation";
+  if not cached then begin
+    let st = setup.Pipeline.collapse.Collapse.stages in
+    locked t (fun () ->
+        t.collapse_full <- t.collapse_full + st.Collapse.full;
+        t.collapse_classes <- t.collapse_classes + st.Collapse.equivalence;
+        t.collapse_prime <- t.collapse_prime + st.Collapse.prime;
+        t.collapse_probes <- t.collapse_probes + st.Collapse.probes)
+  end;
   (cfg, Store.key_of circuit cfg, setup, cached)
+
+let collapse_fields (setup : Pipeline.setup) =
+  let r = setup.Pipeline.collapse in
+  let st = r.Collapse.stages in
+  ( "collapse",
+    Json.Obj
+      [ ("full", Json.Int st.Collapse.full);
+        ("equivalence", Json.Int st.Collapse.equivalence);
+        ("prime", Json.Int st.Collapse.prime);
+        ("checkpoints", Json.Int st.Collapse.checkpoints);
+        ("probes", Json.Int st.Collapse.probes);
+        ("equivalence_ratio", Json.Float (Collapse.collapse_ratio r));
+        ("dominance_ratio", Json.Float (Collapse.dominance_ratio r)) ] )
 
 let handle_load t params budget =
   let _cfg, key, setup, cached = prepared t params budget in
@@ -135,7 +164,8 @@ let handle_load t params budget =
     (setup_reply_fields key cached setup
     @ [ ("u_size", Json.Int (Patterns.count sel.Adi_index.u));
         ("pool_detected", Json.Int sel.Adi_index.pool_detected);
-        ("u_coverage", Json.Float (Adi_index.coverage_of_u setup.Pipeline.adi)) ])
+        ("u_coverage", Json.Float (Adi_index.coverage_of_u setup.Pipeline.adi));
+        collapse_fields setup ])
 
 let handle_adi t params budget =
   let _cfg, key, setup, cached = prepared t params budget in
@@ -210,8 +240,10 @@ let handle_atpg t params budget =
 
 let handle_stats t =
   let s = Store.stats t.store in
-  let requests, errors, spec_committed, spec_wasted =
-    locked t (fun () -> (t.n_requests, t.n_errors, t.spec_committed, t.spec_wasted))
+  let requests, errors, spec_committed, spec_wasted, cf, cc, cp, cb =
+    locked t (fun () ->
+        ( t.n_requests, t.n_errors, t.spec_committed, t.spec_wasted,
+          t.collapse_full, t.collapse_classes, t.collapse_prime, t.collapse_probes ))
   in
   Json.Obj
     [ ("version", Json.Str Util.Version.version); ("requests", Json.Int requests);
@@ -220,7 +252,12 @@ let handle_stats t =
       ("spill_hits", Json.Int s.Store.spill_hits); ("misses", Json.Int s.Store.misses);
       ("insertions", Json.Int s.Store.insertions); ("evictions", Json.Int s.Store.evictions);
       ("jobs", Json.Int t.jobs);
-      ("spec_committed", Json.Int spec_committed); ("spec_wasted", Json.Int spec_wasted) ]
+      ("spec_committed", Json.Int spec_committed); ("spec_wasted", Json.Int spec_wasted);
+      (* Fault-universe reduction over fresh preparations: full
+         universe, equivalence classes, dominance survivors, and the
+         expansion-map (probe) size the simulator actually visits. *)
+      ("collapse_full", Json.Int cf); ("collapse_classes", Json.Int cc);
+      ("collapse_prime", Json.Int cp); ("collapse_probes", Json.Int cb) ]
 
 let handle_health t =
   let s = Store.stats t.store in

@@ -8,8 +8,10 @@ let store_magic = "ADI-STORE"
 
 (* v2: a digest line over the marshalled payload guards the unmarshal —
    Marshal.from_channel on corrupted bytes is unsafe, so a spill file
-   is only deserialised once its contents are proven intact. *)
-let store_version = 2
+   is only deserialised once its contents are proven intact.
+   v3: [Collapse.result] grew dominance/expansion-map fields, changing
+   the marshalled [Pipeline.setup] layout. *)
+let store_version = 3
 
 type stats = {
   entries : int;

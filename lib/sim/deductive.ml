@@ -106,7 +106,7 @@ let detected_by_pattern fl vec =
   let c = Fault_list.circuit fl in
   let lists = fault_lists fl vec in
   let out = Bitvec.create (Fault_list.count fl) in
-  Array.iter (fun o -> Bitvec.union_into ~dst:out lists.(o)) (Circuit.outputs c);
+  Bitvec.union_many ~dst:out (Array.map (fun o -> lists.(o)) (Circuit.outputs c));
   out
 
 let detection_sets fl pats =

@@ -3,6 +3,17 @@ module Parallel = Util.Parallel
 module Trace = Util.Trace
 module Metrics = Util.Metrics
 
+type kernel = Event | Stem | Cpt
+
+let kernel_name = function Event -> "event" | Stem -> "stem" | Cpt -> "cpt"
+let kernel_names = [ "event"; "stem"; "cpt" ]
+
+let kernel_of_string = function
+  | "event" -> Some Event
+  | "stem" -> Some Stem
+  | "cpt" -> Some Cpt
+  | _ -> None
+
 type workspace = {
   circuit : Circuit.t;
   fval : int64 array;  (* faulty value, valid iff dirty *)
@@ -11,6 +22,12 @@ type workspace = {
   buckets : int list array;  (* pending nodes per level *)
   mutable touched : int list;  (* nodes with dirty set *)
   mutable sched_nodes : int list;  (* nodes with scheduled set *)
+  (* Per-block observability memo for the probe kernels: [obs_val.(n)]
+     is valid iff [obs_stamp.(n) = epoch]; bumping the epoch (one
+     increment per pattern block) invalidates the whole table. *)
+  obs_val : int64 array;
+  obs_stamp : int array;
+  mutable epoch : int;
   (* Observability counters.  Workspaces are domain-private, so worker
      lanes may bump these freely; the leader merges them after the
      fork-join ({!publish_stats}). *)
@@ -18,6 +35,7 @@ type workspace = {
   mutable stat_stem_toggles : int;
   mutable stat_stem_observable : int;
   mutable stat_stem_detect_words : int;
+  mutable stat_dom_truncations : int;
   mutable stat_goodsim_s : float;
 }
 
@@ -33,18 +51,27 @@ let workspace c =
     buckets = Array.make (Circuit.depth c + 1) [];
     touched = [];
     sched_nodes = [];
+    obs_val = Array.make n 0L;
+    obs_stamp = Array.make n (-1);
+    epoch = 0;
     stat_propagations = 0;
     stat_stem_toggles = 0;
     stat_stem_observable = 0;
     stat_stem_detect_words = 0;
+    stat_dom_truncations = 0;
     stat_goodsim_s = 0.0;
   }
+
+(* Invalidate the observability memo; call once per new good-value
+   block. *)
+let new_block ws = ws.epoch <- ws.epoch + 1
 
 type sim_stats = {
   propagations : int;
   stem_toggles : int;
   stem_observable : int;
   stem_detect_words : int;
+  dom_truncations : int;
   goodsim_s : float;
 }
 
@@ -54,18 +81,20 @@ let stats ws =
     stem_toggles = ws.stat_stem_toggles;
     stem_observable = ws.stat_stem_observable;
     stem_detect_words = ws.stat_stem_detect_words;
+    dom_truncations = ws.stat_dom_truncations;
     goodsim_s = ws.stat_goodsim_s;
   }
 
 let publish_stats tr wss =
   if Trace.enabled tr then begin
-    let p = ref 0 and t = ref 0 and o = ref 0 and d = ref 0 in
+    let p = ref 0 and t = ref 0 and o = ref 0 and d = ref 0 and dt = ref 0 in
     Array.iter
       (fun ws ->
         p := !p + ws.stat_propagations;
         t := !t + ws.stat_stem_toggles;
         o := !o + ws.stat_stem_observable;
         d := !d + ws.stat_stem_detect_words;
+        dt := !dt + ws.stat_dom_truncations;
         if ws.stat_goodsim_s > 0.0 then
           Metrics.observe (Trace.histogram tr "goodsim.lane_s") ws.stat_goodsim_s)
       wss;
@@ -74,7 +103,8 @@ let publish_stats tr wss =
       Metrics.add (Trace.counter tr "faultsim.stem_toggles") !t;
       Metrics.add (Trace.counter tr "faultsim.stem_observable") !o;
       Metrics.add (Trace.counter tr "faultsim.stem_detect_words") !d
-    end
+    end;
+    if !dt > 0 then Metrics.add (Trace.counter tr "faultsim.dom_truncations") !dt
   end
 
 (* Goodsim timing accumulates into the (domain-private) workspace; the
@@ -158,11 +188,16 @@ let eval_faulty ws ~good node =
   | Gate.Xnor -> Int64.lognot (fold Int64.logxor 0L)
 
 (* Event-driven propagation of an arbitrary injected value [v0] at node
-   [n0]; returns the lanes in which any primary output diverges from
-   the good values. *)
-let propagate ws ~good n0 v0 =
+   [n0].  With [stop < 0] the effect is chased to the primary outputs
+   and the result is the lanes in which any PO diverges from the good
+   values.  With [stop >= 0] only levels up to [stop]'s are processed
+   and the result is the divergence at [stop] itself — the "reach"
+   word of the dominator-truncated kernel; nodes scheduled beyond the
+   stop level are unwound without being evaluated. *)
+let propagate_core ws ~good ~stop n0 v0 =
   let c = ws.circuit in
   ws.stat_propagations <- ws.stat_propagations + 1;
+  let to_po = stop < 0 in
   let detect = ref 0L in
   let record node value =
     if value <> good.(node) then begin
@@ -171,7 +206,7 @@ let propagate ws ~good n0 v0 =
         ws.dirty.(node) <- true;
         ws.touched <- node :: ws.touched
       end;
-      if Circuit.is_output c node then
+      if to_po && Circuit.is_output c node then
         detect := Int64.logor !detect (Int64.logxor value good.(node));
       Array.iter (fun s -> schedule ws s) (Circuit.fanouts c node)
     end
@@ -179,8 +214,9 @@ let propagate ws ~good n0 v0 =
   record n0 v0;
   (* Propagate by increasing level; all fanins of a level-L node are
      final before L is processed. *)
+  let last = if to_po then Array.length ws.buckets - 1 else Circuit.level c stop in
   if ws.sched_nodes <> [] then
-    for l = 0 to Array.length ws.buckets - 1 do
+    for l = 0 to last do
       let pending = ws.buckets.(l) in
       if pending <> [] then begin
         ws.buckets.(l) <- [];
@@ -189,12 +225,20 @@ let propagate ws ~good n0 v0 =
           pending
       end
     done;
-  (* Reset scratch state. *)
+  if (not to_po) && ws.dirty.(stop) then
+    detect := Int64.logxor ws.fval.(stop) good.(stop);
+  (* Reset scratch state (including buckets past a truncated sweep). *)
   List.iter (fun node -> ws.dirty.(node) <- false) ws.touched;
-  List.iter (fun node -> ws.scheduled.(node) <- false) ws.sched_nodes;
+  List.iter
+    (fun node ->
+      ws.scheduled.(node) <- false;
+      if not to_po then ws.buckets.(Circuit.level c node) <- [])
+    ws.sched_nodes;
   ws.touched <- [];
   ws.sched_nodes <- [];
   !detect
+
+let propagate ws ~good n0 v0 = propagate_core ws ~good ~stop:(-1) n0 v0
 
 let detect_block ws ~good (f : Fault.t) =
   propagate ws ~good (Fault.site_node f) (injected_value ws ~good f)
@@ -203,33 +247,7 @@ let block_mask pats b =
   let cnt = Patterns.count pats - (b * 64) in
   if cnt >= 64 then -1L else Int64.sub (Int64.shift_left 1L cnt) 1L
 
-(* --- stem-first (FFR) acceleration -------------------------------- *)
-
-(* Faults grouped by the stem of their fanout-free region.  One full
-   propagation per stem (the stem toggle) serves every fault of the
-   region; each fault then only pays a local sensitization walk along
-   its unique path to the stem. *)
-type stem_plan = {
-  ffr : Ffr.t;
-  plan_stems : int array;  (* fault-bearing stems, increasing node id *)
-  stem_faults : int array array;  (* per stem, fault indices, increasing *)
-}
-
-let stem_plan fl =
-  let c = Fault_list.circuit fl in
-  let ffr = Ffr.compute c in
-  let nf = Fault_list.count fl in
-  let buckets = Array.make (Circuit.node_count c) [] in
-  for fi = nf - 1 downto 0 do
-    let s = Ffr.stem_of ffr (Fault.site_node (Fault_list.get fl fi)) in
-    buckets.(s) <- fi :: buckets.(s)
-  done;
-  let stems = ref [] in
-  for s = Circuit.node_count c - 1 downto 0 do
-    if buckets.(s) <> [] then stems := s :: !stems
-  done;
-  let plan_stems = Array.of_list !stems in
-  { ffr; plan_stems; stem_faults = Array.map (fun s -> Array.of_list buckets.(s)) plan_stems }
+(* --- probe kernels: stem-first and critical-path tracing ---------- *)
 
 (* Gate output with every pin fed by [x] complemented (a gate may read
    the same signal on several pins); other pins read good values.
@@ -262,79 +280,134 @@ let eval_flip c ~good node x =
   | Gate.Xor -> fold Int64.logxor 0L
   | Gate.Xnor -> Int64.lognot (fold Int64.logxor 0L)
 
-(* Detection words for every fault of one region in the current block:
-   inside an FFR a fault effect either dies or arrives at the stem as a
-   plain value flip, so (local effect at the stem) AND (lanes where a
-   stem toggle reaches an output) is exactly per-fault propagation. *)
-let detect_stem_block ws ~good fl plan si ~mask emit =
-  let c = ws.circuit in
-  let stem = plan.plan_stems.(si) in
-  ws.stat_stem_toggles <- ws.stat_stem_toggles + 1;
-  let obs = propagate ws ~good stem (Int64.lognot good.(stem)) in
-  if obs <> 0L then begin
-    ws.stat_stem_observable <- ws.stat_stem_observable + 1;
-    Array.iter
-      (fun fi ->
-        let f = Fault_list.get fl fi in
-        let n0 = Fault.site_node f in
-        let eff = ref (Int64.logxor (injected_value ws ~good f) good.(n0)) in
-        let n = ref n0 in
-        while !eff <> 0L && !n <> stem do
-          let g = (Circuit.fanouts c !n).(0) in
-          eff := Int64.logand !eff (Int64.logxor good.(g) (eval_flip c ~good g !n));
-          n := g
-        done;
-        let d = Int64.logand (Int64.logand !eff obs) mask in
-        if d <> 0L then begin
-          ws.stat_stem_detect_words <- ws.stat_stem_detect_words + 1;
-          emit fi d
-        end)
-      plan.stem_faults.(si)
+let no_ipdom : int array = [||]
+
+(* Observability of a flip at [n]: the lanes in which complementing
+   [n]'s value changes some primary output.  Memoised per block; each
+   of the 64 lanes is an independent scalar simulation, so:
+
+   - a primary output observes itself in every lane;
+   - a dead node (no path to a PO) is never observed;
+   - a node with a unique consumer [g] is observed iff the flip passes
+     through [g] (local re-evaluation) and [g] is observed — the
+     classic stem-first sensitization step;
+   - a multi-fanout stem needs real propagation.  The stem-first
+     kernel ([ipdom] empty) pays one full event-driven propagation.
+     The critical-path-tracing kernel truncates that propagation at
+     the stem's immediate post-dominator [d]: every output-bound path
+     funnels through [d], corruption that misses [d] is observably
+     dead, and nodes past [d] read good side-input values — so
+     [obs(n) = reach(n -> d) AND obs(d)] exactly, and the chain
+     grounds at a PO or a sink-dominated stem.  Dominator segments
+     shared by several stems are computed once per block. *)
+let rec obs_word ws ~good ~ipdom n =
+  if ws.obs_stamp.(n) = ws.epoch then ws.obs_val.(n)
+  else begin
+    let c = ws.circuit in
+    let v =
+      if Circuit.is_output c n then -1L
+      else
+        let fo = Circuit.fanouts c n in
+        match Array.length fo with
+        | 0 -> 0L
+        | 1 ->
+            let g = fo.(0) in
+            let s = Int64.logxor good.(g) (eval_flip c ~good g n) in
+            if s = 0L then 0L else Int64.logand s (obs_word ws ~good ~ipdom g)
+        | _ ->
+            ws.stat_stem_toggles <- ws.stat_stem_toggles + 1;
+            let w =
+              if Array.length ipdom = 0 then propagate ws ~good n (Int64.lognot good.(n))
+              else
+                match ipdom.(n) with
+                | -2 -> 0L
+                | -1 -> propagate ws ~good n (Int64.lognot good.(n))
+                | d ->
+                    ws.stat_dom_truncations <- ws.stat_dom_truncations + 1;
+                    let reach = propagate_core ws ~good ~stop:d n (Int64.lognot good.(n)) in
+                    if reach = 0L then 0L else Int64.logand reach (obs_word ws ~good ~ipdom d)
+            in
+            if w <> 0L then ws.stat_stem_observable <- ws.stat_stem_observable + 1;
+            w
+    in
+    ws.obs_stamp.(n) <- ws.epoch;
+    ws.obs_val.(n) <- v;
+    v
   end
+
+(* Exact per-fault detection via the probe decomposition: every lane
+   is an independent scalar simulation, so the faulty circuit diverges
+   from the good one at the injection site exactly in the activation
+   lanes, and downstream each activated lane behaves as a full flip at
+   the site.  Hence [D(f) = activation(f) AND obs(site_node f)] — the
+   observability word is shared ("probed" once) by every fault of the
+   site, which is the re-expansion step of the collapsed-universe
+   simulation. *)
+let detect_probe ws ~good ~ipdom (f : Fault.t) =
+  let n = Fault.site_node f in
+  let act = Int64.logxor (injected_value ws ~good f) good.(n) in
+  if act = 0L then 0L
+  else
+    let d = Int64.logand act (obs_word ws ~good ~ipdom n) in
+    if d <> 0L then ws.stat_stem_detect_words <- ws.stat_stem_detect_words + 1;
+    d
+
+(* Per-circuit structural tables a kernel needs. *)
+let kernel_ipdom c = function
+  | Event | Stem -> no_ipdom
+  | Cpt -> Dominators.ipdom_raw (Dominators.compute c)
+
+let detect_with ws ~kernel ~ipdom ~good f =
+  match kernel with
+  | Event -> detect_block ws ~good f
+  | Stem | Cpt -> detect_probe ws ~good ~ipdom f
 
 (* --- whole-pattern-set drivers ------------------------------------ *)
 
-let sim_attrs fl pats jobs =
-  [ ("faults", Trace.Int (Fault_list.count fl));
+let sim_attrs kernel fl pats jobs =
+  [ ("kernel", Trace.Str (kernel_name kernel));
+    ("faults", Trace.Int (Fault_list.count fl));
     ("patterns", Trace.Int (Patterns.count pats)); ("jobs", Trace.Int jobs) ]
 
-let detection_sets_serial fl pats =
+let detection_sets_serial ~kernel fl pats =
   let tr = Trace.current () in
   let observed = Trace.enabled tr in
-  Trace.span tr ~attrs:(sim_attrs fl pats 1) "faultsim.detection_sets" @@ fun () ->
+  Trace.span tr ~attrs:(sim_attrs kernel fl pats 1) "faultsim.detection_sets" @@ fun () ->
   let c = Fault_list.circuit fl in
   let ws = workspace c in
+  let ipdom = kernel_ipdom c kernel in
   let nf = Fault_list.count fl in
   let cnt = Patterns.count pats in
   let dsets = Array.init nf (fun _ -> Bitvec.create cnt) in
   let good = Array.make (Circuit.node_count c) 0L in
   for b = 0 to Patterns.blocks pats - 1 do
     timed_goodsim observed ws c pats b good;
+    new_block ws;
     let mask = block_mask pats b in
     for fi = 0 to nf - 1 do
-      let d = Int64.logand (detect_block ws ~good (Fault_list.get fl fi)) mask in
+      let d = Int64.logand (detect_with ws ~kernel ~ipdom ~good (Fault_list.get fl fi)) mask in
       if d <> 0L then (Bitvec.words dsets.(fi)).(b) <- d
     done
   done;
   publish_stats tr [| ws |];
   dsets
 
-(* Stem-first simulation over a pool.  Detection sets have no
-   cross-block dependency, so each lane owns a static slice of the
-   pattern blocks — private workspace and good-value buffer, one
-   fork-join for the whole run — and writes only its own blocks' words
-   of each detection set.  Every (fault, block) word is computed by
-   exactly one lane, so the result is bit-identical to the serial path
-   regardless of scheduling. *)
-let detection_sets_pooled pool fl pats =
+(* Probe simulation over a pool.  Detection sets have no cross-block
+   dependency, so each lane owns a static slice of the pattern blocks
+   — private workspace and good-value buffer, one fork-join for the
+   whole run — and writes only its own blocks' words of each detection
+   set.  Every (fault, block) word is computed by exactly one lane and
+   its value depends only on (circuit, fault, block), so the result is
+   bit-identical to the serial path regardless of scheduling. *)
+let detection_sets_pooled ~kernel pool fl pats =
   let tr = Trace.current () in
   let observed = Trace.enabled tr in
   Trace.span tr
-    ~attrs:(("kernel", Trace.Str "stem_first") :: sim_attrs fl pats (Parallel.jobs pool))
+    ~attrs:(sim_attrs kernel fl pats (Parallel.jobs pool))
     "faultsim.detection_sets"
   @@ fun () ->
   let c = Fault_list.circuit fl in
-  let plan = stem_plan fl in
+  let ipdom = kernel_ipdom c kernel in
   let nf = Fault_list.count fl in
   let cnt = Patterns.count pats in
   let dsets = Array.init nf (fun _ -> Bitvec.create cnt) in
@@ -348,21 +421,31 @@ let detection_sets_pooled pool fl pats =
           let good = Array.make (Circuit.node_count c) 0L in
           for b = lane * nblocks / k to ((lane + 1) * nblocks / k) - 1 do
             timed_goodsim observed ws c pats b good;
+            new_block ws;
             let mask = block_mask pats b in
-            for si = 0 to Array.length plan.plan_stems - 1 do
-              detect_stem_block ws ~good fl plan si ~mask (fun fi d ->
-                  (Bitvec.words dsets.(fi)).(b) <- d)
+            for fi = 0 to nf - 1 do
+              let d =
+                Int64.logand (detect_with ws ~kernel ~ipdom ~good (Fault_list.get fl fi)) mask
+              in
+              if d <> 0L then (Bitvec.words dsets.(fi)).(b) <- d
             done
           done));
   publish_stats tr wss;
   dsets
 
-let detection_sets ?(jobs = 1) fl pats =
-  if jobs <= 1 then detection_sets_serial fl pats
-  else Parallel.with_pool ~jobs (fun pool -> detection_sets_pooled pool fl pats)
+(* Kernel defaults preserve the historical behaviour: serial
+   [detection_sets] is plain per-fault event propagation, the pooled
+   path rides the stem-first kernel, and the dropping-family drivers
+   stay event-driven unless a kernel is requested. *)
+let auto_detection_kernel jobs = if jobs <= 1 then Event else Stem
+
+let detection_sets ?(jobs = 1) ?kernel fl pats =
+  let k = match kernel with Some k -> k | None -> auto_detection_kernel jobs in
+  if jobs <= 1 then detection_sets_serial ~kernel:k fl pats
+  else Parallel.with_pool ~jobs (fun pool -> detection_sets_pooled ~kernel:k pool fl pats)
 
 let detection_sets_stem_first fl pats =
-  Parallel.with_pool ~jobs:1 (fun pool -> detection_sets_pooled pool fl pats)
+  Parallel.with_pool ~jobs:1 (fun pool -> detection_sets_pooled ~kernel:Stem pool fl pats)
 
 let ndet dsets pats =
   let counts = Array.make (Patterns.count pats) 0 in
@@ -375,7 +458,7 @@ type drop_result = { first_detection : int array; detected : int }
    produced in parallel on static slices of the alive array, then
    merged serially in alive order — the same order the serial loop
    visits, so dropping decisions are identical. *)
-let scan_alive pool wss fl ~good ~mask alive det =
+let scan_alive ~kernel ~ipdom pool wss fl ~good ~mask alive det =
   let n = Array.length alive in
   let lanes = Parallel.jobs pool in
   let k = min lanes (max n 1) in
@@ -385,15 +468,19 @@ let scan_alive pool wss fl ~good ~mask alive det =
           let ws = wss.(lane) in
           let lo = lane * n / k and hi = (lane + 1) * n / k in
           for i = lo to hi - 1 do
-            det.(i) <- Int64.logand (detect_block ws ~good (Fault_list.get fl alive.(i))) mask
+            det.(i) <-
+              Int64.logand
+                (detect_with ws ~kernel ~ipdom ~good (Fault_list.get fl alive.(i)))
+                mask
           done))
 
-let with_dropping_serial fl pats =
+let with_dropping_serial ~kernel fl pats =
   let tr = Trace.current () in
   let observed = Trace.enabled tr in
-  Trace.span tr ~attrs:(sim_attrs fl pats 1) "faultsim.with_dropping" @@ fun () ->
+  Trace.span tr ~attrs:(sim_attrs kernel fl pats 1) "faultsim.with_dropping" @@ fun () ->
   let c = Fault_list.circuit fl in
   let ws = workspace c in
+  let ipdom = kernel_ipdom c kernel in
   let nf = Fault_list.count fl in
   let first = Array.make nf (-1) in
   let detected = ref 0 in
@@ -403,11 +490,14 @@ let with_dropping_serial fl pats =
   let nblocks = Patterns.blocks pats in
   while !b < nblocks && !alive <> [] do
     timed_goodsim observed ws c pats !b good;
+    new_block ws;
     let mask = block_mask pats !b in
     alive :=
       List.filter
         (fun fi ->
-          let d = Int64.logand (detect_block ws ~good (Fault_list.get fl fi)) mask in
+          let d =
+            Int64.logand (detect_with ws ~kernel ~ipdom ~good (Fault_list.get fl fi)) mask
+          in
           if d = 0L then true
           else begin
             first.(fi) <- (!b * 64) + Bitvec.ctz d;
@@ -420,12 +510,13 @@ let with_dropping_serial fl pats =
   publish_stats tr [| ws |];
   { first_detection = first; detected = !detected }
 
-let with_dropping_pooled pool fl pats =
+let with_dropping_pooled ~kernel pool fl pats =
   let tr = Trace.current () in
   let observed = Trace.enabled tr in
-  Trace.span tr ~attrs:(sim_attrs fl pats (Parallel.jobs pool)) "faultsim.with_dropping"
+  Trace.span tr ~attrs:(sim_attrs kernel fl pats (Parallel.jobs pool)) "faultsim.with_dropping"
   @@ fun () ->
   let c = Fault_list.circuit fl in
+  let ipdom = kernel_ipdom c kernel in
   let lanes = Parallel.jobs pool in
   let wss = Array.init lanes (fun _ -> workspace c) in
   let nf = Fault_list.count fl in
@@ -438,9 +529,10 @@ let with_dropping_pooled pool fl pats =
   let nblocks = Patterns.blocks pats in
   while !b < nblocks && Array.length !alive > 0 do
     timed_goodsim observed wss.(0) c pats !b good;
+    Array.iter new_block wss;
     let mask = block_mask pats !b in
     let a = !alive in
-    scan_alive pool wss fl ~good ~mask a det;
+    scan_alive ~kernel ~ipdom pool wss fl ~good ~mask a det;
     let next = ref [] in
     for i = Array.length a - 1 downto 0 do
       let d = det.(i) in
@@ -456,17 +548,20 @@ let with_dropping_pooled pool fl pats =
   publish_stats tr wss;
   { first_detection = first; detected = !detected }
 
-let with_dropping ?(jobs = 1) fl pats =
-  if jobs <= 1 then with_dropping_serial fl pats
-  else Parallel.with_pool ~jobs (fun pool -> with_dropping_pooled pool fl pats)
+let with_dropping ?(jobs = 1) ?(kernel = Event) fl pats =
+  if jobs <= 1 then with_dropping_serial ~kernel fl pats
+  else Parallel.with_pool ~jobs (fun pool -> with_dropping_pooled ~kernel pool fl pats)
 
-let n_detection_serial fl pats ~n =
+let n_detection_serial ~kernel fl pats ~n =
   let tr = Trace.current () in
   let observed = Trace.enabled tr in
-  Trace.span tr ~attrs:(("n", Trace.Int n) :: sim_attrs fl pats 1) "faultsim.n_detection"
+  Trace.span tr
+    ~attrs:(("n", Trace.Int n) :: sim_attrs kernel fl pats 1)
+    "faultsim.n_detection"
   @@ fun () ->
   let c = Fault_list.circuit fl in
   let ws = workspace c in
+  let ipdom = kernel_ipdom c kernel in
   let nf = Fault_list.count fl in
   let counts = Array.make nf 0 in
   let good = Array.make (Circuit.node_count c) 0L in
@@ -475,11 +570,14 @@ let n_detection_serial fl pats ~n =
   let nblocks = Patterns.blocks pats in
   while !b < nblocks && !alive <> [] do
     timed_goodsim observed ws c pats !b good;
+    new_block ws;
     let mask = block_mask pats !b in
     alive :=
       List.filter
         (fun fi ->
-          let d = Int64.logand (detect_block ws ~good (Fault_list.get fl fi)) mask in
+          let d =
+            Int64.logand (detect_with ws ~kernel ~ipdom ~good (Fault_list.get fl fi)) mask
+          in
           if d <> 0L then counts.(fi) <- min n (counts.(fi) + Bitvec.popcount_word d);
           counts.(fi) < n)
         !alive;
@@ -488,14 +586,15 @@ let n_detection_serial fl pats ~n =
   publish_stats tr [| ws |];
   counts
 
-let n_detection_pooled pool fl pats ~n =
+let n_detection_pooled ~kernel pool fl pats ~n =
   let tr = Trace.current () in
   let observed = Trace.enabled tr in
   Trace.span tr
-    ~attrs:(("n", Trace.Int n) :: sim_attrs fl pats (Parallel.jobs pool))
+    ~attrs:(("n", Trace.Int n) :: sim_attrs kernel fl pats (Parallel.jobs pool))
     "faultsim.n_detection"
   @@ fun () ->
   let c = Fault_list.circuit fl in
+  let ipdom = kernel_ipdom c kernel in
   let lanes = Parallel.jobs pool in
   let wss = Array.init lanes (fun _ -> workspace c) in
   let nf = Fault_list.count fl in
@@ -507,9 +606,10 @@ let n_detection_pooled pool fl pats ~n =
   let nblocks = Patterns.blocks pats in
   while !b < nblocks && Array.length !alive > 0 do
     timed_goodsim observed wss.(0) c pats !b good;
+    Array.iter new_block wss;
     let mask = block_mask pats !b in
     let a = !alive in
-    scan_alive pool wss fl ~good ~mask a det;
+    scan_alive ~kernel ~ipdom pool wss fl ~good ~mask a det;
     let next = ref [] in
     for i = Array.length a - 1 downto 0 do
       let fi = a.(i) in
@@ -523,10 +623,10 @@ let n_detection_pooled pool fl pats ~n =
   publish_stats tr wss;
   counts
 
-let n_detection ?(jobs = 1) fl pats ~n =
+let n_detection ?(jobs = 1) ?(kernel = Event) fl pats ~n =
   if n <= 0 then invalid_arg "Faultsim.n_detection: n must be positive";
-  if jobs <= 1 then n_detection_serial fl pats ~n
-  else Parallel.with_pool ~jobs (fun pool -> n_detection_pooled pool fl pats ~n)
+  if jobs <= 1 then n_detection_serial ~kernel fl pats ~n
+  else Parallel.with_pool ~jobs (fun pool -> n_detection_pooled ~kernel pool fl pats ~n)
 
 (* Keep only the earliest detections of [d] up to the cap. *)
 let keep_capped counts fi ~n d =
@@ -539,15 +639,16 @@ let keep_capped counts fi ~n d =
   done;
   !kept
 
-let detection_sets_capped_serial fl pats ~n =
+let detection_sets_capped_serial ~kernel fl pats ~n =
   let tr = Trace.current () in
   let observed = Trace.enabled tr in
   Trace.span tr
-    ~attrs:(("n", Trace.Int n) :: sim_attrs fl pats 1)
+    ~attrs:(("n", Trace.Int n) :: sim_attrs kernel fl pats 1)
     "faultsim.detection_sets_capped"
   @@ fun () ->
   let c = Fault_list.circuit fl in
   let ws = workspace c in
+  let ipdom = kernel_ipdom c kernel in
   let nf = Fault_list.count fl in
   let cnt = Patterns.count pats in
   let dsets = Array.init nf (fun _ -> Bitvec.create cnt) in
@@ -558,11 +659,14 @@ let detection_sets_capped_serial fl pats ~n =
   let nblocks = Patterns.blocks pats in
   while !b < nblocks && !alive <> [] do
     timed_goodsim observed ws c pats !b good;
+    new_block ws;
     let mask = block_mask pats !b in
     alive :=
       List.filter
         (fun fi ->
-          let d = Int64.logand (detect_block ws ~good (Fault_list.get fl fi)) mask in
+          let d =
+            Int64.logand (detect_with ws ~kernel ~ipdom ~good (Fault_list.get fl fi)) mask
+          in
           if d <> 0L then (Bitvec.words dsets.(fi)).(!b) <- keep_capped counts fi ~n d;
           counts.(fi) < n)
         !alive;
@@ -571,14 +675,15 @@ let detection_sets_capped_serial fl pats ~n =
   publish_stats tr [| ws |];
   dsets
 
-let detection_sets_capped_pooled pool fl pats ~n =
+let detection_sets_capped_pooled ~kernel pool fl pats ~n =
   let tr = Trace.current () in
   let observed = Trace.enabled tr in
   Trace.span tr
-    ~attrs:(("n", Trace.Int n) :: sim_attrs fl pats (Parallel.jobs pool))
+    ~attrs:(("n", Trace.Int n) :: sim_attrs kernel fl pats (Parallel.jobs pool))
     "faultsim.detection_sets_capped"
   @@ fun () ->
   let c = Fault_list.circuit fl in
+  let ipdom = kernel_ipdom c kernel in
   let lanes = Parallel.jobs pool in
   let wss = Array.init lanes (fun _ -> workspace c) in
   let nf = Fault_list.count fl in
@@ -592,9 +697,10 @@ let detection_sets_capped_pooled pool fl pats ~n =
   let nblocks = Patterns.blocks pats in
   while !b < nblocks && Array.length !alive > 0 do
     timed_goodsim observed wss.(0) c pats !b good;
+    Array.iter new_block wss;
     let mask = block_mask pats !b in
     let a = !alive in
-    scan_alive pool wss fl ~good ~mask a det;
+    scan_alive ~kernel ~ipdom pool wss fl ~good ~mask a det;
     let next = ref [] in
     for i = Array.length a - 1 downto 0 do
       let fi = a.(i) in
@@ -608,10 +714,11 @@ let detection_sets_capped_pooled pool fl pats ~n =
   publish_stats tr wss;
   dsets
 
-let detection_sets_capped ?(jobs = 1) fl pats ~n =
+let detection_sets_capped ?(jobs = 1) ?(kernel = Event) fl pats ~n =
   if n <= 0 then invalid_arg "Faultsim.detection_sets_capped: n must be positive";
-  if jobs <= 1 then detection_sets_capped_serial fl pats ~n
-  else Parallel.with_pool ~jobs (fun pool -> detection_sets_capped_pooled pool fl pats ~n)
+  if jobs <= 1 then detection_sets_capped_serial ~kernel fl pats ~n
+  else
+    Parallel.with_pool ~jobs (fun pool -> detection_sets_capped_pooled ~kernel pool fl pats ~n)
 
 let detects c f pi_values =
   if Array.length pi_values <> Array.length (Circuit.inputs c) then

@@ -1,28 +1,57 @@
 (** Single-stuck-at fault simulation.
 
     The engine is parallel-pattern single-fault propagation (PPSFP):
-    64 patterns are simulated fault-free per block, then each fault is
-    injected and its effect propagated event-driven through the
-    levelised fanout cone, comparing against the good values at the
-    primary outputs.
+    64 patterns are simulated fault-free per block, then per-fault
+    detection words are derived by one of three kernels:
+
+    - {b event} — inject each fault and propagate its effect
+      event-driven through the levelised fanout cone, comparing
+      against the good values at the primary outputs.  The reference
+      kernel.
+    - {b stem} — probe decomposition: each of the 64 lanes is an
+      independent scalar simulation, so
+      [D(f) = activation(f) AND obs(site_node f)], where [obs(n)] is
+      the word of lanes in which complementing [n] changes some
+      output.  Observability is memoised per block and per site
+      ("probe"), shared by every fault injecting at that site; chains
+      of single-consumer nodes pay a local gate re-evaluation each,
+      and only multi-fanout stems pay a real propagation.
+    - {b cpt} — critical-path tracing: the stem kernel with each
+      multi-fanout propagation truncated at the stem's immediate
+      post-dominator ({!Dominators}):
+      [obs(n) = reach(n -> ipdom n) AND obs(ipdom n)].  Every
+      output-bound path funnels through the post-dominator, so
+      corruption that misses it is observably dead, and divergence at
+      the post-dominator is exact because its fanins are final when
+      its level is processed.
+
+    All three kernels produce {e bit-identical} detection words for
+    every fault; they differ only in work per word.
 
     Every driver takes an optional [?jobs] argument (default 1).  With
-    [jobs = 1] the original serial loops run unchanged — the reference
-    implementation.  With [jobs > 1] the work is spread over a
-    {!Util.Parallel} domain pool: each domain owns a private
-    {!workspace} and a static slice of the fault indices while all
-    domains share the read-only good-value block, and detection words
-    are merged in a fixed order, so results are bit-identical to the
-    serial path regardless of scheduling.  [detection_sets] with
-    [jobs > 1] additionally uses stem-first FFR acceleration (see
-    {!detection_sets_stem_first}).
+    [jobs = 1] a single workspace runs the serial loops — the
+    reference implementation.  With [jobs > 1] the work is spread over
+    a {!Util.Parallel} domain pool: each domain owns a private
+    {!workspace} and a static slice of the work while all domains
+    share read-only inputs, and detection words are merged in a fixed
+    order, so results are bit-identical to the serial path regardless
+    of scheduling.
 
     All entry points require a combinational circuit. *)
 
+type kernel =
+  | Event  (** per-fault event-driven propagation *)
+  | Stem  (** memoised site-probe observability, full stem propagation *)
+  | Cpt  (** site-probe observability truncated at post-dominators *)
+
+val kernel_name : kernel -> string
+val kernel_names : string list
+val kernel_of_string : string -> kernel option
+
 type workspace
-(** Reusable scratch state (faulty-value slab, scheduling buckets).
-    One workspace serves any number of [detect_block] calls on its
-    circuit. *)
+(** Reusable scratch state (faulty-value slab, scheduling buckets,
+    per-block observability memo).  One workspace serves any number of
+    [detect_block] calls on its circuit. *)
 
 val workspace : Circuit.t -> workspace
 
@@ -41,9 +70,10 @@ val detect_block : workspace -> good:int64 array -> Fault.t -> int64
 
 type sim_stats = {
   propagations : int;  (** event-driven propagation passes *)
-  stem_toggles : int;  (** stem-first kernel: stems toggled *)
+  stem_toggles : int;  (** probe kernels: multi-fanout stems probed *)
   stem_observable : int;  (** …of which some lane reached an output *)
   stem_detect_words : int;  (** nonzero per-fault detection words emitted *)
+  dom_truncations : int;  (** cpt kernel: propagations truncated at a post-dominator *)
   goodsim_s : float;  (** seconds inside {!Goodsim.block_into} (0 unless tracing) *)
 }
 
@@ -51,27 +81,27 @@ val stats : workspace -> sim_stats
 
 val publish_stats : Util.Trace.t -> workspace array -> unit
 (** Sum the workspaces' counters into the tracer's metrics registry
-    ([faultsim.propagations], [faultsim.stem_*], per-lane
-    [goodsim.lane_s] histogram samples).  No-op on a disabled
-    tracer.  The whole-set drivers below call this themselves; it is
-    exported for callers that drive {!detect_block} directly (the ATPG
-    engine). *)
+    ([faultsim.propagations], [faultsim.stem_*],
+    [faultsim.dom_truncations], per-lane [goodsim.lane_s] histogram
+    samples).  No-op on a disabled tracer.  The whole-set drivers below
+    call this themselves; it is exported for callers that drive
+    {!detect_block} directly (the ATPG engine). *)
 
-(** {1 Whole-pattern-set drivers} *)
+(** {1 Whole-pattern-set drivers}
 
-val detection_sets : ?jobs:int -> Fault_list.t -> Patterns.t -> Util.Bitvec.t array
+    When [?kernel] is omitted the historical defaults apply:
+    [detection_sets] auto-selects (event when [jobs <= 1], stem
+    otherwise); the dropping-family drivers run event-driven. *)
+
+val detection_sets :
+  ?jobs:int -> ?kernel:kernel -> Fault_list.t -> Patterns.t -> Util.Bitvec.t array
 (** Simulation {e without fault dropping}: for every fault [f] the full
     detection set [D(f)] over all patterns — the input the accidental
     detection index is computed from. *)
 
 val detection_sets_stem_first : Fault_list.t -> Patterns.t -> Util.Bitvec.t array
-(** {!detection_sets} via fanout-free-region acceleration on a single
-    domain: one full propagation per fault-bearing FFR stem (a lane-wise
-    stem toggle) yields the stem's output observability word; each fault
-    of the region then pays only a local sensitization walk along its
-    unique path to the stem.  Within an FFR a fault effect either dies
-    or arrives at the stem as a plain value flip, so the result is
-    bit-identical to per-fault propagation. *)
+(** [detection_sets ~kernel:Stem] on a single pooled domain; kept as a
+    named entry point for benchmarks and tests. *)
 
 val ndet : Util.Bitvec.t array -> Patterns.t -> int array
 (** [ndet dsets pats] gives [ndet(u)] — the number of faults detected
@@ -83,18 +113,20 @@ type drop_result = {
   detected : int;  (** number of detected faults *)
 }
 
-val with_dropping : ?jobs:int -> Fault_list.t -> Patterns.t -> drop_result
+val with_dropping :
+  ?jobs:int -> ?kernel:kernel -> Fault_list.t -> Patterns.t -> drop_result
 (** Simulation with fault dropping: each fault is removed from
     consideration after its first detection. *)
 
-val n_detection : ?jobs:int -> Fault_list.t -> Patterns.t -> n:int -> int array
+val n_detection :
+  ?jobs:int -> ?kernel:kernel -> Fault_list.t -> Patterns.t -> n:int -> int array
 (** n-detection simulation: per fault, the number of detecting patterns
     seen, counting at most [n] (a fault is dropped after its [n]-th
     detection).  [n_detection fl pats ~n:1] counts like
     {!with_dropping}. *)
 
 val detection_sets_capped :
-  ?jobs:int -> Fault_list.t -> Patterns.t -> n:int -> Util.Bitvec.t array
+  ?jobs:int -> ?kernel:kernel -> Fault_list.t -> Patterns.t -> n:int -> Util.Bitvec.t array
 (** n-detection variant of {!detection_sets}: each fault's detection
     set records at most its [n] earliest detecting patterns (the fault
     is dropped afterwards).  The paper's cheaper alternative for

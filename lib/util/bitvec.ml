@@ -71,6 +71,33 @@ let diff_into ~dst src =
     dst.w.(i) <- Int64.logand dst.w.(i) (Int64.lognot src.w.(i))
   done
 
+let xor_into ~dst src =
+  same_len dst src;
+  for i = 0 to Array.length dst.w - 1 do
+    dst.w.(i) <- Int64.logxor dst.w.(i) src.w.(i)
+  done
+
+let iteri_words t f =
+  for i = 0 to Array.length t.w - 1 do
+    f i t.w.(i)
+  done
+
+(* Batch accumulate: one pass over the destination words, gathering all
+   sources per word, instead of |srcs| full passes.  The gather loop
+   touches each source word once, so the destination line stays hot. *)
+let union_many ~dst srcs =
+  Array.iter (fun s -> same_len dst s) srcs;
+  let k = Array.length srcs in
+  if k = 1 then union_into ~dst srcs.(0)
+  else if k > 1 then
+    for i = 0 to Array.length dst.w - 1 do
+      let acc = ref dst.w.(i) in
+      for j = 0 to k - 1 do
+        acc := Int64.logor !acc (words srcs.(j)).(i)
+      done;
+      dst.w.(i) <- !acc
+    done
+
 let is_zero t = Array.for_all (fun w -> w = 0L) t.w
 
 (* Constant-time count-trailing-zeros: isolate the lowest set bit and

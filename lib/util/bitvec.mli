@@ -53,6 +53,22 @@ val inter_into : dst:t -> t -> unit
 val diff_into : dst:t -> t -> unit
 (** [dst <- dst AND NOT src]. *)
 
+val xor_into : dst:t -> t -> unit
+(** [dst <- dst XOR src].  Widths must match.  Because both operands
+    keep their padding bits zero, the result is already normalised. *)
+
+val union_many : dst:t -> t array -> unit
+(** [union_many ~dst srcs] ORs every vector of [srcs] into [dst] in a
+    single pass over the destination words (the batch-accumulate
+    kernel behind detection-set unions).  Widths must match; an empty
+    array is a no-op. *)
+
+val iteri_words : t -> (int -> int64 -> unit) -> unit
+(** [iteri_words t f] calls [f i w] for every underlying word, in
+    increasing word index — the word-block iteration primitive for
+    callers that consume 64 bits at a time.  Word [i] covers bits
+    [64i .. 64i+63]; padding bits of the last word are zero. *)
+
 val is_zero : t -> bool
 
 val iter_set : t -> (int -> unit) -> unit

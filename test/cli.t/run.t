@@ -13,6 +13,10 @@ Fault counting and collapsing:
   full fault universe : 46
   collapsed (classes) : 22
   collapse ratio      : 2.09
+  prime (dominance)   : 16
+  dominance ratio     : 2.88
+  checkpoint classes  : 18
+  probe sites         : 11
 
 Random-pattern fault simulation:
 
@@ -167,6 +171,25 @@ the shared flag table, before they can reach the domain pool:
   adi-atpg: error: --jobs must be at least 1 (got 0) [E-flag]
   [2]
 
+The fault-simulation kernel is a pure throughput knob: every kernel
+produces the same report, and an unknown kernel is a typed E-flag:
+
+  $ adi-atpg atpg c17 --order 0dynm --faultsim-kernel event | head -3
+  order       : F0dynm
+  tests       : 6
+  coverage    : 1.000
+  $ adi-atpg atpg c17 --order 0dynm --faultsim-kernel stem | head -3
+  order       : F0dynm
+  tests       : 6
+  coverage    : 1.000
+  $ adi-atpg atpg c17 --order 0dynm --faultsim-kernel cpt | head -3
+  order       : F0dynm
+  tests       : 6
+  coverage    : 1.000
+  $ adi-atpg atpg c17 --faultsim-kernel warp
+  adi-atpg: error: unknown fault-simulation kernel "warp" (expected event, stem or cpt) [E-flag]
+  [2]
+
 --metrics appends the phase/counter/histogram tables after the
 ordinary report; the instrumented names are stable:
 
@@ -194,6 +217,10 @@ ordinary report; the instrumented names are stable:
   faultsim.propagations
   faultsim.with_dropping
   goodsim.lane_s
+  pipeline.collapse.classes
+  pipeline.collapse.full
+  pipeline.collapse.prime
+  pipeline.collapse.probes
   pipeline.engine
   pipeline.faults
   pipeline.order

@@ -129,6 +129,121 @@ let collapse_inverter_chain () =
   let r = Collapse.equivalence (Fault_list.full c) in
   check Alcotest.int "two classes" 2 (Fault_list.count r.Collapse.representatives)
 
+(* --- dominance and the expansion map ------------------------------ *)
+
+let collapse_c17_stages () =
+  let r = Collapse.equivalence (Fault_list.full (Library.c17 ())) in
+  let st = r.Collapse.stages in
+  check Alcotest.int "full" 46 st.Collapse.full;
+  check Alcotest.int "equivalence" 22 st.Collapse.equivalence;
+  check Alcotest.int "prime" 16 st.Collapse.prime;
+  check Alcotest.int "checkpoints" 18 st.Collapse.checkpoints;
+  check Alcotest.int "probes" 11 st.Collapse.probes;
+  check Alcotest.int "expansion_size" 11 (Collapse.expansion_size r);
+  check Alcotest.bool "dominance ratio > equivalence ratio" true
+    (Collapse.dominance_ratio r > Collapse.collapse_ratio r)
+
+let collapse_prime_consistency =
+  QCheck.Test.make ~name:"prime list = un-dropped representatives, in order" ~count:50
+    arb_circuit
+  @@ fun c ->
+  let fl = Fault_list.full c in
+  let r = Collapse.equivalence fl in
+  let nrep = Fault_list.count r.Collapse.representatives in
+  let expected = ref [] in
+  for ri = nrep - 1 downto 0 do
+    if not r.Collapse.dropped.(ri) then
+      expected := Fault_list.get r.Collapse.representatives ri :: !expected
+  done;
+  let expected = Array.of_list !expected in
+  Array.length expected = Fault_list.count r.Collapse.prime
+  && Array.length expected = r.Collapse.stages.Collapse.prime
+  && Array.for_all2 Fault.equal expected
+       (Array.init (Fault_list.count r.Collapse.prime) (Fault_list.get r.Collapse.prime))
+
+let collapse_probe_map =
+  QCheck.Test.make ~name:"probe map groups representatives by injection site" ~count:50
+    arb_circuit
+  @@ fun c ->
+  let fl = Fault_list.full c in
+  let r = Collapse.equivalence fl in
+  let nrep = Fault_list.count r.Collapse.representatives in
+  let np = Array.length r.Collapse.probe_nodes in
+  let increasing = ref true in
+  for i = 1 to np - 1 do
+    if r.Collapse.probe_nodes.(i) <= r.Collapse.probe_nodes.(i - 1) then increasing := false
+  done;
+  let hit = Array.make np false in
+  let consistent = ref true in
+  for ri = 0 to nrep - 1 do
+    let p = r.Collapse.probe_of.(ri) in
+    if
+      p < 0 || p >= np
+      || r.Collapse.probe_nodes.(p)
+         <> Fault.site_node (Fault_list.get r.Collapse.representatives ri)
+    then consistent := false
+    else hit.(p) <- true
+  done;
+  !increasing && !consistent && Array.for_all Fun.id hit
+  && np = r.Collapse.stages.Collapse.probes
+  && np <= nrep
+
+(* Soundness of dominance dropping: a dropped class is justified by a
+   chain of classes with ever-smaller detection sets that ends at a
+   surviving (prime) class, so some prime class's detection set is
+   included in every dropped class's.  Checked exhaustively with the
+   naive oracle on small circuits. *)
+let collapse_dominance_sound =
+  QCheck.Test.make ~name:"every dropped class is covered by a prime class" ~count:20
+    (QCheck.make
+       QCheck.Gen.(
+         int_range 2 4 >>= fun pis ->
+         int_range 3 12 >>= fun gates ->
+         int_bound 10_000 >>= fun seed ->
+         return (Generate.random ~seed ~name:"qc" (Generate.profile ~pis ~gates ()))))
+  @@ fun c ->
+  let fl = Fault_list.full c in
+  let r = Collapse.equivalence fl in
+  let pats = Patterns.exhaustive ~n_inputs:(Array.length (Circuit.inputs c)) in
+  let table = Refsim.detection_table fl pats in
+  let nrep = Fault_list.count r.Collapse.representatives in
+  let dset ri =
+    let rep = Fault_list.get r.Collapse.representatives ri in
+    table.(Option.get (Fault_list.index fl rep))
+  in
+  let subset a b = Array.for_all2 (fun x y -> (not x) || y) a b in
+  let ok = ref true in
+  for ri = 0 to nrep - 1 do
+    if r.Collapse.dropped.(ri) then begin
+      let d = dset ri in
+      let covered = ref false in
+      for pj = 0 to nrep - 1 do
+        if (not r.Collapse.dropped.(pj)) && subset (dset pj) d then covered := true
+      done;
+      if not !covered then ok := false
+    end
+  done;
+  !ok
+
+let collapse_checkpoints_inverter_chain () =
+  (* a -> NOT -> NOT -> out: two classes, both containing the PI
+     faults, and both representatives (the PI stem faults) inject at
+     the single node [a] — one probe site. *)
+  let b = Circuit.Builder.create () in
+  let a = Circuit.Builder.input b "a" in
+  let n1 = Circuit.Builder.gate b Gate.Not "n1" [ a ] in
+  let n2 = Circuit.Builder.gate b Gate.Not "n2" [ n1 ] in
+  Circuit.Builder.mark_output b n2;
+  let c = Circuit.Builder.finish b in
+  let r = Collapse.equivalence (Fault_list.full c) in
+  let st = r.Collapse.stages in
+  check Alcotest.int "checkpoint classes" 2 st.Collapse.checkpoints;
+  check Alcotest.int "one probe site" 1 st.Collapse.probes;
+  check Alcotest.bool "PI stem is a checkpoint" true
+    (Collapse.is_checkpoint c (Fault.stem a true));
+  check Alcotest.bool "fanout-free branch is not" false
+    (Collapse.is_checkpoint c (Fault.branch ~gate:n2 ~pin:0 true))
+
 let () =
   Util.Trace.install_from_env ();
   Alcotest.run "faults"
@@ -149,5 +264,14 @@ let () =
           qtest collapse_partition;
           qtest collapse_representative_in_class;
           qtest collapse_equivalent_same_detection;
+        ] );
+      ( "dominance",
+        [
+          Alcotest.test_case "c17 stages" `Quick collapse_c17_stages;
+          Alcotest.test_case "inverter-chain checkpoints" `Quick
+            collapse_checkpoints_inverter_chain;
+          qtest collapse_prime_consistency;
+          qtest collapse_probe_map;
+          qtest collapse_dominance_sound;
         ] );
     ]

@@ -306,6 +306,85 @@ let parallel_dropping_identical =
        (Faultsim.detection_sets_capped fl pats ~n:3)
        (Faultsim.detection_sets_capped ~jobs:env_jobs fl pats ~n:3)
 
+(* --- kernel parity ------------------------------------------------- *)
+
+(* The stem and cpt kernels are pure work-saving transformations of
+   the event-driven reference: every kernel x collapsing mode x pool
+   size must produce the same detection words, byte for byte. *)
+let kernels = [ Faultsim.Event; Faultsim.Stem; Faultsim.Cpt ]
+
+let kernel_detection_sets_identical =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "detection_sets kernels x jobs 1/%d are byte-identical" env_jobs)
+    ~count:20 arb_circuit
+  @@ fun c ->
+  let n_inputs = Array.length (Circuit.inputs c) in
+  List.for_all
+    (fun fl ->
+      let rng = Rng.create 71 in
+      let pats = Patterns.random rng ~n_inputs ~count:150 in
+      let reference = Faultsim.detection_sets ~kernel:Faultsim.Event fl pats in
+      List.for_all
+        (fun k ->
+          words_equal reference (Faultsim.detection_sets ~kernel:k fl pats)
+          && words_equal reference (Faultsim.detection_sets ~jobs:env_jobs ~kernel:k fl pats))
+        kernels)
+    [ Collapse.collapsed c; Fault_list.full c ]
+
+let kernel_dropping_family_identical =
+  QCheck.Test.make
+    ~name:"with_dropping/n_detection/capped kernels are byte-identical" ~count:15 arb_circuit
+  @@ fun c ->
+  let fl = Collapse.collapsed c in
+  let n_inputs = Array.length (Circuit.inputs c) in
+  let rng = Rng.create 73 in
+  let pats = Patterns.random rng ~n_inputs ~count:150 in
+  let drop0 = Faultsim.with_dropping fl pats in
+  let nd0 = Faultsim.n_detection fl pats ~n:3 in
+  let cap0 = Faultsim.detection_sets_capped fl pats ~n:3 in
+  List.for_all
+    (fun k ->
+      drop0 = Faultsim.with_dropping ~kernel:k fl pats
+      && drop0 = Faultsim.with_dropping ~jobs:env_jobs ~kernel:k fl pats
+      && nd0 = Faultsim.n_detection ~kernel:k fl pats ~n:3
+      && nd0 = Faultsim.n_detection ~jobs:env_jobs ~kernel:k fl pats ~n:3
+      && words_equal cap0 (Faultsim.detection_sets_capped ~kernel:k fl pats ~n:3)
+      && words_equal cap0 (Faultsim.detection_sets_capped ~jobs:env_jobs ~kernel:k fl pats ~n:3))
+    kernels
+
+let kernel_matches_oracle =
+  QCheck.Test.make ~name:"stem/cpt kernels = naive oracle" ~count:15 arb_circuit
+  @@ fun c ->
+  let fl = Collapse.collapsed c in
+  let n_inputs = Array.length (Circuit.inputs c) in
+  let rng = Rng.create 79 in
+  let pats = Patterns.random rng ~n_inputs ~count:80 in
+  let slow = Refsim.detection_table fl pats in
+  List.for_all
+    (fun k ->
+      let fast = Faultsim.detection_sets ~kernel:k fl pats in
+      let ok = ref true in
+      Array.iteri
+        (fun fi d ->
+          Array.iteri (fun p expect -> if Bitvec.get d p <> expect then ok := false) slow.(fi))
+        fast;
+      !ok)
+    [ Faultsim.Stem; Faultsim.Cpt ]
+
+let kernel_names_roundtrip () =
+  List.iter
+    (fun k ->
+      check Alcotest.bool "roundtrip" true
+        (Faultsim.kernel_of_string (Faultsim.kernel_name k) = Some k))
+    kernels;
+  check Alcotest.bool "unknown rejected" true (Faultsim.kernel_of_string "warp" = None);
+  check
+    Alcotest.(list string)
+    "names" [ "event"; "stem"; "cpt" ]
+    (List.map Faultsim.kernel_name kernels);
+  check Alcotest.(list string) "kernel_names" Faultsim.kernel_names
+    (List.map Faultsim.kernel_name kernels)
+
 (* --- deductive simulation ------------------------------------------ *)
 
 let deductive_matches_event_driven =
@@ -426,6 +505,10 @@ let () =
           qtest stem_first_identical;
           qtest stem_first_full_universe;
           qtest parallel_dropping_identical;
+          qtest kernel_detection_sets_identical;
+          qtest kernel_dropping_family_identical;
+          qtest kernel_matches_oracle;
+          Alcotest.test_case "kernel names roundtrip" `Quick kernel_names_roundtrip;
           qtest deductive_matches_event_driven;
           qtest deductive_full_universe;
           qtest dictionary_diagnoses_injected_fault;

@@ -137,6 +137,67 @@ let bitvec_iter_set =
   Bitvec.iter_set v (fun i -> seen := i :: !seen);
   List.rev !seen = List.filter (fun i -> a.(i)) (List.init (Array.length a) Fun.id)
 
+let bitvec_block_ops =
+  QCheck.Test.make ~name:"Bitvec xor_into/union_many match boolean ops" ~count:200
+    (QCheck.make
+       QCheck.Gen.(
+         int_range 1 150 >>= fun n ->
+         pair (bool_array_gen n) (list_size (int_bound 5) (bool_array_gen n))))
+  @@ fun (a, srcs) ->
+  let xored =
+    match srcs with
+    | [] -> a
+    | b :: _ ->
+        let v = Bitvec.of_bool_array a in
+        Bitvec.xor_into ~dst:v (Bitvec.of_bool_array b);
+        Bitvec.to_bool_array v
+  in
+  let unioned =
+    let v = Bitvec.of_bool_array a in
+    Bitvec.union_many ~dst:v (Array.of_list (List.map Bitvec.of_bool_array srcs));
+    Bitvec.to_bool_array v
+  in
+  xored
+  = (match srcs with [] -> a | b :: _ -> Array.map2 (fun x y -> x <> y) a b)
+  && unioned = List.fold_left (Array.map2 ( || )) a srcs
+
+let bitvec_iteri_words =
+  QCheck.Test.make ~name:"Bitvec.iteri_words covers every bit with zero padding" ~count:200
+    (QCheck.make QCheck.Gen.(int_range 1 200 >>= bool_array_gen))
+  @@ fun a ->
+  let v = Bitvec.of_bool_array a in
+  let n = Array.length a in
+  let ok = ref true in
+  let words = ref 0 in
+  Bitvec.iteri_words v (fun i w ->
+      incr words;
+      for j = 0 to 63 do
+        let bit = Int64.logand (Int64.shift_right_logical w j) 1L = 1L in
+        let idx = (64 * i) + j in
+        let expect = idx < n && a.(idx) in
+        if bit <> expect then ok := false
+      done);
+  !ok && !words = (n + 63) / 64
+
+let bitvec_block_ops_normalised () =
+  (* In-place ops on a non-multiple-of-64 length must keep the padding
+     zero, or popcount/iter_set would see ghost bits. *)
+  let a = Bitvec.create 70 in
+  let b = Bitvec.create 70 in
+  Bitvec.fill b true;
+  Bitvec.xor_into ~dst:a b;
+  check Alcotest.int "xor_into popcount" 70 (Bitvec.popcount a);
+  let u = Bitvec.create 70 in
+  Bitvec.union_many ~dst:u [| b; b; b |];
+  check Alcotest.int "union_many popcount" 70 (Bitvec.popcount u);
+  Bitvec.union_many ~dst:u [||];
+  check Alcotest.int "empty union_many is a no-op" 70 (Bitvec.popcount u);
+  check Alcotest.bool "length mismatch rejected" true
+    (try
+       Bitvec.union_many ~dst:u [| Bitvec.create 64 |];
+       false
+     with Invalid_argument _ -> true)
+
 let bitvec_first_set () =
   let v = Bitvec.create 100 in
   check Alcotest.(option int) "none" None (Bitvec.first_set v);
@@ -573,6 +634,9 @@ let () =
           qtest bitvec_iter_set;
           qtest bitvec_ctz;
           qtest bitvec_popcount_word;
+          qtest bitvec_block_ops;
+          qtest bitvec_iteri_words;
+          Alcotest.test_case "block ops stay normalised" `Quick bitvec_block_ops_normalised;
         ] );
       ( "parallel",
         [
