@@ -29,13 +29,15 @@ let run_reports = ref true
 let run_micro = ref true
 let run_perf = ref true
 let run_soak = ref false
+let run_fleet = ref false
 let seed () = !bench_cfg.Run_config.seed
 let jobs () = !bench_cfg.Run_config.jobs
 
 let usage () =
   prerr_endline
     "usage: main.exe [--full] [--seed N] [--jobs N] [--window N] [--metrics] \
-     [--trace FILE] [--no-micro | --micro-only] [--no-perf] [--soak] [EXPERIMENT ...]";
+     [--trace FILE] [--no-micro | --micro-only] [--no-perf] [--soak] [--fleet] \
+     [EXPERIMENT ...]";
   Printf.eprintf "experiments: %s\n" (String.concat ", " Harness.experiment_names);
   exit 2
 
@@ -64,6 +66,9 @@ let parse_args () =
         go rest
     | "--soak" :: rest ->
         run_soak := true;
+        go rest
+    | "--fleet" :: rest ->
+        run_fleet := true;
         go rest
     | ("--help" | "-h") :: _ -> usage ()
     | w :: rest ->
@@ -124,10 +129,35 @@ let json_escape s =
    lands in the BENCH_adi.json entry as a "soak" object. *)
 
 let soak_summary = ref None
+let fleet_summary = ref None
 
 let strip_cached = function
   | Util.Json.Obj fields -> Util.Json.Obj (List.filter (fun (k, _) -> k <> "cached") fields)
   | j -> j
+
+(* Nearest-rank percentile over a sorted sample array. *)
+let percentile sorted p =
+  let n = Array.length sorted in
+  let idx = int_of_float (Float.ceil (p /. 100.0 *. float_of_int n)) - 1 in
+  sorted.(max 0 (min idx (n - 1)))
+
+(* Per-op latency percentiles from (op, seconds) samples, as JSON
+   objects — the soak/fleet entries CI asserts the schema of. *)
+let latency_fields samples =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (op, s) ->
+      Hashtbl.replace tbl op (s :: Option.value ~default:[] (Hashtbl.find_opt tbl op)))
+    samples;
+  List.map
+    (fun op ->
+      let xs = Array.of_list (Hashtbl.find tbl op) in
+      Array.sort compare xs;
+      Printf.sprintf "{\"op\": \"%s\", \"count\": %d, \"p50_ms\": %.3f, \"p99_ms\": %.3f}"
+        (json_escape op) (Array.length xs)
+        (1000.0 *. percentile xs 50.0)
+        (1000.0 *. percentile xs 99.0))
+    (List.sort_uniq compare (List.map fst samples))
 
 let soak_ops () =
   let circuit name = ("circuit", Util.Json.Str name) in
@@ -151,10 +181,11 @@ let run_soak_stage () =
     Array.map
       (fun (op, params) ->
         match
-          (Service.Session.handle pristine { Service.Protocol.id = 1; op; params })
+          (Service.Session.handle pristine (Service.Protocol.single op params))
             .Service.Protocol.payload
         with
-        | Ok j -> Util.Json.to_string (strip_cached j)
+        | Ok (Service.Protocol.Result j) -> Util.Json.to_string (strip_cached j)
+        | Ok _ -> failwith "soak: offline pipeline returned an unexpected reply shape"
         | Error e -> failwith ("soak: offline pipeline failed: " ^ e.Service.Protocol.message))
       ops
   in
@@ -176,7 +207,9 @@ let run_soak_stage () =
     d
   in
   let session = Service.Session.create ~capacity:2 ~spill_dir ~jobs:1 () in
-  let server = Service.Server.create ~workers:4 ~max_inflight:4 session address in
+  let server =
+    Service.Server.create ~workers:4 ~max_inflight:4 (Service.Session.backend session) address
+  in
   let ready = Atomic.make false in
   let server_domain =
     Domain.spawn (fun () ->
@@ -196,17 +229,25 @@ let run_soak_stage () =
       ~finally:(fun () -> Service.Client.close client)
       (fun () ->
         let ok = ref 0 and wrong = ref 0 and failed = ref 0 in
+        let samples = ref [] in
         for i = 0 to per_client - 1 do
           let idx = (k + i) mod Array.length ops in
           let op, params = ops.(idx) in
+          let t0 = Unix.gettimeofday () in
+          let note () = samples := (op, Unix.gettimeofday () -. t0) :: !samples in
           match Service.Client.request client op params with
           | Ok j ->
+              note ();
               if Util.Json.to_string (strip_cached j) = expected.(idx) then incr ok
               else incr wrong
-          | Error _ -> incr failed
-          | exception Util.Diagnostics.Failed _ -> incr failed
+          | Error _ ->
+              note ();
+              incr failed
+          | exception Util.Diagnostics.Failed _ ->
+              note ();
+              incr failed
         done;
-        (!ok, !wrong, !failed, Service.Client.retries client))
+        (!ok, !wrong, !failed, Service.Client.retries client, !samples))
   in
   let workers = Array.init clients (fun k -> Domain.spawn (client_run k)) in
   let results = Array.map Domain.join workers in
@@ -217,10 +258,11 @@ let run_soak_stage () =
   Service.Client.close stopper;
   Domain.join server_domain;
   Util.Failpoint.clear ();
-  let ok = Array.fold_left (fun a (x, _, _, _) -> a + x) 0 results in
-  let wrong = Array.fold_left (fun a (_, x, _, _) -> a + x) 0 results in
-  let failed = Array.fold_left (fun a (_, _, x, _) -> a + x) 0 results in
-  let retries = Array.fold_left (fun a (_, _, _, x) -> a + x) 0 results in
+  let ok = Array.fold_left (fun a (x, _, _, _, _) -> a + x) 0 results in
+  let wrong = Array.fold_left (fun a (_, x, _, _, _) -> a + x) 0 results in
+  let failed = Array.fold_left (fun a (_, _, x, _, _) -> a + x) 0 results in
+  let retries = Array.fold_left (fun a (_, _, _, x, _) -> a + x) 0 results in
+  let samples = Array.fold_left (fun a (_, _, _, _, xs) -> xs @ a) [] results in
   let shed = Service.Session.shed_count session in
   let lane_restarts = Service.Server.lane_restarts server in
   Printf.printf
@@ -230,11 +272,175 @@ let run_soak_stage () =
     Some
       (Printf.sprintf
          "{\"clients\": %d, \"requests\": %d, \"ok\": %d, \"wrong\": %d, \"failed\": %d, \
-          \"retries\": %d, \"shed\": %d, \"lane_restarts\": %d, \"failpoints\": \"%s\"}"
+          \"retries\": %d, \"shed\": %d, \"lane_restarts\": %d, \"failpoints\": \"%s\", \
+          \"latency\": [%s]}"
          clients (clients * per_client) ok wrong failed retries shed lane_restarts
-         (json_escape spec));
+         (json_escape spec)
+         (String.concat ", " (latency_fields samples)));
   if wrong > 0 then failwith "bench: soak produced wrong results (byte-identity violated)";
   Printf.printf "  every successful reply byte-identical to the offline pipeline\n\n%!"
+
+(* ---------- fleet soak -------------------------------------------- *)
+
+(* The same byte-identity proof, one layer up: an adi-router in front
+   of two shared-spill workers, hammered by concurrent clients sending
+   protocol v2 batch requests.  Every per-item reply that gets through
+   must match the offline pipeline byte for byte; routing counters and
+   per-op latency percentiles land in the BENCH_adi.json entry as a
+   "fleet" object. *)
+
+let fleet_batches () =
+  let circuit name = ("circuit", Util.Json.Str name) in
+  [ (Service.Protocol.Adi, [ [ circuit "c17" ]; [ circuit "lion" ]; [ circuit "syn208" ] ]);
+    (Service.Protocol.Order,
+     [ [ circuit "c17" ]; [ circuit "syn208"; ("limit", Util.Json.Int 10) ] ]);
+    (Service.Protocol.Atpg, [ [ circuit "c17" ] ]) ]
+
+let run_fleet_stage () =
+  let batches = fleet_batches () in
+  let clients = 4 and rounds = 6 in
+  let spec = try Sys.getenv "ADI_FAILPOINTS" with Not_found -> "" in
+  Printf.printf "Fleet soak (router + 2 workers, %d clients x %d batch rounds, failpoints: %s):\n%!"
+    clients rounds
+    (if spec = "" then "none" else spec);
+  (* Ground truth per batch item, from a pristine in-process session. *)
+  let expected =
+    let pristine = Service.Session.create ~capacity:16 ~jobs:1 () in
+    List.map
+      (fun (op, items) ->
+        ( op,
+          List.map
+            (fun params ->
+              match
+                (Service.Session.handle pristine
+                   { Service.Protocol.id = 1; call = Service.Protocol.Single (op, params) })
+                  .Service.Protocol.payload
+              with
+              | Ok (Service.Protocol.Result j) -> Util.Json.to_string (strip_cached j)
+              | Ok _ -> failwith "fleet: offline pipeline returned an unexpected reply shape"
+              | Error e ->
+                  failwith ("fleet: offline pipeline failed: " ^ e.Service.Protocol.message))
+            items ))
+      batches
+  in
+  Util.Failpoint.install_from_env ();
+  let tmp = Filename.get_temp_dir_name () in
+  let sock name = Filename.concat tmp (Printf.sprintf "adi-fleet-%s-%d.sock" name (Unix.getpid ())) in
+  let spill_dir =
+    let d = Filename.concat tmp (Printf.sprintf "adi-fleet-spill-%d" (Unix.getpid ())) in
+    (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    d
+  in
+  (* Two tight-cache workers over one shared write-through spill dir:
+     a miss on one worker can be a disk hit seeded by the other. *)
+  let start_worker name =
+    let address = Service.Server.Unix_socket (sock name) in
+    let session = Service.Session.create ~capacity:2 ~spill_dir ~shared_spill:true ~jobs:1 () in
+    let server =
+      Service.Server.create ~workers:2 ~max_inflight:4 (Service.Session.backend session)
+        address
+    in
+    let ready = Atomic.make false in
+    let domain =
+      Domain.spawn (fun () ->
+          Service.Server.serve server ~on_ready:(fun () -> Atomic.set ready true))
+    in
+    while not (Atomic.get ready) do
+      Unix.sleepf 0.005
+    done;
+    (address, server, domain)
+  in
+  let w0 = start_worker "w0" and w1 = start_worker "w1" in
+  let worker_addresses = [ (fun (a, _, _) -> a) w0; (fun (a, _, _) -> a) w1 ] in
+  let router = Service.Router.create worker_addresses in
+  let front = Service.Server.Unix_socket (sock "router") in
+  let router_server =
+    Service.Server.create ~workers:4 ~max_inflight:8 (Service.Router.backend router) front
+  in
+  let router_ready = Atomic.make false in
+  let router_domain =
+    Domain.spawn (fun () ->
+        Service.Server.serve router_server ~on_ready:(fun () -> Atomic.set router_ready true))
+  in
+  while not (Atomic.get router_ready) do
+    Unix.sleepf 0.005
+  done;
+  let client_run k () =
+    let policy =
+      { Service.Client.default_policy with
+        Util.Retry.max_attempts = 8;
+        overall_budget_s = Some 60.0 }
+    in
+    let client = Service.Client.create ~policy ~seed:(200 + k) front in
+    Fun.protect
+      ~finally:(fun () -> Service.Client.close client)
+      (fun () ->
+        let ok = ref 0 and wrong = ref 0 and failed = ref 0 in
+        let samples = ref [] in
+        for _ = 1 to rounds do
+          List.iter
+            (fun (op, items) ->
+              let want = List.assoc op expected in
+              let name = "batch_" ^ Service.Protocol.op_name op in
+              let t0 = Unix.gettimeofday () in
+              match Service.Client.batch client op items with
+              | Ok replies ->
+                  samples := (name, Unix.gettimeofday () -. t0) :: !samples;
+                  List.iter2
+                    (fun reply want ->
+                      match reply with
+                      | Ok j ->
+                          if Util.Json.to_string (strip_cached j) = want then incr ok
+                          else incr wrong
+                      | Error _ -> incr failed)
+                    replies want
+              | Error _ ->
+                  samples := (name, Unix.gettimeofday () -. t0) :: !samples;
+                  failed := !failed + List.length items)
+            batches
+        done;
+        (!ok, !wrong, !failed, Service.Client.retries client, !samples))
+  in
+  let runners = Array.init clients (fun k -> Domain.spawn (client_run k)) in
+  let results = Array.map Domain.join runners in
+  (* Drain the router through its front door, then the workers. *)
+  let stopper = Service.Client.create front in
+  (try ignore (Service.Client.request stopper ~timeout_s:30.0 "shutdown" [])
+   with Util.Diagnostics.Failed _ -> Service.Server.request_stop router_server);
+  Service.Client.close stopper;
+  Domain.join router_domain;
+  Service.Router.drain_fleet router;
+  List.iter
+    (fun (_, server, domain) ->
+      Service.Server.request_stop server;
+      Domain.join domain)
+    [ w0; w1 ];
+  Util.Failpoint.clear ();
+  let ok = Array.fold_left (fun a (x, _, _, _, _) -> a + x) 0 results in
+  let wrong = Array.fold_left (fun a (_, x, _, _, _) -> a + x) 0 results in
+  let failed = Array.fold_left (fun a (_, _, x, _, _) -> a + x) 0 results in
+  let retries = Array.fold_left (fun a (_, _, _, x, _) -> a + x) 0 results in
+  let samples = Array.fold_left (fun a (_, _, _, _, xs) -> xs @ a) [] results in
+  let hits, moves = Service.Router.affinity router in
+  let failovers = Service.Router.failovers router in
+  let items_per_round = List.fold_left (fun a (_, items) -> a + List.length items) 0 batches in
+  let items = clients * rounds * items_per_round in
+  Printf.printf
+    "  %d batch items: %d ok, %d wrong, %d failed; %d retries, affinity %d/%d, %d failovers\n%!"
+    items ok wrong failed retries hits (hits + moves) failovers;
+  fleet_summary :=
+    Some
+      (Printf.sprintf
+         "{\"clients\": %d, \"workers\": 2, \"batches\": %d, \"items\": %d, \"ok\": %d, \
+          \"wrong\": %d, \"failed\": %d, \"retries\": %d, \"affinity_hits\": %d, \
+          \"affinity_moves\": %d, \"failovers\": %d, \"failpoints\": \"%s\", \
+          \"latency\": [%s]}"
+         clients
+         (clients * rounds * List.length batches)
+         items ok wrong failed retries hits moves failovers (json_escape spec)
+         (String.concat ", " (latency_fields samples)));
+  if wrong > 0 then failwith "bench: fleet soak produced wrong results (byte-identity violated)";
+  Printf.printf "  every successful batch item byte-identical to the offline pipeline\n\n%!"
 
 (* ---------- parallel fault-simulation kernels --------------------- *)
 
@@ -346,6 +552,9 @@ let write_bench_json ~circuit ~collapse ~kernels ~speedup ~atpg =
   (match !soak_summary with
   | None -> ()
   | Some soak -> bf ", \"soak\": %s" soak);
+  (match !fleet_summary with
+  | None -> ()
+  | Some fleet -> bf ", \"fleet\": %s" fleet);
   (match phase_fields () with
   | [] -> ()
   | phases -> bf ", \"phases\": [%s]" (String.concat ", " phases));
@@ -656,6 +865,7 @@ let () =
     Harness.with_observability !bench_cfg (fun () ->
         if !run_reports then print_reports ();
         if !run_soak then run_soak_stage ();
+        if !run_fleet then run_fleet_stage ();
         if !run_perf then run_perf_kernels ();
         if !run_micro then run_micro_benches ())
   with

@@ -57,35 +57,34 @@ let request target ~timeout_s ~retries op params =
 
 (* --- arguments ---------------------------------------------------- *)
 
-let target_term =
-  let socket =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "socket" ] ~docv:"PATH" ~doc:"Connect to a Unix-domain socket at $(docv).")
-  in
-  let tcp =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "tcp" ] ~docv:"HOST:PORT" ~doc:"Connect over TCP.")
-  in
-  let combine socket tcp =
-    match (socket, tcp) with
-    | Some path, None -> `Ok (Service.Server.Unix_socket path)
-    | None, Some spec -> (
-        match String.rindex_opt spec ':' with
-        | Some i -> (
-            let host = String.sub spec 0 i in
-            let port = String.sub spec (i + 1) (String.length spec - i - 1) in
-            match int_of_string_opt port with
-            | Some port when port > 0 && port < 65536 -> `Ok (Service.Server.Tcp (host, port))
-            | _ -> `Error (false, "--tcp expects HOST:PORT with a valid port"))
-        | None -> `Error (false, "--tcp expects HOST:PORT"))
-    | Some _, Some _ -> `Error (false, "pass either --socket or --tcp, not both")
-    | None, None -> `Error (false, "a server address is required: --socket PATH or --tcp HOST:PORT")
-  in
-  Term.(ret (const combine $ socket $ tcp))
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Connect to a Unix-domain socket at $(docv).")
+
+let tcp_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "tcp" ] ~docv:"HOST:PORT" ~doc:"Connect over TCP.")
+
+let parse_target socket tcp =
+  match (socket, tcp) with
+  | Some path, None -> `Ok (Service.Server.Unix_socket path)
+  | None, Some spec -> (
+      match String.rindex_opt spec ':' with
+      | Some i -> (
+          let host = String.sub spec 0 i in
+          let port = String.sub spec (i + 1) (String.length spec - i - 1) in
+          match int_of_string_opt port with
+          | Some port when port > 0 && port < 65536 -> `Ok (Service.Server.Tcp (host, port))
+          | _ -> `Error (false, "--tcp expects HOST:PORT with a valid port"))
+      | None -> `Error (false, "--tcp expects HOST:PORT"))
+  | Some _, Some _ -> `Error (false, "pass either --socket or --tcp, not both")
+  | None, None -> `Error (false, "a server address is required: --socket PATH or --tcp HOST:PORT")
+
+let target_term = Term.(ret (const parse_target $ socket_arg $ tcp_arg))
 
 let timeout_arg =
   Arg.(
@@ -204,30 +203,118 @@ let evict_params =
 let evict_cmd = plain_cmd "evict" ~doc:"Evict cache entries" ~params_term:evict_params
 let shutdown_cmd = plain_cmd "shutdown" ~doc:"Drain in-flight requests and stop the server" ~params_term:(Term.const [])
 
-let raw_cmd =
-  let payload_arg =
-    Arg.(required & pos 0 (some string) None & info [] ~docv:"JSON" ~doc:"Raw request payload.")
-  in
-  let run target timeout retries payload =
+let hello_cmd =
+  let run target timeout retries =
     guard @@ fun () ->
     with_client target ~timeout_s:timeout ~retries (fun client ->
-        let reply = Service.Client.raw client payload in
-        match Result.bind (Json.of_string reply) Service.Protocol.response_of_json with
-        | Error msg -> Diagnostics.fail Diagnostics.Protocol "unreadable reply: %s" msg
-        | Ok { Service.Protocol.payload; _ } -> print_payload payload)
+        match Service.Client.hello client () with
+        | Ok version ->
+            print_endline (Json.to_string (Json.Obj [ ("version", Json.Int version) ]))
+        | Error d -> raise (Diagnostics.Failed d))
   in
   Cmd.v
-    (Cmd.info "raw" ~doc:"Send an arbitrary payload (protocol debugging)")
-    Term.(const run $ target_term $ timeout_arg $ retries_arg $ payload_arg)
+    (Cmd.info "hello" ~doc:"Negotiate a protocol version and print it")
+    Term.(const run $ target_term $ timeout_arg $ retries_arg)
+
+(* One round-trip, many circuits: each CIRCUIT becomes one batch item
+   carrying the shared config parameters.  Per-item outcomes come back
+   in request order, byte-identical to the equivalent single ops. *)
+let batch_cmd =
+  let op_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"OP" ~doc:"Batched op: $(b,adi), $(b,order) or $(b,atpg).")
+  in
+  let circuits_arg =
+    Arg.(
+      non_empty
+      & pos_right 0 string []
+      & info [] ~docv:"CIRCUIT"
+          ~doc:"Circuits (suite names or .bench file paths), one batch item each.")
+  in
+  let run target timeout retries op specs params =
+    guard @@ fun () ->
+    let op =
+      match Service.Protocol.op_of_name op with
+      | Some op when Service.Protocol.batchable op -> op
+      | _ ->
+          invalid_arg
+            (Printf.sprintf "batch: op %S has no batch form (use adi, order or atpg)" op)
+    in
+    let items = List.map (fun spec -> circuit_params spec @ params) specs in
+    with_client target ~timeout_s:timeout ~retries (fun client ->
+        match Service.Client.batch client op items with
+        | Error d -> raise (Diagnostics.Failed d)
+        | Ok replies ->
+            let item = function
+              | Ok result -> Json.Obj [ ("ok", Json.Bool true); ("result", result) ]
+              | Error (e : Service.Protocol.error) ->
+                  Json.Obj
+                    [ ("ok", Json.Bool false);
+                      ("error",
+                       Json.Obj
+                         [ ("code", Json.Str e.Service.Protocol.code);
+                           ("message", Json.Str e.Service.Protocol.message) ]) ]
+            in
+            print_endline
+              (Json.to_string (Json.Obj [ ("results", Json.Arr (List.map item replies)) ])))
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:"Run one op over many circuits in a single protocol v2 batch request")
+    Term.(
+      const run $ target_term $ timeout_arg $ retries_arg $ op_arg $ circuits_arg
+      $ config_params_term)
+
+(* The pre-v2 `raw` subcommand survives only as `--raw` on the group
+   default — deprecated protocol-debugging surface, not an op. *)
+let raw_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "raw" ] ~docv:"JSON"
+        ~doc:
+          "Send $(docv) verbatim as one request payload and print the reply payload \
+           (deprecated protocol-debugging surface; use the typed subcommands).")
+
+let default_term =
+  let run socket tcp timeout retries raw =
+    match raw with
+    | None -> `Help (`Pager, None)
+    | Some payload -> (
+        match parse_target socket tcp with
+        | `Error _ as e -> e
+        | `Ok target ->
+            `Ok
+              (guard @@ fun () ->
+               with_client target ~timeout_s:timeout ~retries (fun client ->
+                   let reply = Service.Client.raw client payload in
+                   match
+                     Result.bind (Json.of_string reply) Service.Protocol.response_of_json
+                   with
+                   | Error msg -> Diagnostics.fail Diagnostics.Protocol "unreadable reply: %s" msg
+                   | Ok { Service.Protocol.payload; _ } -> (
+                       match payload with
+                       | Ok (Service.Protocol.Result result) ->
+                           print_endline (Json.to_string result)
+                       | Ok reply ->
+                           print_endline
+                             (Json.to_string
+                                (Service.Protocol.response_to_json
+                                   { Service.Protocol.id = 0; payload = Ok reply }))
+                       | Error e -> report_error e))))
+  in
+  Term.(ret (const run $ socket_arg $ tcp_arg $ timeout_arg $ retries_arg $ raw_arg))
 
 let cmd =
   let info =
     Cmd.info "adi-client" ~version:Util.Version.version
       ~doc:"Client for the resident ADI/ATPG service (adi-server)"
   in
-  Cmd.group info
-    [ load_cmd; adi_cmd; order_cmd; atpg_cmd; stats_cmd; health_cmd; evict_cmd; shutdown_cmd;
-      raw_cmd ]
+  Cmd.group ~default:default_term info
+    [ load_cmd; adi_cmd; order_cmd; atpg_cmd; batch_cmd; stats_cmd; health_cmd; evict_cmd;
+      shutdown_cmd; hello_cmd ]
 
 let () =
   (try Util.Failpoint.install_from_env ()

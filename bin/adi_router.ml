@@ -1,0 +1,223 @@
+(* adi-router: consistent-hashing front door for a fleet of
+   adi-server workers.
+
+   Speaks the same wire protocol a worker does, but forwards instead
+   of computing: requests are hashed by circuit digest onto a ring of
+   workers (cache affinity), dead workers are skipped with minimal
+   rehashing, and batch requests are split per worker and reassembled
+   in request order.  A background domain re-probes worker health on a
+   fixed interval; SIGTERM/SIGINT drain the router and, with
+   --drain-workers, the whole fleet. *)
+
+open Cmdliner
+module Trace = Util.Trace
+
+let guard f =
+  try f () with
+  | Invalid_argument msg | Failure msg ->
+      Printf.eprintf "adi-router: %s\n" msg;
+      exit 1
+  | Util.Diagnostics.Failed d ->
+      Printf.eprintf "adi-router: %s\n" (Util.Diagnostics.to_string d);
+      exit 2
+  | Sys_error msg ->
+      Printf.eprintf "adi-router: %s\n" msg;
+      exit 1
+
+let parse_address ~flag spec =
+  if String.length spec > 0 && (spec.[0] = '/' || spec.[0] = '.') then
+    `Ok (Service.Server.Unix_socket spec)
+  else
+    match String.rindex_opt spec ':' with
+    | Some i -> (
+        let host = String.sub spec 0 i in
+        let port = String.sub spec (i + 1) (String.length spec - i - 1) in
+        match int_of_string_opt port with
+        | Some port when port > 0 && port < 65536 -> `Ok (Service.Server.Tcp (host, port))
+        | _ -> `Error (false, Printf.sprintf "%s expects HOST:PORT or a socket path" flag))
+    | None -> `Ok (Service.Server.Unix_socket spec)
+
+let address_term =
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Listen on a Unix-domain socket at $(docv).")
+  in
+  let tcp =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tcp" ] ~docv:"HOST:PORT" ~doc:"Listen on a TCP socket.")
+  in
+  let combine socket tcp =
+    match (socket, tcp) with
+    | Some path, None -> `Ok (Service.Server.Unix_socket path)
+    | None, Some spec -> parse_address ~flag:"--tcp" spec
+    | Some _, Some _ -> `Error (false, "pass either --socket or --tcp, not both")
+    | None, None -> `Error (false, "an address is required: --socket PATH or --tcp HOST:PORT")
+  in
+  Term.(ret (const combine $ socket $ tcp))
+
+let workers_term =
+  let specs =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "worker" ] ~docv:"ADDR"
+          ~doc:
+            "A worker adi-server address: a Unix socket path or HOST:PORT.  Repeat once \
+             per worker.")
+  in
+  let combine specs =
+    if specs = [] then `Error (false, "at least one --worker ADDR is required")
+    else
+      let rec parse acc = function
+        | [] -> `Ok (List.rev acc)
+        | spec :: rest -> (
+            match parse_address ~flag:"--worker" spec with
+            | `Ok addr -> parse (addr :: acc) rest
+            | `Error _ as e -> e)
+      in
+      parse [] specs
+  in
+  Term.(ret (const combine $ specs))
+
+let int_opt ~names ~docv ~doc ~default =
+  Arg.(value & opt int default & info names ~docv ~doc)
+
+let lanes_arg =
+  int_opt ~names:[ "lanes" ] ~docv:"N" ~default:4 ~doc:"Concurrent accept-serve lanes."
+
+let backlog_arg =
+  int_opt ~names:[ "backlog" ] ~docv:"N" ~default:16
+    ~doc:"Kernel accept-queue bound for waiting connections."
+
+let vnodes_arg =
+  int_opt ~names:[ "vnodes" ] ~docv:"N" ~default:64
+    ~doc:"Virtual ring points per worker (more points, smoother key spread)."
+
+let max_inflight_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-inflight" ] ~docv:"N"
+        ~doc:
+          "Admit at most $(docv) requests at once; the rest wait briefly and are then \
+           shed with a typed E-overload reply (default: the lane count).")
+
+let queue_wait_arg =
+  Arg.(
+    value & opt float 0.1
+    & info [ "queue-wait" ] ~docv:"S"
+        ~doc:"How long a request may wait for an in-flight slot before being shed.")
+
+let probe_interval_arg =
+  Arg.(
+    value & opt float 1.0
+    & info [ "probe-interval" ] ~docv:"S"
+        ~doc:"Seconds between background worker health probes (0 disables probing).")
+
+let retries_arg =
+  int_opt ~names:[ "retries" ] ~docv:"N" ~default:2
+    ~doc:"Transport retries per forward before the worker is declared dead."
+
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"S" ~doc:"Overall deadline per forwarded request, in seconds.")
+
+let drain_workers_arg =
+  Arg.(
+    value & flag
+    & info [ "drain-workers" ]
+        ~doc:"On shutdown, also send every worker a shutdown request (whole-fleet drain).")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ] ~doc:"Print the metrics tables when the router drains.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Stream routing counters to $(docv) as JSON lines.")
+
+let run address workers lanes backlog vnodes max_inflight queue_wait probe_interval retries
+    timeout drain_workers metrics trace =
+  guard @@ fun () ->
+  Util.Failpoint.install_from_env ();
+  let cfg = Run_config.(default |> with_metrics metrics |> with_trace trace) in
+  let (), report =
+    Harness.with_observability cfg @@ fun () ->
+    let tracer = Trace.current () in
+    Trace.instant tracer "router.start"
+      ~attrs:
+        [ ("version", Trace.Str Util.Version.version);
+          ("address", Trace.Str (Service.Server.address_to_string address));
+          ("workers", Trace.Int (List.length workers)); ("lanes", Trace.Int lanes) ];
+    let policy =
+      { Service.Client.default_policy with
+        Util.Retry.max_attempts = retries + 1;
+        overall_budget_s = timeout }
+    in
+    let router = Service.Router.create ~vnodes ~policy ~tracer workers in
+    let server =
+      Service.Server.create ~workers:lanes ~backlog ?max_inflight ~queue_wait_s:queue_wait
+        (Service.Router.backend router) address
+    in
+    (* Background health probing: flips workers dead and alive while
+       the accept lanes keep serving.  The domain wakes often enough
+       to notice a stop request promptly even with long intervals. *)
+    let stop_probe = Atomic.make false in
+    let prober =
+      if probe_interval <= 0.0 then None
+      else
+        Some
+          (Domain.spawn (fun () ->
+               let rec loop slept =
+                 if not (Atomic.get stop_probe) then
+                   if slept >= probe_interval then begin
+                     Service.Router.probe router;
+                     loop 0.0
+                   end
+                   else begin
+                     Unix.sleepf 0.05;
+                     loop (slept +. 0.05)
+                   end
+               in
+               loop probe_interval))
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        Atomic.set stop_probe true;
+        Option.iter Domain.join prober)
+      (fun () ->
+        Service.Server.serve server ~on_ready:(fun () ->
+            Printf.printf "adi-router: v%s listening on %s (%d workers)\n"
+              Util.Version.version
+              (Service.Server.address_to_string address)
+              (List.length workers);
+            flush stdout));
+    if drain_workers then Service.Router.drain_fleet router;
+    Trace.instant tracer "router.stop"
+      ~attrs:[ ("requests", Trace.Int (Service.Router.requests router)) ];
+    Printf.printf "adi-router: drained after %d requests\n" (Service.Router.requests router)
+  in
+  Option.iter print_string report
+
+let cmd =
+  let info =
+    Cmd.info "adi-router" ~version:Util.Version.version
+      ~doc:"Consistent-hashing router for a fleet of adi-server workers"
+  in
+  Cmd.v info
+    Term.(
+      const run $ address_term $ workers_term $ lanes_arg $ backlog_arg $ vnodes_arg
+      $ max_inflight_arg $ queue_wait_arg $ probe_interval_arg $ retries_arg $ timeout_arg
+      $ drain_workers_arg $ metrics_arg $ trace_arg)
+
+let () = exit (Cmd.eval cmd)

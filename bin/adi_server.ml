@@ -74,6 +74,14 @@ let spill_arg =
     & info [ "spill" ] ~docv:"DIR"
         ~doc:"Spill evicted cache entries to $(docv) and reload them on demand.")
 
+let spill_shared_arg =
+  Arg.(
+    value & flag
+    & info [ "spill-shared" ]
+        ~doc:
+          "Treat the --spill directory as a fleet-shared second-level store: write fresh \
+           artifacts through to disk immediately so sibling workers find them.")
+
 let request_budget_arg =
   Arg.(
     value
@@ -108,8 +116,8 @@ let trace_arg =
     & info [ "trace" ] ~docv:"FILE"
         ~doc:"Stream request spans and cache counters to $(docv) as JSON lines.")
 
-let run address capacity workers backlog jobs spill request_budget max_inflight queue_wait
-    metrics trace =
+let run address capacity workers backlog jobs spill spill_shared request_budget max_inflight
+    queue_wait metrics trace =
   guard @@ fun () ->
   Util.Failpoint.install_from_env ();
   let cfg =
@@ -126,12 +134,12 @@ let run address capacity workers backlog jobs spill request_budget max_inflight 
           ("workers", Trace.Int workers); ("capacity", Trace.Int capacity);
           ("jobs", Trace.Int jobs) ];
     let session =
-      Service.Session.create ~capacity ?spill_dir:spill ~jobs
+      Service.Session.create ~capacity ?spill_dir:spill ~shared_spill:spill_shared ~jobs
         ?request_budget_s:request_budget ~tracer ()
     in
     let server =
-      Service.Server.create ~workers ~backlog ?max_inflight ~queue_wait_s:queue_wait session
-        address
+      Service.Server.create ~workers ~backlog ?max_inflight ~queue_wait_s:queue_wait
+        (Service.Session.backend session) address
     in
     Service.Server.serve server ~on_ready:(fun () ->
         Printf.printf "adi-server: v%s listening on %s (%d workers, capacity %d)\n"
@@ -154,7 +162,7 @@ let cmd =
   Cmd.v info
     Term.(
       const run $ address_term $ capacity_arg $ workers_arg $ backlog_arg $ jobs_arg
-      $ spill_arg $ request_budget_arg $ max_inflight_arg $ queue_wait_arg $ metrics_arg
-      $ trace_arg)
+      $ spill_arg $ spill_shared_arg $ request_budget_arg $ max_inflight_arg $ queue_wait_arg
+      $ metrics_arg $ trace_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -14,6 +14,9 @@ type t = {
   rng : Rng.t;
   tracer : Trace.t;
   mutable fd : Unix.file_descr option;
+  mutable negotiated : Protocol.version option;
+      (* the version the *current* connection welcomed us at; reset on
+         every disconnect — a fresh connection is unnegotiated *)
   mutable retries : int;
   mutable next_id : int;
 }
@@ -25,13 +28,20 @@ let create ?(policy = default_policy) ?(clock = Budget.default_clock)
   (* A peer vanishing mid-write must surface as EPIPE, not kill us. *)
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   { address; policy; clock; sleep; rng = Rng.create seed; tracer; fd = None;
-    retries = 0; next_id = 1 }
+    negotiated = None; retries = 0; next_id = 1 }
 
 let retries t = t.retries
+let version t = t.negotiated
 
 let close t =
   Option.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) t.fd;
-  t.fd <- None
+  t.fd <- None;
+  t.negotiated <- None
+
+let fresh_id t =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  id
 
 (* Normalised connect-failure message (no errno text), so failure
    modes are deterministic across platforms — pinned by the cram
@@ -131,24 +141,184 @@ let attempt_exchange t payload ~budget =
 let raw t ?timeout_s payload =
   with_retry t ?timeout_s (fun ~attempt:_ ~budget -> attempt_exchange t payload ~budget)
 
-let request t ?timeout_s op params =
-  let id = t.next_id in
-  t.next_id <- id + 1;
-  let payload = Json.to_string (Protocol.request_to_json { Protocol.id; op; params }) in
-  with_retry t ?timeout_s (fun ~attempt:_ ~budget ->
-      let reply = attempt_exchange t payload ~budget in
-      match Result.bind (Json.of_string reply) Protocol.response_of_json with
-      | Error msg ->
+(* --- reply decoding ----------------------------------------------- *)
+
+let decode_response t reply =
+  match Result.bind (Json.of_string reply) Protocol.response_of_json with
+  | Error msg ->
+      close t;
+      Diagnostics.fail Diagnostics.Protocol "unreadable reply: %s" msg
+  | Ok resp -> resp
+
+let check_reply_id t ~id resp =
+  if resp.Protocol.id <> id then begin
+    close t;
+    Diagnostics.fail Diagnostics.Protocol "reply id %d does not match request id %d"
+      resp.Protocol.id id
+  end
+
+(* A shed reply is a backoff signal, not an answer. *)
+let overload_to_exn = function
+  | Error e when e.Protocol.code = Diagnostics.code_string Diagnostics.Overload ->
+      Diagnostics.fail Diagnostics.Overload "%s" e.Protocol.message
+  | payload -> payload
+
+let note_welcome t = function
+  | Ok (Protocol.Welcome { version; _ }) -> t.negotiated <- Some version
+  | _ -> ()
+
+(* One full request-reply exchange on the current connection. *)
+let exchange t ~budget ~id payload =
+  let resp = decode_response t (attempt_exchange t payload ~budget) in
+  check_reply_id t ~id resp;
+  let payload = overload_to_exn resp.Protocol.payload in
+  note_welcome t payload;
+  payload
+
+(* --- version negotiation ------------------------------------------ *)
+
+(* Lazy: only a call that needs v2 pays for a handshake, and only once
+   per connection.  A pre-v2 server answers [hello] with its ordinary
+   unknown-op E-protocol error — itself a usable negotiation signal:
+   the connection is marked v1 and v2 calls get a typed refusal. *)
+let ensure_negotiated t ~budget =
+  match t.negotiated with
+  | Some v -> v
+  | None -> (
+      let id = fresh_id t in
+      let payload =
+        Json.to_string
+          (Protocol.request_to_json { Protocol.id; call = Protocol.Hello Protocol.supported_versions })
+      in
+      match exchange t ~budget ~id payload with
+      | Ok (Protocol.Welcome { version; _ }) -> version
+      | Ok _ ->
           close t;
-          Diagnostics.fail Diagnostics.Protocol "unreadable reply: %s" msg
-      | Ok resp ->
-          if resp.Protocol.id <> id then begin
+          Diagnostics.fail Diagnostics.Protocol "hello reply was not a welcome"
+      | Error e when e.Protocol.code = Diagnostics.code_string Diagnostics.Protocol ->
+          t.negotiated <- Some Protocol.v1;
+          Protocol.v1
+      | Error e -> raise (Diagnostics.Failed (Protocol.diagnostic_of_error e)))
+
+(* --- the generic entry points ------------------------------------- *)
+
+let call_exn t ?timeout_s call =
+  let id = fresh_id t in
+  let payload = Json.to_string (Protocol.request_to_json { Protocol.id; call }) in
+  let needed = Protocol.min_version call in
+  with_retry t ?timeout_s (fun ~attempt:_ ~budget ->
+      if needed > Protocol.v1 then begin
+        let v = ensure_negotiated t ~budget in
+        if v < needed then
+          (* A real (non-retryable) answer: this server cannot serve
+             the call, no matter how often we ask. *)
+          Error
+            { Protocol.code = Diagnostics.code_string Diagnostics.Protocol;
+              message =
+                Printf.sprintf "server speaks protocol v%d but %s needs v%d" v
+                  (Protocol.call_name call) needed }
+        else exchange t ~budget ~id payload
+      end
+      else exchange t ~budget ~id payload)
+
+let call t ?timeout_s c =
+  match call_exn t ?timeout_s c with
+  | Ok reply -> Ok reply
+  | Error e -> Error (Protocol.diagnostic_of_error e)
+  | exception Diagnostics.Failed d -> Error d
+
+(* --- thin wrappers ------------------------------------------------ *)
+
+let unexpected_shape what =
+  Error (Diagnostics.make Diagnostics.Protocol (Printf.sprintf "unexpected reply shape for %s" what))
+
+let single t ?timeout_s op params =
+  match call t ?timeout_s (Protocol.Single (op, params)) with
+  | Ok (Protocol.Result j) -> Ok j
+  | Ok _ -> unexpected_shape (Protocol.op_name op)
+  | Error d -> Error d
+
+let load t ?timeout_s params = single t ?timeout_s Protocol.Load params
+let adi t ?timeout_s params = single t ?timeout_s Protocol.Adi params
+let order t ?timeout_s params = single t ?timeout_s Protocol.Order params
+let atpg t ?timeout_s params = single t ?timeout_s Protocol.Atpg params
+let stats t ?timeout_s () = single t ?timeout_s Protocol.Stats []
+let health t ?timeout_s () = single t ?timeout_s Protocol.Health []
+let evict t ?timeout_s params = single t ?timeout_s Protocol.Evict params
+let shutdown t ?timeout_s () = single t ?timeout_s Protocol.Shutdown []
+
+let hello t ?timeout_s () =
+  match call t ?timeout_s (Protocol.Hello Protocol.supported_versions) with
+  | Ok (Protocol.Welcome { version; _ }) -> Ok version
+  | Ok _ -> unexpected_shape "hello"
+  | Error d -> Error d
+
+let batch t ?timeout_s op items =
+  if not (Protocol.batchable op) then
+    invalid_arg (Printf.sprintf "Client.batch: op %s has no batch form" (Protocol.op_name op));
+  match call t ?timeout_s (Protocol.Batch (op, items)) with
+  | Ok (Protocol.Batch_replies rs) -> Ok rs
+  | Ok _ -> unexpected_shape ("batch_" ^ Protocol.op_name op)
+  | Error d -> Error d
+
+(* Compatibility surface: op by name, reply payload or typed wire
+   error, transport exhaustion raised — the original v1 client
+   contract, byte-identical on the wire.  Arbitrary op strings pass
+   through untyped (how the test suite provokes unknown-op errors). *)
+let request t ?timeout_s op params =
+  let id = fresh_id t in
+  let payload =
+    Json.to_string (Json.Obj (("id", Json.Int id) :: ("op", Json.Str op) :: params))
+  in
+  with_retry t ?timeout_s (fun ~attempt:_ ~budget ->
+      match exchange t ~budget ~id payload with
+      | Ok (Protocol.Result j) -> Ok j
+      | Ok _ ->
+          close t;
+          Diagnostics.fail Diagnostics.Protocol "unexpected reply shape for op %S" op
+      | Error e -> Error e)
+
+(* --- pipelining --------------------------------------------------- *)
+
+(* Send every call up front, then match replies by id in whatever
+   order the peer produces them — the v2 multiplexing discipline.
+   Replies already received survive a mid-stream reconnect: only the
+   unanswered calls are resent (safe: every op is idempotent). *)
+let pipeline t ?timeout_s calls =
+  match calls with
+  | [] -> []
+  | _ ->
+      let ids = List.map (fun call -> (fresh_id t, call)) calls in
+      let results : (int, (Protocol.reply, Protocol.error) result) Hashtbl.t =
+        Hashtbl.create (List.length ids)
+      in
+      with_retry t ?timeout_s (fun ~attempt:_ ~budget ->
+          if List.exists (fun (_, c) -> Protocol.min_version c > Protocol.v1) ids then
+            ignore (ensure_negotiated t ~budget : Protocol.version);
+          let pending = List.filter (fun (id, _) -> not (Hashtbl.mem results id)) ids in
+          let fd = ensure_connected t in
+          try
+            List.iter
+              (fun (id, call) ->
+                Protocol.write_frame fd
+                  (Json.to_string (Protocol.request_to_json { Protocol.id; call })))
+              pending;
+            let remaining = ref (List.length pending) in
+            while !remaining > 0 do
+              let resp = decode_response t (await_reply fd ~budget) in
+              if
+                (not (List.mem_assoc resp.Protocol.id ids))
+                || Hashtbl.mem results resp.Protocol.id
+              then begin
+                close t;
+                Diagnostics.fail Diagnostics.Protocol "unexpected reply id %d" resp.Protocol.id
+              end;
+              let payload = overload_to_exn resp.Protocol.payload in
+              note_welcome t payload;
+              Hashtbl.replace results resp.Protocol.id payload;
+              decr remaining
+            done
+          with e ->
             close t;
-            Diagnostics.fail Diagnostics.Protocol "reply id %d does not match request id %d"
-              resp.Protocol.id id
-          end;
-          (match resp.Protocol.payload with
-          | Error e when e.Protocol.code = Diagnostics.code_string Diagnostics.Overload ->
-              (* Shed by admission control: back off and try again. *)
-              Diagnostics.fail Diagnostics.Overload "%s" e.Protocol.message
-          | payload -> payload))
+            raise e);
+      List.map (fun (id, _) -> Hashtbl.find results id) ids

@@ -1,21 +1,40 @@
 (** Resilient client library for the ADI service.
 
     A client owns one (lazily established) connection to a server and
-    a {!Util.Retry} policy.  {!request} rides through the transient
-    failures a fleet guarantees — refused connections, torn or corrupt
-    frames (the framing digest turns those into typed [E-protocol]
-    failures), reply timeouts, and [E-overload] shedding replies —
-    by disconnecting, backing off with full jitter, reconnecting and
-    resending.  Anything non-transient propagates immediately.
+    a {!Util.Retry} policy.  Every entry point rides through the
+    transient failures a fleet guarantees — refused connections, torn
+    or corrupt frames (the framing digest turns those into typed
+    [E-protocol] failures), reply timeouts, and [E-overload] shedding
+    replies — by disconnecting, backing off with full jitter,
+    reconnecting and resending.  Anything non-transient propagates
+    immediately.
 
     Retrying is safe because requests are idempotent by construction:
     the server's artifact cache is content-addressed on the request
     parameters, so a resent [atpg]/[order]/[load] hits the warm cache
     and returns the byte-identical reply the lost one carried.
 
-    Each retry bumps the [client.retries] counter on the client's
-    tracer (and the {!retries} accessor), so soaks and benches can
-    report how much chaos was actually absorbed. *)
+    {2 The call surface}
+
+    {!call} is the generic entry point: one typed {!Protocol.call} in,
+    one typed {!Protocol.reply} or {!Util.Diagnostics.t} out, never an
+    exception.  The per-op functions ({!load}, {!order}, {!batch}, …)
+    are thin wrappers over it.  {!request} keeps the original
+    op-by-name surface (and its raise-on-exhaustion contract) for
+    callers that build requests dynamically.
+
+    {2 Version negotiation}
+
+    Negotiation is lazy and per-connection: the first call that needs
+    protocol v2 (a batch) sends [hello] automatically and caches the
+    welcomed version until the connection drops; v1 calls never pay
+    for a handshake.  Against a pre-v2 server the handshake degrades
+    gracefully — the unknown-op error marks the connection v1 and v2
+    calls return a typed [E-protocol] refusal instead of retrying.
+
+    Each transport retry bumps the [client.retries] counter on the
+    client's tracer (and the {!retries} accessor), so soaks and
+    benches can report how much chaos was actually absorbed. *)
 
 type t
 
@@ -31,28 +50,89 @@ val create :
   ?tracer:Util.Trace.t ->
   Server.address ->
   t
-(** No connection is made yet — the first {!request} connects.
+(** No connection is made yet — the first call connects.
     [seed] (default 1) drives the backoff jitter; [tracer] defaults to
     {!Util.Trace.null} (clients often live on non-leader domains). *)
 
 val close : t -> unit
-(** Drop the connection, if any.  The client may be reused — the next
-    request reconnects. *)
+(** Drop the connection, if any (forgetting its negotiated version).
+    The client may be reused — the next call reconnects. *)
 
 val retries : t -> int
-(** Total retries performed over the client's lifetime. *)
+(** Total transport retries performed over the client's lifetime. *)
 
-val request :
-  t -> ?timeout_s:float -> string -> (string * Util.Json.t) list ->
-  (Util.Json.t, Protocol.error) result
-(** [request t op params] sends one request and returns the server's
-    reply payload: [Ok result] or a typed error reply (other than
-    overload, which is retried).  [timeout_s] overrides the policy's
-    overall deadline for this request.
+val version : t -> Protocol.version option
+(** The version negotiated on the current connection, if any. *)
+
+(** {2 Generic calls} *)
+
+val call :
+  t -> ?timeout_s:float -> Protocol.call -> (Protocol.reply, Util.Diagnostics.t) result
+(** One call, one reply; never raises.  Application errors and
+    exhausted transport retries both surface as typed diagnostics
+    (via {!Protocol.diagnostic_of_error} for wire errors).
+    [timeout_s] overrides the policy's overall deadline. *)
+
+val call_exn :
+  t -> ?timeout_s:float -> Protocol.call -> (Protocol.reply, Protocol.error) result
+(** Like {!call}, but keeps the two failure planes separate:
+    application errors return as wire errors; transport exhaustion
+    raises.  The router uses this to tell "the worker answered with an
+    error" (forward it) from "the worker is gone" (fail over).
     @raise Util.Diagnostics.Failed when retries are exhausted: the
     last transport failure ([Io_error]/[Protocol]), [Budget_expired]
     on deadline expiry, or [Overload] if the server shed every
     attempt. *)
+
+val pipeline :
+  t ->
+  ?timeout_s:float ->
+  Protocol.call list ->
+  (Protocol.reply, Protocol.error) result list
+(** Send every call up front on one connection, then collect replies
+    matched by id {e in any order} (the v2 multiplexing discipline),
+    returning them in request order.  On a mid-stream transport
+    failure only the unanswered calls are resent.
+    @raise Util.Diagnostics.Failed as {!call_exn}. *)
+
+(** {2 Per-op wrappers} *)
+
+val single :
+  t -> ?timeout_s:float -> Protocol.op -> Protocol.params ->
+  (Util.Json.t, Util.Diagnostics.t) result
+
+val load : t -> ?timeout_s:float -> Protocol.params -> (Util.Json.t, Util.Diagnostics.t) result
+val adi : t -> ?timeout_s:float -> Protocol.params -> (Util.Json.t, Util.Diagnostics.t) result
+val order : t -> ?timeout_s:float -> Protocol.params -> (Util.Json.t, Util.Diagnostics.t) result
+val atpg : t -> ?timeout_s:float -> Protocol.params -> (Util.Json.t, Util.Diagnostics.t) result
+val evict : t -> ?timeout_s:float -> Protocol.params -> (Util.Json.t, Util.Diagnostics.t) result
+val stats : t -> ?timeout_s:float -> unit -> (Util.Json.t, Util.Diagnostics.t) result
+val health : t -> ?timeout_s:float -> unit -> (Util.Json.t, Util.Diagnostics.t) result
+val shutdown : t -> ?timeout_s:float -> unit -> (Util.Json.t, Util.Diagnostics.t) result
+
+val hello : t -> ?timeout_s:float -> unit -> (Protocol.version, Util.Diagnostics.t) result
+(** Negotiate explicitly (usually unnecessary — see the module doc). *)
+
+val batch :
+  t ->
+  ?timeout_s:float ->
+  Protocol.op ->
+  Protocol.params list ->
+  ((Util.Json.t, Protocol.error) result list, Util.Diagnostics.t) result
+(** One [batch_*] round-trip; per-item outcomes in request order, each
+    byte-identical to the equivalent single op's result.
+    @raise Invalid_argument when the op has no batch form. *)
+
+(** {2 Compatibility and debugging} *)
+
+val request :
+  t -> ?timeout_s:float -> string -> (string * Util.Json.t) list ->
+  (Util.Json.t, Protocol.error) result
+(** [request t op params] sends one single-op request by name
+    (arbitrary strings pass through, so tests can provoke unknown-op
+    errors) and returns the reply payload: [Ok result] or a typed
+    error reply (other than overload, which is retried).
+    @raise Util.Diagnostics.Failed as {!call_exn}. *)
 
 val raw : t -> ?timeout_s:float -> string -> string
 (** One raw payload exchange under the same transport-level retry (no

@@ -1,37 +1,182 @@
 module Json = Util.Json
 module Diagnostics = Util.Diagnostics
 
-type request = { id : int; op : string; params : (string * Json.t) list }
-type error = { code : string; message : string }
-type response = { id : int; payload : (Json.t, error) result }
+type version = int
 
-let ops = [ "load"; "adi"; "order"; "atpg"; "stats"; "health"; "evict"; "shutdown" ]
+let v1 = 1
+let v2 = 2
+let supported_versions = [ v1; v2 ]
+
+let negotiate peer =
+  List.fold_left
+    (fun best v -> if List.mem v peer && (best = None || Some v > best) then Some v else best)
+    None supported_versions
+
+type params = (string * Json.t) list
+
+type op = Load | Adi | Order | Atpg | Stats | Health | Evict | Shutdown
+
+let op_name = function
+  | Load -> "load"
+  | Adi -> "adi"
+  | Order -> "order"
+  | Atpg -> "atpg"
+  | Stats -> "stats"
+  | Health -> "health"
+  | Evict -> "evict"
+  | Shutdown -> "shutdown"
+
+let base_ops = [ Load; Adi; Order; Atpg; Stats; Health; Evict; Shutdown ]
+
+let op_of_name s = List.find_opt (fun o -> String.equal (op_name o) s) base_ops
+
+let batchable = function Adi | Order | Atpg -> true | _ -> false
+
+type call =
+  | Single of op * params
+  | Batch of op * params list
+  | Hello of version list
+
+type request = { id : int; call : call }
+
+let call_name = function
+  | Single (op, _) -> op_name op
+  | Batch (op, _) -> "batch_" ^ op_name op
+  | Hello _ -> "hello"
+
+let min_version = function Single _ | Hello _ -> v1 | Batch _ -> v2
+
+let single ?(id = 1) name params =
+  match op_of_name name with
+  | Some op -> { id; call = Single (op, params) }
+  | None -> invalid_arg (Printf.sprintf "Protocol.single: unknown op %S" name)
+
+let ops =
+  List.map op_name base_ops
+  @ [ "hello" ]
+  @ List.filter_map
+      (fun o -> if batchable o then Some ("batch_" ^ op_name o) else None)
+      base_ops
+
+type error = { code : string; message : string }
+
+type reply =
+  | Result of Json.t
+  | Batch_replies of (Json.t, error) result list
+  | Welcome of { version : version; versions : version list; server : string }
+
+type response = { id : int; payload : (reply, error) result }
+
+type decode_error = Malformed of string | Unknown_op of { id : int; op : string }
+
+(* --- requests ----------------------------------------------------- *)
+
+(* Parameter objects never carry the envelope fields; stripping them
+   here makes decode(encode(r)) the identity even for hostile input. *)
+let strip_envelope fields = List.filter (fun (k, _) -> k <> "id" && k <> "op") fields
 
 let request_to_json (r : request) =
-  Json.Obj (("id", Json.Int r.id) :: ("op", Json.Str r.op) :: r.params)
+  let envelope op tail = Json.Obj (("id", Json.Int r.id) :: ("op", Json.Str op) :: tail) in
+  match r.call with
+  | Single (op, params) -> envelope (op_name op) params
+  | Batch (op, items) ->
+      envelope ("batch_" ^ op_name op)
+        [ ("requests", Json.Arr (List.map (fun p -> Json.Obj p) items)) ]
+  | Hello versions ->
+      envelope "hello" [ ("versions", Json.Arr (List.map (fun v -> Json.Int v) versions)) ]
+
+let decode_batch_items params =
+  match List.assoc_opt "requests" params with
+  | None -> Error (Malformed "batch request has no \"requests\" array")
+  | Some (Json.Arr items) ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | Json.Obj fields :: rest -> go (strip_envelope fields :: acc) rest
+        | _ -> Error (Malformed "every \"requests\" element must be a parameter object")
+      in
+      go [] items
+  | Some _ -> Error (Malformed "\"requests\" must be an array of parameter objects")
+
+let decode_versions params =
+  match List.assoc_opt "versions" params with
+  | None -> Ok [ v1 ]  (* a bare hello is a v1 client probing *)
+  | Some (Json.Arr vs) ->
+      let ints = List.filter_map Json.to_int vs in
+      if List.length ints = List.length vs then Ok ints
+      else Error (Malformed "\"versions\" must be an array of integers")
+  | Some _ -> Error (Malformed "\"versions\" must be an array of integers")
 
 let request_of_json j =
   match j with
   | Json.Obj fields -> (
       match Option.bind (List.assoc_opt "op" fields) Json.to_str with
-      | None -> Error "request has no \"op\" field"
-      | Some op ->
+      | None -> Error (Malformed "request has no \"op\" field")
+      | Some name -> (
           let id =
             Option.value ~default:0 (Option.bind (List.assoc_opt "id" fields) Json.to_int)
           in
-          let params = List.filter (fun (k, _) -> k <> "id" && k <> "op") fields in
-          Ok { id; op; params })
-  | _ -> Error "request is not a JSON object"
+          let params = strip_envelope fields in
+          let wrap call = Ok { id; call } in
+          match op_of_name name with
+          | Some op -> wrap (Single (op, params))
+          | None ->
+              if String.equal name "hello" then
+                Result.bind (decode_versions params) (fun vs -> wrap (Hello vs))
+              else
+                let batch_base =
+                  if String.length name > 6 && String.sub name 0 6 = "batch_" then
+                    op_of_name (String.sub name 6 (String.length name - 6))
+                  else None
+                in
+                (match batch_base with
+                | Some op when batchable op ->
+                    Result.bind (decode_batch_items params) (fun items ->
+                        wrap (Batch (op, items)))
+                | _ -> Error (Unknown_op { id; op = name }))))
+  | _ -> Error (Malformed "request is not a JSON object")
+
+(* --- responses ---------------------------------------------------- *)
+
+let error_to_json e =
+  Json.Obj [ ("code", Json.Str e.code); ("message", Json.Str e.message) ]
+
+let item_to_json = function
+  | Ok result -> Json.Obj [ ("ok", Json.Bool true); ("result", result) ]
+  | Error e -> Json.Obj [ ("ok", Json.Bool false); ("error", error_to_json e) ]
 
 let response_to_json r =
   let tail =
     match r.payload with
-    | Ok result -> [ ("ok", Json.Bool true); ("result", result) ]
-    | Error e ->
-        [ ("ok", Json.Bool false);
-          ("error", Json.Obj [ ("code", Json.Str e.code); ("message", Json.Str e.message) ]) ]
+    | Ok (Result result) -> [ ("ok", Json.Bool true); ("result", result) ]
+    | Ok (Batch_replies items) ->
+        [ ("ok", Json.Bool true); ("batch", Json.Arr (List.map item_to_json items)) ]
+    | Ok (Welcome { version; versions; server }) ->
+        [ ("ok", Json.Bool true);
+          ( "hello",
+            Json.Obj
+              [ ("version", Json.Int version);
+                ("versions", Json.Arr (List.map (fun v -> Json.Int v) versions));
+                ("server", Json.Str server) ] ) ]
+    | Error e -> [ ("ok", Json.Bool false); ("error", error_to_json e) ]
   in
   Json.Obj (("id", Json.Int r.id) :: tail)
+
+let error_of_json err =
+  let str k = Option.bind (Json.member k err) Json.to_str in
+  { code = Option.value ~default:"E-protocol" (str "code");
+    message = Option.value ~default:"unknown error" (str "message") }
+
+let item_of_json j =
+  match Option.bind (Json.member "ok" j) Json.to_bool with
+  | Some true -> (
+      match Json.member "result" j with
+      | Some result -> Ok (Ok result)
+      | None -> Error "batch element has no \"result\"")
+  | Some false -> (
+      match Json.member "error" j with
+      | Some err -> Ok (Error (error_of_json err))
+      | None -> Error "batch element has no \"error\"")
+  | None -> Error "batch element has no boolean \"ok\""
 
 let response_of_json j =
   match j with
@@ -41,25 +186,52 @@ let response_of_json j =
       in
       match Option.bind (List.assoc_opt "ok" fields) Json.to_bool with
       | Some true -> (
-          match List.assoc_opt "result" fields with
-          | Some result -> Ok { id; payload = Ok result }
-          | None -> Error "success response has no \"result\"")
+          match
+            ( List.assoc_opt "result" fields,
+              List.assoc_opt "batch" fields,
+              List.assoc_opt "hello" fields )
+          with
+          | Some result, _, _ -> Ok { id; payload = Ok (Result result) }
+          | None, Some (Json.Arr items), _ ->
+              let rec go acc = function
+                | [] -> Ok { id; payload = Ok (Batch_replies (List.rev acc)) }
+                | item :: rest -> (
+                    match item_of_json item with
+                    | Ok r -> go (r :: acc) rest
+                    | Error msg -> Error msg)
+              in
+              go [] items
+          | None, Some _, _ -> Error "\"batch\" is not an array"
+          | None, None, Some hello ->
+              let version =
+                Option.value ~default:v1 (Option.bind (Json.member "version" hello) Json.to_int)
+              in
+              let versions =
+                match Json.member "versions" hello with
+                | Some (Json.Arr vs) -> List.filter_map Json.to_int vs
+                | _ -> [ version ]
+              in
+              let server =
+                Option.value ~default:""
+                  (Option.bind (Json.member "server" hello) Json.to_str)
+              in
+              Ok { id; payload = Ok (Welcome { version; versions; server }) }
+          | None, None, None -> Error "success response has no \"result\", \"batch\" or \"hello\"")
       | Some false -> (
           match List.assoc_opt "error" fields with
-          | Some err ->
-              let str k = Option.bind (Json.member k err) Json.to_str in
-              Ok
-                { id;
-                  payload =
-                    Error
-                      { code = Option.value ~default:"E-protocol" (str "code");
-                        message = Option.value ~default:"unknown error" (str "message") } }
+          | Some err -> Ok { id; payload = Error (error_of_json err) }
           | None -> Error "failure response has no \"error\"")
       | None -> Error "response has no boolean \"ok\"")
   | _ -> Error "response is not a JSON object"
 
 let error_of_diagnostic (d : Diagnostics.t) =
   { code = Diagnostics.code_string d.Diagnostics.code; message = d.Diagnostics.message }
+
+let diagnostic_of_error e =
+  match Diagnostics.code_of_string e.code with
+  | Some code -> Diagnostics.make code e.message
+  | None ->
+      Diagnostics.make Diagnostics.Protocol (Printf.sprintf "%s [%s]" e.message e.code)
 
 (* --- framing ------------------------------------------------------ *)
 

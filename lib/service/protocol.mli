@@ -1,4 +1,25 @@
-(** The service wire protocol: length-prefixed JSON frames.
+(** The service wire protocol: typed requests and replies over
+    length-prefixed JSON frames.
+
+    {2 Versions}
+
+    Two protocol versions share one wire format.  {b v1} is the
+    original one-op-per-round-trip protocol; {b v2} adds the [hello]
+    version-negotiation handshake, first-class batch ops
+    ([batch_adi] / [batch_order] / [batch_atpg]: many circuits or
+    configurations per round-trip, replies in request order), and
+    out-of-order replies over one connection (request [id]s already
+    make replies attributable; v2 clients may pipeline several frames
+    and match replies by [id] in any order).  Every v1 frame is
+    byte-identical under v2 — old clients keep working without a
+    handshake, and a connection that never sends a v2 op never pays
+    for one.
+
+    A v2 client opens with [{"id":1,"op":"hello","versions":[1,2]}];
+    the server answers with a [Welcome] naming the highest common
+    version ([{"id":1,"ok":true,"hello":{"version":2,...}}]).  Unknown
+    ops come back as a typed [E-protocol] error naming the negotiated
+    version.
 
     {2 Framing}
 
@@ -20,40 +41,102 @@
 
     {2 Requests}
 
-    [{"id": <int>, "op": <string>, ...params}] — every field other than
-    [id]/[op] is an op-specific parameter.  Ops: [load], [adi],
-    [order], [atpg], [stats], [health], [evict], [shutdown] (see
-    [docs/service.md] for the parameter and reply schemas).
+    [{"id": <int>, "op": <string>, ...params}] — every field other
+    than [id]/[op] is an op-specific parameter.  Batch requests carry
+    their items in a ["requests"] array of parameter objects:
+    [{"id":7,"op":"batch_order","requests":[{"circuit":"c17"},...]}].
 
     {2 Responses}
 
-    [{"id": <int>, "ok": true, "result": {...}}] on success, or
-    [{"id": <int>, "ok": false, "error": {"code": "E-...",
-    "message": ...}}] with a stable {!Util.Diagnostics} code slug on
-    failure.  The [id] echoes the request (0 when the request was too
-    malformed to carry one). *)
+    [{"id": <int>, "ok": true, "result": {...}}] on success;
+    [{"id": <int>, "ok": true, "batch": [...]}] for a batch, each
+    element [{"ok":true,"result":...}] or [{"ok":false,"error":...}]
+    in request order; [{"id": <int>, "ok": true, "hello": {...}}] for
+    a welcome; or [{"id": <int>, "ok": false, "error": {"code":
+    "E-...", "message": ...}}] with a stable {!Util.Diagnostics} code
+    slug on failure.  The [id] echoes the request (0 when the request
+    was too malformed to carry one). *)
 
-type request = {
-  id : int;
-  op : string;
-  params : (string * Util.Json.t) list;  (** everything but [id]/[op] *)
-}
+type version = int
+
+val v1 : version
+val v2 : version
+
+val supported_versions : version list
+(** The versions this build speaks, ascending: [[1; 2]]. *)
+
+val negotiate : version list -> version option
+(** Highest version present in both [supported_versions] and the
+    peer's list; [None] when the intersection is empty. *)
+
+type params = (string * Util.Json.t) list
+(** Everything in a request object besides [id]/[op]. *)
+
+type op = Load | Adi | Order | Atpg | Stats | Health | Evict | Shutdown
+
+val op_name : op -> string
+val op_of_name : string -> op option
+
+val batchable : op -> bool
+(** Ops with a [batch_*] form: [Adi], [Order], [Atpg]. *)
+
+type call =
+  | Single of op * params  (** one v1 op *)
+  | Batch of op * params list
+      (** v2: one round-trip, many parameter sets; the op must be
+          {!batchable} *)
+  | Hello of version list  (** v2 handshake: the versions the client speaks *)
+
+type request = { id : int; call : call }
+
+val call_name : call -> string
+(** The wire op string: ["adi"], ["batch_adi"], ["hello"], … *)
+
+val min_version : call -> version
+(** The protocol version a call first appears in: 1 for {!Single} and
+    {!Hello} (a v1 server answers [hello] with its ordinary
+    unknown-op error, which is itself a usable negotiation signal),
+    2 for {!Batch}. *)
+
+val single : ?id:int -> string -> params -> request
+(** Build a {!Single} request from an op name (default [id] 1).
+    @raise Invalid_argument on an unknown op name. *)
+
+val ops : string list
+(** Every known op string, v1 ops first — the vocabulary quoted by
+    unknown-op error messages. *)
 
 type error = { code : string; message : string }
 
-type response = { id : int; payload : (Util.Json.t, error) result }
+type reply =
+  | Result of Util.Json.t  (** one v1 result object *)
+  | Batch_replies of (Util.Json.t, error) result list
+      (** per-item outcomes, in request order; an item's failure never
+          poisons its siblings *)
+  | Welcome of { version : version; versions : version list; server : string }
+      (** negotiated version, everything the server speaks, and the
+          server's software version *)
 
-val ops : string list
-(** The known operations, in documentation order. *)
+type response = { id : int; payload : (reply, error) result }
+
+type decode_error =
+  | Malformed of string  (** not a request at all *)
+  | Unknown_op of { id : int; op : string }
+      (** syntactically a request, but no such op — the reply must
+          echo [id] and name the negotiated version *)
 
 val request_to_json : request -> Util.Json.t
-val request_of_json : Util.Json.t -> (request, string) result
+val request_of_json : Util.Json.t -> (request, decode_error) result
 
 val response_to_json : response -> Util.Json.t
 val response_of_json : Util.Json.t -> (response, string) result
 
 val error_of_diagnostic : Util.Diagnostics.t -> error
 (** Keep the stable code slug and the message; drop the location. *)
+
+val diagnostic_of_error : error -> Util.Diagnostics.t
+(** Recover a typed diagnostic from a wire error; an unknown code slug
+    maps to [Protocol] with the slug preserved in the message. *)
 
 (** {1 Framing} *)
 

@@ -6,8 +6,24 @@ let address_to_string = function
   | Unix_socket path -> path
   | Tcp (host, port) -> Printf.sprintf "%s:%d" host port
 
+type directive = [ `Continue | `Shutdown ]
+
+type connection = {
+  handle : string -> string * directive;
+  disconnect : unit -> unit;
+}
+
+type backend = {
+  connect : unit -> connection;
+  shed : string -> string;
+  on_queue_depth : int -> unit;
+  on_inflight : int -> unit;
+  on_lane_restart : unit -> unit;
+  set_runtime : (unit -> (string * Util.Json.t) list) -> unit;
+}
+
 type t = {
-  session : Session.t;
+  backend : backend;
   address : address;
   workers : int;
   backlog : int;
@@ -21,13 +37,13 @@ type t = {
 }
 
 let create ?(workers = 4) ?(backlog = 16) ?(poll_interval_s = 0.05) ?max_inflight
-    ?(queue_wait_s = 0.1) session address =
+    ?(queue_wait_s = 0.1) backend address =
   if workers < 1 then invalid_arg "Server.create: workers must be at least 1";
   if backlog < 1 then invalid_arg "Server.create: backlog must be at least 1";
   let max_inflight = Option.value max_inflight ~default:workers in
   if max_inflight < 1 then invalid_arg "Server.create: max_inflight must be at least 1";
   if queue_wait_s < 0.0 then invalid_arg "Server.create: queue_wait_s must be non-negative";
-  { session; address; workers; backlog; poll_interval_s; max_inflight; queue_wait_s;
+  { backend; address; workers; backlog; poll_interval_s; max_inflight; queue_wait_s;
     stop = Atomic.make false; busy = Atomic.make 0; inflight = Atomic.make 0;
     lane_restarts = Atomic.make 0 }
 
@@ -109,10 +125,12 @@ let admit t =
    request in flight, never for an idle client. *)
 let serve_connection t conn =
   Atomic.incr t.busy;
-  Session.observe_queue_depth t.session (Atomic.get t.busy);
+  t.backend.on_queue_depth (Atomic.get t.busy);
+  let c = t.backend.connect () in
   Fun.protect
     ~finally:(fun () ->
       Atomic.decr t.busy;
+      (try c.disconnect () with _ -> ());
       try Unix.close conn with Unix.Unix_error _ -> ())
     (fun () ->
       let rec exchange () =
@@ -128,8 +146,8 @@ let serve_connection t conn =
                       Fun.protect
                         ~finally:(fun () -> Atomic.decr t.inflight)
                         (fun () ->
-                          Session.observe_inflight t.session (Atomic.get t.inflight);
-                          Session.handle_frame t.session payload)
+                          t.backend.on_inflight (Atomic.get t.inflight);
+                          c.handle payload)
                     in
                     Protocol.write_frame conn reply;
                     match directive with
@@ -137,7 +155,7 @@ let serve_connection t conn =
                     | `Continue -> exchange ()
                   end
                   else begin
-                    Protocol.write_frame conn (Session.shed_frame t.session payload);
+                    Protocol.write_frame conn (t.backend.shed payload);
                     exchange ()
                   end)
       in
@@ -178,7 +196,7 @@ let accept_loop t listener should_stop =
     | () -> ()
     | exception _ when not (stop_now ()) ->
         Atomic.incr t.lane_restarts;
-        Session.note_lane_restart t.session;
+        t.backend.on_lane_restart ();
         supervised ()
     | exception _ -> ()
   in
@@ -200,7 +218,7 @@ let with_signals t f =
     f
 
 let serve ?(should_stop = fun () -> false) ?(on_ready = fun () -> ()) t =
-  Session.set_runtime t.session (fun () ->
+  t.backend.set_runtime (fun () ->
       [ ("inflight", Util.Json.Int (Atomic.get t.inflight));
         ("max_inflight", Util.Json.Int t.max_inflight);
         ("workers", Util.Json.Int t.workers);

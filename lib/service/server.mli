@@ -1,31 +1,36 @@
-(** Concurrent socket front end for a {!Session}.
+(** Concurrent socket front end for any frame-handling backend.
 
     Listens on a Unix-domain or TCP socket and serves the
-    length-prefixed {!Protocol} to many clients at once: each lane of a
-    {!Util.Parallel} domain pool runs its own accept-serve loop over
+    length-prefixed {!Protocol} framing to many clients at once: each
+    of [workers] accept-serve lanes runs its own dedicated domain over
     the shared listening socket, so up to [workers] connections are
     handled simultaneously while the kernel's listen [backlog] bounds
     the accept queue — clients beyond both simply queue, they are never
     dropped by the server itself.
+
+    The server knows nothing about request semantics: it is
+    parameterised over a {!backend} — a per-connection handler factory
+    plus observability hooks.  {!Session.backend} plugs a worker's
+    request handling in; {!Router.backend} plugs the fleet router in;
+    tests plug fakes in.
 
     {2 Admission control}
 
     Independently of connection concurrency, at most [max_inflight]
     requests may be inside a handler at once.  A request that cannot
     acquire a slot within [queue_wait_s] is {e shed}: the lane replies
-    immediately with a typed [E-overload] error (the resilient client
-    backs off and retries) instead of queueing unboundedly.  Sheds are
-    counted in the session's [service.shed] metric and the [health]
-    reply.  Accept lanes that die from an injected or unexpected
-    exception are counted and restarted ([service.lane_restarts]), so
-    a single failure never silently halves the server's capacity —
-    and {!serve} still drains cleanly and removes its socket file.
+    immediately with the backend's typed [E-overload] error (the
+    resilient client backs off and retries) instead of queueing
+    unboundedly.  Accept lanes that die from an injected or unexpected
+    exception are counted and restarted, so a single failure never
+    silently halves the server's capacity — and {!serve} still drains
+    cleanly and removes its socket file.
 
     {2 Shutdown and drain}
 
-    The server stops when a [shutdown] request is served, when
-    [should_stop] returns true, or — while {!serve} is running — on
-    SIGINT/SIGTERM.  Stopping is always a {e graceful drain}: every
+    The server stops when a handler returns the [`Shutdown] directive,
+    when [should_stop] returns true, or — while {!serve} is running —
+    on SIGINT/SIGTERM.  Stopping is always a {e graceful drain}: every
     lane finishes the request it is processing and flushes the reply
     before closing; only then does {!serve} return.  Idle connections
     are closed at the next poll tick, so a silent client can never
@@ -37,6 +42,31 @@ type address =
 
 val address_to_string : address -> string
 
+type directive = [ `Continue | `Shutdown ]
+
+type connection = {
+  handle : string -> string * directive;
+      (** map one frame payload to one reply payload; must never raise
+          for request-level failures (encode them as error replies) *)
+  disconnect : unit -> unit;
+      (** the peer is gone — release per-connection resources *)
+}
+
+type backend = {
+  connect : unit -> connection;
+      (** called once per accepted connection; per-connection protocol
+          state (e.g. the negotiated version) lives in the closure *)
+  shed : string -> string;
+      (** admission control refused this frame — build the E-overload
+          reply without running the handler *)
+  on_queue_depth : int -> unit;  (** busy-connection sample at accept *)
+  on_inflight : int -> unit;  (** in-flight sample at admission *)
+  on_lane_restart : unit -> unit;  (** an accept lane died and was revived *)
+  set_runtime : (unit -> (string * Util.Json.t) list) -> unit;
+      (** receive the server's live-stats thunk (in-flight count, lane
+          restarts, …) for embedding into health replies *)
+}
+
 type t
 
 val create :
@@ -45,7 +75,7 @@ val create :
   ?poll_interval_s:float ->
   ?max_inflight:int ->
   ?queue_wait_s:float ->
-  Session.t ->
+  backend ->
   address ->
   t
 (** [workers] (default 4) accept-serve lanes; [backlog] (default 16)

@@ -27,11 +27,20 @@ type t = {
          count, lane restarts, …) *)
 }
 
-let create ?(capacity = 8) ?spill_dir ?(jobs = 1) ?request_budget_s
+(* Per-connection protocol state.  The negotiated version starts at 1
+   — a connection that never says [hello] is a v1 connection — and
+   only a successful handshake moves it. *)
+type conn = { mutable version : Protocol.version }
+
+let new_conn () = { version = Protocol.v1 }
+let conn_version conn = conn.version
+
+let create ?(capacity = 8) ?spill_dir ?(shared_spill = false) ?(jobs = 1) ?request_budget_s
     ?(clock = Budget.default_clock) ?tracer () =
   if jobs < 1 then invalid_arg "Session.create: jobs must be at least 1";
   let tracer = match tracer with Some tr -> tr | None -> Trace.current () in
-  { store = Store.create ~capacity ?spill_dir (); jobs; request_budget_s; clock; tracer;
+  { store = Store.create ~capacity ?spill_dir ~write_through:shared_spill (); jobs;
+    request_budget_s; clock; tracer;
     lock = Mutex.create (); created_s = clock (); n_requests = 0; n_errors = 0; n_shed = 0;
     spec_committed = 0; spec_wasted = 0;
     collapse_full = 0; collapse_classes = 0; collapse_prime = 0; collapse_probes = 0;
@@ -251,6 +260,7 @@ let handle_stats t =
       ("capacity", Json.Int s.Store.capacity); ("hits", Json.Int s.Store.hits);
       ("spill_hits", Json.Int s.Store.spill_hits); ("misses", Json.Int s.Store.misses);
       ("insertions", Json.Int s.Store.insertions); ("evictions", Json.Int s.Store.evictions);
+      ("spill_writes", Json.Int s.Store.spill_writes);
       ("jobs", Json.Int t.jobs);
       ("spec_committed", Json.Int spec_committed); ("spec_wasted", Json.Int spec_wasted);
       (* Fault-universe reduction over fresh preparations: full
@@ -279,92 +289,148 @@ let handle_evict t params =
 
 (* --- dispatch ----------------------------------------------------- *)
 
-let dispatch t (req : Protocol.request) =
+let dispatch_single t op params =
   (* Chaos: a delay here models a slow handler; an error, a handler
      blowing up — both must surface as ordinary typed replies. *)
   Util.Failpoint.check "session.handle";
-  let budget () = budget_of_params t req.Protocol.params in
-  match req.Protocol.op with
-  | "load" -> handle_load t req.Protocol.params (budget ())
-  | "adi" -> handle_adi t req.Protocol.params (budget ())
-  | "order" -> handle_order t req.Protocol.params (budget ())
-  | "atpg" -> handle_atpg t req.Protocol.params (budget ())
-  | "stats" -> handle_stats t
-  | "health" -> handle_health t
-  | "evict" -> handle_evict t req.Protocol.params
-  | "shutdown" -> Json.Obj [ ("stopping", Json.Bool true) ]
-  | op -> fail_protocol "unknown op %S (expected one of: %s)" op (String.concat ", " Protocol.ops)
+  let budget () = budget_of_params t params in
+  match op with
+  | Protocol.Load -> handle_load t params (budget ())
+  | Protocol.Adi -> handle_adi t params (budget ())
+  | Protocol.Order -> handle_order t params (budget ())
+  | Protocol.Atpg -> handle_atpg t params (budget ())
+  | Protocol.Stats -> handle_stats t
+  | Protocol.Health -> handle_health t
+  | Protocol.Evict -> handle_evict t params
+  | Protocol.Shutdown -> Json.Obj [ ("stopping", Json.Bool true) ]
 
-let handle t (req : Protocol.request) =
-  let start_s = locked t (fun () -> Trace.now_s t.tracer) in
+(* Every library failure becomes a typed wire error — the
+   never-raises contract, applied uniformly to whole requests and to
+   individual batch items. *)
+let capture f =
+  match f () with
+  | result -> Ok result
+  | exception Diagnostics.Failed d -> Error (Protocol.error_of_diagnostic d)
+  | exception (Invalid_argument msg | Failure msg) ->
+      Error { Protocol.code = Diagnostics.code_string Diagnostics.Invalid_flag; message = msg }
+  | exception Sys_error msg ->
+      Error { Protocol.code = Diagnostics.code_string Diagnostics.Io_error; message = msg }
+
+(* The handshake: not counted as a request — negotiation is connection
+   setup, not work — so v1 traffic keeps byte-identical counters. *)
+let handle_hello t conn id versions =
   let payload =
-    match dispatch t req with
-    | result -> Ok result
-    | exception Diagnostics.Failed d -> Error (Protocol.error_of_diagnostic d)
-    | exception (Invalid_argument msg | Failure msg) ->
-        Error { Protocol.code = Diagnostics.code_string Diagnostics.Invalid_flag; message = msg }
-    | exception Sys_error msg ->
-        Error { Protocol.code = Diagnostics.code_string Diagnostics.Io_error; message = msg }
+    match Protocol.negotiate versions with
+    | Some v ->
+        conn.version <- v;
+        Ok
+          (Protocol.Welcome
+             { version = v; versions = Protocol.supported_versions;
+               server = Util.Version.version })
+    | None ->
+        Error
+          { Protocol.code = Diagnostics.code_string Diagnostics.Protocol;
+            message =
+              Printf.sprintf "no common protocol version (server speaks: %s)"
+                (String.concat ", " (List.map string_of_int Protocol.supported_versions)) }
   in
-  (* Publish counters and the request span under the lock — tracers
-     and registries are not domain-safe on their own. *)
+  locked t (fun () ->
+      if Trace.enabled t.tracer then Metrics.incr (Trace.counter t.tracer "service.hello"));
+  { Protocol.id; payload }
+
+let cached_flag_counters tr result =
+  match Option.bind (Json.member "cached" result) Json.to_bool with
+  | Some true -> Metrics.incr (Trace.counter tr "service.cache.hits")
+  | Some false -> Metrics.incr (Trace.counter tr "service.cache.misses")
+  | None -> ()
+
+let handle t ?conn (req : Protocol.request) =
+  let conn = match conn with Some c -> c | None -> new_conn () in
+  match req.Protocol.call with
+  | Protocol.Hello versions -> handle_hello t conn req.Protocol.id versions
+  | call ->
+      let start_s = locked t (fun () -> Trace.now_s t.tracer) in
+      let payload =
+        match call with
+        | Protocol.Hello _ -> assert false
+        | Protocol.Single (op, params) ->
+            Result.map (fun j -> Protocol.Result j) (capture (fun () -> dispatch_single t op params))
+        | Protocol.Batch (op, items) ->
+            (* Each item runs exactly the single-op path, in request
+               order, with its own budget and its own error capture —
+               the byte-identity and isolation guarantees of v1, one
+               round-trip instead of n. *)
+            Ok
+              (Protocol.Batch_replies
+                 (List.map (fun params -> capture (fun () -> dispatch_single t op params)) items))
+      in
+      let op_string = Protocol.call_name call in
+      (* Publish counters and the request span under the lock — tracers
+         and registries are not domain-safe on their own. *)
+      locked t (fun () ->
+          t.n_requests <- t.n_requests + 1;
+          (match payload with Error _ -> t.n_errors <- t.n_errors + 1 | Ok _ -> ());
+          let tr = t.tracer in
+          if Trace.enabled tr then begin
+            Metrics.incr (Trace.counter tr "service.requests");
+            Metrics.incr (Trace.counter tr (Printf.sprintf "service.requests.%s" op_string));
+            (match payload with
+            | Error _ -> Metrics.incr (Trace.counter tr "service.errors")
+            | Ok (Protocol.Result result) -> cached_flag_counters tr result
+            | Ok (Protocol.Batch_replies items) ->
+                List.iter (function Ok r -> cached_flag_counters tr r | Error _ -> ()) items
+            | Ok (Protocol.Welcome _) -> ());
+            let dur_s = Trace.now_s tr -. start_s in
+            Trace.emit_span tr "service.request" ~start_s ~dur_s
+              ~attrs:
+                [ ("op", Trace.Str op_string); ("id", Trace.Int req.Protocol.id);
+                  ("ok", Trace.Bool (Result.is_ok payload)) ];
+            Metrics.observe
+              (Trace.histogram tr (Printf.sprintf "service.request_s.%s" op_string))
+              dur_s
+          end);
+      { Protocol.id = req.Protocol.id; payload }
+
+let count_failed_request t =
   locked t (fun () ->
       t.n_requests <- t.n_requests + 1;
-      (match payload with Error _ -> t.n_errors <- t.n_errors + 1 | Ok _ -> ());
-      let tr = t.tracer in
-      if Trace.enabled tr then begin
-        Metrics.incr (Trace.counter tr "service.requests");
-        Metrics.incr (Trace.counter tr (Printf.sprintf "service.requests.%s" req.Protocol.op));
-        (match payload with
-        | Error _ -> Metrics.incr (Trace.counter tr "service.errors")
-        | Ok result ->
-            (match Option.bind (Json.member "cached" result) Json.to_bool with
-            | Some true -> Metrics.incr (Trace.counter tr "service.cache.hits")
-            | Some false -> Metrics.incr (Trace.counter tr "service.cache.misses")
-            | None -> ()));
-        let dur_s = Trace.now_s tr -. start_s in
-        Trace.emit_span tr "service.request" ~start_s ~dur_s
-          ~attrs:
-            [ ("op", Trace.Str req.Protocol.op); ("id", Trace.Int req.Protocol.id);
-              ("ok", Trace.Bool (Result.is_ok payload)) ];
-        Metrics.observe
-          (Trace.histogram tr (Printf.sprintf "service.request_s.%s" req.Protocol.op))
-          dur_s
-      end);
-  { Protocol.id = req.Protocol.id; payload }
+      t.n_errors <- t.n_errors + 1;
+      if Trace.enabled t.tracer then begin
+        Metrics.incr (Trace.counter t.tracer "service.requests");
+        Metrics.incr (Trace.counter t.tracer "service.errors")
+      end)
 
-let handle_frame t payload =
+let protocol_error_response id message =
+  { Protocol.id;
+    payload =
+      Error { Protocol.code = Diagnostics.code_string Diagnostics.Protocol; message } }
+
+let handle_frame t ?conn payload =
+  let conn = match conn with Some c -> c | None -> new_conn () in
   let response =
     match Json.of_string payload with
     | Error msg ->
-        locked t (fun () ->
-            t.n_requests <- t.n_requests + 1;
-            t.n_errors <- t.n_errors + 1;
-            if Trace.enabled t.tracer then begin
-              Metrics.incr (Trace.counter t.tracer "service.requests");
-              Metrics.incr (Trace.counter t.tracer "service.errors")
-            end);
-        { Protocol.id = 0;
-          payload =
-            Error
-              { Protocol.code = Diagnostics.code_string Diagnostics.Protocol;
-                message = Printf.sprintf "malformed request: %s" msg } }
+        count_failed_request t;
+        protocol_error_response 0 (Printf.sprintf "malformed request: %s" msg)
     | Ok json -> (
         match Protocol.request_of_json json with
-        | Error msg ->
-            locked t (fun () ->
-                t.n_requests <- t.n_requests + 1;
-                t.n_errors <- t.n_errors + 1);
-            { Protocol.id = 0;
-              payload =
-                Error
-                  { Protocol.code = Diagnostics.code_string Diagnostics.Protocol;
-                    message = Printf.sprintf "malformed request: %s" msg } }
-        | Ok req -> handle t req)
+        | Error (Protocol.Malformed msg) ->
+            count_failed_request t;
+            protocol_error_response 0 (Printf.sprintf "malformed request: %s" msg)
+        | Error (Protocol.Unknown_op { id; op }) ->
+            (* Typed E-protocol naming the connection's negotiated
+               version, so a v2 client can tell "old server" from
+               "bad op". *)
+            count_failed_request t;
+            protocol_error_response id
+              (Printf.sprintf "unknown op %S (protocol v%d; expected one of: %s)" op
+                 conn.version
+                 (String.concat ", " Protocol.ops))
+        | Ok req -> handle t ~conn req)
   in
   let directive =
     match response.Protocol.payload with
-    | Ok (Json.Obj fields) when List.mem_assoc "stopping" fields -> `Shutdown
+    | Ok (Protocol.Result (Json.Obj fields)) when List.mem_assoc "stopping" fields -> `Shutdown
     | _ -> `Continue
   in
   (Json.to_string (Protocol.response_to_json response), directive)
@@ -374,9 +440,13 @@ let handle_frame t payload =
    error, and count the shed.  Never runs the handler. *)
 let shed_frame t payload =
   let id =
-    match Result.bind (Json.of_string payload) Protocol.request_of_json with
-    | Ok req -> req.Protocol.id
+    match Json.of_string payload with
     | Error _ -> 0
+    | Ok json -> (
+        match Protocol.request_of_json json with
+        | Ok req -> req.Protocol.id
+        | Error (Protocol.Unknown_op { id; _ }) -> id
+        | Error (Protocol.Malformed _) -> 0)
   in
   locked t (fun () ->
       t.n_shed <- t.n_shed + 1;
@@ -389,3 +459,15 @@ let shed_frame t payload =
             message = "server overloaded: too many requests in flight" } }
   in
   Json.to_string (Protocol.response_to_json response)
+
+let backend t =
+  { Server.connect =
+      (fun () ->
+        let conn = new_conn () in
+        { Server.handle = (fun payload -> handle_frame t ~conn payload);
+          disconnect = (fun () -> ()) });
+    shed = shed_frame t;
+    on_queue_depth = observe_queue_depth t;
+    on_inflight = observe_inflight t;
+    on_lane_restart = (fun () -> note_lane_restart t);
+    set_runtime = set_runtime t }

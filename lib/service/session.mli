@@ -8,14 +8,31 @@
     error reply with a stable [E-...] code, because a resident service
     must survive any single bad request.
 
+    {2 Protocol versions and batches}
+
+    Connection-scoped protocol state (the version negotiated by
+    [hello]) lives in a {!conn} value, one per accepted connection;
+    direct callers that skip it get a fresh v1 connection per call.
+    A [hello] is connection setup, not work: it never bumps the
+    request counters, so pure-v1 traffic keeps byte-identical
+    counters and stats.
+
+    A batch request ([batch_adi] / [batch_order] / [batch_atpg]) runs
+    each parameter set through {e exactly} the single-op path, in
+    request order, each item under its own budget and its own error
+    capture — so every item's result object is byte-identical to the
+    reply of the equivalent v1 op, and one bad item never poisons its
+    siblings.  The batch counts as one request; per-item cache
+    outcomes still feed the cache hit/miss counters.
+
     {2 Budgets}
 
-    Each request runs under a {!Util.Budget} deadline: the request's
-    [budget_s] parameter, or the session-wide default.  The deadline is
-    checked at phase boundaries, and for [atpg] the remaining time is
-    threaded into the engine's run budget so even a long generation
-    stops at a fault boundary; expiry is reported as an [E-budget]
-    error reply, never a hang or a dead worker.
+    Each request (and each batch item) runs under a {!Util.Budget}
+    deadline: the [budget_s] parameter, or the session-wide default.
+    The deadline is checked at phase boundaries, and for [atpg] the
+    remaining time is threaded into the engine's run budget so even a
+    long generation stops at a fault boundary; expiry is reported as
+    an [E-budget] error reply, never a hang or a dead worker.
 
     {2 Determinism}
 
@@ -35,6 +52,7 @@ type t
 val create :
   ?capacity:int ->
   ?spill_dir:string ->
+  ?shared_spill:bool ->
   ?jobs:int ->
   ?request_budget_s:float ->
   ?clock:Util.Budget.clock ->
@@ -42,31 +60,57 @@ val create :
   unit ->
   t
 (** [capacity]/[spill_dir] configure the {!Store} (default capacity 8,
-    no spill).  [jobs] (default 1) sizes the fault-simulation domain
-    pool for requests that do not set their own.  [request_budget_s]
-    is the default per-request deadline (default: none).  [tracer]
-    defaults to the current tracer at creation time. *)
+    no spill).  [shared_spill] (default false) turns the spill
+    directory into a fleet-level second-level store: fresh setups are
+    written through immediately so sibling workers sharing the
+    directory find them (see {!Store}).  [jobs] (default 1) sizes the
+    fault-simulation domain pool for requests that do not set their
+    own.  [request_budget_s] is the default per-request deadline
+    (default: none).  [tracer] defaults to the current tracer at
+    creation time. *)
 
 val store : t -> Store.t
 val requests : t -> int
-(** Requests handled so far (including failed ones). *)
+(** Requests handled so far (including failed ones; [hello] excluded). *)
 
 val shed_count : t -> int
 (** Requests refused by admission control so far. *)
 
-val handle : t -> Protocol.request -> Protocol.response
-(** Never raises; see the module doc for the op and error schemas. *)
+(** {2 Connection state} *)
 
-val handle_frame : t -> string -> string * [ `Continue | `Shutdown ]
+type conn
+(** Per-connection protocol state: the negotiated version. *)
+
+val new_conn : unit -> conn
+(** A fresh connection, at protocol v1 until a [hello] negotiates up. *)
+
+val conn_version : conn -> Protocol.version
+
+(** {2 Request handling} *)
+
+val handle : t -> ?conn:conn -> Protocol.request -> Protocol.response
+(** Never raises; see the module doc for the op and error schemas.
+    [conn] defaults to a fresh v1 connection. *)
+
+val handle_frame : t -> ?conn:conn -> string -> string * [ `Continue | `Shutdown ]
 (** Decode one frame payload, {!handle} it, encode the reply.
-    Malformed JSON or a missing [op] yields an [E-protocol] error reply
-    with id 0.  The directive tells the server loop whether this
-    request asked the service to stop. *)
+    Malformed JSON yields an [E-protocol] error reply with id 0; an
+    unknown op echoes the request id and names [conn]'s negotiated
+    version.  The directive tells the server loop whether this request
+    asked the service to stop. *)
 
 val shed_frame : t -> string -> string
 (** The admission-control refusal path: build an [E-overload] error
     reply echoing the request's id (0 when unparseable), bump the shed
     counter and the [service.shed] metric.  The handler never runs. *)
+
+val backend : t -> Server.backend
+(** Package this session as a {!Server.backend}: each accepted
+    connection gets its own {!conn}, frames route through
+    {!handle_frame}, sheds through {!shed_frame}, and the server's
+    observability hooks feed the session's metrics. *)
+
+(** {2 Server hooks} *)
 
 val set_runtime : t -> (unit -> (string * Util.Json.t) list) -> unit
 (** Install extra [health]-reply fields (in-flight count, lane

@@ -21,11 +21,13 @@ type stats = {
   misses : int;
   insertions : int;
   evictions : int;
+  spill_writes : int;
 }
 
 type t = {
   cap : int;
   spill_dir : string option;
+  write_through : bool;
   lock : Mutex.t;
   mutable mru : (string * Pipeline.setup) list;  (* most recent first *)
   mutable hits : int;
@@ -33,15 +35,18 @@ type t = {
   mutable misses : int;
   mutable insertions : int;
   mutable evictions : int;
+  mutable spill_writes : int;
 }
 
-let create ?(capacity = 8) ?spill_dir () =
+let create ?(capacity = 8) ?spill_dir ?(write_through = false) () =
   if capacity < 0 then invalid_arg "Store.create: negative capacity";
+  if write_through && spill_dir = None then
+    invalid_arg "Store.create: write_through needs a spill_dir";
   Option.iter
     (fun dir -> if not (Sys.file_exists dir) then Unix.mkdir dir 0o755)
     spill_dir;
-  { cap = capacity; spill_dir; lock = Mutex.create (); mru = []; hits = 0; spill_hits = 0;
-    misses = 0; insertions = 0; evictions = 0 }
+  { cap = capacity; spill_dir; write_through; lock = Mutex.create (); mru = []; hits = 0;
+    spill_hits = 0; misses = 0; insertions = 0; evictions = 0; spill_writes = 0 }
 
 let locked t f =
   Mutex.lock t.lock;
@@ -55,7 +60,7 @@ let stats t =
   locked t (fun () ->
       { entries = List.length t.mru; capacity = t.cap; hits = t.hits;
         spill_hits = t.spill_hits; misses = t.misses; insertions = t.insertions;
-        evictions = t.evictions })
+        evictions = t.evictions; spill_writes = t.spill_writes })
 
 (* --- keying ------------------------------------------------------- *)
 
@@ -114,6 +119,16 @@ let spill_remove dir k = try Sys.remove (spill_path dir k) with Sys_error _ -> (
 
 (* --- resident set ------------------------------------------------- *)
 
+(* A failed spill is a lost cache entry, not a failed request: the
+   setup can always be recomputed on the next miss. *)
+let try_spill t k setup =
+  Option.iter
+    (fun dir ->
+      match spill_write dir k setup with
+      | () -> t.spill_writes <- t.spill_writes + 1
+      | exception (Util.Diagnostics.Failed _ | Sys_error _ | Unix.Unix_error _) -> ())
+    t.spill_dir
+
 (* Insert under the lock; spill the LRU tail out when over capacity. *)
 let admit t k setup =
   if t.cap > 0 && not (List.mem_assoc k t.mru) then begin
@@ -123,13 +138,7 @@ let admit t k setup =
       let keep, tail = (List.filteri (fun i _ -> i < t.cap) t.mru, List.nth t.mru t.cap) in
       t.mru <- keep;
       t.evictions <- t.evictions + 1;
-      (* A failed spill is a lost cache entry, not a failed request:
-         the evicted setup can always be recomputed on the next miss. *)
-      Option.iter
-        (fun dir ->
-          try spill_write dir (fst tail) (snd tail)
-          with Util.Diagnostics.Failed _ | Sys_error _ | Unix.Unix_error _ -> ())
-        t.spill_dir
+      try_spill t (fst tail) (snd tail)
     end
   end
 
@@ -168,6 +177,12 @@ let find_or_prepare t config circuit =
          whichever insertion lands first is correct. *)
       let setup = Pipeline.prepare config circuit in
       add t k setup;
+      (* Fleet mode: publish the freshly computed setup to the shared
+         spill directory immediately, not only on eviction, so sibling
+         workers (and restarts) find it as a second-level hit.  The
+         Atomic_file rename discipline makes two workers racing on the
+         same key harmless — either complete file is correct. *)
+      if t.write_through then locked t (fun () -> try_spill t k setup);
       (setup, false)
 
 let evict t k =

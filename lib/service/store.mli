@@ -29,6 +29,14 @@
     reloaded (and re-admitted) on a later lookup; corrupt or
     wrong-version spill files are treated as misses.
 
+    With [write_through] (fleet mode), a freshly prepared setup is
+    also spilled immediately, so a spill directory {e shared} by
+    several worker processes acts as a fleet-level second-level cache:
+    a worker that misses its in-process LRU probes the shared spill
+    before recomputing.  Concurrent writers are safe — each spill file
+    lands via write-fsync-rename-fsync, and racing writers of the same
+    content-addressed key produce byte-identical files.
+
     All operations are domain-safe behind an internal mutex — server
     worker lanes share one store.  The expensive preparation in
     {!find_or_prepare} runs outside the lock; when two lanes race on
@@ -45,11 +53,15 @@ type stats = {
   misses : int;
   insertions : int;
   evictions : int;  (** entries pushed out by the capacity bound *)
+  spill_writes : int;  (** spill files written (eviction + write-through) *)
 }
 
-val create : ?capacity:int -> ?spill_dir:string -> unit -> t
+val create : ?capacity:int -> ?spill_dir:string -> ?write_through:bool -> unit -> t
 (** Default [capacity] 8.  [spill_dir] is created if missing.
-    @raise Invalid_argument on a negative capacity. *)
+    [write_through] (default false) spills freshly prepared setups
+    immediately — the shared-spill fleet mode.
+    @raise Invalid_argument on a negative capacity, or when
+    [write_through] is requested without a [spill_dir]. *)
 
 val capacity : t -> int
 val length : t -> int

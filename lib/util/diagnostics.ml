@@ -65,6 +65,14 @@ let code_string = function
   | Protocol -> "E-protocol"
   | Overload -> "E-overload"
 
+let all_codes =
+  [ Syntax; Unknown_gate; Bad_arity; Duplicate_def; Undefined_ref; Combinational_cycle;
+    No_outputs; Bad_cover; Bad_directive; Empty_input; Dead_logic; Constant_logic;
+    Sequential_element; Checkpoint_format; Checkpoint_mismatch; Io_error; Invalid_flag;
+    Budget_expired; Protocol; Overload ]
+
+let code_of_string s = List.find_opt (fun c -> String.equal (code_string c) s) all_codes
+
 let severity_string = function
   | Error -> "error"
   | Warning -> "warning"

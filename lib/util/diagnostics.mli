@@ -52,6 +52,11 @@ val fail : ?loc:location -> code -> ('a, unit, string, 'b) format4 -> 'a
 val code_string : code -> string
 (** Stable slug, e.g. ["E-unknown-gate"]. *)
 
+val code_of_string : string -> code option
+(** Inverse of {!code_string}: recover a typed code from its stable
+    slug — how service clients turn a wire error back into a local
+    diagnostic.  [None] for an unknown slug. *)
+
 val severity_string : severity -> string
 
 val to_string : t -> string

@@ -1,0 +1,80 @@
+A sharded fleet: two adi-server workers share one spill directory in
+write-through mode, and adi-router consistent-hashes requests across
+them by circuit digest.  These checks pin the fleet happy path (batch
+results through the router are byte-identical to a single server's),
+cache affinity (the same circuit keeps landing on the same worker, so
+the second request is a cache hit), and the whole-fleet drain.
+
+Start two workers over a shared spill directory, then the router:
+
+  $ mkdir spill
+  $ adi-server --socket w0.sock --capacity 4 --spill spill --spill-shared > w0.log 2>&1 &
+  $ adi-server --socket w1.sock --capacity 4 --spill spill --spill-shared > w1.log 2>&1 &
+  $ for i in $(seq 1 100); do [ -S w0.sock ] && [ -S w1.sock ] && break; sleep 0.1; done
+  $ adi-router --socket front.sock --worker w0.sock --worker w1.sock --probe-interval 0 --drain-workers > router.log 2>&1 &
+  $ for i in $(seq 1 100); do [ -S front.sock ] && break; sleep 0.1; done
+
+The router speaks the same protocol a worker does, so the ordinary
+client works unchanged.  A cold request computes on whichever worker
+owns the circuit; the repeat is served from that worker's warm cache:
+
+  $ adi-client adi --socket front.sock c17 --seed 3 > cold.json
+  $ adi-client adi --socket front.sock c17 --seed 3 > warm.json
+  $ grep -o '"cached":false' cold.json
+  "cached":false
+  $ grep -o '"cached":true' warm.json
+  "cached":true
+  $ sed 's/"cached":[a-z]*/"cached":_/' cold.json > cold.norm
+  $ sed 's/"cached":[a-z]*/"cached":_/' warm.json > warm.norm
+  $ cmp cold.norm warm.norm && echo identical
+  identical
+
+A protocol v2 batch is split per owning worker and reassembled in
+request order:
+
+  $ adi-client batch --socket front.sock adi c17 lion | grep -o '"ok":true'
+  "ok":true
+  "ok":true
+
+The router's stats expose the fleet: per-worker forward counts and the
+affinity counters.  The repeated c17 requests hit the same worker
+every time, and no key was rehashed:
+
+  $ adi-client stats --socket front.sock > stats.json
+  $ grep -o '"role":"router"' stats.json
+  "role":"router"
+  $ grep -o '"affinity_hits":2' stats.json
+  "affinity_hits":2
+  $ grep -o '"affinity_moves":0' stats.json
+  "affinity_moves":0
+  $ grep -o '"failovers":0' stats.json
+  "failovers":0
+  $ grep -c '"alive":true' stats.json
+  1
+
+Fleet health aggregates the workers:
+
+  $ adi-client health --socket front.sock | grep -o '"live_workers":2'
+  "live_workers":2
+
+Shutdown at the front door drains the router and, because it was
+started with --drain-workers, the whole fleet behind it:
+
+  $ adi-client shutdown --socket front.sock
+  {"stopping":true}
+  $ wait
+  $ cat router.log
+  adi-router: v1.1.0 listening on front.sock (2 workers)
+  adi-router: drained after 6 requests
+  $ grep -c 'drained after' w0.log w1.log
+  w0.log:1
+  w1.log:1
+  $ [ ! -e front.sock ] && [ ! -e w0.sock ] && [ ! -e w1.sock ] && echo gone
+  gone
+
+The shared spill directory holds the fleet's second-level artifacts,
+written through at compute time: one setup each for the seed-3 c17,
+the default-seed c17 from the batch, and lion:
+
+  $ ls spill | grep -c '\.setup$'
+  3

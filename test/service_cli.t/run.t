@@ -30,6 +30,19 @@ The stats reply carries the version and records the cache hit:
   $ adi-client stats --socket adi.sock | grep -o '"hits":1'
   "hits":1
 
+A hello negotiates protocol v2; it is connection setup, not work, so
+it never appears in the request count pinned below:
+
+  $ adi-client hello --socket adi.sock
+  {"version":2}
+
+One protocol v2 batch carries many circuits in a single request;
+per-item results come back in request order:
+
+  $ adi-client batch --socket adi.sock adi c17 lion | grep -o '"ok":true'
+  "ok":true
+  "ok":true
+
 An exhausted request budget is a typed E-budget error, not a hang:
 
   $ adi-client atpg --socket adi.sock c17 --budget_s 0
@@ -37,16 +50,18 @@ An exhausted request budget is a typed E-budget error, not a hang:
   [4]
 
 Garbage on the wire is a typed E-protocol error with an unattributable
-request id, and the connection (and server) survive it:
+request id, and the connection (and server) survive it (the old raw
+subcommand now lives behind --raw, for protocol debugging only):
 
-  $ adi-client raw --socket adi.sock 'nonsense'
+  $ adi-client --socket adi.sock --raw 'nonsense'
   adi-client: malformed request: bad literal at offset 0 [E-protocol]
   [2]
 
-Unknown operations are rejected by name:
+Unknown operations are rejected by name, and the error names the
+connection's negotiated protocol version:
 
-  $ adi-client raw --socket adi.sock '{"id":9,"op":"frobnicate"}'
-  adi-client: unknown op "frobnicate" (expected one of: load, adi, order, atpg, stats, health, evict, shutdown) [E-protocol]
+  $ adi-client --socket adi.sock --raw '{"id":9,"op":"frobnicate"}'
+  adi-client: unknown op "frobnicate" (protocol v1; expected one of: load, adi, order, atpg, stats, health, evict, shutdown, hello, batch_adi, batch_order, batch_atpg) [E-protocol]
   [2]
 
 Out-of-range configuration surfaces as the same E-flag diagnostics the
@@ -63,7 +78,7 @@ Shutdown drains the server; it exits cleanly and removes its socket:
   $ wait
   $ cat server.log
   adi-server: v1.1.0 listening on adi.sock (2 workers, capacity 4)
-  adi-server: drained after 8 requests
+  adi-server: drained after 9 requests
   $ [ ! -e adi.sock ] && echo gone
   gone
 

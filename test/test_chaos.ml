@@ -467,7 +467,8 @@ let with_server ?(workers = 2) ?max_inflight ?queue_wait_s f =
   let address = Service.Server.Unix_socket path in
   let session = Service.Session.create ~capacity:4 ~jobs:1 () in
   let server =
-    Service.Server.create ~workers ?max_inflight ?queue_wait_s session address
+    Service.Server.create ~workers ?max_inflight ?queue_wait_s
+      (Service.Session.backend session) address
   in
   let ready = Atomic.make false in
   let dom =
@@ -495,10 +496,11 @@ let client_rides_through_chaos_byte_identical () =
   let expected =
     let pristine = Service.Session.create ~capacity:4 ~jobs:1 () in
     match
-      (Service.Session.handle pristine { Service.Protocol.id = 1; op = "adi"; params })
+      (Service.Session.handle pristine (Service.Protocol.single "adi" params))
         .Service.Protocol.payload
     with
-    | Ok j -> Json.to_string (strip_cached j)
+    | Ok (Service.Protocol.Result j) -> Json.to_string (strip_cached j)
+    | Ok _ -> Alcotest.fail "unexpected reply shape"
     | Error e -> Alcotest.fail e.Service.Protocol.message
   in
   with_server @@ fun ~path:_ ~address ~session:_ ~server:_ ->

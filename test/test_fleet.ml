@@ -1,0 +1,421 @@
+(* Tests for protocol v2 and the fleet layer: hello negotiation,
+   batch ops (qcheck properties: request order preserved, every item
+   byte-identical to the equivalent sequential v1 op, across cold and
+   warm caches and jobs=1 vs jobs=4), the client's out-of-order
+   pipelining, the shared write-through spill store, the router's
+   consistent-hash ring (cache affinity, minimal rehash on death,
+   revival restores the mapping), and an end-to-end router fleet with
+   a worker kill and failover. *)
+
+module Json = Util.Json
+module D = Util.Diagnostics
+module Store = Service.Store
+module Protocol = Service.Protocol
+module Session = Service.Session
+module Server = Service.Server
+module Client = Service.Client
+module Router = Service.Router
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let with_temp_dir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "adi-fleet-test-%d-%d" (Unix.getpid ()) (Random.bits ()))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f dir)
+
+(* ---------- protocol negotiation ---------------------------------- *)
+
+let hello_negotiates_highest_common () =
+  let t = Session.create ~capacity:2 () in
+  let conn = Session.new_conn () in
+  check Alcotest.int "fresh connections speak v1" Protocol.v1 (Session.conn_version conn);
+  (match
+     (Session.handle t ~conn { Protocol.id = 1; call = Protocol.Hello [ 1; 2; 9 ] })
+       .Protocol.payload
+   with
+  | Ok (Protocol.Welcome { version; versions; server }) ->
+      check Alcotest.int "negotiated the highest common version" Protocol.v2 version;
+      Alcotest.(check (list int)) "server advertises what it speaks"
+        Protocol.supported_versions versions;
+      check Alcotest.string "server identifies itself" Util.Version.version server
+  | _ -> Alcotest.fail "expected a welcome");
+  check Alcotest.int "connection upgraded" Protocol.v2 (Session.conn_version conn);
+  (* No overlap: a typed refusal, and the connection stays at v1. *)
+  let conn2 = Session.new_conn () in
+  (match
+     (Session.handle t ~conn:conn2 { Protocol.id = 2; call = Protocol.Hello [ 99 ] })
+       .Protocol.payload
+   with
+  | Error e -> check Alcotest.string "typed refusal" "E-protocol" e.Protocol.code
+  | Ok _ -> Alcotest.fail "expected a version-mismatch error");
+  check Alcotest.int "failed hello leaves v1" Protocol.v1 (Session.conn_version conn2);
+  (* Handshakes are connection setup, not work. *)
+  check Alcotest.int "hello never counts as a request" 0 (Session.requests t)
+
+let unknown_op_names_negotiated_version () =
+  let t = Session.create ~capacity:2 () in
+  let conn = Session.new_conn () in
+  ignore (Session.handle t ~conn { Protocol.id = 1; call = Protocol.Hello [ 1; 2 ] });
+  let reply, _ =
+    Session.handle_frame t ~conn
+      (Json.to_string (Json.Obj [ ("id", Json.Int 5); ("op", Json.Str "nope") ]))
+  in
+  match Result.bind (Json.of_string reply) Protocol.response_of_json with
+  | Ok { Protocol.id = 5; payload = Error e } ->
+      let contains msg sub =
+        let n = String.length msg and m = String.length sub in
+        let rec scan i = i + m <= n && (String.sub msg i m = sub || scan (i + 1)) in
+        scan 0
+      in
+      Alcotest.(check bool) "error names protocol v2" true
+        (contains e.Protocol.message "protocol v2");
+      Alcotest.(check bool) "error lists the batch ops" true
+        (contains e.Protocol.message "batch_adi")
+  | _ -> Alcotest.fail "expected an unknown-op error echoing id 5"
+
+(* ---------- batch ops: qcheck properties -------------------------- *)
+
+let circuits = [| "c17"; "lion"; "syn208" |]
+
+(* A batch item: a circuit plus a small config that exercises distinct
+   cache keys.  Kept small — every property run pays for real ADI
+   computation. *)
+let item_gen =
+  QCheck.Gen.(
+    map2
+      (fun c seed ->
+        [ ("circuit", Json.Str circuits.(c)); ("seed", Json.Int (1 + seed));
+          ("pool", Json.Int 64); ("target_coverage", Json.Float 0.5) ])
+      (int_bound (Array.length circuits - 1))
+      (int_bound 1))
+
+let batch_gen =
+  QCheck.Gen.(
+    map2
+      (fun op items -> ((if op = 0 then Protocol.Adi else Protocol.Order), items))
+      (int_bound 1)
+      (list_size (int_range 1 4) item_gen))
+
+let arb_batch =
+  QCheck.make
+    ~print:(fun (op, items) ->
+      Printf.sprintf "batch_%s %s" (Protocol.op_name op)
+        (String.concat "; " (List.map (fun ps -> Json.to_string (Json.Obj ps)) items)))
+    batch_gen
+
+let batch_replies t ?conn op items =
+  match (Session.handle t ?conn { Protocol.id = 1; call = Protocol.Batch (op, items) })
+          .Protocol.payload
+  with
+  | Ok (Protocol.Batch_replies rs) -> rs
+  | Ok _ -> Alcotest.fail "expected batch replies"
+  | Error e -> Alcotest.fail ("batch failed whole: " ^ e.Protocol.message)
+
+let single_reply t op params =
+  (Session.handle t (Protocol.single ~id:1 (Protocol.op_name op) params)).Protocol.payload
+
+let reply_str = function
+  | Ok j -> "ok:" ^ Json.to_string j
+  | Error (e : Protocol.error) -> "err:" ^ e.Protocol.code ^ ":" ^ e.Protocol.message
+
+let strip_cached = function
+  | Ok (Json.Obj fields) -> Ok (Json.Obj (List.filter (fun (k, _) -> k <> "cached") fields))
+  | r -> r
+
+(* One batch against a fresh session must equal the same ops sent
+   sequentially as v1 singles to another fresh session — byte for
+   byte, cached flags included, in request order. *)
+let batch_equals_sequential_v1 =
+  QCheck.Test.make ~name:"batch items = sequential v1 ops, byte-identical" ~count:6 arb_batch
+    (fun (op, items) ->
+      let batch_t = Session.create ~capacity:4 ~jobs:1 () in
+      let seq_t = Session.create ~capacity:4 ~jobs:1 () in
+      let batched = batch_replies batch_t op items in
+      let sequential =
+        List.map
+          (fun params ->
+            match single_reply seq_t op params with
+            | Ok (Protocol.Result j) -> Ok j
+            | Ok _ -> Alcotest.fail "unexpected single reply shape"
+            | Error e -> Error e)
+          items
+      in
+      List.length batched = List.length items
+      && List.for_all2 (fun b s -> reply_str b = reply_str s) batched sequential)
+
+(* The same batch served warm must agree with the cold run modulo the
+   truthful cached flag, and jobs must never leak into replies. *)
+let batch_warm_and_jobs_identical =
+  QCheck.Test.make ~name:"batch cold = warm (modulo cached) = jobs=4" ~count:4 arb_batch
+    (fun (op, items) ->
+      let t1 = Session.create ~capacity:8 ~jobs:1 () in
+      let cold = batch_replies t1 op items in
+      let warm = batch_replies t1 op items in
+      let t4 = Session.create ~capacity:8 ~jobs:4 () in
+      let cold4 = batch_replies t4 op items in
+      List.for_all2
+        (fun c w -> reply_str (strip_cached c) = reply_str (strip_cached w))
+        cold warm
+      && List.for_all2 (fun c c4 -> reply_str c = reply_str c4) cold cold4)
+
+let batch_isolates_bad_items () =
+  let t = Session.create ~capacity:4 () in
+  let good = [ ("circuit", Json.Str "c17"); ("seed", Json.Int 3); ("pool", Json.Int 64) ] in
+  let bad = [ ("circuit", Json.Str "c17"); ("pool", Json.Int 0) ] in
+  match batch_replies t Protocol.Adi [ good; bad; good ] with
+  | [ Ok _; Error e; Ok _ ] ->
+      check Alcotest.string "bad item is typed" "E-flag" e.Protocol.code
+  | rs -> Alcotest.fail (Printf.sprintf "expected ok/err/ok, got %d replies" (List.length rs))
+
+(* ---------- client pipelining ------------------------------------- *)
+
+(* A hand-rolled server that answers one connection's N requests in
+   reverse order — the client must still return replies in request
+   order by matching ids. *)
+let pipeline_reorders_replies () =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "adi-pipe-%d-%d.sock" (Unix.getpid ()) (Random.bits ()))
+  in
+  let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listener (Unix.ADDR_UNIX path);
+  Unix.listen listener 1;
+  let n = 3 in
+  let server =
+    Domain.spawn (fun () ->
+        let fd, _ = Unix.accept listener in
+        let reqs = List.init n (fun _ -> Option.get (Protocol.read_frame fd)) in
+        let ids =
+          List.map
+            (fun payload ->
+              match Json.of_string payload with
+              | Error _ -> Alcotest.fail "server got a malformed frame"
+              | Ok json -> (
+                  match Protocol.request_of_json json with
+                  | Ok (req : Protocol.request) -> req.Protocol.id
+                  | Error _ -> Alcotest.fail "server got a malformed frame"))
+            reqs
+        in
+        List.iter
+          (fun id ->
+            Protocol.write_frame fd
+              (Json.to_string
+                 (Protocol.response_to_json
+                    { Protocol.id;
+                      payload = Ok (Protocol.Result (Json.Obj [ ("echo", Json.Int id) ])) })))
+          (List.rev ids);
+        Unix.close fd;
+        ids)
+  in
+  let client = Client.create (Server.Unix_socket path) in
+  let calls = List.init n (fun _ -> Protocol.Single (Protocol.Stats, [])) in
+  let replies = Client.pipeline client calls in
+  let ids = Domain.join server in
+  Unix.close listener;
+  Sys.remove path;
+  Client.close client;
+  let echoed =
+    List.map
+      (function
+        | Ok (Protocol.Result j) -> Option.get (Option.bind (Json.member "echo" j) Json.to_int)
+        | _ -> Alcotest.fail "pipeline lost a reply")
+      replies
+  in
+  Alcotest.(check (list int)) "replies in request order despite reversed delivery" ids echoed
+
+(* ---------- shared write-through spill ---------------------------- *)
+
+let shared_spill_seeds_sibling_workers () =
+  with_temp_dir @@ fun dir ->
+  let cfg = Run_config.(default |> with_seed 5 |> with_pool 64 |> with_target_coverage 0.5) in
+  let circuit = Suite.build_by_name "c17" in
+  let a = Store.create ~capacity:4 ~spill_dir:dir ~write_through:true () in
+  let _, cached_a = Store.find_or_prepare a cfg circuit in
+  Alcotest.(check bool) "first worker computes cold" false cached_a;
+  check Alcotest.int "fresh setup written through" 1 (Store.stats a).Store.spill_writes;
+  (* A sibling worker sharing the directory finds it on disk. *)
+  let b = Store.create ~capacity:4 ~spill_dir:dir ~write_through:true () in
+  let _, cached_b = Store.find_or_prepare b cfg circuit in
+  Alcotest.(check bool) "sibling served from the shared spill" true cached_b;
+  check Alcotest.int "served by disk, not memory" 1 (Store.stats b).Store.spill_hits;
+  check Alcotest.int "spill reload does not rewrite" 0 (Store.stats b).Store.spill_writes;
+  (* Write-through without a spill directory is a configuration error. *)
+  match Store.create ~capacity:4 ~write_through:true () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "write_through without spill_dir must be rejected"
+
+(* ---------- the consistent-hash ring ------------------------------ *)
+
+let fake_addresses n =
+  List.init n (fun i -> Server.Unix_socket (Printf.sprintf "/tmp/adi-ring-%d.sock" i))
+
+let keys_for_test =
+  List.init 200 (fun i -> Digest.to_hex (Digest.string (Printf.sprintf "key-%d" i)))
+
+let ring_affinity_is_stable_and_minimal () =
+  let r = Router.create ~vnodes:64 (fake_addresses 3) in
+  let before = List.map (fun k -> (k, Router.worker_for r k)) keys_for_test in
+  (* Same key, same worker — the cache-affinity property. *)
+  List.iter
+    (fun (k, w) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "stable mapping for %s" k)
+        true
+        (Router.worker_for r k = w))
+    before;
+  (* Every worker owns a share of a 200-key universe. *)
+  let owned w = List.length (List.filter (fun (_, w') -> w' = Some w) before) in
+  List.iter
+    (fun w ->
+      Alcotest.(check bool) (Printf.sprintf "worker %d owns keys" w) true (owned w > 0))
+    [ 0; 1; 2 ];
+  (* Killing one worker rehashes only its keys. *)
+  Router.set_alive r 1 false;
+  List.iter
+    (fun (k, w) ->
+      match w with
+      | Some 1 -> (
+          match Router.worker_for r k with
+          | Some w' when w' <> 1 -> ()
+          | _ -> Alcotest.fail "dead worker's key not rerouted to a live worker")
+      | w -> Alcotest.(check bool) "live workers' keys stay put" true (Router.worker_for r k = w))
+    before;
+  (* Revival restores exactly the original mapping. *)
+  Router.set_alive r 1 true;
+  List.iter
+    (fun (k, w) ->
+      Alcotest.(check bool) "revival restores the mapping" true (Router.worker_for r k = w))
+    before;
+  (* All dead: nothing to route to. *)
+  List.iter (fun w -> Router.set_alive r w false) [ 0; 1; 2 ];
+  Alcotest.(check bool) "no live workers, no owner" true
+    (Router.worker_for r (List.hd keys_for_test) = None)
+
+let routing_key_tracks_circuit_identity () =
+  let k1 = Router.routing_key [ ("circuit", Json.Str "c17"); ("seed", Json.Int 1) ] in
+  let k2 = Router.routing_key [ ("circuit", Json.Str "c17"); ("seed", Json.Int 2) ] in
+  let k3 = Router.routing_key [ ("circuit", Json.Str "lion") ] in
+  Alcotest.(check bool) "same circuit, same key (config is irrelevant)" true (k1 = k2 && k1 <> None);
+  Alcotest.(check bool) "different circuit, different key" true (k1 <> k3);
+  Alcotest.(check bool) "no circuit, no key" true (Router.routing_key [] = None);
+  let inline = Router.routing_key [ ("netlist", Json.Str "INPUT(a)\nOUTPUT(a)\n") ] in
+  Alcotest.(check bool) "inline netlists key by content" true
+    (inline <> None && inline <> Router.routing_key [ ("netlist", Json.Str "other") ])
+
+(* ---------- end-to-end: router fleet ------------------------------ *)
+
+let temp_socket name =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "adi-%s-%d-%d.sock" name (Unix.getpid ()) (Random.bits ()))
+
+let start_backend backend address =
+  let server = Server.create ~workers:2 ~backlog:8 backend address in
+  let ready = Atomic.make false in
+  let dom =
+    Domain.spawn (fun () -> Server.serve server ~on_ready:(fun () -> Atomic.set ready true))
+  in
+  while not (Atomic.get ready) do
+    Unix.sleepf 0.002
+  done;
+  (server, dom)
+
+let router_fleet_end_to_end () =
+  let params name = [ ("circuit", Json.Str name); ("seed", Json.Int 3); ("pool", Json.Int 64) ] in
+  let expected name =
+    let pristine = Session.create ~capacity:4 ~jobs:1 () in
+    match single_reply pristine Protocol.Adi (params name) with
+    | Ok (Protocol.Result j) -> reply_str (strip_cached (Ok j))
+    | _ -> Alcotest.fail "offline pipeline failed"
+  in
+  let want_c17 = expected "c17" and want_lion = expected "lion" in
+  let w0_addr = Server.Unix_socket (temp_socket "fleet-w0") in
+  let w1_addr = Server.Unix_socket (temp_socket "fleet-w1") in
+  let s0 = Session.create ~capacity:4 ~jobs:1 () in
+  let s1 = Session.create ~capacity:4 ~jobs:1 () in
+  let w0, d0 = start_backend (Session.backend s0) w0_addr in
+  let w1, d1 = start_backend (Session.backend s1) w1_addr in
+  let router = Router.create ~policy:{ Client.default_policy with Util.Retry.max_attempts = 2; base_delay_s = 0.005 } [ w0_addr; w1_addr ] in
+  let front = Server.Unix_socket (temp_socket "fleet-router") in
+  let rs, rd = start_backend (Router.backend router) front in
+  let client = Client.create front in
+  Fun.protect
+    ~finally:(fun () ->
+      Client.close client;
+      Server.request_stop rs;
+      Domain.join rd;
+      Server.request_stop w0;
+      Server.request_stop w1;
+      Domain.join d0;
+      Domain.join d1)
+    (fun () ->
+      (* A v2 batch through the router: in order, byte-identical. *)
+      (match Client.batch client Protocol.Adi [ params "c17"; params "lion" ] with
+      | Ok [ r1; r2 ] ->
+          check Alcotest.string "batch item 1 byte-identical" want_c17
+            (reply_str (strip_cached r1));
+          check Alcotest.string "batch item 2 byte-identical" want_lion
+            (reply_str (strip_cached r2))
+      | Ok rs -> Alcotest.fail (Printf.sprintf "expected 2 replies, got %d" (List.length rs))
+      | Error d -> Alcotest.fail (D.to_string d));
+      (* Affinity: the same circuit keeps landing on the same worker. *)
+      for _ = 1 to 3 do
+        match Client.adi client (params "c17") with
+        | Ok _ -> ()
+        | Error d -> Alcotest.fail (D.to_string d)
+      done;
+      let hits, moves = Router.affinity router in
+      Alcotest.(check bool) "repeat requests hit their worker" true (hits >= 3);
+      check Alcotest.int "no spurious rehashing" 0 moves;
+      (* Kill the worker that owns c17; the next request fails over. *)
+      let owner =
+        match Router.worker_for router (Option.get (Router.routing_key (params "c17"))) with
+        | Some w -> w
+        | None -> Alcotest.fail "no owner for c17"
+      in
+      let owner_server, owner_domain = if owner = 0 then (w0, d0) else (w1, d1) in
+      Server.request_stop owner_server;
+      Domain.join owner_domain;
+      (match Client.adi client (params "c17") with
+      | Ok j -> check Alcotest.string "failover reply byte-identical" want_c17 (reply_str (strip_cached (Ok j)))
+      | Error d -> Alcotest.fail ("failover failed: " ^ D.to_string d));
+      Alcotest.(check bool) "failover recorded" true (Router.failovers router >= 1);
+      let dead = List.nth (Router.workers router) owner in
+      Alcotest.(check bool) "dead worker marked" false dead.Router.alive;
+      (* Fleet health reflects the loss. *)
+      match Client.health client () with
+      | Ok j ->
+          check (Alcotest.option Alcotest.int) "one live worker" (Some 1)
+            (Option.bind (Json.member "live_workers" j) Json.to_int);
+          check (Alcotest.option Alcotest.string) "router role" (Some "router")
+            (Option.bind (Json.member "role" j) Json.to_str)
+      | Error d -> Alcotest.fail (D.to_string d))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Random.self_init ();
+  Alcotest.run "fleet"
+    [ ( "protocol-v2",
+        [ Alcotest.test_case "hello negotiation" `Quick hello_negotiates_highest_common;
+          Alcotest.test_case "unknown op names version" `Quick unknown_op_names_negotiated_version;
+          Alcotest.test_case "batch isolates bad items" `Quick batch_isolates_bad_items;
+          qtest batch_equals_sequential_v1;
+          qtest batch_warm_and_jobs_identical ] );
+      ( "client",
+        [ Alcotest.test_case "pipeline reorders replies" `Quick pipeline_reorders_replies ] );
+      ( "store",
+        [ Alcotest.test_case "shared write-through spill" `Quick shared_spill_seeds_sibling_workers ] );
+      ( "ring",
+        [ Alcotest.test_case "affinity stable, rehash minimal" `Quick ring_affinity_is_stable_and_minimal;
+          Alcotest.test_case "routing key identity" `Quick routing_key_tracks_circuit_identity ] );
+      ( "fleet",
+        [ Alcotest.test_case "router end to end with failover" `Quick router_fleet_end_to_end ] ) ]

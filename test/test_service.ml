@@ -164,16 +164,20 @@ let frame_truncation_and_bounds () =
   Unix.close b
 
 let request_json_round_trip () =
-  let req = { Protocol.id = 42; op = "order"; params = [ ("seed", Json.Int 3) ] } in
-  (match
-     Result.bind (Json.of_string (Json.to_string (Protocol.request_to_json req)))
-       Protocol.request_of_json
-   with
-  | Ok r ->
-      check Alcotest.int "id" 42 r.Protocol.id;
-      check Alcotest.string "op" "order" r.Protocol.op;
-      Alcotest.(check bool) "params" true (r.Protocol.params = [ ("seed", Json.Int 3) ])
-  | Error e -> Alcotest.fail e);
+  let req = Protocol.single ~id:42 "order" [ ("seed", Json.Int 3) ] in
+  (match Json.of_string (Json.to_string (Protocol.request_to_json req)) with
+  | Error e -> Alcotest.fail e
+  | Ok json -> (
+      match Protocol.request_of_json json with
+      | Ok r -> (
+          check Alcotest.int "id" 42 r.Protocol.id;
+          match r.Protocol.call with
+          | Protocol.Single (op, params) ->
+              check Alcotest.string "op" "order" (Protocol.op_name op);
+              Alcotest.(check bool) "params" true (params = [ ("seed", Json.Int 3) ])
+          | _ -> Alcotest.fail "expected a single call")
+      | Error (Protocol.Malformed e) -> Alcotest.fail e
+      | Error (Protocol.Unknown_op { op; _ }) -> Alcotest.fail ("unknown op " ^ op)));
   let resp =
     { Protocol.id = 42; payload = Error { Protocol.code = "E-budget"; message = "late" } }
   in
@@ -197,8 +201,23 @@ let error_code resp =
 
 let session_error_taxonomy () =
   let t = Session.create ~capacity:2 () in
-  let req op params = { Protocol.id = 1; op; params } in
-  check Alcotest.string "unknown op" "E-protocol" (error_code (Session.handle t (req "frobnicate" [])));
+  let req op params = Protocol.single op params in
+  (* Unknown ops can no longer be expressed as a typed request; they
+     are rejected at frame decode, naming the negotiated version. *)
+  (let reply, _ =
+     Session.handle_frame t
+       (Json.to_string (Json.Obj [ ("id", Json.Int 1); ("op", Json.Str "frobnicate") ]))
+   in
+   match Result.bind (Json.of_string reply) Protocol.response_of_json with
+   | Ok { Protocol.payload = Error e; _ } ->
+       check Alcotest.string "unknown op" "E-protocol" e.Protocol.code;
+       Alcotest.(check bool) "message names the protocol version" true
+         (let msg = e.Protocol.message in
+          let sub = "protocol v1" in
+          let n = String.length msg and m = String.length sub in
+          let rec scan i = i + m <= n && (String.sub msg i m = sub || scan (i + 1)) in
+          scan 0)
+   | _ -> Alcotest.fail "expected an unknown-op error reply");
   check Alcotest.string "missing circuit" "E-protocol" (error_code (Session.handle t (req "load" [])));
   check Alcotest.string "mistyped parameter" "E-protocol"
     (error_code (Session.handle t (req "load" [ ("circuit", Json.Str "c17"); ("seed", Json.Str "x") ])));
@@ -259,7 +278,7 @@ let order_params =
 
 let warm_replies_byte_identical () =
   let t = Session.create ~capacity:4 () in
-  let req op = { Protocol.id = 1; op; params = order_params } in
+  let req op = Protocol.single op order_params in
   let cold = reply_string t (req "order") in
   let warm = reply_string t (req "order") in
   Alcotest.(check bool) "first order is a miss" true
@@ -276,7 +295,7 @@ let replies_match_offline_pipeline () =
   (* jobs only sizes the domain pool; replies must not depend on it. *)
   let reply jobs =
     let t = Session.create ~capacity:4 ~jobs () in
-    reply_string t { Protocol.id = 1; op = "order"; params = order_params }
+    reply_string t (Protocol.single "order" order_params)
   in
   check Alcotest.string "jobs=1 and jobs=4 replies identical" (reply 1) (reply 4);
   (* The served permutation is exactly what the offline pipeline computes. *)
@@ -284,7 +303,7 @@ let replies_match_offline_pipeline () =
   let setup = Pipeline.prepare cfg (c17 ()) in
   let offline = Ordering.order Ordering.Incr0 setup.Pipeline.adi in
   match Result.bind (Json.of_string (reply 1)) Protocol.response_of_json with
-  | Ok { Protocol.payload = Ok result; _ } ->
+  | Ok { Protocol.payload = Ok (Protocol.Result result); _ } ->
       let perm =
         match Option.bind (Json.member "permutation" result) Json.to_list with
         | Some l -> Array.of_list (List.filter_map Json.to_int l)
@@ -295,13 +314,13 @@ let replies_match_offline_pipeline () =
 
 let atpg_matches_offline_pipeline () =
   let t = Session.create ~capacity:4 () in
-  let raw = reply_string t { Protocol.id = 1; op = "atpg"; params = order_params } in
+  let raw = reply_string t (Protocol.single "atpg" order_params) in
   let cfg = Run_config.(small_cfg 3 |> with_order Ordering.Incr0) in
   let setup = Pipeline.prepare cfg (c17 ()) in
   let run = Pipeline.run_order_with (Run_config.engine_config cfg) setup Ordering.Incr0 in
   let offline = Array.to_list (Patterns.to_strings run.Pipeline.engine.Engine.tests) in
   match Result.bind (Json.of_string raw) Protocol.response_of_json with
-  | Ok { Protocol.payload = Ok result; _ } ->
+  | Ok { Protocol.payload = Ok (Protocol.Result result); _ } ->
       let tests =
         match Option.bind (Json.member "tests" result) Json.to_list with
         | Some l -> List.filter_map Json.to_str l
@@ -316,12 +335,13 @@ let atpg_window_param () =
      is rejected with the flag-error code before any work happens. *)
   let t = Session.create ~capacity:4 () in
   let req window =
-    { Protocol.id = 1; op = "atpg";
-      params = order_params @ [ ("jobs", Json.Int 4); ("window", Json.Int window) ] }
+    Protocol.single "atpg"
+      (order_params @ [ ("jobs", Json.Int 4); ("window", Json.Int window) ])
   in
   let payload window =
     match Result.bind (Json.of_string (reply_string t (req window))) Protocol.response_of_json with
-    | Ok { Protocol.payload = Ok result; _ } -> result
+    | Ok { Protocol.payload = Ok (Protocol.Result result); _ } -> result
+    | Ok { Protocol.payload = Ok _; _ } -> Alcotest.fail "unexpected reply shape"
     | Ok { Protocol.payload = Error e; _ } -> Alcotest.fail e.Protocol.message
     | Error e -> Alcotest.fail e
   in
@@ -338,22 +358,24 @@ let atpg_window_param () =
   | Some (Json.Int _) -> ()
   | _ -> Alcotest.fail "spec_dispatched missing from atpg reply");
   check Alcotest.string "window 0 rejected" "E-flag"
-    (error_code (Session.handle t { Protocol.id = 2; op = "atpg";
-                                    params = order_params @ [ ("window", Json.Int 0) ] }))
+    (error_code
+       (Session.handle t
+          (Protocol.single ~id:2 "atpg" (order_params @ [ ("window", Json.Int 0) ]))))
 
 let stats_report_spec_counters () =
   let t = Session.create ~capacity:4 () in
   ignore
     (reply_string t
-       { Protocol.id = 1; op = "atpg";
-         params = order_params @ [ ("jobs", Json.Int 4); ("window", Json.Int 16) ] });
-  match Session.handle t { Protocol.id = 2; op = "stats"; params = [] } with
-  | { Protocol.payload = Ok result; _ } ->
+       (Protocol.single "atpg"
+          (order_params @ [ ("jobs", Json.Int 4); ("window", Json.Int 16) ])));
+  match Session.handle t (Protocol.single ~id:2 "stats" []) with
+  | { Protocol.payload = Ok (Protocol.Result result); _ } ->
       let geti k = Option.bind (Json.member k result) Json.to_int in
       Alcotest.(check bool) "spec_committed present" true (geti "spec_committed" <> None);
       Alcotest.(check bool) "spec_wasted present" true (geti "spec_wasted" <> None);
       Alcotest.(check bool) "committed counted" true
         (match geti "spec_committed" with Some n -> n > 0 | None -> false)
+  | { Protocol.payload = Ok _; _ } -> Alcotest.fail "unexpected reply shape"
   | { Protocol.payload = Error e; _ } -> Alcotest.fail e.Protocol.message
 
 (* ---------- end-to-end over a Unix socket ------------------------- *)
@@ -386,7 +408,9 @@ let round_trip fd req =
 let server_end_to_end () =
   let path = temp_socket_path () in
   let session = Session.create ~capacity:4 () in
-  let server = Server.create ~workers:4 ~backlog:8 session (Server.Unix_socket path) in
+  let server =
+    Server.create ~workers:4 ~backlog:8 (Session.backend session) (Server.Unix_socket path)
+  in
   let srv = Domain.spawn (fun () -> Server.serve server) in
   (* Four clients hammer the same request concurrently; each must get a
      complete, well-formed reply. *)
@@ -396,9 +420,11 @@ let server_end_to_end () =
         Fun.protect
           ~finally:(fun () -> Unix.close fd)
           (fun () ->
-            let r = round_trip fd { Protocol.id = i; op = "order"; params = order_params } in
+            let r = round_trip fd (Protocol.single ~id:i "order" order_params) in
             match r.Protocol.payload with
-            | Ok result -> (r.Protocol.id, Json.member "permutation" result <> None)
+            | Ok (Protocol.Result result) ->
+                (r.Protocol.id, Json.member "permutation" result <> None)
+            | Ok _ -> Alcotest.fail "unexpected reply shape"
             | Error e -> Alcotest.fail e.Protocol.message))
   in
   let replies = List.map Domain.join (List.map client [ 1; 2; 3; 4 ]) in
@@ -411,9 +437,9 @@ let server_end_to_end () =
   (* One connection, several requests: stats must show cache traffic,
      then shutdown must drain and stop the server. *)
   let fd = connect_with_retry path in
-  let stats = round_trip fd { Protocol.id = 9; op = "stats"; params = [] } in
+  let stats = round_trip fd (Protocol.single ~id:9 "stats" []) in
   (match stats.Protocol.payload with
-  | Ok result ->
+  | Ok (Protocol.Result result) ->
       let geti k = Option.bind (Json.member k result) Json.to_int in
       Alcotest.(check bool) "all four requests counted" true (geti "requests" = Some 4);
       Alcotest.(check bool) "cache hits recorded" true
@@ -421,8 +447,9 @@ let server_end_to_end () =
       check (Alcotest.option Alcotest.string) "version reported"
         (Some Util.Version.version)
         (Option.bind (Json.member "version" result) Json.to_str)
+  | Ok _ -> Alcotest.fail "unexpected reply shape"
   | Error e -> Alcotest.fail e.Protocol.message);
-  let bye = round_trip fd { Protocol.id = 10; op = "shutdown"; params = [] } in
+  let bye = round_trip fd (Protocol.single ~id:10 "shutdown" []) in
   (match bye.Protocol.payload with
   | Ok _ -> ()
   | Error e -> Alcotest.fail e.Protocol.message);
