@@ -30,6 +30,7 @@ let run_micro = ref true
 let run_perf = ref true
 let run_soak = ref false
 let run_fleet = ref false
+let run_diagnosis = ref false
 let seed () = !bench_cfg.Run_config.seed
 let jobs () = !bench_cfg.Run_config.jobs
 
@@ -37,7 +38,7 @@ let usage () =
   prerr_endline
     "usage: main.exe [--full] [--seed N] [--jobs N] [--window N] [--metrics] \
      [--trace FILE] [--no-micro | --micro-only] [--no-perf] [--soak] [--fleet] \
-     [EXPERIMENT ...]";
+     [--diagnosis] [EXPERIMENT ...]";
   Printf.eprintf "experiments: %s\n" (String.concat ", " Harness.experiment_names);
   exit 2
 
@@ -69,6 +70,9 @@ let parse_args () =
         go rest
     | "--fleet" :: rest ->
         run_fleet := true;
+        go rest
+    | "--diagnosis" :: rest ->
+        run_diagnosis := true;
         go rest
     | ("--help" | "-h") :: _ -> usage ()
     | w :: rest ->
@@ -130,9 +134,16 @@ let json_escape s =
 
 let soak_summary = ref None
 let fleet_summary = ref None
+let diagnosis_summary = ref None
 
-let strip_cached = function
-  | Util.Json.Obj fields -> Util.Json.Obj (List.filter (fun (k, _) -> k <> "cached") fields)
+(* Strips "cached" fields at every depth: diagnose replies carry a
+   nested dictionary-cache flag besides the top-level setup one. *)
+let rec strip_cached = function
+  | Util.Json.Obj fields ->
+      Util.Json.Obj
+        (List.filter_map
+           (fun (k, v) -> if k = "cached" then None else Some (k, strip_cached v))
+           fields)
   | j -> j
 
 (* Nearest-rank percentile over a sorted sample array. *)
@@ -166,7 +177,11 @@ let soak_ops () =
     ("atpg", [ circuit "c17" ]);
     ("adi", [ circuit "lion" ]);
     ("order", [ circuit "syn208"; ("limit", Util.Json.Int 10) ]);
-    ("load", [ circuit "syn208" ]) ]
+    ("load", [ circuit "syn208" ]);
+    ("diagnose", [ circuit "c17" ]);
+    ("diagnose",
+     [ circuit "c17"; ("fails", Util.Json.Arr [ Util.Json.Int 0 ]);
+       ("limit", Util.Json.Int 3) ]) ]
 
 let run_soak_stage () =
   let ops = Array.of_list (soak_ops ()) in
@@ -294,7 +309,10 @@ let fleet_batches () =
   [ (Service.Protocol.Adi, [ [ circuit "c17" ]; [ circuit "lion" ]; [ circuit "syn208" ] ]);
     (Service.Protocol.Order,
      [ [ circuit "c17" ]; [ circuit "syn208"; ("limit", Util.Json.Int 10) ] ]);
-    (Service.Protocol.Atpg, [ [ circuit "c17" ] ]) ]
+    (Service.Protocol.Atpg, [ [ circuit "c17" ] ]);
+    (Service.Protocol.Diagnose,
+     [ [ circuit "c17" ];
+       [ circuit "c17"; ("fails", Util.Json.Arr [ Util.Json.Int 0 ]) ] ]) ]
 
 let run_fleet_stage () =
   let batches = fleet_batches () in
@@ -555,6 +573,9 @@ let write_bench_json ~circuit ~collapse ~kernels ~speedup ~atpg =
   (match !fleet_summary with
   | None -> ()
   | Some fleet -> bf ", \"fleet\": %s" fleet);
+  (match !diagnosis_summary with
+  | None -> ()
+  | Some diagnosis -> bf ", \"diagnosis\": %s" diagnosis);
   (match phase_fields () with
   | [] -> ()
   | phases -> bf ", \"phases\": [%s]" (String.concat ", " phases));
@@ -575,6 +596,59 @@ let time f =
   let t0 = Unix.gettimeofday () in
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
+
+(* ---------- diagnosis study --------------------------------------- *)
+
+(* Tests-to-unique-diagnosis under the three fault orders the paper
+   compares: per ATPG order, build the full-response dictionary over
+   its generated tests and compare the generation order against the
+   greedy diagnostic reordering.  The diagnostic order must not lose
+   to the generation order; the numbers land in BENCH_adi.json as a
+   "diagnosis" object. *)
+
+let run_diagnosis_stage () =
+  let name = if !full then "syn1196" else "syn208" in
+  let c = Suite.build_by_name name in
+  let setup = Pipeline.prepare !bench_cfg c in
+  Printf.printf "Diagnosis study (%s, %d collapsed faults):\n%!" name
+    (Fault_list.count setup.Pipeline.faults);
+  let rows =
+    List.map
+      (fun ord ->
+        let r = Pipeline.run_order setup ord in
+        let tests = r.Pipeline.engine.Engine.tests in
+        let dict, build_s =
+          time (fun () ->
+              Diagnosis.Dictionary.build ~jobs:(jobs ()) setup.Pipeline.faults tests)
+        in
+        let nt = Diagnosis.Dictionary.test_count dict in
+        let mean_gen = Diagnosis.Select.mean_tests_to_unique dict (Array.init nt Fun.id) in
+        let mean_diag = Diagnosis.Select.mean_tests_to_unique dict (Diagnosis.Select.order dict) in
+        Printf.printf
+          "  %-5s %4d tests, %4d classes, build %.3f s; mean tests-to-unique: \
+           generation %.2f, diagnostic %.2f\n%!"
+          (Ordering.to_string ord) nt
+          (Diagnosis.Dictionary.resolution dict)
+          build_s mean_gen mean_diag;
+        if mean_diag > mean_gen +. 1e-9 then
+          failwith "bench: diagnostic order lost to the generation order";
+        Printf.sprintf
+          "{\"order\": \"%s\", \"tests\": %d, \"classes\": %d, \"build_s\": %.6f, \
+           \"mean_tests_to_unique_generation\": %.4f, \
+           \"mean_tests_to_unique_diagnostic\": %.4f}"
+          (json_escape (Ordering.to_string ord))
+          nt
+          (Diagnosis.Dictionary.resolution dict)
+          build_s mean_gen mean_diag)
+      [ Ordering.Orig; Ordering.Dynm; Ordering.Dynm0 ]
+  in
+  diagnosis_summary :=
+    Some
+      (Printf.sprintf "{\"circuit\": \"%s\", \"faults\": %d, \"orders\": [%s]}"
+         (json_escape name)
+         (Fault_list.count setup.Pipeline.faults)
+         (String.concat ", " rows));
+  Printf.printf "  diagnostic order never lost to the generation order\n\n%!"
 
 let run_perf_kernels () =
   let name = if !full then "syn5378" else "syn1196" in
@@ -866,6 +940,7 @@ let () =
         if !run_reports then print_reports ();
         if !run_soak then run_soak_stage ();
         if !run_fleet then run_fleet_stage ();
+        if !run_diagnosis then run_diagnosis_stage ();
         if !run_perf then run_perf_kernels ();
         if !run_micro then run_micro_benches ())
   with

@@ -175,6 +175,96 @@ let adi_cmd = circuit_cmd "adi" ~doc:"ADI summary (ADImin/ADImax/ratio)" ~extra_
 let order_cmd = circuit_cmd "order" ~doc:"Compute a fault ordering" ~extra_params:limit_term
 let atpg_cmd = circuit_cmd "atpg" ~doc:"Generate a test set" ~extra_params:no_extra
 
+(* Diagnosis: ship the observed failure log (failing test indices, an
+   optional applied-prefix length, optional full per-output responses)
+   and print the ranked candidates. *)
+let diagnose_params =
+  let fails_term =
+    let term =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "fails" ] ~docv:"I,J,…"
+            ~doc:"Comma-separated indices of the tests the device failed.")
+    in
+    let parse = function
+      | None -> []
+      | Some spec ->
+          let items =
+            List.map
+              (fun s ->
+                match int_of_string_opt (String.trim s) with
+                | Some i -> Json.Int i
+                | None -> invalid_arg (Printf.sprintf "--fails: %S is not a test index" s))
+              (String.split_on_char ',' spec)
+          in
+          [ ("fails", Json.Arr items) ]
+    in
+    Term.(const parse $ term)
+  in
+  let applied_term =
+    let term =
+      Arg.(
+        value
+        & opt (some int) None
+        & info [ "applied" ] ~docv:"N"
+            ~doc:
+              "Number of tests actually applied (a prefix of the dictionary's test set); \
+               omit when the full set was applied.")
+    in
+    Term.(
+      const (fun v -> match v with Some n -> [ ("applied", Json.Int n) ] | None -> []) $ term)
+  in
+  let response_term =
+    let term =
+      Arg.(
+        value & opt_all string []
+        & info [ "response" ] ~docv:"TEST:OUTPUTS"
+            ~doc:
+              "A full observed response, e.g. $(b,--response 3:01101): the device's output \
+               bits on test 3.  Repeatable; sharper than a pass/fail verdict.")
+    in
+    let parse specs =
+      match specs with
+      | [] -> []
+      | specs ->
+          let item spec =
+            match String.index_opt spec ':' with
+            | Some i ->
+                let test = String.sub spec 0 i in
+                let outs = String.sub spec (i + 1) (String.length spec - i - 1) in
+                (match int_of_string_opt test with
+                | Some t ->
+                    Json.Obj [ ("test", Json.Int t); ("outputs", Json.Str outs) ]
+                | None ->
+                    invalid_arg (Printf.sprintf "--response: %S is not TEST:OUTPUTS" spec))
+            | None -> invalid_arg (Printf.sprintf "--response: %S is not TEST:OUTPUTS" spec)
+          in
+          [ ("responses", Json.Arr (List.map item specs)) ]
+    in
+    Term.(const parse $ term)
+  in
+  let candidates_term =
+    let term =
+      Arg.(
+        value
+        & opt (some int) None
+        & info [ "candidates" ] ~docv:"N"
+            ~doc:"Report the top $(docv) ranked candidates (server default 10).")
+    in
+    Term.(
+      const (fun v -> match v with Some n -> [ ("limit", Json.Int n) ] | None -> []) $ term)
+  in
+  Term.(
+    const (fun a b c d -> a @ b @ c @ d)
+    $ fails_term $ applied_term $ response_term $ candidates_term)
+
+let diagnose_cmd =
+  circuit_cmd "diagnose"
+    ~doc:
+      "Diagnose an observed failure log: rank dictionary candidates for the failing tests"
+    ~extra_params:diagnose_params
+
 let plain_cmd name ~doc ~params_term =
   let run target timeout retries params =
     guard @@ fun () -> request target ~timeout_s:timeout ~retries name params
@@ -224,7 +314,7 @@ let batch_cmd =
     Arg.(
       required
       & pos 0 (some string) None
-      & info [] ~docv:"OP" ~doc:"Batched op: $(b,adi), $(b,order) or $(b,atpg).")
+      & info [] ~docv:"OP" ~doc:"Batched op: $(b,adi), $(b,order), $(b,atpg) or $(b,diagnose).")
   in
   let circuits_arg =
     Arg.(
@@ -240,7 +330,7 @@ let batch_cmd =
       | Some op when Service.Protocol.batchable op -> op
       | _ ->
           invalid_arg
-            (Printf.sprintf "batch: op %S has no batch form (use adi, order or atpg)" op)
+            (Printf.sprintf "batch: op %S has no batch form (use adi, order, atpg or diagnose)" op)
     in
     let items = List.map (fun spec -> circuit_params spec @ params) specs in
     with_client target ~timeout_s:timeout ~retries (fun client ->
@@ -313,7 +403,7 @@ let cmd =
       ~doc:"Client for the resident ADI/ATPG service (adi-server)"
   in
   Cmd.group ~default:default_term info
-    [ load_cmd; adi_cmd; order_cmd; atpg_cmd; batch_cmd; stats_cmd; health_cmd; evict_cmd;
+    [ load_cmd; adi_cmd; order_cmd; atpg_cmd; diagnose_cmd; batch_cmd; stats_cmd; health_cmd; evict_cmd;
       shutdown_cmd; hello_cmd ]
 
 let () =

@@ -1,12 +1,12 @@
-(* Fault diagnosis with a pass/fail dictionary.
+(* Fault diagnosis with the diagnosis subsystem.
 
    The steep-coverage test sets the paper's ordering produces pay off
    after manufacturing: a defective chip fails early tests, and the
    failing-test signature locates the defect.  This example builds a
-   dictionary for an ALU, injects a "defect" (a modelled fault), runs
-   the tester loop, and diagnoses the failure — reporting how many
-   tests were needed before the first fail under the orig and dynm
-   fault orders.
+   compact dictionary for an ALU, injects a "defect" (a modelled
+   fault), streams the tester's per-test responses through an
+   incremental diagnosis session, and compares diagnostic test orders
+   on how fast candidates are pinned down.
 
    Run with:  dune exec examples/diagnosis.exe *)
 
@@ -25,10 +25,12 @@ let () =
     (Patterns.count tests)
     (100. *. Engine.coverage faults run.Pipeline.engine);
 
-  (* Build the dictionary. *)
-  let dict = Dictionary.build faults tests in
-  Format.printf "diagnostic resolution: %.0f%% of detected faults are uniquely identifiable@."
-    (100. *. Dictionary.resolution dict);
+  (* Build the dictionary: per-fault signatures + per-output slices. *)
+  let dict = Diagnosis.Dictionary.build faults tests in
+  Format.printf "dictionary: %d faults x %d tests, %d signature classes@."
+    (Diagnosis.Dictionary.fault_count dict)
+    (Diagnosis.Dictionary.test_count dict)
+    (Diagnosis.Dictionary.resolution dict);
 
   (* Manufacture a defective chip: inject a fault the library models. *)
   let rng = Rng.create 2026 in
@@ -37,31 +39,58 @@ let () =
   Format.printf "@.injected defect: %s (hidden from the tester)@."
     (Fault.to_string circuit fault);
 
-  (* The tester applies the vectors in order and observes outputs. *)
+  (* The tester applies the vectors in order, streaming each observed
+     per-output response into an incremental session. *)
   let response p =
     let v = Refsim.faulty_values circuit fault (Patterns.vector tests p) in
     Array.map (fun o -> v.(o)) (Circuit.outputs circuit)
   in
-  let observed = Dictionary.signature_of_response dict response in
-  (match Bitvec.first_set observed with
-  | Some first -> Format.printf "first failing test: t%d@." first
-  | None -> Format.printf "chip passes all tests (undetected defect)@.");
+  let session = Diagnosis.Diagnoser.start dict in
+  let first_fail = ref (-1) in
+  for t = 0 to Patterns.count tests - 1 do
+    let obs = response t in
+    Diagnosis.Diagnoser.observe session ~test:t (Diagnosis.Diagnoser.Outputs obs);
+    if !first_fail < 0 then begin
+      let good = Array.init (Array.length obs) (fun oi ->
+          Bitvec.get (Diagnosis.Dictionary.good_output dict oi) t) in
+      if obs <> good then begin
+        first_fail := t;
+        Format.printf "first failing test: t%d (%d survivors after it)@." t
+          (List.length (Diagnosis.Diagnoser.survivors session))
+      end
+    end
+  done;
+  if !first_fail < 0 then Format.printf "chip passes all tests (undetected defect)@.";
 
-  (* Diagnose. *)
-  (match Dictionary.diagnose dict observed with
-  | [] -> Format.printf "no exact dictionary match@."
-  | exact ->
-      Format.printf "exact candidates:@.";
-      List.iter
-        (fun fi ->
-          Format.printf "  f%d %s%s@." fi
-            (Fault.to_string circuit (Fault_list.get faults fi))
-            (if fi = defect then "   <- the injected defect" else ""))
-        exact);
-  let near = Dictionary.diagnose_nearest dict observed ~n:3 in
-  Format.printf "nearest signatures (hamming):@.";
+  (* After the full response log, the survivors are the defect's class. *)
+  let survivors = Diagnosis.Diagnoser.survivors session in
+  Format.printf "@.survivors after all %d tests:@." (Patterns.count tests);
   List.iter
-    (fun (fi, d) ->
-      Format.printf "  f%d (distance %d) %s@." fi d
-        (Fault.to_string circuit (Fault_list.get faults fi)))
-    near
+    (fun fi ->
+      Format.printf "  f%d %s%s@." fi
+        (Diagnosis.Dictionary.name dict fi)
+        (if fi = defect then "   <- the injected defect" else ""))
+    survivors;
+
+  (* Pass/fail-only diagnosis: exact match plus nearest signatures. *)
+  let fails = ref [] in
+  Bitvec.iter_set (Diagnosis.Dictionary.signature dict defect) (fun t -> fails := t :: !fails);
+  let observed =
+    Diagnosis.Diagnoser.signature_of_fails dict (Array.of_list (List.rev !fails))
+  in
+  Format.printf "@.nearest signatures (hamming):@.";
+  List.iter
+    (fun c ->
+      Format.printf "  f%d (distance %d) %s@." c.Diagnosis.Diagnoser.fault
+        c.Diagnosis.Diagnoser.distance c.Diagnosis.Diagnoser.name)
+    (Diagnosis.Diagnoser.nearest dict observed ~limit:3);
+
+  (* Diagnostic test ordering: apply the tests in the order that splits
+     surviving candidate sets fastest. *)
+  let orig = Array.init (Patterns.count tests) Fun.id in
+  let diag = Diagnosis.Select.order dict in
+  Format.printf "@.mean tests to unique diagnosis:@.";
+  Format.printf "  generation order: %.2f@."
+    (Diagnosis.Select.mean_tests_to_unique dict orig);
+  Format.printf "  diagnostic order: %.2f@."
+    (Diagnosis.Select.mean_tests_to_unique dict diag)

@@ -49,7 +49,6 @@ module Testbench = Testbench
 module Faultsim = Faultsim
 module Deductive = Deductive
 module Refsim = Refsim
-module Dictionary = Dictionary
 
 (** {1 Test generation} *)
 
@@ -69,6 +68,10 @@ module Ordering = Ordering
 module Run_config = Run_config
 module Pipeline = Pipeline
 module Independence = Independence
+
+(** {1 Diagnosis} *)
+
+module Diagnosis = Diagnosis
 
 (** {1 Metrics and workloads} *)
 

@@ -1,0 +1,112 @@
+(* Candidate ranking for observed tester responses against a
+   dictionary.  Three modes share one representation:
+
+   - exact: candidates whose signature equals the observed failing set;
+   - nearest: candidates ranked by Hamming distance to the observed
+     failing set, ties broken by ascending fault index (deterministic —
+     the sketch this module replaces left equal-distance order to the
+     sort's whim);
+   - session: observations arrive one test at a time (pass, fail, or a
+     full per-output response word) and each one re-scores the
+     candidate set incrementally. *)
+
+module Bitvec = Util.Bitvec
+
+type candidate = { fault : int; name : string; distance : int }
+
+let signature_of_fails dict fails =
+  let nt = Dictionary.test_count dict in
+  let bv = Bitvec.create nt in
+  Array.iter
+    (fun t ->
+      if t < 0 || t >= nt then
+        invalid_arg (Printf.sprintf "Diagnoser: failing test %d out of range [0,%d)" t nt);
+      Bitvec.set bv t true)
+    fails;
+  bv
+
+let hamming a b =
+  let d = Bitvec.copy a in
+  Bitvec.xor_into ~dst:d b;
+  Bitvec.popcount d
+
+let exact dict observed =
+  let acc = ref [] in
+  for fi = Dictionary.fault_count dict - 1 downto 0 do
+    if Bitvec.equal (Dictionary.signature dict fi) observed then acc := fi :: !acc
+  done;
+  !acc
+
+(* Stable ranking: distance ascending, fault index ascending at equal
+   distance.  [limit] truncates the returned list, not the scan. *)
+let rank_by ?limit dict score =
+  let nf = Dictionary.fault_count dict in
+  let scored = Array.init nf (fun fi -> (score fi, fi)) in
+  Array.sort (fun (da, fa) (db, fb) -> if da <> db then compare da db else compare fa fb) scored;
+  let n = match limit with Some l -> min l nf | None -> nf in
+  List.init n (fun i ->
+      let d, fi = scored.(i) in
+      { fault = fi; name = Dictionary.name dict fi; distance = d })
+
+let nearest ?limit dict observed =
+  rank_by ?limit dict (fun fi -> hamming (Dictionary.signature dict fi) observed)
+
+(* --- incremental sessions ----------------------------------------- *)
+
+type observation = Pass | Fail | Outputs of bool array
+
+type session = {
+  dict : Dictionary.t;
+  mismatches : int array;  (* per fault, observations contradicted so far *)
+  mutable observed : int;  (* number of observe calls *)
+  mutable seen : (int * observation) list;  (* newest first *)
+}
+
+let start dict =
+  { dict; mismatches = Array.make (Dictionary.fault_count dict) 0; observed = 0; seen = [] }
+
+let dictionary s = s.dict
+let observed s = s.observed
+
+(* Predicted value of output [oi] on test [t] under fault [fi]: the
+   good value flipped iff the fault's slice at that output fails [t]. *)
+let predicted_output dict fi oi t =
+  let good = Bitvec.get (Dictionary.good_output dict oi) t in
+  match Dictionary.output_fails dict fi oi with
+  | None -> good
+  | Some fails -> if Bitvec.get fails t then not good else good
+
+let observe s ~test obs =
+  let dict = s.dict in
+  let nt = Dictionary.test_count dict in
+  if test < 0 || test >= nt then
+    invalid_arg (Printf.sprintf "Diagnoser.observe: test %d out of range [0,%d)" test nt);
+  (match obs with
+  | Outputs vals ->
+      if Array.length vals <> Dictionary.output_count dict then
+        invalid_arg
+          (Printf.sprintf "Diagnoser.observe: %d output values for %d outputs"
+             (Array.length vals) (Dictionary.output_count dict))
+  | Pass | Fail -> ());
+  for fi = 0 to Dictionary.fault_count dict - 1 do
+    let predicted_fail = Bitvec.get (Dictionary.signature dict fi) test in
+    match obs with
+    | Pass -> if predicted_fail then s.mismatches.(fi) <- s.mismatches.(fi) + 1
+    | Fail -> if not predicted_fail then s.mismatches.(fi) <- s.mismatches.(fi) + 1
+    | Outputs vals ->
+        for oi = 0 to Array.length vals - 1 do
+          if predicted_output dict fi oi test <> vals.(oi) then
+            s.mismatches.(fi) <- s.mismatches.(fi) + 1
+        done
+  done;
+  s.observed <- s.observed + 1;
+  s.seen <- (test, obs) :: s.seen
+
+let survivors s =
+  let acc = ref [] in
+  for fi = Array.length s.mismatches - 1 downto 0 do
+    if s.mismatches.(fi) = 0 then acc := fi :: !acc
+  done;
+  !acc
+
+let ranking ?limit s = rank_by ?limit s.dict (fun fi -> s.mismatches.(fi))

@@ -1,0 +1,56 @@
+(** Candidate ranking for observed tester responses.
+
+    All rankings are deterministic: candidates sort by score ascending
+    and by fault index ascending at equal score, so equal-distance ties
+    always resolve to the lowest-indexed fault. *)
+
+type candidate = { fault : int; name : string; distance : int }
+
+val signature_of_fails : Dictionary.t -> int array -> Util.Bitvec.t
+(** Pack failing-test indices into an observed signature.
+    @raise Invalid_argument on an out-of-range test index. *)
+
+val hamming : Util.Bitvec.t -> Util.Bitvec.t -> int
+
+val exact : Dictionary.t -> Util.Bitvec.t -> int list
+(** Faults whose signature equals the observed failing set, ascending. *)
+
+val nearest : ?limit:int -> Dictionary.t -> Util.Bitvec.t -> candidate list
+(** All faults ranked by Hamming distance to the observed failing set
+    (then by fault index); [limit] truncates the result. *)
+
+(** {1 Incremental sessions}
+
+    A session scores candidates one observed test at a time: a
+    pass/fail verdict or a full per-output response.  Each observation
+    adds, per fault, the number of contradicted predictions; survivors
+    are the faults contradicted by nothing seen so far. *)
+
+type observation =
+  | Pass  (** the test's responses matched the fault-free circuit *)
+  | Fail  (** some output diverged (output unknown) *)
+  | Outputs of bool array
+      (** observed output values, [Circuit.outputs] order *)
+
+type session
+
+val start : Dictionary.t -> session
+val dictionary : session -> Dictionary.t
+
+val observe : session -> test:int -> observation -> unit
+(** @raise Invalid_argument on an out-of-range test index or an
+    [Outputs] width mismatch. *)
+
+val observed : session -> int
+(** Number of observations applied. *)
+
+val survivors : session -> int list
+(** Faults consistent with every observation, ascending. *)
+
+val ranking : ?limit:int -> session -> candidate list
+(** All faults by mismatch count (then fault index); a candidate's
+    [distance] is its mismatch count. *)
+
+val predicted_output : Dictionary.t -> int -> int -> int -> bool
+(** [predicted_output dict fi oi t]: the value output [oi] takes on
+    test [t] if fault [fi] is present. *)

@@ -1,0 +1,143 @@
+(* Diagnostic test ordering.
+
+   A test is diagnostically useful when it splits surviving candidate
+   sets: if a group of currently-indistinguishable faults contains [a]
+   members that fail the test and [b] that pass, applying it separates
+   [a*b] fault pairs (the FDG gain of the test against the current
+   partition).  The greedy order repeatedly picks the test with the
+   maximum total gain over all groups, ties broken by ascending test
+   index, until no test splits anything; leftover tests follow in
+   original order so the result is always a permutation. *)
+
+module Bitvec = Util.Bitvec
+
+(* Pairs separated by test [t] against partition [groups]:
+   sum over groups of |g ∩ fail(t)| * |g \ fail(t)|. *)
+let gain dict groups t =
+  List.fold_left
+    (fun acc g ->
+      let fails = ref 0 in
+      Array.iter (fun fi -> if Bitvec.get (Dictionary.signature dict fi) t then incr fails) g;
+      acc + (!fails * (Array.length g - !fails)))
+    0 groups
+
+let split_group dict t g =
+  let fail = ref [] and pass = ref [] in
+  Array.iter
+    (fun fi ->
+      if Bitvec.get (Dictionary.signature dict fi) t then fail := fi :: !fail
+      else pass := fi :: !pass)
+    g;
+  let arr cell = Array.of_list (List.rev !cell) in
+  (arr fail, arr pass)
+
+(* Greedy step score of test [t] against the current partition:
+   (faults whose surviving group would shrink to its final signature
+   class, candidate pairs separated).  Pure pairs-gain front-loads big
+   splits but can defer the last refinement of many faults past where
+   the generation order would have made it; resolving first and
+   splitting pairs second beats the generation order on both the
+   compacted ATPG sets and exhaustive sets. *)
+let step_score dict final groups t =
+  let resolved = ref 0 and pairs = ref 0 in
+  List.iter
+    (fun g ->
+      let fails = ref 0 in
+      Array.iter (fun fi -> if Bitvec.get (Dictionary.signature dict fi) t then incr fails) g;
+      let a = !fails and b = Array.length g - !fails in
+      if a * b > 0 then begin
+        pairs := !pairs + (a * b);
+        Array.iter
+          (fun fi ->
+            let side = if Bitvec.get (Dictionary.signature dict fi) t then a else b in
+            if side = final.(fi) then incr resolved)
+          g
+      end)
+    groups;
+  (!resolved, !pairs)
+
+let final_class_sizes dict =
+  let final = Array.make (Dictionary.fault_count dict) 0 in
+  Array.iter
+    (fun cls -> Array.iter (fun fi -> final.(fi) <- Array.length cls) cls)
+    (Dictionary.classes dict);
+  final
+
+let order dict =
+  let nt = Dictionary.test_count dict in
+  let nf = Dictionary.fault_count dict in
+  let final = final_class_sizes dict in
+  let chosen = Array.make nt false in
+  let picked = ref [] in
+  (* Only groups of >= 2 candidates can still be split. *)
+  let groups = ref (if nf >= 2 then [ Array.init nf Fun.id ] else []) in
+  let continue_ = ref true in
+  while !continue_ && !groups <> [] do
+    let best = ref (-1) and best_score = ref (-1, 0) in
+    for t = nt - 1 downto 0 do
+      if not chosen.(t) then begin
+        let ((_, pairs) as score) = step_score dict final !groups t in
+        (* >= with a descending scan makes the lowest index win ties. *)
+        if pairs > 0 && score >= !best_score then begin
+          best := t;
+          best_score := score
+        end
+      end
+    done;
+    if !best < 0 then continue_ := false
+    else begin
+      let t = !best in
+      chosen.(t) <- true;
+      picked := t :: !picked;
+      groups :=
+        List.concat_map
+          (fun g ->
+            let fail, pass = split_group dict t g in
+            List.filter (fun g' -> Array.length g' >= 2) [ fail; pass ])
+          !groups
+    end
+  done;
+  let rest = ref [] in
+  for t = nt - 1 downto 0 do
+    if not chosen.(t) then rest := t :: !rest
+  done;
+  Array.of_list (List.rev !picked @ !rest)
+
+(* Mean, over faults, of the number of tests (applied in [ord] order)
+   needed before the fault's surviving candidate group stops shrinking
+   — i.e. reaches its final signature class.  Faults indistinguishable
+   from the start count 0.  Lower is better; the diagnostic analogue of
+   the paper's tests-to-coverage curves. *)
+let mean_tests_to_unique dict ord =
+  let nt = Dictionary.test_count dict in
+  let nf = Dictionary.fault_count dict in
+  if Array.length ord <> nt then
+    invalid_arg "Select.mean_tests_to_unique: order is not a permutation of the tests";
+  if nf = 0 then 0.0
+  else begin
+    (* Final class size per fault = diagnostic floor under the full set. *)
+    let final = final_class_sizes dict in
+    let resolved_at = Array.make nf (-1) in
+    let note step g =
+      let size = Array.length g in
+      Array.iter
+        (fun fi -> if resolved_at.(fi) < 0 && size = final.(fi) then resolved_at.(fi) <- step)
+        g
+    in
+    let groups = ref [ Array.init nf Fun.id ] in
+    note 0 (List.hd !groups);
+    Array.iteri
+      (fun i t ->
+        groups :=
+          List.concat_map
+            (fun g ->
+              if Array.length g <= 1 then [ g ]
+              else
+                let fail, pass = split_group dict t g in
+                List.filter (fun g' -> Array.length g' > 0) [ fail; pass ])
+            !groups;
+        List.iter (note (i + 1)) !groups)
+      ord;
+    let sum = Array.fold_left (fun acc s -> acc + max s 0) 0 resolved_at in
+    float_of_int sum /. float_of_int nf
+  end

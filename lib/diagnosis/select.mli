@@ -1,0 +1,25 @@
+(** ADI-style diagnostic test ordering.
+
+    The FDG view: a test's diagnostic value against a candidate
+    partition is the number of fault pairs it separates —
+    [sum over groups g of |g ∩ fail(t)| * |g \ fail(t)|].  The greedy
+    order maximises that gain step by step, so early tests split the
+    surviving candidate sets fastest. *)
+
+val gain : Dictionary.t -> int array list -> int -> int
+(** [gain dict groups t]: candidate pairs test [t] separates against
+    the partition [groups]. *)
+
+val order : Dictionary.t -> int array
+(** A permutation of the test indices: greedily pick the test that
+    resolves the most faults to their final signature class, breaking
+    ties by pairs separated and then by the lowest test index, until no
+    test splits any surviving group; leftover tests follow in original
+    order. *)
+
+val mean_tests_to_unique : Dictionary.t -> int array -> float
+(** [mean_tests_to_unique dict ord]: mean over faults of the number of
+    tests, applied in [ord] order, after which the fault's surviving
+    candidate group has shrunk to its final signature class.  Lower is
+    better; diagnostic orders should beat the generation order.
+    @raise Invalid_argument if [ord] is not a full permutation. *)

@@ -242,6 +242,7 @@ let load t ?timeout_s params = single t ?timeout_s Protocol.Load params
 let adi t ?timeout_s params = single t ?timeout_s Protocol.Adi params
 let order t ?timeout_s params = single t ?timeout_s Protocol.Order params
 let atpg t ?timeout_s params = single t ?timeout_s Protocol.Atpg params
+let diagnose t ?timeout_s params = single t ?timeout_s Protocol.Diagnose params
 let stats t ?timeout_s () = single t ?timeout_s Protocol.Stats []
 let health t ?timeout_s () = single t ?timeout_s Protocol.Health []
 let evict t ?timeout_s params = single t ?timeout_s Protocol.Evict params

@@ -105,6 +105,7 @@ val load : t -> ?timeout_s:float -> Protocol.params -> (Util.Json.t, Util.Diagno
 val adi : t -> ?timeout_s:float -> Protocol.params -> (Util.Json.t, Util.Diagnostics.t) result
 val order : t -> ?timeout_s:float -> Protocol.params -> (Util.Json.t, Util.Diagnostics.t) result
 val atpg : t -> ?timeout_s:float -> Protocol.params -> (Util.Json.t, Util.Diagnostics.t) result
+val diagnose : t -> ?timeout_s:float -> Protocol.params -> (Util.Json.t, Util.Diagnostics.t) result
 val evict : t -> ?timeout_s:float -> Protocol.params -> (Util.Json.t, Util.Diagnostics.t) result
 val stats : t -> ?timeout_s:float -> unit -> (Util.Json.t, Util.Diagnostics.t) result
 val health : t -> ?timeout_s:float -> unit -> (Util.Json.t, Util.Diagnostics.t) result

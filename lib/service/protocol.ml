@@ -14,23 +14,24 @@ let negotiate peer =
 
 type params = (string * Json.t) list
 
-type op = Load | Adi | Order | Atpg | Stats | Health | Evict | Shutdown
+type op = Load | Adi | Order | Atpg | Diagnose | Stats | Health | Evict | Shutdown
 
 let op_name = function
   | Load -> "load"
   | Adi -> "adi"
   | Order -> "order"
   | Atpg -> "atpg"
+  | Diagnose -> "diagnose"
   | Stats -> "stats"
   | Health -> "health"
   | Evict -> "evict"
   | Shutdown -> "shutdown"
 
-let base_ops = [ Load; Adi; Order; Atpg; Stats; Health; Evict; Shutdown ]
+let base_ops = [ Load; Adi; Order; Atpg; Diagnose; Stats; Health; Evict; Shutdown ]
 
 let op_of_name s = List.find_opt (fun o -> String.equal (op_name o) s) base_ops
 
-let batchable = function Adi | Order | Atpg -> true | _ -> false
+let batchable = function Adi | Order | Atpg | Diagnose -> true | _ -> false
 
 type call =
   | Single of op * params

@@ -6,7 +6,8 @@
     Two protocol versions share one wire format.  {b v1} is the
     original one-op-per-round-trip protocol; {b v2} adds the [hello]
     version-negotiation handshake, first-class batch ops
-    ([batch_adi] / [batch_order] / [batch_atpg]: many circuits or
+    ([batch_adi] / [batch_order] / [batch_atpg] / [batch_diagnose]:
+    many circuits or
     configurations per round-trip, replies in request order), and
     out-of-order replies over one connection (request [id]s already
     make replies attributable; v2 clients may pipeline several frames
@@ -72,13 +73,13 @@ val negotiate : version list -> version option
 type params = (string * Util.Json.t) list
 (** Everything in a request object besides [id]/[op]. *)
 
-type op = Load | Adi | Order | Atpg | Stats | Health | Evict | Shutdown
+type op = Load | Adi | Order | Atpg | Diagnose | Stats | Health | Evict | Shutdown
 
 val op_name : op -> string
 val op_of_name : string -> op option
 
 val batchable : op -> bool
-(** Ops with a [batch_*] form: [Adi], [Order], [Atpg]. *)
+(** Ops with a [batch_*] form: [Adi], [Order], [Atpg], [Diagnose]. *)
 
 type call =
   | Single of op * params  (** one v1 op *)

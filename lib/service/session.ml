@@ -247,6 +247,182 @@ let handle_atpg t params budget =
         ("spec_committed", Json.Int e.Engine.spec_committed);
         ("spec_wasted", Json.Int e.Engine.spec_wasted) ])
 
+(* --- diagnose ----------------------------------------------------- *)
+
+(* Tests the dictionary is built against: an explicit ["tests"] array
+   of '0'/'1' vectors, or the ATPG test set for the request's
+   configuration (deterministic given the setup key, so the dictionary
+   cache key only needs the marker). *)
+let diagnose_tests t params budget cfg (setup : Pipeline.setup) =
+  match param params "tests" with
+  | Some (Json.Arr rows) ->
+      let strs =
+        List.map
+          (fun j ->
+            match Json.to_str j with
+            | Some s -> s
+            | None -> fail_protocol "\"tests\" must be an array of '0'/'1' vector strings")
+          rows
+      in
+      if strs = [] then fail_protocol "\"tests\" must not be empty";
+      let pats =
+        match Patterns.of_strings (Array.of_list strs) with
+        | pats -> pats
+        | exception Invalid_argument msg -> fail_protocol "bad \"tests\": %s" msg
+      in
+      if Patterns.n_inputs pats <> Array.length (Circuit.inputs setup.Pipeline.circuit) then
+        fail_protocol "\"tests\" vectors have %d bits but the circuit has %d inputs"
+          (Patterns.n_inputs pats)
+          (Array.length (Circuit.inputs setup.Pipeline.circuit));
+      (pats, Digest.to_hex (Digest.string (String.concat "\n" strs)))
+  | Some _ -> fail_protocol "\"tests\" must be an array of '0'/'1' vector strings"
+  | None ->
+      let ecfg = Run_config.engine_config cfg in
+      let ecfg =
+        if Budget.is_unlimited budget then ecfg
+        else
+          let remaining = Budget.remaining_s budget in
+          let run_budget =
+            match ecfg.Engine.time_budget_s with
+            | Some s -> Float.min s remaining
+            | None -> remaining
+          in
+          { ecfg with Engine.time_budget_s = Some run_budget }
+      in
+      let run = Pipeline.run_order_with ecfg setup cfg.Run_config.order in
+      let e = run.Pipeline.engine in
+      if e.Engine.interrupted then
+        Diagnostics.fail Diagnostics.Budget_expired
+          "request budget expired during test generation";
+      locked t (fun () ->
+          t.spec_committed <- t.spec_committed + e.Engine.spec_committed;
+          t.spec_wasted <- t.spec_wasted + e.Engine.spec_wasted);
+      (e.Engine.tests, Printf.sprintf "atpg:%s" (Ordering.to_string cfg.Run_config.order))
+
+let decode_fails ~applied params =
+  match param params "fails" with
+  | None -> [||]
+  | Some (Json.Arr items) ->
+      let fails =
+        List.map
+          (fun j ->
+            match Json.to_int j with
+            | Some i ->
+                if i < 0 || i >= applied then
+                  fail_protocol "failing test %d outside the applied range [0,%d)" i applied
+                else i
+            | None -> fail_protocol "\"fails\" must be an array of test indices")
+          items
+      in
+      Array.of_list fails
+  | Some _ -> fail_protocol "\"fails\" must be an array of test indices"
+
+let decode_responses dict params =
+  let nout = Diagnosis.Dictionary.output_count dict in
+  let nt = Diagnosis.Dictionary.test_count dict in
+  match param params "responses" with
+  | None -> []
+  | Some (Json.Arr items) ->
+      List.map
+        (fun j ->
+          match j with
+          | Json.Obj fields ->
+              let test =
+                match Option.bind (List.assoc_opt "test" fields) Json.to_int with
+                | Some i when i >= 0 && i < nt -> i
+                | Some i -> fail_protocol "response test %d outside [0,%d)" i nt
+                | None -> fail_protocol "every response needs an integer \"test\""
+              in
+              let outs =
+                match Option.bind (List.assoc_opt "outputs" fields) Json.to_str with
+                | Some s when String.length s = nout -> s
+                | Some s ->
+                    fail_protocol "response \"outputs\" has %d bits but the circuit has %d outputs"
+                      (String.length s) nout
+                | None -> fail_protocol "every response needs an \"outputs\" bit string"
+              in
+              let vals =
+                Array.init nout (fun i ->
+                    match outs.[i] with
+                    | '0' -> false
+                    | '1' -> true
+                    | c -> fail_protocol "response \"outputs\" has a non-binary character %C" c)
+              in
+              (test, vals)
+          | _ -> fail_protocol "\"responses\" must be an array of {test, outputs} objects")
+        items
+  | Some _ -> fail_protocol "\"responses\" must be an array of {test, outputs} objects"
+
+let handle_diagnose t params budget =
+  let cfg, key, setup, cached = prepared t params budget in
+  let tests, tests_digest = diagnose_tests t params budget cfg setup in
+  check_budget budget ~phase:"before dictionary build";
+  let dkey = Store.dict_key ~setup_key:key ~tests_digest in
+  let dict, dict_cached =
+    Store.find_or_build_dict t.store dkey (fun () ->
+        Diagnosis.Dictionary.build ~jobs:cfg.Run_config.jobs setup.Pipeline.faults tests)
+  in
+  check_budget budget ~phase:"during dictionary build";
+  let nt = Diagnosis.Dictionary.test_count dict in
+  let applied =
+    match int_param params "applied" with
+    | None -> nt
+    | Some a when a >= 0 && a <= nt -> a
+    | Some a -> fail_protocol "\"applied\" must be within [0,%d] (got %d)" nt a
+  in
+  let fails = decode_fails ~applied params in
+  let responses = decode_responses dict params in
+  (* Replay the observed log through an incremental session: pass/fail
+     verdicts for the applied prefix, full per-output words where the
+     tester reported them. *)
+  let session = Diagnosis.Diagnoser.start dict in
+  let failing = Array.make nt false in
+  Array.iter (fun i -> failing.(i) <- true) fails;
+  let with_outputs = Array.make nt false in
+  List.iter (fun (test, _) -> with_outputs.(test) <- true) responses;
+  for test = 0 to applied - 1 do
+    if not with_outputs.(test) then
+      Diagnosis.Diagnoser.observe session ~test
+        (if failing.(test) then Diagnosis.Diagnoser.Fail else Diagnosis.Diagnoser.Pass)
+  done;
+  List.iter
+    (fun (test, vals) ->
+      Diagnosis.Diagnoser.observe session ~test (Diagnosis.Diagnoser.Outputs vals))
+    responses;
+  let survivors = Diagnosis.Diagnoser.survivors session in
+  let limit = Option.value ~default:10 (int_param params "limit") in
+  if limit < 0 then fail_protocol "\"limit\" must be non-negative";
+  let candidates = Diagnosis.Diagnoser.ranking ~limit session in
+  let exact =
+    (* Exact signature matches of the full pass/fail log — meaningful
+       only when every test was applied. *)
+    if applied = nt && responses = [] then
+      Diagnosis.Diagnoser.exact dict (Diagnosis.Diagnoser.signature_of_fails dict fails)
+    else []
+  in
+  Json.Obj
+    (setup_reply_fields key cached setup
+    @ [ ( "dictionary",
+          Json.Obj
+            [ ("key", Json.Str dkey); ("cached", Json.Bool dict_cached);
+              ("tests", Json.Int nt);
+              ("outputs", Json.Int (Diagnosis.Dictionary.output_count dict));
+              ("classes", Json.Int (Diagnosis.Dictionary.resolution dict)) ] );
+        ("applied", Json.Int applied);
+        ("observed_fails", Json.Int (Array.length fails));
+        ("observed_responses", Json.Int (List.length responses));
+        ("survivors", Json.Int (List.length survivors));
+        ("exact", Json.Arr (List.map (fun fi -> Json.Int fi) exact));
+        ( "candidates",
+          Json.Arr
+            (List.map
+               (fun c ->
+                 Json.Obj
+                   [ ("fault", Json.Int c.Diagnosis.Diagnoser.fault);
+                     ("name", Json.Str c.Diagnosis.Diagnoser.name);
+                     ("distance", Json.Int c.Diagnosis.Diagnoser.distance) ])
+               candidates) ) ])
+
 let handle_stats t =
   let s = Store.stats t.store in
   let requests, errors, spec_committed, spec_wasted, cf, cc, cp, cb =
@@ -261,6 +437,10 @@ let handle_stats t =
       ("spill_hits", Json.Int s.Store.spill_hits); ("misses", Json.Int s.Store.misses);
       ("insertions", Json.Int s.Store.insertions); ("evictions", Json.Int s.Store.evictions);
       ("spill_writes", Json.Int s.Store.spill_writes);
+      ("dict_entries", Json.Int s.Store.dict_entries);
+      ("dict_hits", Json.Int s.Store.dict_hits);
+      ("dict_spill_hits", Json.Int s.Store.dict_spill_hits);
+      ("dict_misses", Json.Int s.Store.dict_misses);
       ("jobs", Json.Int t.jobs);
       ("spec_committed", Json.Int spec_committed); ("spec_wasted", Json.Int spec_wasted);
       (* Fault-universe reduction over fresh preparations: full
@@ -299,6 +479,7 @@ let dispatch_single t op params =
   | Protocol.Adi -> handle_adi t params (budget ())
   | Protocol.Order -> handle_order t params (budget ())
   | Protocol.Atpg -> handle_atpg t params (budget ())
+  | Protocol.Diagnose -> handle_diagnose t params (budget ())
   | Protocol.Stats -> handle_stats t
   | Protocol.Health -> handle_health t
   | Protocol.Evict -> handle_evict t params

@@ -22,6 +22,10 @@ type stats = {
   insertions : int;
   evictions : int;
   spill_writes : int;
+  dict_entries : int;
+  dict_hits : int;
+  dict_spill_hits : int;
+  dict_misses : int;
 }
 
 type t = {
@@ -36,6 +40,13 @@ type t = {
   mutable insertions : int;
   mutable evictions : int;
   mutable spill_writes : int;
+  (* Fault-dictionary side-cache: same LRU discipline, same spill
+     directory (".dict" suffix), separate counters.  Dictionaries are
+     derived artifacts — a lost entry is a rebuild, never an error. *)
+  mutable dict_mru : (string * Diagnosis.Dictionary.t) list;
+  mutable dict_hits : int;
+  mutable dict_spill_hits : int;
+  mutable dict_misses : int;
 }
 
 let create ?(capacity = 8) ?spill_dir ?(write_through = false) () =
@@ -46,7 +57,8 @@ let create ?(capacity = 8) ?spill_dir ?(write_through = false) () =
     (fun dir -> if not (Sys.file_exists dir) then Unix.mkdir dir 0o755)
     spill_dir;
   { cap = capacity; spill_dir; write_through; lock = Mutex.create (); mru = []; hits = 0;
-    spill_hits = 0; misses = 0; insertions = 0; evictions = 0; spill_writes = 0 }
+    spill_hits = 0; misses = 0; insertions = 0; evictions = 0; spill_writes = 0;
+    dict_mru = []; dict_hits = 0; dict_spill_hits = 0; dict_misses = 0 }
 
 let locked t f =
   Mutex.lock t.lock;
@@ -60,7 +72,9 @@ let stats t =
   locked t (fun () ->
       { entries = List.length t.mru; capacity = t.cap; hits = t.hits;
         spill_hits = t.spill_hits; misses = t.misses; insertions = t.insertions;
-        evictions = t.evictions; spill_writes = t.spill_writes })
+        evictions = t.evictions; spill_writes = t.spill_writes;
+        dict_entries = List.length t.dict_mru; dict_hits = t.dict_hits;
+        dict_spill_hits = t.dict_spill_hits; dict_misses = t.dict_misses })
 
 (* --- keying ------------------------------------------------------- *)
 
@@ -217,9 +231,81 @@ let clear t =
       | entries ->
           Array.iter
             (fun f ->
-              if Filename.check_suffix f ".setup" then
+              if Filename.check_suffix f ".setup" || Filename.check_suffix f ".dict" then
                 try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
             entries
       | exception Sys_error _ -> ())
     t.spill_dir;
+  locked t (fun () -> t.dict_mru <- []);
   n
+
+(* --- dictionary side-cache ---------------------------------------- *)
+
+let dict_key ~setup_key ~tests_digest =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "|"
+          [ Printf.sprintf "%s/v%d" Diagnosis.Dictionary.magic Diagnosis.Dictionary.version;
+            setup_key; tests_digest ]))
+
+let dict_spill_path dir k = Filename.concat dir (k ^ ".dict")
+
+(* Dictionary spill rides [Diagnosis.Dictionary.save]/[load], which
+   carry their own magic/version/digest header — a bad file is a miss. *)
+let try_spill_dict t k dict =
+  Option.iter
+    (fun dir ->
+      match Diagnosis.Dictionary.save dict (dict_spill_path dir k) with
+      | () -> t.spill_writes <- t.spill_writes + 1
+      | exception (Util.Diagnostics.Failed _ | Sys_error _ | Unix.Unix_error _) -> ())
+    t.spill_dir
+
+let admit_dict t k dict =
+  if t.cap > 0 && not (List.mem_assoc k t.dict_mru) then begin
+    t.dict_mru <- (k, dict) :: t.dict_mru;
+    if List.length t.dict_mru > t.cap then begin
+      let keep, tail =
+        (List.filteri (fun i _ -> i < t.cap) t.dict_mru, List.nth t.dict_mru t.cap)
+      in
+      t.dict_mru <- keep;
+      t.evictions <- t.evictions + 1;
+      try_spill_dict t (fst tail) (snd tail)
+    end
+  end
+
+let find_dict t k =
+  let resident =
+    locked t (fun () ->
+        match List.assoc_opt k t.dict_mru with
+        | Some dict ->
+            t.dict_mru <- (k, dict) :: List.remove_assoc k t.dict_mru;
+            t.dict_hits <- t.dict_hits + 1;
+            Some dict
+        | None -> None)
+  in
+  match resident with
+  | Some _ as hit -> hit
+  | None -> (
+      match
+        Option.bind t.spill_dir (fun dir -> Diagnosis.Dictionary.load (dict_spill_path dir k))
+      with
+      | Some dict ->
+          locked t (fun () ->
+              t.dict_spill_hits <- t.dict_spill_hits + 1;
+              admit_dict t k dict);
+          Some dict
+      | None ->
+          locked t (fun () -> t.dict_misses <- t.dict_misses + 1);
+          None)
+
+let find_or_build_dict t k build =
+  match find_dict t k with
+  | Some dict -> (dict, true)
+  | None ->
+      (* Built outside the lock, like [find_or_prepare]: racing lanes
+         compute byte-identical dictionaries, so either insertion is
+         correct. *)
+      let dict = build () in
+      locked t (fun () -> admit_dict t k dict);
+      if t.write_through then locked t (fun () -> try_spill_dict t k dict);
+      (dict, false)

@@ -54,6 +54,10 @@ type stats = {
   insertions : int;
   evictions : int;  (** entries pushed out by the capacity bound *)
   spill_writes : int;  (** spill files written (eviction + write-through) *)
+  dict_entries : int;  (** resident fault dictionaries *)
+  dict_hits : int;
+  dict_spill_hits : int;
+  dict_misses : int;
 }
 
 val create : ?capacity:int -> ?spill_dir:string -> ?write_through:bool -> unit -> t
@@ -103,3 +107,23 @@ val keys : t -> string list
 (** Resident keys, most recently used first. *)
 
 val stats : t -> stats
+
+(** {1 Fault-dictionary side-cache}
+
+    The diagnose op derives a {!Diagnosis.Dictionary.t} from a cached
+    setup plus a test set.  Dictionaries ride a second LRU with the
+    same capacity bound and the same spill directory ([".dict"]
+    suffix, {!Diagnosis.Dictionary.save}'s own digest-verified
+    format); [clear] drops them alongside the setups. *)
+
+val dict_key : setup_key:string -> tests_digest:string -> string
+(** Content address of a dictionary: a digest over the versioned
+    dictionary prefix, the setup's cache key and a digest of the test
+    set the dictionary is built against. *)
+
+val find_dict : t -> string -> Diagnosis.Dictionary.t option
+
+val find_or_build_dict :
+  t -> string -> (unit -> Diagnosis.Dictionary.t) -> Diagnosis.Dictionary.t * bool
+(** Lookup, else build outside the lock and admit.  Returns the
+    dictionary and whether it was served from cache. *)

@@ -20,6 +20,7 @@ type workspace = {
   dirty : bool array;
   scheduled : bool array;
   buckets : int list array;  (* pending nodes per level *)
+  out_pos : int array;  (* node -> index in Circuit.outputs, or -1 *)
   mutable touched : int list;  (* nodes with dirty set *)
   mutable sched_nodes : int list;  (* nodes with scheduled set *)
   (* Per-block observability memo for the probe kernels: [obs_val.(n)]
@@ -43,12 +44,15 @@ let workspace c =
   if Circuit.has_state c then
     invalid_arg "Faultsim.workspace: circuit has flip-flops; apply Scan.combinational first";
   let n = Circuit.node_count c in
+  let out_pos = Array.make n (-1) in
+  Array.iteri (fun i o -> out_pos.(o) <- i) (Circuit.outputs c);
   {
     circuit = c;
     fval = Array.make n 0L;
     dirty = Array.make n false;
     scheduled = Array.make n false;
     buckets = Array.make (Circuit.depth c + 1) [];
+    out_pos;
     touched = [];
     sched_nodes = [];
     obs_val = Array.make n 0L;
@@ -242,6 +246,50 @@ let propagate ws ~good n0 v0 = propagate_core ws ~good ~stop:(-1) n0 v0
 
 let detect_block ws ~good (f : Fault.t) =
   propagate ws ~good (Fault.site_node f) (injected_value ws ~good f)
+
+(* Per-output variant of {!detect_block}: the same event-driven sweep,
+   but each primary output's divergence word is written into [out] at
+   the output's declaration index.  Traversal order is identical to
+   [detect_block], so the OR of the per-output words equals its
+   detection word bit-for-bit. *)
+let detect_block_outputs ws ~good ~out (f : Fault.t) =
+  let c = ws.circuit in
+  Array.fill out 0 (Array.length out) 0L;
+  ws.stat_propagations <- ws.stat_propagations + 1;
+  let detect = ref 0L in
+  let record node value =
+    if value <> good.(node) then begin
+      ws.fval.(node) <- value;
+      if not ws.dirty.(node) then begin
+        ws.dirty.(node) <- true;
+        ws.touched <- node :: ws.touched
+      end;
+      let p = ws.out_pos.(node) in
+      if p >= 0 then begin
+        let d = Int64.logxor value good.(node) in
+        out.(p) <- d;
+        detect := Int64.logor !detect d
+      end;
+      Array.iter (fun s -> schedule ws s) (Circuit.fanouts c node)
+    end
+  in
+  let n0 = Fault.site_node f in
+  record n0 (injected_value ws ~good f);
+  if ws.sched_nodes <> [] then
+    for l = 0 to Array.length ws.buckets - 1 do
+      let pending = ws.buckets.(l) in
+      if pending <> [] then begin
+        ws.buckets.(l) <- [];
+        List.iter
+          (fun node -> if node <> n0 then record node (eval_faulty ws ~good node))
+          pending
+      end
+    done;
+  List.iter (fun node -> ws.dirty.(node) <- false) ws.touched;
+  List.iter (fun node -> ws.scheduled.(node) <- false) ws.sched_nodes;
+  ws.touched <- [];
+  ws.sched_nodes <- [];
+  !detect
 
 let block_mask pats b =
   let cnt = Patterns.count pats - (b * 64) in

@@ -61,6 +61,15 @@ val detect_block : workspace -> good:int64 array -> Fault.t -> int64
     fault-free node values [good] (from {!Goodsim.block_into}).  Lanes
     beyond the pattern count are meaningless; callers mask them. *)
 
+val detect_block_outputs :
+  workspace -> good:int64 array -> out:int64 array -> Fault.t -> int64
+(** [detect_block_outputs ws ~good ~out f] is {!detect_block} with
+    per-output resolution: [out] (length [Array.length (Circuit.outputs
+    c)], cleared on entry) receives each primary output's divergence
+    word at its declaration index, and the returned word is their OR —
+    bit-identical to [detect_block ws ~good f].  The input to
+    response-level (per-output) fault dictionaries. *)
+
 (** {1 Observability}
 
     Every workspace carries always-on counters (propagation events,

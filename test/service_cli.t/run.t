@@ -43,6 +43,21 @@ per-item results come back in request order:
   "ok":true
   "ok":true
 
+Diagnosis through the front door: the first request builds the fault
+dictionary, the second is served from the dictionary cache, and the
+replies are byte-identical apart from the truthful cache flags:
+
+  $ adi-client diagnose --socket adi.sock c17 --fails 0,2 > diag1.json
+  $ adi-client diagnose --socket adi.sock c17 --fails 0,2 > diag2.json
+  $ grep -o '"observed_fails":2' diag2.json
+  "observed_fails":2
+  $ grep -o '"cached":true' diag2.json | wc -l
+  2
+  $ sed 's/"cached":[a-z]*/"cached":_/g' diag1.json > diag1.norm
+  $ sed 's/"cached":[a-z]*/"cached":_/g' diag2.json > diag2.norm
+  $ cmp diag1.norm diag2.norm && echo identical
+  identical
+
 An exhausted request budget is a typed E-budget error, not a hang:
 
   $ adi-client atpg --socket adi.sock c17 --budget_s 0
@@ -61,7 +76,7 @@ Unknown operations are rejected by name, and the error names the
 connection's negotiated protocol version:
 
   $ adi-client --socket adi.sock --raw '{"id":9,"op":"frobnicate"}'
-  adi-client: unknown op "frobnicate" (protocol v1; expected one of: load, adi, order, atpg, stats, health, evict, shutdown, hello, batch_adi, batch_order, batch_atpg) [E-protocol]
+  adi-client: unknown op "frobnicate" (protocol v1; expected one of: load, adi, order, atpg, diagnose, stats, health, evict, shutdown, hello, batch_adi, batch_order, batch_atpg, batch_diagnose) [E-protocol]
   [2]
 
 Out-of-range configuration surfaces as the same E-flag diagnostics the
@@ -78,7 +93,7 @@ Shutdown drains the server; it exits cleanly and removes its socket:
   $ wait
   $ cat server.log
   adi-server: v1.1.0 listening on adi.sock (2 workers, capacity 4)
-  adi-server: drained after 9 requests
+  adi-server: drained after 11 requests
   $ [ ! -e adi.sock ] && echo gone
   gone
 

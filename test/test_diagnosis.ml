@@ -1,0 +1,316 @@
+(* Tests for the diagnosis subsystem: dictionary spill round-trips,
+   jobs-independence of the build, self-diagnosis (a fault's own
+   signature must rank the fault — or an indistinguishable classmate —
+   first at distance zero), deterministic tie-breaking, and the
+   diagnose service op: batch ≡ sequential, and end-to-end identity
+   over the whole collapsed fault universe of a circuit. *)
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+module Bitvec = Util.Bitvec
+module Rng = Util.Rng
+module Json = Util.Json
+module Dictionary = Diagnosis.Dictionary
+module Diagnoser = Diagnosis.Diagnoser
+module Select = Diagnosis.Select
+module Protocol = Service.Protocol
+module Session = Service.Session
+
+let small_circuit_gen =
+  QCheck.Gen.(
+    int_range 2 5 >>= fun pis ->
+    int_range 3 25 >>= fun gates ->
+    int_bound 10_000 >>= fun seed ->
+    return (Generate.random ~seed ~name:"qc" (Generate.profile ~pis ~gates ())))
+
+let arb_circuit = QCheck.make small_circuit_gen
+
+let dict_of c ~seed ~count =
+  let fl = Collapse.collapsed c in
+  let rng = Rng.create seed in
+  let pats = Patterns.random rng ~n_inputs:(Array.length (Circuit.inputs c)) ~count in
+  Dictionary.build fl pats
+
+let fails_of_signature s =
+  let acc = ref [] in
+  Bitvec.iter_set s (fun i -> acc := i :: !acc);
+  Array.of_list (List.rev !acc)
+
+(* ---------- dictionary -------------------------------------------- *)
+
+let spill_roundtrip =
+  QCheck.Test.make ~name:"dictionary spill round-trips byte-identically" ~count:25 arb_circuit
+  @@ fun c ->
+  let dict = dict_of c ~seed:11 ~count:100 in
+  let path = Filename.temp_file "dict" ".dict" in
+  let path2 = Filename.temp_file "dict" ".dict" in
+  Fun.protect ~finally:(fun () -> Sys.remove path; Sys.remove path2) @@ fun () ->
+  Dictionary.save dict path;
+  match Dictionary.load path with
+  | None -> false
+  | Some loaded ->
+      (* A re-spill of the loaded value reproduces the file bytes. *)
+      Dictionary.save loaded path2;
+      let bytes p =
+        let ic = open_in_bin p in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      Dictionary.equal dict loaded && bytes path = bytes path2
+
+let spill_rejects_corruption () =
+  let dict = dict_of (Suite.build_by_name "c17") ~seed:3 ~count:64 in
+  let path = Filename.temp_file "dict" ".dict" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  Dictionary.save dict path;
+  (* Flip one payload byte: the digest line must catch it. *)
+  let ic = open_in_bin path in
+  let content = really_input_string ic (in_channel_length ic) in
+  close_in_noerr ic;
+  let b = Bytes.of_string content in
+  let i = Bytes.length b - 5 in
+  Bytes.set b i (if Bytes.get b i = 'x' then 'y' else 'x');
+  let oc = open_out_bin path in
+  output_bytes oc b;
+  close_out_noerr oc;
+  Alcotest.(check bool) "corrupted spill is a miss" true (Dictionary.load path = None)
+
+let jobs_independent =
+  QCheck.Test.make ~name:"jobs=1 and jobs=4 build identical dictionaries" ~count:25 arb_circuit
+  @@ fun c ->
+  let fl = Collapse.collapsed c in
+  let rng = Rng.create 19 in
+  let pats = Patterns.random rng ~n_inputs:(Array.length (Circuit.inputs c)) ~count:130 in
+  Dictionary.equal (Dictionary.build ~jobs:1 fl pats) (Dictionary.build ~jobs:4 fl pats)
+
+let signatures_match_detection_sets =
+  QCheck.Test.make ~name:"signatures = detection_sets rows; slices union to them" ~count:25
+    arb_circuit
+  @@ fun c ->
+  let fl = Collapse.collapsed c in
+  let rng = Rng.create 23 in
+  let pats = Patterns.random rng ~n_inputs:(Array.length (Circuit.inputs c)) ~count:100 in
+  let dict = Dictionary.build fl pats in
+  let sets = Faultsim.detection_sets fl pats in
+  let ok = ref true in
+  Array.iteri
+    (fun fi set ->
+      if not (Bitvec.equal set (Dictionary.signature dict fi)) then ok := false;
+      let union = Bitvec.create (Patterns.count pats) in
+      Array.iter
+        (fun (_, row) -> Bitvec.iter_set row (fun t -> Bitvec.set union t true))
+        (Dictionary.slices dict fi);
+      if not (Bitvec.equal union set) then ok := false)
+    sets;
+  !ok
+
+(* ---------- diagnoser --------------------------------------------- *)
+
+let self_diagnosis_distance_zero =
+  QCheck.Test.make ~name:"a fault's own signature ranks its class first at distance 0"
+    ~count:25 arb_circuit
+  @@ fun c ->
+  let dict = dict_of c ~seed:29 ~count:100 in
+  let ok = ref true in
+  for fi = 0 to Dictionary.fault_count dict - 1 do
+    let observed =
+      Diagnoser.signature_of_fails dict (fails_of_signature (Dictionary.signature dict fi))
+    in
+    match Diagnoser.nearest ~limit:1 dict observed with
+    | [ best ] ->
+        if best.Diagnoser.distance <> 0 then ok := false;
+        if not (Bitvec.equal (Dictionary.signature dict best.Diagnoser.fault)
+                  (Dictionary.signature dict fi))
+        then ok := false
+    | _ -> ok := false
+  done;
+  !ok
+
+let nearest_tiebreak_deterministic () =
+  (* Four tests over c17 leave many signature collisions; equal
+     distances must resolve in ascending fault order, every time. *)
+  let dict = dict_of (Suite.build_by_name "c17") ~seed:7 ~count:4 in
+  let cls =
+    match
+      List.find_opt (fun g -> Array.length g >= 2) (Array.to_list (Dictionary.classes dict))
+    with
+    | Some g -> g
+    | None -> Alcotest.fail "expected an ambiguous class under 4 tests"
+  in
+  let observed = Bitvec.copy (Dictionary.signature dict cls.(0)) in
+  let ranked = Diagnoser.nearest dict observed in
+  check Alcotest.int "full ranking" (Dictionary.fault_count dict) (List.length ranked);
+  (* The whole ambiguous class leads, members ascending. *)
+  List.iteri
+    (fun i fi ->
+      let got = List.nth ranked i in
+      check Alcotest.int "class member in order" fi got.Diagnoser.fault;
+      check Alcotest.int "distance zero" 0 got.Diagnoser.distance)
+    (Array.to_list cls);
+  (* And the ranking is globally sorted by (distance, fault index). *)
+  ignore
+    (List.fold_left
+       (fun prev c ->
+         (match prev with
+         | Some p ->
+             Alcotest.(check bool) "sorted by (distance, fault)" true
+               ((p.Diagnoser.distance, p.Diagnoser.fault)
+               < (c.Diagnoser.distance, c.Diagnoser.fault))
+         | None -> ());
+         Some c)
+       None ranked)
+
+let session_observations_prune () =
+  let dict = dict_of (Suite.build_by_name "c17") ~seed:13 ~count:64 in
+  let target = 0 in
+  let s = Diagnoser.start dict in
+  let nt = Dictionary.test_count dict in
+  for t = 0 to nt - 1 do
+    if Bitvec.get (Dictionary.signature dict target) t then
+      Diagnoser.observe s ~test:t Diagnoser.Fail
+    else Diagnoser.observe s ~test:t Diagnoser.Pass
+  done;
+  check Alcotest.int "all tests observed" nt (Diagnoser.observed s);
+  let survivors = Diagnoser.survivors s in
+  Alcotest.(check bool) "target survives its own log" true (List.mem target survivors);
+  List.iter
+    (fun fi ->
+      Alcotest.(check bool) "every survivor is signature-identical" true
+        (Bitvec.equal (Dictionary.signature dict fi) (Dictionary.signature dict target)))
+    survivors
+
+(* ---------- diagnostic ordering ----------------------------------- *)
+
+let diagnostic_order_permutation_and_gain () =
+  let dict = dict_of (Suite.build_by_name "syn208") ~seed:5 ~count:48 in
+  let ord = Select.order dict in
+  let nt = Dictionary.test_count dict in
+  check Alcotest.int "permutation length" nt (Array.length ord);
+  let seen = Array.make nt false in
+  Array.iter (fun t -> seen.(t) <- true) ord;
+  Alcotest.(check bool) "every test appears once" true (Array.for_all Fun.id seen);
+  let gen = Select.mean_tests_to_unique dict (Array.init nt Fun.id) in
+  let diag = Select.mean_tests_to_unique dict ord in
+  Alcotest.(check bool) "diagnostic order no worse than generation order" true (diag <= gen)
+
+(* ---------- service op -------------------------------------------- *)
+
+let result_of response =
+  match response.Protocol.payload with
+  | Ok (Protocol.Result j) -> j
+  | Ok _ -> Alcotest.fail "unexpected reply shape"
+  | Error e -> Alcotest.fail e.Protocol.message
+
+let batch_diagnose_matches_sequential () =
+  let tests =
+    Array.to_list (Array.map (fun s -> Json.Str s)
+      (Patterns.to_strings (Patterns.exhaustive ~n_inputs:5)))
+  in
+  let variants =
+    [ [ ("circuit", Json.Str "c17") ];
+      [ ("circuit", Json.Str "c17"); ("fails", Json.Arr [ Json.Int 0; Json.Int 2 ]) ];
+      [ ("circuit", Json.Str "c17"); ("tests", Json.Arr tests);
+        ("fails", Json.Arr [ Json.Int 1 ]); ("limit", Json.Int 3) ];
+      [ ("circuit", Json.Str "c17"); ("applied", Json.Int 5) ] ]
+  in
+  let sequential =
+    let t = Session.create ~capacity:4 () in
+    List.map
+      (fun params -> Json.to_string (result_of (Session.handle t (Protocol.single "diagnose" params))))
+      variants
+  in
+  let batched =
+    let t = Session.create ~capacity:4 () in
+    match
+      (Session.handle t { Protocol.id = 9; call = Protocol.Batch (Protocol.Diagnose, variants) })
+        .Protocol.payload
+    with
+    | Ok (Protocol.Batch_replies items) ->
+        List.map
+          (function
+            | Ok j -> Json.to_string j
+            | Error e -> Alcotest.fail e.Protocol.message)
+          items
+    | Ok _ -> Alcotest.fail "unexpected batch reply shape"
+    | Error e -> Alcotest.fail e.Protocol.message
+  in
+  check Alcotest.(list string) "batch items ≡ sequential singles" sequential batched
+
+let service_diagnose_identity () =
+  (* End-to-end: for every fault of the collapsed universe, feeding its
+     own simulated failing set through the diagnose op must rank a
+     member of its signature class first, at distance zero, and list
+     the whole class as exact matches. *)
+  let c = Suite.build_by_name "c17" in
+  let pats = Patterns.exhaustive ~n_inputs:5 in
+  let setup = Pipeline.prepare Run_config.default c in
+  let dict = Dictionary.build setup.Pipeline.faults pats in
+  let tests_param =
+    ("tests", Json.Arr (Array.to_list (Array.map (fun s -> Json.Str s) (Patterns.to_strings pats))))
+  in
+  let t = Session.create ~capacity:4 () in
+  for fi = 0 to Dictionary.fault_count dict - 1 do
+    let fails = fails_of_signature (Dictionary.signature dict fi) in
+    let params =
+      [ ("circuit", Json.Str "c17"); tests_param; ("limit", Json.Int 1);
+        ("fails", Json.Arr (Array.to_list (Array.map (fun i -> Json.Int i) fails))) ]
+    in
+    let result = result_of (Session.handle t (Protocol.single "diagnose" params)) in
+    let candidates =
+      match Option.bind (Json.member "candidates" result) Json.to_list with
+      | Some l -> l
+      | None -> Alcotest.fail "diagnose reply has no candidates"
+    in
+    (match candidates with
+    | best :: _ ->
+        let field name conv = Option.bind (Json.member name best) conv in
+        check (Alcotest.option Alcotest.int) "top candidate at distance 0" (Some 0)
+          (field "distance" Json.to_int);
+        let top = Option.value ~default:(-1) (field "fault" Json.to_int) in
+        Alcotest.(check bool) "top candidate is signature-identical" true
+          (top >= 0
+          && Bitvec.equal (Dictionary.signature dict top) (Dictionary.signature dict fi));
+        check (Alcotest.option Alcotest.string) "name matches the universe"
+          (Some (Dictionary.name dict top))
+          (field "name" Json.to_str)
+    | [] -> Alcotest.fail "diagnose returned no candidates");
+    let exact =
+      match Option.bind (Json.member "exact" result) Json.to_list with
+      | Some l -> List.filter_map Json.to_int l
+      | None -> []
+    in
+    Alcotest.(check bool) "exact list contains the injected fault" true (List.mem fi exact)
+  done;
+  (* The dictionary was built once and re-served from the store. *)
+  match (Session.handle t (Protocol.single "stats" [])).Protocol.payload with
+  | Ok (Protocol.Result stats) ->
+      let hits =
+        Option.value ~default:0 (Option.bind (Json.member "dict_hits" stats) Json.to_int)
+      in
+      Alcotest.(check bool) "dictionary cache was hit" true (hits > 0)
+  | _ -> Alcotest.fail "stats request failed"
+
+let () =
+  Alcotest.run "diagnosis"
+    [
+      ( "dictionary",
+        [ qtest spill_roundtrip;
+          Alcotest.test_case "corrupt spill is a miss" `Quick spill_rejects_corruption;
+          qtest jobs_independent;
+          qtest signatures_match_detection_sets ] );
+      ( "diagnoser",
+        [ qtest self_diagnosis_distance_zero;
+          Alcotest.test_case "nearest tie-break deterministic" `Quick
+            nearest_tiebreak_deterministic;
+          Alcotest.test_case "incremental session prunes to the class" `Quick
+            session_observations_prune ] );
+      ( "select",
+        [ Alcotest.test_case "diagnostic order valid and no worse" `Quick
+            diagnostic_order_permutation_and_gain ] );
+      ( "service",
+        [ Alcotest.test_case "batch ≡ sequential" `Quick batch_diagnose_matches_sequential;
+          Alcotest.test_case "end-to-end identity over the universe" `Quick
+            service_diagnose_identity ] );
+    ]

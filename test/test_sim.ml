@@ -416,62 +416,6 @@ let deductive_full_universe =
   !ok
 
 
-(* --- dictionary / diagnosis ---------------------------------------- *)
-
-let dictionary_diagnoses_injected_fault =
-  QCheck.Test.make ~name:"dictionary diagnosis recovers an injected fault's class" ~count:20
-    arb_circuit
-  @@ fun c ->
-  let fl = Collapse.collapsed c in
-  let n_inputs = Array.length (Circuit.inputs c) in
-  let rng = Rng.create 71 in
-  let pats = Patterns.random rng ~n_inputs ~count:48 in
-  let dict = Dictionary.build fl pats in
-  let ok = ref true in
-  for _ = 1 to 5 do
-    let fi = Rng.int rng (Fault_list.count fl) in
-    let f = Fault_list.get fl fi in
-    (* Simulate the defective device: its outputs under each test. *)
-    let response p =
-      let v = Refsim.faulty_values c f (Patterns.vector pats p) in
-      Array.map (fun o -> v.(o)) (Circuit.outputs c)
-    in
-    let obs = Dictionary.signature_of_response dict response in
-    if not (Bitvec.is_zero obs) then begin
-      let candidates = Dictionary.diagnose dict obs in
-      if not (List.mem fi candidates) then ok := false;
-      (* the injected fault is also a nearest candidate at distance 0 *)
-      match Dictionary.diagnose_nearest dict obs ~n:1 with
-      | (_, 0) :: _ -> ()
-      | _ -> ok := false
-    end
-  done;
-  !ok
-
-let dictionary_classes_partition () =
-  let c = Library.c17 () in
-  let fl = Collapse.collapsed c in
-  let pats = Patterns.exhaustive ~n_inputs:5 in
-  let dict = Dictionary.build fl pats in
-  let classes = Dictionary.equivalence_classes dict in
-  (* every class member shares the class signature *)
-  List.iter
-    (fun cls ->
-      match cls with
-      | [] -> Alcotest.fail "empty class"
-      | first :: rest ->
-          List.iter
-            (fun fi ->
-              Alcotest.check Alcotest.bool "same signature" true
-                (Bitvec.equal (Dictionary.signature dict first) (Dictionary.signature dict fi)))
-            rest)
-    classes;
-  (* with the exhaustive test set, collapsed c17 faults are all detected *)
-  let total = List.fold_left (fun a g -> a + List.length g) 0 classes in
-  Alcotest.check Alcotest.int "all detected faults in classes" (Fault_list.count fl) total;
-  Alcotest.check Alcotest.bool "resolution sane" true
-    (Dictionary.resolution dict > 0.0 && Dictionary.resolution dict <= 1.0)
-
 let () =
   Util.Trace.install_from_env ();
   Alcotest.run "sim"
@@ -511,10 +455,5 @@ let () =
           Alcotest.test_case "kernel names roundtrip" `Quick kernel_names_roundtrip;
           qtest deductive_matches_event_driven;
           qtest deductive_full_universe;
-          qtest dictionary_diagnoses_injected_fault;
-        ] );
-      ( "dictionary",
-        [
-          Alcotest.test_case "classes partition" `Quick dictionary_classes_partition;
         ] );
     ]
