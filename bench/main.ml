@@ -31,6 +31,9 @@ let run_perf = ref true
 let run_soak = ref false
 let run_fleet = ref false
 let run_diagnosis = ref false
+let run_scaling = ref false
+let scaling_gen = ref "gates=120k,reconv=0.3,seed=7"
+let history_keep = ref 50
 let seed () = !bench_cfg.Run_config.seed
 let jobs () = !bench_cfg.Run_config.jobs
 
@@ -38,7 +41,7 @@ let usage () =
   prerr_endline
     "usage: main.exe [--full] [--seed N] [--jobs N] [--window N] [--metrics] \
      [--trace FILE] [--no-micro | --micro-only] [--no-perf] [--soak] [--fleet] \
-     [--diagnosis] [EXPERIMENT ...]";
+     [--diagnosis] [--scaling] [--gen SPEC] [--history-keep N] [EXPERIMENT ...]";
   Printf.eprintf "experiments: %s\n" (String.concat ", " Harness.experiment_names);
   exit 2
 
@@ -74,6 +77,16 @@ let parse_args () =
     | "--diagnosis" :: rest ->
         run_diagnosis := true;
         go rest
+    | "--scaling" :: rest ->
+        run_scaling := true;
+        go rest
+    | "--gen" :: spec :: rest ->
+        scaling_gen := spec;
+        go rest
+    | "--history-keep" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some k -> history_keep := k; go rest
+        | None -> usage ())
     | ("--help" | "-h") :: _ -> usage ()
     | w :: rest ->
         if List.mem w Harness.experiment_names then begin
@@ -135,6 +148,7 @@ let json_escape s =
 let soak_summary = ref None
 let fleet_summary = ref None
 let diagnosis_summary = ref None
+let scaling_summary = ref None
 
 (* Strips "cached" fields at every depth: diagnose replies carry a
    nested dictionary-cache flag besides the top-level setup one. *)
@@ -576,11 +590,17 @@ let write_bench_json ~circuit ~collapse ~kernels ~speedup ~atpg =
   (match !diagnosis_summary with
   | None -> ()
   | Some diagnosis -> bf ", \"diagnosis\": %s" diagnosis);
+  (match !scaling_summary with
+  | None -> ()
+  | Some scaling -> bf ", \"scaling\": %s" scaling);
   (match phase_fields () with
   | [] -> ()
   | phases -> bf ", \"phases\": [%s]" (String.concat ", " phases));
   bf "}";
-  let entries = existing_entries "BENCH_adi.json" @ [ Buffer.contents b ] in
+  let entries =
+    Bench_history.prune ~keep:!history_keep
+      (existing_entries "BENCH_adi.json" @ [ Buffer.contents b ])
+  in
   let oc = open_out "BENCH_adi.json" in
   Fun.protect ~finally:(fun () -> close_out_noerr oc) @@ fun () ->
   let pf fmt = Printf.fprintf oc fmt in
@@ -650,6 +670,104 @@ let run_diagnosis_stage () =
          (String.concat ", " rows));
   Printf.printf "  diagnostic order never lost to the generation order\n\n%!"
 
+(* ---------- scaling study ----------------------------------------- *)
+
+(* Wide-block throughput at scale: a generated circuit far past the
+   suite sizes (>= 10^5 gates by default, --gen overrides the spec), a
+   spread fault sample, and a jobs x block-width grid of non-dropping
+   detection_sets runs — every grid point asserted word-identical to
+   the event kernel at width 1 — followed by a time-budgeted
+   speculative ATPG burst.  The numbers, and the circuit's structural
+   digest (the determinism witness), land in the BENCH_adi.json entry
+   as a "scaling" object; CI's perf gate checks its schema. *)
+
+let run_scaling_stage () =
+  let spec = Generate.spec_of_string !scaling_gen in
+  let c, build_s = time (fun () -> Generate.build spec) in
+  let digest = Generate.digest c in
+  Printf.printf
+    "Scaling study (%s):\n\
+    \  %d gates, %d inputs, %d outputs, depth %d (built in %.2f s)\n\
+    \  digest %s\n%!"
+    (Generate.spec_to_string spec) (Circuit.gate_count c)
+    (Array.length (Circuit.inputs c))
+    (Array.length (Circuit.outputs c))
+    (Circuit.depth c) build_s digest;
+  (* An evenly spread fault sample keeps the grid tractable at
+     10^5..10^6 gates while still spanning the whole netlist. *)
+  let full_fl = Fault_list.full c in
+  let nfull = Fault_list.count full_fl in
+  let nsample = min 1000 nfull in
+  let fl = Fault_list.sub full_fl (Array.init nsample (fun i -> i * (nfull / nsample))) in
+  let rng = Util.Rng.create (seed ()) in
+  let pats =
+    Patterns.random rng ~n_inputs:(Array.length (Circuit.inputs c)) ~count:1024
+  in
+  Printf.printf "  %d sampled faults (of %d), %d patterns\n%!" nsample nfull
+    (Patterns.count pats);
+  let reference, t_ref = time (fun () -> Faultsim.detection_sets fl pats) in
+  Printf.printf "  detection_sets  event jobs=1 w=1  %8.3f s (reference)\n%!" t_ref;
+  let identical sets =
+    let ok = ref true in
+    Array.iteri (fun i d -> if not (Util.Bitvec.equal d sets.(i)) then ok := false) reference;
+    !ok
+  in
+  let grid =
+    List.concat_map
+      (fun j ->
+        List.map
+          (fun w ->
+            let sets, t =
+              time (fun () ->
+                  Faultsim.detection_sets ~jobs:j ~kernel:Faultsim.Stem ~block_width:w
+                    fl pats)
+            in
+            Printf.printf "  detection_sets  stem  jobs=%d w=%d  %8.3f s\n%!" j w t;
+            if not (identical sets) then
+              failwith "bench: scaling grid point differs from the event/width-1 reference";
+            Printf.sprintf
+              "{\"jobs\": %d, \"block_width\": %d, \"wall_s\": %.6f, \"identical\": true}"
+              j w t)
+          [ 1; 2; 4; 8 ])
+      (List.sort_uniq compare [ 1; jobs () ])
+  in
+  (* Speculative ATPG burst under a whole-run wall-clock budget: how
+     far the engine gets on the sampled universe in a fixed slice. *)
+  let budget_s = 5.0 in
+  let ecfg = Run_config.engine_config !bench_cfg in
+  let window = max 2 ecfg.Engine.window in
+  let config =
+    { ecfg with Engine.jobs = jobs (); window; time_budget_s = Some budget_s }
+  in
+  let r, t_atpg =
+    time (fun () -> Engine.run ~config fl ~order:(Array.init nsample Fun.id))
+  in
+  let ntests = Patterns.count r.Engine.tests in
+  let detected =
+    Array.fold_left (fun a d -> if d >= 0 then a + 1 else a) 0 r.Engine.detected_by
+  in
+  Printf.printf
+    "  atpg  jobs=%d window=%d budget=%.0fs: %d tests, %d/%d detected in %.3f s%s\n\n%!"
+    (jobs ()) window budget_s ntests detected nsample t_atpg
+    (if r.Engine.interrupted then " (budget expired)" else "");
+  scaling_summary :=
+    Some
+      (Printf.sprintf
+         "{\"spec\": \"%s\", \"digest\": \"%s\", \"gates\": %d, \"inputs\": %d, \
+          \"outputs\": %d, \"depth\": %d, \"build_s\": %.6f, \"faults_sampled\": %d, \
+          \"faults_full\": %d, \"patterns\": %d, \"reference_wall_s\": %.6f, \
+          \"grid\": [%s], \"atpg\": {\"budget_s\": %.1f, \"jobs\": %d, \"window\": %d, \
+          \"wall_s\": %.6f, \"tests\": %d, \"detected\": %d, \"interrupted\": %s, \
+          \"tests_per_s\": %.2f}}"
+         (json_escape (Generate.spec_to_string spec))
+         (json_escape digest) (Circuit.gate_count c)
+         (Array.length (Circuit.inputs c))
+         (Array.length (Circuit.outputs c))
+         (Circuit.depth c) build_s nsample nfull (Patterns.count pats) t_ref
+         (String.concat ", " grid) budget_s (jobs ()) window t_atpg ntests detected
+         (if r.Engine.interrupted then "true" else "false")
+         (if t_atpg > 0.0 then float_of_int ntests /. t_atpg else 0.0))
+
 let run_perf_kernels () =
   let name = if !full then "syn5378" else "syn1196" in
   let jobs = jobs () in
@@ -676,6 +794,20 @@ let run_perf_kernels () =
     time (fun () -> Faultsim.detection_sets ~kernel:Faultsim.Cpt fl pats)
   in
   Printf.printf "  detection_sets  cpt (1 dom)       %8.3f s\n%!" t_cpt;
+  (* Wide superblocks: the same kernels over 4- and 8-word lanes
+     (256 / 512 patterns per pass), still single-domain. *)
+  let stem_w4, t_stem_w4 =
+    time (fun () -> Faultsim.detection_sets ~kernel:Faultsim.Stem ~block_width:4 fl pats)
+  in
+  Printf.printf "  detection_sets  stem w4 (1 dom)   %8.3f s\n%!" t_stem_w4;
+  let stem_w8, t_stem_w8 =
+    time (fun () -> Faultsim.detection_sets ~kernel:Faultsim.Stem ~block_width:8 fl pats)
+  in
+  Printf.printf "  detection_sets  stem w8 (1 dom)   %8.3f s\n%!" t_stem_w8;
+  let event_w8, t_event_w8 =
+    time (fun () -> Faultsim.detection_sets ~block_width:8 fl pats)
+  in
+  Printf.printf "  detection_sets  event w8 (1 dom)  %8.3f s\n%!" t_event_w8;
   (* The dominance row times the target-list reduction: the prime
      (dominance-surviving) universe under the probe kernel. *)
   let _, t_dom =
@@ -688,12 +820,18 @@ let run_perf_kernels () =
       if
         (not (Util.Bitvec.equal d pooled.(i)))
         || (not (Util.Bitvec.equal d stem.(i)))
-        || not (Util.Bitvec.equal d cpt.(i))
-      then failwith "bench: parallel/stem/cpt detection sets differ from serial")
+        || (not (Util.Bitvec.equal d cpt.(i)))
+        || (not (Util.Bitvec.equal d stem_w4.(i)))
+        || (not (Util.Bitvec.equal d stem_w8.(i)))
+        || not (Util.Bitvec.equal d event_w8.(i))
+      then failwith "bench: kernel/width detection sets differ from serial")
     serial;
   let speedup = t_serial /. t_pooled in
-  Printf.printf "  all four agree word-for-word; speedup (jobs=%d vs serial): %.2fx\n\n%!"
-    jobs speedup;
+  Printf.printf
+    "  all seven agree word-for-word; speedup (jobs=%d vs serial): %.2fx, \
+     (stem w8 vs stem w1): %.2fx\n\n%!"
+    jobs speedup
+    (if t_stem_w8 > 0.0 then t_stem /. t_stem_w8 else 0.0);
   (* ATPG phase: serial engine vs speculative lookahead, same prepared
      setup, byte-identical test sets by construction (checked). *)
   let cfg = !bench_cfg in
@@ -733,6 +871,9 @@ let run_perf_kernels () =
         (Printf.sprintf "detection_sets/jobs%d" jobs, jobs, t_pooled);
         ("detection_sets/stem_first", 1, t_stem);
         ("detection_sets/cpt", 1, t_cpt);
+        ("detection_sets/stem_w4", 1, t_stem_w4);
+        ("detection_sets/stem_w8", 1, t_stem_w8);
+        ("detection_sets/event_w8", 1, t_event_w8);
         ("detection_sets/dominance", 1, t_dom);
         ("atpg/serial", 1, t_atpg_serial);
         (Printf.sprintf "atpg/spec_w%d" window, jobs, t_atpg_spec);
@@ -941,6 +1082,7 @@ let () =
         if !run_soak then run_soak_stage ();
         if !run_fleet then run_fleet_stage ();
         if !run_diagnosis then run_diagnosis_stage ();
+        if !run_scaling then run_scaling_stage ();
         if !run_perf then run_perf_kernels ();
         if !run_micro then run_micro_benches ())
   with

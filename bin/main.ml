@@ -138,7 +138,10 @@ let sim_cmd =
     let fl = Collapse.collapsed c in
     let rng = Util.Rng.create cfg.Run_config.seed in
     let pats = Patterns.random rng ~n_inputs:(Array.length (Circuit.inputs c)) ~count:n in
-    let { Faultsim.detected; _ } = Faultsim.with_dropping ~jobs:cfg.Run_config.jobs fl pats in
+    let { Faultsim.detected; _ } =
+      Faultsim.with_dropping ~jobs:cfg.Run_config.jobs
+        ~block_width:cfg.Run_config.block_width fl pats
+    in
     Printf.printf "%d random vectors detect %d / %d collapsed faults (%.2f%%)\n" n detected
       (Fault_list.count fl)
       (100.0 *. float_of_int detected /. float_of_int (Fault_list.count fl))
@@ -277,15 +280,32 @@ let atpg_cmd =
 let gen_cmd =
   let pis = Arg.(value & opt int 20 & info [ "pis" ] ~docv:"N" ~doc:"Primary inputs.") in
   let gates = Arg.(value & opt int 200 & info [ "gates" ] ~docv:"N" ~doc:"Logic gates.") in
+  let spec =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "gen" ] ~docv:"SPEC"
+          ~doc:
+            "Use the parameterised scalable family instead of --pis/--gates/--seed: \
+             comma-separated key=value pairs (gates, pis, outputs, seed, locality, \
+             reconv, arity; integers accept k/m suffixes), e.g. \
+             gates=100k,reconv=0.3,seed=7. Deterministic: the structural digest is \
+             printed so runs can be cross-checked.")
+  in
   let irr =
     Arg.(value & flag & info [ "irredundant" ] ~doc:"Run redundancy removal on the result.")
   in
   let out =
     Arg.(value & opt (some string) None & info [ "o" ] ~docv:"FILE" ~doc:"Output .bench path.")
   in
-  let run pis gates seed irr out = guard @@ fun () ->
-    let c = Generate.random ~seed ~name:"generated" (Generate.profile ~pis ~gates ()) in
+  let run pis gates seed spec irr out = guard @@ fun () ->
+    let c =
+      match spec with
+      | Some text -> Generate.build (Generate.spec_of_string text)
+      | None -> Generate.random ~seed ~name:"generated" (Generate.profile ~pis ~gates ())
+    in
     let c = if irr then fst (Irredundant.remove c) else c in
+    if spec <> None then Printf.eprintf "digest: %s\n%!" (Generate.digest c);
     match out with
     | Some path ->
         if Filename.check_suffix path ".blif" then Blif_format.write_file path c
@@ -295,7 +315,7 @@ let gen_cmd =
   in
   Cmd.v
     (Cmd.info "gen" ~doc:"Generate a random benchmark circuit")
-    Term.(const run $ pis $ gates $ seed_arg $ irr $ out)
+    Term.(const run $ pis $ gates $ seed_arg $ spec $ irr $ out)
 
 (* --- coverage ------------------------------------------------------ *)
 

@@ -42,13 +42,14 @@ let of_dsets estimator fault_list patterns dsets =
   end;
   { fault_list; patterns; dsets; ndet; adi }
 
-let compute ?(estimator = Minimum) ?(jobs = 1) ?kernel fault_list patterns =
+let compute ?(estimator = Minimum) ?(jobs = 1) ?kernel ?block_width fault_list patterns =
   of_dsets estimator fault_list patterns
-    (Faultsim.detection_sets ~jobs ?kernel fault_list patterns)
+    (Faultsim.detection_sets ~jobs ?kernel ?block_width fault_list patterns)
 
-let compute_n_detection ?(estimator = Minimum) ?(jobs = 1) ?kernel ~n fault_list patterns =
+let compute_n_detection ?(estimator = Minimum) ?(jobs = 1) ?kernel ?block_width ~n
+    fault_list patterns =
   of_dsets estimator fault_list patterns
-    (Faultsim.detection_sets_capped ~jobs ?kernel fault_list patterns ~n)
+    (Faultsim.detection_sets_capped ~jobs ?kernel ?block_width fault_list patterns ~n)
 
 let detected t fi = t.adi.(fi) > 0
 
@@ -73,11 +74,14 @@ let coverage_of_u t =
 
 type u_selection = { u : Patterns.t; pool_detected : int; prefix_detected : int }
 
-let select_u ?(pool = 10_000) ?(target_coverage = 0.9) ?(jobs = 1) ?kernel rng fl =
+let select_u ?(pool = 10_000) ?(target_coverage = 0.9) ?(jobs = 1) ?kernel ?block_width rng fl
+    =
   let c = Fault_list.circuit fl in
   let n_inputs = Array.length (Circuit.inputs c) in
   let pats = Patterns.random rng ~n_inputs ~count:pool in
-  let { Faultsim.first_detection; detected } = Faultsim.with_dropping ~jobs ?kernel fl pats in
+  let { Faultsim.first_detection; detected } =
+    Faultsim.with_dropping ~jobs ?kernel ?block_width fl pats
+  in
   let nf = Fault_list.count fl in
   (* When the pool cannot reach the target (redundant faults), fall
      back to the target fraction of what the pool does detect, so U

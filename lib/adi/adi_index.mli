@@ -30,19 +30,22 @@ val compute :
   ?estimator:estimator ->
   ?jobs:int ->
   ?kernel:Faultsim.kernel ->
+  ?block_width:int ->
   Fault_list.t ->
   Patterns.t ->
   t
 (** Full non-dropping fault simulation of [U] followed by the chosen
     reduction (default {!Minimum}).  Cost: one
     {!Faultsim.detection_sets} run.  [jobs] (default 1) sizes the
-    simulation's domain pool and [kernel] selects the detection-word
-    kernel; results are identical for any values. *)
+    simulation's domain pool, [kernel] selects the detection-word
+    kernel and [block_width] the superblock width; results are
+    identical for any values. *)
 
 val compute_n_detection :
   ?estimator:estimator ->
   ?jobs:int ->
   ?kernel:Faultsim.kernel ->
+  ?block_width:int ->
   n:int ->
   Fault_list.t ->
   Patterns.t ->
@@ -82,6 +85,7 @@ val select_u :
   ?target_coverage:float ->
   ?jobs:int ->
   ?kernel:Faultsim.kernel ->
+  ?block_width:int ->
   Util.Rng.t ->
   Fault_list.t ->
   u_selection

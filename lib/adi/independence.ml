@@ -42,11 +42,8 @@ let independent_sets (t : Adi_index.t) =
         (fun fi ->
           let d = t.dsets.(fi) in
           if not (Bitvec.is_zero d) then begin
-            let overlap =
-              let inter = Bitvec.copy d in
-              Bitvec.inter_into ~dst:inter union;
-              not (Bitvec.is_zero inter)
-            in
+            (* Fused intersection-popcount: no temporary vector. *)
+            let overlap = Bitvec.and_popcount d union > 0 in
             if not overlap then begin
               chosen := fi :: !chosen;
               Bitvec.union_into ~dst:union d

@@ -3,6 +3,7 @@ type t = {
   pool : int;
   target_coverage : float;
   jobs : int;
+  block_width : int;
   window : int option;
   faultsim_kernel : Faultsim.kernel option;
   order : Ordering.kind;
@@ -25,6 +26,7 @@ let default =
     pool = 10_000;
     target_coverage = 0.9;
     jobs = 1;
+    block_width = 1;
     window = None;
     faultsim_kernel = None;
     order = Ordering.Dynm0;
@@ -57,6 +59,12 @@ let with_target_coverage target_coverage t =
 let with_jobs jobs t =
   if jobs < 1 then bad "--jobs must be at least 1 (got %d)" jobs;
   { t with jobs }
+
+let with_block_width block_width t =
+  (match block_width with
+  | 1 | 2 | 4 | 8 -> ()
+  | w -> bad "--block-width must be 1, 2, 4 or 8 (got %d)" w);
+  { t with block_width }
 
 let with_window window t =
   (match window with
@@ -107,7 +115,9 @@ let validate t =
   ignore
     (default |> with_seed t.seed |> with_pool t.pool
     |> with_target_coverage t.target_coverage
-    |> with_jobs t.jobs |> with_window t.window
+    |> with_jobs t.jobs
+    |> with_block_width t.block_width
+    |> with_window t.window
     |> with_backtrack_limit t.backtrack_limit |> with_retries t.retries
     |> with_time_budget t.time_budget_s
     |> with_per_fault_budget t.per_fault_budget_s

@@ -19,6 +19,10 @@ type t = {
   pool : int;  (** candidate vectors for U selection *)
   target_coverage : float;  (** U-selection coverage target, in (0, 1] *)
   jobs : int;  (** fault-simulation domain-pool lanes *)
+  block_width : int;
+      (** 64-bit words per simulation lane (1, 2, 4 or 8 — 64 to 512
+          patterns per pass).  A pure throughput knob: detection words
+          are bit-identical for every width *)
   window : int option;
       (** speculative-lookahead width for ATPG runs; [None] defaults to
           [4 * jobs] when the engine configuration is built *)
@@ -62,6 +66,10 @@ val with_target_coverage : float -> t -> t
 val with_jobs : int -> t -> t
 (** Rejects [jobs < 1] before the value can reach the domain pool. *)
 
+val with_block_width : int -> t -> t
+(** Rejects widths outside [{1, 2, 4, 8}].  Results are bit-identical
+    for every accepted width. *)
+
 val with_window : int option -> t -> t
 (** Rejects [window < 1]; results are byte-identical for every width
     (the window, like [jobs], is a pure throughput knob). *)
@@ -95,9 +103,9 @@ val observed : t -> bool
 val fingerprint : t -> string
 (** Canonical rendering of exactly the fields that determine a
     {!Pipeline.prepare} result for a given circuit — [seed], [pool]
-    and [target_coverage].  [jobs], the engine knobs and the
-    observability flags are deliberately excluded: they never change
-    the prepared artifacts.  This is the configuration half of the
+    and [target_coverage].  [jobs], [block_width], the engine knobs
+    and the observability flags are deliberately excluded: they never
+    change the prepared artifacts.  This is the configuration half of the
     service store's content-addressed cache key, so its format is
     stable: two configurations share a fingerprint iff they prepare
     byte-identical setups. *)

@@ -52,7 +52,7 @@ let reverse_order ?(jobs = 1) fl pats =
   let wss = Array.init jobs (fun _ -> Faultsim.workspace c) in
   let pool = if jobs > 1 then Some (Parallel.create ~jobs ()) else None in
   Fun.protect ~finally:(fun () -> Option.iter Parallel.shutdown pool) @@ fun () ->
-  let good = Array.make (Circuit.node_count c) 0L in
+  let good = Faultsim.good_arena wss.(0) in
   let detected = Array.make nf false in
   let hit = Array.make nf false in
   (* Fill [hit] for the live faults — each lane writes a static slice,
@@ -82,7 +82,7 @@ let reverse_order ?(jobs = 1) fl pats =
   for t = Patterns.count pats - 1 downto 0 do
     let vec = Patterns.vector pats t in
     let single = Patterns.of_vectors ~n_inputs [| vec |] in
-    Goodsim.block_into c single 0 good;
+    Faultsim.load_good wss.(0) good single 0;
     scan ();
     let useful = ref false in
     for fi = 0 to nf - 1 do

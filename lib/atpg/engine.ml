@@ -201,7 +201,7 @@ let run ?(config = default_config) ?resume ?checkpoint_every ?on_checkpoint
     }
   in
   let n_inputs = Array.length (Circuit.inputs c) in
-  let good = Array.make (Circuit.node_count c) 0L in
+  let good = Faultsim.good_arena wss.(0) in
   (* Observability handles; all dummies when tracing is off. *)
   let h_good = Trace.histogram tr "engine.goodsim_block_s" in
   let h_drops = Trace.histogram tr "engine.drops_per_test" in
@@ -214,7 +214,7 @@ let run ?(config = default_config) ?resume ?checkpoint_every ?on_checkpoint
   let drop_counts = Array.make jobs 0 in
   let simulate_and_drop vec test_idx =
     let pats = Patterns.of_vectors ~n_inputs [| vec |] in
-    Trace.time tr h_good (fun () -> Goodsim.block_into c pats 0 good);
+    Trace.time tr h_good (fun () -> Faultsim.load_good wss.(0) good pats 0);
     if observed then Array.fill drop_counts 0 jobs 0;
     fault_scan pool wss nf (fun lane ws fi ->
         if detected_by.(fi) < 0 then
@@ -537,11 +537,11 @@ let run_n_detect ?(config = default_config) ~n fl ~order =
   let tests = ref [] and targeted = ref [] and n_tests = ref 0 in
   let interrupted = ref false in
   let n_inputs = Array.length (Circuit.inputs c) in
-  let good = Array.make (Circuit.node_count c) 0L in
+  let good = Faultsim.good_arena wss.(0) in
   let hopeless = Array.make nf false in
   let simulate vec test_idx =
     let pats = Patterns.of_vectors ~n_inputs [| vec |] in
-    Goodsim.block_into c pats 0 good;
+    Faultsim.load_good wss.(0) good pats 0;
     fault_scan pool wss nf (fun _lane ws fi ->
         if counts.(fi) < n then
           if Int64.logand (Faultsim.detect_block ws ~good (Fault_list.get fl fi)) 1L = 1L
@@ -624,10 +624,10 @@ let run_compacting ?(config = default_config) ?(secondary_limit = 50) fl ~order 
   let tests = ref [] and targeted = ref [] and n_tests = ref 0 in
   let interrupted = ref false in
   let n_inputs = Array.length (Circuit.inputs c) in
-  let good = Array.make (Circuit.node_count c) 0L in
+  let good = Faultsim.good_arena wss.(0) in
   let simulate_and_drop vec test_idx =
     let pats = Patterns.of_vectors ~n_inputs [| vec |] in
-    Goodsim.block_into c pats 0 good;
+    Faultsim.load_good wss.(0) good pats 0;
     fault_scan pool wss nf (fun _lane ws fi ->
         if detected_by.(fi) < 0 then
           if Int64.logand (Faultsim.detect_block ws ~good (Fault_list.get fl fi)) 1L = 1L

@@ -83,6 +83,228 @@ let random ?(seed = 0) ~name prof =
   done;
   B.finish b
 
+(* --- parameterised scalable family -------------------------------- *)
+
+(* [random] above is frozen: the regression suite's circuits (syn208 …
+   syn13207) are its output and their netlists are pinned by cram and
+   bench history, so its draw sequence must never change.  The family
+   generator below is a separate code path built for scale (10^5–10^6
+   gates): O(1) fanin draws via an explicit fresh-node pool with
+   swap-removal, and direct fanout/reconvergence control. *)
+
+type spec = {
+  s_gates : int;
+  s_pis : int;
+  s_outputs : int option;  (* sink floor; [None] derives from [s_pis] *)
+  s_seed : int;
+  s_locality : float;
+  s_reconvergence : float;
+  s_max_arity : int;
+}
+
+let bad fmt = Util.Diagnostics.fail Util.Diagnostics.Invalid_flag fmt
+
+let default_spec =
+  {
+    s_gates = 10_000;
+    s_pis = 64;
+    s_outputs = None;
+    s_seed = 0;
+    s_locality = 0.6;
+    s_reconvergence = 0.3;
+    s_max_arity = 4;
+  }
+
+let validate_spec s =
+  if s.s_gates < 1 then bad "--gen gates must be at least 1 (got %d)" s.s_gates;
+  if s.s_pis < 1 then bad "--gen pis must be at least 1 (got %d)" s.s_pis;
+  (match s.s_outputs with
+  | Some o when o < 1 -> bad "--gen outputs must be at least 1 (got %d)" o
+  | _ -> ());
+  if not (s.s_locality >= 0.0 && s.s_locality <= 1.0) then
+    bad "--gen locality must be in [0, 1] (got %g)" s.s_locality;
+  if not (s.s_reconvergence >= 0.0 && s.s_reconvergence <= 1.0) then
+    bad "--gen reconv must be in [0, 1] (got %g)" s.s_reconvergence;
+  if s.s_max_arity < 2 || s.s_max_arity > 8 then
+    bad "--gen arity must be in [2, 8] (got %d)" s.s_max_arity;
+  s
+
+(* "gates=100k,reconv=0.3,seed=7": comma-separated key=value pairs over
+   [default_spec].  Integers accept k/m suffixes (100k = 100_000). *)
+let spec_of_string text =
+  let suffixed_int key v =
+    let n = String.length v in
+    let mul, core =
+      if n = 0 then (1, v)
+      else
+        match v.[n - 1] with
+        | 'k' | 'K' -> (1_000, String.sub v 0 (n - 1))
+        | 'm' | 'M' -> (1_000_000, String.sub v 0 (n - 1))
+        | _ -> (1, v)
+    in
+    match int_of_string_opt core with
+    | Some i -> i * mul
+    | None -> bad "--gen %s expects an integer (got %S)" key v
+  in
+  let float_val key v =
+    match float_of_string_opt v with
+    | Some x -> x
+    | None -> bad "--gen %s expects a number (got %S)" key v
+  in
+  let apply s item =
+    if item = "" then s
+    else
+      match String.index_opt item '=' with
+      | None -> bad "--gen expects key=value pairs (got %S)" item
+      | Some i -> (
+          let key = String.sub item 0 i in
+          let v = String.sub item (i + 1) (String.length item - i - 1) in
+          match key with
+          | "gates" -> { s with s_gates = suffixed_int key v }
+          | "pis" -> { s with s_pis = suffixed_int key v }
+          | "outputs" -> { s with s_outputs = Some (suffixed_int key v) }
+          | "seed" -> { s with s_seed = suffixed_int key v }
+          | "locality" | "loc" -> { s with s_locality = float_val key v }
+          | "reconvergence" | "reconv" -> { s with s_reconvergence = float_val key v }
+          | "arity" -> { s with s_max_arity = suffixed_int key v }
+          | _ ->
+              bad
+                "--gen: unknown key %S (expected gates, pis, outputs, seed, locality, \
+                 reconv or arity)"
+                key)
+  in
+  validate_spec (List.fold_left apply default_spec (String.split_on_char ',' text))
+
+let spec_to_string s =
+  Printf.sprintf "gates=%d,pis=%d%s,seed=%d,locality=%g,reconv=%g,arity=%d" s.s_gates s.s_pis
+    (match s.s_outputs with Some o -> Printf.sprintf ",outputs=%d" o | None -> "")
+    s.s_seed s.s_locality s.s_reconvergence s.s_max_arity
+
+let family_arity rng max_arity k =
+  match k with
+  | Gate.Not | Gate.Buf -> 1
+  | Gate.Xor | Gate.Xnor -> 2
+  | _ ->
+      let r = Rng.int rng 10 in
+      if r < 7 || max_arity = 2 then 2
+      else if r < 9 || max_arity = 3 then 3
+      else 4 + Rng.int rng (max_arity - 3)
+
+let build ?name spec =
+  let spec = validate_spec spec in
+  let name = match name with Some n -> n | None -> "gen[" ^ spec_to_string spec ^ "]" in
+  let rng = Rng.create spec.s_seed in
+  let b = B.create ~title:name () in
+  let n_total = spec.s_pis + spec.s_gates in
+  let out_floor =
+    match spec.s_outputs with Some o -> max 1 o | None -> max 2 (spec.s_pis / 2)
+  in
+  let nodes = Array.make n_total 0 in
+  (* Fresh pool: nodes no gate has consumed yet.  [pos.(i)] is node
+     [i]'s slot in [fresh], or -1 once consumed — swap-removal keeps
+     every draw O(1), which is what lets the family reach 10^6 gates. *)
+  let fresh = Array.make n_total 0 in
+  let fresh_len = ref 0 in
+  let pos = Array.make n_total (-1) in
+  let push i =
+    fresh.(!fresh_len) <- i;
+    pos.(i) <- !fresh_len;
+    incr fresh_len
+  in
+  let consume i =
+    let p = pos.(i) in
+    if p >= 0 then begin
+      let last = fresh.(!fresh_len - 1) in
+      fresh.(p) <- last;
+      pos.(last) <- p;
+      decr fresh_len;
+      pos.(i) <- -1
+    end
+  in
+  for i = 0 to spec.s_pis - 1 do
+    nodes.(i) <- B.input b (Printf.sprintf "pi%d" i);
+    push i
+  done;
+  let total = ref spec.s_pis in
+  (* One fanin draw.  The reconvergence fraction reuses any existing
+     node (multi-fanout stems, reconvergent paths); the rest take a
+     fresh node — recency-biased so the circuit deepens — keeping the
+     backbone tree-like and hence largely irredundant.  The fresh pool
+     is never drained below the sink floor. *)
+  let draw_fanin () =
+    if !fresh_len <= out_floor || Rng.float rng 1.0 < spec.s_reconvergence then
+      Rng.int rng !total
+    else if Rng.float rng 1.0 < spec.s_locality then
+      fresh.(!fresh_len - 1 - Rng.int rng (min (max 8 (!fresh_len / 4)) !fresh_len))
+    else fresh.(Rng.int rng !fresh_len)
+  in
+  for g = 0 to spec.s_gates - 1 do
+    let k = pick_kind rng in
+    let arity = min (family_arity rng spec.s_max_arity k) !total in
+    let chosen = ref [] in
+    let n_chosen = ref 0 in
+    let attempts = ref 0 in
+    while !n_chosen < arity && !attempts < 64 do
+      incr attempts;
+      let idx = draw_fanin () in
+      if not (List.mem idx !chosen) then begin
+        chosen := idx :: !chosen;
+        incr n_chosen
+      end
+    done;
+    let rec pad i =
+      if !n_chosen < arity && i < !total then begin
+        if not (List.mem i !chosen) then begin
+          chosen := i :: !chosen;
+          incr n_chosen
+        end;
+        pad (i + 1)
+      end
+    in
+    pad 0;
+    let chosen = List.rev !chosen in
+    List.iter consume chosen;
+    nodes.(!total) <- B.gate b k (Printf.sprintf "g%d" g) (List.map (fun i -> nodes.(i)) chosen);
+    push !total;
+    incr total
+  done;
+  (* Unconsumed nodes are the sinks; at least [out_floor] of them
+     survive by construction, and every one is observed so no logic is
+     structurally dead. *)
+  for j = 0 to !fresh_len - 1 do
+    B.mark_output b nodes.(fresh.(j))
+  done;
+  B.finish b
+
+(* Structural digest: gate kinds, fanin wiring, PI/PO sets — no names,
+   no titles — so it identifies the generated function-structure
+   itself.  The determinism contract (same spec => same digest) is what
+   the bench history and the qcheck suite pin. *)
+let digest c =
+  let buf = Buffer.create (Circuit.node_count c * 8) in
+  Buffer.add_string buf (string_of_int (Circuit.node_count c));
+  Circuit.iter_nodes c (fun n ->
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (Gate.to_string (Circuit.kind c n));
+      Array.iter
+        (fun f ->
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf (string_of_int f))
+        (Circuit.fanins c n));
+  Buffer.add_char buf '|';
+  Array.iter
+    (fun i ->
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (string_of_int i))
+    (Circuit.inputs c);
+  Buffer.add_char buf '|';
+  Array.iter
+    (fun o ->
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (string_of_int o))
+    (Circuit.outputs c);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
 let revive_dead_inputs rng c =
   let dead =
     Array.to_list (Circuit.inputs c)

@@ -52,7 +52,7 @@ let block_mask count b =
   let cnt = count - (b * 64) in
   if cnt >= 64 then -1L else Int64.sub (Int64.shift_left 1L cnt) 1L
 
-let build ?(jobs = 1) fl pats =
+let build ?(jobs = 1) ?(block_width = 1) fl pats =
   let c = Fault_list.circuit fl in
   let nf = Fault_list.count fl in
   let nt = Patterns.count pats in
@@ -61,42 +61,50 @@ let build ?(jobs = 1) fl pats =
   Trace.span tr
     ~attrs:
       [ ("faults", Trace.Int nf); ("tests", Trace.Int nt);
-        ("outputs", Trace.Int nout); ("jobs", Trace.Int jobs) ]
+        ("outputs", Trace.Int nout); ("jobs", Trace.Int jobs);
+        ("block_width", Trace.Int block_width) ]
     "diagnosis.build"
   @@ fun () ->
+  let width = block_width in
   let signatures = Array.init nf (fun _ -> Bitvec.create nt) in
   let dense = Array.init nf (fun _ -> Array.init nout (fun _ -> Bitvec.create nt)) in
   let good_out = Goodsim.outputs c pats in
   let nblocks = Patterns.blocks pats in
+  let nsb = (nblocks + width - 1) / width in
   (* Mirrors [Faultsim.detection_sets_pooled]: each lane owns a static
-     slice of the pattern blocks and writes only its blocks' words, so
-     the result is bit-identical for any [jobs]. *)
+     slice of the pattern superblocks and writes only its blocks'
+     words, so the result is bit-identical for any [jobs] and any
+     [block_width]. *)
   Parallel.with_pool ~jobs (fun pool ->
-      let k = min (Parallel.jobs pool) (max nblocks 1) in
-      let wss = Array.init k (fun _ -> Faultsim.workspace c) in
+      let k = min (Parallel.jobs pool) (max nsb 1) in
+      let wss = Array.init k (fun _ -> Faultsim.workspace ~width c) in
       Parallel.run pool
         (Array.init k (fun lane ->
              fun () ->
               let ws = wss.(lane) in
-              let good = Array.make (Circuit.node_count c) 0L in
-              let out = Array.make nout 0L in
-              for b = lane * nblocks / k to ((lane + 1) * nblocks / k) - 1 do
-                Goodsim.block_into c pats b good;
-                let mask = block_mask nt b in
+              let good = Faultsim.good_arena ws in
+              let out = Array.make (nout * width) 0L in
+              for sb = lane * nsb / k to ((lane + 1) * nsb / k) - 1 do
+                Faultsim.load_good ws good pats sb;
+                let b0 = sb * width in
+                let lim = min width (nblocks - b0) in
                 for fi = 0 to nf - 1 do
-                  let d =
-                    Int64.logand
-                      (Faultsim.detect_block_outputs ws ~good ~out (Fault_list.get fl fi))
-                      mask
+                  let det =
+                    Faultsim.detect_block_outputs ws ~good ~out (Fault_list.get fl fi)
                   in
-                  if d <> 0L then begin
-                    (Bitvec.words signatures.(fi)).(b) <- d;
-                    let row = dense.(fi) in
-                    for oi = 0 to nout - 1 do
-                      let w = Int64.logand out.(oi) mask in
-                      if w <> 0L then (Bitvec.words row.(oi)).(b) <- w
-                    done
-                  end
+                  for w = 0 to lim - 1 do
+                    let b = b0 + w in
+                    let mask = block_mask nt b in
+                    let d = Int64.logand det.(w) mask in
+                    if d <> 0L then begin
+                      (Bitvec.words signatures.(fi)).(b) <- d;
+                      let row = dense.(fi) in
+                      for oi = 0 to nout - 1 do
+                        let x = Int64.logand out.((oi * width) + w) mask in
+                        if x <> 0L then (Bitvec.words row.(oi)).(b) <- x
+                      done
+                    end
+                  done
                 done
               done));
       Faultsim.publish_stats tr wss);

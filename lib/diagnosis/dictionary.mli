@@ -9,14 +9,15 @@
     is observed at, enabling response-level matching.
 
     Building runs under a [diagnosis.build] trace span and, like every
-    simulator driver, is bit-identical for any [jobs]. *)
+    simulator driver, is bit-identical for any [jobs] and any
+    [block_width]. *)
 
 type t
 
 val magic : string
 val version : int
 
-val build : ?jobs:int -> Fault_list.t -> Patterns.t -> t
+val build : ?jobs:int -> ?block_width:int -> Fault_list.t -> Patterns.t -> t
 (** [build fl pats] simulates every fault of [fl] (event kernel,
     non-dropping) against [pats].  Requires a combinational circuit. *)
 

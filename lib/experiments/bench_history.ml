@@ -1,0 +1,62 @@
+(* BENCH_adi.json history retention.
+
+   The bench driver stores its history as one single-line JSON object
+   per run, newest last.  Left unchecked the file grows without bound
+   — every CI smoke run and every local bench appends — so the driver
+   prunes it on write: the newest [keep] entries per circuit survive,
+   everything older goes.  Pruning is per circuit so that a burst of
+   syn1196 runs cannot evict the only syn5378 history.
+
+   Entries are treated as opaque strings; only the "circuit" field is
+   sniffed out, with a tolerant scanner rather than a full JSON parse
+   (the v1 legacy entry is minified with irregular spacing).  Entries
+   without a recognisable circuit share one retention bucket. *)
+
+let is_space c = c = ' ' || c = '\t'
+
+(* Value of the top-level "circuit" key: find the quoted key, skip
+   [space] ':' [space], then read the quoted value.  Returns [None]
+   when the key is missing or not followed by a string. *)
+let circuit_of_entry entry =
+  let n = String.length entry in
+  (* Normalise away the optional space before ':' by scanning for the
+     quoted key name and then accepting whitespace around the colon. *)
+  let rec find i =
+    if i + 9 > n then None
+    else if String.sub entry i 9 = "\"circuit\"" then
+      let j = ref (i + 9) in
+      while !j < n && is_space entry.[!j] do incr j done;
+      if !j < n && entry.[!j] = ':' then begin
+        incr j;
+        while !j < n && is_space entry.[!j] do incr j done;
+        if !j < n && entry.[!j] = '"' then begin
+          let start = !j + 1 in
+          let stop = ref start in
+          while !stop < n && entry.[!stop] <> '"' do incr stop done;
+          if !stop < n then Some (String.sub entry start (!stop - start))
+          else None
+        end
+        else None
+      end
+      else find (i + 1)
+    else find (i + 1)
+  in
+  find 0
+
+let prune ~keep entries =
+  if keep <= 0 then entries
+  else begin
+    let counts = Hashtbl.create 8 in
+    (* Walk newest-first so "newest [keep] per circuit" is a simple
+       running count, then restore oldest-first order. *)
+    let kept_rev =
+      List.filter
+        (fun entry ->
+          let c = Option.value ~default:"" (circuit_of_entry entry) in
+          let seen = Option.value ~default:0 (Hashtbl.find_opt counts c) in
+          Hashtbl.replace counts c (seen + 1);
+          seen < keep)
+        (List.rev entries)
+    in
+    List.rev kept_rev
+  end

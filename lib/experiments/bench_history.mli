@@ -1,0 +1,16 @@
+(** Retention policy for the BENCH_adi.json run history.
+
+    The bench driver keeps its history as one single-line JSON object
+    per run, oldest first / newest last.  {!prune} caps that history
+    so the file cannot grow without bound. *)
+
+val circuit_of_entry : string -> string option
+(** The top-level ["circuit"] field of a single-line JSON entry, or
+    [None] when absent.  Tolerant of the spacing variations between
+    the v1 legacy entry and current v2 lines; no full JSON parse. *)
+
+val prune : keep:int -> string list -> string list
+(** [prune ~keep entries] keeps the newest [keep] entries {e per
+    circuit} ([entries] ordered oldest first), preserving order.
+    Entries without a recognisable circuit share one bucket.
+    [keep <= 0] disables pruning and returns [entries] unchanged. *)

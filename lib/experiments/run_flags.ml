@@ -38,6 +38,14 @@ let pipeline_specs =
       kind = Int Run_config.with_jobs;
     };
     {
+      names = [ "block-width" ];
+      docv = "W";
+      doc =
+        "64-bit words per simulation lane: 1, 2, 4 or 8 (64 to 512 patterns per pass). \
+         Results are bit-identical for any width.";
+      kind = Int Run_config.with_block_width;
+    };
+    {
       names = [ "pool" ];
       docv = "N";
       doc = "Candidate-vector pool size for U selection.";

@@ -98,6 +98,7 @@ let config_of_params t params =
   |> apply (int_param params "pool") Run_config.with_pool
   |> apply (float_param params "target_coverage") Run_config.with_target_coverage
   |> apply (int_param params "jobs") Run_config.with_jobs
+  |> apply (int_param params "block_width") Run_config.with_block_width
   |> apply (int_param params "window") (fun w -> Run_config.with_window (Some w))
   |> apply (str_param params "kernel") Run_flags.with_kernel_name
   |> apply (str_param params "order") Run_flags.with_order_name
@@ -360,7 +361,8 @@ let handle_diagnose t params budget =
   let dkey = Store.dict_key ~setup_key:key ~tests_digest in
   let dict, dict_cached =
     Store.find_or_build_dict t.store dkey (fun () ->
-        Diagnosis.Dictionary.build ~jobs:cfg.Run_config.jobs setup.Pipeline.faults tests)
+        Diagnosis.Dictionary.build ~jobs:cfg.Run_config.jobs
+          ~block_width:cfg.Run_config.block_width setup.Pipeline.faults tests)
   in
   check_budget budget ~phase:"during dictionary build";
   let nt = Diagnosis.Dictionary.test_count dict in

@@ -1,4 +1,5 @@
 module Bitvec = Util.Bitvec
+module Wordvec = Util.Wordvec
 module Parallel = Util.Parallel
 module Trace = Util.Trace
 module Metrics = Util.Metrics
@@ -14,21 +15,32 @@ let kernel_of_string = function
   | "cpt" -> Some Cpt
   | _ -> None
 
+(* A workspace simulates [width] consecutive 64-pattern blocks (one
+   "superblock" of up to 512 patterns) per visit.  All hot per-node
+   state lives in ONE flat Bigarray arena of [2 * n * width] unboxed
+   words — the faulty-value table in the first half, the observability
+   memo in the second — carved into zero-copy views.  Node [n]'s lane
+   is words [n*width .. n*width+width-1]; word [w] of a lane holds
+   block [sb*width + w].  Every per-word formula is exactly the
+   width-1 formula, so results are word-identical for any width. *)
 type workspace = {
   circuit : Circuit.t;
-  fval : int64 array;  (* faulty value, valid iff dirty *)
-  dirty : bool array;
+  width : int;  (* words per lane: 64*width patterns per pass *)
+  fval : Wordvec.t;  (* n*width: faulty value lanes, valid iff dirty *)
+  dirty : bool array;  (* any word of the lane diverges from good *)
   scheduled : bool array;
   buckets : int list array;  (* pending nodes per level *)
   out_pos : int array;  (* node -> index in Circuit.outputs, or -1 *)
   mutable touched : int list;  (* nodes with dirty set *)
   mutable sched_nodes : int list;  (* nodes with scheduled set *)
-  (* Per-block observability memo for the probe kernels: [obs_val.(n)]
-     is valid iff [obs_stamp.(n) = epoch]; bumping the epoch (one
-     increment per pattern block) invalidates the whole table. *)
-  obs_val : int64 array;
+  (* Per-superblock observability memo for the probe kernels: node
+     [n]'s lane of [obs_val] is valid iff [obs_stamp.(n) = epoch];
+     bumping the epoch (once per superblock) invalidates the table. *)
+  obs_val : Wordvec.t;  (* n*width *)
   obs_stamp : int array;
   mutable epoch : int;
+  det : int64 array;  (* width-long scratch: detection accumulator *)
+  act : int64 array;  (* width-long scratch: activation words *)
   (* Observability counters.  Workspaces are domain-private, so worker
      lanes may bump these freely; the leader merges them after the
      fork-join ({!publish_stats}). *)
@@ -40,24 +52,29 @@ type workspace = {
   mutable stat_goodsim_s : float;
 }
 
-let workspace c =
+let workspace ?(width = 1) c =
   if Circuit.has_state c then
     invalid_arg "Faultsim.workspace: circuit has flip-flops; apply Scan.combinational first";
+  if width < 1 then invalid_arg "Faultsim.workspace: width must be positive";
   let n = Circuit.node_count c in
   let out_pos = Array.make n (-1) in
   Array.iteri (fun i o -> out_pos.(o) <- i) (Circuit.outputs c);
+  let arena = Wordvec.create (2 * n * width) in
   {
     circuit = c;
-    fval = Array.make n 0L;
+    width;
+    fval = Wordvec.sub arena 0 (n * width);
     dirty = Array.make n false;
     scheduled = Array.make n false;
     buckets = Array.make (Circuit.depth c + 1) [];
     out_pos;
     touched = [];
     sched_nodes = [];
-    obs_val = Array.make n 0L;
+    obs_val = Wordvec.sub arena (n * width) (n * width);
     obs_stamp = Array.make n (-1);
     epoch = 0;
+    det = Array.make width 0L;
+    act = Array.make width 0L;
     stat_propagations = 0;
     stat_stem_toggles = 0;
     stat_stem_observable = 0;
@@ -66,8 +83,11 @@ let workspace c =
     stat_goodsim_s = 0.0;
   }
 
+let width ws = ws.width
+let good_arena ws = Wordvec.create (Circuit.node_count ws.circuit * ws.width)
+
 (* Invalidate the observability memo; call once per new good-value
-   block. *)
+   superblock. *)
 let new_block ws = ws.epoch <- ws.epoch + 1
 
 type sim_stats = {
@@ -114,17 +134,24 @@ let publish_stats tr wss =
 (* Goodsim timing accumulates into the (domain-private) workspace; the
    [observed] flag is captured by the lane closure so the disabled path
    pays one branch and no clock reads. *)
-let timed_goodsim observed ws c pats b good =
+let timed_goodsim observed ws pats sb gval =
   if observed then begin
     let t0 = Util.Budget.default_clock () in
-    Goodsim.block_into c pats b good;
+    Goodsim.superblock_into ws.circuit pats ~width:ws.width ~sb gval;
     ws.stat_goodsim_s <- ws.stat_goodsim_s +. (Util.Budget.default_clock () -. t0)
   end
-  else Goodsim.block_into c pats b good
+  else Goodsim.superblock_into ws.circuit pats ~width:ws.width ~sb gval
 
-(* Faulty value of the injection node for the current block. *)
-let injected_value ws ~good (f : Fault.t) =
+let load_good ws gval pats sb =
+  if Wordvec.length gval <> Circuit.node_count ws.circuit * ws.width then
+    invalid_arg "Faultsim.load_good: bad arena size";
+  Goodsim.superblock_into ws.circuit pats ~width:ws.width ~sb gval;
+  new_block ws
+
+(* Faulty value of the injection node, word [w] of the superblock. *)
+let injected_word ws ~gval (f : Fault.t) w =
   let c = ws.circuit in
+  let wd = ws.width in
   let stuck = if f.stuck_at then -1L else 0L in
   match f.site with
   | Fault.Stem _ -> stuck
@@ -132,9 +159,11 @@ let injected_value ws ~good (f : Fault.t) =
       let fanins = Circuit.fanins c gate in
       let k = Circuit.kind c gate in
       (* Evaluate the gate with the faulted pin forced to the stuck
-         value; other pins read good values.  Mirrors
-         Logic_word.eval_fanins with one override. *)
-      let v i = if i = pin then stuck else good.(fanins.(i)) in
+         value; other pins read good values.  Mirrors the good
+         evaluation with one override. *)
+      let v i =
+        if i = pin then stuck else Wordvec.unsafe_get gval ((fanins.(i) * wd) + w)
+      in
       let n = Array.length fanins in
       let fold op init =
         let acc = ref init in
@@ -155,6 +184,22 @@ let injected_value ws ~good (f : Fault.t) =
       | Gate.Xor -> fold Int64.logxor 0L
       | Gate.Xnor -> Int64.lognot (fold Int64.logxor 0L))
 
+(* Write the injected value into the site's fval lane. *)
+let inject ws ~gval (f : Fault.t) =
+  let wd = ws.width in
+  let off = Fault.site_node f * wd in
+  for w = 0 to wd - 1 do
+    Wordvec.unsafe_set ws.fval (off + w) (injected_word ws ~gval f w)
+  done
+
+(* Full-lane flip of [n] (the stem-observability toggle). *)
+let inject_flip ws ~gval n =
+  let wd = ws.width in
+  let off = n * wd in
+  for w = 0 to wd - 1 do
+    Wordvec.unsafe_set ws.fval (off + w) (Int64.lognot (Wordvec.unsafe_get gval (off + w)))
+  done
+
 let schedule ws node =
   if not ws.scheduled.(node) then begin
     ws.scheduled.(node) <- true;
@@ -163,59 +208,111 @@ let schedule ws node =
     ws.buckets.(l) <- node :: ws.buckets.(l)
   end
 
-let eval_faulty ws ~good node =
+(* Evaluate [node] in the faulty circuit into its own fval lane: each
+   fanin reads its fval lane if dirty, its good lane otherwise.  A
+   non-diverging lane stores the good words — harmless, since readers
+   only consult fval under the dirty flag. *)
+let eval_faulty_into ws ~gval node =
   let c = ws.circuit in
-  let fanins = Circuit.fanins c node in
-  let n = Array.length fanins in
-  let v i =
-    let f = fanins.(i) in
-    if ws.dirty.(f) then ws.fval.(f) else good.(f)
-  in
-  let fold op init =
-    let acc = ref init in
-    for i = 0 to n - 1 do
-      acc := op !acc (v i)
-    done;
-    !acc
-  in
-  match Circuit.kind c node with
-  | Gate.Const0 -> 0L
-  | Gate.Const1 -> -1L
-  | Gate.Input -> good.(node)
-  | Gate.Buf | Gate.Dff -> v 0
-  | Gate.Not -> Int64.lognot (v 0)
-  | Gate.And -> fold Int64.logand (-1L)
-  | Gate.Nand -> Int64.lognot (fold Int64.logand (-1L))
-  | Gate.Or -> fold Int64.logor 0L
-  | Gate.Nor -> Int64.lognot (fold Int64.logor 0L)
-  | Gate.Xor -> fold Int64.logxor 0L
-  | Gate.Xnor -> Int64.lognot (fold Int64.logxor 0L)
+  let wd = ws.width in
+  let off = node * wd in
+  let fval = ws.fval in
+  let k = Circuit.kind c node in
+  match k with
+  | Gate.Const0 ->
+      for w = 0 to wd - 1 do
+        Wordvec.unsafe_set fval (off + w) 0L
+      done
+  | Gate.Const1 ->
+      for w = 0 to wd - 1 do
+        Wordvec.unsafe_set fval (off + w) (-1L)
+      done
+  | Gate.Input ->
+      for w = 0 to wd - 1 do
+        Wordvec.unsafe_set fval (off + w) (Wordvec.unsafe_get gval (off + w))
+      done
+  | _ ->
+      let fanins = Circuit.fanins c node in
+      let nf = Array.length fanins in
+      let fold op init invert =
+        for w = 0 to wd - 1 do
+          let acc = ref init in
+          for i = 0 to nf - 1 do
+            let f = Array.unsafe_get fanins i in
+            let src = if Array.unsafe_get ws.dirty f then fval else gval in
+            acc := op !acc (Wordvec.unsafe_get src ((f * wd) + w))
+          done;
+          Wordvec.unsafe_set fval (off + w) (if invert then Int64.lognot !acc else !acc)
+        done
+      in
+      (match k with
+      | Gate.Const0 | Gate.Const1 | Gate.Input -> ()
+      | Gate.Buf | Gate.Dff ->
+          let f = fanins.(0) in
+          let src = if ws.dirty.(f) then fval else gval in
+          let f0 = f * wd in
+          for w = 0 to wd - 1 do
+            Wordvec.unsafe_set fval (off + w) (Wordvec.unsafe_get src (f0 + w))
+          done
+      | Gate.Not ->
+          let f = fanins.(0) in
+          let src = if ws.dirty.(f) then fval else gval in
+          let f0 = f * wd in
+          for w = 0 to wd - 1 do
+            Wordvec.unsafe_set fval (off + w) (Int64.lognot (Wordvec.unsafe_get src (f0 + w)))
+          done
+      | Gate.And -> fold Int64.logand (-1L) false
+      | Gate.Nand -> fold Int64.logand (-1L) true
+      | Gate.Or -> fold Int64.logor 0L false
+      | Gate.Nor -> fold Int64.logor 0L true
+      | Gate.Xor -> fold Int64.logxor 0L false
+      | Gate.Xnor -> fold Int64.logxor 0L true)
 
-(* Event-driven propagation of an arbitrary injected value [v0] at node
-   [n0].  With [stop < 0] the effect is chased to the primary outputs
-   and the result is the lanes in which any PO diverges from the good
-   values.  With [stop >= 0] only levels up to [stop]'s are processed
-   and the result is the divergence at [stop] itself — the "reach"
-   word of the dominator-truncated kernel; nodes scheduled beyond the
-   stop level are unwound without being evaluated. *)
-let propagate_core ws ~good ~stop n0 v0 =
+(* Does [node]'s fval lane diverge from good in any word? *)
+let diverged ws ~gval node =
+  let wd = ws.width in
+  let off = node * wd in
+  let rec go w =
+    w < wd
+    && (Wordvec.unsafe_get ws.fval (off + w) <> Wordvec.unsafe_get gval (off + w)
+       || go (w + 1))
+  in
+  go 0
+
+(* Event-driven propagation of whatever value the site lane [n0] holds
+   (filled by {!inject} or {!inject_flip}).  With [stop < 0] the effect
+   is chased to the primary outputs and [ws.det] accumulates, per word,
+   the lanes in which any PO diverges from the good values.  With
+   [stop >= 0] only levels up to [stop]'s are processed and [ws.det]
+   holds the divergence at [stop] itself — the "reach" words of the
+   dominator-truncated kernel; nodes scheduled beyond the stop level
+   are unwound without being evaluated. *)
+let propagate_core ws ~gval ~stop n0 =
   let c = ws.circuit in
   ws.stat_propagations <- ws.stat_propagations + 1;
+  let wd = ws.width in
   let to_po = stop < 0 in
-  let detect = ref 0L in
-  let record node value =
-    if value <> good.(node) then begin
-      ws.fval.(node) <- value;
+  let det = ws.det in
+  Array.fill det 0 wd 0L;
+  let record node =
+    if diverged ws ~gval node then begin
       if not ws.dirty.(node) then begin
         ws.dirty.(node) <- true;
         ws.touched <- node :: ws.touched
       end;
-      if to_po && Circuit.is_output c node then
-        detect := Int64.logor !detect (Int64.logxor value good.(node));
+      if to_po && Circuit.is_output c node then begin
+        let off = node * wd in
+        for w = 0 to wd - 1 do
+          det.(w) <-
+            Int64.logor det.(w)
+              (Int64.logxor (Wordvec.unsafe_get ws.fval (off + w))
+                 (Wordvec.unsafe_get gval (off + w)))
+        done
+      end;
       Array.iter (fun s -> schedule ws s) (Circuit.fanouts c node)
     end
   in
-  record n0 v0;
+  record n0;
   (* Propagate by increasing level; all fanins of a level-L node are
      final before L is processed. *)
   let last = if to_po then Array.length ws.buckets - 1 else Circuit.level c stop in
@@ -225,12 +322,21 @@ let propagate_core ws ~good ~stop n0 v0 =
       if pending <> [] then begin
         ws.buckets.(l) <- [];
         List.iter
-          (fun node -> if node <> n0 then record node (eval_faulty ws ~good node))
+          (fun node ->
+            if node <> n0 then begin
+              eval_faulty_into ws ~gval node;
+              record node
+            end)
           pending
       end
     done;
-  if (not to_po) && ws.dirty.(stop) then
-    detect := Int64.logxor ws.fval.(stop) good.(stop);
+  if (not to_po) && ws.dirty.(stop) then begin
+    let off = stop * wd in
+    for w = 0 to wd - 1 do
+      det.(w) <-
+        Int64.logxor (Wordvec.unsafe_get ws.fval (off + w)) (Wordvec.unsafe_get gval (off + w))
+    done
+  end;
   (* Reset scratch state (including buckets past a truncated sweep). *)
   List.iter (fun node -> ws.dirty.(node) <- false) ws.touched;
   List.iter
@@ -239,49 +345,66 @@ let propagate_core ws ~good ~stop n0 v0 =
       if not to_po then ws.buckets.(Circuit.level c node) <- [])
     ws.sched_nodes;
   ws.touched <- [];
-  ws.sched_nodes <- [];
-  !detect
+  ws.sched_nodes <- []
 
-let propagate ws ~good n0 v0 = propagate_core ws ~good ~stop:(-1) n0 v0
+let detect_superblock ws ~good (f : Fault.t) =
+  inject ws ~gval:good f;
+  propagate_core ws ~gval:good ~stop:(-1) (Fault.site_node f);
+  ws.det
 
 let detect_block ws ~good (f : Fault.t) =
-  propagate ws ~good (Fault.site_node f) (injected_value ws ~good f)
+  inject ws ~gval:good f;
+  propagate_core ws ~gval:good ~stop:(-1) (Fault.site_node f);
+  ws.det.(0)
 
-(* Per-output variant of {!detect_block}: the same event-driven sweep,
-   but each primary output's divergence word is written into [out] at
-   the output's declaration index.  Traversal order is identical to
-   [detect_block], so the OR of the per-output words equals its
-   detection word bit-for-bit. *)
+(* Per-output variant of {!detect_superblock}: the same event-driven
+   sweep, but each primary output's divergence words are written into
+   [out] at [output index * width + word].  Traversal order is
+   identical, so the OR of the per-output words equals the detection
+   words bit-for-bit. *)
 let detect_block_outputs ws ~good ~out (f : Fault.t) =
   let c = ws.circuit in
+  let wd = ws.width in
+  let gval = good in
   Array.fill out 0 (Array.length out) 0L;
   ws.stat_propagations <- ws.stat_propagations + 1;
-  let detect = ref 0L in
-  let record node value =
-    if value <> good.(node) then begin
-      ws.fval.(node) <- value;
+  let det = ws.det in
+  Array.fill det 0 wd 0L;
+  let record node =
+    if diverged ws ~gval node then begin
       if not ws.dirty.(node) then begin
         ws.dirty.(node) <- true;
         ws.touched <- node :: ws.touched
       end;
       let p = ws.out_pos.(node) in
       if p >= 0 then begin
-        let d = Int64.logxor value good.(node) in
-        out.(p) <- d;
-        detect := Int64.logor !detect d
+        let off = node * wd in
+        for w = 0 to wd - 1 do
+          let d =
+            Int64.logxor (Wordvec.unsafe_get ws.fval (off + w))
+              (Wordvec.unsafe_get gval (off + w))
+          in
+          out.((p * wd) + w) <- d;
+          det.(w) <- Int64.logor det.(w) d
+        done
       end;
       Array.iter (fun s -> schedule ws s) (Circuit.fanouts c node)
     end
   in
   let n0 = Fault.site_node f in
-  record n0 (injected_value ws ~good f);
+  inject ws ~gval f;
+  record n0;
   if ws.sched_nodes <> [] then
     for l = 0 to Array.length ws.buckets - 1 do
       let pending = ws.buckets.(l) in
       if pending <> [] then begin
         ws.buckets.(l) <- [];
         List.iter
-          (fun node -> if node <> n0 then record node (eval_faulty ws ~good node))
+          (fun node ->
+            if node <> n0 then begin
+              eval_faulty_into ws ~gval node;
+              record node
+            end)
           pending
       end
     done;
@@ -289,7 +412,7 @@ let detect_block_outputs ws ~good ~out (f : Fault.t) =
   List.iter (fun node -> ws.scheduled.(node) <- false) ws.sched_nodes;
   ws.touched <- [];
   ws.sched_nodes <- [];
-  !detect
+  det
 
 let block_mask pats b =
   let cnt = Patterns.count pats - (b * 64) in
@@ -297,42 +420,53 @@ let block_mask pats b =
 
 (* --- probe kernels: stem-first and critical-path tracing ---------- *)
 
-(* Gate output with every pin fed by [x] complemented (a gate may read
-   the same signal on several pins); other pins read good values.
-   XORed against the good output this is the word of lanes in which a
-   value change at [x] passes through the gate. *)
-let eval_flip c ~good node x =
+(* Gate output of [node] with every pin fed by [x] complemented (a gate
+   may read the same signal on several pins); other pins read good
+   values.  One word per block into [dst]; XORed against the good
+   output these are the lanes in which a value change at [x] passes
+   through the gate. *)
+let eval_flip_into c ~gval ~wd ~dst node x =
   let fanins = Circuit.fanins c node in
-  let n = Array.length fanins in
-  let v i =
-    let f = fanins.(i) in
-    if f = x then Int64.lognot good.(f) else good.(f)
+  let nf = Array.length fanins in
+  let v i w =
+    let f = Array.unsafe_get fanins i in
+    let g = Wordvec.unsafe_get gval ((f * wd) + w) in
+    if f = x then Int64.lognot g else g
   in
-  let fold op init =
-    let acc = ref init in
-    for i = 0 to n - 1 do
-      acc := op !acc (v i)
-    done;
-    !acc
+  let fold op init invert =
+    for w = 0 to wd - 1 do
+      let acc = ref init in
+      for i = 0 to nf - 1 do
+        acc := op !acc (v i w)
+      done;
+      dst.(w) <- (if invert then Int64.lognot !acc else !acc)
+    done
   in
   match Circuit.kind c node with
-  | Gate.Const0 -> 0L
-  | Gate.Const1 -> -1L
-  | Gate.Input -> good.(node)
-  | Gate.Buf | Gate.Dff -> v 0
-  | Gate.Not -> Int64.lognot (v 0)
-  | Gate.And -> fold Int64.logand (-1L)
-  | Gate.Nand -> Int64.lognot (fold Int64.logand (-1L))
-  | Gate.Or -> fold Int64.logor 0L
-  | Gate.Nor -> Int64.lognot (fold Int64.logor 0L)
-  | Gate.Xor -> fold Int64.logxor 0L
-  | Gate.Xnor -> Int64.lognot (fold Int64.logxor 0L)
+  | Gate.Const0 -> Array.fill dst 0 wd 0L
+  | Gate.Const1 -> Array.fill dst 0 wd (-1L)
+  | Gate.Input ->
+      for w = 0 to wd - 1 do
+        dst.(w) <- Wordvec.unsafe_get gval ((node * wd) + w)
+      done
+  | Gate.Buf | Gate.Dff -> fold (fun _ x -> x) 0L false
+  | Gate.Not ->
+      for w = 0 to wd - 1 do
+        dst.(w) <- Int64.lognot (v 0 w)
+      done
+  | Gate.And -> fold Int64.logand (-1L) false
+  | Gate.Nand -> fold Int64.logand (-1L) true
+  | Gate.Or -> fold Int64.logor 0L false
+  | Gate.Nor -> fold Int64.logor 0L true
+  | Gate.Xor -> fold Int64.logxor 0L false
+  | Gate.Xnor -> fold Int64.logxor 0L true
 
 let no_ipdom : int array = [||]
 
-(* Observability of a flip at [n]: the lanes in which complementing
-   [n]'s value changes some primary output.  Memoised per block; each
-   of the 64 lanes is an independent scalar simulation, so:
+(* Observability of a flip at [n]: per word, the lanes in which
+   complementing [n]'s value changes some primary output.  Memoised
+   per superblock in the arena; each of the 64*width lanes is an
+   independent scalar simulation, so:
 
    - a primary output observes itself in every lane;
    - a dead node (no path to a PO) is never observed;
@@ -340,47 +474,92 @@ let no_ipdom : int array = [||]
      through [g] (local re-evaluation) and [g] is observed — the
      classic stem-first sensitization step;
    - a multi-fanout stem needs real propagation.  The stem-first
-     kernel ([ipdom] empty) pays one full event-driven propagation.
-     The critical-path-tracing kernel truncates that propagation at
-     the stem's immediate post-dominator [d]: every output-bound path
-     funnels through [d], corruption that misses [d] is observably
-     dead, and nodes past [d] read good side-input values — so
-     [obs(n) = reach(n -> d) AND obs(d)] exactly, and the chain
-     grounds at a PO or a sink-dominated stem.  Dominator segments
-     shared by several stems are computed once per block. *)
-let rec obs_word ws ~good ~ipdom n =
-  if ws.obs_stamp.(n) = ws.epoch then ws.obs_val.(n)
-  else begin
+     kernel ([ipdom] empty) pays one full event-driven propagation per
+     superblock.  The critical-path-tracing kernel truncates that
+     propagation at the stem's immediate post-dominator [d]: every
+     output-bound path funnels through [d], corruption that misses [d]
+     is observably dead, and nodes past [d] read good side-input
+     values — so [obs(n) = reach(n -> d) AND obs(d)] exactly, and the
+     chain grounds at a PO or a sink-dominated stem.  Dominator
+     segments shared by several stems are computed once per
+     superblock. *)
+let rec obs_ensure ws ~gval ~ipdom n =
+  if ws.obs_stamp.(n) <> ws.epoch then begin
     let c = ws.circuit in
-    let v =
-      if Circuit.is_output c n then -1L
-      else
-        let fo = Circuit.fanouts c n in
-        match Array.length fo with
-        | 0 -> 0L
-        | 1 ->
-            let g = fo.(0) in
-            let s = Int64.logxor good.(g) (eval_flip c ~good g n) in
-            if s = 0L then 0L else Int64.logand s (obs_word ws ~good ~ipdom g)
-        | _ ->
-            ws.stat_stem_toggles <- ws.stat_stem_toggles + 1;
-            let w =
-              if Array.length ipdom = 0 then propagate ws ~good n (Int64.lognot good.(n))
-              else
-                match ipdom.(n) with
-                | -2 -> 0L
-                | -1 -> propagate ws ~good n (Int64.lognot good.(n))
-                | d ->
-                    ws.stat_dom_truncations <- ws.stat_dom_truncations + 1;
-                    let reach = propagate_core ws ~good ~stop:d n (Int64.lognot good.(n)) in
-                    if reach = 0L then 0L else Int64.logand reach (obs_word ws ~good ~ipdom d)
-            in
-            if w <> 0L then ws.stat_stem_observable <- ws.stat_stem_observable + 1;
-            w
+    let wd = ws.width in
+    let off = n * wd in
+    let ov = ws.obs_val in
+    let store_zero () =
+      for w = 0 to wd - 1 do
+        Wordvec.unsafe_set ov (off + w) 0L
+      done
     in
-    ws.obs_stamp.(n) <- ws.epoch;
-    ws.obs_val.(n) <- v;
-    v
+    let store_det () =
+      for w = 0 to wd - 1 do
+        Wordvec.unsafe_set ov (off + w) ws.det.(w)
+      done
+    in
+    (if Circuit.is_output c n then
+       for w = 0 to wd - 1 do
+         Wordvec.unsafe_set ov (off + w) (-1L)
+       done
+     else
+       let fo = Circuit.fanouts c n in
+       match Array.length fo with
+       | 0 -> store_zero ()
+       | 1 ->
+           let g = fo.(0) in
+           (* [s] must be call-local: the recursion below may fill
+              other memo lanes and the propagation scratch. *)
+           let s = Array.make wd 0L in
+           eval_flip_into c ~gval ~wd ~dst:s g n;
+           let any = ref false in
+           for w = 0 to wd - 1 do
+             let x = Int64.logxor s.(w) (Wordvec.unsafe_get gval ((g * wd) + w)) in
+             s.(w) <- x;
+             if x <> 0L then any := true
+           done;
+           if not !any then store_zero ()
+           else begin
+             obs_ensure ws ~gval ~ipdom g;
+             let goff = g * wd in
+             for w = 0 to wd - 1 do
+               Wordvec.unsafe_set ov (off + w)
+                 (Int64.logand s.(w) (Wordvec.unsafe_get ov (goff + w)))
+             done
+           end
+       | _ ->
+           ws.stat_stem_toggles <- ws.stat_stem_toggles + 1;
+           let full_propagate () =
+             inject_flip ws ~gval n;
+             propagate_core ws ~gval ~stop:(-1) n;
+             store_det ()
+           in
+           (if Array.length ipdom = 0 then full_propagate ()
+            else
+              match ipdom.(n) with
+              | -2 -> store_zero ()
+              | -1 -> full_propagate ()
+              | d ->
+                  ws.stat_dom_truncations <- ws.stat_dom_truncations + 1;
+                  inject_flip ws ~gval n;
+                  propagate_core ws ~gval ~stop:d n;
+                  let reach = Array.copy ws.det in
+                  if Array.for_all (fun w -> w = 0L) reach then store_zero ()
+                  else begin
+                    obs_ensure ws ~gval ~ipdom d;
+                    let doff = d * wd in
+                    for w = 0 to wd - 1 do
+                      Wordvec.unsafe_set ov (off + w)
+                        (Int64.logand reach.(w) (Wordvec.unsafe_get ov (doff + w)))
+                    done
+                  end);
+           let anyw = ref false in
+           for w = 0 to wd - 1 do
+             if Wordvec.unsafe_get ov (off + w) <> 0L then anyw := true
+           done;
+           if !anyw then ws.stat_stem_observable <- ws.stat_stem_observable + 1);
+    ws.obs_stamp.(n) <- ws.epoch
   end
 
 (* Exact per-fault detection via the probe decomposition: every lane
@@ -388,70 +567,100 @@ let rec obs_word ws ~good ~ipdom n =
    from the good one at the injection site exactly in the activation
    lanes, and downstream each activated lane behaves as a full flip at
    the site.  Hence [D(f) = activation(f) AND obs(site_node f)] — the
-   observability word is shared ("probed" once) by every fault of the
+   observability lane is shared ("probed" once) by every fault of the
    site, which is the re-expansion step of the collapsed-universe
-   simulation. *)
-let detect_probe ws ~good ~ipdom (f : Fault.t) =
+   simulation.  Fills [ws.det]. *)
+let detect_probe ws ~gval ~ipdom (f : Fault.t) =
   let n = Fault.site_node f in
-  let act = Int64.logxor (injected_value ws ~good f) good.(n) in
-  if act = 0L then 0L
-  else
-    let d = Int64.logand act (obs_word ws ~good ~ipdom n) in
-    if d <> 0L then ws.stat_stem_detect_words <- ws.stat_stem_detect_words + 1;
-    d
+  let wd = ws.width in
+  let off = n * wd in
+  let act = ws.act in
+  let any = ref false in
+  for w = 0 to wd - 1 do
+    let a = Int64.logxor (injected_word ws ~gval f w) (Wordvec.unsafe_get gval (off + w)) in
+    act.(w) <- a;
+    if a <> 0L then any := true
+  done;
+  if not !any then Array.fill ws.det 0 wd 0L
+  else begin
+    obs_ensure ws ~gval ~ipdom n;
+    let anyd = ref false in
+    let det = ws.det in
+    for w = 0 to wd - 1 do
+      let d = Int64.logand act.(w) (Wordvec.unsafe_get ws.obs_val (off + w)) in
+      det.(w) <- d;
+      if d <> 0L then anyd := true
+    done;
+    if !anyd then ws.stat_stem_detect_words <- ws.stat_stem_detect_words + 1
+  end
 
 (* Per-circuit structural tables a kernel needs. *)
 let kernel_ipdom c = function
   | Event | Stem -> no_ipdom
   | Cpt -> Dominators.ipdom_raw (Dominators.compute c)
 
-let detect_with ws ~kernel ~ipdom ~good f =
+(* Fill [ws.det] with the fault's detection words for the current
+   superblock. *)
+let detect_with ws ~kernel ~ipdom ~gval f =
   match kernel with
-  | Event -> detect_block ws ~good f
-  | Stem | Cpt -> detect_probe ws ~good ~ipdom f
+  | Event ->
+      inject ws ~gval f;
+      propagate_core ws ~gval ~stop:(-1) (Fault.site_node f)
+  | Stem | Cpt -> detect_probe ws ~gval ~ipdom f
 
 (* --- whole-pattern-set drivers ------------------------------------ *)
 
-let sim_attrs kernel fl pats jobs =
+let superblocks nblocks width = (nblocks + width - 1) / width
+
+let sim_attrs kernel fl pats jobs width =
   [ ("kernel", Trace.Str (kernel_name kernel));
     ("faults", Trace.Int (Fault_list.count fl));
-    ("patterns", Trace.Int (Patterns.count pats)); ("jobs", Trace.Int jobs) ]
+    ("patterns", Trace.Int (Patterns.count pats)); ("jobs", Trace.Int jobs);
+    ("block_width", Trace.Int width) ]
 
-let detection_sets_serial ~kernel fl pats =
+let detection_sets_serial ~kernel ~width fl pats =
   let tr = Trace.current () in
   let observed = Trace.enabled tr in
-  Trace.span tr ~attrs:(sim_attrs kernel fl pats 1) "faultsim.detection_sets" @@ fun () ->
+  Trace.span tr ~attrs:(sim_attrs kernel fl pats 1 width) "faultsim.detection_sets"
+  @@ fun () ->
   let c = Fault_list.circuit fl in
-  let ws = workspace c in
+  let ws = workspace ~width c in
   let ipdom = kernel_ipdom c kernel in
   let nf = Fault_list.count fl in
   let cnt = Patterns.count pats in
   let dsets = Array.init nf (fun _ -> Bitvec.create cnt) in
-  let good = Array.make (Circuit.node_count c) 0L in
-  for b = 0 to Patterns.blocks pats - 1 do
-    timed_goodsim observed ws c pats b good;
+  let gval = good_arena ws in
+  let nblocks = Patterns.blocks pats in
+  for sb = 0 to superblocks nblocks width - 1 do
+    timed_goodsim observed ws pats sb gval;
     new_block ws;
-    let mask = block_mask pats b in
+    let b0 = sb * width in
+    let lim = min width (nblocks - b0) in
     for fi = 0 to nf - 1 do
-      let d = Int64.logand (detect_with ws ~kernel ~ipdom ~good (Fault_list.get fl fi)) mask in
-      if d <> 0L then (Bitvec.words dsets.(fi)).(b) <- d
+      detect_with ws ~kernel ~ipdom ~gval (Fault_list.get fl fi);
+      let det = ws.det in
+      for w = 0 to lim - 1 do
+        let b = b0 + w in
+        let d = Int64.logand det.(w) (block_mask pats b) in
+        if d <> 0L then (Bitvec.words dsets.(fi)).(b) <- d
+      done
     done
   done;
   publish_stats tr [| ws |];
   dsets
 
 (* Probe simulation over a pool.  Detection sets have no cross-block
-   dependency, so each lane owns a static slice of the pattern blocks
-   — private workspace and good-value buffer, one fork-join for the
-   whole run — and writes only its own blocks' words of each detection
-   set.  Every (fault, block) word is computed by exactly one lane and
-   its value depends only on (circuit, fault, block), so the result is
+   dependency, so each lane owns a static slice of the superblocks —
+   private workspace and good-value arena, one fork-join for the whole
+   run — and writes only its own blocks' words of each detection set.
+   Every (fault, block) word is computed by exactly one lane and its
+   value depends only on (circuit, fault, block), so the result is
    bit-identical to the serial path regardless of scheduling. *)
-let detection_sets_pooled ~kernel pool fl pats =
+let detection_sets_pooled ~kernel ~width pool fl pats =
   let tr = Trace.current () in
   let observed = Trace.enabled tr in
   Trace.span tr
-    ~attrs:(sim_attrs kernel fl pats (Parallel.jobs pool))
+    ~attrs:(sim_attrs kernel fl pats (Parallel.jobs pool) width)
     "faultsim.detection_sets"
   @@ fun () ->
   let c = Fault_list.circuit fl in
@@ -460,22 +669,27 @@ let detection_sets_pooled ~kernel pool fl pats =
   let cnt = Patterns.count pats in
   let dsets = Array.init nf (fun _ -> Bitvec.create cnt) in
   let nblocks = Patterns.blocks pats in
-  let k = min (Parallel.jobs pool) (max nblocks 1) in
-  let wss = Array.init k (fun _ -> workspace c) in
+  let nsb = superblocks nblocks width in
+  let k = min (Parallel.jobs pool) (max nsb 1) in
+  let wss = Array.init k (fun _ -> workspace ~width c) in
   Parallel.run pool
     (Array.init k (fun lane ->
          fun () ->
           let ws = wss.(lane) in
-          let good = Array.make (Circuit.node_count c) 0L in
-          for b = lane * nblocks / k to ((lane + 1) * nblocks / k) - 1 do
-            timed_goodsim observed ws c pats b good;
+          let gval = good_arena ws in
+          for sb = lane * nsb / k to ((lane + 1) * nsb / k) - 1 do
+            timed_goodsim observed ws pats sb gval;
             new_block ws;
-            let mask = block_mask pats b in
+            let b0 = sb * width in
+            let lim = min width (nblocks - b0) in
             for fi = 0 to nf - 1 do
-              let d =
-                Int64.logand (detect_with ws ~kernel ~ipdom ~good (Fault_list.get fl fi)) mask
-              in
-              if d <> 0L then (Bitvec.words dsets.(fi)).(b) <- d
+              detect_with ws ~kernel ~ipdom ~gval (Fault_list.get fl fi);
+              let det = ws.det in
+              for w = 0 to lim - 1 do
+                let b = b0 + w in
+                let d = Int64.logand det.(w) (block_mask pats b) in
+                if d <> 0L then (Bitvec.words dsets.(fi)).(b) <- d
+              done
             done
           done));
   publish_stats tr wss;
@@ -487,13 +701,17 @@ let detection_sets_pooled ~kernel pool fl pats =
    stay event-driven unless a kernel is requested. *)
 let auto_detection_kernel jobs = if jobs <= 1 then Event else Stem
 
-let detection_sets ?(jobs = 1) ?kernel fl pats =
+let detection_sets ?(jobs = 1) ?kernel ?(block_width = 1) fl pats =
+  if block_width < 1 then invalid_arg "Faultsim.detection_sets: block_width must be positive";
   let k = match kernel with Some k -> k | None -> auto_detection_kernel jobs in
-  if jobs <= 1 then detection_sets_serial ~kernel:k fl pats
-  else Parallel.with_pool ~jobs (fun pool -> detection_sets_pooled ~kernel:k pool fl pats)
+  if jobs <= 1 then detection_sets_serial ~kernel:k ~width:block_width fl pats
+  else
+    Parallel.with_pool ~jobs (fun pool ->
+        detection_sets_pooled ~kernel:k ~width:block_width pool fl pats)
 
-let detection_sets_stem_first fl pats =
-  Parallel.with_pool ~jobs:1 (fun pool -> detection_sets_pooled ~kernel:Stem pool fl pats)
+let detection_sets_stem_first ?(block_width = 1) fl pats =
+  Parallel.with_pool ~jobs:1 (fun pool ->
+      detection_sets_pooled ~kernel:Stem ~width:block_width pool fl pats)
 
 let ndet dsets pats =
   let counts = Array.make (Patterns.count pats) 0 in
@@ -502,11 +720,11 @@ let ndet dsets pats =
 
 type drop_result = { first_detection : int array; detected : int }
 
-(* Per-block scan of the live faults over a pool: detection words are
-   produced in parallel on static slices of the alive array, then
+(* Per-superblock scan of the live faults over a pool: detection words
+   are produced in parallel on static slices of the alive array, then
    merged serially in alive order — the same order the serial loop
    visits, so dropping decisions are identical. *)
-let scan_alive ~kernel ~ipdom pool wss fl ~good ~mask alive det =
+let scan_alive ~kernel ~ipdom ~width pool wss fl ~gval alive det =
   let n = Array.length alive in
   let lanes = Parallel.jobs pool in
   let k = min lanes (max n 1) in
@@ -516,165 +734,198 @@ let scan_alive ~kernel ~ipdom pool wss fl ~good ~mask alive det =
           let ws = wss.(lane) in
           let lo = lane * n / k and hi = (lane + 1) * n / k in
           for i = lo to hi - 1 do
-            det.(i) <-
-              Int64.logand
-                (detect_with ws ~kernel ~ipdom ~good (Fault_list.get fl alive.(i)))
-                mask
+            detect_with ws ~kernel ~ipdom ~gval (Fault_list.get fl alive.(i));
+            Array.blit ws.det 0 det (i * width) width
           done))
 
-let with_dropping_serial ~kernel fl pats =
+(* First detecting pattern among words [0 .. lim-1] of the superblock
+   starting at block [b0], or -1: words are scanned in increasing
+   block order, so the index matches the width-1 scan exactly. *)
+let first_in_words pats ~b0 ~lim det doff =
+  let rec go w =
+    if w >= lim then -1
+    else
+      let b = b0 + w in
+      let d = Int64.logand det.(doff + w) (block_mask pats b) in
+      if d = 0L then go (w + 1) else (b * 64) + Bitvec.ctz d
+  in
+  go 0
+
+let with_dropping_serial ~kernel ~width fl pats =
   let tr = Trace.current () in
   let observed = Trace.enabled tr in
-  Trace.span tr ~attrs:(sim_attrs kernel fl pats 1) "faultsim.with_dropping" @@ fun () ->
+  Trace.span tr ~attrs:(sim_attrs kernel fl pats 1 width) "faultsim.with_dropping"
+  @@ fun () ->
   let c = Fault_list.circuit fl in
-  let ws = workspace c in
+  let ws = workspace ~width c in
   let ipdom = kernel_ipdom c kernel in
   let nf = Fault_list.count fl in
   let first = Array.make nf (-1) in
   let detected = ref 0 in
   let alive = ref (List.init nf Fun.id) in
-  let good = Array.make (Circuit.node_count c) 0L in
-  let b = ref 0 in
+  let gval = good_arena ws in
+  let sb = ref 0 in
   let nblocks = Patterns.blocks pats in
-  while !b < nblocks && !alive <> [] do
-    timed_goodsim observed ws c pats !b good;
+  let nsb = superblocks nblocks width in
+  while !sb < nsb && !alive <> [] do
+    timed_goodsim observed ws pats !sb gval;
     new_block ws;
-    let mask = block_mask pats !b in
+    let b0 = !sb * width in
+    let lim = min width (nblocks - b0) in
     alive :=
       List.filter
         (fun fi ->
-          let d =
-            Int64.logand (detect_with ws ~kernel ~ipdom ~good (Fault_list.get fl fi)) mask
-          in
-          if d = 0L then true
+          detect_with ws ~kernel ~ipdom ~gval (Fault_list.get fl fi);
+          let p = first_in_words pats ~b0 ~lim ws.det 0 in
+          if p < 0 then true
           else begin
-            first.(fi) <- (!b * 64) + Bitvec.ctz d;
+            first.(fi) <- p;
             incr detected;
             false
           end)
         !alive;
-    incr b
+    incr sb
   done;
   publish_stats tr [| ws |];
   { first_detection = first; detected = !detected }
 
-let with_dropping_pooled ~kernel pool fl pats =
+let with_dropping_pooled ~kernel ~width pool fl pats =
   let tr = Trace.current () in
   let observed = Trace.enabled tr in
-  Trace.span tr ~attrs:(sim_attrs kernel fl pats (Parallel.jobs pool)) "faultsim.with_dropping"
+  Trace.span tr
+    ~attrs:(sim_attrs kernel fl pats (Parallel.jobs pool) width)
+    "faultsim.with_dropping"
   @@ fun () ->
   let c = Fault_list.circuit fl in
   let ipdom = kernel_ipdom c kernel in
   let lanes = Parallel.jobs pool in
-  let wss = Array.init lanes (fun _ -> workspace c) in
+  let wss = Array.init lanes (fun _ -> workspace ~width c) in
   let nf = Fault_list.count fl in
   let first = Array.make nf (-1) in
   let detected = ref 0 in
   let alive = ref (Array.init nf Fun.id) in
-  let det = Array.make nf 0L in
-  let good = Array.make (Circuit.node_count c) 0L in
-  let b = ref 0 in
+  let det = Array.make (nf * width) 0L in
+  let gval = good_arena wss.(0) in
+  let sb = ref 0 in
   let nblocks = Patterns.blocks pats in
-  while !b < nblocks && Array.length !alive > 0 do
-    timed_goodsim observed wss.(0) c pats !b good;
+  let nsb = superblocks nblocks width in
+  while !sb < nsb && Array.length !alive > 0 do
+    timed_goodsim observed wss.(0) pats !sb gval;
     Array.iter new_block wss;
-    let mask = block_mask pats !b in
+    let b0 = !sb * width in
+    let lim = min width (nblocks - b0) in
     let a = !alive in
-    scan_alive ~kernel ~ipdom pool wss fl ~good ~mask a det;
+    scan_alive ~kernel ~ipdom ~width pool wss fl ~gval a det;
     let next = ref [] in
     for i = Array.length a - 1 downto 0 do
-      let d = det.(i) in
-      if d = 0L then next := a.(i) :: !next
+      let p = first_in_words pats ~b0 ~lim det (i * width) in
+      if p < 0 then next := a.(i) :: !next
       else begin
-        first.(a.(i)) <- (!b * 64) + Bitvec.ctz d;
+        first.(a.(i)) <- p;
         incr detected
       end
     done;
     alive := Array.of_list !next;
-    incr b
+    incr sb
   done;
   publish_stats tr wss;
   { first_detection = first; detected = !detected }
 
-let with_dropping ?(jobs = 1) ?(kernel = Event) fl pats =
-  if jobs <= 1 then with_dropping_serial ~kernel fl pats
-  else Parallel.with_pool ~jobs (fun pool -> with_dropping_pooled ~kernel pool fl pats)
+let with_dropping ?(jobs = 1) ?(kernel = Event) ?(block_width = 1) fl pats =
+  if block_width < 1 then invalid_arg "Faultsim.with_dropping: block_width must be positive";
+  if jobs <= 1 then with_dropping_serial ~kernel ~width:block_width fl pats
+  else
+    Parallel.with_pool ~jobs (fun pool ->
+        with_dropping_pooled ~kernel ~width:block_width pool fl pats)
 
-let n_detection_serial ~kernel fl pats ~n =
+(* Fold one superblock's detection words into an n-capped count, words
+   in increasing block order — the same per-block updates the width-1
+   loop applies, so counts (and drop decisions) are identical. *)
+let count_words pats ~b0 ~lim ~n counts fi det doff =
+  for w = 0 to lim - 1 do
+    let d = Int64.logand det.(doff + w) (block_mask pats (b0 + w)) in
+    if d <> 0L then counts.(fi) <- min n (counts.(fi) + Bitvec.popcount_word d)
+  done
+
+let n_detection_serial ~kernel ~width fl pats ~n =
   let tr = Trace.current () in
   let observed = Trace.enabled tr in
   Trace.span tr
-    ~attrs:(("n", Trace.Int n) :: sim_attrs kernel fl pats 1)
+    ~attrs:(("n", Trace.Int n) :: sim_attrs kernel fl pats 1 width)
     "faultsim.n_detection"
   @@ fun () ->
   let c = Fault_list.circuit fl in
-  let ws = workspace c in
+  let ws = workspace ~width c in
   let ipdom = kernel_ipdom c kernel in
   let nf = Fault_list.count fl in
   let counts = Array.make nf 0 in
-  let good = Array.make (Circuit.node_count c) 0L in
+  let gval = good_arena ws in
   let alive = ref (List.init nf Fun.id) in
-  let b = ref 0 in
+  let sb = ref 0 in
   let nblocks = Patterns.blocks pats in
-  while !b < nblocks && !alive <> [] do
-    timed_goodsim observed ws c pats !b good;
+  let nsb = superblocks nblocks width in
+  while !sb < nsb && !alive <> [] do
+    timed_goodsim observed ws pats !sb gval;
     new_block ws;
-    let mask = block_mask pats !b in
+    let b0 = !sb * width in
+    let lim = min width (nblocks - b0) in
     alive :=
       List.filter
         (fun fi ->
-          let d =
-            Int64.logand (detect_with ws ~kernel ~ipdom ~good (Fault_list.get fl fi)) mask
-          in
-          if d <> 0L then counts.(fi) <- min n (counts.(fi) + Bitvec.popcount_word d);
+          detect_with ws ~kernel ~ipdom ~gval (Fault_list.get fl fi);
+          count_words pats ~b0 ~lim ~n counts fi ws.det 0;
           counts.(fi) < n)
         !alive;
-    incr b
+    incr sb
   done;
   publish_stats tr [| ws |];
   counts
 
-let n_detection_pooled ~kernel pool fl pats ~n =
+let n_detection_pooled ~kernel ~width pool fl pats ~n =
   let tr = Trace.current () in
   let observed = Trace.enabled tr in
   Trace.span tr
-    ~attrs:(("n", Trace.Int n) :: sim_attrs kernel fl pats (Parallel.jobs pool))
+    ~attrs:(("n", Trace.Int n) :: sim_attrs kernel fl pats (Parallel.jobs pool) width)
     "faultsim.n_detection"
   @@ fun () ->
   let c = Fault_list.circuit fl in
   let ipdom = kernel_ipdom c kernel in
   let lanes = Parallel.jobs pool in
-  let wss = Array.init lanes (fun _ -> workspace c) in
+  let wss = Array.init lanes (fun _ -> workspace ~width c) in
   let nf = Fault_list.count fl in
   let counts = Array.make nf 0 in
-  let good = Array.make (Circuit.node_count c) 0L in
+  let gval = good_arena wss.(0) in
   let alive = ref (Array.init nf Fun.id) in
-  let det = Array.make nf 0L in
-  let b = ref 0 in
+  let det = Array.make (nf * width) 0L in
+  let sb = ref 0 in
   let nblocks = Patterns.blocks pats in
-  while !b < nblocks && Array.length !alive > 0 do
-    timed_goodsim observed wss.(0) c pats !b good;
+  let nsb = superblocks nblocks width in
+  while !sb < nsb && Array.length !alive > 0 do
+    timed_goodsim observed wss.(0) pats !sb gval;
     Array.iter new_block wss;
-    let mask = block_mask pats !b in
+    let b0 = !sb * width in
+    let lim = min width (nblocks - b0) in
     let a = !alive in
-    scan_alive ~kernel ~ipdom pool wss fl ~good ~mask a det;
+    scan_alive ~kernel ~ipdom ~width pool wss fl ~gval a det;
     let next = ref [] in
     for i = Array.length a - 1 downto 0 do
       let fi = a.(i) in
-      let d = det.(i) in
-      if d <> 0L then counts.(fi) <- min n (counts.(fi) + Bitvec.popcount_word d);
+      count_words pats ~b0 ~lim ~n counts fi det (i * width);
       if counts.(fi) < n then next := fi :: !next
     done;
     alive := Array.of_list !next;
-    incr b
+    incr sb
   done;
   publish_stats tr wss;
   counts
 
-let n_detection ?(jobs = 1) ?(kernel = Event) fl pats ~n =
+let n_detection ?(jobs = 1) ?(kernel = Event) ?(block_width = 1) fl pats ~n =
   if n <= 0 then invalid_arg "Faultsim.n_detection: n must be positive";
-  if jobs <= 1 then n_detection_serial ~kernel fl pats ~n
-  else Parallel.with_pool ~jobs (fun pool -> n_detection_pooled ~kernel pool fl pats ~n)
+  if block_width < 1 then invalid_arg "Faultsim.n_detection: block_width must be positive";
+  if jobs <= 1 then n_detection_serial ~kernel ~width:block_width fl pats ~n
+  else
+    Parallel.with_pool ~jobs (fun pool ->
+        n_detection_pooled ~kernel ~width:block_width pool fl pats ~n)
 
 (* Keep only the earliest detections of [d] up to the cap. *)
 let keep_capped counts fi ~n d =
@@ -687,91 +938,105 @@ let keep_capped counts fi ~n d =
   done;
   !kept
 
-let detection_sets_capped_serial ~kernel fl pats ~n =
+(* Cap one superblock's detection words into the fault's detection
+   set, words in increasing block order. *)
+let cap_words pats ~b0 ~lim ~n counts fi det doff dset =
+  for w = 0 to lim - 1 do
+    let b = b0 + w in
+    let d = Int64.logand det.(doff + w) (block_mask pats b) in
+    if d <> 0L then (Bitvec.words dset).(b) <- keep_capped counts fi ~n d
+  done
+
+let detection_sets_capped_serial ~kernel ~width fl pats ~n =
   let tr = Trace.current () in
   let observed = Trace.enabled tr in
   Trace.span tr
-    ~attrs:(("n", Trace.Int n) :: sim_attrs kernel fl pats 1)
+    ~attrs:(("n", Trace.Int n) :: sim_attrs kernel fl pats 1 width)
     "faultsim.detection_sets_capped"
   @@ fun () ->
   let c = Fault_list.circuit fl in
-  let ws = workspace c in
+  let ws = workspace ~width c in
   let ipdom = kernel_ipdom c kernel in
   let nf = Fault_list.count fl in
   let cnt = Patterns.count pats in
   let dsets = Array.init nf (fun _ -> Bitvec.create cnt) in
   let counts = Array.make nf 0 in
-  let good = Array.make (Circuit.node_count c) 0L in
+  let gval = good_arena ws in
   let alive = ref (List.init nf Fun.id) in
-  let b = ref 0 in
+  let sb = ref 0 in
   let nblocks = Patterns.blocks pats in
-  while !b < nblocks && !alive <> [] do
-    timed_goodsim observed ws c pats !b good;
+  let nsb = superblocks nblocks width in
+  while !sb < nsb && !alive <> [] do
+    timed_goodsim observed ws pats !sb gval;
     new_block ws;
-    let mask = block_mask pats !b in
+    let b0 = !sb * width in
+    let lim = min width (nblocks - b0) in
     alive :=
       List.filter
         (fun fi ->
-          let d =
-            Int64.logand (detect_with ws ~kernel ~ipdom ~good (Fault_list.get fl fi)) mask
-          in
-          if d <> 0L then (Bitvec.words dsets.(fi)).(!b) <- keep_capped counts fi ~n d;
+          detect_with ws ~kernel ~ipdom ~gval (Fault_list.get fl fi);
+          cap_words pats ~b0 ~lim ~n counts fi ws.det 0 dsets.(fi);
           counts.(fi) < n)
         !alive;
-    incr b
+    incr sb
   done;
   publish_stats tr [| ws |];
   dsets
 
-let detection_sets_capped_pooled ~kernel pool fl pats ~n =
+let detection_sets_capped_pooled ~kernel ~width pool fl pats ~n =
   let tr = Trace.current () in
   let observed = Trace.enabled tr in
   Trace.span tr
-    ~attrs:(("n", Trace.Int n) :: sim_attrs kernel fl pats (Parallel.jobs pool))
+    ~attrs:(("n", Trace.Int n) :: sim_attrs kernel fl pats (Parallel.jobs pool) width)
     "faultsim.detection_sets_capped"
   @@ fun () ->
   let c = Fault_list.circuit fl in
   let ipdom = kernel_ipdom c kernel in
   let lanes = Parallel.jobs pool in
-  let wss = Array.init lanes (fun _ -> workspace c) in
+  let wss = Array.init lanes (fun _ -> workspace ~width c) in
   let nf = Fault_list.count fl in
   let cnt = Patterns.count pats in
   let dsets = Array.init nf (fun _ -> Bitvec.create cnt) in
   let counts = Array.make nf 0 in
-  let good = Array.make (Circuit.node_count c) 0L in
+  let gval = good_arena wss.(0) in
   let alive = ref (Array.init nf Fun.id) in
-  let det = Array.make nf 0L in
-  let b = ref 0 in
+  let det = Array.make (nf * width) 0L in
+  let sb = ref 0 in
   let nblocks = Patterns.blocks pats in
-  while !b < nblocks && Array.length !alive > 0 do
-    timed_goodsim observed wss.(0) c pats !b good;
+  let nsb = superblocks nblocks width in
+  while !sb < nsb && Array.length !alive > 0 do
+    timed_goodsim observed wss.(0) pats !sb gval;
     Array.iter new_block wss;
-    let mask = block_mask pats !b in
+    let b0 = !sb * width in
+    let lim = min width (nblocks - b0) in
     let a = !alive in
-    scan_alive ~kernel ~ipdom pool wss fl ~good ~mask a det;
+    scan_alive ~kernel ~ipdom ~width pool wss fl ~gval a det;
     let next = ref [] in
     for i = Array.length a - 1 downto 0 do
       let fi = a.(i) in
-      let d = det.(i) in
-      if d <> 0L then (Bitvec.words dsets.(fi)).(!b) <- keep_capped counts fi ~n d;
+      cap_words pats ~b0 ~lim ~n counts fi det (i * width) dsets.(fi);
       if counts.(fi) < n then next := fi :: !next
     done;
     alive := Array.of_list !next;
-    incr b
+    incr sb
   done;
   publish_stats tr wss;
   dsets
 
-let detection_sets_capped ?(jobs = 1) ?(kernel = Event) fl pats ~n =
+let detection_sets_capped ?(jobs = 1) ?(kernel = Event) ?(block_width = 1) fl pats ~n =
   if n <= 0 then invalid_arg "Faultsim.detection_sets_capped: n must be positive";
-  if jobs <= 1 then detection_sets_capped_serial ~kernel fl pats ~n
+  if block_width < 1 then
+    invalid_arg "Faultsim.detection_sets_capped: block_width must be positive";
+  if jobs <= 1 then detection_sets_capped_serial ~kernel ~width:block_width fl pats ~n
   else
-    Parallel.with_pool ~jobs (fun pool -> detection_sets_capped_pooled ~kernel pool fl pats ~n)
+    Parallel.with_pool ~jobs (fun pool ->
+        detection_sets_capped_pooled ~kernel ~width:block_width pool fl pats ~n)
 
 let detects c f pi_values =
   if Array.length pi_values <> Array.length (Circuit.inputs c) then
     invalid_arg "Faultsim.detects: input width mismatch";
   let pats = Patterns.of_vectors ~n_inputs:(Array.length pi_values) [| pi_values |] in
   let ws = workspace c in
-  let good = Goodsim.block c pats 0 in
+  let good = good_arena ws in
+  load_good ws good pats 0;
   Int64.logand (detect_block ws ~good f) 1L = 1L

@@ -1,18 +1,19 @@
 (** Single-stuck-at fault simulation.
 
-    The engine is parallel-pattern single-fault propagation (PPSFP):
-    64 patterns are simulated fault-free per block, then per-fault
+    The engine is parallel-pattern single-fault propagation (PPSFP): a
+    {e superblock} of [width] consecutive 64-pattern blocks (64 to 512
+    patterns) is simulated fault-free per pass, then per-fault
     detection words are derived by one of three kernels:
 
     - {b event} — inject each fault and propagate its effect
       event-driven through the levelised fanout cone, comparing
       against the good values at the primary outputs.  The reference
       kernel.
-    - {b stem} — probe decomposition: each of the 64 lanes is an
-      independent scalar simulation, so
+    - {b stem} — probe decomposition: each lane is an independent
+      scalar simulation, so
       [D(f) = activation(f) AND obs(site_node f)], where [obs(n)] is
       the word of lanes in which complementing [n] changes some
-      output.  Observability is memoised per block and per site
+      output.  Observability is memoised per superblock and per site
       ("probe"), shared by every fault injecting at that site; chains
       of single-consumer nodes pay a local gate re-evaluation each,
       and only multi-fanout stems pay a real propagation.
@@ -25,8 +26,23 @@
       the post-dominator is exact because its fanins are final when
       its level is processed.
 
+    {b Wide blocks.}  All hot per-node state (faulty values and the
+    observability memo) lives in one flat {!Util.Wordvec} Bigarray
+    arena of [2 * node_count * width] unboxed words per workspace.
+    Word [w] of a node's lane holds block [sb*width + w] and is
+    computed by exactly the width-1 formula, so detection words are
+    bit-identical for every width — wider lanes only amortise the
+    levelised traversal, event scheduling and per-fault dispatch over
+    more patterns.  Drivers take [?block_width] (1, accepted widths
+    are small powers of two up to 8 at the CLI) and scan a
+    superblock's words in increasing block order, so fault dropping,
+    n-detection capping and first-detection indices also match the
+    narrow scan exactly.
+
     All three kernels produce {e bit-identical} detection words for
-    every fault; they differ only in work per word.
+    every fault; they differ only in work per word.  Observability
+    counters ({!sim_stats}) are advisory and may differ across widths
+    (memo short-circuits fire per superblock rather than per block).
 
     Every driver takes an optional [?jobs] argument (default 1).  With
     [jobs = 1] a single workspace runs the serial loops — the
@@ -49,25 +65,49 @@ val kernel_names : string list
 val kernel_of_string : string -> kernel option
 
 type workspace
-(** Reusable scratch state (faulty-value slab, scheduling buckets,
-    per-block observability memo).  One workspace serves any number of
-    [detect_block] calls on its circuit. *)
+(** Reusable scratch state (the faulty-value / observability-memo
+    arena, scheduling buckets).  One workspace serves any number of
+    [detect_*] calls on its circuit. *)
 
-val workspace : Circuit.t -> workspace
+val workspace : ?width:int -> Circuit.t -> workspace
+(** [workspace ?width c] allocates a workspace simulating [width]
+    64-pattern blocks per pass (default 1). *)
 
-val detect_block : workspace -> good:int64 array -> Fault.t -> int64
+val width : workspace -> int
+
+val good_arena : workspace -> Util.Wordvec.t
+(** A fresh good-value arena of [node_count * width] words, sized for
+    {!load_good}.  Backed by a Bigarray, so one arena can be filled by
+    a leader domain and read by workers. *)
+
+val load_good : workspace -> Util.Wordvec.t -> Patterns.t -> int -> unit
+(** [load_good ws good pats sb] fills [good] with the fault-free
+    values of superblock [sb] ({!Goodsim.superblock_into}) and
+    invalidates the workspace's observability memo.  Call once per
+    superblock before the [detect_*] entry points. *)
+
+val detect_block : workspace -> good:Util.Wordvec.t -> Fault.t -> int64
 (** [detect_block ws ~good f] returns the set of patterns (bit lanes)
-    of the current block in which [f] is detected, given the block's
-    fault-free node values [good] (from {!Goodsim.block_into}).  Lanes
-    beyond the pattern count are meaningless; callers mask them. *)
+    of the current superblock's {e first} block in which [f] is
+    detected (event-driven kernel).  The single-block entry point for
+    width-1 workspaces — the ATPG engine's hot path.  Lanes beyond the
+    pattern count are meaningless; callers mask them. *)
+
+val detect_superblock : workspace -> good:Util.Wordvec.t -> Fault.t -> int64 array
+(** Wide variant of {!detect_block}: word [w] of the result is the
+    detection word of block [sb*width + w].  The returned array is
+    workspace-owned scratch, overwritten by the next [detect_*] call —
+    copy what must survive. *)
 
 val detect_block_outputs :
-  workspace -> good:int64 array -> out:int64 array -> Fault.t -> int64
-(** [detect_block_outputs ws ~good ~out f] is {!detect_block} with
-    per-output resolution: [out] (length [Array.length (Circuit.outputs
-    c)], cleared on entry) receives each primary output's divergence
-    word at its declaration index, and the returned word is their OR —
-    bit-identical to [detect_block ws ~good f].  The input to
+  workspace -> good:Util.Wordvec.t -> out:int64 array -> Fault.t -> int64 array
+(** [detect_block_outputs ws ~good ~out f] is {!detect_superblock}
+    with per-output resolution: [out] (length
+    [Array.length (Circuit.outputs c) * width], cleared on entry)
+    receives each primary output's divergence words at
+    [output index * width + word], and the returned words are their
+    per-word OR — bit-identical to [detect_superblock ws ~good f].
+    The returned array is workspace-owned scratch.  The input to
     response-level (per-output) fault dictionaries. *)
 
 (** {1 Observability}
@@ -81,9 +121,9 @@ type sim_stats = {
   propagations : int;  (** event-driven propagation passes *)
   stem_toggles : int;  (** probe kernels: multi-fanout stems probed *)
   stem_observable : int;  (** …of which some lane reached an output *)
-  stem_detect_words : int;  (** nonzero per-fault detection words emitted *)
+  stem_detect_words : int;  (** nonzero per-fault detection superblocks emitted *)
   dom_truncations : int;  (** cpt kernel: propagations truncated at a post-dominator *)
-  goodsim_s : float;  (** seconds inside {!Goodsim.block_into} (0 unless tracing) *)
+  goodsim_s : float;  (** seconds inside good simulation (0 unless tracing) *)
 }
 
 val stats : workspace -> sim_stats
@@ -100,15 +140,23 @@ val publish_stats : Util.Trace.t -> workspace array -> unit
 
     When [?kernel] is omitted the historical defaults apply:
     [detection_sets] auto-selects (event when [jobs <= 1], stem
-    otherwise); the dropping-family drivers run event-driven. *)
+    otherwise); the dropping-family drivers run event-driven.
+    [?block_width] (default 1) sets the superblock width; results are
+    bit-identical for every (kernel, jobs, block_width) combination. *)
 
 val detection_sets :
-  ?jobs:int -> ?kernel:kernel -> Fault_list.t -> Patterns.t -> Util.Bitvec.t array
+  ?jobs:int ->
+  ?kernel:kernel ->
+  ?block_width:int ->
+  Fault_list.t ->
+  Patterns.t ->
+  Util.Bitvec.t array
 (** Simulation {e without fault dropping}: for every fault [f] the full
     detection set [D(f)] over all patterns — the input the accidental
     detection index is computed from. *)
 
-val detection_sets_stem_first : Fault_list.t -> Patterns.t -> Util.Bitvec.t array
+val detection_sets_stem_first :
+  ?block_width:int -> Fault_list.t -> Patterns.t -> Util.Bitvec.t array
 (** [detection_sets ~kernel:Stem] on a single pooled domain; kept as a
     named entry point for benchmarks and tests. *)
 
@@ -123,19 +171,31 @@ type drop_result = {
 }
 
 val with_dropping :
-  ?jobs:int -> ?kernel:kernel -> Fault_list.t -> Patterns.t -> drop_result
+  ?jobs:int -> ?kernel:kernel -> ?block_width:int -> Fault_list.t -> Patterns.t -> drop_result
 (** Simulation with fault dropping: each fault is removed from
     consideration after its first detection. *)
 
 val n_detection :
-  ?jobs:int -> ?kernel:kernel -> Fault_list.t -> Patterns.t -> n:int -> int array
+  ?jobs:int ->
+  ?kernel:kernel ->
+  ?block_width:int ->
+  Fault_list.t ->
+  Patterns.t ->
+  n:int ->
+  int array
 (** n-detection simulation: per fault, the number of detecting patterns
     seen, counting at most [n] (a fault is dropped after its [n]-th
     detection).  [n_detection fl pats ~n:1] counts like
     {!with_dropping}. *)
 
 val detection_sets_capped :
-  ?jobs:int -> ?kernel:kernel -> Fault_list.t -> Patterns.t -> n:int -> Util.Bitvec.t array
+  ?jobs:int ->
+  ?kernel:kernel ->
+  ?block_width:int ->
+  Fault_list.t ->
+  Patterns.t ->
+  n:int ->
+  Util.Bitvec.t array
 (** n-detection variant of {!detection_sets}: each fault's detection
     set records at most its [n] earliest detecting patterns (the fault
     is dropped afterwards).  The paper's cheaper alternative for

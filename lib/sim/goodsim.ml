@@ -1,8 +1,82 @@
 module Bitvec = Util.Bitvec
+module Wordvec = Util.Wordvec
 
 let check_comb c =
   if Circuit.has_state c then
     invalid_arg "Goodsim: circuit has flip-flops; apply Scan.combinational first"
+
+(* Wide good simulation: one visit of the levelised order evaluates
+   [width] consecutive 64-pattern blocks per node, writing into the
+   node's lane of a flat {!Util.Wordvec} arena (words
+   [n*width .. n*width+width-1]).  Word [w] of the lane holds block
+   [sb*width + w] and is computed by exactly the per-word formula of
+   {!block_into}, so the arena is word-identical to [width] narrow
+   sweeps; the traversal, gate dispatch and fanin-gather costs are paid
+   once per lane instead of once per word.  Input words past the last
+   pattern block read as the all-zero vector, as narrow padding lanes
+   do. *)
+let superblock_into c pats ~width ~sb (g : Wordvec.t) =
+  check_comb c;
+  if width < 1 then invalid_arg "Goodsim.superblock_into: width must be positive";
+  if Wordvec.length g <> Circuit.node_count c * width then
+    invalid_arg "Goodsim.superblock_into: bad arena size";
+  let nblocks = Patterns.blocks pats in
+  let b0 = sb * width in
+  Array.iteri
+    (fun i pi ->
+      let off = pi * width in
+      for w = 0 to width - 1 do
+        let b = b0 + w in
+        Wordvec.unsafe_set g (off + w)
+          (if b < nblocks then Patterns.word pats ~input:i ~block:b else 0L)
+      done)
+    (Circuit.inputs c);
+  Array.iter
+    (fun n ->
+      let off = n * width in
+      let k = Circuit.kind c n in
+      match k with
+      | Gate.Input -> ()
+      | Gate.Const0 ->
+          for w = 0 to width - 1 do
+            Wordvec.unsafe_set g (off + w) 0L
+          done
+      | Gate.Const1 ->
+          for w = 0 to width - 1 do
+            Wordvec.unsafe_set g (off + w) (-1L)
+          done
+      | _ ->
+          let fanins = Circuit.fanins c n in
+          let nf = Array.length fanins in
+          let fold op init invert =
+            for w = 0 to width - 1 do
+              let acc = ref init in
+              for i = 0 to nf - 1 do
+                acc :=
+                  op !acc (Wordvec.unsafe_get g ((Array.unsafe_get fanins i * width) + w))
+              done;
+              Wordvec.unsafe_set g (off + w) (if invert then Int64.lognot !acc else !acc)
+            done
+          in
+          (match k with
+          | Gate.Const0 | Gate.Const1 | Gate.Input -> ()
+          | Gate.Buf | Gate.Dff ->
+              let f0 = fanins.(0) * width in
+              for w = 0 to width - 1 do
+                Wordvec.unsafe_set g (off + w) (Wordvec.unsafe_get g (f0 + w))
+              done
+          | Gate.Not ->
+              let f0 = fanins.(0) * width in
+              for w = 0 to width - 1 do
+                Wordvec.unsafe_set g (off + w) (Int64.lognot (Wordvec.unsafe_get g (f0 + w)))
+              done
+          | Gate.And -> fold Int64.logand (-1L) false
+          | Gate.Nand -> fold Int64.logand (-1L) true
+          | Gate.Or -> fold Int64.logor 0L false
+          | Gate.Nor -> fold Int64.logor 0L true
+          | Gate.Xor -> fold Int64.logxor 0L false
+          | Gate.Xnor -> fold Int64.logxor 0L true))
+    (Circuit.topological_order c)
 
 let block_into c pats b values =
   check_comb c;

@@ -53,6 +53,18 @@ let popcount t = Array.fold_left (fun acc w -> acc + popcount_word w) 0 t.w
 
 let same_len a b = if a.len <> b.len then invalid_arg "Bitvec: width mismatch"
 
+(* Fused intersection-popcount: one pass, no temporary vector — the
+   ADI hot path asks "how many patterns detect both?" far more often
+   than it needs the intersection itself. *)
+let and_popcount a b =
+  same_len a b;
+  let acc = ref 0 in
+  for i = 0 to Array.length a.w - 1 do
+    acc :=
+      !acc + popcount_word (Int64.logand (Array.unsafe_get a.w i) (Array.unsafe_get b.w i))
+  done;
+  !acc
+
 let union_into ~dst src =
   same_len dst src;
   for i = 0 to Array.length dst.w - 1 do

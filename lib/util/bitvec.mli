@@ -40,6 +40,11 @@ val popcount_word : int64 -> int
 (** Set bits of one raw word (SWAR; the simulators' inner-loop
     primitive). *)
 
+val and_popcount : t -> t -> int
+(** [and_popcount a b] is [popcount] of the intersection, computed in
+    one fused pass with no temporary vector.  [and_popcount a b > 0]
+    is the allocation-free overlap test.  Widths must match. *)
+
 val ctz : int64 -> int
 (** Count trailing zeros of a raw word via a de Bruijn multiply: the
     index of the lowest set bit, or 64 for [0L].  Constant time. *)

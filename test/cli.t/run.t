@@ -83,6 +83,20 @@ Generating a tiny .bench circuit:
   g4 = BUF(pi1)
   g5 = NOT(pi2)
 
+The parameterised generator family (--gen) is deterministic for a
+given spec; the structural digest goes to stderr so piped netlists
+stay clean, and a degenerate spec is a typed E-flag:
+
+  $ adi-atpg gen --gen gates=200,pis=16,seed=3 -o g1.bench
+  digest: fb119a5632dff480db7984599c81e6f6
+  gen[gates=200,pis=16,seed=3,locality=0.6,reconv=0.3,arity=4]: 16 PIs, 8 POs, 200 gates, depth 35 -> g1.bench
+  $ adi-atpg gen --gen gates=200,pis=16,seed=3 -o g2.bench 2> d2.txt > /dev/null
+  $ cmp g1.bench g2.bench && cat d2.txt
+  digest: fb119a5632dff480db7984599c81e6f6
+  $ adi-atpg gen --gen gates=0
+  adi-atpg: error: --gen gates must be at least 1 (got 0) [E-flag]
+  [2]
+
 Round-trip through an external test-vector file and evaluate it:
 
   $ adi-atpg atpg c17 --order dynm -o vecs.txt | grep tests
@@ -188,6 +202,21 @@ produces the same report, and an unknown kernel is a typed E-flag:
   coverage    : 1.000
   $ adi-atpg atpg c17 --faultsim-kernel warp
   adi-atpg: error: unknown fault-simulation kernel "warp" (expected event, stem or cpt) [E-flag]
+  [2]
+
+So is the superblock width: any accepted --block-width yields the
+same report word for word, and anything else is a typed E-flag:
+
+  $ adi-atpg atpg c17 --order 0dynm --block-width 8 | head -3
+  order       : F0dynm
+  tests       : 6
+  coverage    : 1.000
+  $ adi-atpg atpg c17 --order 0dynm --block-width 4 --faultsim-kernel stem | head -3
+  order       : F0dynm
+  tests       : 6
+  coverage    : 1.000
+  $ adi-atpg atpg c17 --block-width 3
+  adi-atpg: error: --block-width must be 1, 2, 4 or 8 (got 3) [E-flag]
   [2]
 
 --metrics appends the phase/counter/histogram tables after the

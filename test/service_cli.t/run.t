@@ -58,6 +58,24 @@ replies are byte-identical apart from the truthful cache flags:
   $ cmp diag1.norm diag2.norm && echo identical
   identical
 
+block_width is a pure throughput knob excluded from the artifact
+fingerprint: a wide request is answered out of the narrow request's
+warm cache, byte for byte:
+
+  $ adi-client order --socket adi.sock c17 --seed 3 --order incr0 --block-width 8 > wide.json
+  $ grep -o '"cached":true' wide.json
+  "cached":true
+  $ sed 's/"cached":[a-z]*/"cached":_/' wide.json > wide.norm
+  $ cmp cold.norm wide.norm && echo identical
+  identical
+
+An out-of-range width is the same typed E-flag the offline CLI
+reports:
+
+  $ adi-client load --socket adi.sock c17 --block-width 3
+  adi-client: --block-width must be 1, 2, 4 or 8 (got 3) [E-flag]
+  [2]
+
 An exhausted request budget is a typed E-budget error, not a hang:
 
   $ adi-client atpg --socket adi.sock c17 --budget_s 0
@@ -93,7 +111,7 @@ Shutdown drains the server; it exits cleanly and removes its socket:
   $ wait
   $ cat server.log
   adi-server: v1.1.0 listening on adi.sock (2 workers, capacity 4)
-  adi-server: drained after 11 requests
+  adi-server: drained after 13 requests
   $ [ ! -e adi.sock ] && echo gone
   gone
 

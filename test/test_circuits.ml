@@ -402,6 +402,51 @@ let suite_entry_lookup () =
   check Alcotest.int "fourteen entries" 14 (List.length Suite.entries);
   check Alcotest.int "twelve small" 12 (List.length Suite.small)
 
+(* --- parameterised generator family --------------------------------- *)
+
+let gen_spec_roundtrip () =
+  let spec = Generate.spec_of_string "gates=2k,reconv=0.4,seed=5,arity=3" in
+  check Alcotest.int "gates" 2000 spec.Generate.s_gates;
+  check Alcotest.int "seed" 5 spec.Generate.s_seed;
+  check Alcotest.int "arity" 3 spec.Generate.s_max_arity;
+  check (Alcotest.float 1e-9) "reconv" 0.4 spec.Generate.s_reconvergence;
+  check Alcotest.bool "round-trips" true
+    (Generate.spec_of_string (Generate.spec_to_string spec) = spec)
+
+let gen_spec_rejects () =
+  let rejects s =
+    match Generate.spec_of_string s with
+    | exception Util.Diagnostics.Failed _ -> true
+    | _ -> false
+  in
+  check Alcotest.bool "unknown key" true (rejects "gatez=100");
+  check Alcotest.bool "malformed value" true (rejects "gates=ten");
+  check Alcotest.bool "probability range" true (rejects "reconv=1.5");
+  check Alcotest.bool "arity range" true (rejects "arity=1");
+  check Alcotest.bool "missing =" true (rejects "gates")
+
+let gen_build_deterministic () =
+  let spec = Generate.spec_of_string "gates=1500,reconv=0.4,seed=5" in
+  let a = Generate.build spec and b = Generate.build spec in
+  check Alcotest.string "same digest" (Generate.digest a) (Generate.digest b);
+  check Alcotest.string "same netlist" (Bench_format.to_string a)
+    (Bench_format.to_string b);
+  (* The digest is structural: a renamed build hashes the same. *)
+  check Alcotest.string "digest ignores names" (Generate.digest a)
+    (Generate.digest (Generate.build ~name:"other" spec));
+  check Alcotest.bool "different seed, different structure" true
+    (Generate.digest (Generate.build { spec with Generate.s_seed = 6 })
+    <> Generate.digest a)
+
+let gen_build_shape () =
+  let spec = Generate.spec_of_string "gates=1200,pis=32,outputs=8,seed=3" in
+  let c = Generate.build spec in
+  check Alcotest.int "gates" 1200 (Circuit.gate_count c);
+  check Alcotest.int "pis" 32 (Array.length (Circuit.inputs c));
+  check Alcotest.bool "sink floor respected" true
+    (Array.length (Circuit.outputs c) >= 8);
+  check Alcotest.bool "multi-level" true (Circuit.depth c > 1)
+
 let suite_matches_paper_inputs () =
   (* The "inp" column of Table 4. *)
   let expect =
@@ -458,5 +503,12 @@ let () =
           Alcotest.test_case "deterministic" `Quick suite_deterministic;
           Alcotest.test_case "entry lookup" `Quick suite_entry_lookup;
           Alcotest.test_case "paper input counts" `Quick suite_matches_paper_inputs;
+        ] );
+      ( "generate",
+        [
+          Alcotest.test_case "spec roundtrip" `Quick gen_spec_roundtrip;
+          Alcotest.test_case "spec rejects" `Quick gen_spec_rejects;
+          Alcotest.test_case "build deterministic" `Quick gen_build_deterministic;
+          Alcotest.test_case "build shape" `Quick gen_build_shape;
         ] );
     ]

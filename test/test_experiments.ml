@@ -248,6 +248,44 @@ let run_atpg_requires_checkpoint_for_resume () =
        false
      with D.Failed d -> d.D.code = D.Invalid_flag)
 
+(* --- bench history retention --------------------------------------- *)
+
+let entry circuit i =
+  Printf.sprintf "{\"timestamp\": \"2026-01-%02dT00:00:00Z\", \"circuit\": \"%s\", \"run\": %d}"
+    i circuit i
+
+let history_sniffs_circuit () =
+  check Alcotest.(option string) "v2 spacing" (Some "syn1196")
+    (Bench_history.circuit_of_entry (entry "syn1196" 1));
+  check Alcotest.(option string) "v1 spacing" (Some "syn5378")
+    (Bench_history.circuit_of_entry
+       "{ \"schema\": \"bench_adi/v1\", \"circuit\" : \"syn5378\", \"jobs\": 4 }");
+  check Alcotest.(option string) "missing" None
+    (Bench_history.circuit_of_entry "{\"jobs\": 4}")
+
+let history_prune_keeps_newest_per_circuit () =
+  (* Oldest first: five syn1196 runs interleaved with three syn5378. *)
+  let entries =
+    [ entry "syn1196" 1; entry "syn5378" 2; entry "syn1196" 3; entry "syn1196" 4;
+      entry "syn5378" 5; entry "syn1196" 6; entry "syn5378" 7; entry "syn1196" 8 ]
+  in
+  let pruned = Bench_history.prune ~keep:2 entries in
+  (* The newest two of each circuit survive, original order preserved:
+     a syn1196 burst cannot evict the syn5378 history. *)
+  check
+    Alcotest.(list string)
+    "newest two per circuit, order preserved"
+    [ entry "syn5378" 5; entry "syn1196" 6; entry "syn5378" 7; entry "syn1196" 8 ]
+    pruned
+
+let history_prune_disabled_and_idempotent () =
+  let entries = List.init 5 (entry "syn1196") in
+  check Alcotest.(list string) "keep 0 = unlimited" entries
+    (Bench_history.prune ~keep:0 entries);
+  let once = Bench_history.prune ~keep:3 entries in
+  check Alcotest.(list string) "idempotent" once (Bench_history.prune ~keep:3 once);
+  check Alcotest.int "capped" 3 (List.length once)
+
 let () =
   Util.Trace.install_from_env ();
   Alcotest.run "experiments"
@@ -270,6 +308,14 @@ let () =
         ] );
       ( "evaluation",
         [ Alcotest.test_case "consistency" `Quick evaluation_is_consistent ] );
+      ( "history",
+        [
+          Alcotest.test_case "circuit sniffing" `Quick history_sniffs_circuit;
+          Alcotest.test_case "keeps newest per circuit" `Quick
+            history_prune_keeps_newest_per_circuit;
+          Alcotest.test_case "disabled and idempotent" `Quick
+            history_prune_disabled_and_idempotent;
+        ] );
       ( "checkpoint",
         [
           Alcotest.test_case "round-trip" `Quick checkpoint_roundtrip;

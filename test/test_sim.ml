@@ -371,6 +371,125 @@ let kernel_matches_oracle =
       !ok)
     [ Faultsim.Stem; Faultsim.Cpt ]
 
+(* --- wide superblocks ---------------------------------------------- *)
+
+(* CI sweeps ADI_BLOCK_WIDTH (with ADI_JOBS); the parity properties
+   below compare that lane width — and the narrower ones — against
+   the event kernel at width 1. *)
+let env_width =
+  match Sys.getenv_opt "ADI_BLOCK_WIDTH" with
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some w when List.mem w [ 1; 2; 4; 8 ] -> w
+      | _ -> 8)
+  | None -> 8
+
+let widths = List.sort_uniq compare [ 2; 4; env_width ]
+
+let block_width_detection_sets_identical =
+  QCheck.Test.make
+    ~name:
+      (Printf.sprintf "detection_sets kernels x jobs 1/%d x widths %s = event w1"
+         env_jobs
+         (String.concat "/" (List.map string_of_int widths)))
+    ~count:15 arb_circuit
+  @@ fun c ->
+  let n_inputs = Array.length (Circuit.inputs c) in
+  List.for_all
+    (fun fl ->
+      let rng = Rng.create 83 in
+      let pats = Patterns.random rng ~n_inputs ~count:150 in
+      let reference = Faultsim.detection_sets ~kernel:Faultsim.Event fl pats in
+      List.for_all
+        (fun k ->
+          List.for_all
+            (fun w ->
+              words_equal reference
+                (Faultsim.detection_sets ~kernel:k ~block_width:w fl pats)
+              && words_equal reference
+                   (Faultsim.detection_sets ~jobs:env_jobs ~kernel:k ~block_width:w
+                      fl pats))
+            widths)
+        kernels)
+    [ Collapse.collapsed c; Fault_list.full c ]
+
+let block_width_dropping_family_identical =
+  QCheck.Test.make
+    ~name:"with_dropping/n_detection/capped widths are byte-identical" ~count:10
+    arb_circuit
+  @@ fun c ->
+  let fl = Collapse.collapsed c in
+  let n_inputs = Array.length (Circuit.inputs c) in
+  let rng = Rng.create 89 in
+  let pats = Patterns.random rng ~n_inputs ~count:150 in
+  let drop0 = Faultsim.with_dropping fl pats in
+  let nd0 = Faultsim.n_detection fl pats ~n:3 in
+  let cap0 = Faultsim.detection_sets_capped fl pats ~n:3 in
+  List.for_all
+    (fun k ->
+      List.for_all
+        (fun w ->
+          drop0 = Faultsim.with_dropping ~kernel:k ~block_width:w fl pats
+          && drop0
+             = Faultsim.with_dropping ~jobs:env_jobs ~kernel:k ~block_width:w fl pats
+          && nd0 = Faultsim.n_detection ~kernel:k ~block_width:w fl pats ~n:3
+          && words_equal cap0
+               (Faultsim.detection_sets_capped ~kernel:k ~block_width:w fl pats ~n:3))
+        widths)
+    kernels
+
+let wide_matches_oracle =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "stem kernel at width %d = naive oracle" env_width)
+    ~count:10 arb_circuit
+  @@ fun c ->
+  let fl = Collapse.collapsed c in
+  let n_inputs = Array.length (Circuit.inputs c) in
+  let rng = Rng.create 97 in
+  let pats = Patterns.random rng ~n_inputs ~count:80 in
+  let slow = Refsim.detection_table fl pats in
+  let fast =
+    Faultsim.detection_sets ~kernel:Faultsim.Stem ~block_width:env_width fl pats
+  in
+  let ok = ref true in
+  Array.iteri
+    (fun fi d ->
+      Array.iteri (fun p expect -> if Bitvec.get d p <> expect then ok := false) slow.(fi))
+    fast;
+  !ok
+
+let block_outputs_width_identical =
+  QCheck.Test.make
+    ~name:"detect_block_outputs: wide lanes = per-block narrow runs" ~count:10
+    arb_circuit
+  @@ fun c ->
+  let fl = Collapse.collapsed c in
+  let n_inputs = Array.length (Circuit.inputs c) in
+  let rng = Rng.create 101 in
+  let pats = Patterns.random rng ~n_inputs ~count:(64 * env_width) in
+  let nout = Array.length (Circuit.outputs c) in
+  let narrow = Faultsim.workspace c in
+  let wide = Faultsim.workspace ~width:env_width c in
+  let g1 = Faultsim.good_arena narrow in
+  let gw = Faultsim.good_arena wide in
+  Faultsim.load_good wide gw pats 0;
+  let ok = ref true in
+  for fi = 0 to Fault_list.count fl - 1 do
+    let f = Fault_list.get fl fi in
+    let out_w = Array.make (nout * env_width) 0L in
+    let det_w = Array.copy (Faultsim.detect_block_outputs wide ~good:gw ~out:out_w f) in
+    for b = 0 to env_width - 1 do
+      Faultsim.load_good narrow g1 pats b;
+      let out_1 = Array.make nout 0L in
+      let det_1 = Faultsim.detect_block_outputs narrow ~good:g1 ~out:out_1 f in
+      if det_1.(0) <> det_w.(b) then ok := false;
+      for oi = 0 to nout - 1 do
+        if out_1.(oi) <> out_w.((oi * env_width) + b) then ok := false
+      done
+    done
+  done;
+  !ok
+
 let kernel_names_roundtrip () =
   List.iter
     (fun k ->
@@ -452,6 +571,10 @@ let () =
           qtest kernel_detection_sets_identical;
           qtest kernel_dropping_family_identical;
           qtest kernel_matches_oracle;
+          qtest block_width_detection_sets_identical;
+          qtest block_width_dropping_family_identical;
+          qtest wide_matches_oracle;
+          qtest block_outputs_width_identical;
           Alcotest.test_case "kernel names roundtrip" `Quick kernel_names_roundtrip;
           qtest deductive_matches_event_driven;
           qtest deductive_full_universe;
